@@ -1,0 +1,119 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! density-map manipulation (Eq. 8), velocity interpolation (Eq. 6),
+//! boundary rule (paper's mirror vs conservative ghost), and the dynamic
+//! density-update period N_U.
+//!
+//! Besides wall-clock time, each variant's *quality* (total movement) is
+//! printed once at startup so the speed/quality trade-off is visible in
+//! one place.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
+use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
+use dpm_place::MovementStats;
+use std::hint::black_box;
+
+fn workload() -> Benchmark {
+    let mut bench = CircuitSpec::with_size("ablate1k", 1_000, 99).generate();
+    bench.inflate(&InflationSpec::centered(0.15, 0.3, 100));
+    bench
+}
+
+fn cfg(bench: &Benchmark) -> DiffusionConfig {
+    DiffusionConfig::default()
+        .with_bin_size(2.5 * bench.die.row_height())
+        .with_windows(1, 2)
+}
+
+fn report_quality(bench: &Benchmark) {
+    let variants: Vec<(&str, DiffusionConfig)> = vec![
+        ("baseline(global)", cfg(bench)),
+        ("no-manipulation", cfg(bench).with_manipulation(false)),
+        ("no-interpolation", cfg(bench).with_interpolation(false)),
+        ("paper-boundaries", cfg(bench).with_paper_boundaries(true)),
+    ];
+    eprintln!("--- ablation quality (total movement after global diffusion) ---");
+    for (name, c) in variants {
+        let mut p = bench.placement.clone();
+        let r = GlobalDiffusion::new(c).run(&bench.netlist, &bench.die, &mut p);
+        let m = MovementStats::between(&bench.netlist, &bench.placement, &p);
+        eprintln!(
+            "{name:>20}: movement {:.1}, steps {}, converged {}",
+            m.total, r.steps, r.converged
+        );
+    }
+}
+
+fn bench_manipulation(c: &mut Criterion) {
+    let bench = workload();
+    report_quality(&bench);
+    let mut group = c.benchmark_group("ablate_manipulation");
+    group.sample_size(10);
+    for (name, on) in [("with_eq8", true), ("without_eq8", false)] {
+        let config = cfg(&bench).with_manipulation(on);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = bench.placement.clone();
+                black_box(GlobalDiffusion::new(config.clone()).run(&bench.netlist, &bench.die, &mut p))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let bench = workload();
+    let mut group = c.benchmark_group("ablate_interpolation");
+    group.sample_size(10);
+    for (name, on) in [("bilinear", true), ("per_bin", false)] {
+        let config = cfg(&bench).with_interpolation(on);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = bench.placement.clone();
+                black_box(GlobalDiffusion::new(config.clone()).run(&bench.netlist, &bench.die, &mut p))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_boundary_rule(c: &mut Criterion) {
+    let bench = workload();
+    let mut group = c.benchmark_group("ablate_boundary_rule");
+    group.sample_size(10);
+    for (name, paper) in [("conservative", false), ("paper_mirror", true)] {
+        let config = cfg(&bench).with_paper_boundaries(paper);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = bench.placement.clone();
+                black_box(GlobalDiffusion::new(config.clone()).run(&bench.netlist, &bench.die, &mut p))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_period(c: &mut Criterion) {
+    let bench = workload();
+    let mut group = c.benchmark_group("ablate_update_period");
+    group.sample_size(10);
+    for n_u in [5usize, 15, 30] {
+        let config = cfg(&bench).with_update_period(n_u);
+        group.bench_function(format!("n_u_{n_u}"), |b| {
+            b.iter(|| {
+                let mut p = bench.placement.clone();
+                black_box(LocalDiffusion::new(config.clone()).run(&bench.netlist, &bench.die, &mut p))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_manipulation,
+    bench_interpolation,
+    bench_boundary_rule,
+    bench_update_period
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the computational kernels: FTCS density
+//! step, velocity computation, bilinear interpolation, density-map
+//! construction, and the min-cost-flow solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_diffusion::DiffusionEngine;
+use dpm_gen::CircuitSpec;
+use dpm_geom::Point;
+use dpm_mcmf::FlowNetwork;
+use dpm_place::{BinGrid, DensityMap};
+use dpm_qplace::CsrMatrix;
+use dpm_route::{GlobalRouter, RouterConfig};
+use std::hint::black_box;
+
+fn grid_engine(n: usize) -> DiffusionEngine {
+    // A deterministic, bumpy density field.
+    let density: Vec<f64> = (0..n * n)
+        .map(|i| 0.5 + 0.5 * ((i * 2654435761usize) % 1000) as f64 / 1000.0)
+        .collect();
+    DiffusionEngine::from_raw(n, n, density, None)
+}
+
+fn bench_ftcs_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftcs_step");
+    for n in [32usize, 64, 128] {
+        group.bench_function(format!("{n}x{n}"), |b| {
+            let mut e = grid_engine(n);
+            b.iter(|| {
+                e.step_density(black_box(0.2));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_velocity_field(c: &mut Criterion) {
+    let mut group = c.benchmark_group("velocity_field");
+    for n in [32usize, 64, 128] {
+        group.bench_function(format!("{n}x{n}"), |b| {
+            let mut e = grid_engine(n);
+            b.iter(|| {
+                e.compute_velocities();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_velocity_interpolation(c: &mut Criterion) {
+    let mut e = grid_engine(64);
+    e.compute_velocities();
+    c.bench_function("velocity_at_1000_points", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                let x = 1.0 + (i % 60) as f64 + 0.37;
+                let y = 1.0 + (i / 60) as f64 + 0.71;
+                let v = e.velocity_at(black_box(Point::new(x, y)));
+                acc += v.x + v.y;
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_density_map(c: &mut Criterion) {
+    let bench = CircuitSpec::small(7).generate();
+    c.bench_function("density_map_1k_cells", |b| {
+        b.iter(|| {
+            let grid = BinGrid::new(bench.die.outline(), 2.5 * bench.die.row_height());
+            black_box(DensityMap::from_placement(&bench.netlist, &bench.placement, grid))
+        });
+    });
+}
+
+fn bench_mcmf(c: &mut Criterion) {
+    c.bench_function("mcmf_grid_24x24", |b| {
+        b.iter(|| {
+            let n = 24usize;
+            let s = n * n;
+            let t = n * n + 1;
+            let mut net = FlowNetwork::new(n * n + 2);
+            for k in 0..n {
+                for j in 0..n {
+                    let i = k * n + j;
+                    if (i * 2654435761usize) % 7 == 0 {
+                        net.add_edge(s, i, 50, 0);
+                    } else {
+                        net.add_edge(i, t, 10, 0);
+                    }
+                    if j + 1 < n {
+                        net.add_edge(i, i + 1, i64::MAX / 8, 1);
+                        net.add_edge(i + 1, i, i64::MAX / 8, 1);
+                    }
+                    if k + 1 < n {
+                        net.add_edge(i, i + n, i64::MAX / 8, 1);
+                        net.add_edge(i + n, i, i64::MAX / 8, 1);
+                    }
+                }
+            }
+            black_box(net.min_cost_max_flow(s, t).expect("solves"))
+        });
+    });
+}
+
+fn bench_global_route(c: &mut Criterion) {
+    let bench = CircuitSpec::small(11).generate();
+    c.bench_function("route_1k_cells", |b| {
+        let router = GlobalRouter::new(RouterConfig::default());
+        b.iter(|| black_box(router.route(&bench.netlist, &bench.placement, &bench.die)));
+    });
+}
+
+fn bench_cg_solver(c: &mut Criterion) {
+    // Anchored path-graph Laplacian, 2000 unknowns.
+    let n = 2000usize;
+    let mut builder = CsrMatrix::builder(n);
+    for i in 0..n {
+        let mut diag = 1e-4;
+        if i > 0 {
+            builder.add(i, i - 1, -1.0);
+            diag += 1.0;
+        }
+        if i + 1 < n {
+            builder.add(i, i + 1, -1.0);
+            diag += 1.0;
+        }
+        if i == 0 || i == n - 1 {
+            diag += 1.0;
+        }
+        builder.add(i, i, diag);
+    }
+    let m = builder.build();
+    let mut rhs = vec![0.0; n];
+    rhs[n - 1] = 100.0;
+    c.bench_function("cg_chain_2000", |b| {
+        b.iter(|| black_box(m.solve_cg(&rhs, &vec![0.0; n], 1e-8, 5000)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ftcs_step,
+    bench_velocity_field,
+    bench_velocity_interpolation,
+    bench_density_map,
+    bench_mcmf,
+    bench_global_route,
+    bench_cg_solver
+);
+criterion_main!(benches);

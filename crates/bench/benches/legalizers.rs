@@ -1,0 +1,58 @@
+//! End-to-end legalizer benchmarks on a mid-size inflated circuit — the
+//! runtime comparison behind the paper's Tables V, XIII and XVI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
+use dpm_legalize::{
+    DiffusionLegalizer, FlowLegalizer, GemLegalizer, GreedyLegalizer, Legalizer, RowDpLegalizer,
+    TetrisLegalizer,
+};
+use std::hint::black_box;
+
+fn workload() -> Benchmark {
+    let mut bench = CircuitSpec::with_size("bench2k", 2_000, 77).generate();
+    bench.inflate(&InflationSpec::random_width(0.1, 1.6, 78));
+    bench
+}
+
+fn hotspot_workload() -> Benchmark {
+    let mut bench = CircuitSpec::with_size("bench2k_hot", 2_000, 79).generate();
+    bench.inflate(&InflationSpec::centered(0.15, 0.3, 80));
+    bench
+}
+
+fn bench_one(c: &mut Criterion, group_name: &str, make: fn() -> Benchmark) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    let legalizers: Vec<(&str, Box<dyn Legalizer>)> = vec![
+        ("greedy", Box::new(GreedyLegalizer::new())),
+        ("flow", Box::new(FlowLegalizer::new())),
+        ("tetris", Box::new(TetrisLegalizer::new())),
+        ("row_dp", Box::new(RowDpLegalizer::new())),
+        ("gem", Box::new(GemLegalizer::new())),
+        ("diff_global", Box::new(DiffusionLegalizer::global_default())),
+        ("diff_local", Box::new(DiffusionLegalizer::local_default())),
+    ];
+    let bench = make();
+    for (name, legalizer) in &legalizers {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut p = bench.placement.clone();
+                legalizer.legalize_in_place(&bench.netlist, &bench.die, &mut p);
+                black_box(p)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    bench_one(c, "legalize_2k_random", workload);
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    bench_one(c, "legalize_2k_hotspot", hotspot_workload);
+}
+
+criterion_group!(benches, bench_random, bench_hotspot);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Fig. 3 — a cell's movement trajectory during diffusion: a smooth,
+//! non-direct route around blockages whose steps shrink toward
+//! equilibrium. Prints the trajectory and writes an SVG.
+
+use dpm_bench::{scale_from_env, write_result_file, CKT_DEFAULT_SCALE};
+use dpm_bench::suite::diffusion_cfg;
+use dpm_diffusion::trace_global_diffusion;
+use dpm_gen::suites::ckt_suite;
+use dpm_gen::InflationSpec;
+use dpm_viz::SvgScene;
+
+fn main() {
+    let scale = scale_from_env(CKT_DEFAULT_SCALE);
+    println!("Reproducing Fig. 3 at scale {scale} (ckt1 with macros, hotspot, traced cells).");
+    let entry = &ckt_suite(scale)[0];
+    let mut spec = entry.spec.clone();
+    spec.num_macros = 2; // trajectories must bend around blockages
+    let mut bench = spec.generate();
+    bench.inflate(&InflationSpec::centered(0.18, 0.3, 33));
+
+    // Trace the ten cells nearest the die center.
+    let center = bench.die.outline().center();
+    let mut by_dist: Vec<_> = bench.netlist.movable_cell_ids().collect();
+    by_dist.sort_by(|&a, &b| {
+        bench
+            .placement
+            .cell_center(&bench.netlist, a)
+            .distance(center)
+            .total_cmp(&bench.placement.cell_center(&bench.netlist, b).distance(center))
+    });
+    let traced: Vec<_> = by_dist.into_iter().take(10).collect();
+
+    let cfg = diffusion_cfg(&bench).with_delta(0.05); // long run → visible route
+    let mut placement = bench.placement.clone();
+    let run = trace_global_diffusion(&cfg, &bench.netlist, &bench.die, &mut placement, &traced);
+    println!("diffused {} steps (converged: {})", run.result.steps, run.result.converged);
+
+    // Print the most-travelled trajectory like the paper's figure.
+    let star = run
+        .trajectories
+        .iter()
+        .max_by(|a, b| a.path_length().total_cmp(&b.path_length()))
+        .expect("traced cells");
+    println!(
+        "cell {} travelled {:.1} (net {:.1}) over {} steps:",
+        star.cell,
+        star.path_length(),
+        star.net_displacement(),
+        star.points.len() - 1
+    );
+    let lens = star.step_lengths();
+    for (i, chunk) in lens.chunks(lens.len().div_ceil(9).max(1)).enumerate() {
+        let d: f64 = chunk.iter().sum();
+        println!("  phase {i}: moved {d:.2}");
+    }
+
+    // SVG with the routes drawn as polylines.
+    let lines: Vec<Vec<dpm_geom::Point>> = run.trajectories.iter().map(|t| t.points.clone()).collect();
+    let scene = SvgScene::new(bench.die.outline())
+        .with_placement(&bench.netlist, &placement)
+        .with_polylines(&lines, "black")
+        .render();
+    let path = write_result_file("fig03_trajectories.svg", &scene);
+    println!("wrote {}", path.display());
+}

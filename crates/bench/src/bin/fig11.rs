@@ -1,0 +1,32 @@
+//! Fig. 11 — total movement and WNS vs bin size B on ckt2.
+
+use dpm_bench::{fnum, print_table, scale_from_env, Experiment, TextTable, CKT_DEFAULT_SCALE};
+use dpm_diffusion::DiffusionConfig;
+use dpm_gen::suites::ckt_suite;
+use dpm_legalize::DiffusionLegalizer;
+
+fn main() {
+    let scale = scale_from_env(CKT_DEFAULT_SCALE);
+    println!("Reproducing Fig. 11 at scale {scale} (ckt2, bin-size sweep; row height = 12).");
+    let entry = &ckt_suite(scale)[1];
+    let base = entry.spec.generate();
+    let (bench, _) = entry.generate_inflated();
+    let exp = Experiment::new(bench, &base);
+
+    let mut t = TextTable::new(["B", "B/row-height", "movement", "WNS"]);
+    for b in [6.0, 12.0, 20.0, 30.0, 40.0, 60.0, 80.0] {
+        let cfg = DiffusionConfig::default().with_bin_size(b).with_windows(1, 2);
+        let r = exp.run(&DiffusionLegalizer::local(cfg));
+        t.row([
+            fnum(b),
+            fnum(b / 12.0),
+            fnum(r.movement.total),
+            fnum(r.metrics.wns),
+        ]);
+        eprintln!("  B = {b} done");
+    }
+    print_table(
+        "Fig. 11: bin-size sweep (paper: sweet spot at 2-4 row heights; tiny and huge bins both degrade)",
+        &t,
+    );
+}

@@ -1,0 +1,24 @@
+//! Fig. 12 — total movement and WNS vs window size with W1 = W2, ckt2.
+
+use dpm_bench::suite::diffusion_cfg;
+use dpm_bench::{fnum, print_table, scale_from_env, Experiment, TextTable, CKT_DEFAULT_SCALE};
+use dpm_gen::suites::ckt_suite;
+use dpm_legalize::DiffusionLegalizer;
+
+fn main() {
+    let scale = scale_from_env(CKT_DEFAULT_SCALE);
+    println!("Reproducing Fig. 12 at scale {scale} (ckt2, W1 = W2 sweep).");
+    let entry = &ckt_suite(scale)[1];
+    let base = entry.spec.generate();
+    let (bench, _) = entry.generate_inflated();
+    let cfg0 = diffusion_cfg(&bench);
+    let exp = Experiment::new(bench, &base);
+
+    let mut t = TextTable::new(["W1=W2", "movement", "WNS"]);
+    for w in 1..=5usize {
+        let r = exp.run(&DiffusionLegalizer::local(cfg0.clone().with_windows(w, w)));
+        t.row([w.to_string(), fnum(r.movement.total), fnum(r.metrics.wns)]);
+        eprintln!("  W = {w} done");
+    }
+    print_table("Fig. 12: W1 = W2 sweep (paper: larger windows spread more; small is better)", &t);
+}

@@ -1,0 +1,24 @@
+//! Fig. 13 — total movement and WNS vs W2 with W1 = 2, ckt2.
+
+use dpm_bench::suite::diffusion_cfg;
+use dpm_bench::{fnum, print_table, scale_from_env, Experiment, TextTable, CKT_DEFAULT_SCALE};
+use dpm_gen::suites::ckt_suite;
+use dpm_legalize::DiffusionLegalizer;
+
+fn main() {
+    let scale = scale_from_env(CKT_DEFAULT_SCALE);
+    println!("Reproducing Fig. 13 at scale {scale} (ckt2, W2 sweep at W1 = 2).");
+    let entry = &ckt_suite(scale)[1];
+    let base = entry.spec.generate();
+    let (bench, _) = entry.generate_inflated();
+    let cfg0 = diffusion_cfg(&bench);
+    let exp = Experiment::new(bench, &base);
+
+    let mut t = TextTable::new(["W2", "movement", "WNS"]);
+    for w2 in 2..=7usize {
+        let r = exp.run(&DiffusionLegalizer::local(cfg0.clone().with_windows(2, w2)));
+        t.row([w2.to_string(), fnum(r.movement.total), fnum(r.metrics.wns)]);
+        eprintln!("  W2 = {w2} done");
+    }
+    print_table("Fig. 13: W2 sweep at W1 = 2 (paper: larger W2 spreads faster but further)", &t);
+}

@@ -1,0 +1,52 @@
+//! Figs. 14–18 — placement and movement-vector plots on ibm01 with
+//! CENTER overlap, one SVG per legalizer, written into `results/`.
+
+use dpm_bench::suite::IspdSet;
+use dpm_bench::{scale_from_env, write_result_file, Experiment, IBM_DEFAULT_SCALE};
+use dpm_gen::suites::ibm_suite;
+use dpm_legalize::{
+    DiffusionLegalizer, GemLegalizer, Legalizer, RowDpLegalizer, TetrisLegalizer,
+};
+use dpm_viz::SvgScene;
+
+fn main() {
+    let scale = scale_from_env(IBM_DEFAULT_SCALE);
+    println!("Reproducing Figs. 14-18 at scale {scale} (ibm01, CENTER overlap).");
+    let entry = &ibm_suite(scale)[0];
+    let base = entry.spec.generate();
+    let mut bench = entry.spec.generate();
+    bench.inflate(&IspdSet::Center.inflation(entry.spec.seed ^ 0x15bd));
+    let exp = Experiment::new(bench, &base);
+
+    // Fig. 14: the original placement.
+    let svg = SvgScene::new(exp.bench.die.outline())
+        .with_placement(&exp.bench.netlist, &exp.start)
+        .render();
+    let p = write_result_file("fig14_ibm01_placement.svg", &svg);
+    println!("wrote {}", p.display());
+
+    // Figs. 15-18: movement vectors per legalizer. The paper plots moves
+    // over 50 tracks; scale the threshold with the die.
+    let threshold = exp.bench.die.outline().width() / 40.0;
+    let legalizers: Vec<(&str, Box<dyn Legalizer>)> = vec![
+        ("fig15_diffusion", Box::new(DiffusionLegalizer::local_default())),
+        ("fig16_capo_like", Box::new(TetrisLegalizer::new())),
+        ("fig17_fengshui_like", Box::new(RowDpLegalizer::new())),
+        ("fig18_gem_like", Box::new(GemLegalizer::new())),
+    ];
+    for (name, legalizer) in legalizers {
+        let (result, after) = exp.run_keeping_placement(legalizer.as_ref());
+        let svg = SvgScene::new(exp.bench.die.outline())
+            .with_placement(&exp.bench.netlist, &after)
+            .with_movements(&exp.bench.netlist, &exp.start, &after, threshold)
+            .render();
+        let path = write_result_file(&format!("{name}_ibm01_center.svg"), &svg);
+        println!(
+            "wrote {} (max move {:.1}, moved {} cells, legal: {})",
+            path.display(),
+            result.movement.max,
+            result.movement.moved,
+            result.metrics.legal
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Runs the entire reproduction — every table and figure — in one go,
+//! teeing each binary's output into `results/`.
+//!
+//! `cargo run --release -p dpm-bench --bin run_all`
+
+use std::process::Command;
+
+fn main() {
+    let binaries = [
+        "table01", "table_main", "table06", "table07", "table08", "table09", "fig03", "fig09_10",
+        "fig11", "fig12", "fig13", "table10", "table_ispd", "fig14_18",
+    ];
+    std::fs::create_dir_all("results").expect("create results dir");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = 0;
+    for bin in binaries {
+        println!("=== running {bin} ===");
+        let output = Command::new(exe_dir.join(bin))
+            .output()
+            .unwrap_or_else(|e| panic!("cannot launch {bin}: {e}"));
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        print!("{stdout}");
+        std::fs::write(format!("results/{bin}.txt"), stdout.as_bytes()).expect("write result");
+        if !output.status.success() {
+            eprintln!("{bin} FAILED: {}", String::from_utf8_lossy(&output.stderr));
+            failures += 1;
+        }
+    }
+    println!("\nall outputs saved under results/ ({failures} failures)");
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

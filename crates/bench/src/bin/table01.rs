@@ -1,0 +1,36 @@
+//! Table I — test-case sizes and inflations.
+
+use dpm_bench::{fnum, print_table, scale_from_env, TextTable, CKT_DEFAULT_SCALE};
+use dpm_gen::suites::ckt_suite;
+use dpm_gen::WorkloadStats;
+
+fn main() {
+    let scale = scale_from_env(CKT_DEFAULT_SCALE);
+    println!("Reproducing Table I at scale {scale} (paper sizes x scale).");
+    let mut t = TextTable::new([
+        "testcase",
+        "paper cells",
+        "cells",
+        "size",
+        "target infl(%)",
+        "achieved(%)",
+        "overlap(%)",
+        "net degree",
+    ]);
+    for entry in ckt_suite(scale) {
+        let (bench, achieved) = entry.generate_inflated();
+        let stats = WorkloadStats::measure(&bench);
+        let o = bench.die.outline();
+        t.row([
+            entry.spec.name.clone(),
+            entry.paper_cells.to_string(),
+            bench.spec.num_cells.to_string(),
+            format!("{:.0} x {:.0}", o.width(), o.height()),
+            fnum(entry.inflation_pct * 100.0),
+            fnum(achieved * 100.0),
+            fnum(stats.overlap_fraction * 100.0),
+            fnum(stats.mean_net_degree),
+        ]);
+    }
+    print_table("Table I: testcases and inflations", &t);
+}

@@ -1,0 +1,7 @@
+//! Table 05 is produced by the shared Tables II-V run; this thin wrapper
+//! exists so every paper table has a named bench target.
+
+fn main() {
+    println!("Table 05 is part of the combined Tables II-V run:");
+    println!("    cargo run --release -p dpm-bench --bin table_main");
+}

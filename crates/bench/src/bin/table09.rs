@@ -1,0 +1,35 @@
+//! Table IX — legalization performance vs density-update period N_U on
+//! ckt2: movement, TWL, WNS, CPU.
+
+use dpm_bench::{fnum, print_table, scale_from_env, Experiment, TextTable, CKT_DEFAULT_SCALE};
+use dpm_bench::suite::diffusion_cfg;
+use dpm_gen::suites::ckt_suite;
+use dpm_legalize::DiffusionLegalizer;
+
+fn main() {
+    let scale = scale_from_env(CKT_DEFAULT_SCALE);
+    println!("Reproducing Table IX at scale {scale} (ckt2, N_U sweep).");
+    let entry = &ckt_suite(scale)[1];
+    let base = entry.spec.generate();
+    let (bench, _) = entry.generate_inflated();
+    let cfg0 = diffusion_cfg(&bench);
+    let exp = Experiment::new(bench, &base);
+
+    let mut t = TextTable::new(["N_U", "movement", "TWL", "WNS", "CPU(s)"]);
+    for n_u in [1usize, 5, 10, 15, 20, 25, 30, 40] {
+        let legalizer = DiffusionLegalizer::local(cfg0.clone().with_update_period(n_u));
+        let r = exp.run(&legalizer);
+        t.row([
+            n_u.to_string(),
+            fnum(r.movement.total),
+            fnum(r.metrics.twl),
+            fnum(r.metrics.wns),
+            format!("{:.3}", r.runtime.as_secs_f64()),
+        ]);
+        eprintln!("  N_U = {n_u} done");
+    }
+    print_table(
+        "Table IX: N_U sweep (paper: longer periods give similar quality at lower CPU; N_U=30 chosen)",
+        &t,
+    );
+}

@@ -1,0 +1,33 @@
+//! Table X — ISPD test-case wirelengths and overlap percentages for the
+//! CENTER and RANDOM inflation sets.
+
+use dpm_bench::suite::IspdSet;
+use dpm_bench::{fnum, print_table, scale_from_env, TextTable, IBM_DEFAULT_SCALE};
+use dpm_gen::suites::ibm_suite;
+use dpm_place::{check_legality, hpwl};
+
+fn main() {
+    let scale = scale_from_env(IBM_DEFAULT_SCALE);
+    println!("Reproducing Table X at scale {scale}.");
+    let mut t = TextTable::new(["testcase", "objs", "TWL", "CENTER(%)", "RANDOM(%)"]);
+    for entry in ibm_suite(scale) {
+        let base = entry.spec.generate();
+        let twl = hpwl(&base.netlist, &base.placement);
+        let mut pct = Vec::new();
+        for set in [IspdSet::Center, IspdSet::Random] {
+            let mut bench = entry.spec.generate();
+            bench.inflate(&set.inflation(entry.spec.seed ^ 0x15bd));
+            let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 0);
+            pct.push(report.total_overlap_area / bench.netlist.movable_area() * 100.0);
+        }
+        t.row([
+            entry.spec.name.clone(),
+            base.netlist.num_cells().to_string(),
+            fnum(twl),
+            fnum(pct[0]),
+            fnum(pct[1]),
+        ]);
+        eprintln!("  finished {}", entry.spec.name);
+    }
+    print_table("Table X: testcase wirelengths and overlaps (paper overlaps ~5-7%)", &t);
+}

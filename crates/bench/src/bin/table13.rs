@@ -1,0 +1,6 @@
+//! Table 13 is produced by the ISPD CENTER run; thin wrapper for naming.
+
+fn main() {
+    println!("Table 13 is part of the ISPD CENTER run:");
+    println!("    cargo run --release -p dpm-bench --bin table_ispd -- --set center");
+}

@@ -1,0 +1,6 @@
+//! Table 14 is produced by the ISPD RANDOM run; thin wrapper for naming.
+
+fn main() {
+    println!("Table 14 is part of the ISPD RANDOM run:");
+    println!("    cargo run --release -p dpm-bench --bin table_ispd -- --set random");
+}

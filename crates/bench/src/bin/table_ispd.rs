@@ -1,0 +1,63 @@
+//! Tables XI–XVI — the ISPD comparison: scaled wirelength, movement
+//! statistics, and CPU time for Capo-like / FengShui-like / DIFF(L) /
+//! GEM-like legalizers on the CENTER and RANDOM sets.
+//!
+//! Pass `--set center` or `--set random` to run one set (default: both).
+
+use dpm_bench::suite::{print_ispd_metric, run_ispd_comparison, IspdRow, IspdSet};
+use dpm_bench::{fnum, print_table, scale_from_env, TextTable, IBM_DEFAULT_SCALE};
+
+fn main() {
+    let scale = scale_from_env(IBM_DEFAULT_SCALE);
+    let arg = std::env::args().nth(2).unwrap_or_default();
+    let sets: Vec<IspdSet> = match arg.as_str() {
+        "center" => vec![IspdSet::Center],
+        "random" => vec![IspdSet::Random],
+        _ => vec![IspdSet::Center, IspdSet::Random],
+    };
+    for set in sets {
+        println!("\nReproducing Tables {} at scale {scale}.", match set {
+            IspdSet::Center => "XI-XIII (CENTER)",
+            IspdSet::Random => "XIV-XVI (RANDOM)",
+        });
+        let rows = run_ispd_comparison(scale, set);
+        print_ispd_metric(
+            &format!("Scaled wirelength, {} (paper averages C: 1.31/1.22/1.08/1.15; R: 1.10/1.06/1.07/1.10)", set.label()),
+            &rows,
+            |row, r| r.metrics.twl / row.base_twl,
+        );
+        movement_table(set, &rows);
+        let mut t = TextTable::new(["testcase", "Capo-like", "FengShui-like", "DIFF(L)", "GEM-like"]);
+        for row in &rows {
+            let mut cells = vec![row.name.clone()];
+            cells.extend(row.results.iter().map(|r| format!("{:.3}", r.runtime.as_secs_f64())));
+            t.row(cells);
+        }
+        print_table(&format!("CPU time (s), {}", set.label()), &t);
+    }
+}
+
+fn movement_table(set: IspdSet, rows: &[IspdRow]) {
+    let mut t = TextTable::new([
+        "testcase", "legalizer", "max", "avg", "avg^2", "#mov",
+    ]);
+    for row in rows {
+        for r in &row.results {
+            t.row([
+                row.name.clone(),
+                r.legalizer.clone(),
+                fnum(r.movement.max),
+                fnum(r.movement.avg),
+                fnum(r.movement.avg_sq),
+                r.movement.moved.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &format!(
+            "Movements, {} (paper: DIFF has the smallest max and avg^2 movement)",
+            set.label()
+        ),
+        &t,
+    );
+}

@@ -1,0 +1,401 @@
+//! Parsers for the Bookshelf file family.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing Bookshelf files.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseBookshelfError {
+    /// A line could not be interpreted.
+    Malformed {
+        /// Which file kind was being parsed (`nodes`, `nets`, ...).
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A net or placement entry references an undeclared node.
+    UnknownNode {
+        /// The referenced name.
+        name: String,
+    },
+    /// The `.scl` file declared no rows.
+    NoRows,
+    /// The assembled netlist failed validation.
+    InvalidNetlist {
+        /// Underlying validation message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseBookshelfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBookshelfError::Malformed { file, line, message } => {
+                write!(f, "malformed .{file} line {line}: {message}")
+            }
+            ParseBookshelfError::UnknownNode { name } => {
+                write!(f, "reference to undeclared node '{name}'")
+            }
+            ParseBookshelfError::NoRows => write!(f, "scl file declares no rows"),
+            ParseBookshelfError::InvalidNetlist { message } => {
+                write!(f, "netlist failed validation: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ParseBookshelfError {}
+
+/// One node (cell/terminal) from a `.nodes` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeRecord {
+    /// Instance name.
+    pub name: String,
+    /// Width.
+    pub width: f64,
+    /// Height.
+    pub height: f64,
+    /// `true` for `terminal` (fixed) nodes.
+    pub terminal: bool,
+}
+
+/// One pin within a [`NetRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinRecord {
+    /// Node the pin sits on.
+    pub node: String,
+    /// `'I'`, `'O'`, or `'B'`.
+    pub dir: char,
+    /// X offset from the node *center*.
+    pub dx: f64,
+    /// Y offset from the node *center*.
+    pub dy: f64,
+}
+
+/// One net from a `.nets` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetRecord {
+    /// Net name.
+    pub name: String,
+    /// Its pins.
+    pub pins: Vec<PinRecord>,
+}
+
+/// One placement entry from a `.pl` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlRecord {
+    /// Node name.
+    pub node: String,
+    /// Lower-left x.
+    pub x: f64,
+    /// Lower-left y.
+    pub y: f64,
+    /// `true` when suffixed `/FIXED`.
+    pub fixed: bool,
+}
+
+/// One core row from a `.scl` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SclRow {
+    /// Lower edge y.
+    pub coordinate: f64,
+    /// Row height.
+    pub height: f64,
+    /// Left end x.
+    pub origin_x: f64,
+    /// Row width (`NumSites × Sitespacing`).
+    pub width: f64,
+}
+
+/// Lines that carry content: skips blanks, `#` comments, and the
+/// `UCLA ...` header.
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("UCLA") {
+            None
+        } else {
+            Some((i + 1, line))
+        }
+    })
+}
+
+fn malformed(file: &'static str, line: usize, message: impl Into<String>) -> ParseBookshelfError {
+    ParseBookshelfError::Malformed {
+        file,
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a `.nodes` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError::Malformed`] on unparseable lines.
+///
+/// # Examples
+///
+/// ```
+/// let text = "UCLA nodes 1.0\nNumNodes : 2\nNumTerminals : 1\n a 4 12\n p 1 1 terminal\n";
+/// let nodes = dpm_bookshelf::parse_nodes(text)?;
+/// assert_eq!(nodes.len(), 2);
+/// assert!(nodes[1].terminal);
+/// # Ok::<(), dpm_bookshelf::ParseBookshelfError>(())
+/// ```
+pub fn parse_nodes(text: &str) -> Result<Vec<NodeRecord>, ParseBookshelfError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content_lines(text) {
+        if line.starts_with("NumNodes") || line.starts_with("NumTerminals") {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let name = it.next().ok_or_else(|| malformed("nodes", lineno, "missing name"))?;
+        let width: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| malformed("nodes", lineno, "bad width"))?;
+        let height: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| malformed("nodes", lineno, "bad height"))?;
+        let terminal = it.next().map(|t| t.eq_ignore_ascii_case("terminal")).unwrap_or(false);
+        out.push(NodeRecord {
+            name: name.to_string(),
+            width,
+            height,
+            terminal,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a `.nets` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError::Malformed`] on unparseable lines or a
+/// pin outside any `NetDegree` block.
+pub fn parse_nets(text: &str) -> Result<Vec<NetRecord>, ParseBookshelfError> {
+    let mut out: Vec<NetRecord> = Vec::new();
+    let mut counter = 0usize;
+    for (lineno, line) in content_lines(text) {
+        if line.starts_with("NumNets") || line.starts_with("NumPins") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("NetDegree") {
+            // "NetDegree : 3  name" (name optional).
+            let rest = rest.trim_start_matches([' ', ':']).trim();
+            let mut it = rest.split_whitespace();
+            let _degree = it.next();
+            let name = it
+                .next()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("net{counter}"));
+            counter += 1;
+            out.push(NetRecord {
+                name,
+                pins: Vec::new(),
+            });
+            continue;
+        }
+        // Pin line: "node I : dx dy" (offsets optional).
+        let net = out
+            .last_mut()
+            .ok_or_else(|| malformed("nets", lineno, "pin before any NetDegree"))?;
+        let mut it = line.split_whitespace();
+        let node = it.next().ok_or_else(|| malformed("nets", lineno, "missing node"))?;
+        let dir = it
+            .next()
+            .and_then(|t| t.chars().next())
+            .ok_or_else(|| malformed("nets", lineno, "missing direction"))?;
+        let mut rest: Vec<&str> = it.filter(|&t| t != ":").collect();
+        let dy = rest.pop().and_then(|t| t.parse().ok()).unwrap_or(0.0);
+        let dx = rest.pop().and_then(|t| t.parse().ok()).unwrap_or(0.0);
+        net.pins.push(PinRecord {
+            node: node.to_string(),
+            dir,
+            dx,
+            dy,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a `.pl` file.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError::Malformed`] on unparseable lines.
+pub fn parse_pl(text: &str) -> Result<Vec<PlRecord>, ParseBookshelfError> {
+    let mut out = Vec::new();
+    for (lineno, line) in content_lines(text) {
+        let mut it = line.split_whitespace();
+        let node = it.next().ok_or_else(|| malformed("pl", lineno, "missing node"))?;
+        let x: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| malformed("pl", lineno, "bad x"))?;
+        let y: f64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| malformed("pl", lineno, "bad y"))?;
+        let fixed = line.contains("/FIXED");
+        out.push(PlRecord {
+            node: node.to_string(),
+            x,
+            y,
+            fixed,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a `.scl` file into row records.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError::Malformed`] on unparseable attribute
+/// lines.
+pub fn parse_scl(text: &str) -> Result<Vec<SclRow>, ParseBookshelfError> {
+    let mut out = Vec::new();
+    let mut cur: Option<(f64, f64, f64, f64, f64)> = None; // coord, height, spacing, origin, sites
+    for (lineno, line) in content_lines(text) {
+        if line.starts_with("NumRows") {
+            continue;
+        }
+        if line.starts_with("CoreRow") {
+            cur = Some((0.0, 0.0, 1.0, 0.0, 0.0));
+            continue;
+        }
+        if line.starts_with("End") {
+            if let Some((coord, height, spacing, origin, sites)) = cur.take() {
+                out.push(SclRow {
+                    coordinate: coord,
+                    height,
+                    origin_x: origin,
+                    width: sites * spacing,
+                });
+            }
+            continue;
+        }
+        let Some(state) = cur.as_mut() else { continue };
+        let value_after = |key: &str| -> Option<f64> {
+            line.strip_prefix(key)
+                .and_then(|r| r.trim_start_matches([' ', ':']).split_whitespace().next())
+                .and_then(|t| t.parse().ok())
+        };
+        if line.starts_with("Coordinate") {
+            state.0 = value_after("Coordinate").ok_or_else(|| malformed("scl", lineno, "bad Coordinate"))?;
+        } else if line.starts_with("Height") {
+            state.1 = value_after("Height").ok_or_else(|| malformed("scl", lineno, "bad Height"))?;
+        } else if line.starts_with("Sitespacing") {
+            state.2 = value_after("Sitespacing").ok_or_else(|| malformed("scl", lineno, "bad Sitespacing"))?;
+        } else if line.starts_with("SubrowOrigin") {
+            // "SubrowOrigin : 0  NumSites : 100"
+            let mut nums = line
+                .split_whitespace()
+                .filter_map(|t| t.parse::<f64>().ok());
+            state.3 = nums.next().ok_or_else(|| malformed("scl", lineno, "bad SubrowOrigin"))?;
+            state.4 = nums.next().unwrap_or(0.0);
+        }
+        // Sitewidth / Siteorient / Sitesymmetry: irrelevant to placement.
+    }
+    Ok(out)
+}
+
+/// Parses a `.aux` file into the listed file names.
+///
+/// # Errors
+///
+/// Returns [`ParseBookshelfError::Malformed`] if no file list is found.
+///
+/// # Examples
+///
+/// ```
+/// let files = dpm_bookshelf::parse_aux("RowBasedPlacement : a.nodes a.nets a.pl a.scl")?;
+/// assert_eq!(files, vec!["a.nodes", "a.nets", "a.pl", "a.scl"]);
+/// # Ok::<(), dpm_bookshelf::ParseBookshelfError>(())
+/// ```
+pub fn parse_aux(text: &str) -> Result<Vec<String>, ParseBookshelfError> {
+    match content_lines(text).next() {
+        Some((lineno, line)) => match line.split_once(':') {
+            Some((_, files)) => Ok(files.split_whitespace().map(str::to_string).collect()),
+            None => Err(malformed("aux", lineno, "expected 'Kind : files...'")),
+        },
+        None => Err(malformed("aux", 1, "empty aux file")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_parser_handles_terminals_and_comments() {
+        let text = "UCLA nodes 1.0\n# generated\n\nNumNodes : 3\nNumTerminals : 1\n  a  4 12\n  b  6 12\n  pad0 1 1 terminal\n";
+        let nodes = parse_nodes(text).expect("parses");
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(nodes[0], NodeRecord { name: "a".into(), width: 4.0, height: 12.0, terminal: false });
+        assert!(nodes[2].terminal);
+    }
+
+    #[test]
+    fn nodes_parser_rejects_garbage() {
+        let err = parse_nodes("UCLA nodes 1.0\n a four 12\n").unwrap_err();
+        assert!(matches!(err, ParseBookshelfError::Malformed { file: "nodes", .. }));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn nets_parser_reads_degree_blocks() {
+        let text = "UCLA nets 1.0\nNumNets : 2\nNumPins : 4\nNetDegree : 2  alpha\n a O : 2.0 6.0\n b I : 0.0 6.0\nNetDegree : 2\n b O : 3 6\n a I : -2 0\n";
+        let nets = parse_nets(text).expect("parses");
+        assert_eq!(nets.len(), 2);
+        assert_eq!(nets[0].name, "alpha");
+        assert_eq!(nets[1].name, "net1");
+        assert_eq!(nets[0].pins[0], PinRecord { node: "a".into(), dir: 'O', dx: 2.0, dy: 6.0 });
+        assert_eq!(nets[1].pins[1].dx, -2.0);
+    }
+
+    #[test]
+    fn nets_pin_without_offsets_defaults_to_center() {
+        let text = "NetDegree : 1 n\n a I\n";
+        let nets = parse_nets(text).expect("parses");
+        assert_eq!(nets[0].pins[0].dx, 0.0);
+        assert_eq!(nets[0].pins[0].dy, 0.0);
+    }
+
+    #[test]
+    fn orphan_pin_is_an_error() {
+        let err = parse_nets(" a I : 0 0\n").unwrap_err();
+        assert!(matches!(err, ParseBookshelfError::Malformed { file: "nets", .. }));
+    }
+
+    #[test]
+    fn pl_parser_reads_positions_and_fixed() {
+        let text = "UCLA pl 1.0\n a 12.5 24 : N\n pad0 0 0 : N /FIXED\n";
+        let pl = parse_pl(text).expect("parses");
+        assert_eq!(pl[0], PlRecord { node: "a".into(), x: 12.5, y: 24.0, fixed: false });
+        assert!(pl[1].fixed);
+    }
+
+    #[test]
+    fn scl_parser_reads_rows() {
+        let text = "UCLA scl 1.0\nNumRows : 2\nCoreRow Horizontal\n Coordinate : 0\n Height : 12\n Sitewidth : 1\n Sitespacing : 1\n SubrowOrigin : 5 NumSites : 90\nEnd\nCoreRow Horizontal\n Coordinate : 12\n Height : 12\n Sitespacing : 2\n SubrowOrigin : 0 NumSites : 50\nEnd\n";
+        let rows = parse_scl(text).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], SclRow { coordinate: 0.0, height: 12.0, origin_x: 5.0, width: 90.0 });
+        assert_eq!(rows[1].width, 100.0);
+    }
+
+    #[test]
+    fn aux_parser() {
+        let files = parse_aux("RowBasedPlacement :  x.nodes x.nets x.pl x.scl\n").expect("parses");
+        assert_eq!(files.len(), 4);
+        assert!(parse_aux("no colon here").is_err());
+        assert!(parse_aux("").is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Writers for the Bookshelf file family.
+
+use dpm_netlist::{CellKind, Netlist, PinDir};
+use dpm_place::{Die, Placement};
+use std::fmt::Write as _;
+
+/// A design staged for Bookshelf export.
+///
+/// Borrowless snapshot: `from_parts` copies what it needs so the design
+/// can outlive its sources (handy when exporting a placement mid-flow).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_bookshelf::BookshelfDesign;
+///
+/// let bench = dpm_gen::CircuitSpec::small(9).generate();
+/// let design = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+/// let aux = design.write_aux("mychip");
+/// assert!(aux.contains("mychip.nodes"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BookshelfDesign {
+    nodes: String,
+    nets: String,
+    pl: String,
+    scl: String,
+}
+
+impl BookshelfDesign {
+    /// Captures a netlist + die + placement for export.
+    pub fn from_parts(netlist: &Netlist, die: &Die, placement: &Placement) -> Self {
+        Self {
+            nodes: render_nodes(netlist),
+            nets: render_nets(netlist),
+            pl: render_pl(netlist, placement),
+            scl: render_scl(die),
+        }
+    }
+
+    /// The `.nodes` file contents.
+    pub fn write_nodes(&self) -> String {
+        self.nodes.clone()
+    }
+
+    /// The `.nets` file contents.
+    pub fn write_nets(&self) -> String {
+        self.nets.clone()
+    }
+
+    /// The `.pl` file contents.
+    pub fn write_pl(&self) -> String {
+        self.pl.clone()
+    }
+
+    /// The `.scl` file contents.
+    pub fn write_scl(&self) -> String {
+        self.scl.clone()
+    }
+
+    /// The `.aux` file contents for a design named `base`.
+    pub fn write_aux(&self, base: &str) -> String {
+        format!("RowBasedPlacement : {base}.nodes {base}.nets {base}.pl {base}.scl\n")
+    }
+
+    /// Writes all five files into `dir` with the given base name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from file creation.
+    pub fn save_to(&self, dir: &std::path::Path, base: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{base}.nodes")), &self.nodes)?;
+        std::fs::write(dir.join(format!("{base}.nets")), &self.nets)?;
+        std::fs::write(dir.join(format!("{base}.pl")), &self.pl)?;
+        std::fs::write(dir.join(format!("{base}.scl")), &self.scl)?;
+        std::fs::write(dir.join(format!("{base}.aux")), self.write_aux(base))?;
+        Ok(())
+    }
+}
+
+fn render_nodes(netlist: &Netlist) -> String {
+    let mut out = String::from("UCLA nodes 1.0\n# exported by diffuplace\n\n");
+    let terminals = netlist
+        .cell_ids()
+        .filter(|&c| !netlist.cell(c).kind.is_movable())
+        .count();
+    let _ = writeln!(out, "NumNodes : {}", netlist.num_cells());
+    let _ = writeln!(out, "NumTerminals : {terminals}");
+    for id in netlist.cell_ids() {
+        let c = netlist.cell(id);
+        if c.kind == CellKind::Movable {
+            let _ = writeln!(out, "   {}  {}  {}", c.name, c.width, c.height);
+        } else {
+            let _ = writeln!(out, "   {}  {}  {}  terminal", c.name, c.width, c.height);
+        }
+    }
+    out
+}
+
+fn render_nets(netlist: &Netlist) -> String {
+    let mut out = String::from("UCLA nets 1.0\n# exported by diffuplace\n\n");
+    let _ = writeln!(out, "NumNets : {}", netlist.num_nets());
+    let _ = writeln!(out, "NumPins : {}", netlist.num_pins());
+    for nid in netlist.net_ids() {
+        let net = netlist.net(nid);
+        let _ = writeln!(out, "NetDegree : {}  {}", net.pins.len(), net.name);
+        for &p in &net.pins {
+            let pin = netlist.pin(p);
+            let cell = netlist.cell(pin.cell);
+            let dir = match pin.dir {
+                PinDir::Output => 'O',
+                PinDir::Input => 'I',
+            };
+            // Bookshelf offsets are center-relative.
+            let dx = pin.offset.x - cell.width / 2.0;
+            let dy = pin.offset.y - cell.height / 2.0;
+            let _ = writeln!(out, "   {}  {}  :  {}  {}", cell.name, dir, dx, dy);
+        }
+    }
+    out
+}
+
+fn render_pl(netlist: &Netlist, placement: &Placement) -> String {
+    let mut out = String::from("UCLA pl 1.0\n# exported by diffuplace\n\n");
+    for id in netlist.cell_ids() {
+        let c = netlist.cell(id);
+        let p = placement.get(id);
+        if c.kind.is_movable() {
+            let _ = writeln!(out, "{}  {}  {}  :  N", c.name, p.x, p.y);
+        } else {
+            let _ = writeln!(out, "{}  {}  {}  :  N  /FIXED", c.name, p.x, p.y);
+        }
+    }
+    out
+}
+
+fn render_scl(die: &Die) -> String {
+    let mut out = String::from("UCLA scl 1.0\n# exported by diffuplace\n\n");
+    let _ = writeln!(out, "NumRows : {}", die.num_rows());
+    for row in die.rows() {
+        let _ = writeln!(out, "CoreRow Horizontal");
+        let _ = writeln!(out, "  Coordinate    : {}", row.y);
+        let _ = writeln!(out, "  Height        : {}", die.row_height());
+        let _ = writeln!(out, "  Sitewidth     : 1");
+        let _ = writeln!(out, "  Sitespacing   : 1");
+        let _ = writeln!(out, "  Siteorient    : N");
+        let _ = writeln!(out, "  Sitesymmetry  : Y");
+        let _ = writeln!(
+            out,
+            "  SubrowOrigin  : {}  NumSites  : {}",
+            row.llx,
+            row.width() as u64
+        );
+        let _ = writeln!(out, "End");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_nets, parse_nodes, parse_pl, parse_scl};
+    use dpm_gen::CircuitSpec;
+
+    #[test]
+    fn written_files_have_headers_and_counts() {
+        let bench = CircuitSpec::small(41).generate();
+        let d = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+        assert!(d.write_nodes().starts_with("UCLA nodes 1.0"));
+        assert!(d.write_nets().contains(&format!("NumNets : {}", bench.netlist.num_nets())));
+        assert!(d.write_scl().contains(&format!("NumRows : {}", bench.die.num_rows())));
+        assert!(d.write_pl().contains("/FIXED")); // pads are fixed
+    }
+
+    #[test]
+    fn writers_and_parsers_agree() {
+        let bench = CircuitSpec::small(42).generate();
+        let d = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+        assert_eq!(parse_nodes(&d.write_nodes()).expect("nodes").len(), bench.netlist.num_cells());
+        assert_eq!(parse_nets(&d.write_nets()).expect("nets").len(), bench.netlist.num_nets());
+        assert_eq!(parse_pl(&d.write_pl()).expect("pl").len(), bench.netlist.num_cells());
+        assert_eq!(parse_scl(&d.write_scl()).expect("scl").len(), bench.die.num_rows());
+    }
+
+    #[test]
+    fn save_to_writes_five_files() {
+        let bench = CircuitSpec::small(43).generate();
+        let d = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+        let dir = std::env::temp_dir().join("dpm_bookshelf_test");
+        d.save_to(&dir, "t").expect("writes");
+        for ext in ["nodes", "nets", "pl", "scl", "aux"] {
+            assert!(dir.join(format!("t.{ext}")).exists(), "missing .{ext}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+
+//! RUDY-style routing-congestion estimation.
+//!
+//! The paper reports wiring-congestion improvements "after global
+//! routing"; this crate is the workspace's stand-in for a global router:
+//! the RUDY estimator (Rectangular Uniform wire DensitY, Spindler &
+//! Johannes, DATE 2007). Each net smears a routing demand of
+//! `hpwl / bbox_area` uniformly over its bounding box; summing over nets
+//! gives a per-bin demand map whose hot spots track where a real router
+//! would congest. RUDY is monotone in exactly what placement migration
+//! changes — how far apart connected cells sit — which is all the
+//! comparison needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_geom::{Point, Rect};
+//! use dpm_netlist::{NetlistBuilder, CellKind, PinDir};
+//! use dpm_place::{BinGrid, Placement};
+//! use dpm_congestion::CongestionMap;
+//!
+//! let mut b = NetlistBuilder::new();
+//! let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+//! let v = b.add_cell("v", 2.0, 2.0, CellKind::Movable);
+//! let n = b.add_net("n");
+//! b.connect(u, n, PinDir::Output, 1.0, 1.0);
+//! b.connect(v, n, PinDir::Input, 1.0, 1.0);
+//! let nl = b.build()?;
+//! let mut p = Placement::new(2);
+//! p.set(u, Point::new(10.0, 10.0));
+//! p.set(v, Point::new(30.0, 10.0));
+//!
+//! let grid = BinGrid::new(Rect::new(0.0, 0.0, 60.0, 60.0), 10.0);
+//! let map = CongestionMap::build(&nl, &p, grid);
+//! assert!(map.max_demand() > 0.0);
+//! # Ok::<(), dpm_netlist::BuildNetlistError>(())
+//! ```
+
+use dpm_geom::Rect;
+use dpm_netlist::Netlist;
+use dpm_place::{net_bbox, BinGrid, BinIdx, Placement};
+
+/// Per-bin routing-demand map computed with the RUDY model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMap {
+    grid: BinGrid,
+    demand: Vec<f64>,
+}
+
+impl CongestionMap {
+    /// Minimum bounding-box edge (in world units) used when a net's pins
+    /// are collinear or coincident, so demand never divides by zero.
+    pub const MIN_EDGE: f64 = 1.0;
+
+    /// Builds the demand map for a placement.
+    ///
+    /// Every net with at least two pins adds `(w + h) / (w · h)` demand
+    /// density over its bounding box (`w`, `h` clamped below by one
+    /// routing track so degenerate boxes stay finite). The contribution
+    /// to a bin is the density times the overlap area, normalized by the
+    /// bin area.
+    pub fn build(netlist: &Netlist, placement: &Placement, grid: BinGrid) -> Self {
+        let mut demand = vec![0.0; grid.len()];
+        let bin_area = grid.bin_area();
+        for net in netlist.net_ids() {
+            if netlist.net(net).pins.len() < 2 {
+                continue;
+            }
+            let Some(bbox) = net_bbox(netlist, placement, net) else {
+                continue;
+            };
+            let w = bbox.width().max(Self::MIN_EDGE);
+            let h = bbox.height().max(Self::MIN_EDGE);
+            let density = (w + h) / (w * h);
+            let r = Rect::new(bbox.llx, bbox.lly, bbox.llx + w, bbox.lly + h);
+            let Some((lo, hi)) = grid.bins_overlapping(&r) else {
+                continue;
+            };
+            for k in lo.k..=hi.k {
+                for j in lo.j..=hi.j {
+                    let idx = BinIdx::new(j, k);
+                    let overlap = grid.bin_rect(idx).overlap_area(&r);
+                    demand[grid.flat(idx)] += density * overlap / bin_area;
+                }
+            }
+        }
+        Self { grid, demand }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &BinGrid {
+        &self.grid
+    }
+
+    /// Raw per-bin demand, row-major.
+    pub fn demands(&self) -> &[f64] {
+        &self.demand
+    }
+
+    /// Demand of one bin.
+    pub fn demand(&self, idx: BinIdx) -> f64 {
+        self.demand[self.grid.flat(idx)]
+    }
+
+    /// Maximum bin demand.
+    pub fn max_demand(&self) -> f64 {
+        self.demand.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total demand above `capacity`, summed over bins — the congestion
+    /// overflow metric used by the benchmark harness.
+    pub fn total_overflow(&self, capacity: f64) -> f64 {
+        self.demand.iter().map(|&d| (d - capacity).max(0.0)).sum()
+    }
+
+    /// Number of bins whose demand exceeds `capacity`.
+    pub fn hot_bins(&self, capacity: f64) -> usize {
+        self.demand.iter().filter(|&&d| d > capacity).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+
+    fn two_cell_net(u_at: Point, v_at: Point) -> (Netlist, Placement) {
+        let mut b = NetlistBuilder::new();
+        let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+        let v = b.add_cell("v", 2.0, 2.0, CellKind::Movable);
+        let n = b.add_net("n");
+        b.connect(u, n, PinDir::Output, 1.0, 1.0);
+        b.connect(v, n, PinDir::Input, 1.0, 1.0);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(2);
+        p.set(u, u_at);
+        p.set(v, v_at);
+        (nl, p)
+    }
+
+    fn grid() -> BinGrid {
+        BinGrid::new(Rect::new(0.0, 0.0, 60.0, 60.0), 10.0)
+    }
+
+    #[test]
+    fn empty_netlist_has_zero_demand() {
+        let nl = NetlistBuilder::new().build().expect("empty");
+        let p = Placement::new(0);
+        let m = CongestionMap::build(&nl, &p, grid());
+        assert_eq!(m.max_demand(), 0.0);
+        assert_eq!(m.total_overflow(0.0), 0.0);
+        assert_eq!(m.hot_bins(0.0), 0);
+    }
+
+    #[test]
+    fn demand_concentrates_on_net_bbox() {
+        let (nl, p) = two_cell_net(Point::new(10.0, 10.0), Point::new(30.0, 10.0));
+        let m = CongestionMap::build(&nl, &p, grid());
+        // Net bbox runs x 11..31 at y 11: demand lands in row k=1.
+        assert!(m.demand(BinIdx::new(1, 1)) > 0.0);
+        assert_eq!(m.demand(BinIdx::new(5, 5)), 0.0);
+    }
+
+    #[test]
+    fn overlapping_nets_stack_demand() {
+        let mut b = NetlistBuilder::new();
+        let mut ids = Vec::new();
+        for i in 0..4 {
+            ids.push(b.add_cell(format!("c{i}"), 2.0, 2.0, CellKind::Movable));
+        }
+        let n1 = b.add_net("n1");
+        b.connect(ids[0], n1, PinDir::Output, 1.0, 1.0);
+        b.connect(ids[1], n1, PinDir::Input, 1.0, 1.0);
+        let n2 = b.add_net("n2");
+        b.connect(ids[2], n2, PinDir::Output, 1.0, 1.0);
+        b.connect(ids[3], n2, PinDir::Input, 1.0, 1.0);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(4);
+        // Both nets span the same region.
+        p.set(ids[0], Point::new(10.0, 10.0));
+        p.set(ids[1], Point::new(30.0, 10.0));
+        p.set(ids[2], Point::new(10.0, 10.0));
+        p.set(ids[3], Point::new(30.0, 10.0));
+        let stacked = CongestionMap::build(&nl, &p, grid());
+        // Move the second net elsewhere.
+        p.set(ids[2], Point::new(10.0, 40.0));
+        p.set(ids[3], Point::new(30.0, 40.0));
+        let spread = CongestionMap::build(&nl, &p, grid());
+        assert!(stacked.max_demand() > spread.max_demand());
+    }
+
+    #[test]
+    fn single_pin_nets_ignored() {
+        let mut b = NetlistBuilder::new();
+        let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+        let n = b.add_net("n");
+        b.connect(u, n, PinDir::Output, 1.0, 1.0);
+        let nl = b.build().expect("valid");
+        let p = Placement::new(1);
+        let m = CongestionMap::build(&nl, &p, grid());
+        assert_eq!(m.max_demand(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_bbox_uses_min_edge() {
+        // Vertical net: zero-width bbox must still produce finite demand.
+        let (nl, p) = two_cell_net(Point::new(10.0, 10.0), Point::new(10.0, 40.0));
+        let m = CongestionMap::build(&nl, &p, grid());
+        assert!(m.max_demand().is_finite());
+        assert!(m.max_demand() > 0.0);
+    }
+
+    #[test]
+    fn hot_bins_counts_threshold_crossings() {
+        let (nl, p) = two_cell_net(Point::new(10.0, 10.0), Point::new(30.0, 10.0));
+        let m = CongestionMap::build(&nl, &p, grid());
+        assert!(m.hot_bins(0.0) > 0);
+        assert_eq!(m.hot_bins(f64::INFINITY), 0);
+        assert!(m.total_overflow(0.0) > 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Cell advection through the diffusion velocity field (paper Eq. 7).
+
+use crate::{DiffusionConfig, DiffusionEngine};
+use dpm_geom::{clamp, Point};
+use dpm_netlist::Netlist;
+use dpm_place::{BinGrid, Placement};
+
+/// Result of advecting all cells through one time step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdvectOutcome {
+    /// Sum of world-space displacements this step.
+    pub total_movement: f64,
+    /// Number of cells that moved.
+    pub moved_cells: usize,
+}
+
+/// Moves every movable cell one step along the velocity field:
+/// `x(n+1) = x(n) + v(x(n), y(n)) · Δt` (Eq. 7), with the velocity taken
+/// at the cell *center*, bilinearly interpolated when
+/// [`DiffusionConfig::interpolate`] is set.
+///
+/// Rules enforced, in order:
+///
+/// 1. cells whose center sits in a wall or (when `respect_frozen`) frozen
+///    bin do not move;
+/// 2. the per-step displacement is clamped to
+///    [`DiffusionConfig::max_step_displacement`] bins (CFL);
+/// 3. a move whose destination bin is a wall is projected onto the axis
+///    that stays outside the wall (cells slide around macros, never onto
+///    them);
+/// 4. the cell is clamped so its outline stays inside the grid region.
+pub(crate) fn advect_cells(
+    engine: &DiffusionEngine,
+    grid: &BinGrid,
+    netlist: &Netlist,
+    placement: &mut Placement,
+    cfg: &DiffusionConfig,
+    respect_frozen: bool,
+) -> AdvectOutcome {
+    let mut outcome = AdvectOutcome::default();
+    let nx = engine.nx() as f64;
+    let ny = engine.ny() as f64;
+
+    for cell_id in netlist.movable_cell_ids() {
+        let cell = netlist.cell(cell_id);
+        let old_pos = placement.get(cell_id);
+        let center_world = Point::new(old_pos.x + cell.width / 2.0, old_pos.y + cell.height / 2.0);
+        let c = grid.to_bin_coords(center_world);
+
+        let (j, k) = bin_of(c, engine);
+        if engine.is_wall(j, k) {
+            continue;
+        }
+        if respect_frozen && engine.is_frozen(j, k) {
+            continue;
+        }
+
+        let v = if cfg.interpolate {
+            engine.velocity_at(c)
+        } else {
+            engine.bin_velocity(j, k)
+        };
+        let disp = (v * cfg.dt).clamped_linf(cfg.max_step_displacement);
+        if disp.linf_length() == 0.0 {
+            continue;
+        }
+
+        // Keep the cell outline inside the region (all in bin coords).
+        let half_w = cell.width / (2.0 * grid.bin_width());
+        let half_h = cell.height / (2.0 * grid.bin_height());
+        let lim = |v: f64, half: f64, n: f64| {
+            if 2.0 * half >= n {
+                n / 2.0 // cell wider than region: pin to the middle
+            } else {
+                clamp(v, half, n - half)
+            }
+        };
+        let mut target = Point::new(lim(c.x + disp.x, half_w, nx), lim(c.y + disp.y, half_h, ny));
+
+        // Never step onto a macro: project the move axis-wise.
+        let (tj, tk) = bin_of(target, engine);
+        if engine.is_wall(tj, tk) {
+            let x_only = Point::new(target.x, c.y);
+            let (xj, xk) = bin_of(x_only, engine);
+            let y_only = Point::new(c.x, target.y);
+            let (yj, yk) = bin_of(y_only, engine);
+            if !engine.is_wall(xj, xk) {
+                target = x_only;
+            } else if !engine.is_wall(yj, yk) {
+                target = y_only;
+            } else {
+                continue;
+            }
+        }
+
+        let new_center_world = grid.to_world_coords(target);
+        let new_pos = Point::new(
+            new_center_world.x - cell.width / 2.0,
+            new_center_world.y - cell.height / 2.0,
+        );
+        let dist = (new_pos - old_pos).length();
+        if dist > 0.0 {
+            placement.set(cell_id, new_pos);
+            outcome.total_movement += dist;
+            outcome.moved_cells += 1;
+        }
+    }
+    outcome
+}
+
+/// The (clamped) bin containing a point in bin coordinates.
+fn bin_of(p: Point, engine: &DiffusionEngine) -> (usize, usize) {
+    let j = (p.x.floor().max(0.0) as usize).min(engine.nx() - 1);
+    let k = (p.y.floor().max(0.0) as usize).min(engine.ny() - 1);
+    (j, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Rect;
+    use dpm_netlist::{CellKind, NetlistBuilder};
+
+    /// One 2×2 cell on a 4×4 grid of 10-unit bins.
+    fn setup(at_world: Point) -> (Netlist, Placement, BinGrid) {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("c", 2.0, 2.0, CellKind::Movable);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(1);
+        p.set(c, at_world);
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+        (nl, p, grid)
+    }
+
+    fn engine_with_uniform_velocity(vx: f64, vy: f64) -> DiffusionEngine {
+        let mut e = DiffusionEngine::from_raw(4, 4, vec![1.0; 16], None);
+        for k in 0..4 {
+            for j in 0..4 {
+                e.set_bin_velocity(j, k, dpm_geom::Vector::new(vx, vy));
+            }
+        }
+        e
+    }
+
+    #[test]
+    fn cell_moves_along_field() {
+        let (nl, mut p, grid) = setup(Point::new(14.0, 14.0));
+        let e = engine_with_uniform_velocity(1.0, 0.0);
+        let cfg = DiffusionConfig::default();
+        let out = advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
+        assert_eq!(out.moved_cells, 1);
+        // v = 1 bin per unit time, dt = 0.2 → 0.2 bins = 2 world units.
+        let np = p.get(dpm_netlist::CellId::new(0));
+        assert!((np.x - 16.0).abs() < 1e-9, "x = {}", np.x);
+        assert!((np.y - 14.0).abs() < 1e-9);
+        assert!((out.total_movement - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displacement_is_cfl_clamped() {
+        let (nl, mut p, grid) = setup(Point::new(14.0, 14.0));
+        let e = engine_with_uniform_velocity(100.0, 0.0); // absurd speed
+        let cfg = DiffusionConfig::default();
+        advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
+        let np = p.get(dpm_netlist::CellId::new(0));
+        // At most 1 bin = 10 world units.
+        assert!(np.x - 14.0 <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn cell_never_leaves_region() {
+        let (nl, mut p, grid) = setup(Point::new(36.0, 36.0));
+        let e = engine_with_uniform_velocity(5.0, 5.0);
+        let cfg = DiffusionConfig::default();
+        for _ in 0..20 {
+            advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
+        }
+        let r = p.cell_rect(&nl, dpm_netlist::CellId::new(0));
+        assert!(grid.region().contains_rect(&r), "cell escaped: {r}");
+    }
+
+    #[test]
+    fn cell_slides_around_wall() {
+        let (nl, mut p, grid) = setup(Point::new(14.0, 14.0)); // center (15,15), bin (1,1)
+        let mut d = vec![1.0; 16];
+        d[1 * 4 + 2] = 1.0;
+        let mut wall = vec![false; 16];
+        wall[1 * 4 + 2] = true; // bin (2,1) east of the cell
+        let mut e = DiffusionEngine::from_raw(4, 4, d, Some(wall));
+        for k in 0..4 {
+            for j in 0..4 {
+                e.set_bin_velocity(j, k, dpm_geom::Vector::new(5.0, 5.0));
+            }
+        }
+        let cfg = DiffusionConfig::default();
+        advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
+        let center = p.cell_center(&nl, dpm_netlist::CellId::new(0));
+        let b = grid.bin_of_point(center);
+        assert!(!(b.j == 2 && b.k == 1), "cell moved onto the macro");
+        // It still moved (slid north).
+        assert!(center.y > 15.0);
+    }
+
+    #[test]
+    fn frozen_bin_pins_cells_when_respected() {
+        let (nl, mut p, grid) = setup(Point::new(14.0, 14.0));
+        let mut e = engine_with_uniform_velocity(1.0, 1.0);
+        let mut frozen = vec![false; 16];
+        frozen[1 * 4 + 1] = true; // the cell's own bin
+        e.set_frozen_mask(&frozen);
+        let cfg = DiffusionConfig::default();
+        let out = advect_cells(&e, &grid, &nl, &mut p, &cfg, true);
+        assert_eq!(out.moved_cells, 0);
+        assert_eq!(p.get(dpm_netlist::CellId::new(0)), Point::new(14.0, 14.0));
+        // Without respect_frozen the cell moves.
+        let out2 = advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
+        assert_eq!(out2.moved_cells, 1);
+    }
+
+    #[test]
+    fn zero_velocity_means_no_movement() {
+        let (nl, mut p, grid) = setup(Point::new(14.0, 14.0));
+        let e = engine_with_uniform_velocity(0.0, 0.0);
+        let cfg = DiffusionConfig::default();
+        let out = advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
+        assert_eq!(out, AdvectOutcome::default());
+    }
+}

@@ -1,0 +1,283 @@
+//! Diffusion parameters.
+
+/// Tunable parameters of the diffusion process and its legalization
+/// wrappers.
+///
+/// Defaults follow the paper's recommendations from Section VII-C:
+/// target density 1.0, `Δt = 0.2` (safely inside the FTCS stability
+/// region `Δt ≤ 0.5` for the paper's `Δt/2` Laplacian coefficients and
+/// the CFL bound `|v|·Δt ≤ 1` bin), analysis/diffusion window
+/// `W1 = W2 = 2`, density-update period `N_U = 30`, and a bin size of a
+/// few row heights (set per design via [`with_bin_size`]).
+///
+/// The type is a plain value: build one with [`Default::default`] and
+/// chain `with_*` setters.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_diffusion::DiffusionConfig;
+///
+/// let cfg = DiffusionConfig::default()
+///     .with_bin_size(30.0)
+///     .with_d_max(0.9)
+///     .with_windows(2, 3)
+///     .with_update_period(15);
+/// assert_eq!(cfg.d_max, 0.9);
+/// assert_eq!(cfg.w2, 3);
+/// ```
+///
+/// [`with_bin_size`]: DiffusionConfig::with_bin_size
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffusionConfig {
+    /// Bin edge length in world units. The paper's sweet spot is 2–4 row
+    /// heights (Fig. 11).
+    pub bin_size: f64,
+    /// Maximum allowed bin density `d_max` (commonly 1.0).
+    pub d_max: f64,
+    /// Convergence tolerance `Δ`: global diffusion stops when the maximum
+    /// computed density is at most `d_max + delta`. The default (0.2)
+    /// leaves a residue for the detailed legalizer — the paper's "close
+    /// to legal" state where only row snapping and minor sliding remain;
+    /// chasing a tighter tolerance over-spreads (more movement, worse
+    /// wirelength) for no legality benefit. The ablation benches sweep
+    /// this.
+    pub delta: f64,
+    /// Discrete time step `Δt` of the FTCS scheme.
+    pub dt: f64,
+    /// Diffusivity `D` of Eq. 1 (the paper sets `D = 1`). Scales how fast
+    /// density spreads relative to cell motion; the stability requirement
+    /// is `D·Δt ≤ 0.5`.
+    pub diffusivity: f64,
+    /// Hard cap on diffusion steps (guards non-convergent settings).
+    pub max_steps: usize,
+    /// Apply density-map manipulation (Eq. 8) before global diffusion.
+    pub manipulate: bool,
+    /// Use bilinear velocity interpolation (Eq. 6); turning this off
+    /// assigns every cell its bin's velocity (the ablation of Sec. IV-C).
+    pub interpolate: bool,
+    /// Analysis window `W1` of Algorithm 2 (Chebyshev radius in bins).
+    pub w1: usize,
+    /// Diffusion window `W2 ≥ W1` of Algorithm 2.
+    pub w2: usize,
+    /// Density-update period `N_U`: local diffusion re-measures real
+    /// placement density every `n_u` steps (Section VI-B).
+    pub n_u: usize,
+    /// Hard cap on local-diffusion rounds.
+    pub max_rounds: usize,
+    /// Largest per-step displacement, in bins (CFL-style clamp).
+    pub max_step_displacement: f64,
+    /// Use the paper's literal (non-conservative) boundary rule for the
+    /// density step instead of the conservative zero-flux ghost. See
+    /// [`DiffusionEngine::set_conservative_boundaries`](crate::DiffusionEngine::set_conservative_boundaries).
+    pub paper_boundaries: bool,
+    /// Worker threads for the FTCS density step (1 = serial; results are
+    /// identical either way).
+    pub threads: usize,
+}
+
+impl Default for DiffusionConfig {
+    fn default() -> Self {
+        Self {
+            bin_size: 30.0,
+            d_max: 1.0,
+            delta: 0.2,
+            dt: 0.2,
+            diffusivity: 1.0,
+            max_steps: 5000,
+            manipulate: true,
+            interpolate: true,
+            w1: 2,
+            w2: 2,
+            n_u: 30,
+            max_rounds: 200,
+            max_step_displacement: 1.0,
+            paper_boundaries: false,
+            threads: 1,
+        }
+    }
+}
+
+impl DiffusionConfig {
+    /// Creates the default configuration (same as [`Default::default`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bin edge length in world units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_size` is not positive and finite.
+    pub fn with_bin_size(mut self, bin_size: f64) -> Self {
+        assert!(bin_size.is_finite() && bin_size > 0.0, "bin size must be positive");
+        self.bin_size = bin_size;
+        self
+    }
+
+    /// Sets the target maximum density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_max` is not positive and finite.
+    pub fn with_d_max(mut self, d_max: f64) -> Self {
+        assert!(d_max.is_finite() && d_max > 0.0, "d_max must be positive");
+        self.d_max = d_max;
+        self
+    }
+
+    /// Sets the FTCS time step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is outside `(0, 0.5]` — larger steps violate the
+    /// stability condition of the discretization (Section VII-D).
+    pub fn with_dt(mut self, dt: f64) -> Self {
+        assert!(dt > 0.0 && dt <= 0.5, "dt must be in (0, 0.5] for FTCS stability");
+        self.dt = dt;
+        self
+    }
+
+    /// Sets the diffusivity `D` (Eq. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `D` is not positive or `D·Δt` leaves the FTCS stability
+    /// region `(0, 0.5]`.
+    pub fn with_diffusivity(mut self, diffusivity: f64) -> Self {
+        assert!(diffusivity > 0.0, "diffusivity must be positive");
+        assert!(
+            diffusivity * self.dt <= 0.5,
+            "D*dt must be at most 0.5 for FTCS stability"
+        );
+        self.diffusivity = diffusivity;
+        self
+    }
+
+    /// Sets the convergence tolerance `Δ`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!(delta >= 0.0, "delta must be non-negative");
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the step cap.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Enables/disables density-map manipulation (Eq. 8).
+    pub fn with_manipulation(mut self, on: bool) -> Self {
+        self.manipulate = on;
+        self
+    }
+
+    /// Enables/disables bilinear velocity interpolation (Eq. 6).
+    pub fn with_interpolation(mut self, on: bool) -> Self {
+        self.interpolate = on;
+        self
+    }
+
+    /// Sets the analysis and diffusion window radii of Algorithm 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w2 < w1` (the paper requires `W2 ≥ W1`).
+    pub fn with_windows(mut self, w1: usize, w2: usize) -> Self {
+        assert!(w2 >= w1, "W2 must be at least W1");
+        self.w1 = w1;
+        self.w2 = w2;
+        self
+    }
+
+    /// Sets the density-update period `N_U`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_u` is zero.
+    pub fn with_update_period(mut self, n_u: usize) -> Self {
+        assert!(n_u > 0, "N_U must be positive");
+        self.n_u = n_u;
+        self
+    }
+
+    /// Sets the cap on local-diffusion rounds.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Sets the FTCS worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the paper's literal boundary rule (non-conservative) for
+    /// the density step. Off by default; see
+    /// [`DiffusionEngine::set_conservative_boundaries`](crate::DiffusionEngine::set_conservative_boundaries)
+    /// for why.
+    pub fn with_paper_boundaries(mut self, on: bool) -> Self {
+        self.paper_boundaries = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_recommendations() {
+        let c = DiffusionConfig::default();
+        assert_eq!(c.d_max, 1.0);
+        assert_eq!(c.dt, 0.2);
+        assert_eq!(c.n_u, 30);
+        assert_eq!((c.w1, c.w2), (2, 2));
+        assert!(c.manipulate);
+        assert!(c.interpolate);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = DiffusionConfig::new()
+            .with_bin_size(20.0)
+            .with_d_max(0.8)
+            .with_dt(0.25)
+            .with_delta(0.01)
+            .with_max_steps(100)
+            .with_manipulation(false)
+            .with_interpolation(false)
+            .with_windows(1, 4)
+            .with_update_period(5)
+            .with_max_rounds(7);
+        assert_eq!(c.bin_size, 20.0);
+        assert_eq!(c.d_max, 0.8);
+        assert_eq!(c.dt, 0.25);
+        assert_eq!(c.delta, 0.01);
+        assert_eq!(c.max_steps, 100);
+        assert!(!c.manipulate);
+        assert!(!c.interpolate);
+        assert_eq!((c.w1, c.w2), (1, 4));
+        assert_eq!(c.n_u, 5);
+        assert_eq!(c.max_rounds, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_dt_rejected() {
+        let _ = DiffusionConfig::default().with_dt(0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "W2 must be at least W1")]
+    fn w2_smaller_than_w1_rejected() {
+        let _ = DiffusionConfig::default().with_windows(3, 1);
+    }
+}

@@ -1,0 +1,787 @@
+//! The discrete diffusion engine: FTCS density evolution and per-bin
+//! velocities over a wall-aware bin grid.
+
+use crate::velocity::interpolate_velocity;
+use dpm_geom::{Point, Vector};
+use dpm_place::DensityMap;
+
+/// Density below which a bin is considered empty for velocity purposes
+/// (guards the division in Eq. 5).
+const DENSITY_FLOOR: f64 = 1e-9;
+
+/// Discrete diffusion simulator over an `nx × ny` bin grid.
+///
+/// The engine holds the evolving density field `d(n)`, a *wall* mask
+/// (bins covered by fixed macros or outside the image — density never
+/// updates, velocity is zero, cells may not enter), and a *frozen* mask
+/// (bins excluded from the current local-diffusion window — treated like
+/// walls for the duration of a round, per Algorithm 2).
+///
+/// Coordinates are bin coordinates: bin `(j, k)` spans
+/// `[j, j+1) × [k, k+1)` with its center at `(j+0.5, k+0.5)`.
+///
+/// # Examples
+///
+/// The worked example of the paper's Fig. 1: with `Δt = 0.2`, a bin at
+/// density 1.0 whose neighbors hold 1.4/0.4 horizontally and 1.6/0.4
+/// vertically steps to 0.98 and gets velocity `(0.5, 0.6)`:
+///
+/// ```
+/// use dpm_diffusion::DiffusionEngine;
+///
+/// let mut d = vec![1.0; 16]; // 4×4 grid
+/// let at = |j: usize, k: usize| k * 4 + j;
+/// d[at(1, 1)] = 1.0;
+/// d[at(0, 1)] = 1.4;
+/// d[at(2, 1)] = 0.4;
+/// d[at(1, 0)] = 1.6;
+/// d[at(1, 2)] = 0.4;
+/// let mut e = DiffusionEngine::from_raw(4, 4, d, None);
+///
+/// e.compute_velocities();
+/// let v = e.bin_velocity(1, 1);
+/// assert!((v.x - 0.5).abs() < 1e-12);
+/// assert!((v.y - 0.6).abs() < 1e-12);
+///
+/// e.step_density(0.2);
+/// assert!((e.density(1, 1) - 0.98).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiffusionEngine {
+    nx: usize,
+    ny: usize,
+    density: Vec<f64>,
+    next: Vec<f64>,
+    wall: Vec<bool>,
+    frozen: Vec<bool>,
+    vx: Vec<f64>,
+    vy: Vec<f64>,
+    conservative: bool,
+    threads: usize,
+}
+
+/// Immutable view of the density field and masks, shared by the serial
+/// and parallel FTCS paths so their arithmetic cannot diverge.
+#[derive(Clone, Copy)]
+struct FieldView<'a> {
+    nx: usize,
+    ny: usize,
+    density: &'a [f64],
+    wall: &'a [bool],
+    frozen: &'a [bool],
+    conservative: bool,
+}
+
+impl FieldView<'_> {
+    #[inline]
+    fn at(&self, j: usize, k: usize) -> usize {
+        k * self.nx + j
+    }
+
+    /// Flat index of the neighbor if it exists and is live.
+    #[inline]
+    fn live_neighbor(&self, j: usize, k: usize, dj: isize, dk: isize) -> Option<usize> {
+        let nj = j as isize + dj;
+        let nk = k as isize + dk;
+        if nj < 0 || nk < 0 || nj >= self.nx as isize || nk >= self.ny as isize {
+            return None;
+        }
+        let i = self.at(nj as usize, nk as usize);
+        if self.wall[i] || self.frozen[i] {
+            None
+        } else {
+            Some(i)
+        }
+    }
+
+    /// Density of the neighbor of `(j, k)` in direction `(dj, dk)`, with
+    /// the paper's mirror boundary rule: if the neighbor is outside the
+    /// grid, a wall, or frozen, the *opposite* neighbor's density is used
+    /// (and the bin's own density if that is unavailable too), which
+    /// makes the normal gradient zero.
+    fn neighbor_density(&self, j: usize, k: usize, dj: isize, dk: isize) -> f64 {
+        match self.live_neighbor(j, k, dj, dk) {
+            Some(i) => self.density[i],
+            None => match self.live_neighbor(j, k, -dj, -dk) {
+                Some(i) => self.density[i],
+                None => self.density[self.at(j, k)],
+            },
+        }
+    }
+
+    /// Like [`neighbor_density`](Self::neighbor_density) but with the
+    /// conservative ghost (`d_ghost = d_center`) when enabled. Used only
+    /// by the density step; velocities always use the mirror rule so the
+    /// component normal to a boundary is exactly zero.
+    fn neighbor_density_for_step(&self, j: usize, k: usize, dj: isize, dk: isize) -> f64 {
+        if self.conservative {
+            match self.live_neighbor(j, k, dj, dk) {
+                Some(i) => self.density[i],
+                None => self.density[self.at(j, k)],
+            }
+        } else {
+            self.neighbor_density(j, k, dj, dk)
+        }
+    }
+
+    /// FTCS update of rows `k0..k1`, written into `out` (which covers
+    /// exactly those rows).
+    fn ftcs_rows(&self, k0: usize, k1: usize, half: f64, out: &mut [f64]) {
+        for k in k0..k1 {
+            for j in 0..self.nx {
+                let i = self.at(j, k);
+                let o = (k - k0) * self.nx + j;
+                if self.wall[i] || self.frozen[i] {
+                    out[o] = self.density[i];
+                    continue;
+                }
+                let d = self.density[i];
+                let de = self.neighbor_density_for_step(j, k, 1, 0);
+                let dw = self.neighbor_density_for_step(j, k, -1, 0);
+                let dn = self.neighbor_density_for_step(j, k, 0, 1);
+                let ds = self.neighbor_density_for_step(j, k, 0, -1);
+                out[o] = d + half * (de + dw - 2.0 * d) + half * (dn + ds - 2.0 * d);
+            }
+        }
+    }
+}
+
+impl DiffusionEngine {
+    /// Creates an engine from a measured [`DensityMap`] (macro bins become
+    /// walls).
+    pub fn from_density_map(map: &DensityMap) -> Self {
+        Self::from_raw(
+            map.grid().nx(),
+            map.grid().ny(),
+            map.densities().to_vec(),
+            Some(map.fixed_mask().to_vec()),
+        )
+    }
+
+    /// Creates an engine from raw row-major density values and an optional
+    /// wall mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match `nx * ny` or the grid is
+    /// empty.
+    pub fn from_raw(nx: usize, ny: usize, density: Vec<f64>, wall: Option<Vec<bool>>) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        assert_eq!(density.len(), nx * ny, "density buffer length mismatch");
+        let wall = wall.unwrap_or_else(|| vec![false; nx * ny]);
+        assert_eq!(wall.len(), nx * ny, "wall buffer length mismatch");
+        let n = nx * ny;
+        Self {
+            nx,
+            ny,
+            next: density.clone(),
+            density,
+            wall,
+            frozen: vec![false; n],
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            conservative: true,
+            threads: 1,
+        }
+    }
+
+    /// Switches between a conservative boundary rule (the default) and
+    /// the paper's literal rule.
+    ///
+    /// The paper (Section V-B) substitutes the *opposite* neighbor's
+    /// density for a missing neighbor at chip/macro boundaries. That makes
+    /// the worked examples of its Fig. 5 exact, but the resulting density
+    /// step does not conserve mass: flow toward a boundary is
+    /// double-counted by the boundary bin, so after density-map
+    /// manipulation (Eq. 8) the equilibrium can drift above `d_max` and
+    /// global diffusion never reaches its stopping criterion. With
+    /// `conservative = true` (the default) the engine instead uses the
+    /// bin's own density as the ghost value — a standard zero-flux
+    /// Neumann discretization that conserves the total live density
+    /// exactly. Velocity computation always uses the paper's mirror rule,
+    /// which guarantees zero velocity normal to every boundary.
+    ///
+    /// Pass `false` to reproduce the paper's printed boundary updates
+    /// (used by the Fig. 5 regression tests and the ablation bench).
+    pub fn set_conservative_boundaries(&mut self, conservative: bool) {
+        self.conservative = conservative;
+    }
+
+    /// Grid width in bins.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in bins.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    #[inline]
+    fn at(&self, j: usize, k: usize) -> usize {
+        debug_assert!(j < self.nx && k < self.ny);
+        k * self.nx + j
+    }
+
+    /// Density of bin `(j, k)`.
+    #[inline]
+    pub fn density(&self, j: usize, k: usize) -> f64 {
+        self.density[self.at(j, k)]
+    }
+
+    /// Overwrites the density of bin `(j, k)` (used by tests and by the
+    /// dynamic density update).
+    #[inline]
+    pub fn set_density(&mut self, j: usize, k: usize, d: f64) {
+        let i = self.at(j, k);
+        self.density[i] = d;
+    }
+
+    /// Raw row-major density buffer.
+    #[inline]
+    pub fn densities(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Replaces the whole density field (dynamic density update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the grid.
+    pub fn load_densities(&mut self, density: &[f64]) {
+        assert_eq!(density.len(), self.density.len(), "density buffer length mismatch");
+        self.density.copy_from_slice(density);
+    }
+
+    /// `true` if bin `(j, k)` is a wall (fixed macro).
+    #[inline]
+    pub fn is_wall(&self, j: usize, k: usize) -> bool {
+        self.wall[self.at(j, k)]
+    }
+
+    /// Row-major wall mask.
+    #[inline]
+    pub fn wall_mask(&self) -> &[bool] {
+        &self.wall
+    }
+
+    /// Row-major frozen mask.
+    #[inline]
+    pub fn frozen_mask(&self) -> &[bool] {
+        &self.frozen
+    }
+
+    /// `true` if bin `(j, k)` is frozen out of the current diffusion
+    /// window.
+    #[inline]
+    pub fn is_frozen(&self, j: usize, k: usize) -> bool {
+        self.frozen[self.at(j, k)]
+    }
+
+    /// `true` if the bin participates in diffusion (neither wall nor
+    /// frozen).
+    #[inline]
+    pub fn is_live(&self, j: usize, k: usize) -> bool {
+        let i = self.at(j, k);
+        !self.wall[i] && !self.frozen[i]
+    }
+
+    /// Installs a frozen mask (from [`identify_windows`]); `true` entries
+    /// are excluded from diffusion. Wall bins stay walls regardless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length does not match the grid.
+    ///
+    /// [`identify_windows`]: crate::identify_windows
+    pub fn set_frozen_mask(&mut self, frozen: &[bool]) {
+        assert_eq!(frozen.len(), self.frozen.len(), "frozen mask length mismatch");
+        self.frozen.copy_from_slice(frozen);
+    }
+
+    /// Unfreezes every bin (global diffusion mode).
+    pub fn clear_frozen(&mut self) {
+        self.frozen.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Number of live (diffusing) bins.
+    pub fn live_bins(&self) -> usize {
+        self.wall
+            .iter()
+            .zip(&self.frozen)
+            .filter(|(&w, &f)| !w && !f)
+            .count()
+    }
+
+    /// Maximum density over live bins (0 if none).
+    pub fn max_live_density(&self) -> f64 {
+        let mut m = 0.0f64;
+        for i in 0..self.density.len() {
+            if !self.wall[i] && !self.frozen[i] {
+                m = m.max(self.density[i]);
+            }
+        }
+        m
+    }
+
+    /// Sum of density over live bins.
+    pub fn total_live_density(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.density.len() {
+            if !self.wall[i] && !self.frozen[i] {
+                s += self.density[i];
+            }
+        }
+        s
+    }
+
+    /// Total overflow `Σ max(d − d_max, 0)` over live bins.
+    pub fn total_overflow(&self, d_max: f64) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.density.len() {
+            if !self.wall[i] && !self.frozen[i] {
+                s += (self.density[i] - d_max).max(0.0);
+            }
+        }
+        s
+    }
+
+    fn view(&self) -> FieldView<'_> {
+        FieldView {
+            nx: self.nx,
+            ny: self.ny,
+            density: &self.density,
+            wall: &self.wall,
+            frozen: &self.frozen,
+            conservative: self.conservative,
+        }
+    }
+
+    fn neighbor_density(&self, j: usize, k: usize, dj: isize, dk: isize) -> f64 {
+        self.view().neighbor_density(j, k, dj, dk)
+    }
+
+    /// Number of worker threads the density step may use (1 = serial).
+    ///
+    /// The FTCS update is embarrassingly parallel over bin rows; on large
+    /// grids (hundreds of bins per side) extra threads cut the step time
+    /// roughly linearly. Results are bit-identical to the serial path.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Advances the density field by one FTCS step (Eq. 4):
+    ///
+    /// `d(n+1) = d(n) + Δt/2·(d_E + d_W − 2d) + Δt/2·(d_N + d_S − 2d)`
+    ///
+    /// with mirror substitution at chip/macro boundaries (Section V-B).
+    /// Wall and frozen bins do not update.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `dt` is outside the stability region
+    /// `(0, 0.5]`.
+    pub fn step_density(&mut self, dt: f64) {
+        debug_assert!(dt > 0.0 && dt <= 0.5, "dt outside FTCS stability region");
+        let half = dt / 2.0;
+        let threads = self.threads.min(self.ny).max(1);
+        {
+            let view = FieldView {
+                nx: self.nx,
+                ny: self.ny,
+                density: &self.density,
+                wall: &self.wall,
+                frozen: &self.frozen,
+                conservative: self.conservative,
+            };
+            if threads == 1 || self.ny < 4 * threads {
+                view.ftcs_rows(0, self.ny, half, &mut self.next);
+            } else {
+                let rows_per = self.ny.div_ceil(threads);
+                let nx = self.nx;
+                std::thread::scope(|scope| {
+                    for (chunk_idx, out) in self.next.chunks_mut(rows_per * nx).enumerate() {
+                        let view = view;
+                        scope.spawn(move || {
+                            let k0 = chunk_idx * rows_per;
+                            let k1 = (k0 + out.len() / nx).min(view.ny);
+                            view.ftcs_rows(k0, k1, half, out);
+                        });
+                    }
+                });
+            }
+        }
+        std::mem::swap(&mut self.density, &mut self.next);
+    }
+
+    /// Recomputes the per-bin velocity field from the current density
+    /// (Eq. 5):
+    ///
+    /// `v_H = −(d_E − d_W) / (2d)` and `v_V = −(d_N − d_S) / (2d)`.
+    ///
+    /// Mirror substitution makes the component normal to a chip or macro
+    /// boundary zero, as the paper requires; wall and frozen bins have
+    /// zero velocity outright. Bins with (numerically) no density get zero
+    /// velocity — there is nothing there to move.
+    pub fn compute_velocities(&mut self) {
+        for k in 0..self.ny {
+            for j in 0..self.nx {
+                let i = self.at(j, k);
+                if self.wall[i] || self.frozen[i] {
+                    self.vx[i] = 0.0;
+                    self.vy[i] = 0.0;
+                    continue;
+                }
+                let d = self.density[i];
+                if d <= DENSITY_FLOOR {
+                    self.vx[i] = 0.0;
+                    self.vy[i] = 0.0;
+                    continue;
+                }
+                let de = self.neighbor_density(j, k, 1, 0);
+                let dw = self.neighbor_density(j, k, -1, 0);
+                let dn = self.neighbor_density(j, k, 0, 1);
+                let ds = self.neighbor_density(j, k, 0, -1);
+                self.vx[i] = -(de - dw) / (2.0 * d);
+                self.vy[i] = -(dn - ds) / (2.0 * d);
+            }
+        }
+    }
+
+    /// The velocity assigned to bin `(j, k)` by the latest
+    /// [`compute_velocities`](Self::compute_velocities) call.
+    #[inline]
+    pub fn bin_velocity(&self, j: usize, k: usize) -> Vector {
+        let i = self.at(j, k);
+        Vector::new(self.vx[i], self.vy[i])
+    }
+
+    /// Overrides a bin's velocity (test hook for the paper's worked
+    /// interpolation example).
+    #[inline]
+    pub fn set_bin_velocity(&mut self, j: usize, k: usize, v: Vector) {
+        let i = self.at(j, k);
+        self.vx[i] = v.x;
+        self.vy[i] = v.y;
+    }
+
+    /// The velocity at an arbitrary point in bin coordinates, bilinearly
+    /// interpolated between the four nearest bin centers (Eq. 6).
+    ///
+    /// Points within half a bin of the grid edge clamp to the edge bin's
+    /// velocity (velocity is replicated outward).
+    pub fn velocity_at(&self, p: Point) -> Vector {
+        let xs = p.x + 0.5;
+        let ys = p.y + 0.5;
+        let alpha = xs - xs.floor();
+        let beta = ys - ys.floor();
+        // p,q = lower-left of the four nearest centers; may be -1 at edges.
+        let pj = xs.floor() as isize - 1;
+        let qk = ys.floor() as isize - 1;
+        let clamp_j = |v: isize| v.clamp(0, self.nx as isize - 1) as usize;
+        let clamp_k = |v: isize| v.clamp(0, self.ny as isize - 1) as usize;
+        let v00 = self.bin_velocity(clamp_j(pj), clamp_k(qk));
+        let v10 = self.bin_velocity(clamp_j(pj + 1), clamp_k(qk));
+        let v01 = self.bin_velocity(clamp_j(pj), clamp_k(qk + 1));
+        let v11 = self.bin_velocity(clamp_j(pj + 1), clamp_k(qk + 1));
+        interpolate_velocity(v00, v10, v01, v11, alpha, beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(nx: usize, j: usize, k: usize) -> usize {
+        k * nx + j
+    }
+
+    /// Engine matching the paper's Fig. 1 neighborhood.
+    fn fig1_engine() -> DiffusionEngine {
+        let mut d = vec![1.0; 16];
+        d[at(4, 1, 1)] = 1.0;
+        d[at(4, 0, 1)] = 1.4;
+        d[at(4, 2, 1)] = 0.4;
+        d[at(4, 1, 0)] = 1.6;
+        d[at(4, 1, 2)] = 0.4;
+        DiffusionEngine::from_raw(4, 4, d, None)
+    }
+
+    #[test]
+    fn fig1_density_step() {
+        let mut e = fig1_engine();
+        e.step_density(0.2);
+        assert!((e.density(1, 1) - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_velocity() {
+        let mut e = fig1_engine();
+        e.compute_velocities();
+        let v = e.bin_velocity(1, 1);
+        assert!((v.x - 0.5).abs() < 1e-12);
+        assert!((v.y - 0.6).abs() < 1e-12);
+    }
+
+    /// Fig. 5: FTCS under macro mirror boundary conditions.
+    fn fig5_engine() -> DiffusionEngine {
+        let nx = 7;
+        let ny = 7;
+        let mut d = vec![1.0; nx * ny];
+        let mut w = vec![false; nx * ny];
+        // Fixed block over bins (4,3)..(5,4).
+        for k in 3..=4 {
+            for j in 4..=5 {
+                w[at(nx, j, k)] = true;
+                d[at(nx, j, k)] = 1.0;
+            }
+        }
+        d[at(nx, 3, 6)] = 1.0;
+        d[at(nx, 4, 6)] = 0.2;
+        d[at(nx, 2, 5)] = 1.2;
+        d[at(nx, 3, 5)] = 0.4;
+        d[at(nx, 4, 5)] = 0.8;
+        d[at(nx, 5, 5)] = 0.6;
+        d[at(nx, 2, 4)] = 1.4;
+        d[at(nx, 3, 4)] = 0.8;
+        d[at(nx, 3, 3)] = 1.6;
+        let mut e = DiffusionEngine::from_raw(nx, ny, d, Some(w));
+        // The Fig. 5 worked example uses the paper's literal boundary rule.
+        e.set_conservative_boundaries(false);
+        e
+    }
+
+    #[test]
+    fn fig5_macro_boundary_updates() {
+        let mut e = fig5_engine();
+        e.step_density(0.2);
+        // d(3,4): right neighbor is the macro, mirror with left (2,4)=1.4.
+        assert!((e.density(3, 4) - 0.96).abs() < 1e-12, "got {}", e.density(3, 4));
+        // d(4,5): lower neighbor is the macro, mirror with upper (4,6)=0.2.
+        assert!((e.density(4, 5) - 0.62).abs() < 1e-12, "got {}", e.density(4, 5));
+        // Macro bins never change.
+        assert_eq!(e.density(4, 4), 1.0);
+        assert_eq!(e.density(5, 3), 1.0);
+    }
+
+    #[test]
+    fn walls_have_zero_velocity_and_normal_component_vanishes() {
+        let mut e = fig5_engine();
+        e.compute_velocities();
+        assert_eq!(e.bin_velocity(4, 4), Vector::ZERO);
+        // Bin (3,4) sits left of the macro: mirror makes its horizontal
+        // gradient zero, so vx = 0.
+        assert_eq!(e.bin_velocity(3, 4).x, 0.0);
+        // Bin (4,5) sits above the macro: vy = 0.
+        assert_eq!(e.bin_velocity(4, 5).y, 0.0);
+    }
+
+    #[test]
+    fn chip_edge_velocity_points_inward_only() {
+        // Dense bin in a corner: velocity must not point off-chip.
+        let mut d = vec![0.1; 9];
+        d[0] = 2.0;
+        let mut e = DiffusionEngine::from_raw(3, 3, d, None);
+        e.compute_velocities();
+        let v = e.bin_velocity(0, 0);
+        assert!(v.x >= 0.0 && v.y >= 0.0, "corner velocity {v:?} points off-chip");
+    }
+
+    #[test]
+    fn interior_mass_is_conserved_between_steps() {
+        // Away from boundaries FTCS is exactly conservative: compare the
+        // change of one interior bin against what its neighbors exchanged.
+        let mut e = fig1_engine();
+        let m0: f64 = e.densities().iter().sum();
+        e.step_density(0.2);
+        // One step on a 4x4 grid does touch boundaries, so compare against
+        // the known non-conservative drift bound instead of exactness.
+        let m1: f64 = e.densities().iter().sum();
+        assert!((m1 - m0).abs() < 0.5, "implausible drift {m0} -> {m1}");
+    }
+
+    #[test]
+    fn paper_boundary_rule_drifts_but_stays_bounded() {
+        // The paper's mirror rule (Section V-B) is not conservative: flow
+        // toward a boundary is double-counted. Document the behavior: the
+        // total drifts, but remains bounded by the uniform-equilibrium
+        // band [min, max] of the initial field times the bin count.
+        let mut e = fig5_engine();
+        let m0 = e.total_live_density();
+        for _ in 0..200 {
+            e.step_density(0.2);
+        }
+        let m1 = e.total_live_density();
+        assert!((m1 - m0).abs() / m0 < 0.1, "drift exceeded 10%: {m0} -> {m1}");
+    }
+
+    #[test]
+    fn conservative_mode_conserves_mass_exactly() {
+        let mut e = fig5_engine();
+        e.set_conservative_boundaries(true);
+        let m0 = e.total_live_density();
+        for _ in 0..500 {
+            e.step_density(0.2);
+        }
+        let m1 = e.total_live_density();
+        assert!((m0 - m1).abs() < 1e-9, "mass drifted from {m0} to {m1}");
+    }
+
+    #[test]
+    fn diffusion_flattens_toward_uniform() {
+        let mut d = vec![0.0; 25];
+        d[12] = 5.0; // spike in the middle
+        let mut e = DiffusionEngine::from_raw(5, 5, d, None);
+        for _ in 0..2000 {
+            e.step_density(0.2);
+        }
+        // Equilibrium is uniform (its level depends on the boundary rule).
+        let lo = e.densities().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = e.densities().iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi - lo < 1e-6, "not uniform: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn conservative_diffusion_flattens_to_exact_average() {
+        let mut d = vec![0.0; 25];
+        d[12] = 5.0;
+        let mut e = DiffusionEngine::from_raw(5, 5, d, None);
+        e.set_conservative_boundaries(true);
+        for _ in 0..2000 {
+            e.step_density(0.2);
+        }
+        for k in 0..5 {
+            for j in 0..5 {
+                assert!((e.density(j, k) - 0.2).abs() < 1e-6, "bin ({j},{k}) = {}", e.density(j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_bins_act_as_walls() {
+        let mut d = vec![0.0; 9];
+        d[at(3, 0, 0)] = 1.0;
+        let mut e = DiffusionEngine::from_raw(3, 3, d, None);
+        e.set_conservative_boundaries(true);
+        // Freeze the right column; density must stay in the left 2x3 block.
+        let mut frozen = vec![false; 9];
+        for k in 0..3 {
+            frozen[at(3, 2, k)] = true;
+        }
+        e.set_frozen_mask(&frozen);
+        for _ in 0..500 {
+            e.step_density(0.2);
+        }
+        for k in 0..3 {
+            assert_eq!(e.density(2, k), 0.0, "density leaked into frozen bin (2,{k})");
+        }
+        assert!((e.total_live_density() - 1.0).abs() < 1e-9);
+        assert_eq!(e.live_bins(), 6);
+        e.clear_frozen();
+        assert_eq!(e.live_bins(), 9);
+    }
+
+    #[test]
+    fn max_and_overflow_metrics() {
+        let mut d = vec![0.5; 4];
+        d[0] = 1.5;
+        let e = DiffusionEngine::from_raw(2, 2, d, None);
+        assert_eq!(e.max_live_density(), 1.5);
+        assert!((e.total_overflow(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(e.total_overflow(2.0), 0.0);
+    }
+
+    #[test]
+    fn velocity_interpolation_matches_paper_example() {
+        // Fig. 2: v(1,1)=(0.5,0.6), v(2,1)=(0.25,-0.25), v(1,2)=(0.5,0),
+        // v(2,2)=(-0.125,0.125), query point (1.6,1.8) with α=0.1, β=0.3.
+        // Evaluating the paper's own Eq. 6 with these inputs yields
+        // (0.46375, 0.36425); the values printed in the paper's prose
+        // (0.45625, 0.40175) do not satisfy Eq. 6 — a known arithmetic
+        // slip in the text. We pin the equation, not the typo.
+        let mut e = DiffusionEngine::from_raw(4, 4, vec![1.0; 16], None);
+        e.set_bin_velocity(1, 1, Vector::new(0.5, 0.6));
+        e.set_bin_velocity(2, 1, Vector::new(0.25, -0.25));
+        e.set_bin_velocity(1, 2, Vector::new(0.5, 0.0));
+        e.set_bin_velocity(2, 2, Vector::new(-0.125, 0.125));
+        let v = e.velocity_at(Point::new(1.6, 1.8));
+        assert!((v.x - 0.46375).abs() < 1e-12, "vx = {}", v.x);
+        assert!((v.y - 0.36425).abs() < 1e-12, "vy = {}", v.y);
+    }
+
+    #[test]
+    fn velocity_at_bin_center_is_bin_velocity() {
+        let mut e = DiffusionEngine::from_raw(3, 3, vec![1.0; 9], None);
+        e.set_bin_velocity(1, 1, Vector::new(0.3, -0.7));
+        let v = e.velocity_at(Point::new(1.5, 1.5));
+        assert!((v.x - 0.3).abs() < 1e-12);
+        assert!((v.y + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_at_edges_clamps() {
+        let mut e = DiffusionEngine::from_raw(2, 2, vec![1.0; 4], None);
+        e.set_bin_velocity(0, 0, Vector::new(1.0, 1.0));
+        // Point in the lower-left quarter-bin: all four clamped corners are
+        // bin (0,0) — result is exactly its velocity.
+        let v = e.velocity_at(Point::new(0.1, 0.2));
+        assert!((v.x - 1.0).abs() < 1e-12);
+        assert!((v.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bin_gets_zero_velocity() {
+        let mut d = vec![1.0; 9];
+        d[at(3, 1, 1)] = 0.0;
+        let mut e = DiffusionEngine::from_raw(3, 3, d, None);
+        e.compute_velocities();
+        assert_eq!(e.bin_velocity(1, 1), Vector::ZERO);
+    }
+
+    #[test]
+    fn load_densities_replaces_field() {
+        let mut e = DiffusionEngine::from_raw(2, 2, vec![0.0; 4], None);
+        e.load_densities(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.density(1, 1), 4.0);
+        assert_eq!(e.densities(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_serial() {
+        // A bumpy 64x64 field with a wall block; 4 threads vs 1.
+        let n = 64usize;
+        let density: Vec<f64> = (0..n * n)
+            .map(|i| 0.25 + ((i * 2654435761usize) % 997) as f64 / 997.0)
+            .collect();
+        let mut wall = vec![false; n * n];
+        for k in 20..28 {
+            for j in 30..44 {
+                wall[k * n + j] = true;
+            }
+        }
+        let mut serial = DiffusionEngine::from_raw(n, n, density.clone(), Some(wall.clone()));
+        let mut parallel = DiffusionEngine::from_raw(n, n, density, Some(wall));
+        parallel.set_threads(4);
+        for _ in 0..25 {
+            serial.step_density(0.2);
+            parallel.step_density(0.2);
+        }
+        assert_eq!(serial.densities(), parallel.densities());
+    }
+
+    #[test]
+    fn tiny_grid_falls_back_to_serial() {
+        let mut e = DiffusionEngine::from_raw(3, 3, vec![1.0; 9], None);
+        e.set_threads(8); // more threads than rows: must still work
+        e.step_density(0.2);
+        assert!((e.total_live_density() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_density_buffer_rejected() {
+        let _ = DiffusionEngine::from_raw(2, 2, vec![0.0; 3], None);
+    }
+}

@@ -1,0 +1,276 @@
+//! Global diffusion-based legalization (paper Algorithm 1).
+
+use crate::advect::advect_cells;
+use crate::{manipulate_density, DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
+use dpm_netlist::Netlist;
+use dpm_place::{BinGrid, DensityMap, Die, Placement};
+
+/// Outcome of a diffusion run ([`GlobalDiffusion`] or
+/// [`LocalDiffusion`](crate::LocalDiffusion)).
+#[derive(Debug, Clone)]
+pub struct DiffusionResult {
+    /// Total number of diffusion steps executed.
+    pub steps: usize,
+    /// Number of local-diffusion rounds (1 for global diffusion).
+    pub rounds: usize,
+    /// `true` if the stopping criterion was met before the step/round cap.
+    pub converged: bool,
+    /// Per-step telemetry (movement, overflow — the paper's Figs. 9–10).
+    pub telemetry: Telemetry,
+}
+
+/// Algorithm 1: global diffusion.
+///
+/// The whole chip diffuses: the initial density map is (optionally)
+/// manipulated so the equilibrium equals the target density (Eq. 8), then
+/// the engine alternates velocity computation, cell advection, and FTCS
+/// density steps until the maximum *computed* density drops to
+/// `d_max + Δ`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Point;
+/// use dpm_netlist::{NetlistBuilder, CellKind};
+/// use dpm_place::{Die, Placement, DensityMap, BinGrid};
+/// use dpm_diffusion::{DiffusionConfig, GlobalDiffusion};
+///
+/// let mut b = NetlistBuilder::new();
+/// for i in 0..24 {
+///     b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable);
+/// }
+/// let nl = b.build()?;
+/// let die = Die::new(96.0, 96.0, 12.0);
+/// let mut p = Placement::new(nl.num_cells());
+/// for (i, c) in nl.cell_ids().enumerate() {
+///     // A dense, slightly staggered pile around (36, 36).
+///     p.set(c, Point::new(36.0 + (i % 4) as f64 * 2.5, 36.0 + (i / 4) as f64 * 2.0));
+/// }
+/// let result = GlobalDiffusion::new(DiffusionConfig::default().with_bin_size(24.0))
+///     .run(&nl, &die, &mut p);
+/// assert!(result.converged);
+/// assert!(result.steps > 0);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalDiffusion {
+    cfg: DiffusionConfig,
+}
+
+impl GlobalDiffusion {
+    /// Creates a global-diffusion runner with the given parameters.
+    pub fn new(cfg: DiffusionConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this runner uses.
+    pub fn config(&self) -> &DiffusionConfig {
+        &self.cfg
+    }
+
+    /// Runs global diffusion, mutating `placement` in place.
+    ///
+    /// Returns telemetry and whether the density target was reached within
+    /// [`DiffusionConfig::max_steps`].
+    pub fn run(&self, netlist: &Netlist, die: &Die, placement: &mut Placement) -> DiffusionResult {
+        let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
+        let map = DensityMap::from_placement(netlist, placement, grid.clone());
+        let mut engine = DiffusionEngine::from_density_map(&map);
+        engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
+        engine.set_threads(self.cfg.threads);
+
+        if self.cfg.manipulate {
+            let mut d = engine.densities().to_vec();
+            let wall = engine.wall_mask().to_vec();
+            manipulate_density(&mut d, Some(&wall), self.cfg.d_max);
+            engine.load_densities(&d);
+        }
+
+        let mut telemetry = Telemetry::new();
+        let mut steps = 0;
+        let mut converged = engine.max_live_density() <= self.cfg.d_max + self.cfg.delta;
+
+        while !converged && steps < self.cfg.max_steps {
+            engine.compute_velocities();
+            let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, false);
+            engine.step_density(self.cfg.dt * self.cfg.diffusivity);
+            steps += 1;
+            let max_density = engine.max_live_density();
+            telemetry.push(StepRecord {
+                step: steps - 1,
+                movement: advect.total_movement,
+                computed_overflow: engine.total_overflow(self.cfg.d_max),
+                max_density,
+                measured_overflow: None,
+            });
+            converged = max_density <= self.cfg.d_max + self.cfg.delta;
+        }
+
+        DiffusionResult {
+            steps,
+            rounds: 1,
+            converged,
+            telemetry,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::{CellKind, NetlistBuilder};
+    use dpm_place::MovementStats;
+
+    /// `n` cells clustered in a tight grid of points around `at` (cells
+    /// slightly staggered so the velocity field can separate them).
+    fn pile(n: usize, at: Point) -> (Netlist, Die, Placement) {
+        let mut b = NetlistBuilder::new();
+        for i in 0..n {
+            b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let die = Die::new(96.0, 96.0, 12.0);
+        let mut p = Placement::new(nl.num_cells());
+        for (i, c) in nl.cell_ids().enumerate() {
+            let dx = (i % 4) as f64 * 2.5;
+            let dy = (i / 4) as f64 * 2.0;
+            p.set(c, Point::new(at.x + dx, at.y + dy));
+        }
+        (nl, die, p)
+    }
+
+    fn cfg() -> DiffusionConfig {
+        DiffusionConfig::default().with_bin_size(24.0)
+    }
+
+    #[test]
+    fn converges_on_overfull_pile() {
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
+        assert!(r.converged, "did not converge in {} steps", r.steps);
+        assert!(r.steps > 0);
+        assert_eq!(r.rounds, 1);
+        // Real measured density must also be (close to) legal.
+        let grid = BinGrid::new(die.outline(), 24.0);
+        let dm = DensityMap::from_placement(&nl, &p, grid);
+        assert!(dm.max_density() < 1.5, "measured density {}", dm.max_density());
+    }
+
+    #[test]
+    fn already_legal_placement_is_untouched() {
+        // Cells spread out, every bin under target.
+        let mut b = NetlistBuilder::new();
+        for i in 0..4 {
+            b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let die = Die::new(96.0, 96.0, 12.0);
+        let mut p = Placement::new(nl.num_cells());
+        for (i, c) in nl.cell_ids().enumerate() {
+            p.set(c, Point::new(i as f64 * 24.0, i as f64 * 24.0));
+        }
+        let before = p.clone();
+        let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
+        assert!(r.converged);
+        assert_eq!(r.steps, 0);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn overflow_trends_downward() {
+        // The computed overflow decreases overall; the paper's boundary
+        // rule permits tiny per-step wobble (it is not conservative), so
+        // allow 1% per-step noise but require a strict overall decrease.
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
+        let series = r.telemetry.overflow_series();
+        assert!(series.len() >= 2);
+        for w in series.windows(2) {
+            assert!(w[1] <= w[0] * 1.01 + 1e-9, "overflow jumped: {} -> {}", w[0], w[1]);
+        }
+        assert!(
+            *series.last().expect("non-empty") < series[0],
+            "no overall improvement: {series:?}"
+        );
+    }
+
+    #[test]
+    fn manipulation_limits_over_spreading() {
+        // Eq. 8 exists to stop diffusion from spreading further than
+        // legalization needs: with empty bins lifted to the target
+        // density, the run converges once the overflow is absorbed,
+        // instead of continuing to flatten the whole die. The observable
+        // claim: cells move strictly less with manipulation on, while the
+        // measured placement still improves versus the initial pile.
+        let (nl, die, mut p1) = pile(24, Point::new(36.0, 36.0));
+        let p0 = p1.clone();
+        let grid = BinGrid::new(die.outline(), 24.0);
+        let initial = DensityMap::from_placement(&nl, &p0, grid.clone()).max_density();
+
+        let r1 = GlobalDiffusion::new(cfg().with_manipulation(true)).run(&nl, &die, &mut p1);
+        assert!(r1.converged);
+        let m_with = MovementStats::between(&nl, &p0, &p1);
+        let final_with = DensityMap::from_placement(&nl, &p1, grid.clone()).max_density();
+
+        let mut p2 = p0.clone();
+        let r2 = GlobalDiffusion::new(cfg().with_manipulation(false)).run(&nl, &die, &mut p2);
+        assert!(r2.converged);
+        let m_without = MovementStats::between(&nl, &p0, &p2);
+
+        assert!(m_with.total > 0.0, "manipulation run must move cells");
+        assert!(
+            m_with.total < m_without.total,
+            "manipulation should limit spreading: {} vs {}",
+            m_with.total,
+            m_without.total
+        );
+        assert!(final_with < initial, "measured density must improve: {final_with} vs {initial}");
+    }
+
+    #[test]
+    fn cells_diffuse_around_macros() {
+        let mut b = NetlistBuilder::new();
+        let m = b.add_cell("m", 24.0, 48.0, CellKind::FixedMacro);
+        for i in 0..30 {
+            b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let die = Die::new(96.0, 96.0, 12.0);
+        let mut p = Placement::new(nl.num_cells());
+        p.set(m, Point::new(48.0, 24.0));
+        for (i, c) in nl.movable_cell_ids().enumerate() {
+            let dx = (i % 3) as f64 * 4.0;
+            let dy = (i / 3) as f64 * 1.5;
+            p.set(c, Point::new(28.0 + dx, 30.0 + dy));
+        }
+        let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
+        assert!(r.steps > 0);
+        // No movable cell's center may end inside the macro.
+        let macro_rect = p.cell_rect(&nl, m);
+        for c in nl.movable_cell_ids() {
+            let center = p.cell_center(&nl, c);
+            assert!(
+                !macro_rect.contains(center)
+                    || (center.x - macro_rect.llx).abs() < 1e-9
+                    || (macro_rect.urx - center.x).abs() < 1e-9,
+                "cell {c} center {center} inside macro {macro_rect}"
+            );
+        }
+    }
+
+    #[test]
+    fn step_cap_is_respected() {
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let r = GlobalDiffusion::new(cfg().with_max_steps(3)).run(&nl, &die, &mut p);
+        assert!(r.steps <= 3);
+    }
+
+    #[test]
+    fn telemetry_length_matches_steps() {
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
+        assert_eq!(r.telemetry.len(), r.steps);
+        assert!(r.telemetry.total_movement() > 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Diffusion-based placement migration.
+//!
+//! This crate implements the primary contribution of *"Diffusion-Based
+//! Placement Migration with Application on Legalization"* (Ren, Pan,
+//! Alpert, Villarrubia, Nam — DAC 2005 / IEEE TCAD 2007):
+//!
+//! - the **continuous diffusion model** of placement density (Eq. 1) and
+//!   its discretization by Forward-Time-Centered-Space (Eq. 4), including
+//!   the mirror boundary conditions around chip edges and fixed macros
+//!   (Section V-B) — see [`DiffusionEngine`];
+//! - the **velocity field** driving cell motion (Eq. 5) and the bilinear
+//!   **velocity interpolation** that keeps side-by-side cells moving
+//!   coherently (Eq. 6) — see [`DiffusionEngine::velocity_at`];
+//! - **density-map manipulation** (Eq. 8) that prevents over-spreading by
+//!   lifting under-full bins so the equilibrium density equals the target
+//!   — see [`manipulate_density`];
+//! - **global diffusion legalization** (Algorithm 1) —
+//!   [`GlobalDiffusion`];
+//! - **local diffusion windows** (Algorithm 2) — [`identify_windows`];
+//! - the **robust local diffusion** flow with dynamic density update
+//!   (Algorithm 3) — [`LocalDiffusion`].
+//!
+//! The engine works in *bin coordinates*: the die is divided into square
+//! bins and scaled so each bin is 1×1, exactly as the paper assumes. The
+//! orchestrators ([`GlobalDiffusion`], [`LocalDiffusion`]) handle the
+//! world↔bin transforms and push cells of a real
+//! [`Placement`](dpm_place::Placement) through the velocity field.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dpm_geom::Point;
+//! use dpm_netlist::{NetlistBuilder, CellKind};
+//! use dpm_place::{Die, Placement};
+//! use dpm_diffusion::{DiffusionConfig, GlobalDiffusion};
+//!
+//! // Ten cells piled into one spot of a small die.
+//! let mut b = NetlistBuilder::new();
+//! for i in 0..10 {
+//!     b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable);
+//! }
+//! let nl = b.build()?;
+//! let die = Die::new(120.0, 120.0, 12.0);
+//! let mut placement = Placement::new(nl.num_cells());
+//! for c in nl.cell_ids() {
+//!     placement.set(c, Point::new(48.0, 48.0));
+//! }
+//!
+//! let cfg = DiffusionConfig::default().with_bin_size(24.0);
+//! let result = GlobalDiffusion::new(cfg).run(&nl, &die, &mut placement);
+//! assert!(result.converged);
+//! # Ok::<(), dpm_netlist::BuildNetlistError>(())
+//! ```
+
+mod advect;
+mod config;
+mod engine;
+mod field;
+mod global;
+mod local;
+mod manip;
+mod telemetry;
+mod trace;
+mod velocity;
+mod window;
+
+pub use advect::AdvectOutcome;
+pub use config::DiffusionConfig;
+pub use engine::DiffusionEngine;
+pub use field::FieldMigration;
+pub use global::{DiffusionResult, GlobalDiffusion};
+pub use local::LocalDiffusion;
+pub use manip::manipulate_density;
+pub use telemetry::{StepRecord, Telemetry};
+pub use trace::{trace_global_diffusion, TracedRun, Trajectory};
+pub use velocity::interpolate_velocity;
+pub use window::identify_windows;

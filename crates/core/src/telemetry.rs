@@ -1,0 +1,145 @@
+//! Per-step telemetry of a diffusion run (drives the paper's Figs. 9–10).
+
+/// Snapshot of one diffusion step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// Step number `n` (0-based).
+    pub step: usize,
+    /// Total cell movement during this step, in world units.
+    pub movement: f64,
+    /// Total overflow of the *computed* (PDE) density after the step.
+    pub computed_overflow: f64,
+    /// Maximum computed density after the step.
+    pub max_density: f64,
+    /// Total overflow of the *measured* placement density, when a dynamic
+    /// density update happened at this step.
+    pub measured_overflow: Option<f64>,
+}
+
+/// Accumulated telemetry of a diffusion run.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_diffusion::{StepRecord, Telemetry};
+///
+/// let mut t = Telemetry::new();
+/// t.push(StepRecord { step: 0, movement: 3.0, computed_overflow: 1.0, max_density: 1.5, measured_overflow: None });
+/// t.push(StepRecord { step: 1, movement: 2.0, computed_overflow: 0.5, max_density: 1.2, measured_overflow: Some(0.4) });
+/// assert_eq!(t.total_movement(), 5.0);
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    records: Vec<StepRecord>,
+}
+
+impl Telemetry {
+    /// Creates empty telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step record.
+    pub fn push(&mut self, record: StepRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in step order.
+    pub fn records(&self) -> &[StepRecord] {
+        &self.records
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total cell movement across all steps.
+    pub fn total_movement(&self) -> f64 {
+        self.records.iter().map(|r| r.movement).sum()
+    }
+
+    /// Cumulative movement per step (the series of the paper's Fig. 9).
+    pub fn cumulative_movement(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.records
+            .iter()
+            .map(|r| {
+                acc += r.movement;
+                acc
+            })
+            .collect()
+    }
+
+    /// The computed-overflow series (the paper's Fig. 10).
+    pub fn overflow_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.computed_overflow).collect()
+    }
+
+    /// The measured-overflow checkpoints `(step, overflow)` recorded at
+    /// dynamic density updates.
+    pub fn measured_checkpoints(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .filter_map(|r| r.measured_overflow.map(|o| (r.step, o)))
+            .collect()
+    }
+}
+
+impl Extend<StepRecord> for Telemetry {
+    fn extend<T: IntoIterator<Item = StepRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(step: usize, movement: f64, overflow: f64) -> StepRecord {
+        StepRecord {
+            step,
+            movement,
+            computed_overflow: overflow,
+            max_density: 0.0,
+            measured_overflow: None,
+        }
+    }
+
+    #[test]
+    fn empty_telemetry() {
+        let t = Telemetry::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_movement(), 0.0);
+        assert!(t.cumulative_movement().is_empty());
+    }
+
+    #[test]
+    fn cumulative_movement_is_monotone_prefix_sum() {
+        let mut t = Telemetry::new();
+        t.extend([rec(0, 1.0, 5.0), rec(1, 2.0, 3.0), rec(2, 0.5, 1.0)]);
+        assert_eq!(t.cumulative_movement(), vec![1.0, 3.0, 3.5]);
+        assert_eq!(t.overflow_series(), vec![5.0, 3.0, 1.0]);
+        assert_eq!(t.total_movement(), 3.5);
+    }
+
+    #[test]
+    fn measured_checkpoints_filters() {
+        let mut t = Telemetry::new();
+        t.push(rec(0, 1.0, 5.0));
+        t.push(StepRecord {
+            step: 1,
+            movement: 1.0,
+            computed_overflow: 4.0,
+            max_density: 1.5,
+            measured_overflow: Some(4.2),
+        });
+        assert_eq!(t.measured_checkpoints(), vec![(1, 4.2)]);
+    }
+}

@@ -1,0 +1,173 @@
+//! Local diffusion window identification (paper Algorithm 2).
+
+use dpm_place::DensityMap;
+
+/// Identifies the bins allowed to diffuse in a local-diffusion round.
+///
+/// Implements the paper's Algorithm 2: every bin starts *fixed*; for each
+/// bin whose average density over the `W1`-neighborhood (Chebyshev radius
+/// `w1`) exceeds `d_max`, all bins within radius `w2` are marked movable.
+///
+/// Returns a row-major *frozen* mask: `true` means the bin stays fixed
+/// (no diffusion), `false` means it participates. Wall (macro) bins are
+/// always frozen.
+///
+/// # Panics
+///
+/// Panics if `w2 < w1` (the paper requires `W2 ≥ W1`).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::{Point, Rect};
+/// use dpm_netlist::{NetlistBuilder, CellKind};
+/// use dpm_place::{BinGrid, DensityMap, Placement};
+/// use dpm_diffusion::identify_windows;
+///
+/// // One badly overfull spot in a 5×5 grid.
+/// let mut b = NetlistBuilder::new();
+/// for i in 0..4 {
+///     b.add_cell(format!("c{i}"), 10.0, 10.0, CellKind::Movable);
+/// }
+/// let nl = b.build()?;
+/// let mut p = Placement::new(4);
+/// for c in nl.cell_ids() {
+///     p.set(c, Point::new(20.0, 20.0)); // all piled into the center bin
+/// }
+/// let grid = BinGrid::new(Rect::new(0.0, 0.0, 50.0, 50.0), 10.0);
+/// let d = DensityMap::from_placement(&nl, &p, grid);
+/// // W1 = 0: judge raw bin density; W2 = 1: open the hot bin's direct
+/// // neighborhood.
+/// let frozen = identify_windows(&d, 0, 1, 1.0);
+/// // The center and its neighbors unfreeze; the far corner stays frozen.
+/// assert!(!frozen[2 * 5 + 2]);
+/// assert!(frozen[0]);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+pub fn identify_windows(density: &DensityMap, w1: usize, w2: usize, d_max: f64) -> Vec<bool> {
+    assert!(w2 >= w1, "W2 must be at least W1");
+    let grid = density.grid();
+    let nx = grid.nx();
+    let ny = grid.ny();
+    let avg = density.windowed_average(w1);
+    let mut frozen = vec![true; nx * ny];
+
+    for k in 0..ny {
+        for j in 0..nx {
+            let i = k * nx + j;
+            if density.fixed_mask()[i] {
+                continue; // walls never unfreeze
+            }
+            if avg[i] > d_max {
+                let j_lo = j.saturating_sub(w2);
+                let j_hi = (j + w2).min(nx - 1);
+                let k_lo = k.saturating_sub(w2);
+                let k_hi = (k + w2).min(ny - 1);
+                for kk in k_lo..=k_hi {
+                    for jj in j_lo..=j_hi {
+                        let g = kk * nx + jj;
+                        if !density.fixed_mask()[g] {
+                            frozen[g] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    frozen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::{Point, Rect};
+    use dpm_netlist::{CellKind, NetlistBuilder};
+    use dpm_place::{BinGrid, Placement};
+
+    /// Builds a 6×6 grid with `n_center` 10×10 cells piled at (25, 25).
+    fn hot_center(n_center: usize) -> DensityMap {
+        let mut b = NetlistBuilder::new();
+        for i in 0..n_center {
+            b.add_cell(format!("c{i}"), 10.0, 10.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(n_center);
+        for c in nl.cell_ids() {
+            p.set(c, Point::new(20.0, 20.0));
+        }
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 60.0, 60.0), 10.0);
+        DensityMap::from_placement(&nl, &p, grid)
+    }
+
+    #[test]
+    fn no_overflow_freezes_everything() {
+        let d = hot_center(1); // a single cell fills its bin exactly
+        let frozen = identify_windows(&d, 0, 0, 1.0);
+        assert!(frozen.iter().all(|&f| f), "no bin should unfreeze at d = 1.0");
+    }
+
+    #[test]
+    fn overflow_opens_w2_neighborhood() {
+        let d = hot_center(3);
+        let frozen = identify_windows(&d, 0, 1, 1.0);
+        let nx = 6;
+        // The hot bin is (2,2); its W2=1 neighborhood opens.
+        for k in 1..=3 {
+            for j in 1..=3 {
+                assert!(!frozen[k * nx + j], "bin ({j},{k}) should be movable");
+            }
+        }
+        // Far corner stays frozen.
+        assert!(frozen[5 * nx + 5]);
+        assert!(frozen[0]);
+    }
+
+    #[test]
+    fn larger_w2_opens_more() {
+        let d = hot_center(3);
+        let open1 = identify_windows(&d, 0, 1, 1.0).iter().filter(|&&f| !f).count();
+        let open3 = identify_windows(&d, 0, 3, 1.0).iter().filter(|&&f| !f).count();
+        assert!(open3 > open1);
+    }
+
+    #[test]
+    fn w1_averaging_can_mask_small_spikes() {
+        // A mild spike: raw density 1.2 in one bin, zero elsewhere. With a
+        // large analysis window the average dips below d_max and nothing
+        // unfreezes.
+        let d = hot_center(2); // density 2.0 at center? 2 cells → 2.0
+        let frozen_tight = identify_windows(&d, 0, 0, 1.0);
+        assert!(frozen_tight.iter().any(|&f| !f));
+        let frozen_wide = identify_windows(&d, 3, 3, 1.0);
+        // Averaged over a 7x7 window the spike is 2/36 < 1 → frozen.
+        assert!(frozen_wide.iter().all(|&f| f));
+    }
+
+    #[test]
+    fn walls_never_unfreeze() {
+        let mut b = NetlistBuilder::new();
+        let m = b.add_cell("m", 10.0, 10.0, CellKind::FixedMacro);
+        for i in 0..5 {
+            b.add_cell(format!("c{i}"), 10.0, 10.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(nl.num_cells());
+        p.set(m, Point::new(30.0, 20.0)); // wall next to hot spot
+        for c in nl.movable_cell_ids() {
+            p.set(c, Point::new(20.0, 20.0));
+        }
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 60.0, 60.0), 10.0);
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        let frozen = identify_windows(&d, 0, 2, 1.0);
+        let nx = 6;
+        assert!(frozen[2 * nx + 3], "macro bin must stay frozen");
+        assert!(!frozen[2 * nx + 2], "hot bin must unfreeze");
+    }
+
+    #[test]
+    #[should_panic(expected = "W2 must be at least W1")]
+    fn rejects_w2_less_than_w1() {
+        let d = hot_center(1);
+        let _ = identify_windows(&d, 2, 1, 1.0);
+    }
+}

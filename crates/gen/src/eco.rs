@@ -1,0 +1,205 @@
+//! ECO workloads that *add* cells: buffer insertion.
+//!
+//! The paper's first motivating example of placement migration: "during
+//! physical synthesis, one may insert buffers and repower gates, thereby
+//! creating overlapping cells. The new instance needs to be legalized,
+//! but one wants to avoid moving any cell too far away from its original
+//! location." Inflation (the [`InflationSpec`](crate::InflationSpec)
+//! workloads) models repowering; this module models the buffer half: the
+//! longest nets get a buffer inserted at their centroid, landing on top
+//! of whatever is already placed there.
+
+use crate::Benchmark;
+use dpm_geom::Point;
+use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+use dpm_place::{hpwl, net_hpwl, Placement};
+
+impl Benchmark {
+    /// Inserts buffers on the `fraction` longest nets (by HPWL), placing
+    /// each buffer at its net's pin centroid. The netlist is rebuilt
+    /// (cell/net ids of existing objects are preserved in order); the
+    /// placement keeps every existing cell exactly where it was, so the
+    /// result typically overlaps and needs legalization.
+    ///
+    /// `buffer_width` is the new cells' width (height = row height).
+    /// Returns the number of buffers inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]` or `buffer_width` is not
+    /// positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_gen::CircuitSpec;
+    /// use dpm_place::check_legality;
+    ///
+    /// let mut bench = CircuitSpec::small(17).generate();
+    /// let cells_before = bench.netlist.num_cells();
+    /// let inserted = bench.insert_buffers(0.05, 6.0);
+    /// assert!(inserted > 0);
+    /// assert_eq!(bench.netlist.num_cells(), cells_before + inserted);
+    /// ```
+    pub fn insert_buffers(&mut self, fraction: f64, buffer_width: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(buffer_width > 0.0, "buffer width must be positive");
+
+        // Pick the longest nets with at least a driver and one sink.
+        let mut candidates: Vec<(f64, dpm_netlist::NetId)> = self
+            .netlist
+            .net_ids()
+            .filter(|&n| {
+                self.netlist.driver_of(n).is_some() && self.netlist.net(n).pins.len() >= 2
+            })
+            .map(|n| (net_hpwl(&self.netlist, &self.placement, n), n))
+            .collect();
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let count = ((candidates.len() as f64) * fraction).round() as usize;
+        let buffered: std::collections::HashSet<_> =
+            candidates.iter().take(count).map(|&(_, n)| n).collect();
+        if buffered.is_empty() {
+            return 0;
+        }
+
+        // Rebuild the netlist: same cells (same order ⇒ same ids), then
+        // one buffer per selected net; selected nets are split in two.
+        let row_height = self.die.row_height();
+        let mut b = NetlistBuilder::with_capacity(
+            self.netlist.num_cells() + buffered.len(),
+            self.netlist.num_nets() + buffered.len(),
+            self.netlist.num_pins() + 2 * buffered.len(),
+        );
+        for id in self.netlist.cell_ids() {
+            let c = self.netlist.cell(id);
+            b.add_cell_with_delay(c.name.clone(), c.width, c.height, c.kind, c.delay);
+        }
+        let mut new_positions: Vec<(u32, Point)> = Vec::new();
+        let mut next_cell = self.netlist.num_cells() as u32;
+
+        for net in self.netlist.net_ids() {
+            let name = self.netlist.net(net).name.clone();
+            if !buffered.contains(&net) {
+                let nid = b.add_net(name);
+                for &p in &self.netlist.net(net).pins {
+                    let pin = self.netlist.pin(p);
+                    b.connect(pin.cell, nid, pin.dir, pin.offset.x, pin.offset.y);
+                }
+                continue;
+            }
+            // Split: driver keeps the original net; the buffer drives a
+            // new net feeding all the sinks.
+            let centroid = self
+                .placement
+                .net_centroid(&self.netlist, net)
+                .expect("buffered nets have pins");
+            let buf = b.add_cell_with_delay(
+                format!("buf_{name}"),
+                buffer_width,
+                row_height,
+                CellKind::Movable,
+                0.5,
+            );
+            debug_assert_eq!(buf.raw(), next_cell);
+            new_positions.push((
+                next_cell,
+                Point::new(centroid.x - buffer_width / 2.0, centroid.y - row_height / 2.0),
+            ));
+            next_cell += 1;
+
+            let upstream = b.add_net(name.clone());
+            let downstream = b.add_net(format!("{name}_buf"));
+            let driver = self.netlist.driver_of(net).expect("checked above");
+            for &p in &self.netlist.net(net).pins {
+                let pin = self.netlist.pin(p);
+                if p == driver {
+                    b.connect(pin.cell, upstream, PinDir::Output, pin.offset.x, pin.offset.y);
+                } else {
+                    b.connect(pin.cell, downstream, pin.dir, pin.offset.x, pin.offset.y);
+                }
+            }
+            b.connect(buf, upstream, PinDir::Input, 0.0, row_height / 2.0);
+            b.connect(buf, downstream, PinDir::Output, buffer_width, row_height / 2.0);
+        }
+
+        let new_netlist = b.build().expect("rebuilt netlist is structurally valid");
+        let mut new_placement = Placement::new(new_netlist.num_cells());
+        for id in self.netlist.cell_ids() {
+            new_placement.set(id, self.placement.get(id));
+        }
+        for &(raw, pos) in &new_positions {
+            new_placement.set(dpm_netlist::CellId::new(raw), pos);
+        }
+        self.netlist = new_netlist;
+        self.placement = new_placement;
+        buffered.len()
+    }
+
+    /// Total HPWL of the current placement — convenience used by the ECO
+    /// examples and tests.
+    pub fn wirelength(&self) -> f64 {
+        hpwl(&self.netlist, &self.placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitSpec;
+    use dpm_place::check_legality;
+
+    #[test]
+    fn inserts_expected_count() {
+        let mut bench = CircuitSpec::small(51).generate();
+        let nets_before = bench.netlist.num_nets();
+        let inserted = bench.insert_buffers(0.05, 6.0);
+        assert!(inserted > 10, "inserted only {inserted}");
+        // Each buffered net becomes two nets.
+        assert_eq!(bench.netlist.num_nets(), nets_before + inserted);
+    }
+
+    #[test]
+    fn existing_cells_do_not_move() {
+        let mut bench = CircuitSpec::small(52).generate();
+        let before = bench.placement.clone();
+        let n_before = before.len();
+        bench.insert_buffers(0.05, 6.0);
+        for i in 0..n_before {
+            let id = dpm_netlist::CellId::new(i as u32);
+            assert_eq!(bench.placement.get(id), before.get(id));
+        }
+    }
+
+    #[test]
+    fn buffers_land_on_net_centroids_and_overlap() {
+        let mut bench = CircuitSpec::small(53).generate();
+        assert!(check_legality(&bench.netlist, &bench.die, &bench.placement, 0).is_legal());
+        bench.insert_buffers(0.08, 6.0);
+        let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 0);
+        assert!(!report.is_legal(), "buffer insertion should create overlap");
+    }
+
+    #[test]
+    fn netlist_stays_a_dag_and_timing_works() {
+        let mut bench = CircuitSpec::small(54).generate();
+        bench.insert_buffers(0.05, 6.0);
+        let lv = dpm_netlist::levelize(&bench.netlist);
+        assert!(lv.is_acyclic(), "{} cells stuck on cycles", lv.cyclic.len());
+    }
+
+    #[test]
+    fn buffering_then_legalizing_is_consistent() {
+        let mut bench = CircuitSpec::small(55).generate();
+        bench.insert_buffers(0.05, 6.0);
+        // HPWL accessor agrees with the free function.
+        assert_eq!(bench.wirelength(), hpwl(&bench.netlist, &bench.placement));
+    }
+
+    #[test]
+    fn zero_fraction_is_a_no_op() {
+        let mut bench = CircuitSpec::small(56).generate();
+        let cells = bench.netlist.num_cells();
+        assert_eq!(bench.insert_buffers(0.0, 6.0), 0);
+        assert_eq!(bench.netlist.num_cells(), cells);
+    }
+}

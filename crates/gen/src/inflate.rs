@@ -1,0 +1,320 @@
+//! Inflation workloads: creating overlaps the way the paper does.
+
+use crate::Benchmark;
+use dpm_netlist::CellId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How to inflate cells of a [`Benchmark`] to create overlap.
+///
+/// The paper uses two families of workloads:
+///
+/// - **industrial** (Tables I–IX): cells are inflated until the added
+///   area reaches a percentage of the movable area, either spread over
+///   the whole die (`Distributed`, "to simulate the behavior of
+///   repowering in physical synthesis") or concentrated around the die
+///   center (`Centered`, "mimics a hotspot");
+/// - **ISPD** (Tables X–XVI): a fixed fraction of cells is selected
+///   (randomly, or nearest the die center) and each selected cell's width
+///   grows by a fixed factor — the paper uses 10% of cells and 60% width
+///   growth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InflationSpec {
+    /// Inflate randomly chosen cells until the added area is
+    /// `area_pct` of the total movable area.
+    Distributed {
+        /// Target added area as a fraction of movable area (e.g. 0.25).
+        area_pct: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Like `Distributed` but only cells within `radius_frac` of the die
+    /// half-diagonal from the die center are eligible.
+    Centered {
+        /// Target added area as a fraction of movable area.
+        area_pct: f64,
+        /// Eligible radius as a fraction of the die half-diagonal.
+        radius_frac: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// ISPD protocol, `RANDOM` set: inflate `frac_cells` of all cells by
+    /// `width_factor` (e.g. 0.1 and 1.6).
+    RandomWidth {
+        /// Fraction of cells to inflate.
+        frac_cells: f64,
+        /// Width multiplication factor (> 1).
+        width_factor: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// ISPD protocol, `CENTER` set: inflate the `frac_cells` of cells
+    /// nearest the die center by `width_factor`.
+    CenterWidth {
+        /// Fraction of cells to inflate.
+        frac_cells: f64,
+        /// Width multiplication factor (> 1).
+        width_factor: f64,
+    },
+}
+
+impl InflationSpec {
+    /// Distributed industrial inflation (paper Table I style).
+    pub fn distributed(area_pct: f64, seed: u64) -> Self {
+        Self::Distributed { area_pct, seed }
+    }
+
+    /// Concentrated industrial inflation (paper Table VI, type C).
+    pub fn centered(area_pct: f64, radius_frac: f64, seed: u64) -> Self {
+        Self::Centered {
+            area_pct,
+            radius_frac,
+            seed,
+        }
+    }
+
+    /// ISPD `RANDOM` inflation (Table X): `frac_cells` inflated by
+    /// `width_factor`.
+    pub fn random_width(frac_cells: f64, width_factor: f64, seed: u64) -> Self {
+        Self::RandomWidth {
+            frac_cells,
+            width_factor,
+            seed,
+        }
+    }
+
+    /// ISPD `CENTER` inflation (Table X).
+    pub fn center_width(frac_cells: f64, width_factor: f64) -> Self {
+        Self::CenterWidth {
+            frac_cells,
+            width_factor,
+        }
+    }
+}
+
+/// Inflates cells drawn *without replacement* (Fisher–Yates order) by a
+/// random repowering factor in [1.3, 2.0) until `target` area has been
+/// added or every candidate was inflated once. Sampling without
+/// replacement mirrors repowering — a gate is upsized once — and avoids
+/// pathological many-times-inflated giants.
+fn inflate_without_replacement(
+    netlist: &mut dpm_netlist::Netlist,
+    rng: &mut StdRng,
+    mut ids: Vec<CellId>,
+    target: f64,
+) {
+    let mut added = 0.0;
+    while added < target && !ids.is_empty() {
+        let pick = rng.random_range(0..ids.len());
+        let cell = ids.swap_remove(pick);
+        let factor = rng.random_range(1.3..2.0);
+        let c = netlist.cell(cell);
+        added += c.width * (factor - 1.0) * c.height;
+        netlist.inflate_cell_width(cell, factor);
+    }
+}
+
+impl Benchmark {
+    /// Applies an inflation workload, growing cell widths in place (the
+    /// placement is untouched, so overlaps appear).
+    ///
+    /// Returns the achieved inflation: added area as a fraction of the
+    /// pre-inflation movable area.
+    pub fn inflate(&mut self, spec: &InflationSpec) -> f64 {
+        let area_before = self.netlist.movable_area();
+        match *spec {
+            InflationSpec::Distributed { area_pct, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let ids: Vec<CellId> = self.netlist.movable_cell_ids().collect();
+                let target = area_before * area_pct;
+                inflate_without_replacement(&mut self.netlist, &mut rng, ids, target);
+            }
+            InflationSpec::Centered {
+                area_pct,
+                radius_frac,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let center = self.die.outline().center();
+                let radius = radius_frac
+                    * (self.die.outline().width().hypot(self.die.outline().height()) / 2.0);
+                let ids: Vec<CellId> = self
+                    .netlist
+                    .movable_cell_ids()
+                    .filter(|&c| self.placement.cell_center(&self.netlist, c).distance(center) <= radius)
+                    .collect();
+                if ids.is_empty() {
+                    return 0.0;
+                }
+                // A concentrated hotspot: the eligible region is small, so
+                // hitting the area target needs a *uniform* blow-up of all
+                // eligible cells rather than sampling. Jitter the factor
+                // ±15% per cell; cap at 4x to keep cells placeable.
+                let eligible_area: f64 = ids
+                    .iter()
+                    .map(|&c| self.netlist.cell(c).area())
+                    .sum();
+                let target = area_before * area_pct;
+                let factor = (1.0 + target / eligible_area).min(4.0);
+                for cell in ids {
+                    let jitter = rng.random_range(0.85..1.15);
+                    let f = (1.0 + (factor - 1.0) * jitter).min(4.0);
+                    self.netlist.inflate_cell_width(cell, f);
+                }
+            }
+            InflationSpec::RandomWidth {
+                frac_cells,
+                width_factor,
+                seed,
+            } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for cell in self.netlist.movable_cell_ids().collect::<Vec<_>>() {
+                    if rng.random::<f64>() < frac_cells {
+                        self.netlist.inflate_cell_width(cell, width_factor);
+                    }
+                }
+            }
+            InflationSpec::CenterWidth {
+                frac_cells,
+                width_factor,
+            } => {
+                let center = self.die.outline().center();
+                let mut ids: Vec<(f64, CellId)> = self
+                    .netlist
+                    .movable_cell_ids()
+                    .map(|c| (self.placement.cell_center(&self.netlist, c).distance(center), c))
+                    .collect();
+                ids.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let count = ((ids.len() as f64) * frac_cells).round() as usize;
+                for &(_, cell) in ids.iter().take(count) {
+                    self.netlist.inflate_cell_width(cell, width_factor);
+                }
+            }
+        }
+        (self.netlist.movable_area() - area_before) / area_before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitSpec;
+    use dpm_place::check_legality;
+
+    #[test]
+    fn distributed_hits_target_area() {
+        let mut bench = CircuitSpec::small(1).generate();
+        let achieved = bench.inflate(&InflationSpec::distributed(0.3, 11));
+        assert!((0.28..0.45).contains(&achieved), "achieved {achieved}");
+    }
+
+    #[test]
+    fn distributed_creates_overlap() {
+        let mut bench = CircuitSpec::small(2).generate();
+        bench.inflate(&InflationSpec::distributed(0.25, 3));
+        let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 5);
+        assert!(!report.is_legal());
+        assert!(report.total_overlap_area > 0.0);
+    }
+
+    #[test]
+    fn centered_only_touches_center_cells() {
+        let mut bench = CircuitSpec::small(3).generate();
+        let widths_before: Vec<f64> = bench
+            .netlist
+            .movable_cell_ids()
+            .map(|c| bench.netlist.cell(c).width)
+            .collect();
+        let center = bench.die.outline().center();
+        let radius = 0.25 * (bench.die.outline().width().hypot(bench.die.outline().height()) / 2.0);
+        // Distances must be measured *before* inflation: growing a cell's
+        // width shifts its center.
+        let dist_before: Vec<f64> = bench
+            .netlist
+            .movable_cell_ids()
+            .map(|c| bench.placement.cell_center(&bench.netlist, c).distance(center))
+            .collect();
+        bench.inflate(&InflationSpec::centered(0.15, 0.25, 5));
+        for (i, c) in bench.netlist.movable_cell_ids().enumerate() {
+            let grew = bench.netlist.cell(c).width > widths_before[i] + 1e-12;
+            if grew {
+                assert!(
+                    dist_before[i] <= radius + 1e-9,
+                    "far cell {c} inflated (d = {}, r = {radius})",
+                    dist_before[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ispd_random_inflates_expected_fraction() {
+        let mut bench = CircuitSpec::small(4).generate();
+        let widths_before: Vec<f64> = bench
+            .netlist
+            .movable_cell_ids()
+            .map(|c| bench.netlist.cell(c).width)
+            .collect();
+        bench.inflate(&InflationSpec::random_width(0.1, 1.6, 9));
+        let inflated = bench
+            .netlist
+            .movable_cell_ids()
+            .enumerate()
+            .filter(|&(i, c)| bench.netlist.cell(c).width > widths_before[i] + 1e-12)
+            .count();
+        let frac = inflated as f64 / widths_before.len() as f64;
+        assert!((0.05..0.16).contains(&frac), "inflated fraction {frac}");
+        // Each inflated cell grew exactly 60% in width.
+        for (i, c) in bench.netlist.movable_cell_ids().enumerate() {
+            let w = bench.netlist.cell(c).width;
+            assert!(
+                (w - widths_before[i]).abs() < 1e-9 || (w - widths_before[i] * 1.6).abs() < 1e-9,
+                "unexpected width change"
+            );
+        }
+    }
+
+    #[test]
+    fn ispd_center_picks_nearest_cells() {
+        let mut bench = CircuitSpec::small(5).generate();
+        let n = bench.netlist.movable_cell_ids().count();
+        let widths_before: Vec<f64> = bench
+            .netlist
+            .movable_cell_ids()
+            .map(|c| bench.netlist.cell(c).width)
+            .collect();
+        let center = bench.die.outline().center();
+        // Record distances *before* inflation shifts cell centers.
+        let dist_before: Vec<f64> = bench
+            .netlist
+            .movable_cell_ids()
+            .map(|c| bench.placement.cell_center(&bench.netlist, c).distance(center))
+            .collect();
+        bench.inflate(&InflationSpec::center_width(0.1, 1.6));
+        let mut inflated_d = Vec::new();
+        let mut untouched_d = Vec::new();
+        for (i, c) in bench.netlist.movable_cell_ids().enumerate() {
+            if bench.netlist.cell(c).width > widths_before[i] + 1e-12 {
+                inflated_d.push(dist_before[i]);
+            } else {
+                untouched_d.push(dist_before[i]);
+            }
+        }
+        assert_eq!(inflated_d.len(), (n as f64 * 0.1).round() as usize);
+        let max_inflated = inflated_d.iter().cloned().fold(0.0, f64::max);
+        let min_untouched = untouched_d.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            max_inflated <= min_untouched + 1e-9,
+            "inflated set is not the nearest-to-center prefix"
+        );
+    }
+
+    #[test]
+    fn inflation_is_deterministic() {
+        let mut a = CircuitSpec::small(6).generate();
+        let mut b = CircuitSpec::small(6).generate();
+        let ra = a.inflate(&InflationSpec::distributed(0.2, 42));
+        let rb = b.inflate(&InflationSpec::distributed(0.2, 42));
+        assert_eq!(ra, rb);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Synthetic benchmark generation for placement-migration experiments.
+//!
+//! The paper evaluates on seven proprietary IBM circuits (64K–1.07M
+//! cells) and on the ISPD-2004 IBM benchmarks placed by Capo. Neither is
+//! available here, so this crate generates the closest synthetic
+//! equivalents:
+//!
+//! - [`CircuitSpec`] builds a clustered netlist (locality like a real
+//!   design: most nets connect cells of the same cluster) together with a
+//!   **legal** constructive placement that keeps each cluster spatially
+//!   contiguous — the properties legalization experiments actually
+//!   consume;
+//! - [`InflationSpec`] reproduces the paper's overlap workloads: cell
+//!   inflation mimicking repowering (distributed or concentrated,
+//!   Section VII / Table VI) and the ISPD protocol (10% of cells inflated
+//!   60% in width, `RANDOM` vs `CENTER`, Table X);
+//! - [`suites`] provides the `ckt1..ckt7` and `ibm01..ibm18` presets at
+//!   configurable scale.
+//!
+//! Everything is deterministic given the seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_gen::{CircuitSpec, InflationSpec};
+//! use dpm_place::check_legality;
+//!
+//! let mut bench = CircuitSpec::small(42).generate();
+//! // The generated placement is legal...
+//! let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 5);
+//! assert!(report.is_legal(), "{report}");
+//!
+//! // ...until we inflate cells to mimic repowering.
+//! let achieved = bench.inflate(&InflationSpec::distributed(0.25, 7));
+//! assert!(achieved > 0.2);
+//! let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 5);
+//! assert!(!report.is_legal());
+//! ```
+
+mod circuit;
+mod eco;
+mod inflate;
+mod stats;
+pub mod suites;
+
+pub use circuit::{Benchmark, CircuitSpec};
+pub use inflate::InflationSpec;
+pub use stats::WorkloadStats;

@@ -1,0 +1,153 @@
+//! Workload statistics: sanity checks that generated circuits look like
+//! real ones.
+//!
+//! The substitution argument in DESIGN.md rests on generated circuits
+//! having realistic *structure* — net degrees, pin counts, utilization,
+//! whitespace distribution. This module measures those properties so the
+//! Table I reproduction (and the tests) can assert them instead of
+//! assuming them.
+
+use crate::Benchmark;
+use dpm_place::{check_legality, BinGrid, DensityMap};
+use std::fmt;
+
+/// Structural statistics of a benchmark circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Movable cells.
+    pub movable_cells: usize,
+    /// Fixed macros.
+    pub macros: usize,
+    /// I/O pads.
+    pub pads: usize,
+    /// Nets with at least two pins.
+    pub connected_nets: usize,
+    /// Pins per net: histogram over degrees 2..=9 (index 0 = degree 2),
+    /// with a final bucket for ≥10.
+    pub net_degree_histogram: [usize; 9],
+    /// Mean pins per connected net.
+    pub mean_net_degree: f64,
+    /// Mean pins per movable cell.
+    pub mean_pins_per_cell: f64,
+    /// Movable area / die area.
+    pub utilization: f64,
+    /// Peak bin density at a 4-row-height bin size.
+    pub peak_density: f64,
+    /// Total pairwise overlap area / movable area (the paper's Table X
+    /// "overlap %").
+    pub overlap_fraction: f64,
+}
+
+impl WorkloadStats {
+    /// Measures a benchmark.
+    pub fn measure(bench: &Benchmark) -> Self {
+        let nl = &bench.netlist;
+        let movable_cells = nl.movable_cell_ids().count();
+        let macros = nl.macro_ids().count();
+        let pads = nl.num_cells() - movable_cells - macros;
+
+        let mut histogram = [0usize; 9];
+        let mut connected = 0usize;
+        let mut degree_sum = 0usize;
+        for net in nl.net_ids() {
+            let k = nl.net(net).pins.len();
+            if k < 2 {
+                continue;
+            }
+            connected += 1;
+            degree_sum += k;
+            let bucket = (k - 2).min(8);
+            histogram[bucket] += 1;
+        }
+
+        let movable_pin_count: usize = nl
+            .movable_cell_ids()
+            .map(|c| nl.cell(c).pins.len())
+            .sum();
+
+        let grid = BinGrid::new(bench.die.outline(), 4.0 * bench.die.row_height());
+        let density = DensityMap::from_placement(nl, &bench.placement, grid);
+        let report = check_legality(nl, &bench.die, &bench.placement, 0);
+
+        Self {
+            movable_cells,
+            macros,
+            pads,
+            connected_nets: connected,
+            net_degree_histogram: histogram,
+            mean_net_degree: if connected == 0 {
+                0.0
+            } else {
+                degree_sum as f64 / connected as f64
+            },
+            mean_pins_per_cell: if movable_cells == 0 {
+                0.0
+            } else {
+                movable_pin_count as f64 / movable_cells as f64
+            },
+            utilization: nl.movable_area() / bench.die.area(),
+            peak_density: density.max_density(),
+            overlap_fraction: report.total_overlap_area / nl.movable_area().max(1e-12),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} movable cells, {} macros, {} pads, {} nets (mean degree {:.2})",
+            self.movable_cells, self.macros, self.pads, self.connected_nets, self.mean_net_degree
+        )?;
+        writeln!(
+            f,
+            "utilization {:.2}, peak density {:.2}, overlap {:.2}% of movable area",
+            self.utilization,
+            self.peak_density,
+            self.overlap_fraction * 100.0
+        )?;
+        write!(f, "net degrees 2..=10+: {:?}", self.net_degree_histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitSpec, InflationSpec};
+
+    #[test]
+    fn generated_circuit_has_realistic_structure() {
+        let bench = CircuitSpec::small(71).generate();
+        let s = WorkloadStats::measure(&bench);
+        assert_eq!(s.movable_cells, 1000);
+        // Net degrees: dominated by 2-5 pin nets like real standard-cell
+        // netlists; mean between 2 and 5.
+        assert!(s.mean_net_degree >= 2.0 && s.mean_net_degree <= 5.0, "{}", s.mean_net_degree);
+        assert!(s.net_degree_histogram[0] > 0, "some 2-pin nets must exist");
+        assert!(s.net_degree_histogram[8] < s.connected_nets / 10, "few giant nets");
+        // Pins per cell in the 2-6 range typical of standard cells.
+        assert!(s.mean_pins_per_cell >= 1.5 && s.mean_pins_per_cell <= 6.0);
+        // Legal placement: no overlap, utilization near target.
+        assert_eq!(s.overlap_fraction, 0.0);
+        assert!((s.utilization - 0.7).abs() < 0.15, "{}", s.utilization);
+    }
+
+    #[test]
+    fn inflation_shows_up_in_overlap_fraction() {
+        let mut bench = CircuitSpec::small(72).generate();
+        let before = WorkloadStats::measure(&bench);
+        bench.inflate(&InflationSpec::random_width(0.1, 1.6, 73));
+        let after = WorkloadStats::measure(&bench);
+        assert_eq!(before.overlap_fraction, 0.0);
+        assert!(after.overlap_fraction > 0.01, "{}", after.overlap_fraction);
+        assert!(after.peak_density > before.peak_density);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let bench = CircuitSpec::small(74).generate();
+        let s = WorkloadStats::measure(&bench).to_string();
+        assert!(s.contains("movable cells"));
+        assert!(s.contains("utilization"));
+    }
+}

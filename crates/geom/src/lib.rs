@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! Geometry primitives shared across the diffuplace workspace.
+//!
+//! This crate provides the small set of planar-geometry types that every other
+//! crate in the workspace builds on: [`Point`], [`Vector`], and axis-aligned
+//! [`Rect`]angles, together with the overlap/area arithmetic that placement
+//! density computation needs.
+//!
+//! All coordinates are `f64` in an arbitrary but consistent unit (the
+//! placement crates use "tracks", i.e. multiples of the routing pitch).
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_geom::{Point, Rect};
+//!
+//! let die = Rect::new(0.0, 0.0, 100.0, 50.0);
+//! let cell = Rect::new(10.0, 10.0, 14.0, 12.0);
+//! assert!(die.contains_rect(&cell));
+//! assert_eq!(cell.area(), 8.0);
+//! assert_eq!(die.overlap_area(&cell), 8.0);
+//! assert_eq!(cell.center(), Point::new(12.0, 11.0));
+//! ```
+
+mod point;
+mod rect;
+
+pub use point::{Point, Vector};
+pub use rect::Rect;
+
+/// Clamps `v` into `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dpm_geom::clamp(5.0, 0.0, 3.0), 3.0);
+/// assert_eq!(dpm_geom::clamp(-1.0, 0.0, 3.0), 0.0);
+/// assert_eq!(dpm_geom::clamp(1.5, 0.0, 3.0), 1.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `lo > hi`.
+#[inline]
+pub fn clamp(v: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo <= hi, "clamp: lo {lo} > hi {hi}");
+    v.max(lo).min(hi)
+}
+
+/// Returns `true` if two floats are equal within `eps`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(dpm_geom::approx_eq(0.1 + 0.2, 0.3, 1e-12));
+/// assert!(!dpm_geom::approx_eq(0.1, 0.2, 1e-12));
+/// ```
+#[inline]
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_inside_range_is_identity() {
+        assert_eq!(clamp(2.0, 1.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn clamp_at_bounds() {
+        assert_eq!(clamp(1.0, 1.0, 3.0), 1.0);
+        assert_eq!(clamp(3.0, 1.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn approx_eq_symmetric() {
+        assert!(approx_eq(1.0, 1.0 + 1e-13, 1e-12));
+        assert!(approx_eq(1.0 + 1e-13, 1.0, 1e-12));
+    }
+}

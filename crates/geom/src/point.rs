@@ -1,0 +1,318 @@
+//! Points and displacement vectors in the placement plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A location in the placement plane.
+///
+/// `Point` is a position; the difference of two points is a [`Vector`].
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::{Point, Vector};
+///
+/// let a = Point::new(1.0, 2.0);
+/// let b = Point::new(4.0, 6.0);
+/// let d: Vector = b - a;
+/// assert_eq!(d, Vector::new(3.0, 4.0));
+/// assert_eq!(d.length(), 5.0);
+/// assert_eq!(a + d, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_geom::Point;
+    /// let d = Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0));
+    /// assert_eq!(d, 5.0);
+    /// ```
+    #[inline]
+    pub fn distance(self, other: Point) -> f64 {
+        (self - other).length()
+    }
+
+    /// Manhattan (L1) distance to `other` — the metric used for wirelength.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_geom::Point;
+    /// let d = Point::new(0.0, 0.0).manhattan_distance(Point::new(3.0, 4.0));
+    /// assert_eq!(d, 7.0);
+    /// ```
+    #[inline]
+    pub fn manhattan_distance(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Returns a point whose coordinates are clamped into the given ranges.
+    #[inline]
+    pub fn clamped(self, x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64) -> Point {
+        Point::new(crate::clamp(self.x, x_lo, x_hi), crate::clamp(self.y, y_lo, y_hi))
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A displacement in the placement plane.
+///
+/// Produced by subtracting two [`Point`]s; used for cell movement and for the
+/// diffusion velocity field.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vector {
+    /// Creates a vector with components `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vector = Vector::new(0.0, 0.0);
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    #[inline]
+    pub fn length_squared(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Manhattan (L1) length.
+    #[inline]
+    pub fn manhattan_length(self) -> f64 {
+        self.x.abs() + self.y.abs()
+    }
+
+    /// Component-wise absolute maximum (L∞ norm).
+    #[inline]
+    pub fn linf_length(self) -> f64 {
+        self.x.abs().max(self.y.abs())
+    }
+
+    /// Returns this vector scaled so its L∞ norm does not exceed `max`.
+    ///
+    /// Used to enforce the CFL-style stability bound `|v|·Δt ≤ Δx` on
+    /// diffusion velocities. A zero vector is returned unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_geom::Vector;
+    /// let v = Vector::new(4.0, 2.0).clamped_linf(1.0);
+    /// assert_eq!(v, Vector::new(1.0, 0.5));
+    /// let w = Vector::new(0.3, -0.2).clamped_linf(1.0);
+    /// assert_eq!(w, Vector::new(0.3, -0.2));
+    /// ```
+    #[inline]
+    pub fn clamped_linf(self, max: f64) -> Vector {
+        let n = self.linf_length();
+        if n > max && n > 0.0 {
+            self * (max / n)
+        } else {
+            self
+        }
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vector) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vector) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, rhs: Vector) -> Vector {
+        Vector::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vector {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vector) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, rhs: Vector) -> Vector {
+        Vector::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vector {
+        Vector::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn div(self, rhs: f64) -> Vector {
+        Vector::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic_round_trips() {
+        let p = Point::new(3.0, -2.0);
+        let v = Vector::new(1.5, 4.0);
+        assert_eq!((p + v) - v, p);
+        assert_eq!((p + v) - p, v);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.manhattan_distance(b), 7.0);
+        assert_eq!(b.manhattan_distance(a), 7.0);
+    }
+
+    #[test]
+    fn vector_norms() {
+        let v = Vector::new(-3.0, 4.0);
+        assert_eq!(v.length(), 5.0);
+        assert_eq!(v.length_squared(), 25.0);
+        assert_eq!(v.manhattan_length(), 7.0);
+        assert_eq!(v.linf_length(), 4.0);
+    }
+
+    #[test]
+    fn linf_clamp_preserves_direction() {
+        let v = Vector::new(-8.0, 4.0);
+        let c = v.clamped_linf(2.0);
+        assert_eq!(c, Vector::new(-2.0, 1.0));
+        // Already-small vectors untouched.
+        assert_eq!(Vector::new(0.1, 0.1).clamped_linf(2.0), Vector::new(0.1, 0.1));
+        // Zero vector stays zero.
+        assert_eq!(Vector::ZERO.clamped_linf(1.0), Vector::ZERO);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let v = Vector::new(2.0, -6.0);
+        assert_eq!(v * 0.5, Vector::new(1.0, -3.0));
+        assert_eq!(v / 2.0, Vector::new(1.0, -3.0));
+        assert_eq!(-v, Vector::new(-2.0, 6.0));
+    }
+
+    #[test]
+    fn clamped_point() {
+        let p = Point::new(-5.0, 100.0).clamped(0.0, 10.0, 0.0, 10.0);
+        assert_eq!(p, Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.0).to_string(), "(1, 2)");
+        assert_eq!(Vector::new(1.0, 2.0).to_string(), "<1, 2>");
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the geometry primitives.
+
+use dpm_geom::{Point, Rect, Vector};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e6..1e6f64, -1e6..1e6f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0.0..1e4f64, 0.0..1e4f64).prop_map(|(o, w, h)| Rect::from_origin_size(o, w, h))
+}
+
+proptest! {
+    #[test]
+    fn overlap_area_commutes(a in arb_rect(), b in arb_rect()) {
+        prop_assert!((a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_area_bounded_by_min_area(a in arb_rect(), b in arb_rect()) {
+        let ov = a.overlap_area(&b);
+        prop_assert!(ov >= 0.0);
+        prop_assert!(ov <= a.area().min(b.area()) + 1e-9);
+    }
+
+    #[test]
+    fn self_overlap_is_area(a in arb_rect()) {
+        prop_assert!((a.overlap_area(&a) - a.area()).abs() <= 1e-9 * a.area().max(1.0));
+    }
+
+    #[test]
+    fn intersection_agrees_with_overlap(a in arb_rect(), b in arb_rect()) {
+        match a.intersection(&b) {
+            Some(i) => {
+                prop_assert!((i.area() - a.overlap_area(&b)).abs() < 1e-6);
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+            }
+            None => prop_assert_eq!(a.overlap_area(&b), 0.0),
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn translation_preserves_area(a in arb_rect(), dx in -1e4..1e4f64, dy in -1e4..1e4f64) {
+        let t = a.translated(dx, dy);
+        prop_assert!((t.area() - a.area()).abs() < 1e-6 * a.area().max(1.0));
+        prop_assert!((t.width() - a.width()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manhattan_is_at_least_euclidean(a in arb_point(), b in arb_point()) {
+        prop_assert!(a.manhattan_distance(b) + 1e-9 >= a.distance(b));
+    }
+
+    #[test]
+    fn triangle_inequality_manhattan(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c) + 1e-6);
+    }
+
+    #[test]
+    fn linf_clamp_never_exceeds(v_x in -1e6..1e6f64, v_y in -1e6..1e6f64, max in 0.01..100.0f64) {
+        let v = Vector::new(v_x, v_y).clamped_linf(max);
+        prop_assert!(v.linf_length() <= max * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn point_vector_round_trip(p in arb_point(), vx in -1e5..1e5f64, vy in -1e5..1e5f64) {
+        let v = Vector::new(vx, vy);
+        let q = p + v;
+        let back = q - v;
+        prop_assert!((back.x - p.x).abs() < 1e-6);
+        prop_assert!((back.y - p.y).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Minimum-cost maximum-flow solver.
+//!
+//! This crate is the substrate behind the `FLOW` baseline legalizer: the
+//! bin grid becomes a flow network (overfull bins are sources, free space
+//! is the sink) and the min-cost flow decides how placement area migrates
+//! between bins, as in Brenner/Pauli/Vygen (ISPD 2004).
+//!
+//! The solver is successive shortest augmenting paths with Johnson
+//! potentials: Bellman–Ford once to establish potentials when negative
+//! costs are present, then Dijkstra per augmentation. Capacities and costs
+//! are `i64`; the caller scales real quantities to integers.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_mcmf::FlowNetwork;
+//!
+//! // A path 0 → 1 → 2 of capacity 5 plus a direct, pricier edge 0 → 2.
+//! let mut net = FlowNetwork::new(3);
+//! net.add_edge(0, 1, 5, 1);
+//! net.add_edge(1, 2, 5, 0);
+//! net.add_edge(0, 2, 5, 4);
+//! let flow = net.min_cost_max_flow(0, 2)?;
+//! assert_eq!(flow.amount, 10);
+//! assert_eq!(flow.cost, 5 * 1 + 5 * 4);
+//! # Ok::<(), dpm_mcmf::FlowError>(())
+//! ```
+
+mod solver;
+
+pub use solver::{EdgeId, EdgeState, FlowError, FlowNetwork, FlowResult};

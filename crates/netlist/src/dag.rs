@@ -1,0 +1,229 @@
+//! Levelization of a netlist into a combinational DAG.
+//!
+//! The timing substrate needs a topological order over cells: signals flow
+//! from each net's driver to its sinks. Generated circuits are acyclic by
+//! construction, but arbitrary netlists may contain combinational loops;
+//! [`levelize`] detects and reports the cells left on cycles so the caller
+//! can break or ignore them.
+
+use crate::{CellId, Netlist, PinDir};
+
+/// Result of [`levelize`]: a topological order plus any cells caught in
+/// combinational cycles.
+#[derive(Debug, Clone)]
+pub struct LevelizeResult {
+    /// Cells in topological order (drivers before sinks). Cells on cycles
+    /// are excluded.
+    pub order: Vec<CellId>,
+    /// Logic level per cell (`level[c] = 1 + max(level of fanin)`), `0` for
+    /// primary inputs. Cells on cycles get `usize::MAX`.
+    pub level: Vec<usize>,
+    /// Cells that could not be ordered because they sit on a cycle.
+    pub cyclic: Vec<CellId>,
+}
+
+impl LevelizeResult {
+    /// `true` if every cell was ordered (the netlist is a DAG).
+    pub fn is_acyclic(&self) -> bool {
+        self.cyclic.is_empty()
+    }
+
+    /// The maximum logic level, or `None` for an empty netlist.
+    pub fn depth(&self) -> Option<usize> {
+        self.order.iter().map(|c| self.level[c.index()]).max()
+    }
+}
+
+/// Computes a topological order of cells by Kahn's algorithm over the
+/// driver→sink relation.
+///
+/// Fanin of a cell = the set of cells driving nets that feed the cell's
+/// input pins. Pads and macros participate like any other cell.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_netlist::{levelize, NetlistBuilder, CellKind, PinDir};
+///
+/// let mut b = NetlistBuilder::new();
+/// let src = b.add_cell("src", 1.0, 1.0, CellKind::Pad);
+/// let g1 = b.add_cell("g1", 2.0, 1.0, CellKind::Movable);
+/// let g2 = b.add_cell("g2", 2.0, 1.0, CellKind::Movable);
+/// let n0 = b.add_net("n0");
+/// let n1 = b.add_net("n1");
+/// b.connect(src, n0, PinDir::Output, 0.0, 0.0);
+/// b.connect(g1, n0, PinDir::Input, 0.0, 0.0);
+/// b.connect(g1, n1, PinDir::Output, 2.0, 0.0);
+/// b.connect(g2, n1, PinDir::Input, 0.0, 0.0);
+/// let nl = b.build()?;
+/// let lv = levelize(&nl);
+/// assert!(lv.is_acyclic());
+/// assert_eq!(lv.level[src.index()], 0);
+/// assert_eq!(lv.level[g2.index()], 2);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+pub fn levelize(netlist: &Netlist) -> LevelizeResult {
+    let n = netlist.num_cells();
+    // Fanin degree per cell: number of input pins on driven nets.
+    let mut indeg = vec![0usize; n];
+    for net in netlist.net_ids() {
+        if netlist.driver_of(net).is_none() {
+            continue;
+        }
+        for &p in &netlist.net(net).pins {
+            let pin = netlist.pin(p);
+            if pin.dir == PinDir::Input {
+                indeg[pin.cell.index()] += 1;
+            }
+        }
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut level = vec![0usize; n];
+    let mut queue: Vec<CellId> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(|i| CellId::new(i as u32))
+        .collect();
+
+    let mut head = 0;
+    while head < queue.len() {
+        let c = queue[head];
+        head += 1;
+        order.push(c);
+        // Propagate through every net this cell drives.
+        for &p in &netlist.cell(c).pins {
+            let pin = netlist.pin(p);
+            if pin.dir != PinDir::Output {
+                continue;
+            }
+            for &q in &netlist.net(pin.net).pins {
+                let sink = netlist.pin(q);
+                if sink.dir != PinDir::Input {
+                    continue;
+                }
+                let s = sink.cell.index();
+                level[s] = level[s].max(level[c.index()] + 1);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push(sink.cell);
+                }
+            }
+        }
+    }
+
+    let mut cyclic = Vec::new();
+    if order.len() < n {
+        let mut seen = vec![false; n];
+        for &c in &order {
+            seen[c.index()] = true;
+        }
+        for i in 0..n {
+            if !seen[i] {
+                cyclic.push(CellId::new(i as u32));
+                level[i] = usize::MAX;
+            }
+        }
+    }
+
+    LevelizeResult { order, level, cyclic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, NetlistBuilder};
+
+    fn chain(len: usize) -> (Netlist, Vec<CellId>) {
+        let mut b = NetlistBuilder::new();
+        let cells: Vec<CellId> = (0..len)
+            .map(|i| b.add_cell(format!("g{i}"), 2.0, 1.0, CellKind::Movable))
+            .collect();
+        for w in cells.windows(2) {
+            let n = b.add_net(format!("n_{}", w[0]));
+            b.connect(w[0], n, PinDir::Output, 0.0, 0.0);
+            b.connect(w[1], n, PinDir::Input, 0.0, 0.0);
+        }
+        (b.build().expect("chain is valid"), cells)
+    }
+
+    #[test]
+    fn chain_levels_increase() {
+        let (nl, cells) = chain(5);
+        let lv = levelize(&nl);
+        assert!(lv.is_acyclic());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(lv.level[c.index()], i);
+        }
+        assert_eq!(lv.depth(), Some(4));
+        assert_eq!(lv.order.len(), 5);
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let (nl, _) = chain(10);
+        let lv = levelize(&nl);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; nl.num_cells()];
+            for (i, c) in lv.order.iter().enumerate() {
+                p[c.index()] = i;
+            }
+            p
+        };
+        for net in nl.net_ids() {
+            let Some(d) = nl.driver_of(net) else { continue };
+            let dc = nl.pin(d).cell;
+            for &p in &nl.net(net).pins {
+                let pin = nl.pin(p);
+                if pin.dir == PinDir::Input {
+                    assert!(pos[dc.index()] < pos[pin.cell.index()], "driver after sink");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let c = b.add_cell("c", 1.0, 1.0, CellKind::Movable);
+        let n1 = b.add_net("n1");
+        let n2 = b.add_net("n2");
+        b.connect(a, n1, PinDir::Output, 0.0, 0.0);
+        b.connect(c, n1, PinDir::Input, 0.0, 0.0);
+        b.connect(c, n2, PinDir::Output, 0.0, 0.0);
+        b.connect(a, n2, PinDir::Input, 0.0, 0.0);
+        let nl = b.build().expect("valid");
+        let lv = levelize(&nl);
+        assert!(!lv.is_acyclic());
+        assert_eq!(lv.cyclic.len(), 2);
+        assert!(lv.order.is_empty());
+        assert_eq!(lv.level[a.index()], usize::MAX);
+    }
+
+    #[test]
+    fn fanout_tree_levels() {
+        // One driver feeding three sinks: all sinks at level 1.
+        let mut b = NetlistBuilder::new();
+        let d = b.add_cell("d", 1.0, 1.0, CellKind::Movable);
+        let sinks: Vec<CellId> = (0..3).map(|i| b.add_cell(format!("s{i}"), 1.0, 1.0, CellKind::Movable)).collect();
+        let n = b.add_net("n");
+        b.connect(d, n, PinDir::Output, 0.0, 0.0);
+        for &s in &sinks {
+            b.connect(s, n, PinDir::Input, 0.0, 0.0);
+        }
+        let nl = b.build().expect("valid");
+        let lv = levelize(&nl);
+        assert_eq!(lv.level[d.index()], 0);
+        for s in sinks {
+            assert_eq!(lv.level[s.index()], 1);
+        }
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let nl = NetlistBuilder::new().build().expect("empty ok");
+        let lv = levelize(&nl);
+        assert!(lv.is_acyclic());
+        assert_eq!(lv.depth(), None);
+    }
+}

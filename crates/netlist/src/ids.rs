@@ -1,0 +1,108 @@
+//! Typed identifiers for netlist objects.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index, for use with parallel arrays.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a [`Cell`](crate::Cell) within its [`Netlist`](crate::Netlist).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_netlist::CellId;
+    /// let id = CellId::new(3);
+    /// assert_eq!(id.index(), 3);
+    /// assert_eq!(format!("{id}"), "c3");
+    /// ```
+    CellId,
+    "c"
+);
+
+id_type!(
+    /// Identifier of a [`Net`](crate::Net) within its [`Netlist`](crate::Netlist).
+    NetId,
+    "n"
+);
+
+id_type!(
+    /// Identifier of a [`Pin`](crate::Pin) within its [`Netlist`](crate::Netlist).
+    PinId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(CellId::new(1));
+        s.insert(CellId::new(1));
+        s.insert(CellId::new(2));
+        assert_eq!(s.len(), 2);
+        assert!(CellId::new(1) < CellId::new(2));
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert_eq!(NetId::new(7).to_string(), "n7");
+        assert_eq!(PinId::new(0).to_string(), "p0");
+        assert_eq!(format!("{:?}", CellId::new(5)), "c5");
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let id = NetId::new(9);
+        let i: usize = id.into();
+        assert_eq!(i, 9);
+        assert_eq!(id.raw(), 9);
+    }
+}

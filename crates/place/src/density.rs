@@ -1,0 +1,429 @@
+//! Per-bin placement density.
+//!
+//! The paper (Section IV-A) defines the density of bin `(j, k)` as the sum
+//! of cell-area overlaps with the bin, normalized by the bin area, so a bin
+//! exactly filled by cells has density 1.0. Bins covered by fixed macros
+//! are marked *fixed*: their density is pinned at 1.0 and the diffusion
+//! equation treats them as walls.
+
+use crate::{BinGrid, BinIdx, Placement};
+use dpm_netlist::{CellKind, Netlist};
+
+/// A snapshot of placement density over a [`BinGrid`].
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Rect;
+/// use dpm_geom::Point;
+/// use dpm_netlist::{NetlistBuilder, CellKind};
+/// use dpm_place::{BinGrid, BinIdx, DensityMap, Placement};
+///
+/// let mut b = NetlistBuilder::new();
+/// let c = b.add_cell("c", 10.0, 10.0, CellKind::Movable);
+/// let nl = b.build()?;
+/// let mut p = Placement::new(1);
+/// p.set(c, Point::new(0.0, 0.0));
+///
+/// let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+/// let d = DensityMap::from_placement(&nl, &p, grid);
+/// assert_eq!(d.density(BinIdx::new(0, 0)), 1.0);
+/// assert_eq!(d.density(BinIdx::new(1, 0)), 0.0);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMap {
+    grid: BinGrid,
+    density: Vec<f64>,
+    fixed: Vec<bool>,
+}
+
+impl DensityMap {
+    /// Fraction of a bin a fixed macro must cover before the bin is treated
+    /// as a wall for diffusion purposes.
+    pub const FIXED_COVER_THRESHOLD: f64 = 0.5;
+
+    /// Computes the density of every bin from the current placement.
+    ///
+    /// Movable cells contribute their overlap area; fixed macros mark bins
+    /// whose coverage exceeds [`Self::FIXED_COVER_THRESHOLD`] as fixed with
+    /// density 1.0 (the paper assumes macros overlap bins completely; the
+    /// threshold generalizes that to partial boundary bins). Pads occupy no
+    /// area.
+    pub fn from_placement(netlist: &Netlist, placement: &Placement, grid: BinGrid) -> Self {
+        let mut map = Self {
+            density: vec![0.0; grid.len()],
+            fixed: vec![false; grid.len()],
+            grid,
+        };
+        map.recompute(netlist, placement);
+        map
+    }
+
+    /// Recomputes densities in place from `placement` (the *dynamic density
+    /// update* of paper Section VI-B), reusing the existing grid.
+    pub fn recompute(&mut self, netlist: &Netlist, placement: &Placement) {
+        self.density.iter_mut().for_each(|d| *d = 0.0);
+        self.fixed.iter_mut().for_each(|f| *f = false);
+        let bin_area = self.grid.bin_area();
+
+        // Macros first: they pin bins at density 1 and mark them fixed.
+        for cell in netlist.macro_ids() {
+            let r = placement.cell_rect(netlist, cell);
+            let Some((lo, hi)) = self.grid.bins_overlapping(&r) else {
+                continue;
+            };
+            for k in lo.k..=hi.k {
+                for j in lo.j..=hi.j {
+                    let idx = BinIdx::new(j, k);
+                    let cover = self.grid.bin_rect(idx).overlap_area(&r) / bin_area;
+                    if cover >= Self::FIXED_COVER_THRESHOLD {
+                        let f = self.grid.flat(idx);
+                        self.fixed[f] = true;
+                        self.density[f] = 1.0;
+                    } else {
+                        let f = self.grid.flat(idx);
+                        self.density[f] += cover;
+                    }
+                }
+            }
+        }
+
+        // Movable cells contribute area overlap.
+        for cell in netlist.cell_ids() {
+            if netlist.cell(cell).kind != CellKind::Movable {
+                continue;
+            }
+            let r = placement.cell_rect(netlist, cell);
+            let Some((lo, hi)) = self.grid.bins_overlapping(&r) else {
+                continue;
+            };
+            for k in lo.k..=hi.k {
+                for j in lo.j..=hi.j {
+                    let idx = BinIdx::new(j, k);
+                    let f = self.grid.flat(idx);
+                    // Area stacked on a macro bin is counted too, so the
+                    // overflow metrics see it and legalization must move
+                    // it off the blockage.
+                    self.density[f] += self.grid.bin_rect(idx).overlap_area(&r) / bin_area;
+                }
+            }
+        }
+    }
+
+    /// Incrementally updates the map for one movable cell that moved from
+    /// `old_rect` to `new_rect` (both in world coordinates).
+    ///
+    /// Equivalent to a full [`recompute`](Self::recompute) but `O(bins
+    /// touched by the two rectangles)` — the operation incremental
+    /// optimizers (and the dynamic density update on large designs) need.
+    /// Contributions landing on fixed (macro) bins are tracked the same
+    /// way `recompute` tracks them.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_geom::{Point, Rect};
+    /// use dpm_netlist::{NetlistBuilder, CellKind, CellId};
+    /// use dpm_place::{BinGrid, DensityMap, Placement};
+    ///
+    /// let mut b = NetlistBuilder::new();
+    /// let c = b.add_cell("c", 10.0, 10.0, CellKind::Movable);
+    /// let nl = b.build()?;
+    /// let mut p = Placement::new(1);
+    /// let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+    /// let mut map = DensityMap::from_placement(&nl, &p, grid);
+    ///
+    /// let old = p.cell_rect(&nl, c);
+    /// p.set(c, Point::new(30.0, 30.0));
+    /// map.move_cell(&old, &p.cell_rect(&nl, c));
+    ///
+    /// let fresh = DensityMap::from_placement(&nl, &p, map.grid().clone());
+    /// assert_eq!(map.densities(), fresh.densities());
+    /// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+    /// ```
+    pub fn move_cell(&mut self, old_rect: &dpm_geom::Rect, new_rect: &dpm_geom::Rect) {
+        self.add_rect(old_rect, -1.0);
+        self.add_rect(new_rect, 1.0);
+    }
+
+    fn add_rect(&mut self, r: &dpm_geom::Rect, sign: f64) {
+        let bin_area = self.grid.bin_area();
+        let Some((lo, hi)) = self.grid.bins_overlapping(r) else {
+            return;
+        };
+        for k in lo.k..=hi.k {
+            for j in lo.j..=hi.j {
+                let idx = BinIdx::new(j, k);
+                let f = self.grid.flat(idx);
+                self.density[f] += sign * self.grid.bin_rect(idx).overlap_area(r) / bin_area;
+            }
+        }
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &BinGrid {
+        &self.grid
+    }
+
+    /// Density of bin `(j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index is out of range.
+    #[inline]
+    pub fn density(&self, idx: BinIdx) -> f64 {
+        self.density[self.grid.flat(idx)]
+    }
+
+    /// `true` if the bin is covered by a fixed macro.
+    #[inline]
+    pub fn is_fixed(&self, idx: BinIdx) -> bool {
+        self.fixed[self.grid.flat(idx)]
+    }
+
+    /// Raw density buffer, row-major.
+    #[inline]
+    pub fn densities(&self) -> &[f64] {
+        &self.density
+    }
+
+    /// Raw fixed-bin mask, row-major.
+    #[inline]
+    pub fn fixed_mask(&self) -> &[bool] {
+        &self.fixed
+    }
+
+    /// Maximum bin density over non-fixed bins.
+    pub fn max_density(&self) -> f64 {
+        self.density
+            .iter()
+            .zip(&self.fixed)
+            .filter(|(_, &f)| !f)
+            .map(|(&d, _)| d)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean density over non-fixed bins (0 if every bin is fixed).
+    pub fn average_density(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (d, f) in self.density.iter().zip(&self.fixed) {
+            if !f {
+                sum += d;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Total overflow `Σ max(d − d_max, 0)` over non-fixed bins.
+    pub fn total_overflow(&self, d_max: f64) -> f64 {
+        self.density
+            .iter()
+            .zip(&self.fixed)
+            .filter(|(_, &f)| !f)
+            .map(|(&d, _)| (d - d_max).max(0.0))
+            .sum()
+    }
+
+    /// Maximum overflow `max(d − d_max, 0)` over non-fixed bins.
+    pub fn max_overflow(&self, d_max: f64) -> f64 {
+        (self.max_density() - d_max).max(0.0)
+    }
+
+    /// Windowed average density `d'` per bin: the mean density of all
+    /// non-fixed bins within Chebyshev distance `w` (paper Algorithm 2,
+    /// analysis window `W1`).
+    ///
+    /// Fixed bins get the value 1.0.
+    pub fn windowed_average(&self, w: usize) -> Vec<f64> {
+        let nx = self.grid.nx();
+        let ny = self.grid.ny();
+        let mut out = vec![0.0; self.density.len()];
+        for k in 0..ny {
+            for j in 0..nx {
+                let f = k * nx + j;
+                if self.fixed[f] {
+                    out[f] = 1.0;
+                    continue;
+                }
+                let j_lo = j.saturating_sub(w);
+                let j_hi = (j + w).min(nx - 1);
+                let k_lo = k.saturating_sub(w);
+                let k_hi = (k + w).min(ny - 1);
+                let mut sum = 0.0;
+                let mut n = 0usize;
+                for kk in k_lo..=k_hi {
+                    for jj in j_lo..=j_hi {
+                        let g = kk * nx + jj;
+                        if !self.fixed[g] {
+                            sum += self.density[g];
+                            n += 1;
+                        }
+                    }
+                }
+                out[f] = if n == 0 { 0.0 } else { sum / n as f64 };
+            }
+        }
+        out
+    }
+
+    /// Total *local* overflow: `Σ max(d' − d_max, 0)` with `d'` the
+    /// windowed average — the overflow measure the paper uses for the
+    /// DIFF(G)/DIFF(L) comparison (Section VII-B).
+    pub fn total_local_overflow(&self, w: usize, d_max: f64) -> f64 {
+        self.windowed_average(w)
+            .iter()
+            .zip(&self.fixed)
+            .filter(|(_, &f)| !f)
+            .map(|(&d, _)| (d - d_max).max(0.0))
+            .sum()
+    }
+
+    /// Maximum *local* overflow over bins.
+    pub fn max_local_overflow(&self, w: usize, d_max: f64) -> f64 {
+        self.windowed_average(w)
+            .iter()
+            .zip(&self.fixed)
+            .filter(|(_, &f)| !f)
+            .map(|(&d, _)| (d - d_max).max(0.0))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::{Point, Rect};
+    use dpm_netlist::{NetlistBuilder};
+
+    fn one_cell_world(w: f64, h: f64, at: Point) -> (Netlist, Placement, BinGrid) {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("c", w, h, CellKind::Movable);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(1);
+        p.set(c, at);
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+        (nl, p, grid)
+    }
+
+    #[test]
+    fn cell_spanning_bins_splits_area() {
+        // 10x10 cell centered on the corner of four bins.
+        let (nl, p, grid) = one_cell_world(10.0, 10.0, Point::new(5.0, 5.0));
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        assert!((d.density(BinIdx::new(0, 0)) - 0.25).abs() < 1e-12);
+        assert!((d.density(BinIdx::new(1, 0)) - 0.25).abs() < 1e-12);
+        assert!((d.density(BinIdx::new(0, 1)) - 0.25).abs() < 1e-12);
+        assert!((d.density(BinIdx::new(1, 1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_density_equals_total_area() {
+        let (nl, p, grid) = one_cell_world(17.0, 9.0, Point::new(3.0, 12.0));
+        let bin_area = grid.bin_area();
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        let total: f64 = d.densities().iter().sum::<f64>() * bin_area;
+        assert!((total - 17.0 * 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macro_marks_fixed_bins() {
+        let mut b = NetlistBuilder::new();
+        let m = b.add_cell("m", 20.0, 20.0, CellKind::FixedMacro);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(1);
+        p.set(m, Point::new(10.0, 10.0));
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        for k in 1..=2 {
+            for j in 1..=2 {
+                assert!(d.is_fixed(BinIdx::new(j, k)), "bin ({j},{k}) should be fixed");
+                assert_eq!(d.density(BinIdx::new(j, k)), 1.0);
+            }
+        }
+        assert!(!d.is_fixed(BinIdx::new(0, 0)));
+        assert_eq!(d.density(BinIdx::new(0, 0)), 0.0);
+    }
+
+    #[test]
+    fn overflow_metrics() {
+        let (nl, p, grid) = one_cell_world(20.0, 10.0, Point::new(0.0, 0.0));
+        // Two bins at 1.0 density each... inflate: place a second density by
+        // overlapping cell entirely in one bin? Use overflow vs d_max=0.5.
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        assert!((d.max_density() - 1.0).abs() < 1e-12);
+        assert!((d.total_overflow(0.5) - 1.0).abs() < 1e-12); // 2 bins x 0.5 over
+        assert!((d.max_overflow(0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(d.total_overflow(1.0), 0.0);
+    }
+
+    #[test]
+    fn windowed_average_smooths() {
+        let (nl, p, grid) = one_cell_world(10.0, 10.0, Point::new(0.0, 0.0));
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        let w1 = d.windowed_average(1);
+        // Bin (0,0) has density 1; its 2x2 neighborhood average is 0.25.
+        assert!((w1[0] - 0.25).abs() < 1e-12);
+        // Window 0 reproduces raw density.
+        let w0 = d.windowed_average(0);
+        assert_eq!(w0, d.densities());
+    }
+
+    #[test]
+    fn recompute_tracks_movement() {
+        let (nl, mut p, grid) = one_cell_world(10.0, 10.0, Point::new(0.0, 0.0));
+        let mut d = DensityMap::from_placement(&nl, &p, grid);
+        assert_eq!(d.density(BinIdx::new(0, 0)), 1.0);
+        p.set(dpm_netlist::CellId::new(0), Point::new(30.0, 30.0));
+        d.recompute(&nl, &p);
+        assert_eq!(d.density(BinIdx::new(0, 0)), 0.0);
+        assert_eq!(d.density(BinIdx::new(3, 3)), 1.0);
+    }
+
+    #[test]
+    fn incremental_move_matches_recompute() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 7.0, 9.0, CellKind::Movable);
+        let c = b.add_cell("c", 13.0, 11.0, CellKind::Movable);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(2);
+        p.set(a, Point::new(3.0, 4.0));
+        p.set(c, Point::new(21.0, 17.0));
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+        let mut map = DensityMap::from_placement(&nl, &p, grid.clone());
+
+        // Move both cells incrementally, including a partially off-grid
+        // overlap case.
+        for (cell, to) in [(a, Point::new(28.5, 2.5)), (c, Point::new(0.0, 30.0))] {
+            let old = p.cell_rect(&nl, cell);
+            p.set(cell, to);
+            map.move_cell(&old, &p.cell_rect(&nl, cell));
+        }
+        let fresh = DensityMap::from_placement(&nl, &p, grid);
+        for (m, f) in map.densities().iter().zip(fresh.densities()) {
+            assert!((m - f).abs() < 1e-12, "incremental {m} vs fresh {f}");
+        }
+    }
+
+    #[test]
+    fn average_density_ignores_fixed() {
+        let mut b = NetlistBuilder::new();
+        let m = b.add_cell("m", 20.0, 40.0, CellKind::FixedMacro);
+        let c = b.add_cell("c", 10.0, 10.0, CellKind::Movable);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(2);
+        p.set(m, Point::new(20.0, 0.0)); // right half fixed
+        p.set(c, Point::new(0.0, 0.0));
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        // 8 non-fixed bins, one at density 1.0.
+        assert!((d.average_density() - 1.0 / 8.0).abs() < 1e-12);
+    }
+}

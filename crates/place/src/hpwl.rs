@@ -1,0 +1,117 @@
+//! Half-perimeter wirelength (HPWL).
+
+use crate::Placement;
+use dpm_geom::Rect;
+use dpm_netlist::{NetId, Netlist};
+
+/// The bounding box of a net's pins, or `None` for a pinless net.
+pub fn net_bbox(netlist: &Netlist, placement: &Placement, net: NetId) -> Option<Rect> {
+    let pins = &netlist.net(net).pins;
+    let mut it = pins.iter();
+    let first = *it.next()?;
+    let mut bbox = Rect::degenerate(placement.pin_position(netlist, first));
+    for &p in it {
+        bbox = bbox.union_point(placement.pin_position(netlist, p));
+    }
+    Some(bbox)
+}
+
+/// The half-perimeter wirelength of one net (0 for nets with fewer than two
+/// pins).
+pub fn net_hpwl(netlist: &Netlist, placement: &Placement, net: NetId) -> f64 {
+    match net_bbox(netlist, placement, net) {
+        Some(b) => b.half_perimeter(),
+        None => 0.0,
+    }
+}
+
+/// Total half-perimeter wirelength over all nets — the TWL metric of the
+/// paper's Tables II, IX, XI and XIV.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Point;
+/// use dpm_netlist::{NetlistBuilder, CellKind, PinDir};
+/// use dpm_place::{Placement, hpwl};
+///
+/// let mut b = NetlistBuilder::new();
+/// let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+/// let v = b.add_cell("v", 2.0, 2.0, CellKind::Movable);
+/// let n = b.add_net("n");
+/// b.connect(u, n, PinDir::Output, 1.0, 1.0);
+/// b.connect(v, n, PinDir::Input, 1.0, 1.0);
+/// let nl = b.build()?;
+/// let mut p = Placement::new(2);
+/// p.set(u, Point::new(0.0, 0.0));
+/// p.set(v, Point::new(3.0, 4.0));
+/// assert_eq!(hpwl(&nl, &p), 7.0);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+pub fn hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist.net_ids().map(|n| net_hpwl(netlist, placement, n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+
+    fn star(n_sinks: usize) -> (Netlist, NetId) {
+        let mut b = NetlistBuilder::new();
+        let d = b.add_cell("d", 1.0, 1.0, CellKind::Movable);
+        let net = b.add_net("n");
+        b.connect(d, net, PinDir::Output, 0.5, 0.5);
+        for i in 0..n_sinks {
+            let s = b.add_cell(format!("s{i}"), 1.0, 1.0, CellKind::Movable);
+            b.connect(s, net, PinDir::Input, 0.5, 0.5);
+        }
+        (b.build().expect("valid"), net)
+    }
+
+    #[test]
+    fn single_pin_net_is_zero() {
+        let (nl, net) = star(0);
+        let p = Placement::new(nl.num_cells());
+        assert_eq!(net_hpwl(&nl, &p, net), 0.0);
+    }
+
+    #[test]
+    fn multi_pin_bbox() {
+        let (nl, net) = star(2);
+        let mut p = Placement::new(nl.num_cells());
+        p.set(dpm_netlist::CellId::new(0), Point::new(0.0, 0.0)); // pin at (.5,.5)
+        p.set(dpm_netlist::CellId::new(1), Point::new(9.5, 0.5)); // pin at (10,1)
+        p.set(dpm_netlist::CellId::new(2), Point::new(4.5, 19.5)); // pin at (5,20)
+        let b = net_bbox(&nl, &p, net).expect("bbox");
+        assert_eq!(b, Rect::new(0.5, 0.5, 10.0, 20.0));
+        assert_eq!(net_hpwl(&nl, &p, net), 9.5 + 19.5);
+    }
+
+    #[test]
+    fn hpwl_is_translation_invariant() {
+        let (nl, _) = star(3);
+        let mut p = Placement::new(nl.num_cells());
+        for (i, pos) in [(0, (0.0, 0.0)), (1, (5.0, 2.0)), (2, (1.0, 8.0)), (3, (4.0, 4.0))] {
+            p.set(dpm_netlist::CellId::new(i), Point::new(pos.0, pos.1));
+        }
+        let w0 = hpwl(&nl, &p);
+        for pt in p.as_mut_slice() {
+            *pt = *pt + (Point::new(100.0, -50.0) - Point::ORIGIN);
+        }
+        let w1 = hpwl(&nl, &p);
+        assert!((w0 - w1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_a_sink_away_increases_hpwl() {
+        let (nl, _) = star(1);
+        let mut p = Placement::new(nl.num_cells());
+        p.set(dpm_netlist::CellId::new(1), Point::new(3.0, 0.0));
+        let w0 = hpwl(&nl, &p);
+        p.set(dpm_netlist::CellId::new(1), Point::new(30.0, 0.0));
+        let w1 = hpwl(&nl, &p);
+        assert!(w1 > w0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Legality checking: row alignment, die containment, overlap freedom.
+
+use crate::{Die, Placement};
+use dpm_geom::Rect;
+use dpm_netlist::{CellId, CellKind, Netlist};
+use std::fmt;
+
+/// A single legality violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Violation {
+    /// The cell extends beyond the die outline.
+    OutsideDie {
+        /// The offending cell.
+        cell: CellId,
+    },
+    /// The cell's lower edge is not on a row boundary.
+    NotRowAligned {
+        /// The offending cell.
+        cell: CellId,
+        /// Distance from the nearest row boundary.
+        offset: f64,
+    },
+    /// Two movable cells overlap.
+    CellOverlap {
+        /// First cell (lower id).
+        a: CellId,
+        /// Second cell.
+        b: CellId,
+        /// Overlap area.
+        area: f64,
+    },
+    /// A movable cell overlaps a fixed macro.
+    MacroOverlap {
+        /// The movable cell.
+        cell: CellId,
+        /// The macro.
+        macro_cell: CellId,
+        /// Overlap area.
+        area: f64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutsideDie { cell } => write!(f, "cell {cell} extends outside the die"),
+            Violation::NotRowAligned { cell, offset } => {
+                write!(f, "cell {cell} is {offset} off the nearest row boundary")
+            }
+            Violation::CellOverlap { a, b, area } => {
+                write!(f, "cells {a} and {b} overlap by area {area}")
+            }
+            Violation::MacroOverlap { cell, macro_cell, area } => {
+                write!(f, "cell {cell} overlaps macro {macro_cell} by area {area}")
+            }
+        }
+    }
+}
+
+/// Result of [`check_legality`]: the list of violations found (possibly
+/// truncated) and summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LegalityReport {
+    /// Violations found, up to the caller's limit.
+    pub violations: Vec<Violation>,
+    /// Total number of violations (even when `violations` is truncated).
+    pub violation_count: usize,
+    /// Total pairwise overlap area between movable cells.
+    pub total_overlap_area: f64,
+}
+
+impl LegalityReport {
+    /// `true` if the placement is fully legal.
+    #[inline]
+    pub fn is_legal(&self) -> bool {
+        self.violation_count == 0
+    }
+}
+
+impl fmt::Display for LegalityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_legal() {
+            write!(f, "legal placement")
+        } else {
+            write!(
+                f,
+                "{} violations, total overlap area {:.3}",
+                self.violation_count, self.total_overlap_area
+            )
+        }
+    }
+}
+
+/// Tolerance (in placement units) for row alignment and containment checks.
+pub(crate) const EPS: f64 = 1e-6;
+
+/// Checks a placement for legality: every movable cell inside the die, on a
+/// row boundary, and not overlapping any other movable cell or macro.
+///
+/// At most `max_reported` violations are materialized into the report (the
+/// count is always exact). Macros and pads are exempt from the row and
+/// containment checks.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Point;
+/// use dpm_netlist::{NetlistBuilder, CellKind};
+/// use dpm_place::{check_legality, Die, Placement};
+///
+/// let mut b = NetlistBuilder::new();
+/// let u = b.add_cell("u", 4.0, 12.0, CellKind::Movable);
+/// let v = b.add_cell("v", 4.0, 12.0, CellKind::Movable);
+/// let nl = b.build()?;
+/// let die = Die::new(100.0, 48.0, 12.0);
+/// let mut p = Placement::new(2);
+/// p.set(u, Point::new(0.0, 0.0));
+/// p.set(v, Point::new(2.0, 0.0)); // overlaps u
+/// let report = check_legality(&nl, &die, &p, 10);
+/// assert!(!report.is_legal());
+/// assert_eq!(report.violation_count, 1);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+pub fn check_legality(netlist: &Netlist, die: &Die, placement: &Placement, max_reported: usize) -> LegalityReport {
+    let mut report = LegalityReport::default();
+    let outline = die.outline();
+
+    let push = |report: &mut LegalityReport, v: Violation| {
+        if report.violations.len() < max_reported {
+            report.violations.push(v);
+        }
+        report.violation_count += 1;
+    };
+
+    // Containment and row alignment.
+    let mut by_row: Vec<Vec<(CellId, Rect)>> = vec![Vec::new(); die.num_rows()];
+    for cell in netlist.cell_ids() {
+        if netlist.cell(cell).kind != CellKind::Movable {
+            continue;
+        }
+        let r = placement.cell_rect(netlist, cell);
+        if r.llx < outline.llx - EPS
+            || r.urx > outline.urx + EPS
+            || r.lly < outline.lly - EPS
+            || r.ury > outline.ury + EPS
+        {
+            push(&mut report, Violation::OutsideDie { cell });
+        }
+        let snapped = die.snap_y(r.lly);
+        let off = (r.lly - snapped).abs();
+        if off > EPS {
+            push(&mut report, Violation::NotRowAligned { cell, offset: off });
+        }
+        // Bucket into every row the cell's vertical span touches so that
+        // unaligned or multi-row-tall cells still get overlap-checked.
+        let row_lo = die.row_of_y(r.lly + EPS);
+        let row_hi = die.row_of_y(r.ury - EPS);
+        for row in row_lo..=row_hi {
+            by_row[row].push((cell, r));
+        }
+    }
+
+    // Pairwise overlap within each row bucket (sweep over sorted x).
+    let mut seen_pairs = std::collections::HashSet::new();
+    for bucket in &mut by_row {
+        bucket.sort_by(|a, b| a.1.llx.total_cmp(&b.1.llx));
+        for i in 0..bucket.len() {
+            let (a, ra) = bucket[i];
+            for &(b, rb) in bucket.iter().skip(i + 1) {
+                if rb.llx >= ra.urx - EPS {
+                    break;
+                }
+                let area = ra.overlap_area(&rb);
+                if area > EPS && seen_pairs.insert((a.min(b), a.max(b))) {
+                    report.total_overlap_area += area;
+                    push(&mut report, Violation::CellOverlap { a: a.min(b), b: a.max(b), area });
+                }
+            }
+        }
+    }
+
+    // Overlap with macros.
+    let macros: Vec<(CellId, Rect)> = netlist
+        .macro_ids()
+        .map(|m| (m, placement.cell_rect(netlist, m)))
+        .collect();
+    if !macros.is_empty() {
+        for cell in netlist.cell_ids() {
+            if netlist.cell(cell).kind != CellKind::Movable {
+                continue;
+            }
+            let r = placement.cell_rect(netlist, cell);
+            for &(m, mr) in &macros {
+                let area = r.overlap_area(&mr);
+                if area > EPS {
+                    push(&mut report, Violation::MacroOverlap { cell, macro_cell: m, area });
+                }
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::NetlistBuilder;
+
+    fn setup(cells: &[(f64, f64)]) -> (Netlist, Die, Placement) {
+        let mut b = NetlistBuilder::new();
+        for (i, _) in cells.iter().enumerate() {
+            b.add_cell(format!("c{i}"), 4.0, 12.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let die = Die::new(100.0, 48.0, 12.0);
+        let mut p = Placement::new(nl.num_cells());
+        for (i, &(x, y)) in cells.iter().enumerate() {
+            p.set(CellId::new(i as u32), Point::new(x, y));
+        }
+        (nl, die, p)
+    }
+
+    #[test]
+    fn legal_placement_passes() {
+        let (nl, die, p) = setup(&[(0.0, 0.0), (4.0, 0.0), (0.0, 12.0)]);
+        let r = check_legality(&nl, &die, &p, 10);
+        assert!(r.is_legal(), "{r}");
+    }
+
+    #[test]
+    fn abutting_cells_are_legal() {
+        let (nl, die, p) = setup(&[(0.0, 0.0), (4.0, 0.0), (8.0, 0.0)]);
+        assert!(check_legality(&nl, &die, &p, 10).is_legal());
+    }
+
+    #[test]
+    fn overlap_detected_once_per_pair() {
+        let (nl, die, p) = setup(&[(0.0, 0.0), (2.0, 0.0)]);
+        let r = check_legality(&nl, &die, &p, 10);
+        assert_eq!(r.violation_count, 1);
+        assert!((r.total_overlap_area - 2.0 * 12.0).abs() < 1e-9);
+        assert!(matches!(r.violations[0], Violation::CellOverlap { .. }));
+    }
+
+    #[test]
+    fn misaligned_cell_flagged() {
+        let (nl, die, p) = setup(&[(0.0, 3.0)]);
+        let r = check_legality(&nl, &die, &p, 10);
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::NotRowAligned { .. })));
+    }
+
+    #[test]
+    fn outside_die_flagged() {
+        let (nl, die, p) = setup(&[(98.0, 0.0)]);
+        let r = check_legality(&nl, &die, &p, 10);
+        assert!(r.violations.iter().any(|v| matches!(v, Violation::OutsideDie { .. })));
+    }
+
+    #[test]
+    fn macro_overlap_flagged() {
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("c", 4.0, 12.0, CellKind::Movable);
+        let m = b.add_cell("m", 24.0, 24.0, CellKind::FixedMacro);
+        let nl = b.build().expect("valid");
+        let die = Die::new(100.0, 48.0, 12.0);
+        let mut p = Placement::new(2);
+        p.set(c, Point::new(10.0, 12.0));
+        p.set(m, Point::new(8.0, 12.0));
+        let r = check_legality(&nl, &die, &p, 10);
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MacroOverlap { .. })));
+    }
+
+    #[test]
+    fn report_truncation_keeps_exact_count() {
+        let cells: Vec<(f64, f64)> = (0..10).map(|i| (i as f64 * 0.5, 0.0)).collect();
+        let (nl, die, p) = setup(&cells);
+        let r = check_legality(&nl, &die, &p, 3);
+        assert_eq!(r.violations.len(), 3);
+        assert!(r.violation_count > 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Violation::OutsideDie { cell: CellId::new(1) };
+        assert!(v.to_string().contains("outside"));
+        let mut rep = LegalityReport::default();
+        assert_eq!(rep.to_string(), "legal placement");
+        rep.violation_count = 2;
+        assert!(rep.to_string().contains("2 violations"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Cell-movement statistics between two placements.
+
+use crate::Placement;
+use dpm_netlist::Netlist;
+use std::fmt;
+
+/// Summary of how far cells moved between two placements — the
+/// max/avg/avg²/#moved breakdown of the paper's Tables VIII, XII and XV.
+///
+/// Distances are Euclidean, measured between cell lower-left corners.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Point;
+/// use dpm_netlist::{NetlistBuilder, CellKind, CellId};
+/// use dpm_place::{MovementStats, Placement};
+///
+/// let mut b = NetlistBuilder::new();
+/// b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+/// b.add_cell("b", 1.0, 1.0, CellKind::Movable);
+/// let nl = b.build()?;
+/// let before = Placement::new(2);
+/// let mut after = before.clone();
+/// after.set(CellId::new(0), Point::new(3.0, 4.0));
+/// let m = MovementStats::between(&nl, &before, &after);
+/// assert_eq!(m.max, 5.0);
+/// assert_eq!(m.moved, 1);
+/// assert_eq!(m.total, 5.0);
+/// # Ok::<(), dpm_netlist::BuildNetlistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MovementStats {
+    /// Largest single-cell displacement.
+    pub max: f64,
+    /// Sum of displacements over all movable cells.
+    pub total: f64,
+    /// Mean displacement over *moved* cells (0 if nothing moved).
+    pub avg: f64,
+    /// Mean squared displacement over moved cells.
+    pub avg_sq: f64,
+    /// Number of cells that moved more than [`Self::MOVE_THRESHOLD`].
+    pub moved: usize,
+    /// Number of movable cells considered.
+    pub movable: usize,
+}
+
+impl MovementStats {
+    /// Displacements below this are considered "not moved" when counting
+    /// `moved` (floating-point noise guard).
+    pub const MOVE_THRESHOLD: f64 = 1e-9;
+
+    /// Computes movement statistics between two placements of the same
+    /// netlist, over movable cells only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placements have different lengths.
+    pub fn between(netlist: &Netlist, before: &Placement, after: &Placement) -> Self {
+        assert_eq!(before.len(), after.len(), "placements must cover the same cells");
+        let mut s = Self::default();
+        for cell in netlist.movable_cell_ids() {
+            s.movable += 1;
+            let d = (after.get(cell) - before.get(cell)).length();
+            s.total += d;
+            s.max = s.max.max(d);
+            if d > Self::MOVE_THRESHOLD {
+                s.moved += 1;
+                s.avg += d;
+                s.avg_sq += d * d;
+            }
+        }
+        if s.moved > 0 {
+            s.avg /= s.moved as f64;
+            s.avg_sq /= s.moved as f64;
+        }
+        s
+    }
+}
+
+impl fmt::Display for MovementStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "max {:.2}, total {:.2}, avg {:.2}, avg² {:.2}, moved {}/{}",
+            self.max, self.total, self.avg, self.avg_sq, self.moved, self.movable
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::{CellId, CellKind, NetlistBuilder};
+
+    fn netlist(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new();
+        for i in 0..n {
+            b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable);
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn no_movement_is_all_zero() {
+        let nl = netlist(3);
+        let p = Placement::new(3);
+        let m = MovementStats::between(&nl, &p, &p);
+        assert_eq!(m.max, 0.0);
+        assert_eq!(m.total, 0.0);
+        assert_eq!(m.moved, 0);
+        assert_eq!(m.movable, 3);
+    }
+
+    #[test]
+    fn aggregates_multiple_moves() {
+        let nl = netlist(3);
+        let before = Placement::new(3);
+        let mut after = before.clone();
+        after.set(CellId::new(0), Point::new(3.0, 4.0)); // 5
+        after.set(CellId::new(1), Point::new(0.0, 1.0)); // 1
+        let m = MovementStats::between(&nl, &before, &after);
+        assert_eq!(m.max, 5.0);
+        assert_eq!(m.total, 6.0);
+        assert_eq!(m.moved, 2);
+        assert_eq!(m.avg, 3.0);
+        assert_eq!(m.avg_sq, 13.0);
+    }
+
+    #[test]
+    fn fixed_cells_excluded() {
+        let mut b = NetlistBuilder::new();
+        b.add_cell("c", 1.0, 1.0, CellKind::Movable);
+        b.add_cell("m", 5.0, 5.0, CellKind::FixedMacro);
+        let nl = b.build().expect("valid");
+        let before = Placement::new(2);
+        let mut after = before.clone();
+        after.set(CellId::new(1), Point::new(10.0, 0.0)); // macro "moved" (shouldn't count)
+        let m = MovementStats::between(&nl, &before, &after);
+        assert_eq!(m.movable, 1);
+        assert_eq!(m.moved, 0);
+        assert_eq!(m.total, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let nl = netlist(1);
+        let p = Placement::new(1);
+        let m = MovementStats::between(&nl, &p, &p);
+        assert!(m.to_string().contains("moved 0/1"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Cell position assignment.
+
+use dpm_geom::{Point, Rect};
+use dpm_netlist::{CellId, Netlist, NetId, PinId};
+
+/// An assignment of a lower-left corner to every cell of a netlist.
+///
+/// `Placement` is deliberately a plain parallel array: the diffusion engine
+/// advects hundreds of thousands of positions per step and the legalizers
+/// snapshot/restore placements wholesale, so positions are stored densely
+/// and accessed by [`CellId`] index.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Point;
+/// use dpm_netlist::CellId;
+/// use dpm_place::Placement;
+///
+/// let mut p = Placement::new(3);
+/// p.set(CellId::new(1), Point::new(5.0, 7.0));
+/// assert_eq!(p.get(CellId::new(1)), Point::new(5.0, 7.0));
+/// assert_eq!(p.get(CellId::new(0)), Point::new(0.0, 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Placement {
+    positions: Vec<Point>,
+}
+
+impl Placement {
+    /// Creates a placement for `num_cells` cells, all at the origin.
+    pub fn new(num_cells: usize) -> Self {
+        Self {
+            positions: vec![Point::ORIGIN; num_cells],
+        }
+    }
+
+    /// Number of cells this placement covers.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the placement covers no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The lower-left corner of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[inline]
+    pub fn get(&self, cell: CellId) -> Point {
+        self.positions[cell.index()]
+    }
+
+    /// Sets the lower-left corner of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[inline]
+    pub fn set(&mut self, cell: CellId, p: Point) {
+        self.positions[cell.index()] = p;
+    }
+
+    /// All positions as a slice indexed by cell.
+    #[inline]
+    pub fn as_slice(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// All positions as a mutable slice indexed by cell.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Point] {
+        &mut self.positions
+    }
+
+    /// The occupied rectangle of `cell` under this placement.
+    #[inline]
+    pub fn cell_rect(&self, netlist: &Netlist, cell: CellId) -> Rect {
+        let c = netlist.cell(cell);
+        Rect::from_origin_size(self.get(cell), c.width, c.height)
+    }
+
+    /// The center of `cell` under this placement.
+    #[inline]
+    pub fn cell_center(&self, netlist: &Netlist, cell: CellId) -> Point {
+        let c = netlist.cell(cell);
+        let p = self.get(cell);
+        Point::new(p.x + c.width / 2.0, p.y + c.height / 2.0)
+    }
+
+    /// The absolute position of a pin (cell position plus pin offset).
+    #[inline]
+    pub fn pin_position(&self, netlist: &Netlist, pin: PinId) -> Point {
+        let p = netlist.pin(pin);
+        self.get(p.cell) + (p.offset - Point::ORIGIN)
+    }
+
+    /// The centroid of the pins of `net`, or `None` for a pinless net.
+    pub fn net_centroid(&self, netlist: &Netlist, net: NetId) -> Option<Point> {
+        let pins = &netlist.net(net).pins;
+        if pins.is_empty() {
+            return None;
+        }
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for &p in pins {
+            let q = self.pin_position(netlist, p);
+            x += q.x;
+            y += q.y;
+        }
+        let n = pins.len() as f64;
+        Some(Point::new(x / n, y / n))
+    }
+}
+
+impl FromIterator<Point> for Placement {
+    fn from_iter<I: IntoIterator<Item = Point>>(iter: I) -> Self {
+        Self {
+            positions: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+
+    fn pair() -> (Netlist, CellId, CellId, NetId) {
+        let mut b = NetlistBuilder::new();
+        let u = b.add_cell("u", 4.0, 12.0, CellKind::Movable);
+        let v = b.add_cell("v", 6.0, 12.0, CellKind::Movable);
+        let n = b.add_net("n");
+        b.connect(u, n, PinDir::Output, 4.0, 6.0);
+        b.connect(v, n, PinDir::Input, 0.0, 6.0);
+        (b.build().expect("valid"), u, v, n)
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut p = Placement::new(2);
+        let pt = Point::new(3.5, -1.0);
+        p.set(CellId::new(0), pt);
+        assert_eq!(p.get(CellId::new(0)), pt);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn cell_rect_uses_dimensions() {
+        let (nl, u, _, _) = pair();
+        let mut p = Placement::new(nl.num_cells());
+        p.set(u, Point::new(10.0, 20.0));
+        let r = p.cell_rect(&nl, u);
+        assert_eq!(r, Rect::new(10.0, 20.0, 14.0, 32.0));
+        assert_eq!(p.cell_center(&nl, u), Point::new(12.0, 26.0));
+    }
+
+    #[test]
+    fn pin_positions_track_cell() {
+        let (nl, u, v, n) = pair();
+        let mut p = Placement::new(nl.num_cells());
+        p.set(u, Point::new(0.0, 0.0));
+        p.set(v, Point::new(20.0, 12.0));
+        let driver = nl.driver_of(n).expect("driver");
+        assert_eq!(p.pin_position(&nl, driver), Point::new(4.0, 6.0));
+        let centroid = p.net_centroid(&nl, n).expect("pins exist");
+        assert_eq!(centroid, Point::new(12.0, 12.0));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: Placement = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)].into_iter().collect();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(CellId::new(1)), Point::new(3.0, 4.0));
+    }
+}

@@ -1,0 +1,342 @@
+//! Sparse symmetric linear algebra: CSR matrices and conjugate gradient.
+
+/// A symmetric positive-definite matrix in compressed-sparse-row form,
+/// assembled from coordinate triplets.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_qplace::CsrMatrix;
+///
+/// // [[2, -1], [-1, 2]]
+/// let mut b = CsrMatrix::builder(2);
+/// b.add(0, 0, 2.0);
+/// b.add(0, 1, -1.0);
+/// b.add(1, 0, -1.0);
+/// b.add(1, 1, 2.0);
+/// let m = b.build();
+/// let y = m.multiply(&[1.0, 0.0]);
+/// assert_eq!(y, vec![2.0, -1.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    n: usize,
+    row_starts: Vec<usize>,
+    cols: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Accumulates coordinate triplets for a [`CsrMatrix`]; duplicate
+/// entries are summed.
+#[derive(Debug, Clone)]
+pub struct CsrBuilder {
+    n: usize,
+    triplets: Vec<(usize, usize, f64)>,
+}
+
+impl CsrMatrix {
+    /// Starts assembling an `n × n` matrix.
+    pub fn builder(n: usize) -> CsrBuilder {
+        CsrBuilder {
+            n,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the 0 × 0 matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Computes `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.len()`.
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        let mut y = vec![0.0; self.n];
+        for row in 0..self.n {
+            let mut acc = 0.0;
+            for i in self.row_starts[row]..self.row_starts[row + 1] {
+                acc += self.values[i] * x[self.cols[i]];
+            }
+            y[row] = acc;
+        }
+        y
+    }
+
+    /// Solves `A·x = b` by Jacobi-preconditioned conjugate gradient,
+    /// starting from `x0`, to relative residual `tol` or `max_iters`.
+    ///
+    /// Returns the solution and the iteration count. `A` must be
+    /// symmetric positive definite (the caller's responsibility — the
+    /// quadratic-placement Laplacians with at least one anchor are).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn solve_cg(&self, b: &[f64], x0: &[f64], tol: f64, max_iters: usize) -> (Vec<f64>, usize) {
+        assert_eq!(b.len(), self.n, "rhs dimension mismatch");
+        assert_eq!(x0.len(), self.n, "x0 dimension mismatch");
+        if self.n == 0 {
+            return (Vec::new(), 0);
+        }
+        // Jacobi preconditioner: inverse diagonal.
+        let mut inv_diag = vec![1.0; self.n];
+        for row in 0..self.n {
+            for i in self.row_starts[row]..self.row_starts[row + 1] {
+                if self.cols[i] == row && self.values[i].abs() > 1e-300 {
+                    inv_diag[row] = 1.0 / self.values[i];
+                }
+            }
+        }
+
+        let mut x = x0.to_vec();
+        let ax = self.multiply(&x);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(&bi, &axi)| bi - axi).collect();
+        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        let mut z: Vec<f64> = r.iter().zip(&inv_diag).map(|(&ri, &di)| ri * di).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+
+        for iter in 0..max_iters {
+            let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if rnorm / bnorm <= tol {
+                return (x, iter);
+            }
+            let ap = self.multiply(&p);
+            let pap: f64 = p.iter().zip(&ap).map(|(&a, &b)| a * b).sum();
+            if pap.abs() < 1e-300 {
+                return (x, iter);
+            }
+            let alpha = rz / pap;
+            for i in 0..self.n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            for i in 0..self.n {
+                z[i] = r[i] * inv_diag[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(&a, &b)| a * b).sum();
+            let beta = rz_new / rz.max(1e-300);
+            rz = rz_new;
+            for i in 0..self.n {
+                p[i] = z[i] + beta * p[i];
+            }
+        }
+        (x, max_iters)
+    }
+}
+
+impl CsrBuilder {
+    /// Adds `value` at `(row, col)` (summed with any existing entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n, "entry ({row},{col}) out of range");
+        self.triplets.push((row, col, value));
+    }
+
+    /// Finalizes into CSR form.
+    pub fn build(mut self) -> CsrMatrix {
+        self.triplets.sort_by_key(|&(r, c, _)| (r, c));
+        let mut rows: Vec<usize> = Vec::with_capacity(self.triplets.len());
+        let mut cols: Vec<usize> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+        for &(r, c, v) in &self.triplets {
+            if rows.last() == Some(&r) && cols.last() == Some(&c) {
+                *values.last_mut().expect("non-empty") += v;
+            } else {
+                rows.push(r);
+                cols.push(c);
+                values.push(v);
+            }
+        }
+        let mut row_starts = vec![0usize; self.n + 1];
+        for &r in &rows {
+            row_starts[r + 1] += 1;
+        }
+        for i in 0..self.n {
+            row_starts[i + 1] += row_starts[i];
+        }
+        CsrMatrix {
+            n: self.n,
+            row_starts,
+            cols,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        // Gaussian elimination with partial pivoting, for cross-checks.
+        let n = b.len();
+        let mut m: Vec<Vec<f64>> = a.iter().cloned().collect();
+        let mut rhs = b.to_vec();
+        for col in 0..n {
+            let piv = (col..n)
+                .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+                .expect("rows");
+            m.swap(col, piv);
+            rhs.swap(col, piv);
+            let d = m[col][col];
+            for row in col + 1..n {
+                let f = m[row][col] / d;
+                for k in col..n {
+                    m[row][k] -= f * m[col][k];
+                }
+                rhs[row] -= f * rhs[col];
+            }
+        }
+        let mut x = vec![0.0; n];
+        for row in (0..n).rev() {
+            let mut acc = rhs[row];
+            for k in row + 1..n {
+                acc -= m[row][k] * x[k];
+            }
+            x[row] = acc / m[row][row];
+        }
+        x
+    }
+
+    /// Random SPD matrix: L·Lᵀ + n·I from a random lower-triangular L.
+    fn random_spd(n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let mut l = vec![vec![0.0; n]; n];
+        for (i, row) in l.iter_mut().enumerate() {
+            for item in row.iter_mut().take(i + 1) {
+                *item = rng.random_range(-1.0..1.0);
+            }
+        }
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    a[i][j] += l[i][k] * l[j][k];
+                }
+            }
+            a[i][i] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn multiply_matches_dense() {
+        let mut b = CsrMatrix::builder(3);
+        let dense = [[4.0, -1.0, 0.0], [-1.0, 4.0, -2.0], [0.0, -2.0, 5.0]];
+        for (i, row) in dense.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    b.add(i, j, v);
+                }
+            }
+        }
+        let m = b.build();
+        assert_eq!(m.nnz(), 7);
+        let x = [1.0, 2.0, 3.0];
+        let y = m.multiply(&x);
+        for i in 0..3 {
+            let expect: f64 = (0..3).map(|j| dense[i][j] * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_are_summed() {
+        let mut b = CsrMatrix::builder(2);
+        b.add(0, 0, 1.0);
+        b.add(0, 0, 2.5);
+        b.add(1, 1, 1.0);
+        let m = b.build();
+        let y = m.multiply(&[1.0, 1.0]);
+        assert!((y[0] - 3.5).abs() < 1e-12);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn cg_matches_gaussian_elimination_on_random_spd() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [2usize, 5, 12, 25] {
+            let a = random_spd(n, &mut rng);
+            let b: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();
+            let mut builder = CsrMatrix::builder(n);
+            for (i, row) in a.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    builder.add(i, j, v);
+                }
+            }
+            let m = builder.build();
+            let (x, iters) = m.solve_cg(&b, &vec![0.0; n], 1e-12, 10 * n + 50);
+            let expect = dense_solve(&a, &b);
+            for i in 0..n {
+                assert!(
+                    (x[i] - expect[i]).abs() < 1e-6,
+                    "n={n} i={i}: cg {} vs dense {} ({iters} iters)",
+                    x[i],
+                    expect[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cg_converges_fast_on_laplacian_chain() {
+        // Path-graph Laplacian with both ends anchored: the classic
+        // placement system.
+        let n = 50;
+        let mut b = CsrMatrix::builder(n);
+        for i in 0..n {
+            let mut diag = 0.0;
+            if i > 0 {
+                b.add(i, i - 1, -1.0);
+                diag += 1.0;
+            }
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                diag += 1.0;
+            }
+            // Anchors at the ends.
+            if i == 0 || i == n - 1 {
+                diag += 1.0;
+            }
+            b.add(i, i, diag);
+        }
+        let m = b.build();
+        // Anchor 0 at x=0 and n-1 at x=100.
+        let mut rhs = vec![0.0; n];
+        rhs[n - 1] = 100.0;
+        let (x, _) = m.solve_cg(&rhs, &vec![0.0; n], 1e-10, 500);
+        // Solution is a straight line between the anchors.
+        for i in 1..n {
+            assert!(x[i] > x[i - 1], "not monotone at {i}");
+        }
+        assert!((x[0] - 100.0 / (n as f64 + 1.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_solves_trivially() {
+        let m = CsrMatrix::builder(0).build();
+        let (x, iters) = m.solve_cg(&[], &[], 1e-9, 10);
+        assert!(x.is_empty());
+        assert_eq!(iters, 0);
+        assert!(m.is_empty());
+    }
+}

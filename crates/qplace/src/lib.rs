@@ -1,0 +1,382 @@
+#![warn(missing_docs)]
+
+//! Quadratic analytical global placement.
+//!
+//! The paper's fourth motivating application: "a global analytic or
+//! force-directed placer may use placement migration to spread out the
+//! cells while attempting to preserve the ordering induced by the
+//! overlapping analytic solution." This crate provides that analytic
+//! front end: cells minimize the quadratic wirelength
+//! `Σ_e w_e · ((x_i − x_j)² + (y_i − y_j)²)` with pads/macros as fixed
+//! anchors, solved per axis by Jacobi-preconditioned conjugate gradient
+//! over a sparse Laplacian ([`CsrMatrix`]).
+//!
+//! The result is the classic *overlapping* analytic placement — cells
+//! bunched around the die's center of connectivity — which the diffusion
+//! engine then spreads while preserving its relative order (see the
+//! `analytic_spreading` example).
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_qplace::quadratic_place;
+//! use dpm_gen::CircuitSpec;
+//! use dpm_place::hpwl;
+//!
+//! let bench = CircuitSpec::small(8).generate();
+//! // Pads/macros stay where the seed placement puts them; movable cells
+//! // go to the quadratic optimum.
+//! let analytic = quadratic_place(&bench.netlist, &bench.die, &bench.placement);
+//! // The quadratic optimum has (much) shorter wirelength than the legal
+//! // placement — cells overlap freely.
+//! assert!(hpwl(&bench.netlist, &analytic) < hpwl(&bench.netlist, &bench.placement));
+//! ```
+
+mod csr;
+
+pub use csr::{CsrBuilder, CsrMatrix};
+
+use dpm_geom::Point;
+use dpm_netlist::{CellId, Netlist};
+use dpm_place::{Die, Placement};
+
+/// How a multi-pin net is decomposed into quadratic two-point terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetModel {
+    /// Every pin pair, weight `2 / k` (simple, dense for large nets).
+    #[default]
+    Clique,
+    /// Star: every pin connects to the net's first pin (driver when one
+    /// exists), weight 1. Sparser — `k − 1` terms per net — at slightly
+    /// lower fidelity; the classic large-net compromise.
+    Star,
+}
+
+/// Quadratic placer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QplaceConfig {
+    /// CG convergence tolerance (relative residual).
+    pub tolerance: f64,
+    /// CG iteration cap.
+    pub max_iters: usize,
+    /// Weight of the weak tether pulling every movable cell toward the
+    /// die center; keeps the system positive definite even for cells
+    /// with no path to a fixed anchor.
+    pub center_tether: f64,
+    /// Net-model weight clamp: nets with more pins than this are skipped
+    /// (clique weighting of huge nets swamps the system; the generator's
+    /// nets are small).
+    pub max_net_pins: usize,
+    /// Net decomposition model.
+    pub net_model: NetModel,
+}
+
+impl Default for QplaceConfig {
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-8,
+            max_iters: 1000,
+            center_tether: 1e-4,
+            max_net_pins: 16,
+            net_model: NetModel::Clique,
+        }
+    }
+}
+
+/// Quadratic (clique-model) global placer.
+#[derive(Debug, Clone)]
+pub struct QuadraticPlacer {
+    cfg: QplaceConfig,
+    movable: Vec<CellId>,
+    /// Laplacian edges between movable cells: `(a, b, w)`.
+    edges: Vec<(usize, usize, f64)>,
+    /// Anchor pulls: `(movable index, weight, fixed cell)`.
+    anchors: Vec<(usize, f64, CellId)>,
+}
+
+impl QuadraticPlacer {
+    /// Builds the placer for a netlist with default configuration.
+    pub fn new(netlist: &Netlist) -> Self {
+        Self::with_config(netlist, QplaceConfig::default())
+    }
+
+    /// Builds the placer with an explicit configuration.
+    ///
+    /// Connectivity is extracted once per the configured [`NetModel`]:
+    /// clique contributes `k·(k−1)/2` edges of weight `2 / k` per net of
+    /// `k ≤ max_net_pins` pins; star contributes `k − 1` unit-weight
+    /// edges from the net's first pin (the driver when one exists).
+    pub fn with_config(netlist: &Netlist, cfg: QplaceConfig) -> Self {
+        let movable: Vec<CellId> = netlist.movable_cell_ids().collect();
+        let mut index_of = vec![None; netlist.num_cells()];
+        for (i, &c) in movable.iter().enumerate() {
+            index_of[c.index()] = Some(i);
+        }
+
+        let mut edges = Vec::new();
+        let mut anchors = Vec::new();
+        let mut add_pair = |ca: CellId, cb: CellId, w: f64, index_of: &[Option<usize>]| {
+            if ca == cb {
+                return;
+            }
+            match (index_of[ca.index()], index_of[cb.index()]) {
+                (Some(a), Some(b)) => edges.push((a, b, w)),
+                (Some(a), None) => anchors.push((a, w, cb)),
+                (None, Some(b)) => anchors.push((b, w, ca)),
+                (None, None) => {}
+            }
+        };
+        for net in netlist.net_ids() {
+            let pins = &netlist.net(net).pins;
+            let k = pins.len();
+            if k < 2 || k > cfg.max_net_pins {
+                continue;
+            }
+            match cfg.net_model {
+                NetModel::Clique => {
+                    let w = 2.0 / k as f64;
+                    for (ai, &pa) in pins.iter().enumerate() {
+                        for &pb in pins.iter().skip(ai + 1) {
+                            add_pair(netlist.pin(pa).cell, netlist.pin(pb).cell, w, &index_of);
+                        }
+                    }
+                }
+                NetModel::Star => {
+                    let hub = netlist.driver_of(net).unwrap_or(pins[0]);
+                    let hub_cell = netlist.pin(hub).cell;
+                    for &p in pins {
+                        if p != hub {
+                            add_pair(hub_cell, netlist.pin(p).cell, 1.0, &index_of);
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            cfg,
+            movable,
+            edges,
+            anchors,
+        }
+    }
+
+    /// Number of movable variables per axis.
+    pub fn num_variables(&self) -> usize {
+        self.movable.len()
+    }
+
+    /// Solves the quadratic program and returns the (overlapping)
+    /// analytic placement. Fixed cells (pads, macros) keep the positions
+    /// given in `fixed_positions`; movable cells are placed at the
+    /// quadratic optimum of their *centers*, converted back to
+    /// lower-left corners.
+    pub fn place_with_fixed(&self, netlist: &Netlist, die: &Die, fixed_positions: &Placement) -> Placement {
+        let n = self.movable.len();
+        let center = die.outline().center();
+        let mut placement = fixed_positions.clone();
+        if n == 0 {
+            return placement;
+        }
+
+        // Shared Laplacian for both axes.
+        let mut builder = CsrMatrix::builder(n);
+        let mut rhs_x = vec![0.0; n];
+        let mut rhs_y = vec![0.0; n];
+        let mut diag = vec![self.cfg.center_tether; n];
+        for i in 0..n {
+            rhs_x[i] = self.cfg.center_tether * center.x;
+            rhs_y[i] = self.cfg.center_tether * center.y;
+        }
+        for &(a, b, w) in &self.edges {
+            builder.add(a, b, -w);
+            builder.add(b, a, -w);
+            diag[a] += w;
+            diag[b] += w;
+        }
+        for &(i, w, fixed) in &self.anchors {
+            let p = fixed_positions.cell_center(netlist, fixed);
+            diag[i] += w;
+            rhs_x[i] += w * p.x;
+            rhs_y[i] += w * p.y;
+        }
+        for (i, &d) in diag.iter().enumerate() {
+            builder.add(i, i, d);
+        }
+        let matrix = builder.build();
+
+        let x0: Vec<f64> = self
+            .movable
+            .iter()
+            .map(|&c| fixed_positions.cell_center(netlist, c).x)
+            .collect();
+        let y0: Vec<f64> = self
+            .movable
+            .iter()
+            .map(|&c| fixed_positions.cell_center(netlist, c).y)
+            .collect();
+        let (xs, _) = matrix.solve_cg(&rhs_x, &x0, self.cfg.tolerance, self.cfg.max_iters);
+        let (ys, _) = matrix.solve_cg(&rhs_y, &y0, self.cfg.tolerance, self.cfg.max_iters);
+
+        let outline = die.outline();
+        for (i, &cell) in self.movable.iter().enumerate() {
+            let c = netlist.cell(cell);
+            let p = Point::new(xs[i] - c.width / 2.0, ys[i] - c.height / 2.0).clamped(
+                outline.llx,
+                outline.urx - c.width,
+                outline.lly,
+                outline.ury - c.height,
+            );
+            placement.set(cell, p);
+        }
+        placement
+    }
+
+}
+
+/// Convenience entry point: builds the placer, fixes pads/macros at
+/// their current positions (or on the boundary if unplaced), solves, and
+/// returns the analytic placement.
+pub fn quadratic_place(netlist: &Netlist, die: &Die, seed_placement: &Placement) -> Placement {
+    QuadraticPlacer::new(netlist).place_with_fixed(netlist, die, seed_placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+    use dpm_place::hpwl;
+
+    /// pad(0,?) — cell — pad(100,?): the cell must land midway.
+    #[test]
+    fn single_cell_lands_between_anchors() {
+        let mut b = NetlistBuilder::new();
+        let p0 = b.add_cell("p0", 1.0, 1.0, CellKind::Pad);
+        let p1 = b.add_cell("p1", 1.0, 1.0, CellKind::Pad);
+        let c = b.add_cell("c", 4.0, 12.0, CellKind::Movable);
+        let n0 = b.add_net("n0");
+        b.connect(p0, n0, PinDir::Output, 0.5, 0.5);
+        b.connect(c, n0, PinDir::Input, 2.0, 6.0);
+        let n1 = b.add_net("n1");
+        b.connect(c, n1, PinDir::Output, 2.0, 6.0);
+        b.connect(p1, n1, PinDir::Input, 0.5, 0.5);
+        let nl = b.build().expect("valid");
+        let die = Die::new(120.0, 120.0, 12.0);
+        let mut seed = Placement::new(3);
+        seed.set(p0, Point::new(0.0, 59.5));
+        seed.set(p1, Point::new(119.0, 59.5));
+        let placed = quadratic_place(&nl, &die, &seed);
+        let center = placed.cell_center(&nl, c);
+        assert!((center.x - 60.0).abs() < 1.0, "x = {}", center.x);
+        assert!((center.y - 60.0).abs() < 1.0, "y = {}", center.y);
+    }
+
+    /// Unequal pulls: two nets to the left anchor, one to the right —
+    /// the optimum sits at the weighted mean (2·0 + 1·90)/3 = 30.
+    #[test]
+    fn weighted_pull_positions_cell() {
+        let mut b = NetlistBuilder::new();
+        let left = b.add_cell("l", 1.0, 1.0, CellKind::Pad);
+        let right = b.add_cell("r", 1.0, 1.0, CellKind::Pad);
+        let c = b.add_cell("c", 2.0, 2.0, CellKind::Movable);
+        for i in 0..2 {
+            let n = b.add_net(format!("ln{i}"));
+            b.connect(left, n, PinDir::Output, 0.5, 0.5);
+            b.connect(c, n, PinDir::Input, 1.0, 1.0);
+        }
+        let n = b.add_net("rn");
+        b.connect(c, n, PinDir::Output, 1.0, 1.0);
+        b.connect(right, n, PinDir::Input, 0.5, 0.5);
+        let nl = b.build().expect("valid");
+        let die = Die::new(120.0, 24.0, 12.0);
+        let mut seed = Placement::new(3);
+        seed.set(left, Point::new(0.0, 0.0));
+        seed.set(right, Point::new(89.5, 0.0));
+        let placed = quadratic_place(&nl, &die, &seed);
+        let center = placed.cell_center(&nl, c);
+        assert!((center.x - 30.1).abs() < 1.5, "x = {}", center.x);
+    }
+
+    #[test]
+    fn star_model_agrees_with_clique_on_two_pin_nets() {
+        // Two-pin nets are identical under both models (weight 1 vs 2/2).
+        let bench = dpm_gen::CircuitSpec::small(65).generate();
+        let clique = QuadraticPlacer::with_config(
+            &bench.netlist,
+            QplaceConfig {
+                net_model: NetModel::Clique,
+                ..QplaceConfig::default()
+            },
+        );
+        let star = QuadraticPlacer::with_config(
+            &bench.netlist,
+            QplaceConfig {
+                net_model: NetModel::Star,
+                ..QplaceConfig::default()
+            },
+        );
+        let pc = clique.place_with_fixed(&bench.netlist, &bench.die, &bench.placement);
+        let ps = star.place_with_fixed(&bench.netlist, &bench.die, &bench.placement);
+        // Both give heavily-overlapped short-wirelength solutions of the
+        // same league.
+        let wc = hpwl(&bench.netlist, &pc);
+        let ws = hpwl(&bench.netlist, &ps);
+        assert!((wc - ws).abs() < 0.5 * wc.max(ws), "clique {wc} vs star {ws}");
+    }
+
+    #[test]
+    fn star_model_builds_fewer_edges() {
+        let bench = dpm_gen::CircuitSpec::small(66).generate();
+        let clique = QuadraticPlacer::with_config(
+            &bench.netlist,
+            QplaceConfig {
+                net_model: NetModel::Clique,
+                ..QplaceConfig::default()
+            },
+        );
+        let star = QuadraticPlacer::with_config(
+            &bench.netlist,
+            QplaceConfig {
+                net_model: NetModel::Star,
+                ..QplaceConfig::default()
+            },
+        );
+        assert!(star.edges.len() + star.anchors.len() <= clique.edges.len() + clique.anchors.len());
+    }
+
+    #[test]
+    fn analytic_wirelength_beats_legal_placement() {
+        let bench = dpm_gen::CircuitSpec::small(61).generate();
+        let analytic = quadratic_place(&bench.netlist, &bench.die, &bench.placement);
+        assert!(hpwl(&bench.netlist, &analytic) < hpwl(&bench.netlist, &bench.placement));
+    }
+
+    #[test]
+    fn analytic_placement_is_heavily_overlapped() {
+        use dpm_place::{BinGrid, DensityMap};
+        let bench = dpm_gen::CircuitSpec::small(62).generate();
+        let analytic = quadratic_place(&bench.netlist, &bench.die, &bench.placement);
+        let grid = BinGrid::new(bench.die.outline(), 2.5 * bench.die.row_height());
+        let d = DensityMap::from_placement(&bench.netlist, &analytic, grid);
+        assert!(d.max_density() > 2.0, "analytic solution should pile up: {}", d.max_density());
+    }
+
+    #[test]
+    fn fixed_cells_do_not_move() {
+        let bench = dpm_gen::CircuitSpec::small(63).with_macros(2).generate();
+        let analytic = quadratic_place(&bench.netlist, &bench.die, &bench.placement);
+        for m in bench.netlist.macro_ids() {
+            assert_eq!(analytic.get(m), bench.placement.get(m));
+        }
+    }
+
+    #[test]
+    fn cells_stay_inside_the_die() {
+        let bench = dpm_gen::CircuitSpec::small(64).generate();
+        let analytic = quadratic_place(&bench.netlist, &bench.die, &bench.placement);
+        let outline = bench.die.outline();
+        for c in bench.netlist.movable_cell_ids() {
+            let r = analytic.cell_rect(&bench.netlist, c);
+            assert!(outline.contains_rect(&r), "cell {c} escaped: {r}");
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Topological arrival/required-time propagation.
+
+use crate::DelayModel;
+use dpm_netlist::{levelize, CellId, Netlist, PinDir};
+use dpm_place::Placement;
+use std::fmt;
+
+/// Timing metrics of a placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst slack over all endpoints (negative = failing).
+    pub wns: f64,
+    /// Figure of merit: the sum of negative endpoint slacks (≤ 0). The
+    /// paper's FOM — "weighted area under the timing histogram of the
+    /// paths with negative slack".
+    pub fom: f64,
+    /// Number of endpoints analyzed.
+    pub endpoints: usize,
+    /// Number of endpoints with negative slack.
+    pub failing_endpoints: usize,
+    /// Arrival time per cell (output of its driver stage); `f64::NAN` for
+    /// cells on combinational cycles.
+    pub arrival: Vec<f64>,
+    /// Slack per endpoint (same order as
+    /// [`TimingAnalyzer::endpoints`]).
+    pub slacks: Vec<f64>,
+}
+
+impl TimingReport {
+    /// Endpoint slack histogram: `bins` equal-width buckets spanning
+    /// `[wns, 0)`, counting failing endpoints per bucket — the "timing
+    /// histogram of the paths with negative slack" under which the
+    /// paper's FOM is the weighted area. Returns the bucket counts and
+    /// the bucket width; empty when nothing fails.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use dpm_sta::TimingReport;
+    /// let report = TimingReport {
+    ///     wns: -2.0,
+    ///     fom: -3.0,
+    ///     endpoints: 3,
+    ///     failing_endpoints: 2,
+    ///     arrival: vec![],
+    ///     slacks: vec![-2.0, -1.0, 0.5],
+    /// };
+    /// let (hist, width) = report.slack_histogram(4);
+    /// assert_eq!(hist.iter().sum::<usize>(), 2);
+    /// assert!((width - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn slack_histogram(&self, bins: usize) -> (Vec<usize>, f64) {
+        if self.wns >= 0.0 || bins == 0 {
+            return (vec![0; bins], 0.0);
+        }
+        let width = -self.wns / bins as f64;
+        let mut hist = vec![0usize; bins];
+        for &s in &self.slacks {
+            if s < 0.0 {
+                let b = (((s - self.wns) / width) as usize).min(bins - 1);
+                hist[b] += 1;
+            }
+        }
+        (hist, width)
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "WNS {:.3}, FOM {:.3}, {}/{} endpoints failing",
+            self.wns, self.fom, self.failing_endpoints, self.endpoints
+        )
+    }
+}
+
+/// A static timing analyzer bound to a netlist's topology.
+///
+/// Construction levelizes the netlist once; [`analyze`](Self::analyze)
+/// can then be called repeatedly against different placements (as the
+/// benchmark harness does when comparing legalizers).
+///
+/// Endpoints are cells with no fanout (typically output pads). Start
+/// points are cells with no fanin (input pads); their arrival time is 0.
+/// Cells trapped on combinational cycles are skipped with NAN arrival.
+#[derive(Debug, Clone)]
+pub struct TimingAnalyzer {
+    order: Vec<CellId>,
+    endpoints: Vec<CellId>,
+    model: DelayModel,
+}
+
+impl TimingAnalyzer {
+    /// Builds an analyzer for `netlist` with the given delay model.
+    pub fn new(netlist: &Netlist, model: DelayModel) -> Self {
+        let lv = levelize(netlist);
+        // Endpoints: cells that drive no net with sinks.
+        let mut has_fanout = vec![false; netlist.num_cells()];
+        for net in netlist.net_ids() {
+            let Some(d) = netlist.driver_of(net) else { continue };
+            let sinks = netlist
+                .net(net)
+                .pins
+                .iter()
+                .any(|&p| netlist.pin(p).dir == PinDir::Input);
+            if sinks {
+                has_fanout[netlist.pin(d).cell.index()] = true;
+            }
+        }
+        let endpoints = lv
+            .order
+            .iter()
+            .copied()
+            .filter(|c| !has_fanout[c.index()])
+            .collect();
+        Self {
+            order: lv.order,
+            endpoints,
+            model,
+        }
+    }
+
+    /// The delay model in use.
+    pub fn model(&self) -> &DelayModel {
+        &self.model
+    }
+
+    /// Endpoint cells (no fanout).
+    pub fn endpoints(&self) -> &[CellId] {
+        &self.endpoints
+    }
+
+    /// Propagates arrival times through the DAG for `placement` and
+    /// compares every endpoint against the `clock_period` required time.
+    ///
+    /// Endpoint slack is `clock_period − arrival`; WNS is the minimum
+    /// slack, FOM the sum of negative slacks.
+    pub fn analyze(&self, netlist: &Netlist, placement: &Placement, clock_period: f64) -> TimingReport {
+        let mut arrival = vec![f64::NAN; netlist.num_cells()];
+        for &c in &self.order {
+            let a = if arrival[c.index()].is_nan() {
+                0.0
+            } else {
+                arrival[c.index()]
+            };
+            // Output-of-cell time: arrival at inputs + intrinsic delay.
+            let out_time = a + netlist.cell(c).delay;
+            for &p in &netlist.cell(c).pins {
+                let pin = netlist.pin(p);
+                if pin.dir != PinDir::Output {
+                    continue;
+                }
+                for &q in &netlist.net(pin.net).pins {
+                    let sink = netlist.pin(q);
+                    if sink.dir != PinDir::Input {
+                        continue;
+                    }
+                    let wire = self.model.net_delay(netlist, placement, pin.net, p, q);
+                    let t = out_time + wire;
+                    let slot = &mut arrival[sink.cell.index()];
+                    if slot.is_nan() || *slot < t {
+                        *slot = t;
+                    }
+                }
+            }
+            if arrival[c.index()].is_nan() {
+                arrival[c.index()] = a;
+            }
+        }
+
+        let mut wns = f64::INFINITY;
+        let mut fom = 0.0;
+        let mut failing = 0;
+        let mut slacks = Vec::with_capacity(self.endpoints.len());
+        for &e in &self.endpoints {
+            let a = arrival[e.index()];
+            if a.is_nan() {
+                continue;
+            }
+            let slack = clock_period - (a + netlist.cell(e).delay);
+            slacks.push(slack);
+            wns = wns.min(slack);
+            if slack < 0.0 {
+                fom += slack;
+                failing += 1;
+            }
+        }
+        if self.endpoints.is_empty() {
+            wns = 0.0;
+        }
+        TimingReport {
+            wns,
+            fom,
+            endpoints: self.endpoints.len(),
+            failing_endpoints: failing,
+            arrival,
+            slacks,
+        }
+    }
+
+    /// Finds the smallest clock period at which the placement has zero
+    /// failing endpoints (the critical-path delay). Useful for choosing a
+    /// clock that leaves the paper's "Base" placements slightly critical.
+    pub fn critical_path_delay(&self, netlist: &Netlist, placement: &Placement) -> f64 {
+        let report = self.analyze(netlist, placement, 0.0);
+        // With clock 0 every endpoint slack is -arrival; the worst is the
+        // critical path.
+        -report.wns
+    }
+
+    /// Extracts the critical path: the cells from a start point to the
+    /// worst endpoint, in signal order. Returns an empty path for
+    /// netlists without endpoints.
+    ///
+    /// Each cell's arrival time comes from exactly one worst fan-in; the
+    /// path is recovered by walking those predecessors backwards from the
+    /// worst endpoint.
+    pub fn critical_path(&self, netlist: &Netlist, placement: &Placement) -> Vec<CellId> {
+        let report = self.analyze(netlist, placement, 0.0);
+        let Some(&worst) = self
+            .endpoints
+            .iter()
+            .min_by(|&&a, &&b| {
+                let sa = -(report.arrival[a.index()] + netlist.cell(a).delay);
+                let sb = -(report.arrival[b.index()] + netlist.cell(b).delay);
+                sa.total_cmp(&sb)
+            })
+        else {
+            return Vec::new();
+        };
+
+        let mut path = vec![worst];
+        let mut cur = worst;
+        // Walk back: find the fan-in whose (arrival + cell delay + wire)
+        // equals our arrival.
+        'outer: loop {
+            let target = report.arrival[cur.index()];
+            if target <= 1e-12 {
+                break;
+            }
+            for net in netlist.net_ids() {
+                let Some(d) = netlist.driver_of(net) else { continue };
+                let driver_pin = netlist.pin(d);
+                let driver = driver_pin.cell;
+                if driver == cur {
+                    continue;
+                }
+                for &q in &netlist.net(net).pins {
+                    let sink = netlist.pin(q);
+                    if sink.dir != PinDir::Input || sink.cell != cur {
+                        continue;
+                    }
+                    let wire = self.model.net_delay(netlist, placement, net, d, q);
+                    let t = report.arrival[driver.index()] + netlist.cell(driver).delay + wire;
+                    if (t - target).abs() < 1e-9 {
+                        path.push(driver);
+                        cur = driver;
+                        continue 'outer;
+                    }
+                }
+            }
+            break; // no matching predecessor (start point reached)
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::{CellKind, NetlistBuilder};
+
+    /// pad → g1 → g2 → ... → gN (chain), cells at increasing x.
+    fn chain(n: usize, spacing: f64) -> (Netlist, Placement) {
+        let mut b = NetlistBuilder::new();
+        let mut cells = vec![b.add_cell("pi", 1.0, 1.0, CellKind::Pad)];
+        for i in 0..n {
+            cells.push(b.add_cell(format!("g{i}"), 4.0, 12.0, CellKind::Movable));
+        }
+        for (i, w) in cells.windows(2).enumerate() {
+            let net = b.add_net(format!("n{i}"));
+            b.connect(w[0], net, PinDir::Output, 0.0, 0.0);
+            b.connect(w[1], net, PinDir::Input, 0.0, 0.0);
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(nl.num_cells());
+        for (i, &c) in cells.iter().enumerate() {
+            p.set(c, Point::new(i as f64 * spacing, 0.0));
+        }
+        (nl, p)
+    }
+
+    #[test]
+    fn chain_arrival_accumulates() {
+        let (nl, p) = chain(3, 10.0);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::new(0.1, 0.0));
+        let r = sta.analyze(&nl, &p, 1000.0);
+        // Each stage: cell delay 1.0 + wire 0.1 * 10 = 2.0 per hop after
+        // the pad (pad delay 1.0 as well).
+        // arrival(g2 end) = pad(1) + wire(1) + g1(1) + wire(1) + g2... —
+        // just check monotonicity and positivity.
+        assert!(r.wns > 0.0);
+        assert_eq!(r.endpoints, 1);
+        assert_eq!(r.failing_endpoints, 0);
+        let cp = sta.critical_path_delay(&nl, &p);
+        assert!((cp - (4.0 + 3.0)).abs() < 1e-9, "critical path {cp}");
+        // 4 cell delays (pad + 3 gates) + 3 wire hops of 1.0 each.
+    }
+
+    #[test]
+    fn stretching_the_chain_degrades_slack() {
+        let (nl, p1) = chain(5, 10.0);
+        let (_, p2) = chain(5, 50.0);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let clock = 10.0;
+        let near = sta.analyze(&nl, &p1, clock);
+        let far = sta.analyze(&nl, &p2, clock);
+        assert!(far.wns < near.wns);
+    }
+
+    #[test]
+    fn tight_clock_produces_negative_fom() {
+        let (nl, p) = chain(4, 20.0);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let cp = sta.critical_path_delay(&nl, &p);
+        let r = sta.analyze(&nl, &p, cp * 0.5);
+        assert!(r.wns < 0.0);
+        assert!(r.fom < 0.0);
+        assert_eq!(r.failing_endpoints, 1);
+        assert!((r.fom - r.wns).abs() < 1e-12, "single endpoint: fom == wns");
+    }
+
+    #[test]
+    fn fom_sums_over_endpoints() {
+        // One driver fanning out to two endpoint gates at different
+        // distances.
+        let mut b = NetlistBuilder::new();
+        let pi = b.add_cell("pi", 1.0, 1.0, CellKind::Pad);
+        let e1 = b.add_cell("e1", 4.0, 12.0, CellKind::Movable);
+        let e2 = b.add_cell("e2", 4.0, 12.0, CellKind::Movable);
+        let n = b.add_net("n");
+        b.connect(pi, n, PinDir::Output, 0.0, 0.0);
+        b.connect(e1, n, PinDir::Input, 0.0, 0.0);
+        b.connect(e2, n, PinDir::Input, 0.0, 0.0);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(3);
+        p.set(e1, Point::new(100.0, 0.0));
+        p.set(e2, Point::new(200.0, 0.0));
+        let sta = TimingAnalyzer::new(&nl, DelayModel::new(0.01, 0.0));
+        let r = sta.analyze(&nl, &p, 2.0);
+        assert_eq!(r.endpoints, 2);
+        assert_eq!(r.failing_endpoints, 2);
+        assert!(r.fom < r.wns, "fom {} aggregates both failures (wns {})", r.fom, r.wns);
+    }
+
+    #[test]
+    fn cyclic_cells_are_skipped() {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 1.0, 1.0, CellKind::Movable);
+        let c = b.add_cell("c", 1.0, 1.0, CellKind::Movable);
+        let n1 = b.add_net("n1");
+        let n2 = b.add_net("n2");
+        b.connect(a, n1, PinDir::Output, 0.0, 0.0);
+        b.connect(c, n1, PinDir::Input, 0.0, 0.0);
+        b.connect(c, n2, PinDir::Output, 0.0, 0.0);
+        b.connect(a, n2, PinDir::Input, 0.0, 0.0);
+        let nl = b.build().expect("valid");
+        let p = Placement::new(2);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let r = sta.analyze(&nl, &p, 10.0);
+        assert_eq!(r.endpoints, 0);
+        assert_eq!(r.wns, 0.0);
+        assert!(r.arrival.iter().all(|a| a.is_nan()));
+    }
+
+    #[test]
+    fn critical_path_walks_the_chain() {
+        let (nl, p) = chain(4, 10.0);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::new(0.1, 0.0));
+        let path = sta.critical_path(&nl, &p);
+        // The chain is the only path: pad plus all four gates, in order.
+        assert_eq!(path.len(), 5);
+        for w in path.windows(2) {
+            assert!(w[0].index() < w[1].index(), "path out of order: {path:?}");
+        }
+        // Path delay equals the critical-path delay.
+        let cp = sta.critical_path_delay(&nl, &p);
+        let manual: f64 = path.iter().map(|&c| nl.cell(c).delay).sum::<f64>()
+            + 0.1 * 10.0 * (path.len() - 1) as f64;
+        assert!((cp - manual).abs() < 1e-9, "cp {cp} vs path sum {manual}");
+    }
+
+    #[test]
+    fn critical_path_picks_the_slower_branch() {
+        // Diamond: pad → {fast, slow} → sink; the path must go through
+        // the slow branch.
+        let mut b = NetlistBuilder::new();
+        let pad = b.add_cell_with_delay("pad", 1.0, 1.0, CellKind::Pad, 0.1);
+        let fast = b.add_cell_with_delay("fast", 4.0, 12.0, CellKind::Movable, 0.5);
+        let slow = b.add_cell_with_delay("slow", 4.0, 12.0, CellKind::Movable, 5.0);
+        let sink = b.add_cell_with_delay("sink", 4.0, 12.0, CellKind::Movable, 1.0);
+        let n0 = b.add_net("n0");
+        b.connect(pad, n0, PinDir::Output, 0.0, 0.0);
+        b.connect(fast, n0, PinDir::Input, 0.0, 0.0);
+        b.connect(slow, n0, PinDir::Input, 0.0, 0.0);
+        for (i, c) in [fast, slow].into_iter().enumerate() {
+            let n = b.add_net(format!("m{i}"));
+            b.connect(c, n, PinDir::Output, 0.0, 0.0);
+            b.connect(sink, n, PinDir::Input, 0.0, 0.0);
+        }
+        let nl = b.build().expect("valid");
+        let p = Placement::new(4);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::new(0.0, 0.0));
+        let path = sta.critical_path(&nl, &p);
+        assert_eq!(path, vec![pad, slow, sink]);
+    }
+
+    #[test]
+    fn histogram_buckets_failing_endpoints() {
+        // Two endpoints at different distances -> two distinct slacks.
+        let mut b = NetlistBuilder::new();
+        let pi = b.add_cell("pi", 1.0, 1.0, CellKind::Pad);
+        let e1 = b.add_cell("e1", 4.0, 12.0, CellKind::Movable);
+        let e2 = b.add_cell("e2", 4.0, 12.0, CellKind::Movable);
+        let n = b.add_net("n");
+        b.connect(pi, n, PinDir::Output, 0.0, 0.0);
+        b.connect(e1, n, PinDir::Input, 0.0, 0.0);
+        b.connect(e2, n, PinDir::Input, 0.0, 0.0);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(3);
+        p.set(e1, Point::new(100.0, 0.0));
+        p.set(e2, Point::new(300.0, 0.0));
+        let sta = TimingAnalyzer::new(&nl, DelayModel::new(0.01, 0.0));
+        let r = sta.analyze(&nl, &p, 2.5);
+        assert_eq!(r.failing_endpoints, 2);
+        let (hist, width) = r.slack_histogram(4);
+        assert_eq!(hist.iter().sum::<usize>(), 2);
+        assert!(width > 0.0);
+        // The histogram's weighted area approximates |FOM|.
+        let area: f64 = hist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (-r.wns - (i as f64 + 0.5) * width))
+            .sum();
+        assert!((area - (-r.fom)).abs() < 2.0 * width, "area {area} vs fom {}", -r.fom);
+    }
+
+    #[test]
+    fn histogram_empty_when_timing_met() {
+        let (nl, p) = chain(2, 5.0);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let r = sta.analyze(&nl, &p, 1e6);
+        let (hist, width) = r.slack_histogram(8);
+        assert!(hist.iter().all(|&c| c == 0));
+        assert_eq!(width, 0.0);
+    }
+
+    #[test]
+    fn report_display() {
+        let (nl, p) = chain(2, 5.0);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let r = sta.analyze(&nl, &p, 100.0);
+        assert!(r.to_string().contains("WNS"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Delay models for the timing substrate.
+
+use dpm_netlist::{NetId, Netlist, PinId};
+use dpm_place::{net_hpwl, Placement};
+
+/// A linear interconnect delay model.
+///
+/// The delay from a net's driver to one of its sinks is
+///
+/// ```text
+/// delay = unit_wire_delay · manhattan(driver, sink)
+///       + fanout_factor · unit_wire_delay · hpwl(net)
+/// ```
+///
+/// The first term captures source-to-sink distance, the second the
+/// loading of the whole net (larger bounding boxes slow every sink).
+/// Cell delay is the cell's intrinsic `delay` field.
+///
+/// This is the standard academic stand-in for a full RC/Elmore model: it
+/// is monotone in exactly the quantities placement migration perturbs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// Delay per unit of Manhattan wire length.
+    pub unit_wire_delay: f64,
+    /// Weight of the net-bounding-box loading term.
+    pub fanout_factor: f64,
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        Self {
+            unit_wire_delay: 0.01,
+            fanout_factor: 0.25,
+        }
+    }
+}
+
+impl DelayModel {
+    /// Creates a model with explicit coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coefficient is negative or non-finite.
+    pub fn new(unit_wire_delay: f64, fanout_factor: f64) -> Self {
+        assert!(
+            unit_wire_delay.is_finite() && unit_wire_delay >= 0.0,
+            "unit wire delay must be non-negative"
+        );
+        assert!(
+            fanout_factor.is_finite() && fanout_factor >= 0.0,
+            "fanout factor must be non-negative"
+        );
+        Self {
+            unit_wire_delay,
+            fanout_factor,
+        }
+    }
+
+    /// Wire delay from `driver` to `sink` on `net` under `placement`.
+    pub fn net_delay(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        net: NetId,
+        driver: PinId,
+        sink: PinId,
+    ) -> f64 {
+        let from = placement.pin_position(netlist, driver);
+        let to = placement.pin_position(netlist, sink);
+        let dist = from.manhattan_distance(to);
+        let load = net_hpwl(netlist, placement, net);
+        self.unit_wire_delay * dist + self.fanout_factor * self.unit_wire_delay * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_geom::Point;
+    use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+
+    #[test]
+    fn delay_grows_with_distance() {
+        let mut b = NetlistBuilder::new();
+        let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+        let v = b.add_cell("v", 2.0, 2.0, CellKind::Movable);
+        let n = b.add_net("n");
+        let d = b.connect(u, n, PinDir::Output, 1.0, 1.0);
+        let s = b.connect(v, n, PinDir::Input, 1.0, 1.0);
+        let nl = b.build().expect("valid");
+        let model = DelayModel::default();
+
+        let mut p = Placement::new(2);
+        p.set(v, Point::new(10.0, 0.0));
+        let near = model.net_delay(&nl, &p, n, d, s);
+        p.set(v, Point::new(50.0, 0.0));
+        let far = model.net_delay(&nl, &p, n, d, s);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn zero_distance_zero_delay() {
+        let mut b = NetlistBuilder::new();
+        let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+        let v = b.add_cell("v", 2.0, 2.0, CellKind::Movable);
+        let n = b.add_net("n");
+        let d = b.connect(u, n, PinDir::Output, 1.0, 1.0);
+        let s = b.connect(v, n, PinDir::Input, 1.0, 1.0);
+        let nl = b.build().expect("valid");
+        let p = Placement::new(2); // both at origin → pins coincide
+        let delay = DelayModel::default().net_delay(&nl, &p, n, d, s);
+        assert_eq!(delay, 0.0);
+    }
+
+    #[test]
+    fn fanout_term_penalizes_wide_nets() {
+        // Same driver-sink distance, but a third pin stretches the bbox.
+        let mut b = NetlistBuilder::new();
+        let u = b.add_cell("u", 2.0, 2.0, CellKind::Movable);
+        let v = b.add_cell("v", 2.0, 2.0, CellKind::Movable);
+        let w = b.add_cell("w", 2.0, 2.0, CellKind::Movable);
+        let n = b.add_net("n");
+        let d = b.connect(u, n, PinDir::Output, 1.0, 1.0);
+        let s = b.connect(v, n, PinDir::Input, 1.0, 1.0);
+        b.connect(w, n, PinDir::Input, 1.0, 1.0);
+        let nl = b.build().expect("valid");
+        let model = DelayModel::default();
+
+        let mut p = Placement::new(3);
+        p.set(v, Point::new(10.0, 0.0));
+        p.set(w, Point::new(10.0, 0.0));
+        let tight = model.net_delay(&nl, &p, n, d, s);
+        p.set(w, Point::new(10.0, 80.0));
+        let wide = model.net_delay(&nl, &p, n, d, s);
+        assert!(wide > tight);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coefficient_rejected() {
+        let _ = DelayModel::new(-1.0, 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Congestion-driven placement migration — the paper's stated future
+//! work ("applying diffusion to other design closure objectives, such as
+//! routing congestion mitigation").
+//!
+//! Diffusion only needs a *density field* to spread; it never looks at
+//! connectivity. So instead of area density we feed the engine a blend
+//! of area density and RUDY routing demand: bins that are congested
+//! (even if not over-full) get pushed apart too.
+//!
+//! Run with: `cargo run --release --example congestion_relief`
+
+use diffuplace::congestion::CongestionMap;
+use diffuplace::diffusion::{DiffusionConfig, FieldMigration};
+use diffuplace::gen::CircuitSpec;
+use diffuplace::legalize::{run_legalizer, DetailedLegalizer};
+use diffuplace::place::{hpwl, BinGrid, MovementStats};
+
+fn main() {
+    // A fairly dense design: legal, but with routing hot spots where the
+    // clusters meet.
+    let bench = CircuitSpec::with_size("congested", 3_000, 55)
+        .with_utilization(0.8)
+        .generate();
+    let cfg = DiffusionConfig::default().with_bin_size(2.5 * bench.die.row_height());
+    let grid = BinGrid::new(bench.die.outline(), cfg.bin_size);
+
+    let rudy_before = CongestionMap::build(&bench.netlist, &bench.placement, grid.clone());
+    println!(
+        "before: TWL {:.0}, max RUDY demand {:.2}, hot bins (>threshold) {}",
+        hpwl(&bench.netlist, &bench.placement),
+        rudy_before.max_demand(),
+        rudy_before.hot_bins(hot_threshold(&rudy_before)),
+    );
+
+    // Blend area density with normalized congestion: congested bins look
+    // "over-full" to the diffusion engine and shed cells. Congestion
+    // relief is a bounded perturbation, not a re-placement — 40 steps.
+    let mut placement = bench.placement.clone();
+    FieldMigration::new(cfg)
+        .with_weight(0.8)
+        .with_steps(40)
+        .run(&bench.netlist, &bench.die, &mut placement, rudy_before.demands());
+    run_legalizer(&DetailedLegalizer::new(), &bench.netlist, &bench.die, &mut placement);
+
+    let rudy_after = CongestionMap::build(&bench.netlist, &placement, grid);
+    let moves = MovementStats::between(&bench.netlist, &bench.placement, &placement);
+    println!(
+        "after:  TWL {:.0}, max RUDY demand {:.2}, hot bins {}",
+        hpwl(&bench.netlist, &placement),
+        rudy_after.max_demand(),
+        rudy_after.hot_bins(hot_threshold(&rudy_before)),
+    );
+    println!(
+        "perturbation: total move {:.0}, max move {:.1} (avg {:.2} per cell)",
+        moves.total,
+        moves.max,
+        moves.total / moves.movable.max(1) as f64
+    );
+    let relief = (1.0 - rudy_after.max_demand() / rudy_before.max_demand()) * 100.0;
+    println!("peak congestion relief: {relief:.1}%");
+}
+
+/// "Hot" = above 70% of the initial peak demand.
+fn hot_threshold(m: &CongestionMap) -> f64 {
+    0.7 * m.max_demand()
+}

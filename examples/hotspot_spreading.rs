@@ -1,0 +1,88 @@
+//! Hotspot spreading: watch the diffusion process work.
+//!
+//! Builds a congestion hotspot, runs global diffusion step by step, traces
+//! one cell's migration trajectory (the paper's Fig. 3 — a smooth,
+//! non-direct route around obstacles), and writes before/after density
+//! SVGs to `results/`.
+//!
+//! Run with: `cargo run --release --example hotspot_spreading`
+
+use diffuplace::diffusion::{DiffusionConfig, GlobalDiffusion};
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::place::{BinGrid, DensityMap};
+use diffuplace::viz::SvgScene;
+
+fn main() {
+    let mut bench = CircuitSpec::with_size("hotspot", 1_500, 5).with_macros(2).generate();
+    bench.inflate(&InflationSpec::centered(0.18, 0.25, 6));
+
+    let cfg = DiffusionConfig::default()
+        .with_bin_size(2.5 * bench.die.row_height())
+        .with_windows(1, 2);
+    let grid = BinGrid::new(bench.die.outline(), cfg.bin_size);
+
+    let before = DensityMap::from_placement(&bench.netlist, &bench.placement, grid.clone());
+    println!(
+        "before diffusion: max density {:.2}, overflow {:.2}",
+        before.max_density(),
+        before.total_overflow(1.0)
+    );
+    save_svg("hotspot_before.svg", &bench, &before);
+
+    // Pick a cell near the hotspot center and trace its trajectory by
+    // running diffusion in bounded chunks.
+    let center = bench.die.outline().center();
+    let traced = bench
+        .netlist
+        .movable_cell_ids()
+        .min_by(|&a, &b| {
+            let da = bench.placement.cell_center(&bench.netlist, a).distance(center);
+            let db = bench.placement.cell_center(&bench.netlist, b).distance(center);
+            da.total_cmp(&db)
+        })
+        .expect("cells exist");
+
+    let mut placement = bench.placement.clone();
+    let mut trajectory = vec![placement.cell_center(&bench.netlist, traced)];
+    let mut total_steps = 0;
+    for chunk in 0..20 {
+        let runner = GlobalDiffusion::new(cfg.clone().with_max_steps(25));
+        let r = runner.run(&bench.netlist, &bench.die, &mut placement);
+        total_steps += r.steps;
+        trajectory.push(placement.cell_center(&bench.netlist, traced));
+        if r.converged {
+            println!("converged after {} steps ({} chunks)", total_steps, chunk + 1);
+            break;
+        }
+    }
+
+    println!("\ntrajectory of cell {traced} (paper Fig. 3 — smooth, shrinking steps):");
+    for (i, p) in trajectory.iter().enumerate() {
+        let step = if i == 0 {
+            0.0
+        } else {
+            (*p - trajectory[i - 1]).length()
+        };
+        println!("  chunk {i:>2}: ({:>7.2}, {:>7.2})  moved {step:>6.2}", p.x, p.y);
+    }
+
+    let after = DensityMap::from_placement(&bench.netlist, &placement, grid);
+    println!(
+        "\nafter diffusion: max density {:.2}, overflow {:.2}",
+        after.max_density(),
+        after.total_overflow(1.0)
+    );
+    let mut after_bench = bench.clone();
+    after_bench.placement = placement;
+    save_svg("hotspot_after.svg", &after_bench, &after);
+    println!("wrote results/hotspot_before.svg and results/hotspot_after.svg");
+}
+
+fn save_svg(name: &str, bench: &diffuplace::gen::Benchmark, density: &DensityMap) {
+    let svg = SvgScene::new(bench.die.outline())
+        .with_placement(&bench.netlist, &bench.placement)
+        .with_density(density, 1.0)
+        .render();
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(format!("results/{name}"), svg).expect("write svg");
+}

@@ -1,0 +1,71 @@
+//! Parameter sweep: how bin size, windows, and the update period trade
+//! movement against runtime — a miniature of the paper's Section VII-C.
+//!
+//! Run with: `cargo run --release --example parameter_sweep`
+
+use diffuplace::diffusion::DiffusionConfig;
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::legalize::{DiffusionLegalizer, Legalizer};
+use diffuplace::place::{hpwl, MovementStats};
+use std::time::Instant;
+
+fn main() {
+    // A dense, concentrated hotspot: the regime where the parameters
+    // genuinely trade movement against runtime.
+    let mut bench = CircuitSpec::with_size("sweep", 2_000, 21)
+        .with_local_utilization(0.97)
+        .with_clusters_per_gap(6)
+        .generate();
+    bench.inflate(&InflationSpec::centered(0.15, 0.3, 22));
+    let row_height = bench.die.row_height();
+
+    println!("{:<28} {:>9} {:>11} {:>9}", "configuration", "movement", "TWL", "CPU(ms)");
+
+    // Bin size (paper Fig. 11: sweet spot 2-4 row heights).
+    for rows in [1.0, 2.0, 2.5, 4.0, 8.0] {
+        run(
+            &bench,
+            &format!("bin = {rows} row heights"),
+            DiffusionConfig::default()
+                .with_bin_size(rows * row_height)
+                .with_windows(1, 2),
+        );
+    }
+    // Windows (paper Figs. 12-13: small is better).
+    for (w1, w2) in [(1, 1), (1, 3), (2, 2), (3, 3)] {
+        run(
+            &bench,
+            &format!("windows W1={w1} W2={w2}"),
+            DiffusionConfig::default()
+                .with_bin_size(2.5 * row_height)
+                .with_windows(w1, w2),
+        );
+    }
+    // Update period (paper Table IX: longer is cheaper, similar quality).
+    for n_u in [5, 15, 30] {
+        run(
+            &bench,
+            &format!("update period N_U = {n_u}"),
+            DiffusionConfig::default()
+                .with_bin_size(2.5 * row_height)
+                .with_windows(1, 2)
+                .with_update_period(n_u),
+        );
+    }
+}
+
+fn run(bench: &diffuplace::gen::Benchmark, label: &str, cfg: DiffusionConfig) {
+    let legalizer = DiffusionLegalizer::local(cfg);
+    let mut placement = bench.placement.clone();
+    let start = Instant::now();
+    legalizer.legalize_in_place(&bench.netlist, &bench.die, &mut placement);
+    let elapsed = start.elapsed();
+    let moves = MovementStats::between(&bench.netlist, &bench.placement, &placement);
+    println!(
+        "{:<28} {:>9.0} {:>11.0} {:>9.1}",
+        label,
+        moves.total,
+        hpwl(&bench.netlist, &placement),
+        elapsed.as_secs_f64() * 1e3
+    );
+}

@@ -1,0 +1,70 @@
+//! Thermal-driven migration — the paper's "heat distribution"
+//! application.
+//!
+//! Cells carry power; a coarse thermal map is the power density smoothed
+//! by (what else) a few diffusion steps, since heat spreads diffusively
+//! through the substrate. Cells in hot regions are then migrated down
+//! the blended density+temperature gradient, and the placement is
+//! re-legalized.
+//!
+//! Run with: `cargo run --release --example thermal_spreading`
+
+use diffuplace::diffusion::{DiffusionConfig, DiffusionEngine, FieldMigration};
+use diffuplace::gen::CircuitSpec;
+use diffuplace::legalize::{run_legalizer, DetailedLegalizer};
+use diffuplace::place::{hpwl, BinGrid, MovementStats, Placement};
+
+fn main() {
+    let bench = CircuitSpec::with_size("thermal", 2_000, 91).generate();
+    let cfg = DiffusionConfig::default().with_bin_size(2.5 * bench.die.row_height());
+    let grid = BinGrid::new(bench.die.outline(), cfg.bin_size);
+
+    // Power model: wider cells burn more; one cluster is a hot block
+    // (imagine a multiplier array) with 8x the power density.
+    let hot_cells: Vec<_> = bench.netlist.movable_cell_ids().skip(400).take(120).collect();
+    let power_map = |placement: &Placement| -> Vec<f64> {
+        let mut power = vec![0.0; grid.len()];
+        for c in bench.netlist.movable_cell_ids() {
+            let cell = bench.netlist.cell(c);
+            let watts = cell.width * if hot_cells.contains(&c) { 8.0 } else { 1.0 };
+            let b = grid.bin_of_point(placement.cell_center(&bench.netlist, c));
+            power[grid.flat(b)] += watts;
+        }
+        // Heat spreads through the substrate: smooth the power map with a
+        // few diffusion steps on its own grid.
+        let mut heat = DiffusionEngine::from_raw(grid.nx(), grid.ny(), power, None);
+        for _ in 0..8 {
+            heat.step_density(0.25);
+        }
+        heat.densities().to_vec()
+    };
+
+    let t_before = power_map(&bench.placement);
+    let peak_before = t_before.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "before: TWL {:.0}, peak temperature {:.1} (arbitrary units)",
+        hpwl(&bench.netlist, &bench.placement),
+        peak_before
+    );
+
+    let mut placement = bench.placement.clone();
+    FieldMigration::new(cfg)
+        .with_weight(1.2)
+        .with_steps(40)
+        .run(&bench.netlist, &bench.die, &mut placement, &t_before);
+    run_legalizer(&DetailedLegalizer::new(), &bench.netlist, &bench.die, &mut placement);
+
+    let t_after = power_map(&placement);
+    let peak_after = t_after.iter().cloned().fold(0.0f64, f64::max);
+    let moves = MovementStats::between(&bench.netlist, &bench.placement, &placement);
+    println!(
+        "after:  TWL {:.0}, peak temperature {:.1} ({:+.1}%)",
+        hpwl(&bench.netlist, &placement),
+        peak_after,
+        (peak_after / peak_before - 1.0) * 100.0
+    );
+    println!(
+        "perturbation: moved {} cells, max {:.1}, avg {:.2}",
+        moves.moved, moves.max, moves.avg
+    );
+}

@@ -1,0 +1,179 @@
+//! The diffuplace command-line tool: legalize a Bookshelf placement.
+//!
+//! ```text
+//! diffuplace legalize <design.aux> [--legalizer diff-local|diff-global|greedy|flow|tetris|row-dp|gem]
+//!                     [--out <out.pl>] [--svg <plot.svg>]
+//! diffuplace check <design.aux>
+//! diffuplace export-demo <dir>      # write a small synthetic design as Bookshelf files
+//! ```
+
+use diffuplace::bookshelf::{load_design, parse_aux, BookshelfDesign, LoadedDesign};
+use diffuplace::legalize::{
+    run_legalizer, DiffusionLegalizer, FlowLegalizer, GemLegalizer, GreedyLegalizer, Legalizer,
+    RowDpLegalizer, TetrisLegalizer,
+};
+use diffuplace::place::{check_legality, hpwl, MovementStats};
+use diffuplace::viz::SvgScene;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("legalize") => cmd_legalize(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("export-demo") => cmd_export_demo(&args[1..]),
+        _ => {
+            eprintln!("usage: diffuplace <legalize|check|export-demo> ...");
+            eprintln!("  legalize <design.aux> [--legalizer NAME] [--out FILE.pl] [--svg FILE.svg]");
+            eprintln!("  check <design.aux>");
+            eprintln!("  export-demo <dir>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(aux_path: &Path) -> Result<LoadedDesign, String> {
+    let aux = std::fs::read_to_string(aux_path).map_err(|e| format!("cannot read {}: {e}", aux_path.display()))?;
+    let files = parse_aux(&aux).map_err(|e| e.to_string())?;
+    let dir = aux_path.parent().unwrap_or(Path::new("."));
+    let find = |ext: &str| -> Result<String, String> {
+        let name = files
+            .iter()
+            .find(|f| f.ends_with(ext))
+            .ok_or_else(|| format!("aux file lists no {ext}"))?;
+        std::fs::read_to_string(dir.join(name)).map_err(|e| format!("cannot read {name}: {e}"))
+    };
+    load_design(&find(".nodes")?, &find(".nets")?, &find(".pl")?, &find(".scl")?).map_err(|e| e.to_string())
+}
+
+fn pick_legalizer(name: &str) -> Option<Box<dyn Legalizer>> {
+    Some(match name {
+        "diff-local" => Box::new(DiffusionLegalizer::local_default()),
+        "diff-global" => Box::new(DiffusionLegalizer::global_default()),
+        "greedy" => Box::new(GreedyLegalizer::new()),
+        "flow" => Box::new(FlowLegalizer::new()),
+        "tetris" => Box::new(TetrisLegalizer::new()),
+        "row-dp" => Box::new(RowDpLegalizer::new()),
+        "gem" => Box::new(GemLegalizer::new()),
+        _ => return None,
+    })
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn cmd_legalize(args: &[String]) -> ExitCode {
+    let Some(aux) = args.first() else {
+        eprintln!("legalize: missing <design.aux>");
+        return ExitCode::from(2);
+    };
+    let legalizer_name = flag(args, "--legalizer").unwrap_or_else(|| "diff-local".into());
+    let Some(legalizer) = pick_legalizer(&legalizer_name) else {
+        eprintln!("unknown legalizer '{legalizer_name}'");
+        return ExitCode::from(2);
+    };
+    let design = match load(Path::new(aux)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let before_twl = hpwl(&design.netlist, &design.placement);
+    let before = check_legality(&design.netlist, &design.die, &design.placement, 0);
+    println!(
+        "loaded: {} cells, {} nets, {} rows | TWL {:.0} | {} violations",
+        design.netlist.num_cells(),
+        design.netlist.num_nets(),
+        design.die.num_rows(),
+        before_twl,
+        before.violation_count
+    );
+
+    let mut placement = design.placement.clone();
+    let outcome = run_legalizer(legalizer.as_ref(), &design.netlist, &design.die, &mut placement);
+    let moves = MovementStats::between(&design.netlist, &design.placement, &placement);
+    let after_twl = hpwl(&design.netlist, &placement);
+    println!(
+        "{}: {} | TWL {:.0} ({:+.2}%) | moved {} cells, max {:.1}, total {:.1}",
+        legalizer.name(),
+        outcome,
+        after_twl,
+        (after_twl / before_twl - 1.0) * 100.0,
+        moves.moved,
+        moves.max,
+        moves.total
+    );
+
+    let out = flag(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(aux).with_extension("legal.pl"));
+    let export = BookshelfDesign::from_parts(&design.netlist, &design.die, &placement);
+    if let Err(e) = std::fs::write(&out, export.write_pl()) {
+        eprintln!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(svg_path) = flag(args, "--svg") {
+        let svg = SvgScene::new(design.die.outline())
+            .with_placement(&design.netlist, &placement)
+            .with_movements(&design.netlist, &design.placement, &placement, design.die.row_height())
+            .render();
+        if let Err(e) = std::fs::write(&svg_path, svg) {
+            eprintln!("cannot write {svg_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {svg_path}");
+    }
+    if outcome.is_legal {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(aux) = args.first() else {
+        eprintln!("check: missing <design.aux>");
+        return ExitCode::from(2);
+    };
+    match load(Path::new(aux)) {
+        Ok(design) => {
+            let report = check_legality(&design.netlist, &design.die, &design.placement, 10);
+            println!("TWL {:.0}", hpwl(&design.netlist, &design.placement));
+            println!("{report}");
+            for v in &report.violations {
+                println!("  {v}");
+            }
+            if report.is_legal() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_export_demo(args: &[String]) -> ExitCode {
+    let dir = PathBuf::from(args.first().cloned().unwrap_or_else(|| "demo".into()));
+    let mut bench = diffuplace::gen::CircuitSpec::small(1).generate();
+    bench.inflate(&diffuplace::gen::InflationSpec::random_width(0.1, 1.6, 2));
+    let design = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+    match design.save_to(&dir, "demo") {
+        Ok(()) => {
+            println!("wrote {}/demo.aux (+ nodes/nets/pl/scl) — 1000 cells, 10% inflated", dir.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write demo: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

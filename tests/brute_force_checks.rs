@@ -1,0 +1,187 @@
+//! Cross-checks of the optimizing kernels against brute force on small
+//! inputs: min-cost max-flow against exhaustive path enumeration, and
+//! the timing analyzer against explicit path walking.
+
+use diffuplace::mcmf::FlowNetwork;
+use diffuplace::netlist::{CellKind, NetlistBuilder, PinDir};
+use diffuplace::place::Placement;
+use diffuplace::sta::{DelayModel, TimingAnalyzer};
+use proptest::prelude::*;
+
+/// Brute-force min-cost max-flow on a tiny DAG-ish random graph by
+/// exhaustively trying integral flows per edge. Only feasible for very
+/// small instances, which is the point.
+fn brute_force_min_cost_max_flow(
+    n: usize,
+    edges: &[(usize, usize, i64, i64)],
+    s: usize,
+    t: usize,
+) -> (i64, i64) {
+    // Enumerate per-edge flows 0..=cap via odometer search; check
+    // conservation; track (max flow, min cost).
+    let mut best = (0i64, 0i64);
+    let m = edges.len();
+    let mut flows = vec![0i64; m];
+    loop {
+        // Check conservation at every node except s, t.
+        let mut net = vec![0i64; n];
+        for (i, &(u, v, _, _)) in edges.iter().enumerate() {
+            net[u] -= flows[i];
+            net[v] += flows[i];
+        }
+        let conserved = (0..n).all(|v| v == s || v == t || net[v] == 0);
+        if conserved {
+            let flow = net[t];
+            let cost: i64 = edges.iter().zip(&flows).map(|(&(_, _, _, c), &f)| c * f).sum();
+            if flow > best.0 || (flow == best.0 && cost < best.1) {
+                best = (flow, cost);
+            }
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == m {
+                return best;
+            }
+            if flows[i] < edges[i].2 {
+                flows[i] += 1;
+                break;
+            }
+            flows[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The solver matches brute force on random 4-node graphs with
+    /// small capacities.
+    #[test]
+    fn mcmf_matches_brute_force(
+        caps in proptest::collection::vec(0i64..3, 5),
+        costs in proptest::collection::vec(0i64..4, 5),
+    ) {
+        // Fixed 4-node topology: s=0, t=3, edges 0→1, 0→2, 1→2, 1→3, 2→3.
+        let topo = [(0usize, 1usize), (0, 2), (1, 2), (1, 3), (2, 3)];
+        let edges: Vec<(usize, usize, i64, i64)> = topo
+            .iter()
+            .zip(caps.iter().zip(&costs))
+            .map(|(&(u, v), (&cap, &cost))| (u, v, cap, cost))
+            .collect();
+        let expected = brute_force_min_cost_max_flow(4, &edges, 0, 3);
+
+        let mut net = FlowNetwork::new(4);
+        for &(u, v, cap, cost) in &edges {
+            net.add_edge(u, v, cap, cost);
+        }
+        let got = net.min_cost_max_flow(0, 3).expect("solves");
+        prop_assert_eq!((got.amount, got.cost), expected);
+    }
+}
+
+/// The STA's critical path equals the explicit maximum over all paths of
+/// a three-stage diamond.
+#[test]
+fn sta_matches_explicit_path_enumeration() {
+    // pad → {a, b} → c, with different cell delays and positions.
+    let mut b = NetlistBuilder::new();
+    let pad = b.add_cell_with_delay("pad", 1.0, 1.0, CellKind::Pad, 0.5);
+    let ca = b.add_cell_with_delay("a", 4.0, 12.0, CellKind::Movable, 1.0);
+    let cb = b.add_cell_with_delay("b", 4.0, 12.0, CellKind::Movable, 3.0);
+    let cc = b.add_cell_with_delay("c", 4.0, 12.0, CellKind::Movable, 2.0);
+    let n0 = b.add_net("n0");
+    b.connect(pad, n0, PinDir::Output, 0.0, 0.0);
+    b.connect(ca, n0, PinDir::Input, 0.0, 0.0);
+    b.connect(cb, n0, PinDir::Input, 0.0, 0.0);
+    let n1 = b.add_net("n1");
+    b.connect(ca, n1, PinDir::Output, 0.0, 0.0);
+    b.connect(cc, n1, PinDir::Input, 0.0, 0.0);
+    let n2 = b.add_net("n2");
+    b.connect(cb, n2, PinDir::Output, 0.0, 0.0);
+    b.connect(cc, n2, PinDir::Input, 0.0, 0.0);
+    let nl = b.build().expect("valid");
+
+    let mut p = Placement::new(4);
+    p.set(pad, diffuplace::geom::Point::new(0.0, 0.0));
+    p.set(ca, diffuplace::geom::Point::new(10.0, 0.0));
+    p.set(cb, diffuplace::geom::Point::new(50.0, 0.0));
+    p.set(cc, diffuplace::geom::Point::new(100.0, 0.0));
+
+    let model = DelayModel::new(0.01, 0.0);
+    let sta = TimingAnalyzer::new(&nl, model);
+    let cp = sta.critical_path_delay(&nl, &p);
+
+    // Manual: net delays are 0.01 × manhattan between pin positions.
+    let w = |a: f64, c: f64| 0.01 * (c - a).abs();
+    let path_a = 0.5 + w(0.0, 10.0) + 1.0 + w(10.0, 100.0) + 2.0;
+    let path_b = 0.5 + w(0.0, 50.0) + 3.0 + w(50.0, 100.0) + 2.0;
+    let expected = path_a.max(path_b);
+    assert!((cp - expected).abs() < 1e-9, "cp {cp} vs expected {expected}");
+}
+
+/// Abacus in-row placement never loses to naive left-packing on total
+/// squared displacement (it is the optimal order-preserving placement).
+#[test]
+fn abacus_beats_left_packing() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..50 {
+        let n = rng.random_range(2..8);
+        let cells: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random_range(0.0..80.0), rng.random_range(2.0..10.0)))
+            .collect();
+        let mut sorted = cells.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        // The diffuplace detailed legalizer is not exported at function
+        // level; emulate via a tiny row: place cells on one row of a die
+        // and check the result. Instead, compare cost of the library's
+        // row placement against left-packing cost directly through the
+        // DetailedLegalizer on a single-row die.
+        let mut b = NetlistBuilder::new();
+        for (i, &(_, w)) in sorted.iter().enumerate() {
+            b.add_cell(format!("c{i}"), w, 12.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let die = diffuplace::place::Die::new(100.0, 12.0, 12.0);
+        let mut p = Placement::new(nl.num_cells());
+        for (i, c) in nl.movable_cell_ids().enumerate() {
+            p.set(c, diffuplace::geom::Point::new(sorted[i].0.min(100.0 - sorted[i].1), 0.0));
+        }
+        let desired = p.clone();
+        diffuplace::legalize::run_legalizer(
+            &diffuplace::legalize::DetailedLegalizer::new(),
+            &nl,
+            &die,
+            &mut p,
+        );
+
+        let cost = |q: &Placement| -> f64 {
+            nl.movable_cell_ids()
+                .map(|c| {
+                    let d = q.get(c).x - desired.get(c).x;
+                    nl.cell(c).width * d * d
+                })
+                .sum()
+        };
+        // Left packing: cells in order from x = 0.
+        let mut lp = Placement::new(nl.num_cells());
+        let mut cursor = 0.0;
+        for (i, c) in nl.movable_cell_ids().enumerate() {
+            lp.set(c, diffuplace::geom::Point::new(cursor, 0.0));
+            cursor += sorted[i].1;
+        }
+        assert!(
+            cost(&p) <= cost(&lp) + 1e-6,
+            "abacus cost {} worse than left packing {}",
+            cost(&p),
+            cost(&lp)
+        );
+        // And the result is legal.
+        let report = diffuplace::place::check_legality(&nl, &die, &p, 3);
+        assert!(report.is_legal(), "{report}");
+    }
+}

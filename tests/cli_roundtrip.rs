@@ -1,0 +1,53 @@
+//! End-to-end test of the Bookshelf flow the CLI automates: export a
+//! design, reload it, legalize, write the `.pl`, and reload *that*.
+
+use diffuplace::bookshelf::{load_design, BookshelfDesign};
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::legalize::{run_legalizer, DiffusionLegalizer};
+use diffuplace::place::{check_legality, hpwl};
+
+#[test]
+fn bookshelf_export_legalize_reimport() {
+    let mut bench = CircuitSpec::small(121).generate();
+    bench.inflate(&InflationSpec::random_width(0.1, 1.6, 122));
+
+    // Export, then reload — the loaded design must describe the same
+    // problem.
+    let exported = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+    let loaded = load_design(
+        &exported.write_nodes(),
+        &exported.write_nets(),
+        &exported.write_pl(),
+        &exported.write_scl(),
+    )
+    .expect("round trip");
+    let twl_orig = hpwl(&bench.netlist, &bench.placement);
+    let twl_loaded = hpwl(&loaded.netlist, &loaded.placement);
+    assert!((twl_orig - twl_loaded).abs() < 1e-6 * twl_orig);
+
+    // Legalize the reloaded design.
+    let mut placement = loaded.placement.clone();
+    let outcome = run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &loaded.netlist,
+        &loaded.die,
+        &mut placement,
+    );
+    assert!(outcome.is_legal, "{outcome}");
+
+    // Export the legalized placement and reload once more: still legal,
+    // same wirelength.
+    let legal_export = BookshelfDesign::from_parts(&loaded.netlist, &loaded.die, &placement);
+    let relegal = load_design(
+        &legal_export.write_nodes(),
+        &legal_export.write_nets(),
+        &legal_export.write_pl(),
+        &legal_export.write_scl(),
+    )
+    .expect("second round trip");
+    let report = check_legality(&relegal.netlist, &relegal.die, &relegal.placement, 5);
+    assert!(report.is_legal(), "{report}");
+    let twl_a = hpwl(&loaded.netlist, &placement);
+    let twl_b = hpwl(&relegal.netlist, &relegal.placement);
+    assert!((twl_a - twl_b).abs() < 1e-6 * twl_a);
+}

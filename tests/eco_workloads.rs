@@ -1,0 +1,96 @@
+//! Integration tests of the full ECO story the paper's introduction
+//! motivates: buffers inserted + gates repowered, then legalization that
+//! must preserve the design's integrity.
+
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::legalize::{
+    run_legalizer, DiffusionLegalizer, GreedyLegalizer, Legalizer, TetrisLegalizer,
+};
+use diffuplace::place::{check_legality, hpwl, MovementStats};
+use diffuplace::route::{GlobalRouter, RouterConfig};
+use diffuplace::sta::{DelayModel, TimingAnalyzer};
+
+fn eco_bench() -> diffuplace::gen::Benchmark {
+    let mut bench = CircuitSpec::with_size("eco_it", 2_000, 301).generate();
+    bench.insert_buffers(0.04, 6.0);
+    bench.inflate(&InflationSpec::centered(0.10, 0.3, 302));
+    bench
+}
+
+#[test]
+fn eco_produces_overlap_and_every_legalizer_fixes_it() {
+    let bench = eco_bench();
+    let before = check_legality(&bench.netlist, &bench.die, &bench.placement, 0);
+    assert!(!before.is_legal(), "the ECO must create overlap");
+    for legalizer in [
+        Box::new(DiffusionLegalizer::local_default()) as Box<dyn Legalizer>,
+        Box::new(GreedyLegalizer::new()),
+        Box::new(TetrisLegalizer::new()),
+    ] {
+        let mut p = bench.placement.clone();
+        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut p);
+        assert!(outcome.is_legal, "{} failed: {outcome}", legalizer.name());
+    }
+}
+
+#[test]
+fn diffusion_preserves_eco_timing_better_than_packing() {
+    // The paper's headline on the motivating workload, end to end with
+    // buffers in the timing graph.
+    let bench = eco_bench();
+    let sta = TimingAnalyzer::new(&bench.netlist, DelayModel::default());
+    let clock = sta.critical_path_delay(&bench.netlist, &bench.placement) * 1.05;
+
+    let mut p_diff = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    let t_diff = sta.analyze(&bench.netlist, &p_diff, clock);
+
+    let mut p_tetris = bench.placement.clone();
+    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    let t_tetris = sta.analyze(&bench.netlist, &p_tetris, clock);
+
+    assert!(
+        t_diff.wns >= t_tetris.wns,
+        "diffusion WNS {} should not be worse than Tetris {}",
+        t_diff.wns,
+        t_tetris.wns
+    );
+    assert!(
+        hpwl(&bench.netlist, &p_diff) < hpwl(&bench.netlist, &p_tetris),
+        "diffusion should win TWL on the ECO hotspot"
+    );
+}
+
+#[test]
+fn eco_legalization_keeps_buffers_near_their_nets() {
+    // Buffers land at net centroids; legalization must not launch them
+    // across the die, or the insertion's timing purpose is defeated.
+    let bench = eco_bench();
+    let mut p = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p);
+    let m = MovementStats::between(&bench.netlist, &bench.placement, &p);
+    let die_span = bench.die.outline().width().hypot(bench.die.outline().height());
+    assert!(
+        m.max < die_span / 3.0,
+        "a cell moved {} — more than a third of the die diagonal {}",
+        m.max,
+        die_span
+    );
+}
+
+#[test]
+fn routed_congestion_stays_bounded_through_legalization() {
+    let bench = eco_bench();
+    let router = GlobalRouter::new(RouterConfig::default());
+    let before = router.route(&bench.netlist, &bench.placement, &bench.die);
+    let mut p = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p);
+    let after = router.route(&bench.netlist, &p, &bench.die);
+    assert_eq!(before.routed_connections, after.routed_connections);
+    assert!(
+        after.max_congestion <= before.max_congestion * 1.5 + 0.5,
+        "legalization exploded congestion: {} -> {}",
+        before.max_congestion,
+        after.max_congestion
+    );
+}

@@ -1,0 +1,155 @@
+//! End-to-end integration tests: generate → inflate → legalize → verify,
+//! across every legalizer and workload family.
+
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::legalize::{
+    run_legalizer, DetailedLegalizer, DiffusionLegalizer, FlowLegalizer, GemLegalizer,
+    GreedyLegalizer, Legalizer, RowDpLegalizer, TetrisLegalizer,
+};
+use diffuplace::place::{check_legality, hpwl, MovementStats};
+use diffuplace::sta::{DelayModel, TimingAnalyzer};
+
+fn all_legalizers() -> Vec<Box<dyn Legalizer>> {
+    vec![
+        Box::new(DetailedLegalizer::new()),
+        Box::new(GreedyLegalizer::new()),
+        Box::new(FlowLegalizer::new()),
+        Box::new(TetrisLegalizer::new()),
+        Box::new(RowDpLegalizer::new()),
+        Box::new(GemLegalizer::new()),
+        Box::new(DiffusionLegalizer::global_default()),
+        Box::new(DiffusionLegalizer::local_default()),
+    ]
+}
+
+#[test]
+fn every_legalizer_produces_legal_placements_on_random_inflation() {
+    let mut bench = CircuitSpec::small(101).generate();
+    bench.inflate(&InflationSpec::random_width(0.1, 1.6, 102));
+    for legalizer in all_legalizers() {
+        let mut placement = bench.placement.clone();
+        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut placement);
+        assert!(outcome.is_legal, "{} failed: {outcome}", legalizer.name());
+    }
+}
+
+#[test]
+fn every_legalizer_produces_legal_placements_on_hotspot() {
+    let mut bench = CircuitSpec::small(103).generate();
+    bench.inflate(&InflationSpec::centered(0.15, 0.3, 104));
+    for legalizer in all_legalizers() {
+        let mut placement = bench.placement.clone();
+        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut placement);
+        assert!(outcome.is_legal, "{} failed: {outcome}", legalizer.name());
+    }
+}
+
+#[test]
+fn every_legalizer_handles_macros() {
+    let mut bench = CircuitSpec::small(105).with_macros(3).generate();
+    bench.inflate(&InflationSpec::random_width(0.08, 1.5, 106));
+    for legalizer in all_legalizers() {
+        let mut placement = bench.placement.clone();
+        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut placement);
+        assert!(outcome.is_legal, "{} failed with macros: {outcome}", legalizer.name());
+        // Macros themselves must not have been moved.
+        for m in bench.netlist.macro_ids() {
+            assert_eq!(placement.get(m), bench.placement.get(m), "{} moved a macro", legalizer.name());
+        }
+    }
+}
+
+#[test]
+fn diffusion_preserves_wirelength_better_than_packing_on_hotspot() {
+    // The paper's central quality claim, end to end.
+    let mut bench = CircuitSpec::with_size("e2e", 2_000, 107).generate();
+    bench.inflate(&InflationSpec::center_width(0.1, 1.6));
+
+    let mut p_diff = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    let twl_diff = hpwl(&bench.netlist, &p_diff);
+
+    let mut p_tetris = bench.placement.clone();
+    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    let twl_tetris = hpwl(&bench.netlist, &p_tetris);
+
+    assert!(
+        twl_diff < twl_tetris,
+        "diffusion TWL {twl_diff} should beat Tetris packing {twl_tetris} on a hotspot"
+    );
+}
+
+#[test]
+fn diffusion_max_movement_beats_baselines_on_hotspot() {
+    let mut bench = CircuitSpec::with_size("e2e_mv", 2_000, 109).generate();
+    bench.inflate(&InflationSpec::center_width(0.1, 1.6));
+
+    let mut p_diff = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    let m_diff = MovementStats::between(&bench.netlist, &bench.placement, &p_diff);
+
+    let mut p_tetris = bench.placement.clone();
+    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    let m_tetris = MovementStats::between(&bench.netlist, &bench.placement, &p_tetris);
+
+    assert!(
+        m_diff.max < m_tetris.max,
+        "diffusion max move {} should beat Tetris {}",
+        m_diff.max,
+        m_tetris.max
+    );
+}
+
+#[test]
+fn timing_pipeline_is_consistent_across_legalization() {
+    let mut bench = CircuitSpec::small(111).generate();
+    let sta = TimingAnalyzer::new(&bench.netlist, DelayModel::default());
+    let clock = sta.critical_path_delay(&bench.netlist, &bench.placement) * 1.05;
+    let before = sta.analyze(&bench.netlist, &bench.placement, clock);
+    assert!(before.wns > 0.0, "base design should meet a 5%-relaxed clock");
+
+    bench.inflate(&InflationSpec::random_width(0.1, 1.6, 112));
+    let mut placement = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut placement);
+    let after = TimingAnalyzer::new(&bench.netlist, DelayModel::default()).analyze(&bench.netlist, &placement, clock);
+    // Timing may degrade but must stay in a sane band.
+    assert!(after.wns > -(clock * 2.0), "WNS collapsed: {}", after.wns);
+}
+
+#[test]
+fn legalization_is_idempotent() {
+    // Running a legalizer on its own (legal) output must not change it
+    // materially.
+    let mut bench = CircuitSpec::small(113).generate();
+    bench.inflate(&InflationSpec::random_width(0.1, 1.6, 114));
+    for legalizer in [
+        Box::new(DiffusionLegalizer::local_default()) as Box<dyn Legalizer>,
+        Box::new(GreedyLegalizer::new()),
+        Box::new(DetailedLegalizer::new()),
+    ] {
+        let mut once = bench.placement.clone();
+        run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut once);
+        let mut twice = once.clone();
+        run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut twice);
+        let m = MovementStats::between(&bench.netlist, &once, &twice);
+        assert!(
+            m.max < bench.die.row_height() * 3.0,
+            "{} is not near-idempotent: max re-move {}",
+            legalizer.name(),
+            m.max
+        );
+        assert!(check_legality(&bench.netlist, &bench.die, &twice, 0).is_legal());
+    }
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let run = || {
+        let mut bench = CircuitSpec::small(115).generate();
+        bench.inflate(&InflationSpec::centered(0.12, 0.3, 116));
+        let mut placement = bench.placement.clone();
+        run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut placement);
+        hpwl(&bench.netlist, &placement)
+    };
+    assert_eq!(run(), run());
+}

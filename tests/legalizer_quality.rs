@@ -1,0 +1,94 @@
+//! Quality tripwires: fixed-seed envelopes that catch silent quality
+//! regressions in any legalizer (the kind of drift a legality-only test
+//! suite would never notice).
+
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::legalize::{
+    run_legalizer, DiffusionLegalizer, FlowLegalizer, GemLegalizer, GreedyLegalizer, Legalizer,
+    RowDpLegalizer, TetrisLegalizer,
+};
+use diffuplace::place::{hpwl, MovementStats, Placement};
+
+struct Quality {
+    name: &'static str,
+    twl_ratio: f64,
+    max_move: f64,
+}
+
+fn measure_all(bench: &diffuplace::gen::Benchmark) -> Vec<Quality> {
+    let base = hpwl(&bench.netlist, &bench.placement);
+    let legalizers: Vec<(&'static str, Box<dyn Legalizer>)> = vec![
+        ("DIFF(L)", Box::new(DiffusionLegalizer::local_default())),
+        ("DIFF(G)", Box::new(DiffusionLegalizer::global_default())),
+        ("GREED", Box::new(GreedyLegalizer::new())),
+        ("FLOW", Box::new(FlowLegalizer::new())),
+        ("TETRIS", Box::new(TetrisLegalizer::new())),
+        ("ROWDP", Box::new(RowDpLegalizer::new())),
+        ("GEM", Box::new(GemLegalizer::new())),
+    ];
+    legalizers
+        .into_iter()
+        .map(|(name, l)| {
+            let mut p: Placement = bench.placement.clone();
+            let outcome = run_legalizer(l.as_ref(), &bench.netlist, &bench.die, &mut p);
+            assert!(outcome.is_legal, "{name} failed: {outcome}");
+            let m = MovementStats::between(&bench.netlist, &bench.placement, &p);
+            Quality {
+                name,
+                twl_ratio: hpwl(&bench.netlist, &p) / base,
+                max_move: m.max,
+            }
+        })
+        .collect()
+}
+
+/// The ISPD-style random workload: every legalizer must stay within a
+/// small wirelength envelope (this is the regime where the paper says
+/// methods tie).
+#[test]
+fn random_workload_quality_envelope() {
+    let mut bench = CircuitSpec::with_size("quality_r", 1_500, 501).generate();
+    bench.inflate(&InflationSpec::random_width(0.1, 1.6, 502));
+    for q in measure_all(&bench) {
+        assert!(
+            q.twl_ratio < 1.45,
+            "{}: TWL ratio {:.3} blew the envelope",
+            q.name,
+            q.twl_ratio
+        );
+    }
+}
+
+/// The hotspot workload: diffusion must beat the packing baselines on
+/// wirelength, and no diffusion cell may travel further than Tetris's
+/// worst-moved cell.
+#[test]
+fn hotspot_workload_ranking() {
+    let mut bench = CircuitSpec::with_size("quality_c", 1_500, 503).generate();
+    bench.inflate(&InflationSpec::center_width(0.1, 1.6));
+    let results = measure_all(&bench);
+    let get = |name: &str| {
+        results
+            .iter()
+            .find(|q| q.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+    };
+    let diff = get("DIFF(L)");
+    let tetris = get("TETRIS");
+    assert!(
+        diff.twl_ratio < tetris.twl_ratio,
+        "DIFF(L) {:.3} must beat TETRIS {:.3} on the hotspot",
+        diff.twl_ratio,
+        tetris.twl_ratio
+    );
+    assert!(
+        diff.max_move < tetris.max_move,
+        "DIFF(L) max move {:.1} must beat TETRIS {:.1}",
+        diff.max_move,
+        tetris.max_move
+    );
+    // Every spreader stays within a sane hotspot envelope.
+    for q in &results {
+        assert!(q.twl_ratio < 1.6, "{}: TWL ratio {:.3}", q.name, q.twl_ratio);
+    }
+}

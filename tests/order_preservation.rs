@@ -1,0 +1,124 @@
+//! Order-preservation tests: the property the paper's whole design
+//! centers on — placement migration must keep the relative order of
+//! cells so the original placement's integrity survives.
+
+use diffuplace::diffusion::{DiffusionConfig, GlobalDiffusion};
+use diffuplace::gen::{CircuitSpec, InflationSpec};
+use diffuplace::geom::Point;
+use diffuplace::legalize::{run_legalizer, DiffusionLegalizer, Legalizer, TetrisLegalizer};
+use diffuplace::netlist::{CellId, CellKind, Netlist, NetlistBuilder};
+use diffuplace::place::{Die, Placement};
+
+/// Builds a single row of `n` cells packed left to right at the die
+/// center, overlapping heavily.
+fn crowded_line(n: usize) -> (Netlist, Die, Placement, Vec<CellId>) {
+    let mut b = NetlistBuilder::new();
+    let cells: Vec<CellId> = (0..n)
+        .map(|i| b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable))
+        .collect();
+    let nl = b.build().expect("valid");
+    let die = Die::new(600.0, 240.0, 12.0);
+    let mut p = Placement::new(nl.num_cells());
+    for (i, &c) in cells.iter().enumerate() {
+        // 1.5-unit pitch: cells overlap their neighbors by 4.5 units and
+        // the local density is well above the default stopping band.
+        p.set(c, Point::new(250.0 + i as f64 * 1.5, 120.0));
+    }
+    (nl, die, p, cells)
+}
+
+/// Counts adjacent-pair x-order inversions among the given cells.
+fn inversions(netlist: &Netlist, placement: &Placement, cells: &[CellId]) -> usize {
+    let mut inv = 0;
+    for w in cells.windows(2) {
+        let a = placement.cell_center(netlist, w[0]);
+        let b = placement.cell_center(netlist, w[1]);
+        if a.x > b.x + 1e-9 {
+            inv += 1;
+        }
+    }
+    inv
+}
+
+#[test]
+fn diffusion_preserves_line_order_exactly() {
+    let (nl, die, mut p, cells) = crowded_line(40);
+    let cfg = DiffusionConfig::default().with_bin_size(30.0);
+    let r = GlobalDiffusion::new(cfg).run(&nl, &die, &mut p);
+    assert!(r.steps > 0, "diffusion must actually run");
+    assert_eq!(
+        inversions(&nl, &p, &cells),
+        0,
+        "diffusion broke the relative order of a crowded line"
+    );
+}
+
+#[test]
+fn velocity_interpolation_is_what_preserves_order() {
+    // Ablation of Section IV-C: with per-bin velocities (no
+    // interpolation), side-by-side cells in adjacent bins get different
+    // velocities and order degrades; with bilinear interpolation it
+    // survives. Compare inversion counts.
+    let run = |interpolate: bool| {
+        let (nl, die, mut p, cells) = crowded_line(60);
+        let cfg = DiffusionConfig::default()
+            .with_bin_size(30.0)
+            .with_interpolation(interpolate);
+        GlobalDiffusion::new(cfg).run(&nl, &die, &mut p);
+        inversions(&nl, &p, &cells)
+    };
+    let with_interp = run(true);
+    let without = run(false);
+    assert!(
+        with_interp <= without,
+        "interpolation should not be worse: {with_interp} vs {without} inversions"
+    );
+    assert_eq!(with_interp, 0, "interpolated diffusion must preserve order");
+}
+
+#[test]
+fn full_diffusion_legalizer_keeps_order_mostly_intact() {
+    // End-to-end (diffusion + detailed legalization) on a realistic
+    // hotspot: compare pairwise-order violations against Tetris packing.
+    let mut bench = CircuitSpec::with_size("order", 1_500, 200).generate();
+    bench.inflate(&InflationSpec::center_width(0.1, 1.6));
+    let cells: Vec<CellId> = bench.netlist.movable_cell_ids().collect();
+
+    // Sample pairs that start clearly ordered in x.
+    let sample_pairs: Vec<(CellId, CellId)> = cells
+        .windows(7)
+        .map(|w| (w[0], w[6]))
+        .filter(|&(a, b)| {
+            let pa = bench.placement.cell_center(&bench.netlist, a);
+            let pb = bench.placement.cell_center(&bench.netlist, b);
+            (pa.x - pb.x).abs() > 12.0
+        })
+        .take(300)
+        .collect();
+
+    let violations = |placement: &Placement| {
+        sample_pairs
+            .iter()
+            .filter(|&&(a, b)| {
+                let before = bench.placement.cell_center(&bench.netlist, a).x
+                    < bench.placement.cell_center(&bench.netlist, b).x;
+                let after = placement.cell_center(&bench.netlist, a).x
+                    < placement.cell_center(&bench.netlist, b).x;
+                before != after
+            })
+            .count()
+    };
+
+    let mut p_diff = bench.placement.clone();
+    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    let v_diff = violations(&p_diff);
+
+    let mut p_tetris = bench.placement.clone();
+    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    let v_tetris = violations(&p_tetris);
+
+    assert!(
+        v_diff <= v_tetris,
+        "diffusion order violations ({v_diff}) should not exceed Tetris ({v_tetris})"
+    );
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the pattern global router.
+
+use diffuplace::geom::Point;
+use diffuplace::netlist::{CellKind, Netlist, NetlistBuilder, PinDir};
+use diffuplace::place::{Die, Placement};
+use diffuplace::route::{GlobalRouter, RouterConfig};
+use proptest::prelude::*;
+
+/// Builds `n` two-pin nets at arbitrary positions inside a 360×360 die.
+fn random_design(positions: &[(f64, f64, f64, f64)]) -> (Netlist, Placement, Die) {
+    let mut b = NetlistBuilder::new();
+    let mut cells = Vec::new();
+    for (i, _) in positions.iter().enumerate() {
+        let u = b.add_cell(format!("u{i}"), 2.0, 2.0, CellKind::Movable);
+        let v = b.add_cell(format!("v{i}"), 2.0, 2.0, CellKind::Movable);
+        let n = b.add_net(format!("n{i}"));
+        b.connect(u, n, PinDir::Output, 1.0, 1.0);
+        b.connect(v, n, PinDir::Input, 1.0, 1.0);
+        cells.push((u, v));
+    }
+    let nl = b.build().expect("valid");
+    let mut p = Placement::new(nl.num_cells());
+    for (&(x0, y0, x1, y1), &(u, v)) in positions.iter().zip(&cells) {
+        p.set(u, Point::new(x0, y0));
+        p.set(v, Point::new(x1, y1));
+    }
+    (nl, p, Die::new(360.0, 360.0, 12.0))
+}
+
+fn arb_positions(n: usize) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+    proptest::collection::vec(
+        (1.0..350.0f64, 1.0..350.0f64, 1.0..350.0f64, 1.0..350.0f64),
+        1..n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Routed wirelength is at least the sum of tile-granular Manhattan
+    /// spans (a route cannot be shorter than its bounding box), and every
+    /// connection is embedded.
+    #[test]
+    fn wirelength_lower_bound(positions in arb_positions(12)) {
+        let (nl, p, die) = random_design(&positions);
+        let cfg = RouterConfig::default();
+        let r = GlobalRouter::new(cfg.clone()).route(&nl, &p, &die);
+        prop_assert_eq!(r.routed_connections, positions.len());
+        let tile = cfg.tile_rows * die.row_height();
+        let lower: f64 = positions
+            .iter()
+            .map(|&(x0, y0, x1, y1)| {
+                // Tile-center distance: |Δtile_x| + |Δtile_y| tiles.
+                let tx = ((x1 + 1.0) / tile).floor() - ((x0 + 1.0) / tile).floor();
+                let ty = ((y1 + 1.0) / tile).floor() - ((y0 + 1.0) / tile).floor();
+                (tx.abs() + ty.abs()) * tile
+            })
+            .sum();
+        prop_assert!(
+            r.wirelength + 1e-6 >= lower,
+            "wirelength {} below bbox bound {}",
+            r.wirelength,
+            lower
+        );
+    }
+
+    /// Raising capacity never increases overflow, and at infinite
+    /// capacity overflow vanishes.
+    #[test]
+    fn overflow_monotone_in_capacity(positions in arb_positions(16)) {
+        let (nl, p, die) = random_design(&positions);
+        let route_with = |cap: f64| {
+            GlobalRouter::new(RouterConfig {
+                h_capacity: cap,
+                v_capacity: cap,
+                ..RouterConfig::default()
+            })
+            .route(&nl, &p, &die)
+        };
+        let tight = route_with(1.0);
+        let loose = route_with(4.0);
+        let infinite = route_with(1e12);
+        prop_assert!(loose.overflow <= tight.overflow + 1e-9);
+        prop_assert_eq!(infinite.overflow, 0.0);
+        prop_assert_eq!(infinite.hot_tiles, 0);
+    }
+
+    /// Routing is deterministic.
+    #[test]
+    fn routing_is_deterministic(positions in arb_positions(10)) {
+        let (nl, p, die) = random_design(&positions);
+        let a = GlobalRouter::new(RouterConfig::default()).route(&nl, &p, &die);
+        let b = GlobalRouter::new(RouterConfig::default()).route(&nl, &p, &die);
+        prop_assert_eq!(a, b);
+    }
+}

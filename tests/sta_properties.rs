@@ -1,0 +1,109 @@
+//! Property-based tests of the timing substrate.
+
+use diffuplace::geom::Point;
+use diffuplace::netlist::{CellId, CellKind, Netlist, NetlistBuilder, PinDir};
+use diffuplace::place::Placement;
+use diffuplace::sta::{DelayModel, TimingAnalyzer};
+use proptest::prelude::*;
+
+/// Random layered DAG: `layers` layers of `width` cells, edges only
+/// between consecutive layers, plus a pad start.
+fn layered(
+    layers: usize,
+    width: usize,
+    edges: &[(usize, usize)],
+    positions: &[(f64, f64)],
+) -> (Netlist, Placement) {
+    let mut b = NetlistBuilder::new();
+    let pad = b.add_cell("pad", 1.0, 1.0, CellKind::Pad);
+    let mut ids = vec![Vec::new(); layers];
+    for (l, layer_ids) in ids.iter_mut().enumerate() {
+        for i in 0..width {
+            layer_ids.push(b.add_cell(format!("g{l}_{i}"), 4.0, 12.0, CellKind::Movable));
+        }
+    }
+    // Pad feeds the whole first layer.
+    let n = b.add_net("pn");
+    b.connect(pad, n, PinDir::Output, 0.0, 0.0);
+    for &c in &ids[0] {
+        b.connect(c, n, PinDir::Input, 0.0, 6.0);
+    }
+    // Inter-layer edges, one net each.
+    for (e, &(from, to)) in edges.iter().enumerate() {
+        let l = e % (layers - 1);
+        let a = ids[l][from % width];
+        let c = ids[l + 1][to % width];
+        let net = b.add_net(format!("e{e}"));
+        b.connect(a, net, PinDir::Output, 4.0, 6.0);
+        b.connect(c, net, PinDir::Input, 0.0, 6.0);
+    }
+    let nl = b.build().expect("valid");
+    let mut p = Placement::new(nl.num_cells());
+    for (i, &(x, y)) in positions.iter().enumerate() {
+        if i + 1 < nl.num_cells() {
+            p.set(CellId::new((i + 1) as u32), Point::new(x, y));
+        }
+    }
+    (nl, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// WNS is non-decreasing in the clock period, and FOM is never
+    /// better than what WNS alone implies.
+    #[test]
+    fn wns_monotone_in_clock(
+        edges in proptest::collection::vec((0usize..4, 0usize..4), 4..20),
+        positions in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 12),
+        clock in 1.0..50.0f64,
+    ) {
+        let (nl, p) = layered(3, 4, &edges, &positions);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let a = sta.analyze(&nl, &p, clock);
+        let b = sta.analyze(&nl, &p, clock + 5.0);
+        prop_assert!((b.wns - (a.wns + 5.0)).abs() < 1e-9, "slack must shift exactly with the clock");
+        prop_assert!(a.fom <= 0.0);
+        prop_assert!(a.fom <= a.wns.min(0.0) + 1e-12, "fom {} vs wns {}", a.fom, a.wns);
+        prop_assert!(
+            a.fom >= a.wns.min(0.0) * a.endpoints as f64 - 1e-9,
+            "fom bounded by min(wns,0)×endpoints"
+        );
+    }
+
+    /// At the critical-path clock, WNS is exactly zero (and nothing
+    /// fails).
+    #[test]
+    fn critical_clock_closes_timing(
+        edges in proptest::collection::vec((0usize..4, 0usize..4), 4..20),
+        positions in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 12),
+    ) {
+        let (nl, p) = layered(3, 4, &edges, &positions);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let cp = sta.critical_path_delay(&nl, &p);
+        let r = sta.analyze(&nl, &p, cp);
+        prop_assert!(r.wns.abs() < 1e-9, "wns {} at critical clock", r.wns);
+        prop_assert_eq!(r.failing_endpoints, 0);
+        let tight = sta.analyze(&nl, &p, cp - 0.1);
+        prop_assert!(tight.failing_endpoints >= 1);
+    }
+
+    /// Moving any single cell cannot improve the critical path below the
+    /// zero-wirelength bound (sum of cell delays along some path), and
+    /// the analyzer never panics on arbitrary positions.
+    #[test]
+    fn critical_path_bounded_below(
+        edges in proptest::collection::vec((0usize..4, 0usize..4), 4..16),
+        positions in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 12),
+    ) {
+        let (nl, p) = layered(3, 4, &edges, &positions);
+        let sta = TimingAnalyzer::new(&nl, DelayModel::default());
+        let cp = sta.critical_path_delay(&nl, &p);
+        // Zero-wire lower bound: the pad's delay alone.
+        prop_assert!(cp >= 1.0 - 1e-9, "cp {cp} below intrinsic delay");
+        // And the reported critical path is consistent: its cells exist.
+        for c in sta.critical_path(&nl, &p) {
+            prop_assert!(c.index() < nl.num_cells());
+        }
+    }
+}

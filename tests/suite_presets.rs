@@ -1,0 +1,55 @@
+//! Smoke tests of the benchmark-suite presets at tiny scale: every ckt
+//! and ibm entry must generate, inflate to (near) its paper-mandated
+//! target, and legalize with the diffusion legalizer.
+
+use diffuplace::gen::suites::{ckt_suite, ibm_suite};
+use diffuplace::gen::{InflationSpec, WorkloadStats};
+use diffuplace::legalize::{run_legalizer, DiffusionLegalizer};
+use diffuplace::place::check_legality;
+
+#[test]
+fn every_ckt_preset_is_reproducible_end_to_end() {
+    for entry in ckt_suite(1.0 / 256.0) {
+        let (mut bench, achieved) = entry.generate_inflated();
+        assert!(
+            achieved >= entry.inflation_pct * 0.85,
+            "{}: achieved {achieved} vs target {}",
+            entry.spec.name,
+            entry.inflation_pct
+        );
+        let before = check_legality(&bench.netlist, &bench.die, &bench.placement, 0);
+        assert!(!before.is_legal(), "{}: inflation created no overlap", entry.spec.name);
+        let outcome = run_legalizer(
+            &DiffusionLegalizer::local_default(),
+            &bench.netlist,
+            &bench.die,
+            &mut bench.placement,
+        );
+        assert!(outcome.is_legal, "{}: {outcome}", entry.spec.name);
+    }
+}
+
+#[test]
+fn every_ibm_preset_matches_table_x_protocol() {
+    for entry in ibm_suite(1.0 / 64.0).into_iter().step_by(4) {
+        let mut bench = entry.spec.generate();
+        bench.inflate(&InflationSpec::random_width(0.10, 1.6, entry.spec.seed ^ 0x15bd));
+        let stats = WorkloadStats::measure(&bench);
+        // The paper's Table X reports ~5-7% overlap for this protocol;
+        // synthetic circuits land in the same band (we accept 2-10%).
+        assert!(
+            (0.02..0.10).contains(&stats.overlap_fraction),
+            "{}: overlap {:.3} outside the Table X band",
+            entry.spec.name,
+            stats.overlap_fraction
+        );
+    }
+}
+
+#[test]
+fn suite_entries_are_deterministic() {
+    let a = ckt_suite(1.0 / 256.0)[2].generate_inflated();
+    let b = ckt_suite(1.0 / 256.0)[2].generate_inflated();
+    assert_eq!(a.0.placement, b.0.placement);
+    assert_eq!(a.1, b.1);
+}
