@@ -2,8 +2,8 @@
 //! non-direct route around blockages whose steps shrink toward
 //! equilibrium. Prints the trajectory and writes an SVG.
 
-use dpm_bench::{scale_from_env, write_result_file, CKT_DEFAULT_SCALE};
 use dpm_bench::suite::diffusion_cfg;
+use dpm_bench::{scale_from_env, write_result_file, CKT_DEFAULT_SCALE};
 use dpm_diffusion::trace_global_diffusion;
 use dpm_gen::suites::ckt_suite;
 use dpm_gen::InflationSpec;
@@ -26,14 +26,22 @@ fn main() {
             .placement
             .cell_center(&bench.netlist, a)
             .distance(center)
-            .total_cmp(&bench.placement.cell_center(&bench.netlist, b).distance(center))
+            .total_cmp(
+                &bench
+                    .placement
+                    .cell_center(&bench.netlist, b)
+                    .distance(center),
+            )
     });
     let traced: Vec<_> = by_dist.into_iter().take(10).collect();
 
     let cfg = diffusion_cfg(&bench).with_delta(0.05); // long run → visible route
     let mut placement = bench.placement.clone();
     let run = trace_global_diffusion(&cfg, &bench.netlist, &bench.die, &mut placement, &traced);
-    println!("diffused {} steps (converged: {})", run.result.steps, run.result.converged);
+    println!(
+        "diffused {} steps (converged: {})",
+        run.result.steps, run.result.converged
+    );
 
     // Print the most-travelled trajectory like the paper's figure.
     let star = run
@@ -55,7 +63,8 @@ fn main() {
     }
 
     // SVG with the routes drawn as polylines.
-    let lines: Vec<Vec<dpm_geom::Point>> = run.trajectories.iter().map(|t| t.points.clone()).collect();
+    let lines: Vec<Vec<dpm_geom::Point>> =
+        run.trajectories.iter().map(|t| t.points.clone()).collect();
     let scene = SvgScene::new(bench.die.outline())
         .with_placement(&bench.netlist, &placement)
         .with_polylines(&lines, "black")

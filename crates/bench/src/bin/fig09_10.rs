@@ -20,7 +20,9 @@ fn main() {
     let mut pl = bench.placement.clone();
     let rl = LocalDiffusion::new(cfg).run(&bench.netlist, &bench.die, &mut pl);
 
-    let mut csv = String::from("step,global_cum_movement,global_overflow,local_cum_movement,local_overflow\n");
+    let mut csv = String::from(
+        "step,global_cum_movement,global_overflow,local_cum_movement,local_overflow\n",
+    );
     let gm = rg.telemetry.cumulative_movement();
     let go = rg.telemetry.overflow_series();
     let lm = rl.telemetry.cumulative_movement();
@@ -31,9 +33,13 @@ fn main() {
             csv,
             "{},{},{},{},{}",
             i,
-            gm.get(i).copied().unwrap_or_else(|| gm.last().copied().unwrap_or(0.0)),
+            gm.get(i)
+                .copied()
+                .unwrap_or_else(|| gm.last().copied().unwrap_or(0.0)),
             go.get(i).copied().unwrap_or(0.0),
-            lm.get(i).copied().unwrap_or_else(|| lm.last().copied().unwrap_or(0.0)),
+            lm.get(i)
+                .copied()
+                .unwrap_or_else(|| lm.last().copied().unwrap_or(0.0)),
             lo.get(i).copied().unwrap_or(0.0),
         );
     }

@@ -15,7 +15,9 @@ fn main() {
 
     let mut t = TextTable::new(["B", "B/row-height", "movement", "WNS"]);
     for b in [6.0, 12.0, 20.0, 30.0, 40.0, 60.0, 80.0] {
-        let cfg = DiffusionConfig::default().with_bin_size(b).with_windows(1, 2);
+        let cfg = DiffusionConfig::default()
+            .with_bin_size(b)
+            .with_windows(1, 2);
         let r = exp.run(&DiffusionLegalizer::local(cfg));
         t.row([
             fnum(b),

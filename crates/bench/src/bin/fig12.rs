@@ -20,5 +20,8 @@ fn main() {
         t.row([w.to_string(), fnum(r.movement.total), fnum(r.metrics.wns)]);
         eprintln!("  W = {w} done");
     }
-    print_table("Fig. 12: W1 = W2 sweep (paper: larger windows spread more; small is better)", &t);
+    print_table(
+        "Fig. 12: W1 = W2 sweep (paper: larger windows spread more; small is better)",
+        &t,
+    );
 }

@@ -20,5 +20,8 @@ fn main() {
         t.row([w2.to_string(), fnum(r.movement.total), fnum(r.metrics.wns)]);
         eprintln!("  W2 = {w2} done");
     }
-    print_table("Fig. 13: W2 sweep at W1 = 2 (paper: larger W2 spreads faster but further)", &t);
+    print_table(
+        "Fig. 13: W2 sweep at W1 = 2 (paper: larger W2 spreads faster but further)",
+        &t,
+    );
 }

@@ -4,9 +4,7 @@
 use dpm_bench::suite::IspdSet;
 use dpm_bench::{scale_from_env, write_result_file, Experiment, IBM_DEFAULT_SCALE};
 use dpm_gen::suites::ibm_suite;
-use dpm_legalize::{
-    DiffusionLegalizer, GemLegalizer, Legalizer, RowDpLegalizer, TetrisLegalizer,
-};
+use dpm_legalize::{DiffusionLegalizer, GemLegalizer, Legalizer, RowDpLegalizer, TetrisLegalizer};
 use dpm_viz::SvgScene;
 
 fn main() {
@@ -29,7 +27,10 @@ fn main() {
     // over 50 tracks; scale the threshold with the die.
     let threshold = exp.bench.die.outline().width() / 40.0;
     let legalizers: Vec<(&str, Box<dyn Legalizer>)> = vec![
-        ("fig15_diffusion", Box::new(DiffusionLegalizer::local_default())),
+        (
+            "fig15_diffusion",
+            Box::new(DiffusionLegalizer::local_default()),
+        ),
         ("fig16_capo_like", Box::new(TetrisLegalizer::new())),
         ("fig17_fengshui_like", Box::new(RowDpLegalizer::new())),
         ("fig18_gem_like", Box::new(GemLegalizer::new())),

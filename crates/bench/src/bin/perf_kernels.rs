@@ -1,0 +1,204 @@
+//! Criterion-free throughput harness for the four diffusion hot kernels
+//! (FTCS step, velocity field, cell advection, density splat) at 1/2/4/8
+//! worker threads on 256×256 and 1024×1024 bin grids.
+//!
+//! Writes `BENCH_kernels.json` at the repository root (or the current
+//! directory when not run from the workspace). All workloads are
+//! deterministic, so the per-thread runs do identical arithmetic — the
+//! timings differ only in scheduling.
+//!
+//! Usage: `cargo run --release --bin perf_kernels [-- <output-path>]`
+
+use dpm_diffusion::{DiffusionConfig, DiffusionEngine, GlobalDiffusion};
+use dpm_geom::Point;
+use dpm_netlist::{CellKind, Netlist, NetlistBuilder};
+use dpm_par::ThreadPool;
+use dpm_place::{BinGrid, DensityMap, Die, Placement};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured kernel configuration.
+struct Sample {
+    kernel: &'static str,
+    threads: usize,
+    calls: u64,
+    ns_per_call: f64,
+}
+
+/// Deterministic bumpy density field with a wall block, mirroring the
+/// bit-identity tests: enough structure that no kernel short-circuits.
+fn bumpy_field(n: usize) -> (Vec<f64>, Vec<bool>) {
+    let mut density = vec![0.0; n * n];
+    for (i, d) in density.iter_mut().enumerate() {
+        *d = 0.25 + ((i as u64).wrapping_mul(2654435761) % 997) as f64 / 997.0;
+    }
+    let mut wall = vec![false; n * n];
+    for k in n / 4..n / 4 + n / 8 {
+        for j in n / 2..n / 2 + n / 8 {
+            wall[k * n + j] = true;
+            density[k * n + j] = 0.0;
+        }
+    }
+    (density, wall)
+}
+
+/// Synthetic overfull design on an n×n bin grid: cells clustered into the
+/// central quarter of the die so the splat, velocity and advection
+/// kernels all see real work.
+fn clustered_design(n: usize, num_cells: usize) -> (Netlist, Placement, Die) {
+    let mut b = NetlistBuilder::new();
+    for i in 0..num_cells {
+        b.add_cell(format!("c{i}"), 1.0, 1.0, CellKind::Movable);
+    }
+    let nl = b.build().expect("valid synthetic netlist");
+    let side = n as f64;
+    let die = Die::new(side, side, 1.0);
+    let mut p = Placement::new(nl.num_cells());
+    let span = side / 2.0 - 2.0;
+    for (i, c) in nl.cell_ids().enumerate() {
+        // Deterministic low-discrepancy scatter over the central quarter.
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let fx = (h >> 32) as f64 / 4294967296.0;
+        let fy = (h & 0xFFFF_FFFF) as f64 / 4294967296.0;
+        p.set(
+            c,
+            Point::new(side / 4.0 + fx * span, side / 4.0 + fy * span),
+        );
+    }
+    (nl, p, die)
+}
+
+fn time_ftcs(n: usize, threads: usize, reps: u64) -> Sample {
+    let (density, wall) = bumpy_field(n);
+    let mut e = DiffusionEngine::from_raw(n, n, density, Some(wall));
+    e.set_threads(threads);
+    e.step_density(0.1); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        e.step_density(0.1);
+    }
+    Sample {
+        kernel: "ftcs",
+        threads,
+        calls: reps,
+        ns_per_call: t0.elapsed().as_nanos() as f64 / reps as f64,
+    }
+}
+
+fn time_velocity(n: usize, threads: usize, reps: u64) -> Sample {
+    let (density, wall) = bumpy_field(n);
+    let mut e = DiffusionEngine::from_raw(n, n, density, Some(wall));
+    e.set_threads(threads);
+    e.compute_velocities(); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        e.compute_velocities();
+    }
+    Sample {
+        kernel: "velocity",
+        threads,
+        calls: reps,
+        ns_per_call: t0.elapsed().as_nanos() as f64 / reps as f64,
+    }
+}
+
+fn time_splat(n: usize, num_cells: usize, threads: usize, reps: u64) -> Sample {
+    let (nl, p, die) = clustered_design(n, num_cells);
+    let grid = BinGrid::new(die.outline(), 1.0);
+    let pool = ThreadPool::new(threads);
+    let mut map = DensityMap::from_placement_with_pool(&nl, &p, grid, &pool); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        map.recompute_with_pool(&nl, &p, &pool);
+    }
+    Sample {
+        kernel: "splat",
+        threads,
+        calls: reps,
+        ns_per_call: t0.elapsed().as_nanos() as f64 / reps as f64,
+    }
+}
+
+fn time_advect(n: usize, num_cells: usize, threads: usize, steps: usize) -> Sample {
+    let (nl, mut p, die) = clustered_design(n, num_cells);
+    let cfg = DiffusionConfig::default()
+        .with_bin_size(1.0)
+        .with_max_steps(steps)
+        .with_threads(threads);
+    let result = GlobalDiffusion::new(cfg).run(&nl, &die, &mut p);
+    let advect = result.telemetry.kernels().advect;
+    Sample {
+        kernel: "advect",
+        threads,
+        calls: advect.calls,
+        ns_per_call: advect.total_ns() as f64 / advect.calls.max(1) as f64,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(0, |c| c.get());
+    eprintln!("perf_kernels: {cores} hardware thread(s) available");
+
+    let mut grids_json = Vec::new();
+    for &n in &[256usize, 1024] {
+        // Scale repetitions so the large grid stays in budget on one core.
+        let reps: u64 = if n <= 256 { 40 } else { 8 };
+        let steps: usize = if n <= 256 { 10 } else { 4 };
+        // Central-quarter cluster at ~2× target density so global
+        // diffusion has genuine overflow to relieve on every grid.
+        let num_cells = n * n / 2;
+
+        let mut samples = Vec::new();
+        for &t in &THREAD_COUNTS {
+            eprintln!("  grid {n}x{n}, {t} thread(s)...");
+            samples.push(time_ftcs(n, t, reps));
+            samples.push(time_velocity(n, t, reps));
+            samples.push(time_splat(n, num_cells, t, reps.min(10)));
+            samples.push(time_advect(n, num_cells, t, steps));
+        }
+
+        // Speedup at 4 threads vs 1 thread, per kernel.
+        let ns_of = |kernel: &str, threads: usize| {
+            samples
+                .iter()
+                .find(|s| s.kernel == kernel && s.threads == threads)
+                .map(|s| s.ns_per_call)
+                .unwrap_or(f64::NAN)
+        };
+        let mut body = String::new();
+        let _ = write!(body, "    {{\n      \"nx\": {n},\n      \"ny\": {n},\n      \"cells\": {num_cells},\n      \"samples\": [\n");
+        for (i, s) in samples.iter().enumerate() {
+            let sep = if i + 1 == samples.len() { "" } else { "," };
+            let _ = writeln!(
+                body,
+                "        {{\"kernel\": \"{}\", \"threads\": {}, \"calls\": {}, \"ns_per_call\": {:.1}}}{sep}",
+                s.kernel, s.threads, s.calls, s.ns_per_call
+            );
+        }
+        let _ = write!(body, "      ],\n      \"speedup_4t_vs_1t\": {{");
+        for (i, k) in ["ftcs", "velocity", "advect", "splat"].iter().enumerate() {
+            let sep = if i == 3 { "" } else { ", " };
+            let speedup = ns_of(k, 1) / ns_of(k, 4);
+            if speedup.is_finite() {
+                let _ = write!(body, "\"{k}\": {speedup:.3}{sep}");
+            } else {
+                let _ = write!(body, "\"{k}\": null{sep}");
+            }
+        }
+        let _ = write!(body, "}}\n    }}");
+        grids_json.push(body);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_kernels\",\n  \"hardware_threads\": {cores},\n  \"thread_counts\": [1, 2, 4, 8],\n  \"note\": \"Deterministic workloads; parallel results are bit-identical to serial. Speedups above 1.0 require more than one hardware thread.\",\n  \"grids\": [\n{}\n  ]\n}}\n",
+        grids_json.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

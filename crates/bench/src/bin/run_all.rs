@@ -7,8 +7,20 @@ use std::process::Command;
 
 fn main() {
     let binaries = [
-        "table01", "table_main", "table06", "table07", "table08", "table09", "fig03", "fig09_10",
-        "fig11", "fig12", "fig13", "table10", "table_ispd", "fig14_18",
+        "table01",
+        "table_main",
+        "table06",
+        "table07",
+        "table08",
+        "table09",
+        "fig03",
+        "fig09_10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "table10",
+        "table_ispd",
+        "fig14_18",
     ];
     std::fs::create_dir_all("results").expect("create results dir");
     let exe_dir = std::env::current_exe()

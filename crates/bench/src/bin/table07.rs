@@ -23,8 +23,16 @@ fn main() {
             fnum(row.local_overflow.1),
         ]);
     }
-    let impr_max = if sums[0] > 0.0 { (1.0 - sums[2] / sums[0]) * 100.0 } else { 0.0 };
-    let impr_tot = if sums[1] > 0.0 { (1.0 - sums[3] / sums[1]) * 100.0 } else { 0.0 };
+    let impr_max = if sums[0] > 0.0 {
+        (1.0 - sums[2] / sums[0]) * 100.0
+    } else {
+        0.0
+    };
+    let impr_tot = if sums[1] > 0.0 {
+        (1.0 - sums[3] / sums[1]) * 100.0
+    } else {
+        0.0
+    };
     t.row([
         "improvement".to_string(),
         String::new(),
@@ -32,5 +40,8 @@ fn main() {
         format!("{}%", fnum(impr_max)),
         format!("{}%", fnum(impr_tot)),
     ]);
-    print_table("Table VII: density overflow (paper improvements: 78% max, 58% total)", &t);
+    print_table(
+        "Table VII: density overflow (paper improvements: 78% max, 58% total)",
+        &t,
+    );
 }

@@ -1,8 +1,8 @@
 //! Table IX — legalization performance vs density-update period N_U on
 //! ckt2: movement, TWL, WNS, CPU.
 
-use dpm_bench::{fnum, print_table, scale_from_env, Experiment, TextTable, CKT_DEFAULT_SCALE};
 use dpm_bench::suite::diffusion_cfg;
+use dpm_bench::{fnum, print_table, scale_from_env, Experiment, TextTable, CKT_DEFAULT_SCALE};
 use dpm_gen::suites::ckt_suite;
 use dpm_legalize::DiffusionLegalizer;
 

@@ -29,5 +29,8 @@ fn main() {
         ]);
         eprintln!("  finished {}", entry.spec.name);
     }
-    print_table("Table X: testcase wirelengths and overlaps (paper overlaps ~5-7%)", &t);
+    print_table(
+        "Table X: testcase wirelengths and overlaps (paper overlaps ~5-7%)",
+        &t,
+    );
 }

@@ -16,10 +16,13 @@ fn main() {
         _ => vec![IspdSet::Center, IspdSet::Random],
     };
     for set in sets {
-        println!("\nReproducing Tables {} at scale {scale}.", match set {
-            IspdSet::Center => "XI-XIII (CENTER)",
-            IspdSet::Random => "XIV-XVI (RANDOM)",
-        });
+        println!(
+            "\nReproducing Tables {} at scale {scale}.",
+            match set {
+                IspdSet::Center => "XI-XIII (CENTER)",
+                IspdSet::Random => "XIV-XVI (RANDOM)",
+            }
+        );
         let rows = run_ispd_comparison(scale, set);
         print_ispd_metric(
             &format!("Scaled wirelength, {} (paper averages C: 1.31/1.22/1.08/1.15; R: 1.10/1.06/1.07/1.10)", set.label()),
@@ -27,10 +30,20 @@ fn main() {
             |row, r| r.metrics.twl / row.base_twl,
         );
         movement_table(set, &rows);
-        let mut t = TextTable::new(["testcase", "Capo-like", "FengShui-like", "DIFF(L)", "GEM-like"]);
+        let mut t = TextTable::new([
+            "testcase",
+            "Capo-like",
+            "FengShui-like",
+            "DIFF(L)",
+            "GEM-like",
+        ]);
         for row in &rows {
             let mut cells = vec![row.name.clone()];
-            cells.extend(row.results.iter().map(|r| format!("{:.3}", r.runtime.as_secs_f64())));
+            cells.extend(
+                row.results
+                    .iter()
+                    .map(|r| format!("{:.3}", r.runtime.as_secs_f64())),
+            );
             t.row(cells);
         }
         print_table(&format!("CPU time (s), {}", set.label()), &t);
@@ -38,9 +51,7 @@ fn main() {
 }
 
 fn movement_table(set: IspdSet, rows: &[IspdRow]) {
-    let mut t = TextTable::new([
-        "testcase", "legalizer", "max", "avg", "avg^2", "#mov",
-    ]);
+    let mut t = TextTable::new(["testcase", "legalizer", "max", "avg", "avg^2", "#mov"]);
     for row in rows {
         for r in &row.results {
             t.row([

@@ -9,9 +9,24 @@ fn main() {
     println!("Reproducing Tables II-V at scale {scale}.");
     let rows = run_ckt_comparison(scale);
 
-    print_ckt_metric("Table II: TWL", &rows, |r| r.metrics.twl, |row| row.base.twl);
-    print_ckt_metric("Table III: worst slack", &rows, |r| r.metrics.wns, |row| row.base.wns);
-    print_ckt_metric("Table IV: FOM", &rows, |r| r.metrics.fom, |row| row.base.fom);
+    print_ckt_metric(
+        "Table II: TWL",
+        &rows,
+        |r| r.metrics.twl,
+        |row| row.base.twl,
+    );
+    print_ckt_metric(
+        "Table III: worst slack",
+        &rows,
+        |r| r.metrics.wns,
+        |row| row.base.wns,
+    );
+    print_ckt_metric(
+        "Table IV: FOM",
+        &rows,
+        |r| r.metrics.fom,
+        |row| row.base.fom,
+    );
 
     // Table V: CPU, normalized to GREED's average like the paper's
     // bottom row.
@@ -30,7 +45,10 @@ fn main() {
         avg.push(fnum(s / sums[0].max(1e-12)));
     }
     t.row(avg);
-    print_table("Table V: CPU time (s) — paper averages: 1 / 0.86 / 1.68 / 0.77", &t);
+    print_table(
+        "Table V: CPU time (s) — paper averages: 1 / 0.86 / 1.68 / 0.77",
+        &t,
+    );
 
     print_ckt_metric(
         "Congestion (peak routed usage/capacity; paper reports aggregate improvement only)",
@@ -48,9 +66,24 @@ fn summary(rows: &[CktRow]) {
     type Get = fn(&RunResult) -> f64;
     type Base = fn(&CktRow) -> f64;
     let metrics: [(&str, Get, Base, &str); 3] = [
-        ("TWL", |r| r.metrics.twl, |row| row.base.twl, "paper: 16.8% / 35.0%"),
-        ("WNS", |r| -r.metrics.wns, |row| -row.base.wns, "paper: 48.0% / 62.9%"),
-        ("FOM", |r| -r.metrics.fom, |row| -row.base.fom, "paper: 36.3% / 62.2%"),
+        (
+            "TWL",
+            |r| r.metrics.twl,
+            |row| row.base.twl,
+            "paper: 16.8% / 35.0%",
+        ),
+        (
+            "WNS",
+            |r| -r.metrics.wns,
+            |row| -row.base.wns,
+            "paper: 48.0% / 62.9%",
+        ),
+        (
+            "FOM",
+            |r| -r.metrics.fom,
+            |row| -row.base.fom,
+            "paper: 36.3% / 62.2%",
+        ),
     ];
     let mut t = TextTable::new([
         "metric",
@@ -67,7 +100,10 @@ fn summary(rows: &[CktRow]) {
         let mut wins_g = 0;
         let mut wins_l = 0;
         for row in rows {
-            let best_baseline = row.results[0..2].iter().map(get).fold(f64::INFINITY, f64::min);
+            let best_baseline = row.results[0..2]
+                .iter()
+                .map(get)
+                .fold(f64::INFINITY, f64::min);
             let degr = best_baseline - base(row);
             // The paper's relative Δ is only defined when the best
             // baseline actually degraded the metric; a baseline that

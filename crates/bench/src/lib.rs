@@ -94,7 +94,12 @@ impl Experiment {
     /// Runs one legalizer from the inflated starting placement.
     pub fn run(&self, legalizer: &dyn Legalizer) -> RunResult {
         let mut placement = self.start.clone();
-        let outcome = run_legalizer(legalizer, &self.bench.netlist, &self.bench.die, &mut placement);
+        let outcome = run_legalizer(
+            legalizer,
+            &self.bench.netlist,
+            &self.bench.die,
+            &mut placement,
+        );
         let metrics = measure(
             &self.bench.netlist,
             &placement,
@@ -118,7 +123,12 @@ impl Experiment {
     /// the movement-plot figures).
     pub fn run_keeping_placement(&self, legalizer: &dyn Legalizer) -> (RunResult, Placement) {
         let mut placement = self.start.clone();
-        let outcome = run_legalizer(legalizer, &self.bench.netlist, &self.bench.die, &mut placement);
+        let outcome = run_legalizer(
+            legalizer,
+            &self.bench.netlist,
+            &self.bench.die,
+            &mut placement,
+        );
         let metrics = measure(
             &self.bench.netlist,
             &placement,

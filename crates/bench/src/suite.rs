@@ -99,8 +99,14 @@ pub fn run_diffusion_comparison(scale: f64) -> Vec<DiffusionRow> {
 
         rows.push(DiffusionRow {
             name: entry.spec.name.clone(),
-            global_overflow: (dg.max_local_overflow(cfg.w1, cfg.d_max), dg.total_local_overflow(cfg.w1, cfg.d_max)),
-            local_overflow: (dl.max_local_overflow(cfg.w1, cfg.d_max), dl.total_local_overflow(cfg.w1, cfg.d_max)),
+            global_overflow: (
+                dg.max_local_overflow(cfg.w1, cfg.d_max),
+                dg.total_local_overflow(cfg.w1, cfg.d_max),
+            ),
+            local_overflow: (
+                dl.max_local_overflow(cfg.w1, cfg.d_max),
+                dl.total_local_overflow(cfg.w1, cfg.d_max),
+            ),
             global_movement: (mg.max, mg.total),
             local_movement: (ml.max, ml.total),
         });
@@ -190,8 +196,18 @@ pub fn print_ckt_metric(
 }
 
 /// Prints one metric of the ISPD comparison.
-pub fn print_ispd_metric(title: &str, rows: &[IspdRow], metric: impl Fn(&IspdRow, &RunResult) -> f64) {
-    let mut t = TextTable::new(["testcase", "Capo-like", "FengShui-like", "DIFF(L)", "GEM-like"]);
+pub fn print_ispd_metric(
+    title: &str,
+    rows: &[IspdRow],
+    metric: impl Fn(&IspdRow, &RunResult) -> f64,
+) {
+    let mut t = TextTable::new([
+        "testcase",
+        "Capo-like",
+        "FengShui-like",
+        "DIFF(L)",
+        "GEM-like",
+    ]);
     for row in rows {
         let mut cells = vec![row.name.clone()];
         cells.extend(row.results.iter().map(|r| fnum(metric(row, r))));

@@ -81,12 +81,18 @@ pub fn load_design(
         .first()
         .map(|r| r.height)
         .ok_or(ParseBookshelfError::NoRows)?;
-    let llx = rows.iter().map(|r| r.origin_x).fold(f64::INFINITY, f64::min);
+    let llx = rows
+        .iter()
+        .map(|r| r.origin_x)
+        .fold(f64::INFINITY, f64::min);
     let urx = rows
         .iter()
         .map(|r| r.origin_x + r.width)
         .fold(f64::NEG_INFINITY, f64::max);
-    let lly = rows.iter().map(|r| r.coordinate).fold(f64::INFINITY, f64::min);
+    let lly = rows
+        .iter()
+        .map(|r| r.coordinate)
+        .fold(f64::INFINITY, f64::min);
     let ury = rows
         .iter()
         .map(|r| r.coordinate + r.height)
@@ -94,12 +100,18 @@ pub fn load_design(
     let die = Die::with_origin(llx, lly, urx - llx, ury - lly, row_height);
 
     // Cells.
-    let mut b = NetlistBuilder::with_capacity(nodes.len(), nets.len(), nets.iter().map(|n| n.pins.len()).sum());
+    let mut b = NetlistBuilder::with_capacity(
+        nodes.len(),
+        nets.len(),
+        nets.iter().map(|n| n.pins.len()).sum(),
+    );
     let mut index = std::collections::HashMap::with_capacity(nodes.len());
     for node in &nodes {
         let kind = if !node.terminal {
             CellKind::Movable
-        } else if node.height > row_height * 1.5 || node.width * node.height > row_height * row_height {
+        } else if node.height > row_height * 1.5
+            || node.width * node.height > row_height * row_height
+        {
             CellKind::FixedMacro
         } else {
             CellKind::Pad
@@ -112,11 +124,12 @@ pub fn load_design(
     for net in &nets {
         let nid = b.add_net(net.name.clone());
         for pin in &net.pins {
-            let &(cell, w, h) = index
-                .get(&pin.node)
-                .ok_or_else(|| ParseBookshelfError::UnknownNode {
-                    name: pin.node.clone(),
-                })?;
+            let &(cell, w, h) =
+                index
+                    .get(&pin.node)
+                    .ok_or_else(|| ParseBookshelfError::UnknownNode {
+                        name: pin.node.clone(),
+                    })?;
             let dir = match pin.dir {
                 'O' => PinDir::Output,
                 _ => PinDir::Input,
@@ -132,11 +145,12 @@ pub fn load_design(
     // Placement.
     let mut placement = Placement::new(netlist.num_cells());
     for record in &pl {
-        let &(cell, _, _) = index
-            .get(&record.node)
-            .ok_or_else(|| ParseBookshelfError::UnknownNode {
-                name: record.node.clone(),
-            })?;
+        let &(cell, _, _) =
+            index
+                .get(&record.node)
+                .ok_or_else(|| ParseBookshelfError::UnknownNode {
+                    name: record.node.clone(),
+                })?;
         placement.set(cell, Point::new(record.x, record.y));
     }
 

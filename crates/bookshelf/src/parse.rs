@@ -32,7 +32,11 @@ pub enum ParseBookshelfError {
 impl fmt::Display for ParseBookshelfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseBookshelfError::Malformed { file, line, message } => {
+            ParseBookshelfError::Malformed {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "malformed .{file} line {line}: {message}")
             }
             ParseBookshelfError::UnknownNode { name } => {
@@ -152,7 +156,9 @@ pub fn parse_nodes(text: &str) -> Result<Vec<NodeRecord>, ParseBookshelfError> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let name = it.next().ok_or_else(|| malformed("nodes", lineno, "missing name"))?;
+        let name = it
+            .next()
+            .ok_or_else(|| malformed("nodes", lineno, "missing name"))?;
         let width: f64 = it
             .next()
             .and_then(|t| t.parse().ok())
@@ -161,7 +167,10 @@ pub fn parse_nodes(text: &str) -> Result<Vec<NodeRecord>, ParseBookshelfError> {
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| malformed("nodes", lineno, "bad height"))?;
-        let terminal = it.next().map(|t| t.eq_ignore_ascii_case("terminal")).unwrap_or(false);
+        let terminal = it
+            .next()
+            .map(|t| t.eq_ignore_ascii_case("terminal"))
+            .unwrap_or(false);
         out.push(NodeRecord {
             name: name.to_string(),
             width,
@@ -206,7 +215,9 @@ pub fn parse_nets(text: &str) -> Result<Vec<NetRecord>, ParseBookshelfError> {
             .last_mut()
             .ok_or_else(|| malformed("nets", lineno, "pin before any NetDegree"))?;
         let mut it = line.split_whitespace();
-        let node = it.next().ok_or_else(|| malformed("nets", lineno, "missing node"))?;
+        let node = it
+            .next()
+            .ok_or_else(|| malformed("nets", lineno, "missing node"))?;
         let dir = it
             .next()
             .and_then(|t| t.chars().next())
@@ -233,7 +244,9 @@ pub fn parse_pl(text: &str) -> Result<Vec<PlRecord>, ParseBookshelfError> {
     let mut out = Vec::new();
     for (lineno, line) in content_lines(text) {
         let mut it = line.split_whitespace();
-        let node = it.next().ok_or_else(|| malformed("pl", lineno, "missing node"))?;
+        let node = it
+            .next()
+            .ok_or_else(|| malformed("pl", lineno, "missing node"))?;
         let x: f64 = it
             .next()
             .and_then(|t| t.parse().ok())
@@ -288,17 +301,22 @@ pub fn parse_scl(text: &str) -> Result<Vec<SclRow>, ParseBookshelfError> {
                 .and_then(|t| t.parse().ok())
         };
         if line.starts_with("Coordinate") {
-            state.0 = value_after("Coordinate").ok_or_else(|| malformed("scl", lineno, "bad Coordinate"))?;
+            state.0 = value_after("Coordinate")
+                .ok_or_else(|| malformed("scl", lineno, "bad Coordinate"))?;
         } else if line.starts_with("Height") {
-            state.1 = value_after("Height").ok_or_else(|| malformed("scl", lineno, "bad Height"))?;
+            state.1 =
+                value_after("Height").ok_or_else(|| malformed("scl", lineno, "bad Height"))?;
         } else if line.starts_with("Sitespacing") {
-            state.2 = value_after("Sitespacing").ok_or_else(|| malformed("scl", lineno, "bad Sitespacing"))?;
+            state.2 = value_after("Sitespacing")
+                .ok_or_else(|| malformed("scl", lineno, "bad Sitespacing"))?;
         } else if line.starts_with("SubrowOrigin") {
             // "SubrowOrigin : 0  NumSites : 100"
             let mut nums = line
                 .split_whitespace()
                 .filter_map(|t| t.parse::<f64>().ok());
-            state.3 = nums.next().ok_or_else(|| malformed("scl", lineno, "bad SubrowOrigin"))?;
+            state.3 = nums
+                .next()
+                .ok_or_else(|| malformed("scl", lineno, "bad SubrowOrigin"))?;
             state.4 = nums.next().unwrap_or(0.0);
         }
         // Sitewidth / Siteorient / Sitesymmetry: irrelevant to placement.
@@ -338,14 +356,25 @@ mod tests {
         let text = "UCLA nodes 1.0\n# generated\n\nNumNodes : 3\nNumTerminals : 1\n  a  4 12\n  b  6 12\n  pad0 1 1 terminal\n";
         let nodes = parse_nodes(text).expect("parses");
         assert_eq!(nodes.len(), 3);
-        assert_eq!(nodes[0], NodeRecord { name: "a".into(), width: 4.0, height: 12.0, terminal: false });
+        assert_eq!(
+            nodes[0],
+            NodeRecord {
+                name: "a".into(),
+                width: 4.0,
+                height: 12.0,
+                terminal: false
+            }
+        );
         assert!(nodes[2].terminal);
     }
 
     #[test]
     fn nodes_parser_rejects_garbage() {
         let err = parse_nodes("UCLA nodes 1.0\n a four 12\n").unwrap_err();
-        assert!(matches!(err, ParseBookshelfError::Malformed { file: "nodes", .. }));
+        assert!(matches!(
+            err,
+            ParseBookshelfError::Malformed { file: "nodes", .. }
+        ));
         assert!(err.to_string().contains("line 2"));
     }
 
@@ -356,7 +385,15 @@ mod tests {
         assert_eq!(nets.len(), 2);
         assert_eq!(nets[0].name, "alpha");
         assert_eq!(nets[1].name, "net1");
-        assert_eq!(nets[0].pins[0], PinRecord { node: "a".into(), dir: 'O', dx: 2.0, dy: 6.0 });
+        assert_eq!(
+            nets[0].pins[0],
+            PinRecord {
+                node: "a".into(),
+                dir: 'O',
+                dx: 2.0,
+                dy: 6.0
+            }
+        );
         assert_eq!(nets[1].pins[1].dx, -2.0);
     }
 
@@ -371,14 +408,25 @@ mod tests {
     #[test]
     fn orphan_pin_is_an_error() {
         let err = parse_nets(" a I : 0 0\n").unwrap_err();
-        assert!(matches!(err, ParseBookshelfError::Malformed { file: "nets", .. }));
+        assert!(matches!(
+            err,
+            ParseBookshelfError::Malformed { file: "nets", .. }
+        ));
     }
 
     #[test]
     fn pl_parser_reads_positions_and_fixed() {
         let text = "UCLA pl 1.0\n a 12.5 24 : N\n pad0 0 0 : N /FIXED\n";
         let pl = parse_pl(text).expect("parses");
-        assert_eq!(pl[0], PlRecord { node: "a".into(), x: 12.5, y: 24.0, fixed: false });
+        assert_eq!(
+            pl[0],
+            PlRecord {
+                node: "a".into(),
+                x: 12.5,
+                y: 24.0,
+                fixed: false
+            }
+        );
         assert!(pl[1].fixed);
     }
 
@@ -387,7 +435,15 @@ mod tests {
         let text = "UCLA scl 1.0\nNumRows : 2\nCoreRow Horizontal\n Coordinate : 0\n Height : 12\n Sitewidth : 1\n Sitespacing : 1\n SubrowOrigin : 5 NumSites : 90\nEnd\nCoreRow Horizontal\n Coordinate : 12\n Height : 12\n Sitespacing : 2\n SubrowOrigin : 0 NumSites : 50\nEnd\n";
         let rows = parse_scl(text).expect("parses");
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], SclRow { coordinate: 0.0, height: 12.0, origin_x: 5.0, width: 90.0 });
+        assert_eq!(
+            rows[0],
+            SclRow {
+                coordinate: 0.0,
+                height: 12.0,
+                origin_x: 5.0,
+                width: 90.0
+            }
+        );
         assert_eq!(rows[1].width, 100.0);
     }
 

@@ -168,8 +168,12 @@ mod tests {
         let bench = CircuitSpec::small(41).generate();
         let d = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
         assert!(d.write_nodes().starts_with("UCLA nodes 1.0"));
-        assert!(d.write_nets().contains(&format!("NumNets : {}", bench.netlist.num_nets())));
-        assert!(d.write_scl().contains(&format!("NumRows : {}", bench.die.num_rows())));
+        assert!(d
+            .write_nets()
+            .contains(&format!("NumNets : {}", bench.netlist.num_nets())));
+        assert!(d
+            .write_scl()
+            .contains(&format!("NumRows : {}", bench.die.num_rows())));
         assert!(d.write_pl().contains("/FIXED")); // pads are fixed
     }
 
@@ -177,10 +181,22 @@ mod tests {
     fn writers_and_parsers_agree() {
         let bench = CircuitSpec::small(42).generate();
         let d = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
-        assert_eq!(parse_nodes(&d.write_nodes()).expect("nodes").len(), bench.netlist.num_cells());
-        assert_eq!(parse_nets(&d.write_nets()).expect("nets").len(), bench.netlist.num_nets());
-        assert_eq!(parse_pl(&d.write_pl()).expect("pl").len(), bench.netlist.num_cells());
-        assert_eq!(parse_scl(&d.write_scl()).expect("scl").len(), bench.die.num_rows());
+        assert_eq!(
+            parse_nodes(&d.write_nodes()).expect("nodes").len(),
+            bench.netlist.num_cells()
+        );
+        assert_eq!(
+            parse_nets(&d.write_nets()).expect("nets").len(),
+            bench.netlist.num_nets()
+        );
+        assert_eq!(
+            parse_pl(&d.write_pl()).expect("pl").len(),
+            bench.netlist.num_cells()
+        );
+        assert_eq!(
+            parse_scl(&d.write_scl()).expect("scl").len(),
+            bench.die.num_rows()
+        );
     }
 
     #[test]

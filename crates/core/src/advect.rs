@@ -2,8 +2,14 @@
 
 use crate::{DiffusionConfig, DiffusionEngine};
 use dpm_geom::{clamp, Point};
-use dpm_netlist::Netlist;
+use dpm_netlist::{CellId, Netlist};
+use dpm_par::{chunk_ranges, tree_reduce};
 use dpm_place::{BinGrid, Placement};
+
+/// Movable cells per parallel advection chunk. Fixed (independent of the
+/// thread count) so partial `AdvectOutcome` sums fold identically at any
+/// parallelism — the bit-identical guarantee of the kernel runtime.
+const CELL_CHUNK: usize = 2048;
 
 /// Result of advecting all cells through one time step.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -29,6 +35,13 @@ pub struct AdvectOutcome {
 ///    that stays outside the wall (cells slide around macros, never onto
 ///    them);
 /// 4. the cell is clamped so its outline stays inside the grid region.
+///
+/// Each cell's step depends only on its *own* position and the (fixed)
+/// velocity field, so cells advect in parallel on the engine's worker
+/// pool: fixed chunks of the movable-cell list are mapped to move lists
+/// plus partial outcomes, the moves are applied serially in chunk order,
+/// and the partials fold in a fixed-shape tree — results are bit-identical
+/// at every thread count.
 pub(crate) fn advect_cells(
     engine: &DiffusionEngine,
     grid: &BinGrid,
@@ -37,75 +50,121 @@ pub(crate) fn advect_cells(
     cfg: &DiffusionConfig,
     respect_frozen: bool,
 ) -> AdvectOutcome {
-    let mut outcome = AdvectOutcome::default();
+    let ids: Vec<CellId> = netlist.movable_cell_ids().collect();
+    let frozen_placement: &Placement = placement;
+    let per_chunk = engine
+        .pool()
+        .map(chunk_ranges(ids.len(), CELL_CHUNK), |_, range| {
+            let mut moves: Vec<(CellId, Point)> = Vec::new();
+            let mut partial = AdvectOutcome::default();
+            for &cell_id in &ids[range] {
+                if let Some((new_pos, dist)) = advect_one(
+                    engine,
+                    grid,
+                    netlist,
+                    frozen_placement,
+                    cfg,
+                    respect_frozen,
+                    cell_id,
+                ) {
+                    moves.push((cell_id, new_pos));
+                    partial.total_movement += dist;
+                    partial.moved_cells += 1;
+                }
+            }
+            (moves, partial)
+        });
+
+    let mut partials = Vec::with_capacity(per_chunk.len());
+    for (moves, partial) in per_chunk {
+        for (cell_id, new_pos) in moves {
+            placement.set(cell_id, new_pos);
+        }
+        partials.push(partial);
+    }
+    tree_reduce(partials, |a, b| AdvectOutcome {
+        total_movement: a.total_movement + b.total_movement,
+        moved_cells: a.moved_cells + b.moved_cells,
+    })
+    .unwrap_or_default()
+}
+
+/// One cell's advection step: the new position and the distance moved, or
+/// `None` if the cell stays put. Pure in the placement — reads only the
+/// cell's own position — which is what makes the parallel map sound.
+fn advect_one(
+    engine: &DiffusionEngine,
+    grid: &BinGrid,
+    netlist: &Netlist,
+    placement: &Placement,
+    cfg: &DiffusionConfig,
+    respect_frozen: bool,
+    cell_id: CellId,
+) -> Option<(Point, f64)> {
     let nx = engine.nx() as f64;
     let ny = engine.ny() as f64;
+    let cell = netlist.cell(cell_id);
+    let old_pos = placement.get(cell_id);
+    let center_world = Point::new(old_pos.x + cell.width / 2.0, old_pos.y + cell.height / 2.0);
+    let c = grid.to_bin_coords(center_world);
 
-    for cell_id in netlist.movable_cell_ids() {
-        let cell = netlist.cell(cell_id);
-        let old_pos = placement.get(cell_id);
-        let center_world = Point::new(old_pos.x + cell.width / 2.0, old_pos.y + cell.height / 2.0);
-        let c = grid.to_bin_coords(center_world);
+    let (j, k) = bin_of(c, engine);
+    if engine.is_wall(j, k) {
+        return None;
+    }
+    if respect_frozen && engine.is_frozen(j, k) {
+        return None;
+    }
 
-        let (j, k) = bin_of(c, engine);
-        if engine.is_wall(j, k) {
-            continue;
-        }
-        if respect_frozen && engine.is_frozen(j, k) {
-            continue;
-        }
+    let v = if cfg.interpolate {
+        engine.velocity_at(c)
+    } else {
+        engine.bin_velocity(j, k)
+    };
+    let disp = (v * cfg.dt).clamped_linf(cfg.max_step_displacement);
+    if disp.linf_length() == 0.0 {
+        return None;
+    }
 
-        let v = if cfg.interpolate {
-            engine.velocity_at(c)
+    // Keep the cell outline inside the region (all in bin coords).
+    let half_w = cell.width / (2.0 * grid.bin_width());
+    let half_h = cell.height / (2.0 * grid.bin_height());
+    let lim = |v: f64, half: f64, n: f64| {
+        if 2.0 * half >= n {
+            n / 2.0 // cell wider than region: pin to the middle
         } else {
-            engine.bin_velocity(j, k)
-        };
-        let disp = (v * cfg.dt).clamped_linf(cfg.max_step_displacement);
-        if disp.linf_length() == 0.0 {
-            continue;
+            clamp(v, half, n - half)
         }
+    };
+    let mut target = Point::new(lim(c.x + disp.x, half_w, nx), lim(c.y + disp.y, half_h, ny));
 
-        // Keep the cell outline inside the region (all in bin coords).
-        let half_w = cell.width / (2.0 * grid.bin_width());
-        let half_h = cell.height / (2.0 * grid.bin_height());
-        let lim = |v: f64, half: f64, n: f64| {
-            if 2.0 * half >= n {
-                n / 2.0 // cell wider than region: pin to the middle
-            } else {
-                clamp(v, half, n - half)
-            }
-        };
-        let mut target = Point::new(lim(c.x + disp.x, half_w, nx), lim(c.y + disp.y, half_h, ny));
-
-        // Never step onto a macro: project the move axis-wise.
-        let (tj, tk) = bin_of(target, engine);
-        if engine.is_wall(tj, tk) {
-            let x_only = Point::new(target.x, c.y);
-            let (xj, xk) = bin_of(x_only, engine);
-            let y_only = Point::new(c.x, target.y);
-            let (yj, yk) = bin_of(y_only, engine);
-            if !engine.is_wall(xj, xk) {
-                target = x_only;
-            } else if !engine.is_wall(yj, yk) {
-                target = y_only;
-            } else {
-                continue;
-            }
-        }
-
-        let new_center_world = grid.to_world_coords(target);
-        let new_pos = Point::new(
-            new_center_world.x - cell.width / 2.0,
-            new_center_world.y - cell.height / 2.0,
-        );
-        let dist = (new_pos - old_pos).length();
-        if dist > 0.0 {
-            placement.set(cell_id, new_pos);
-            outcome.total_movement += dist;
-            outcome.moved_cells += 1;
+    // Never step onto a macro: project the move axis-wise.
+    let (tj, tk) = bin_of(target, engine);
+    if engine.is_wall(tj, tk) {
+        let x_only = Point::new(target.x, c.y);
+        let (xj, xk) = bin_of(x_only, engine);
+        let y_only = Point::new(c.x, target.y);
+        let (yj, yk) = bin_of(y_only, engine);
+        if !engine.is_wall(xj, xk) {
+            target = x_only;
+        } else if !engine.is_wall(yj, yk) {
+            target = y_only;
+        } else {
+            return None;
         }
     }
-    outcome
+
+    let new_center_world = grid.to_world_coords(target);
+    let new_pos = Point::new(
+        new_center_world.x - cell.width / 2.0,
+        new_center_world.y - cell.height / 2.0,
+    );
+    let dist = (new_pos - old_pos).length();
+    if dist > 0.0 {
+        Some((new_pos, dist))
+    } else {
+        None
+    }
 }
 
 /// The (clamped) bin containing a point in bin coordinates.
@@ -183,9 +242,9 @@ mod tests {
     fn cell_slides_around_wall() {
         let (nl, mut p, grid) = setup(Point::new(14.0, 14.0)); // center (15,15), bin (1,1)
         let mut d = vec![1.0; 16];
-        d[1 * 4 + 2] = 1.0;
+        d[4 + 2] = 1.0;
         let mut wall = vec![false; 16];
-        wall[1 * 4 + 2] = true; // bin (2,1) east of the cell
+        wall[4 + 2] = true; // bin (2,1) east of the cell
         let mut e = DiffusionEngine::from_raw(4, 4, d, Some(wall));
         for k in 0..4 {
             for j in 0..4 {
@@ -206,7 +265,7 @@ mod tests {
         let (nl, mut p, grid) = setup(Point::new(14.0, 14.0));
         let mut e = engine_with_uniform_velocity(1.0, 1.0);
         let mut frozen = vec![false; 16];
-        frozen[1 * 4 + 1] = true; // the cell's own bin
+        frozen[4 + 1] = true; // the cell's own bin
         e.set_frozen_mask(&frozen);
         let cfg = DiffusionConfig::default();
         let out = advect_cells(&e, &grid, &nl, &mut p, &cfg, true);
@@ -215,6 +274,60 @@ mod tests {
         // Without respect_frozen the cell moves.
         let out2 = advect_cells(&e, &grid, &nl, &mut p, &cfg, false);
         assert_eq!(out2.moved_cells, 1);
+    }
+
+    #[test]
+    fn parallel_advection_is_bit_identical_to_serial() {
+        // ~5000 cells (3 advection chunks) on a bumpy 64x64 field with a
+        // wall block and a frozen stripe; every thread count must produce
+        // exactly the same placement and outcome.
+        let n = 64usize;
+        let mut b = NetlistBuilder::new();
+        for i in 0..5000 {
+            b.add_cell(format!("c{i}"), 2.0, 2.0, CellKind::Movable);
+        }
+        let nl = b.build().expect("valid");
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 640.0, 640.0), 10.0);
+        let mut p0 = Placement::new(nl.num_cells());
+        for (i, c) in nl.cell_ids().enumerate() {
+            let h = (i * 2654435761usize) % 1_000_000;
+            p0.set(
+                c,
+                Point::new((h % 1000) as f64 * 0.63, (h / 1000) as f64 * 0.63),
+            );
+        }
+        let density: Vec<f64> = (0..n * n)
+            .map(|i| 0.25 + ((i * 2654435761usize) % 997) as f64 / 997.0)
+            .collect();
+        let mut wall = vec![false; n * n];
+        for k in 20..28 {
+            for j in 30..44 {
+                wall[k * n + j] = true;
+            }
+        }
+        let mut frozen = vec![false; n * n];
+        for k in 48..56 {
+            for j in 8..20 {
+                frozen[k * n + j] = true;
+            }
+        }
+        let cfg = DiffusionConfig::default();
+        let run = |threads: usize| {
+            let mut e = DiffusionEngine::from_raw(n, n, density.clone(), Some(wall.clone()));
+            e.set_frozen_mask(&frozen);
+            e.set_threads(threads);
+            e.compute_velocities();
+            let mut p = p0.clone();
+            let out = advect_cells(&e, &grid, &nl, &mut p, &cfg, true);
+            (out, p)
+        };
+        let (ref_out, ref_p) = run(1);
+        assert!(ref_out.moved_cells > 0, "test must actually move cells");
+        for threads in [2, 4, 8] {
+            let (out, p) = run(threads);
+            assert_eq!(ref_out, out, "outcome differs at {threads} threads");
+            assert_eq!(ref_p, p, "placement differs at {threads} threads");
+        }
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl DiffusionConfig {
     ///
     /// Panics if `bin_size` is not positive and finite.
     pub fn with_bin_size(mut self, bin_size: f64) -> Self {
-        assert!(bin_size.is_finite() && bin_size > 0.0, "bin size must be positive");
+        assert!(
+            bin_size.is_finite() && bin_size > 0.0,
+            "bin size must be positive"
+        );
         self.bin_size = bin_size;
         self
     }
@@ -133,7 +136,10 @@ impl DiffusionConfig {
     /// Panics if `dt` is outside `(0, 0.5]` — larger steps violate the
     /// stability condition of the discretization (Section VII-D).
     pub fn with_dt(mut self, dt: f64) -> Self {
-        assert!(dt > 0.0 && dt <= 0.5, "dt must be in (0, 0.5] for FTCS stability");
+        assert!(
+            dt > 0.0 && dt <= 0.5,
+            "dt must be in (0, 0.5] for FTCS stability"
+        );
         self.dt = dt;
         self
     }

@@ -1,13 +1,23 @@
 //! The discrete diffusion engine: FTCS density evolution and per-bin
 //! velocities over a wall-aware bin grid.
 
+use crate::telemetry::KernelTimers;
 use crate::velocity::interpolate_velocity;
 use dpm_geom::{Point, Vector};
+use dpm_par::{parallel_for_chunks, parallel_for_chunks2, ThreadPool};
 use dpm_place::DensityMap;
+use std::time::Instant;
 
 /// Density below which a bin is considered empty for velocity purposes
 /// (guards the division in Eq. 5).
 const DENSITY_FLOOR: f64 = 1e-9;
+
+/// Rows per parallel work chunk for the FTCS and velocity kernels.
+///
+/// Fixed (never derived from the thread count) so the work decomposition
+/// — and therefore every floating-point result — is identical no matter
+/// how many workers execute it.
+const ROW_CHUNK: usize = 16;
 
 /// Discrete diffusion simulator over an `nx × ny` bin grid.
 ///
@@ -57,7 +67,8 @@ pub struct DiffusionEngine {
     vx: Vec<f64>,
     vy: Vec<f64>,
     conservative: bool,
-    threads: usize,
+    pool: ThreadPool,
+    timers: KernelTimers,
 }
 
 /// Immutable view of the density field and masks, shared by the serial
@@ -124,6 +135,34 @@ impl FieldView<'_> {
         }
     }
 
+    /// Velocity field (Eq. 5) of rows `k0..k1`, written into `vx`/`vy`
+    /// (which cover exactly those rows).
+    fn velocity_rows(&self, k0: usize, k1: usize, vx: &mut [f64], vy: &mut [f64]) {
+        for k in k0..k1 {
+            for j in 0..self.nx {
+                let i = self.at(j, k);
+                let o = (k - k0) * self.nx + j;
+                if self.wall[i] || self.frozen[i] {
+                    vx[o] = 0.0;
+                    vy[o] = 0.0;
+                    continue;
+                }
+                let d = self.density[i];
+                if d <= DENSITY_FLOOR {
+                    vx[o] = 0.0;
+                    vy[o] = 0.0;
+                    continue;
+                }
+                let de = self.neighbor_density(j, k, 1, 0);
+                let dw = self.neighbor_density(j, k, -1, 0);
+                let dn = self.neighbor_density(j, k, 0, 1);
+                let ds = self.neighbor_density(j, k, 0, -1);
+                vx[o] = -(de - dw) / (2.0 * d);
+                vy[o] = -(dn - ds) / (2.0 * d);
+            }
+        }
+    }
+
     /// FTCS update of rows `k0..k1`, written into `out` (which covers
     /// exactly those rows).
     fn ftcs_rows(&self, k0: usize, k1: usize, half: f64, out: &mut [f64]) {
@@ -181,8 +220,33 @@ impl DiffusionEngine {
             vx: vec![0.0; n],
             vy: vec![0.0; n],
             conservative: true,
-            threads: 1,
+            pool: ThreadPool::single(),
+            timers: KernelTimers::default(),
         }
+    }
+
+    /// Reloads density and walls from a [`DensityMap`] of the same grid,
+    /// reusing every existing buffer (no allocation). Frozen bins and
+    /// velocities are cleared; thread pool, boundary rule and kernel
+    /// timers are kept.
+    ///
+    /// This is the hot path of the local-diffusion round loop, which
+    /// re-measures the placement every round (dynamic density update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map's grid dimensions do not match the engine's.
+    pub fn reload_from_density_map(&mut self, map: &DensityMap) {
+        assert_eq!(
+            (map.grid().nx(), map.grid().ny()),
+            (self.nx, self.ny),
+            "density map grid does not match engine grid"
+        );
+        self.density.copy_from_slice(map.densities());
+        self.wall.copy_from_slice(map.fixed_mask());
+        self.frozen.iter_mut().for_each(|f| *f = false);
+        self.vx.iter_mut().for_each(|v| *v = 0.0);
+        self.vy.iter_mut().for_each(|v| *v = 0.0);
     }
 
     /// Switches between a conservative boundary rule (the default) and
@@ -251,7 +315,11 @@ impl DiffusionEngine {
     ///
     /// Panics if the buffer length does not match the grid.
     pub fn load_densities(&mut self, density: &[f64]) {
-        assert_eq!(density.len(), self.density.len(), "density buffer length mismatch");
+        assert_eq!(
+            density.len(),
+            self.density.len(),
+            "density buffer length mismatch"
+        );
         self.density.copy_from_slice(density);
     }
 
@@ -297,7 +365,11 @@ impl DiffusionEngine {
     ///
     /// [`identify_windows`]: crate::identify_windows
     pub fn set_frozen_mask(&mut self, frozen: &[bool]) {
-        assert_eq!(frozen.len(), self.frozen.len(), "frozen mask length mismatch");
+        assert_eq!(
+            frozen.len(),
+            self.frozen.len(),
+            "frozen mask length mismatch"
+        );
         self.frozen.copy_from_slice(frozen);
     }
 
@@ -348,28 +420,42 @@ impl DiffusionEngine {
         s
     }
 
-    fn view(&self) -> FieldView<'_> {
-        FieldView {
-            nx: self.nx,
-            ny: self.ny,
-            density: &self.density,
-            wall: &self.wall,
-            frozen: &self.frozen,
-            conservative: self.conservative,
-        }
-    }
-
-    fn neighbor_density(&self, j: usize, k: usize, dj: isize, dk: isize) -> f64 {
-        self.view().neighbor_density(j, k, dj, dk)
-    }
-
-    /// Number of worker threads the density step may use (1 = serial).
+    /// Number of worker threads the kernels may use (1 = serial).
     ///
-    /// The FTCS update is embarrassingly parallel over bin rows; on large
-    /// grids (hundreds of bins per side) extra threads cut the step time
-    /// roughly linearly. Results are bit-identical to the serial path.
+    /// The FTCS update and the velocity field are embarrassingly parallel
+    /// over bin rows, cell advection over cell chunks; on large grids
+    /// (hundreds of bins per side) extra threads cut the kernel time
+    /// roughly linearly on multicore hardware. Work is decomposed into
+    /// fixed chunks independent of the thread count, so results are
+    /// bit-identical to the serial path.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.pool = ThreadPool::new(threads);
+    }
+
+    /// The worker-thread count currently configured.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The worker pool the engine's kernels run on (advection borrows it
+    /// so the whole loop shares one pool configuration).
+    #[inline]
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Accumulated per-kernel wall-time counters for this engine.
+    #[inline]
+    pub fn kernel_timers(&self) -> &KernelTimers {
+        &self.timers
+    }
+
+    /// Mutable access to the kernel counters (the diffusion runners record
+    /// advection and splat time here so one struct holds the whole loop).
+    #[inline]
+    pub fn kernel_timers_mut(&mut self) -> &mut KernelTimers {
+        &mut self.timers
     }
 
     /// Advances the density field by one FTCS step (Eq. 4):
@@ -386,33 +472,27 @@ impl DiffusionEngine {
     pub fn step_density(&mut self, dt: f64) {
         debug_assert!(dt > 0.0 && dt <= 0.5, "dt outside FTCS stability region");
         let half = dt / 2.0;
-        let threads = self.threads.min(self.ny).max(1);
-        {
-            let view = FieldView {
-                nx: self.nx,
-                ny: self.ny,
-                density: &self.density,
-                wall: &self.wall,
-                frozen: &self.frozen,
-                conservative: self.conservative,
-            };
-            if threads == 1 || self.ny < 4 * threads {
-                view.ftcs_rows(0, self.ny, half, &mut self.next);
-            } else {
-                let rows_per = self.ny.div_ceil(threads);
-                let nx = self.nx;
-                std::thread::scope(|scope| {
-                    for (chunk_idx, out) in self.next.chunks_mut(rows_per * nx).enumerate() {
-                        let view = view;
-                        scope.spawn(move || {
-                            let k0 = chunk_idx * rows_per;
-                            let k1 = (k0 + out.len() / nx).min(view.ny);
-                            view.ftcs_rows(k0, k1, half, out);
-                        });
-                    }
-                });
-            }
-        }
+        let start = Instant::now();
+        let view = FieldView {
+            nx: self.nx,
+            ny: self.ny,
+            density: &self.density,
+            wall: &self.wall,
+            frozen: &self.frozen,
+            conservative: self.conservative,
+        };
+        let nx = self.nx;
+        parallel_for_chunks(
+            &self.pool,
+            &mut self.next,
+            ROW_CHUNK * nx,
+            |_, range, out| {
+                view.ftcs_rows(range.start / nx, range.end / nx, half, out);
+            },
+        );
+        self.timers
+            .ftcs
+            .record(start.elapsed(), self.pool.threads());
         std::mem::swap(&mut self.density, &mut self.next);
     }
 
@@ -426,28 +506,28 @@ impl DiffusionEngine {
     /// zero velocity outright. Bins with (numerically) no density get zero
     /// velocity — there is nothing there to move.
     pub fn compute_velocities(&mut self) {
-        for k in 0..self.ny {
-            for j in 0..self.nx {
-                let i = self.at(j, k);
-                if self.wall[i] || self.frozen[i] {
-                    self.vx[i] = 0.0;
-                    self.vy[i] = 0.0;
-                    continue;
-                }
-                let d = self.density[i];
-                if d <= DENSITY_FLOOR {
-                    self.vx[i] = 0.0;
-                    self.vy[i] = 0.0;
-                    continue;
-                }
-                let de = self.neighbor_density(j, k, 1, 0);
-                let dw = self.neighbor_density(j, k, -1, 0);
-                let dn = self.neighbor_density(j, k, 0, 1);
-                let ds = self.neighbor_density(j, k, 0, -1);
-                self.vx[i] = -(de - dw) / (2.0 * d);
-                self.vy[i] = -(dn - ds) / (2.0 * d);
-            }
-        }
+        let start = Instant::now();
+        let view = FieldView {
+            nx: self.nx,
+            ny: self.ny,
+            density: &self.density,
+            wall: &self.wall,
+            frozen: &self.frozen,
+            conservative: self.conservative,
+        };
+        let nx = self.nx;
+        parallel_for_chunks2(
+            &self.pool,
+            &mut self.vx,
+            &mut self.vy,
+            ROW_CHUNK * nx,
+            |_, range, vx, vy| {
+                view.velocity_rows(range.start / nx, range.end / nx, vx, vy);
+            },
+        );
+        self.timers
+            .velocity
+            .record(start.elapsed(), self.pool.threads());
     }
 
     /// The velocity assigned to bin `(j, k)` by the latest
@@ -558,9 +638,17 @@ mod tests {
         let mut e = fig5_engine();
         e.step_density(0.2);
         // d(3,4): right neighbor is the macro, mirror with left (2,4)=1.4.
-        assert!((e.density(3, 4) - 0.96).abs() < 1e-12, "got {}", e.density(3, 4));
+        assert!(
+            (e.density(3, 4) - 0.96).abs() < 1e-12,
+            "got {}",
+            e.density(3, 4)
+        );
         // d(4,5): lower neighbor is the macro, mirror with upper (4,6)=0.2.
-        assert!((e.density(4, 5) - 0.62).abs() < 1e-12, "got {}", e.density(4, 5));
+        assert!(
+            (e.density(4, 5) - 0.62).abs() < 1e-12,
+            "got {}",
+            e.density(4, 5)
+        );
         // Macro bins never change.
         assert_eq!(e.density(4, 4), 1.0);
         assert_eq!(e.density(5, 3), 1.0);
@@ -586,7 +674,10 @@ mod tests {
         let mut e = DiffusionEngine::from_raw(3, 3, d, None);
         e.compute_velocities();
         let v = e.bin_velocity(0, 0);
-        assert!(v.x >= 0.0 && v.y >= 0.0, "corner velocity {v:?} points off-chip");
+        assert!(
+            v.x >= 0.0 && v.y >= 0.0,
+            "corner velocity {v:?} points off-chip"
+        );
     }
 
     #[test]
@@ -614,7 +705,10 @@ mod tests {
             e.step_density(0.2);
         }
         let m1 = e.total_live_density();
-        assert!((m1 - m0).abs() / m0 < 0.1, "drift exceeded 10%: {m0} -> {m1}");
+        assert!(
+            (m1 - m0).abs() / m0 < 0.1,
+            "drift exceeded 10%: {m0} -> {m1}"
+        );
     }
 
     #[test]
@@ -654,7 +748,11 @@ mod tests {
         }
         for k in 0..5 {
             for j in 0..5 {
-                assert!((e.density(j, k) - 0.2).abs() < 1e-6, "bin ({j},{k}) = {}", e.density(j, k));
+                assert!(
+                    (e.density(j, k) - 0.2).abs() < 1e-6,
+                    "bin ({j},{k}) = {}",
+                    e.density(j, k)
+                );
             }
         }
     }
@@ -675,7 +773,11 @@ mod tests {
             e.step_density(0.2);
         }
         for k in 0..3 {
-            assert_eq!(e.density(2, k), 0.0, "density leaked into frozen bin (2,{k})");
+            assert_eq!(
+                e.density(2, k),
+                0.0,
+                "density leaked into frozen bin (2,{k})"
+            );
         }
         assert!((e.total_live_density() - 1.0).abs() < 1e-9);
         assert_eq!(e.live_bins(), 6);
@@ -748,9 +850,9 @@ mod tests {
         assert_eq!(e.densities(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
-    #[test]
-    fn parallel_step_is_bit_identical_to_serial() {
-        // A bumpy 64x64 field with a wall block; 4 threads vs 1.
+    /// A bumpy 64×64 field with a wall block and a frozen stripe —
+    /// exercises every boundary rule the kernels implement.
+    fn bumpy_engine(threads: usize) -> DiffusionEngine {
         let n = 64usize;
         let density: Vec<f64> = (0..n * n)
             .map(|i| 0.25 + ((i * 2654435761usize) % 997) as f64 / 997.0)
@@ -761,14 +863,93 @@ mod tests {
                 wall[k * n + j] = true;
             }
         }
-        let mut serial = DiffusionEngine::from_raw(n, n, density.clone(), Some(wall.clone()));
-        let mut parallel = DiffusionEngine::from_raw(n, n, density, Some(wall));
-        parallel.set_threads(4);
+        let mut e = DiffusionEngine::from_raw(n, n, density, Some(wall));
+        let mut frozen = vec![false; n * n];
+        for k in 48..56 {
+            for j in 8..20 {
+                frozen[k * n + j] = true;
+            }
+        }
+        e.set_frozen_mask(&frozen);
+        e.set_threads(threads);
+        e
+    }
+
+    #[test]
+    fn parallel_step_is_bit_identical_to_serial() {
+        let mut serial = bumpy_engine(1);
         for _ in 0..25 {
             serial.step_density(0.2);
-            parallel.step_density(0.2);
         }
-        assert_eq!(serial.densities(), parallel.densities());
+        for threads in [2, 4, 8] {
+            let mut parallel = bumpy_engine(threads);
+            for _ in 0..25 {
+                parallel.step_density(0.2);
+            }
+            assert_eq!(
+                serial.densities(),
+                parallel.densities(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_velocities_are_bit_identical_to_serial() {
+        let mut serial = bumpy_engine(1);
+        serial.compute_velocities();
+        for threads in [2, 4, 8] {
+            let mut parallel = bumpy_engine(threads);
+            parallel.compute_velocities();
+            for k in 0..serial.ny() {
+                for j in 0..serial.nx() {
+                    assert_eq!(
+                        serial.bin_velocity(j, k),
+                        parallel.bin_velocity(j, k),
+                        "bin ({j},{k}), threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_timers_accumulate() {
+        let mut e = bumpy_engine(2);
+        e.step_density(0.2);
+        e.compute_velocities();
+        e.compute_velocities();
+        let t = e.kernel_timers();
+        assert_eq!(t.ftcs.calls, 1);
+        assert_eq!(t.velocity.calls, 2);
+        assert_eq!(t.ftcs.max_threads, 2);
+        assert_eq!(t.ftcs.serial_ns, 0);
+        assert!(t.velocity.parallel_ns > 0);
+    }
+
+    #[test]
+    fn reload_reuses_buffers_and_clears_state() {
+        use dpm_geom::{Point, Rect};
+        use dpm_netlist::{CellKind, NetlistBuilder};
+        use dpm_place::{BinGrid, Placement};
+
+        let mut b = NetlistBuilder::new();
+        let c = b.add_cell("c", 10.0, 10.0, CellKind::Movable);
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(1);
+        p.set(c, Point::new(0.0, 0.0));
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 40.0, 40.0), 10.0);
+        let map = DensityMap::from_placement(&nl, &p, grid.clone());
+
+        let mut e = DiffusionEngine::from_density_map(&map);
+        e.set_frozen_mask(&[true; 16]);
+        e.compute_velocities();
+        p.set(c, Point::new(30.0, 30.0));
+        let map2 = DensityMap::from_placement(&nl, &p, grid);
+        e.reload_from_density_map(&map2);
+        assert_eq!(e.densities(), map2.densities());
+        assert_eq!(e.live_bins(), 16, "frozen mask must be cleared");
+        assert_eq!(e.bin_velocity(0, 0), Vector::ZERO);
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl FieldMigration {
     ///
     /// Panics if `weight` is negative or not finite.
     pub fn with_weight(mut self, weight: f64) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "weight must be non-negative");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "weight must be non-negative"
+        );
         self.weight = weight;
         self
     }
@@ -115,8 +118,12 @@ impl FieldMigration {
             .zip(field)
             .map(|(&d, &f)| d + self.weight * (f / peak).max(0.0))
             .collect();
-        let mut engine =
-            DiffusionEngine::from_raw(grid.nx(), grid.ny(), blended, Some(map.fixed_mask().to_vec()));
+        let mut engine = DiffusionEngine::from_raw(
+            grid.nx(),
+            grid.ny(),
+            blended,
+            Some(map.fixed_mask().to_vec()),
+        );
         engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
         engine.set_threads(self.cfg.threads);
 
@@ -159,7 +166,10 @@ mod tests {
         let die = Die::new(144.0, 144.0, 12.0);
         let mut p = Placement::new(nl.num_cells());
         for (i, c) in nl.cell_ids().enumerate() {
-            p.set(c, Point::new((i % 6) as f64 * 24.0 + 6.0, (i / 6) as f64 * 24.0));
+            p.set(
+                c,
+                Point::new((i % 6) as f64 * 24.0 + 6.0, (i / 6) as f64 * 24.0),
+            );
         }
         let cfg = DiffusionConfig::default().with_bin_size(24.0);
         let grid = BinGrid::new(die.outline(), 24.0);
@@ -171,10 +181,15 @@ mod tests {
         let (nl, die, mut p, grid, cfg) = uniform_bench();
         let before = p.clone();
         let field = vec![0.0; grid.len()];
-        FieldMigration::new(cfg).with_steps(10).run(&nl, &die, &mut p, &field);
+        FieldMigration::new(cfg)
+            .with_steps(10)
+            .run(&nl, &die, &mut p, &field);
         // Uniform density + zero field ⇒ zero gradients everywhere.
         for c in nl.movable_cell_ids() {
-            assert!((p.get(c) - before.get(c)).length() < 0.5, "cell {c} drifted");
+            assert!(
+                (p.get(c) - before.get(c)).length() < 0.5,
+                "cell {c} drifted"
+            );
         }
     }
 
@@ -184,7 +199,13 @@ mod tests {
         let center = grid.region().center();
         let field: Vec<f64> = grid
             .iter()
-            .map(|idx| if grid.bin_center(idx).distance(center) < 40.0 { 1.0 } else { 0.0 })
+            .map(|idx| {
+                if grid.bin_center(idx).distance(center) < 40.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let before = p.clone();
         FieldMigration::new(cfg)
@@ -213,7 +234,13 @@ mod tests {
         let center = grid.region().center();
         let field: Vec<f64> = grid
             .iter()
-            .map(|idx| if grid.bin_center(idx).distance(center) < 40.0 { 1.0 } else { 0.0 })
+            .map(|idx| {
+                if grid.bin_center(idx).distance(center) < 40.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let movement = |weight: f64| {
             let mut p = p0.clone();
@@ -225,7 +252,10 @@ mod tests {
         };
         let weak = movement(0.2);
         let strong = movement(2.0);
-        assert!(strong > weak, "stronger field must move more: {weak} vs {strong}");
+        assert!(
+            strong > weak,
+            "stronger field must move more: {weak} vs {strong}"
+        );
     }
 
     #[test]

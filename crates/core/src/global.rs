@@ -3,7 +3,9 @@
 use crate::advect::advect_cells;
 use crate::{manipulate_density, DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
 use dpm_netlist::Netlist;
+use dpm_par::ThreadPool;
 use dpm_place::{BinGrid, DensityMap, Die, Placement};
+use std::time::Instant;
 
 /// Outcome of a diffusion run ([`GlobalDiffusion`] or
 /// [`LocalDiffusion`](crate::LocalDiffusion)).
@@ -74,10 +76,17 @@ impl GlobalDiffusion {
     /// [`DiffusionConfig::max_steps`].
     pub fn run(&self, netlist: &Netlist, die: &Die, placement: &mut Placement) -> DiffusionResult {
         let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
-        let map = DensityMap::from_placement(netlist, placement, grid.clone());
+        let pool = ThreadPool::new(self.cfg.threads);
+        let splat_start = Instant::now();
+        let map = DensityMap::from_placement_with_pool(netlist, placement, grid.clone(), &pool);
+        let splat_elapsed = splat_start.elapsed();
         let mut engine = DiffusionEngine::from_density_map(&map);
         engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
         engine.set_threads(self.cfg.threads);
+        engine
+            .kernel_timers_mut()
+            .splat
+            .record(splat_elapsed, pool.threads());
 
         if self.cfg.manipulate {
             let mut d = engine.densities().to_vec();
@@ -92,7 +101,12 @@ impl GlobalDiffusion {
 
         while !converged && steps < self.cfg.max_steps {
             engine.compute_velocities();
+            let advect_start = Instant::now();
             let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, false);
+            engine
+                .kernel_timers_mut()
+                .advect
+                .record(advect_start.elapsed(), pool.threads());
             engine.step_density(self.cfg.dt * self.cfg.diffusivity);
             steps += 1;
             let max_density = engine.max_live_density();
@@ -106,6 +120,7 @@ impl GlobalDiffusion {
             converged = max_density <= self.cfg.d_max + self.cfg.delta;
         }
 
+        telemetry.set_kernels(*engine.kernel_timers());
         DiffusionResult {
             steps,
             rounds: 1,
@@ -154,7 +169,11 @@ mod tests {
         // Real measured density must also be (close to) legal.
         let grid = BinGrid::new(die.outline(), 24.0);
         let dm = DensityMap::from_placement(&nl, &p, grid);
-        assert!(dm.max_density() < 1.5, "measured density {}", dm.max_density());
+        assert!(
+            dm.max_density() < 1.5,
+            "measured density {}",
+            dm.max_density()
+        );
     }
 
     #[test]
@@ -187,7 +206,12 @@ mod tests {
         let series = r.telemetry.overflow_series();
         assert!(series.len() >= 2);
         for w in series.windows(2) {
-            assert!(w[1] <= w[0] * 1.01 + 1e-9, "overflow jumped: {} -> {}", w[0], w[1]);
+            assert!(
+                w[1] <= w[0] * 1.01 + 1e-9,
+                "overflow jumped: {} -> {}",
+                w[0],
+                w[1]
+            );
         }
         assert!(
             *series.last().expect("non-empty") < series[0],
@@ -225,7 +249,10 @@ mod tests {
             m_with.total,
             m_without.total
         );
-        assert!(final_with < initial, "measured density must improve: {final_with} vs {initial}");
+        assert!(
+            final_with < initial,
+            "measured density must improve: {final_with} vs {initial}"
+        );
     }
 
     #[test]
@@ -272,5 +299,17 @@ mod tests {
         let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
         assert_eq!(r.telemetry.len(), r.steps);
         assert!(r.telemetry.total_movement() > 0.0);
+    }
+
+    #[test]
+    fn kernel_timers_cover_every_step() {
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let r = GlobalDiffusion::new(cfg().with_threads(2)).run(&nl, &die, &mut p);
+        let k = r.telemetry.kernels();
+        assert_eq!(k.ftcs.calls as usize, r.steps);
+        assert_eq!(k.velocity.calls as usize, r.steps);
+        assert_eq!(k.advect.calls as usize, r.steps);
+        assert_eq!(k.splat.calls, 1, "one initial density splat");
+        assert_eq!(k.ftcs.max_threads, 2);
     }
 }

@@ -22,6 +22,14 @@
 //! - the **robust local diffusion** flow with dynamic density update
 //!   (Algorithm 3) — [`LocalDiffusion`].
 //!
+//! All four hot kernels — FTCS step, velocity field, cell advection and
+//! the density splat — run on the deterministic worker pool of
+//! [`dpm_par`]: work is decomposed into fixed chunks independent of the
+//! thread count, so results are bit-identical at any parallelism. Set the
+//! thread count with [`DiffusionConfig::with_threads`]; per-kernel wall
+//! time is reported through [`KernelTimers`] on each run's
+//! [`Telemetry`].
+//!
 //! The engine works in *bin coordinates*: the die is divided into square
 //! bins and scaled so each bin is 1×1, exactly as the paper assumes. The
 //! orchestrators ([`GlobalDiffusion`], [`LocalDiffusion`]) handle the
@@ -73,7 +81,7 @@ pub use field::FieldMigration;
 pub use global::{DiffusionResult, GlobalDiffusion};
 pub use local::LocalDiffusion;
 pub use manip::manipulate_density;
-pub use telemetry::{StepRecord, Telemetry};
+pub use telemetry::{KernelTimers, KernelTiming, StepRecord, Telemetry};
 pub use trace::{trace_global_diffusion, TracedRun, Trajectory};
 pub use velocity::interpolate_velocity;
-pub use window::identify_windows;
+pub use window::{identify_windows, identify_windows_into};

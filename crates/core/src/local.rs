@@ -2,9 +2,12 @@
 
 use crate::advect::advect_cells;
 use crate::global::DiffusionResult;
-use crate::{identify_windows, DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
+use crate::window::identify_windows_into;
+use crate::{DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
 use dpm_netlist::Netlist;
+use dpm_par::ThreadPool;
 use dpm_place::{BinGrid, DensityMap, Die, Placement};
+use std::time::Instant;
 
 /// Algorithm 3: robust local diffusion.
 ///
@@ -75,27 +78,55 @@ impl LocalDiffusion {
     }
 
     /// Runs robust local diffusion, mutating `placement` in place.
+    ///
+    /// The round loop reuses one density map, one engine and one set of
+    /// analysis buffers across rounds (the dynamic density update runs
+    /// every round — reallocating them per round dominated small-window
+    /// runs), and every kernel runs on the configured worker pool.
     pub fn run(&self, netlist: &Netlist, die: &Die, placement: &mut Placement) -> DiffusionResult {
+        assert!(self.cfg.w2 >= self.cfg.w1, "W2 must be at least W1");
         let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
+        let pool = ThreadPool::new(self.cfg.threads);
         let mut telemetry = Telemetry::new();
         let mut steps = 0usize;
         let mut rounds = 0usize;
         let mut converged = false;
         let mut best_overflow = f64::INFINITY;
 
+        // Round-loop buffers, allocated once and reused.
+        let splat_start = Instant::now();
+        let mut map = DensityMap::from_placement_with_pool(netlist, placement, grid.clone(), &pool);
+        let splat_elapsed = splat_start.elapsed();
+        let mut engine = DiffusionEngine::from_density_map(&map);
+        engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
+        engine.set_threads(self.cfg.threads);
+        engine
+            .kernel_timers_mut()
+            .splat
+            .record(splat_elapsed, pool.threads());
+        let mut avg: Vec<f64> = Vec::new();
+        let mut frozen: Vec<bool> = Vec::new();
+
         while rounds < self.cfg.max_rounds {
             // Dynamic density update: measure the *real* placement.
-            let map = DensityMap::from_placement(netlist, placement, grid.clone());
-            let measured = map.total_local_overflow(self.cfg.w1, self.cfg.d_max);
+            if rounds > 0 {
+                let splat_start = Instant::now();
+                map.recompute_with_pool(netlist, placement, &pool);
+                engine
+                    .kernel_timers_mut()
+                    .splat
+                    .record(splat_start.elapsed(), pool.threads());
+                engine.reload_from_density_map(&map);
+            }
+            map.windowed_average_into(self.cfg.w1, &mut avg);
+            let (measured, max_local) = map.local_overflow_from(&avg, self.cfg.d_max);
 
             // Identify windows around overfull regions. Convergence
             // mirrors global diffusion's criterion: every neighborhood
             // average within `Δ` of the target ("close to legal" — the
             // detailed legalizer finishes from there).
-            let frozen = identify_windows(&map, self.cfg.w1, self.cfg.w2, self.cfg.d_max);
-            if frozen.iter().all(|&f| f)
-                || map.max_local_overflow(self.cfg.w1, self.cfg.d_max) <= self.cfg.delta
-            {
+            identify_windows_into(&map, &avg, self.cfg.w2, self.cfg.d_max, &mut frozen);
+            if frozen.iter().all(|&f| f) || max_local <= self.cfg.delta {
                 converged = true;
                 break;
             }
@@ -110,9 +141,6 @@ impl LocalDiffusion {
             best_overflow = best_overflow.min(measured);
             rounds += 1;
 
-            let mut engine = DiffusionEngine::from_density_map(&map);
-            engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
-        engine.set_threads(self.cfg.threads);
             engine.set_frozen_mask(&frozen);
 
             for i in 0..self.cfg.n_u {
@@ -120,7 +148,12 @@ impl LocalDiffusion {
                     break;
                 }
                 engine.compute_velocities();
+                let advect_start = Instant::now();
                 let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, true);
+                engine
+                    .kernel_timers_mut()
+                    .advect
+                    .record(advect_start.elapsed(), pool.threads());
                 engine.step_density(self.cfg.dt * self.cfg.diffusivity);
                 telemetry.push(StepRecord {
                     step: steps,
@@ -136,6 +169,7 @@ impl LocalDiffusion {
             }
         }
 
+        telemetry.set_kernels(*engine.kernel_timers());
         DiffusionResult {
             steps,
             rounds,
@@ -207,7 +241,8 @@ mod tests {
     fn resolves_hot_spot() {
         let (nl, die, mut p) = pile(100, Point::new(30.0, 30.0));
         let grid = BinGrid::new(die.outline(), 24.0);
-        let initial = DensityMap::from_placement(&nl, &p, grid.clone()).total_local_overflow(1, 1.0);
+        let initial =
+            DensityMap::from_placement(&nl, &p, grid.clone()).total_local_overflow(1, 1.0);
         let r = LocalDiffusion::new(cfg()).run(&nl, &die, &mut p);
         assert!(r.steps > 0);
         assert!(r.rounds >= 1);

@@ -1,4 +1,91 @@
-//! Per-step telemetry of a diffusion run (drives the paper's Figs. 9–10).
+//! Per-step telemetry of a diffusion run (drives the paper's Figs. 9–10),
+//! plus per-kernel wall-time counters for the parallel runtime.
+
+use std::time::Duration;
+
+/// Accumulated wall time of one kernel (FTCS step, velocity field, cell
+/// advection or density splat).
+///
+/// Time spent while the engine ran with one worker accumulates in
+/// [`serial_ns`](Self::serial_ns); multi-worker time accumulates in
+/// [`parallel_ns`](Self::parallel_ns), so a run that switches thread
+/// counts keeps the two regimes separable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelTiming {
+    /// Number of kernel invocations recorded.
+    pub calls: u64,
+    /// Nanoseconds spent in invocations that used exactly one worker.
+    pub serial_ns: u64,
+    /// Nanoseconds spent in invocations that used more than one worker.
+    pub parallel_ns: u64,
+    /// Largest worker count any recorded invocation used.
+    pub max_threads: usize,
+}
+
+impl KernelTiming {
+    /// Records one invocation that took `elapsed` using `threads` workers.
+    pub fn record(&mut self, elapsed: Duration, threads: usize) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.calls += 1;
+        if threads <= 1 {
+            self.serial_ns = self.serial_ns.saturating_add(ns);
+        } else {
+            self.parallel_ns = self.parallel_ns.saturating_add(ns);
+        }
+        self.max_threads = self.max_threads.max(threads.max(1));
+    }
+
+    /// Total nanoseconds across both regimes.
+    pub fn total_ns(&self) -> u64 {
+        self.serial_ns.saturating_add(self.parallel_ns)
+    }
+
+    /// Folds another counter into this one.
+    pub fn merge(&mut self, other: &KernelTiming) {
+        self.calls += other.calls;
+        self.serial_ns = self.serial_ns.saturating_add(other.serial_ns);
+        self.parallel_ns = self.parallel_ns.saturating_add(other.parallel_ns);
+        self.max_threads = self.max_threads.max(other.max_threads);
+    }
+}
+
+/// Wall-time counters for the four diffusion hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use dpm_diffusion::KernelTimers;
+///
+/// let mut t = KernelTimers::default();
+/// t.ftcs.record(Duration::from_micros(10), 1);
+/// t.ftcs.record(Duration::from_micros(4), 4);
+/// assert_eq!(t.ftcs.calls, 2);
+/// assert_eq!(t.ftcs.serial_ns, 10_000);
+/// assert_eq!(t.ftcs.parallel_ns, 4_000);
+/// assert_eq!(t.ftcs.max_threads, 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelTimers {
+    /// FTCS density step (Eq. 4).
+    pub ftcs: KernelTiming,
+    /// Velocity-field computation (Eq. 5).
+    pub velocity: KernelTiming,
+    /// Cell advection (Eq. 7).
+    pub advect: KernelTiming,
+    /// Density-map splatting (measured placement density).
+    pub splat: KernelTiming,
+}
+
+impl KernelTimers {
+    /// Folds another set of counters into this one.
+    pub fn merge(&mut self, other: &KernelTimers) {
+        self.ftcs.merge(&other.ftcs);
+        self.velocity.merge(&other.velocity);
+        self.advect.merge(&other.advect);
+        self.splat.merge(&other.splat);
+    }
+}
 
 /// Snapshot of one diffusion step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +119,7 @@ pub struct StepRecord {
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     records: Vec<StepRecord>,
+    kernels: KernelTimers,
 }
 
 impl Telemetry {
@@ -80,6 +168,17 @@ impl Telemetry {
     /// The computed-overflow series (the paper's Fig. 10).
     pub fn overflow_series(&self) -> Vec<f64> {
         self.records.iter().map(|r| r.computed_overflow).collect()
+    }
+
+    /// Per-kernel wall-time counters accumulated over the run.
+    pub fn kernels(&self) -> &KernelTimers {
+        &self.kernels
+    }
+
+    /// Replaces the kernel counters (runners install the engine's timers
+    /// when a run finishes).
+    pub fn set_kernels(&mut self, kernels: KernelTimers) {
+        self.kernels = kernels;
     }
 
     /// The measured-overflow checkpoints `(step, overflow)` recorded at

@@ -6,7 +6,9 @@
 //! asserted on.
 
 use crate::advect::advect_cells;
-use crate::{manipulate_density, DiffusionConfig, DiffusionEngine, DiffusionResult, StepRecord, Telemetry};
+use crate::{
+    manipulate_density, DiffusionConfig, DiffusionEngine, DiffusionResult, StepRecord, Telemetry,
+};
 use dpm_geom::Point;
 use dpm_netlist::{CellId, Netlist};
 use dpm_place::{BinGrid, DensityMap, Die, Placement};
@@ -46,7 +48,10 @@ impl Trajectory {
 
     /// The per-step movement distances.
     pub fn step_lengths(&self) -> Vec<f64> {
-        self.points.windows(2).map(|w| (w[1] - w[0]).length()).collect()
+        self.points
+            .windows(2)
+            .map(|w| (w[1] - w[0]).length())
+            .collect()
     }
 }
 
@@ -159,7 +164,10 @@ mod tests {
         let die = Die::new(144.0, 144.0, 12.0);
         let mut p = Placement::new(nl.num_cells());
         for (i, c) in nl.cell_ids().enumerate() {
-            p.set(c, Point::new(48.0 + (i % 5) as f64 * 2.0, 48.0 + (i / 5) as f64 * 2.0));
+            p.set(
+                c,
+                Point::new(48.0 + (i % 5) as f64 * 2.0, 48.0 + (i / 5) as f64 * 2.0),
+            );
         }
         (nl, die, p)
     }
@@ -195,14 +203,19 @@ mod tests {
         // trajectory of a hot cell.
         let (nl, die, mut p) = hotspot();
         let cell = nl.cell_ids().nth(12).expect("center-ish cell");
-        let cfg = DiffusionConfig::default().with_bin_size(24.0).with_delta(0.02);
+        let cfg = DiffusionConfig::default()
+            .with_bin_size(24.0)
+            .with_delta(0.02);
         let run = trace_global_diffusion(&cfg, &nl, &die, &mut p, &[cell]);
         let steps = run.trajectories[0].step_lengths();
         if steps.len() >= 9 {
             let third = steps.len() / 3;
             let head: f64 = steps[..third].iter().sum();
             let tail: f64 = steps[steps.len() - third..].iter().sum();
-            assert!(tail <= head + 1e-9, "movement grew toward the end: {head} -> {tail}");
+            assert!(
+                tail <= head + 1e-9,
+                "movement grew toward the end: {head} -> {tail}"
+            );
         }
     }
 }

@@ -38,13 +38,26 @@ use dpm_geom::Vector;
 /// assert!((v.y - 0.36425).abs() < 1e-12);
 /// ```
 #[inline]
-pub fn interpolate_velocity(v00: Vector, v10: Vector, v01: Vector, v11: Vector, alpha: f64, beta: f64) -> Vector {
+pub fn interpolate_velocity(
+    v00: Vector,
+    v10: Vector,
+    v01: Vector,
+    v11: Vector,
+    alpha: f64,
+    beta: f64,
+) -> Vector {
     debug_assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} outside [0,1]");
     debug_assert!((0.0..=1.0).contains(&beta), "beta {beta} outside [0,1]");
     let ab = alpha * beta;
     Vector::new(
-        v00.x + alpha * (v10.x - v00.x) + beta * (v01.x - v00.x) + ab * (v00.x + v11.x - v10.x - v01.x),
-        v00.y + alpha * (v10.y - v00.y) + beta * (v01.y - v00.y) + ab * (v00.y + v11.y - v10.y - v01.y),
+        v00.x
+            + alpha * (v10.x - v00.x)
+            + beta * (v01.x - v00.x)
+            + ab * (v00.x + v11.x - v10.x - v01.x),
+        v00.y
+            + alpha * (v10.y - v00.y)
+            + beta * (v01.y - v00.y)
+            + ab * (v00.y + v11.y - v10.y - v01.y),
     )
 }
 

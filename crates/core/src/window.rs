@@ -46,11 +46,36 @@ use dpm_place::DensityMap;
 /// ```
 pub fn identify_windows(density: &DensityMap, w1: usize, w2: usize, d_max: f64) -> Vec<bool> {
     assert!(w2 >= w1, "W2 must be at least W1");
+    let avg = density.windowed_average(w1);
+    let mut frozen = Vec::new();
+    identify_windows_into(density, &avg, w2, d_max, &mut frozen);
+    frozen
+}
+
+/// [`identify_windows`] from an already-built `W1` windowed-average buffer
+/// (see [`DensityMap::windowed_average_into`]) into a caller-owned frozen
+/// mask — the allocation-free path the local-diffusion round loop uses.
+///
+/// # Panics
+///
+/// Panics if `avg` does not cover the grid.
+pub fn identify_windows_into(
+    density: &DensityMap,
+    avg: &[f64],
+    w2: usize,
+    d_max: f64,
+    frozen: &mut Vec<bool>,
+) {
     let grid = density.grid();
     let nx = grid.nx();
     let ny = grid.ny();
-    let avg = density.windowed_average(w1);
-    let mut frozen = vec![true; nx * ny];
+    assert_eq!(
+        avg.len(),
+        nx * ny,
+        "windowed-average buffer length mismatch"
+    );
+    frozen.clear();
+    frozen.resize(nx * ny, true);
 
     for k in 0..ny {
         for j in 0..nx {
@@ -74,7 +99,6 @@ pub fn identify_windows(density: &DensityMap, w1: usize, w2: usize, d_max: f64) 
             }
         }
     }
-    frozen
 }
 
 #[cfg(test)]
@@ -103,7 +127,10 @@ mod tests {
     fn no_overflow_freezes_everything() {
         let d = hot_center(1); // a single cell fills its bin exactly
         let frozen = identify_windows(&d, 0, 0, 1.0);
-        assert!(frozen.iter().all(|&f| f), "no bin should unfreeze at d = 1.0");
+        assert!(
+            frozen.iter().all(|&f| f),
+            "no bin should unfreeze at d = 1.0"
+        );
     }
 
     #[test]
@@ -125,8 +152,14 @@ mod tests {
     #[test]
     fn larger_w2_opens_more() {
         let d = hot_center(3);
-        let open1 = identify_windows(&d, 0, 1, 1.0).iter().filter(|&&f| !f).count();
-        let open3 = identify_windows(&d, 0, 3, 1.0).iter().filter(|&&f| !f).count();
+        let open1 = identify_windows(&d, 0, 1, 1.0)
+            .iter()
+            .filter(|&&f| !f)
+            .count();
+        let open3 = identify_windows(&d, 0, 3, 1.0)
+            .iter()
+            .filter(|&&f| !f)
+            .count();
         assert!(open3 > open1);
     }
 

@@ -3,8 +3,7 @@
 use dpm_geom::{Point, Rect};
 use dpm_netlist::{CellId, CellKind, Netlist, NetlistBuilder, PinDir};
 use dpm_place::{Die, Placement};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dpm_rng::Rng;
 
 /// Parameters of a synthetic circuit.
 ///
@@ -97,7 +96,10 @@ impl CircuitSpec {
     ///
     /// Panics if `util` is outside `(0, 0.95]`.
     pub fn with_utilization(mut self, util: f64) -> Self {
-        assert!(util > 0.0 && util <= 0.95, "utilization must be in (0, 0.95]");
+        assert!(
+            util > 0.0 && util <= 0.95,
+            "utilization must be in (0, 0.95]"
+        );
         self.target_utilization = util;
         self
     }
@@ -121,7 +123,10 @@ impl CircuitSpec {
     /// Panics if `util` is outside `(0.5, 1.0]` or below the overall
     /// target utilization (clusters cannot be looser than the die).
     pub fn with_local_utilization(mut self, util: f64) -> Self {
-        assert!(util > 0.5 && util <= 1.0, "local utilization must be in (0.5, 1.0]");
+        assert!(
+            util > 0.5 && util <= 1.0,
+            "local utilization must be in (0.5, 1.0]"
+        );
         assert!(
             util >= self.target_utilization,
             "local utilization cannot be below the die utilization"
@@ -137,7 +142,7 @@ impl CircuitSpec {
     /// Panics if the spec has zero cells.
     pub fn generate(&self) -> Benchmark {
         assert!(self.num_cells > 0, "circuit must have cells");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
 
         // --- Cells ---------------------------------------------------
         let mut b = NetlistBuilder::with_capacity(
@@ -148,9 +153,17 @@ impl CircuitSpec {
         let mut total_area = 0.0;
         let mut cells = Vec::with_capacity(self.num_cells);
         for i in 0..self.num_cells {
-            let width = (rng.random_range(self.min_cell_width..=self.max_cell_width) / 1.0).round().max(1.0);
+            let width = (rng.random_range(self.min_cell_width..=self.max_cell_width) / 1.0)
+                .round()
+                .max(1.0);
             let delay = rng.random_range(0.5..1.5);
-            let id = b.add_cell_with_delay(format!("c{i}"), width, self.row_height, CellKind::Movable, delay);
+            let id = b.add_cell_with_delay(
+                format!("c{i}"),
+                width,
+                self.row_height,
+                CellKind::Movable,
+                delay,
+            );
             total_area += width * self.row_height;
             cells.push(id);
         }
@@ -175,10 +188,17 @@ impl CircuitSpec {
             let mut placed = None;
             for _ in 0..64 {
                 let mx = rng.random_range(0.1..0.8) * (width - mw);
-                let row =
-                    rng.random_range(1..rows.saturating_sub((mh / self.row_height) as usize + 1).max(2));
-                let rect = Rect::from_origin_size(Point::new(mx, row as f64 * self.row_height), mw, mh);
-                if macros.iter().all(|&(_, other)| !rect.inflated(1.0).intersects(&other)) {
+                let row = rng.random_range(
+                    1..rows
+                        .saturating_sub((mh / self.row_height) as usize + 1)
+                        .max(2),
+                );
+                let rect =
+                    Rect::from_origin_size(Point::new(mx, row as f64 * self.row_height), mw, mh);
+                if macros
+                    .iter()
+                    .all(|&(_, other)| !rect.inflated(1.0).intersects(&other))
+                {
                     placed = Some(rect);
                     break;
                 }
@@ -203,7 +223,7 @@ impl CircuitSpec {
         let n_clusters = self.num_cells.div_ceil(self.cluster_size);
         for n in 0..n_nets {
             let net = b.add_net(format!("n{n}"));
-            let global = rng.random::<f64>() < self.global_net_fraction;
+            let global = rng.random_f64() < self.global_net_fraction;
             let cluster = rng.random_range(0..n_clusters);
             let lo = cluster * self.cluster_size;
             let hi = ((cluster + 1) * self.cluster_size).min(self.num_cells);
@@ -222,7 +242,13 @@ impl CircuitSpec {
                 } else {
                     rng.random_range(driver_idx + 1..hi)
                 };
-                b.connect(cells[sink_idx], net, PinDir::Input, 0.0, self.row_height / 2.0);
+                b.connect(
+                    cells[sink_idx],
+                    net,
+                    PinDir::Input,
+                    0.0,
+                    self.row_height / 2.0,
+                );
             }
         }
         // Pad nets: inputs drive early cells, outputs sink late cells.
@@ -234,7 +260,13 @@ impl CircuitSpec {
                 b.connect(sink, net, PinDir::Input, 0.0, self.row_height / 2.0);
             } else {
                 let driver_idx = rng.random_range(0..self.num_cells);
-                b.connect(cells[driver_idx], net, PinDir::Output, 0.0, self.row_height / 2.0);
+                b.connect(
+                    cells[driver_idx],
+                    net,
+                    PinDir::Output,
+                    0.0,
+                    self.row_height / 2.0,
+                );
                 b.connect(pad, net, PinDir::Input, 0.5, 0.5);
             }
         }
@@ -261,7 +293,11 @@ impl CircuitSpec {
                 break;
             }
             let o = die.outline();
-            die = Die::new(o.width() * 1.1, o.height() + self.row_height * 2.0, self.row_height);
+            die = Die::new(
+                o.width() * 1.1,
+                o.height() + self.row_height * 2.0,
+                self.row_height,
+            );
         }
         let placement = placement.expect("die growth must eventually fit the cells");
 
@@ -307,11 +343,25 @@ fn place_rows(
         } else if d < outline.width() + outline.height() {
             Point::new(outline.urx - 1.0, outline.lly + (d - outline.width()))
         } else if d < 2.0 * outline.width() + outline.height() {
-            Point::new(outline.urx - (d - outline.width() - outline.height()) - 1.0, outline.ury - 1.0)
+            Point::new(
+                outline.urx - (d - outline.width() - outline.height()) - 1.0,
+                outline.ury - 1.0,
+            )
         } else {
-            Point::new(outline.llx, outline.ury - (d - 2.0 * outline.width() - outline.height()) - 1.0)
+            Point::new(
+                outline.llx,
+                outline.ury - (d - 2.0 * outline.width() - outline.height()) - 1.0,
+            )
         };
-        placement.set(pad, pos.clamped(outline.llx, outline.urx - 1.0, outline.lly, outline.ury - 1.0));
+        placement.set(
+            pad,
+            pos.clamped(
+                outline.llx,
+                outline.urx - 1.0,
+                outline.lly,
+                outline.ury - 1.0,
+            ),
+        );
     }
 
     // Free segments per row (macro spans removed).

@@ -42,16 +42,17 @@ impl Benchmark {
     /// assert_eq!(bench.netlist.num_cells(), cells_before + inserted);
     /// ```
     pub fn insert_buffers(&mut self, fraction: f64, buffer_width: f64) -> usize {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         assert!(buffer_width > 0.0, "buffer width must be positive");
 
         // Pick the longest nets with at least a driver and one sink.
         let mut candidates: Vec<(f64, dpm_netlist::NetId)> = self
             .netlist
             .net_ids()
-            .filter(|&n| {
-                self.netlist.driver_of(n).is_some() && self.netlist.net(n).pins.len() >= 2
-            })
+            .filter(|&n| self.netlist.driver_of(n).is_some() && self.netlist.net(n).pins.len() >= 2)
             .map(|n| (net_hpwl(&self.netlist, &self.placement, n), n))
             .collect();
         candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
@@ -103,7 +104,10 @@ impl Benchmark {
             debug_assert_eq!(buf.raw(), next_cell);
             new_positions.push((
                 next_cell,
-                Point::new(centroid.x - buffer_width / 2.0, centroid.y - row_height / 2.0),
+                Point::new(
+                    centroid.x - buffer_width / 2.0,
+                    centroid.y - row_height / 2.0,
+                ),
             ));
             next_cell += 1;
 
@@ -113,13 +117,25 @@ impl Benchmark {
             for &p in &self.netlist.net(net).pins {
                 let pin = self.netlist.pin(p);
                 if p == driver {
-                    b.connect(pin.cell, upstream, PinDir::Output, pin.offset.x, pin.offset.y);
+                    b.connect(
+                        pin.cell,
+                        upstream,
+                        PinDir::Output,
+                        pin.offset.x,
+                        pin.offset.y,
+                    );
                 } else {
                     b.connect(pin.cell, downstream, pin.dir, pin.offset.x, pin.offset.y);
                 }
             }
             b.connect(buf, upstream, PinDir::Input, 0.0, row_height / 2.0);
-            b.connect(buf, downstream, PinDir::Output, buffer_width, row_height / 2.0);
+            b.connect(
+                buf,
+                downstream,
+                PinDir::Output,
+                buffer_width,
+                row_height / 2.0,
+            );
         }
 
         let new_netlist = b.build().expect("rebuilt netlist is structurally valid");

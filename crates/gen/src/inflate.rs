@@ -2,8 +2,7 @@
 
 use crate::Benchmark;
 use dpm_netlist::CellId;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use dpm_rng::Rng;
 
 /// How to inflate cells of a [`Benchmark`] to create overlap.
 ///
@@ -99,7 +98,7 @@ impl InflationSpec {
 /// pathological many-times-inflated giants.
 fn inflate_without_replacement(
     netlist: &mut dpm_netlist::Netlist,
-    rng: &mut StdRng,
+    rng: &mut Rng,
     mut ids: Vec<CellId>,
     target: f64,
 ) {
@@ -124,7 +123,7 @@ impl Benchmark {
         let area_before = self.netlist.movable_area();
         match *spec {
             InflationSpec::Distributed { area_pct, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 let ids: Vec<CellId> = self.netlist.movable_cell_ids().collect();
                 let target = area_before * area_pct;
                 inflate_without_replacement(&mut self.netlist, &mut rng, ids, target);
@@ -134,14 +133,24 @@ impl Benchmark {
                 radius_frac,
                 seed,
             } => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 let center = self.die.outline().center();
                 let radius = radius_frac
-                    * (self.die.outline().width().hypot(self.die.outline().height()) / 2.0);
+                    * (self
+                        .die
+                        .outline()
+                        .width()
+                        .hypot(self.die.outline().height())
+                        / 2.0);
                 let ids: Vec<CellId> = self
                     .netlist
                     .movable_cell_ids()
-                    .filter(|&c| self.placement.cell_center(&self.netlist, c).distance(center) <= radius)
+                    .filter(|&c| {
+                        self.placement
+                            .cell_center(&self.netlist, c)
+                            .distance(center)
+                            <= radius
+                    })
                     .collect();
                 if ids.is_empty() {
                     return 0.0;
@@ -150,10 +159,7 @@ impl Benchmark {
                 // hitting the area target needs a *uniform* blow-up of all
                 // eligible cells rather than sampling. Jitter the factor
                 // ±15% per cell; cap at 4x to keep cells placeable.
-                let eligible_area: f64 = ids
-                    .iter()
-                    .map(|&c| self.netlist.cell(c).area())
-                    .sum();
+                let eligible_area: f64 = ids.iter().map(|&c| self.netlist.cell(c).area()).sum();
                 let target = area_before * area_pct;
                 let factor = (1.0 + target / eligible_area).min(4.0);
                 for cell in ids {
@@ -167,9 +173,9 @@ impl Benchmark {
                 width_factor,
                 seed,
             } => {
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Rng::seed_from_u64(seed);
                 for cell in self.netlist.movable_cell_ids().collect::<Vec<_>>() {
-                    if rng.random::<f64>() < frac_cells {
+                    if rng.random_f64() < frac_cells {
                         self.netlist.inflate_cell_width(cell, width_factor);
                     }
                 }
@@ -182,7 +188,14 @@ impl Benchmark {
                 let mut ids: Vec<(f64, CellId)> = self
                     .netlist
                     .movable_cell_ids()
-                    .map(|c| (self.placement.cell_center(&self.netlist, c).distance(center), c))
+                    .map(|c| {
+                        (
+                            self.placement
+                                .cell_center(&self.netlist, c)
+                                .distance(center),
+                            c,
+                        )
+                    })
                     .collect();
                 ids.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let count = ((ids.len() as f64) * frac_cells).round() as usize;
@@ -226,13 +239,24 @@ mod tests {
             .map(|c| bench.netlist.cell(c).width)
             .collect();
         let center = bench.die.outline().center();
-        let radius = 0.25 * (bench.die.outline().width().hypot(bench.die.outline().height()) / 2.0);
+        let radius = 0.25
+            * (bench
+                .die
+                .outline()
+                .width()
+                .hypot(bench.die.outline().height())
+                / 2.0);
         // Distances must be measured *before* inflation: growing a cell's
         // width shifts its center.
         let dist_before: Vec<f64> = bench
             .netlist
             .movable_cell_ids()
-            .map(|c| bench.placement.cell_center(&bench.netlist, c).distance(center))
+            .map(|c| {
+                bench
+                    .placement
+                    .cell_center(&bench.netlist, c)
+                    .distance(center)
+            })
             .collect();
         bench.inflate(&InflationSpec::centered(0.15, 0.25, 5));
         for (i, c) in bench.netlist.movable_cell_ids().enumerate() {
@@ -288,7 +312,12 @@ mod tests {
         let dist_before: Vec<f64> = bench
             .netlist
             .movable_cell_ids()
-            .map(|c| bench.placement.cell_center(&bench.netlist, c).distance(center))
+            .map(|c| {
+                bench
+                    .placement
+                    .cell_center(&bench.netlist, c)
+                    .distance(center)
+            })
             .collect();
         bench.inflate(&InflationSpec::center_width(0.1, 1.6));
         let mut inflated_d = Vec::new();

@@ -60,10 +60,7 @@ impl WorkloadStats {
             histogram[bucket] += 1;
         }
 
-        let movable_pin_count: usize = nl
-            .movable_cell_ids()
-            .map(|c| nl.cell(c).pins.len())
-            .sum();
+        let movable_pin_count: usize = nl.movable_cell_ids().map(|c| nl.cell(c).pins.len()).sum();
 
         let grid = BinGrid::new(bench.die.outline(), 4.0 * bench.die.row_height());
         let density = DensityMap::from_placement(nl, &bench.placement, grid);
@@ -122,9 +119,16 @@ mod tests {
         assert_eq!(s.movable_cells, 1000);
         // Net degrees: dominated by 2-5 pin nets like real standard-cell
         // netlists; mean between 2 and 5.
-        assert!(s.mean_net_degree >= 2.0 && s.mean_net_degree <= 5.0, "{}", s.mean_net_degree);
+        assert!(
+            s.mean_net_degree >= 2.0 && s.mean_net_degree <= 5.0,
+            "{}",
+            s.mean_net_degree
+        );
         assert!(s.net_degree_histogram[0] > 0, "some 2-pin nets must exist");
-        assert!(s.net_degree_histogram[8] < s.connected_nets / 10, "few giant nets");
+        assert!(
+            s.net_degree_histogram[8] < s.connected_nets / 10,
+            "few giant nets"
+        );
         // Pins per cell in the 2-6 range typical of standard cells.
         assert!(s.mean_pins_per_cell >= 1.5 && s.mean_pins_per_cell <= 6.0);
         // Legal placement: no overlap, utilization near target.

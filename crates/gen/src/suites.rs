@@ -25,7 +25,10 @@ impl SuiteEntry {
     /// returning the benchmark and the achieved inflation fraction.
     pub fn generate_inflated(&self) -> (Benchmark, f64) {
         let mut bench = self.spec.generate();
-        let achieved = bench.inflate(&InflationSpec::distributed(self.inflation_pct, self.spec.seed ^ 0x5eed));
+        let achieved = bench.inflate(&InflationSpec::distributed(
+            self.inflation_pct,
+            self.spec.seed ^ 0x5eed,
+        ));
         (bench, achieved)
     }
 }
@@ -91,10 +94,14 @@ pub fn ckt_suite(scale: f64) -> Vec<SuiteEntry> {
             // Locally dense (97%) like post-placement industrial designs:
             // inflation then creates real overlap everywhere, the regime
             // the paper's +10-15% GREED/FLOW wirelength degradations imply.
-            spec: CircuitSpec::with_size(name, ((cells as f64 * scale) as usize).max(200), 1000 + i as u64)
-                .with_utilization(0.55)
-                .with_local_utilization(0.97)
-                .with_clusters_per_gap(6),
+            spec: CircuitSpec::with_size(
+                name,
+                ((cells as f64 * scale) as usize).max(200),
+                1000 + i as u64,
+            )
+            .with_utilization(0.55)
+            .with_local_utilization(0.97)
+            .with_clusters_per_gap(6),
             inflation_pct: inflation,
             paper_cells: cells,
         })
@@ -114,9 +121,13 @@ pub fn ibm_suite(scale: f64) -> Vec<SuiteEntry> {
         .iter()
         .enumerate()
         .map(|(i, &(name, cells))| SuiteEntry {
-            spec: CircuitSpec::with_size(name, ((cells as f64 * scale) as usize).max(200), 2000 + i as u64)
-                .with_local_utilization(0.97)
-                .with_clusters_per_gap(6),
+            spec: CircuitSpec::with_size(
+                name,
+                ((cells as f64 * scale) as usize).max(200),
+                2000 + i as u64,
+            )
+            .with_local_utilization(0.97)
+            .with_clusters_per_gap(6),
             inflation_pct: 0.10,
             paper_cells: cells,
         })

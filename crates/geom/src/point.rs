@@ -68,7 +68,10 @@ impl Point {
     /// Returns a point whose coordinates are clamped into the given ranges.
     #[inline]
     pub fn clamped(self, x_lo: f64, x_hi: f64, y_lo: f64, y_hi: f64) -> Point {
-        Point::new(crate::clamp(self.x, x_lo, x_hi), crate::clamp(self.y, y_lo, y_hi))
+        Point::new(
+            crate::clamp(self.x, x_lo, x_hi),
+            crate::clamp(self.y, y_lo, y_hi),
+        )
     }
 
     /// Returns `true` if both coordinates are finite.
@@ -291,7 +294,10 @@ mod tests {
         let c = v.clamped_linf(2.0);
         assert_eq!(c, Vector::new(-2.0, 1.0));
         // Already-small vectors untouched.
-        assert_eq!(Vector::new(0.1, 0.1).clamped_linf(2.0), Vector::new(0.1, 0.1));
+        assert_eq!(
+            Vector::new(0.1, 0.1).clamped_linf(2.0),
+            Vector::new(0.1, 0.1)
+        );
         // Zero vector stays zero.
         assert_eq!(Vector::ZERO.clamped_linf(1.0), Vector::ZERO);
     }

@@ -115,7 +115,10 @@ impl Rect {
     /// Returns `true` if `other` lies entirely inside or on the boundary.
     #[inline]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        other.llx >= self.llx && other.urx <= self.urx && other.lly >= self.lly && other.ury <= self.ury
+        other.llx >= self.llx
+            && other.urx <= self.urx
+            && other.lly >= self.lly
+            && other.ury <= self.ury
     }
 
     /// Returns `true` if the interiors of the rectangles intersect.
@@ -169,7 +172,12 @@ impl Rect {
     /// The smallest rectangle containing this rectangle and the point.
     #[inline]
     pub fn union_point(&self, p: Point) -> Rect {
-        Rect::new(self.llx.min(p.x), self.lly.min(p.y), self.urx.max(p.x), self.ury.max(p.y))
+        Rect::new(
+            self.llx.min(p.x),
+            self.lly.min(p.y),
+            self.urx.max(p.x),
+            self.ury.max(p.y),
+        )
     }
 
     /// A degenerate rectangle at a single point, useful as a bounding-box
@@ -203,7 +211,11 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[({}, {}) - ({}, {})]", self.llx, self.lly, self.urx, self.ury)
+        write!(
+            f,
+            "[({}, {}) - ({}, {})]",
+            self.llx, self.lly, self.urx, self.ury
+        )
     }
 }
 

@@ -1,83 +1,153 @@
-//! Property-based tests for the geometry primitives.
+//! Randomized tests for the geometry primitives, driven by the
+//! deterministic [`dpm_rng::Rng`].
 
 use dpm_geom::{Point, Rect, Vector};
-use proptest::prelude::*;
+use dpm_rng::Rng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-1e6..1e6f64, -1e6..1e6f64).prop_map(|(x, y)| Point::new(x, y))
+const CASES: u64 = 256;
+
+fn random_point(rng: &mut Rng) -> Point {
+    Point::new(rng.random_range(-1e6..1e6), rng.random_range(-1e6..1e6))
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0.0..1e4f64, 0.0..1e4f64).prop_map(|(o, w, h)| Rect::from_origin_size(o, w, h))
+fn random_rect(rng: &mut Rng) -> Rect {
+    let o = random_point(rng);
+    let w = rng.random_range(0.0..1e4);
+    let h = rng.random_range(0.0..1e4);
+    Rect::from_origin_size(o, w, h)
 }
 
-proptest! {
-    #[test]
-    fn overlap_area_commutes(a in arb_rect(), b in arb_rect()) {
-        prop_assert!((a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9);
+#[test]
+fn overlap_area_commutes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x61 ^ case);
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
+        assert!(
+            (a.overlap_area(&b) - b.overlap_area(&a)).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn overlap_area_bounded_by_min_area(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn overlap_area_bounded_by_min_area() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x62 ^ case);
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         let ov = a.overlap_area(&b);
-        prop_assert!(ov >= 0.0);
-        prop_assert!(ov <= a.area().min(b.area()) + 1e-9);
+        assert!(ov >= 0.0, "case {case}");
+        assert!(ov <= a.area().min(b.area()) + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn self_overlap_is_area(a in arb_rect()) {
-        prop_assert!((a.overlap_area(&a) - a.area()).abs() <= 1e-9 * a.area().max(1.0));
+#[test]
+fn self_overlap_is_area() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x63 ^ case);
+        let a = random_rect(&mut rng);
+        assert!(
+            (a.overlap_area(&a) - a.area()).abs() <= 1e-9 * a.area().max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn intersection_agrees_with_overlap(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn intersection_agrees_with_overlap() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x64 ^ case);
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         match a.intersection(&b) {
             Some(i) => {
-                prop_assert!((i.area() - a.overlap_area(&b)).abs() < 1e-6);
-                prop_assert!(a.contains_rect(&i));
-                prop_assert!(b.contains_rect(&i));
+                assert!((i.area() - a.overlap_area(&b)).abs() < 1e-6, "case {case}");
+                assert!(a.contains_rect(&i), "case {case}");
+                assert!(b.contains_rect(&i), "case {case}");
             }
-            None => prop_assert_eq!(a.overlap_area(&b), 0.0),
+            None => assert_eq!(a.overlap_area(&b), 0.0, "case {case}"),
         }
     }
+}
 
-    #[test]
-    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn union_contains_both() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x65 ^ case);
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+        assert!(u.contains_rect(&a), "case {case}");
+        assert!(u.contains_rect(&b), "case {case}");
+        assert!(u.area() + 1e-9 >= a.area().max(b.area()), "case {case}");
     }
+}
 
-    #[test]
-    fn translation_preserves_area(a in arb_rect(), dx in -1e4..1e4f64, dy in -1e4..1e4f64) {
+#[test]
+fn translation_preserves_area() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x66 ^ case);
+        let a = random_rect(&mut rng);
+        let dx = rng.random_range(-1e4..1e4);
+        let dy = rng.random_range(-1e4..1e4);
         let t = a.translated(dx, dy);
-        prop_assert!((t.area() - a.area()).abs() < 1e-6 * a.area().max(1.0));
-        prop_assert!((t.width() - a.width()).abs() < 1e-9);
+        assert!(
+            (t.area() - a.area()).abs() < 1e-6 * a.area().max(1.0),
+            "case {case}"
+        );
+        assert!((t.width() - a.width()).abs() < 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn manhattan_is_at_least_euclidean(a in arb_point(), b in arb_point()) {
-        prop_assert!(a.manhattan_distance(b) + 1e-9 >= a.distance(b));
+#[test]
+fn manhattan_is_at_least_euclidean() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x67 ^ case);
+        let a = random_point(&mut rng);
+        let b = random_point(&mut rng);
+        assert!(
+            a.manhattan_distance(b) + 1e-9 >= a.distance(b),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn triangle_inequality_manhattan(a in arb_point(), b in arb_point(), c in arb_point()) {
-        prop_assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c) + 1e-6);
+#[test]
+fn triangle_inequality_manhattan() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x68 ^ case);
+        let a = random_point(&mut rng);
+        let b = random_point(&mut rng);
+        let c = random_point(&mut rng);
+        assert!(
+            a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c) + 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn linf_clamp_never_exceeds(v_x in -1e6..1e6f64, v_y in -1e6..1e6f64, max in 0.01..100.0f64) {
+#[test]
+fn linf_clamp_never_exceeds() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x69 ^ case);
+        let v_x = rng.random_range(-1e6..1e6);
+        let v_y = rng.random_range(-1e6..1e6);
+        let max = rng.random_range(0.01..100.0);
         let v = Vector::new(v_x, v_y).clamped_linf(max);
-        prop_assert!(v.linf_length() <= max * (1.0 + 1e-12));
+        assert!(v.linf_length() <= max * (1.0 + 1e-12), "case {case}");
     }
+}
 
-    #[test]
-    fn point_vector_round_trip(p in arb_point(), vx in -1e5..1e5f64, vy in -1e5..1e5f64) {
-        let v = Vector::new(vx, vy);
+#[test]
+fn point_vector_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x6A ^ case);
+        let p = random_point(&mut rng);
+        let v = Vector::new(rng.random_range(-1e5..1e5), rng.random_range(-1e5..1e5));
         let q = p + v;
         let back = q - v;
-        prop_assert!((back.x - p.x).abs() < 1e-6);
-        prop_assert!((back.y - p.y).abs() < 1e-6);
+        assert!((back.x - p.x).abs() < 1e-6, "case {case}");
+        assert!((back.y - p.y).abs() < 1e-6, "case {case}");
     }
 }

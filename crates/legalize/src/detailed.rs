@@ -104,8 +104,8 @@ pub(crate) fn detailed_legalize(netlist: &Netlist, die: &Die, placement: &mut Pl
         let pos = placement.get(cell);
         let w = netlist.cell(cell).width;
         let row = die.row_of_y(die.snap_y(pos.y) + 1e-9);
-        let slot =
-            best_slot_near(&slots, &row_slots, die, row, pos.x, w, false).unwrap_or_else(|| row_slots[row][0]);
+        let slot = best_slot_near(&slots, &row_slots, die, row, pos.x, w, false)
+            .unwrap_or_else(|| row_slots[row][0]);
         slots[slot].cells.push((cell, pos.x));
         slots[slot].load += w;
     }
@@ -205,7 +205,8 @@ fn best_slot_near(
 /// neighboring row at the same x) is the cheapest resolution. Selecting
 /// victims by other criteria (e.g. widest-first) was measured to lose
 /// 10-40% wirelength on the benchmark suite.
-fn balance(netlist: &Netlist, die: &Die, slots: &mut Vec<Slot>, row_slots: &[Vec<usize>]) {
+#[allow(clippy::while_let_loop)]
+fn balance(netlist: &Netlist, die: &Die, slots: &mut [Slot], row_slots: &[Vec<usize>]) {
     loop {
         let Some(over) = slots
             .iter()
@@ -264,6 +265,7 @@ pub(crate) fn abacus_clump(cells: &[(f64, f64)], lo: f64, hi: f64) -> Vec<f64> {
             first: i,
         };
         // Merge with previous clusters while they overlap.
+        #[allow(clippy::while_let_loop)]
         loop {
             let Some(prev) = clusters.last() else { break };
             let prev_pos = (prev.q / prev.weight).clamp(lo, (hi - prev.width).max(lo));
@@ -286,10 +288,7 @@ pub(crate) fn abacus_clump(cells: &[(f64, f64)], lo: f64, hi: f64) -> Vec<f64> {
     let mut xs = vec![0.0; cells.len()];
     for (ci, c) in clusters.iter().enumerate() {
         let pos = (c.q / c.weight).clamp(lo, (hi - c.width).max(lo));
-        let last = clusters
-            .get(ci + 1)
-            .map(|n| n.first)
-            .unwrap_or(cells.len());
+        let last = clusters.get(ci + 1).map(|n| n.first).unwrap_or(cells.len());
         let mut cursor = pos;
         for i in c.first..last {
             xs[i] = cursor;
@@ -355,21 +354,24 @@ mod tests {
     #[test]
     fn legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(21);
-        let outcome = DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn legalizes_hotspot_benchmark() {
         let mut bench = test_util::hotspot_small(22);
-        let outcome = DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn respects_macros() {
         let mut bench = test_util::with_macros(23);
-        let outcome = DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
@@ -389,7 +391,10 @@ mod tests {
         let before = hpwl(&bench.netlist, &bench.placement);
         DetailedLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         let after = hpwl(&bench.netlist, &bench.placement);
-        assert!(after < before * 1.6, "wirelength blew up: {before} -> {after}");
+        assert!(
+            after < before * 1.6,
+            "wirelength blew up: {before} -> {after}"
+        );
         let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 3);
         assert!(report.is_legal(), "{report}");
     }

@@ -134,32 +134,44 @@ mod tests {
     #[test]
     fn global_legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(81);
-        let outcome =
-            DiffusionLegalizer::global_default().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome = DiffusionLegalizer::global_default().legalize(
+            &bench.netlist,
+            &bench.die,
+            &mut bench.placement,
+        );
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn local_legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(82);
-        let outcome =
-            DiffusionLegalizer::local_default().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome = DiffusionLegalizer::local_default().legalize(
+            &bench.netlist,
+            &bench.die,
+            &mut bench.placement,
+        );
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn local_legalizes_hotspot() {
         let mut bench = test_util::hotspot_small(83);
-        let outcome =
-            DiffusionLegalizer::local_default().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome = DiffusionLegalizer::local_default().legalize(
+            &bench.netlist,
+            &bench.die,
+            &mut bench.placement,
+        );
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn global_respects_macros() {
         let mut bench = test_util::with_macros(84);
-        let outcome =
-            DiffusionLegalizer::global_default().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome = DiffusionLegalizer::global_default().legalize(
+            &bench.netlist,
+            &bench.die,
+            &mut bench.placement,
+        );
         assert!(outcome.is_legal, "{outcome}");
     }
 

@@ -116,7 +116,8 @@ impl Legalizer for FlowLegalizer {
             detailed_legalize(netlist, die, placement);
             return;
         }
-        net.min_cost_max_flow(s, t).expect("grid network is well-formed");
+        net.min_cost_max_flow(s, t)
+            .expect("grid network is well-formed");
 
         // --- Realize the flow by moving cells along arcs ---------------
         // Per-bin cell lists (movable cells by current center).
@@ -148,20 +149,15 @@ impl Legalizer for FlowLegalizer {
                 let target_rect = grid.bin_rect(to_idx);
                 while *need > 0.0 {
                     // Nearest cell in the source bin to the target bin.
-                    let Some((li, &cell)) = bin_cells[from]
-                        .iter()
-                        .enumerate()
-                        .min_by(|a, b| {
-                            let da = placement
-                                .cell_center(netlist, *a.1)
-                                .distance(target_rect.center());
-                            let db = placement
-                                .cell_center(netlist, *b.1)
-                                .distance(target_rect.center());
-                            da.total_cmp(&db)
-                        })
-                        .map(|(i, c)| (i, c))
-                    else {
+                    let Some((li, &cell)) = bin_cells[from].iter().enumerate().min_by(|a, b| {
+                        let da = placement
+                            .cell_center(netlist, *a.1)
+                            .distance(target_rect.center());
+                        let db = placement
+                            .cell_center(netlist, *b.1)
+                            .distance(target_rect.center());
+                        da.total_cmp(&db)
+                    }) else {
                         break;
                     };
                     let c = netlist.cell(cell);
@@ -202,21 +198,24 @@ mod tests {
     #[test]
     fn legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(51);
-        let outcome = FlowLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            FlowLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn legalizes_hotspot_benchmark() {
         let mut bench = test_util::hotspot_small(52);
-        let outcome = FlowLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            FlowLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn respects_macros() {
         let mut bench = test_util::with_macros(53);
-        let outcome = FlowLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            FlowLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 

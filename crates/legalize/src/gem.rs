@@ -84,6 +84,7 @@ impl GemLegalizer {
             let b = grid.bin_of_point(c);
             row_of[b.k].push((cell, c));
         }
+        #[allow(clippy::needless_range_loop)]
         for k in 0..grid.ny() {
             // Demand per bin in this bin-row.
             let mut total = 0.0;
@@ -128,6 +129,7 @@ impl GemLegalizer {
             let b = grid.bin_of_point(c);
             col_of[b.j].push((cell, c));
         }
+        #[allow(clippy::needless_range_loop)]
         for j in 0..nx {
             let mut total = 0.0;
             let mut demand = Vec::with_capacity(ny);
@@ -192,21 +194,24 @@ mod tests {
     #[test]
     fn legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(61);
-        let outcome = GemLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            GemLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn legalizes_hotspot_benchmark() {
         let mut bench = test_util::hotspot_small(62);
-        let outcome = GemLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            GemLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn respects_macros() {
         let mut bench = test_util::with_macros(63);
-        let outcome = GemLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            GemLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
@@ -233,7 +238,10 @@ mod tests {
             BinGrid::new(bench.die.outline(), bin),
         )
         .max_density();
-        assert!(after < before, "stretching did not spread: {before} -> {after}");
+        assert!(
+            after < before,
+            "stretching did not spread: {before} -> {after}"
+        );
     }
 
     #[test]

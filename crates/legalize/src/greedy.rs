@@ -59,7 +59,9 @@ impl Legalizer for GreedyLegalizer {
         order.sort_by(|&a, &b| {
             let pa = placement.get(a);
             let pb = placement.get(b);
-            pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y)).then(a.cmp(&b))
+            pa.x.total_cmp(&pb.x)
+                .then(pa.y.total_cmp(&pb.y))
+                .then(a.cmp(&b))
         });
 
         for cell in order {
@@ -119,21 +121,24 @@ mod tests {
     #[test]
     fn legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(31);
-        let outcome = GreedyLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            GreedyLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn legalizes_hotspot_benchmark() {
         let mut bench = test_util::hotspot_small(32);
-        let outcome = GreedyLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            GreedyLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn respects_macros() {
         let mut bench = test_util::with_macros(33);
-        let outcome = GreedyLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            GreedyLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
         // No cell overlaps any macro.
         let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 0);

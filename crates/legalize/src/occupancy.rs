@@ -113,10 +113,7 @@ impl RowOccupancy {
 
 /// Builds the usable segments of every row: the die span minus macro
 /// footprints.
-pub(crate) fn row_segments(
-    die: &Die,
-    macros: &[Rect],
-) -> Vec<Vec<(f64, f64)>> {
+pub(crate) fn row_segments(die: &Die, macros: &[Rect]) -> Vec<Vec<(f64, f64)>> {
     let mut out = Vec::with_capacity(die.num_rows());
     for row in die.rows() {
         let row_rect = Rect::new(row.llx, row.y, row.urx, row.y + die.row_height());
@@ -167,7 +164,7 @@ mod tests {
     fn nearest_fit_avoids_occupied() {
         let mut r = row();
         r.insert(40.0, 20.0); // occupies 40..60
-        // Asking for x=45: nearest valid left edge is 30 (ends at 40).
+                              // Asking for x=45: nearest valid left edge is 30 (ends at 40).
         let pos = r.nearest_fit(45.0, 10.0).expect("fits");
         assert_eq!(pos, 30.0);
         // Asking for x=58 prefers the right side (60).

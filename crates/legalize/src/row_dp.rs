@@ -128,7 +128,10 @@ impl Legalizer for RowDpLegalizer {
         // Bottom-up: keep what fits, push the rest one row up.
         for r in 0..n_rows {
             rows[r].sort_by(|a, b| a.1.total_cmp(&b.1));
-            let widths: Vec<f64> = rows[r].iter().map(|&(c, _)| netlist.cell(c).width).collect();
+            let widths: Vec<f64> = rows[r]
+                .iter()
+                .map(|&(c, _)| netlist.cell(c).width)
+                .collect();
             let kept = self.keep_set(&widths, capacities[r]);
             if r + 1 < n_rows {
                 let mut stay = Vec::with_capacity(rows[r].len());
@@ -241,21 +244,24 @@ mod tests {
     #[test]
     fn legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(71);
-        let outcome = RowDpLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            RowDpLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn legalizes_hotspot_benchmark() {
         let mut bench = test_util::hotspot_small(72);
-        let outcome = RowDpLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            RowDpLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn respects_macros() {
         let mut bench = test_util::with_macros(73);
-        let outcome = RowDpLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            RowDpLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 }

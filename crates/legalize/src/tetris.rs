@@ -51,7 +51,11 @@ struct RowFrontier {
 impl RowFrontier {
     fn new(segments: Vec<(f64, f64)>) -> Self {
         let x = segments.first().map(|&(s, _)| s).unwrap_or(0.0);
-        Self { segments, seg: 0, x }
+        Self {
+            segments,
+            seg: 0,
+            x,
+        }
     }
 
     /// Where a cell of width `w` would land, without committing.
@@ -111,7 +115,9 @@ impl Legalizer for TetrisLegalizer {
         order.sort_by(|&a, &b| {
             let pa = placement.get(a);
             let pb = placement.get(b);
-            pa.x.total_cmp(&pb.x).then(pa.y.total_cmp(&pb.y)).then(a.cmp(&b))
+            pa.x.total_cmp(&pb.x)
+                .then(pa.y.total_cmp(&pb.y))
+                .then(a.cmp(&b))
         });
 
         for cell in order {
@@ -143,21 +149,24 @@ mod tests {
     #[test]
     fn legalizes_inflated_benchmark() {
         let mut bench = test_util::inflated_small(41);
-        let outcome = TetrisLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            TetrisLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn legalizes_hotspot_benchmark() {
         let mut bench = test_util::hotspot_small(42);
-        let outcome = TetrisLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            TetrisLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 
     #[test]
     fn respects_macros() {
         let mut bench = test_util::with_macros(43);
-        let outcome = TetrisLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
+        let outcome =
+            TetrisLegalizer::new().legalize(&bench.netlist, &bench.die, &mut bench.placement);
         assert!(outcome.is_legal, "{outcome}");
     }
 

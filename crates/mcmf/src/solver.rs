@@ -161,7 +161,11 @@ impl FlowNetwork {
     /// - [`FlowError::NodeOutOfRange`] if `source` or `sink` is invalid.
     /// - [`FlowError::NegativeCycle`] if the network contains a
     ///   negative-cost cycle reachable from `source`.
-    pub fn min_cost_max_flow(&mut self, source: usize, sink: usize) -> Result<FlowResult, FlowError> {
+    pub fn min_cost_max_flow(
+        &mut self,
+        source: usize,
+        sink: usize,
+    ) -> Result<FlowResult, FlowError> {
         self.min_cost_flow_limited(source, sink, i64::MAX)
     }
 
@@ -186,10 +190,7 @@ impl FlowNetwork {
         // Negative costs can come from caller edges or from residual
         // reverse edges left by a previous solve on this network; either
         // way a Bellman–Ford pass re-seeds the potentials.
-        let residual_has_negative = self
-            .edges
-            .iter()
-            .any(|e| e.cap > 0 && e.cost < 0);
+        let residual_has_negative = self.edges.iter().any(|e| e.cap > 0 && e.cost < 0);
         let mut potential = vec![0i64; n];
         if residual_has_negative {
             potential = self.bellman_ford(source)?;
@@ -216,7 +217,10 @@ impl FlowNetwork {
                         continue;
                     }
                     let nd = d + e.cost + potential[u] - potential[e.to];
-                    debug_assert!(e.cost + potential[u] - potential[e.to] >= 0, "reduced cost negative");
+                    debug_assert!(
+                        e.cost + potential[u] - potential[e.to] >= 0,
+                        "reduced cost negative"
+                    );
                     if nd < dist[e.to] {
                         dist[e.to] = nd;
                         prev_edge[e.to] = ei;
@@ -353,7 +357,13 @@ mod tests {
         let mut net = FlowNetwork::new(2);
         let e = net.add_edge(0, 1, 7, 3);
         let r = net.min_cost_max_flow(0, 1).expect("solve");
-        assert_eq!(r, FlowResult { amount: 7, cost: 21 });
+        assert_eq!(
+            r,
+            FlowResult {
+                amount: 7,
+                cost: 21
+            }
+        );
         assert_eq!(net.edge_state(e).flow, 7);
     }
 

@@ -27,7 +27,10 @@ impl fmt::Display for BuildNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BuildNetlistError::MultipleDrivers { net, count } => {
-                write!(f, "net {net} has {count} driving pins, expected at most one")
+                write!(
+                    f,
+                    "net {net} has {count} driving pins, expected at most one"
+                )
             }
             BuildNetlistError::BadCellSize { cell } => {
                 write!(f, "cell {cell} has a non-positive width or height")
@@ -90,7 +93,13 @@ impl NetlistBuilder {
     }
 
     /// Adds a cell and returns its id.
-    pub fn add_cell(&mut self, name: impl Into<String>, width: f64, height: f64, kind: CellKind) -> CellId {
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        width: f64,
+        height: f64,
+        kind: CellKind,
+    ) -> CellId {
         let id = CellId::new(self.cells.len() as u32);
         self.cells.push(Cell {
             name: name.into(),

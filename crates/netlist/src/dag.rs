@@ -125,7 +125,11 @@ pub fn levelize(netlist: &Netlist) -> LevelizeResult {
         }
     }
 
-    LevelizeResult { order, level, cyclic }
+    LevelizeResult {
+        order,
+        level,
+        cyclic,
+    }
 }
 
 #[cfg(test)]
@@ -205,7 +209,9 @@ mod tests {
         // One driver feeding three sinks: all sinks at level 1.
         let mut b = NetlistBuilder::new();
         let d = b.add_cell("d", 1.0, 1.0, CellKind::Movable);
-        let sinks: Vec<CellId> = (0..3).map(|i| b.add_cell(format!("s{i}"), 1.0, 1.0, CellKind::Movable)).collect();
+        let sinks: Vec<CellId> = (0..3)
+            .map(|i| b.add_cell(format!("s{i}"), 1.0, 1.0, CellKind::Movable))
+            .collect();
         let n = b.add_net("n");
         b.connect(d, n, PinDir::Output, 0.0, 0.0);
         for &s in &sinks {

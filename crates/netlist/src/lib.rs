@@ -222,7 +222,11 @@ impl Netlist {
 
     /// Total area of movable cells.
     pub fn movable_area(&self) -> f64 {
-        self.cells.iter().filter(|c| c.kind.is_movable()).map(Cell::area).sum()
+        self.cells
+            .iter()
+            .filter(|c| c.kind.is_movable())
+            .map(Cell::area)
+            .sum()
     }
 
     /// Scales the width of `cell` by `factor`, mimicking gate repowering.
@@ -235,7 +239,10 @@ impl Netlist {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn inflate_cell_width(&mut self, cell: CellId, factor: f64) {
-        assert!(factor.is_finite() && factor > 0.0, "inflation factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "inflation factor must be positive"
+        );
         let c = &mut self.cells[cell.index()];
         c.width *= factor;
         for &p in &c.pins {

@@ -1,0 +1,473 @@
+#![warn(missing_docs)]
+
+//! Deterministic parallel-for runtime for the diffusion hot loops.
+//!
+//! The paper's kernels — FTCS density step (Eq. 4), velocity field
+//! (Eq. 5), cell advection (Eq. 7), density splatting — are all
+//! embarrassingly parallel over bins or cells. This crate is the one
+//! threading idiom the workspace uses for them: a scoped worker pool
+//! ([`ThreadPool`]) plus fixed-chunk helpers ([`parallel_for_chunks`],
+//! [`parallel_map_reduce`]) designed so that **results are bit-identical
+//! at every thread count**.
+//!
+//! # Determinism contract
+//!
+//! Floating-point addition is not associative, so naive parallel
+//! reductions give different results run-to-run. The helpers here avoid
+//! that by construction:
+//!
+//! 1. work is split into **fixed chunks** whose boundaries depend only on
+//!    the problem size (never on the thread count or scheduling);
+//! 2. each chunk is computed sequentially, by exactly one worker;
+//! 3. partial results are combined by a **fixed-shape tree reduction**
+//!    ([`tree_reduce`]) in chunk order.
+//!
+//! A pool with 1 thread executes the *same* chunked computation inline,
+//! so `ThreadPool::new(1)` and `ThreadPool::new(8)` produce bit-identical
+//! `f64` outputs — the property the diffusion engine's regression tests
+//! assert.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_par::{parallel_map_reduce, ThreadPool};
+//!
+//! let data: Vec<f64> = (0..10_000).map(|i| i as f64 * 0.1).collect();
+//! let sum_at = |threads: usize| {
+//!     let pool = ThreadPool::new(threads);
+//!     parallel_map_reduce(
+//!         &pool,
+//!         data.len(),
+//!         1024,
+//!         |r| data[r].iter().sum::<f64>(),
+//!         |a, b| a + b,
+//!     )
+//!     .unwrap_or(0.0)
+//! };
+//! // Bit-identical across thread counts.
+//! assert_eq!(sum_at(1).to_bits(), sum_at(4).to_bits());
+//! ```
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable scoped worker pool with a fixed thread count.
+///
+/// The pool is a plain value (cheap to clone and store in configs or
+/// engines); threads are spawned scoped per call, so no worker outlives a
+/// borrow and no `'static` bounds infect the closures. Workers pull chunk
+/// indices from a shared atomic counter — scheduling is dynamic, but
+/// because every chunk is computed independently and combined in fixed
+/// order, scheduling never affects results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool that uses up to `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial pool: everything runs inline on the calling thread.
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if that
+    /// cannot be determined).
+    pub fn max_hardware() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of worker threads this pool may use.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `task(0), task(1), …, task(n_tasks - 1)`, each exactly
+    /// once, distributed over the pool's workers.
+    ///
+    /// With one worker (or one task) everything runs inline in index
+    /// order. Panics in tasks propagate to the caller.
+    pub fn run_tasks<F>(&self, n_tasks: usize, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let workers = self.threads.min(n_tasks);
+        if workers <= 1 {
+            for i in 0..n_tasks {
+                task(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_tasks {
+                        break;
+                    }
+                    task(i);
+                });
+            }
+        });
+    }
+
+    /// Consumes `items`, calling `f(index, item)` for each, distributed
+    /// over the pool.
+    ///
+    /// The index is the item's position in the input vector, so callers
+    /// can derive fixed chunk offsets from it.
+    pub fn for_each_owned<I, F>(&self, items: Vec<I>, f: F)
+    where
+        I: Send,
+        F: Fn(usize, I) + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            for (i, item) in items.into_iter().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        self.run_tasks(slots.len(), |i| {
+            let item = slots[i]
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("task executed twice");
+            f(i, item);
+        });
+    }
+
+    /// Maps every item through `f`, returning results **in input order**
+    /// regardless of scheduling.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let out: Vec<Mutex<Option<T>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        self.for_each_owned(items, |i, item| {
+            *out[i].lock().expect("result slot poisoned") = Some(f(i, item));
+        });
+        out.into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("task produced no result")
+            })
+            .collect()
+    }
+}
+
+/// The fixed chunking of `len` elements into chunks of `chunk_len`
+/// (the last chunk may be short).
+///
+/// Chunk boundaries depend only on `(len, chunk_len)` — never on thread
+/// count — which is what makes every parallel result reproducible.
+///
+/// # Panics
+///
+/// Panics if `chunk_len` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_par::chunk_ranges;
+/// assert_eq!(chunk_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
+pub fn chunk_ranges(len: usize, chunk_len: usize) -> Vec<Range<usize>> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    (0..len.div_ceil(chunk_len))
+        .map(|i| i * chunk_len..((i + 1) * chunk_len).min(len))
+        .collect()
+}
+
+/// Runs `f(chunk_index, global_range, chunk)` over fixed chunks of a
+/// mutable slice, in parallel.
+///
+/// Each chunk is a disjoint `&mut` view, so workers never alias; writes
+/// are race-free by construction. `global_range` is the element range the
+/// chunk covers within `data`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_par::{parallel_for_chunks, ThreadPool};
+///
+/// let pool = ThreadPool::new(4);
+/// let mut v = vec![0usize; 1000];
+/// parallel_for_chunks(&pool, &mut v, 128, |_, range, chunk| {
+///     for (off, x) in chunk.iter_mut().enumerate() {
+///         *x = range.start + off;
+///     }
+/// });
+/// assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+/// ```
+pub fn parallel_for_chunks<T, F>(pool: &ThreadPool, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let len = data.len();
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    pool.for_each_owned(chunks, |_, (i, chunk)| {
+        let start = i * chunk_len;
+        let range = start..(start + chunk.len()).min(len);
+        f(i, range, chunk);
+    });
+}
+
+/// Like [`parallel_for_chunks`] but over two equal-length slices chunked
+/// identically — the shape of the velocity kernel (writes `vx` and `vy`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn parallel_for_chunks2<T, U, F>(
+    pool: &ThreadPool,
+    a: &mut [T],
+    b: &mut [U],
+    chunk_len: usize,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, Range<usize>, &mut [T], &mut [U]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    assert_eq!(a.len(), b.len(), "slices must chunk identically");
+    let len = a.len();
+    type ChunkPairs<'s, T, U> = Vec<(usize, (&'s mut [T], &'s mut [U]))>;
+    let chunks: ChunkPairs<'_, T, U> = a
+        .chunks_mut(chunk_len)
+        .zip(b.chunks_mut(chunk_len))
+        .enumerate()
+        .collect();
+    pool.for_each_owned(chunks, |_, (i, (ca, cb))| {
+        let start = i * chunk_len;
+        let range = start..(start + ca.len()).min(len);
+        f(i, range, ca, cb);
+    });
+}
+
+/// Maps fixed chunks of `0..len` through `map` in parallel and combines
+/// the per-chunk partials with a fixed-shape [`tree_reduce`].
+///
+/// Returns `None` when `len == 0`. The result is bit-identical at every
+/// thread count because both the chunk boundaries and the reduction tree
+/// depend only on `(len, chunk_len)`.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_par::{parallel_map_reduce, ThreadPool};
+///
+/// let pool = ThreadPool::new(2);
+/// let total = parallel_map_reduce(&pool, 100, 7, |r| r.len(), |a, b| a + b);
+/// assert_eq!(total, Some(100));
+/// ```
+pub fn parallel_map_reduce<T, M, R>(
+    pool: &ThreadPool,
+    len: usize,
+    chunk_len: usize,
+    map: M,
+    reduce: R,
+) -> Option<T>
+where
+    T: Send,
+    M: Fn(Range<usize>) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    let partials = pool.map(chunk_ranges(len, chunk_len), |_, r| map(r));
+    tree_reduce(partials, reduce)
+}
+
+/// Combines `items` pairwise — `(0,1), (2,3), …` — level by level until
+/// one value remains. The tree's shape depends only on `items.len()`, so
+/// the combination order (and therefore any floating-point result) is
+/// reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_par::tree_reduce;
+/// assert_eq!(tree_reduce(vec![1, 2, 3, 4, 5], |a, b| a + b), Some(15));
+/// assert_eq!(tree_reduce(Vec::<i32>::new(), |a, b| a + b), None);
+/// ```
+pub fn tree_reduce<T>(mut items: Vec<T>, mut reduce: impl FnMut(T, T) -> T) -> Option<T> {
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            next.push(match it.next() {
+                Some(b) => reduce(a, b),
+                None => a,
+            });
+        }
+        items = next;
+    }
+    items.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_tasks_executes_each_exactly_once() {
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_tasks(100, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map((0..257).collect(), |i, x: usize| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_thread_independent() {
+        // chunk_ranges takes no pool at all; pin the exact split.
+        assert_eq!(chunk_ranges(10, 3), vec![0..3, 3..6, 6..9, 9..10]);
+        assert_eq!(chunk_ranges(9, 3), vec![0..3, 3..6, 6..9]);
+        assert_eq!(chunk_ranges(1, 100), vec![0..1]);
+    }
+
+    #[test]
+    fn float_sum_bit_identical_across_thread_counts() {
+        // A sum that is NOT associative-friendly: wildly mixed magnitudes.
+        let data: Vec<f64> = (0..40_000)
+            .map(|i| {
+                let m = (i * 2654435761usize) % 1000;
+                (m as f64 - 500.0) * 10f64.powi((m % 17) as i32 - 8)
+            })
+            .collect();
+        let sum = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            parallel_map_reduce(
+                &pool,
+                data.len(),
+                1024,
+                |r| data[r].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .expect("non-empty")
+        };
+        let reference = sum(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                reference.to_bits(),
+                sum(threads).to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_chunks_covers_every_element_disjointly() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let mut v = vec![0u32; 1013];
+            parallel_for_chunks(&pool, &mut v, 97, |_, range, chunk| {
+                assert_eq!(range.len(), chunk.len());
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+            });
+            assert!(v.iter().all(|&x| x == 1), "some element missed or doubled");
+        }
+    }
+
+    #[test]
+    fn for_chunks2_zips_consistently() {
+        let pool = ThreadPool::new(4);
+        let mut a = vec![0usize; 500];
+        let mut b = vec![0usize; 500];
+        parallel_for_chunks2(&pool, &mut a, &mut b, 64, |ci, range, ca, cb| {
+            for (off, (x, y)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                *x = range.start + off;
+                *y = ci;
+            }
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| i == x));
+        assert!(b.iter().enumerate().all(|(i, &c)| c == i / 64));
+    }
+
+    #[test]
+    fn tree_reduce_shapes() {
+        assert_eq!(tree_reduce(vec![1], |a, b| a + b), Some(1));
+        assert_eq!(tree_reduce(vec![1, 2], |a, b| a + b), Some(3));
+        // Shape for 3 leaves: (0+1) then (+2).
+        let trace = std::cell::RefCell::new(Vec::new());
+        let r = tree_reduce(vec!["a".to_string(), "b".into(), "c".into()], |a, b| {
+            trace.borrow_mut().push(format!("{a}+{b}"));
+            format!("({a}{b})")
+        });
+        assert_eq!(r.as_deref(), Some("((ab)c)"));
+        assert_eq!(*trace.borrow(), vec!["a+b", "(ab)+c"]);
+    }
+
+    #[test]
+    fn pool_is_reusable_and_cloneable() {
+        let pool = ThreadPool::new(4);
+        let again = pool.clone();
+        let total = AtomicU64::new(0);
+        for _ in 0..3 {
+            pool.run_tasks(10, |i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        again.run_tasks(10, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 45 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = chunk_ranges(10, 0);
+    }
+}

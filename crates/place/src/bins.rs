@@ -70,7 +70,10 @@ impl BinGrid {
     /// Panics if `bin_size` is not positive or the region is degenerate.
     pub fn new(region: Rect, bin_size: f64) -> Self {
         assert!(bin_size > 0.0, "bin size must be positive");
-        assert!(region.width() > 0.0 && region.height() > 0.0, "region must have area");
+        assert!(
+            region.width() > 0.0 && region.height() > 0.0,
+            "region must have area"
+        );
         let nx = (region.width() / bin_size).ceil().max(1.0) as usize;
         let ny = (region.height() / bin_size).ceil().max(1.0) as usize;
         Self {
@@ -89,7 +92,10 @@ impl BinGrid {
     /// Panics if either count is zero or the region is degenerate.
     pub fn with_counts(region: Rect, nx: usize, ny: usize) -> Self {
         assert!(nx > 0 && ny > 0, "bin counts must be positive");
-        assert!(region.width() > 0.0 && region.height() > 0.0, "region must have area");
+        assert!(
+            region.width() > 0.0 && region.height() > 0.0,
+            "region must have area"
+        );
         Self {
             region,
             bin_w: region.width() / nx as f64,
@@ -154,7 +160,10 @@ impl BinGrid {
     /// Panics (in debug builds) if the index is out of range.
     #[inline]
     pub fn flat(&self, idx: BinIdx) -> usize {
-        debug_assert!(idx.j < self.nx && idx.k < self.ny, "bin {idx:?} out of range");
+        debug_assert!(
+            idx.j < self.nx && idx.k < self.ny,
+            "bin {idx:?} out of range"
+        );
         idx.k * self.nx + idx.j
     }
 
@@ -303,14 +312,20 @@ mod tests {
     #[test]
     fn overlap_range() {
         let g = grid();
-        let (lo, hi) = g.bins_overlapping(&Rect::new(15.0, 5.0, 45.0, 25.0)).expect("overlaps");
+        let (lo, hi) = g
+            .bins_overlapping(&Rect::new(15.0, 5.0, 45.0, 25.0))
+            .expect("overlaps");
         assert_eq!(lo, BinIdx::new(0, 0));
         assert_eq!(hi, BinIdx::new(2, 1));
         // Rect ending exactly on bin edge does not spill into next bin.
-        let (lo, hi) = g.bins_overlapping(&Rect::new(0.0, 0.0, 20.0, 20.0)).expect("overlaps");
+        let (lo, hi) = g
+            .bins_overlapping(&Rect::new(0.0, 0.0, 20.0, 20.0))
+            .expect("overlaps");
         assert_eq!(lo, BinIdx::new(0, 0));
         assert_eq!(hi, BinIdx::new(0, 0));
-        assert!(g.bins_overlapping(&Rect::new(200.0, 200.0, 300.0, 300.0)).is_none());
+        assert!(g
+            .bins_overlapping(&Rect::new(200.0, 200.0, 300.0, 300.0))
+            .is_none());
     }
 
     #[test]

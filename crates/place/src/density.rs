@@ -8,6 +8,14 @@
 
 use crate::{BinGrid, BinIdx, Placement};
 use dpm_netlist::{CellKind, Netlist};
+use dpm_par::{parallel_for_chunks, ThreadPool};
+
+/// Bin rows per parallel splat stripe. Fixed (independent of the thread
+/// count): each stripe of the density buffer is written by exactly one
+/// worker, and within a stripe cells contribute in netlist order — the
+/// same per-bin accumulation order as the serial pass, so results are
+/// bit-identical at any thread count.
+const STRIPE_ROWS: usize = 8;
 
 /// A snapshot of placement density over a [`BinGrid`].
 ///
@@ -51,23 +59,55 @@ impl DensityMap {
     /// threshold generalizes that to partial boundary bins). Pads occupy no
     /// area.
     pub fn from_placement(netlist: &Netlist, placement: &Placement, grid: BinGrid) -> Self {
+        Self::from_placement_with_pool(netlist, placement, grid, &ThreadPool::single())
+    }
+
+    /// Like [`from_placement`](Self::from_placement) but splats movable
+    /// cells in parallel on `pool`. Results are bit-identical to the
+    /// serial path at every thread count (see [`recompute_with_pool`]).
+    ///
+    /// [`recompute_with_pool`]: Self::recompute_with_pool
+    pub fn from_placement_with_pool(
+        netlist: &Netlist,
+        placement: &Placement,
+        grid: BinGrid,
+        pool: &ThreadPool,
+    ) -> Self {
         let mut map = Self {
             density: vec![0.0; grid.len()],
             fixed: vec![false; grid.len()],
             grid,
         };
-        map.recompute(netlist, placement);
+        map.recompute_with_pool(netlist, placement, pool);
         map
     }
 
     /// Recomputes densities in place from `placement` (the *dynamic density
     /// update* of paper Section VI-B), reusing the existing grid.
     pub fn recompute(&mut self, netlist: &Netlist, placement: &Placement) {
+        self.recompute_with_pool(netlist, placement, &ThreadPool::single());
+    }
+
+    /// Like [`recompute`](Self::recompute) but splats movable cells in
+    /// parallel on `pool`.
+    ///
+    /// The density buffer is partitioned into fixed stripes of bin rows;
+    /// each worker owns whole stripes and scans the cell list, adding only
+    /// the overlaps that land in its rows. Every bin therefore accumulates
+    /// its contributions in netlist order regardless of the thread count,
+    /// making the result bit-identical to the serial pass.
+    pub fn recompute_with_pool(
+        &mut self,
+        netlist: &Netlist,
+        placement: &Placement,
+        pool: &ThreadPool,
+    ) {
         self.density.iter_mut().for_each(|d| *d = 0.0);
         self.fixed.iter_mut().for_each(|f| *f = false);
         let bin_area = self.grid.bin_area();
 
         // Macros first: they pin bins at density 1 and mark them fixed.
+        // There are few macros; this pass stays serial.
         for cell in netlist.macro_ids() {
             let r = placement.cell_rect(netlist, cell);
             let Some((lo, hi)) = self.grid.bins_overlapping(&r) else {
@@ -89,26 +129,43 @@ impl DensityMap {
             }
         }
 
-        // Movable cells contribute area overlap.
-        for cell in netlist.cell_ids() {
-            if netlist.cell(cell).kind != CellKind::Movable {
-                continue;
-            }
-            let r = placement.cell_rect(netlist, cell);
-            let Some((lo, hi)) = self.grid.bins_overlapping(&r) else {
-                continue;
-            };
-            for k in lo.k..=hi.k {
-                for j in lo.j..=hi.j {
-                    let idx = BinIdx::new(j, k);
-                    let f = self.grid.flat(idx);
-                    // Area stacked on a macro bin is counted too, so the
-                    // overflow metrics see it and legalization must move
-                    // it off the blockage.
-                    self.density[f] += self.grid.bin_rect(idx).overlap_area(&r) / bin_area;
+        // Movable cells contribute area overlap. Pre-resolve each cell's
+        // rect and bin span once, then let each stripe owner splat the
+        // cells that touch its rows.
+        let cells: Vec<(dpm_geom::Rect, BinIdx, BinIdx)> = netlist
+            .cell_ids()
+            .filter(|&c| netlist.cell(c).kind == CellKind::Movable)
+            .filter_map(|c| {
+                let r = placement.cell_rect(netlist, c);
+                let (lo, hi) = self.grid.bins_overlapping(&r)?;
+                Some((r, lo, hi))
+            })
+            .collect();
+        let grid = &self.grid;
+        let nx = grid.nx();
+        parallel_for_chunks(
+            pool,
+            &mut self.density,
+            STRIPE_ROWS * nx,
+            |_, range, out| {
+                let k0 = range.start / nx;
+                let k1 = range.end / nx; // exclusive
+                for (r, lo, hi) in &cells {
+                    if hi.k < k0 || lo.k >= k1 {
+                        continue;
+                    }
+                    for k in lo.k.max(k0)..=hi.k.min(k1 - 1) {
+                        for j in lo.j..=hi.j {
+                            let idx = BinIdx::new(j, k);
+                            // Area stacked on a macro bin is counted too, so
+                            // the overflow metrics see it and legalization
+                            // must move it off the blockage.
+                            out[(k - k0) * nx + j] += grid.bin_rect(idx).overlap_area(r) / bin_area;
+                        }
+                    }
                 }
-            }
-        }
+            },
+        );
     }
 
     /// Incrementally updates the map for one movable cell that moved from
@@ -243,9 +300,20 @@ impl DensityMap {
     ///
     /// Fixed bins get the value 1.0.
     pub fn windowed_average(&self, w: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.windowed_average_into(w, &mut out);
+        out
+    }
+
+    /// [`windowed_average`](Self::windowed_average) into a caller-owned
+    /// buffer, so a loop that re-analyzes every round (local diffusion's
+    /// dynamic density update) allocates once instead of per call. The
+    /// buffer is resized to fit.
+    pub fn windowed_average_into(&self, w: usize, out: &mut Vec<f64>) {
         let nx = self.grid.nx();
         let ny = self.grid.ny();
-        let mut out = vec![0.0; self.density.len()];
+        out.clear();
+        out.resize(self.density.len(), 0.0);
         for k in 0..ny {
             for j in 0..nx {
                 let f = k * nx + j;
@@ -271,7 +339,32 @@ impl DensityMap {
                 out[f] = if n == 0 { 0.0 } else { sum / n as f64 };
             }
         }
-        out
+    }
+
+    /// Total and maximum local overflow computed from an already-built
+    /// windowed-average buffer (as produced by
+    /// [`windowed_average_into`](Self::windowed_average_into)), so callers
+    /// needing both metrics run the window scan once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `avg` does not cover the grid.
+    pub fn local_overflow_from(&self, avg: &[f64], d_max: f64) -> (f64, f64) {
+        assert_eq!(
+            avg.len(),
+            self.density.len(),
+            "windowed-average buffer length mismatch"
+        );
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        for (&d, &f) in avg.iter().zip(&self.fixed) {
+            if !f {
+                let over = (d - d_max).max(0.0);
+                total += over;
+                max = max.max(over);
+            }
+        }
+        (total, max)
     }
 
     /// Total *local* overflow: `Σ max(d' − d_max, 0)` with `d'` the
@@ -301,7 +394,7 @@ impl DensityMap {
 mod tests {
     use super::*;
     use dpm_geom::{Point, Rect};
-    use dpm_netlist::{NetlistBuilder};
+    use dpm_netlist::NetlistBuilder;
 
     fn one_cell_world(w: f64, h: f64, at: Point) -> (Netlist, Placement, BinGrid) {
         let mut b = NetlistBuilder::new();
@@ -344,7 +437,10 @@ mod tests {
         let d = DensityMap::from_placement(&nl, &p, grid);
         for k in 1..=2 {
             for j in 1..=2 {
-                assert!(d.is_fixed(BinIdx::new(j, k)), "bin ({j},{k}) should be fixed");
+                assert!(
+                    d.is_fixed(BinIdx::new(j, k)),
+                    "bin ({j},{k}) should be fixed"
+                );
                 assert_eq!(d.density(BinIdx::new(j, k)), 1.0);
             }
         }
@@ -410,6 +506,63 @@ mod tests {
         for (m, f) in map.densities().iter().zip(fresh.densities()) {
             assert!((m - f).abs() < 1e-12, "incremental {m} vs fresh {f}");
         }
+    }
+
+    #[test]
+    fn parallel_splat_is_bit_identical_to_serial() {
+        // ~3000 cells at ragged fractional positions on a 64x64-bin grid
+        // with two macros; every pool size must reproduce the serial
+        // density buffer exactly, bit for bit.
+        let mut b = NetlistBuilder::new();
+        let m1 = b.add_cell("m1", 85.0, 120.0, CellKind::FixedMacro);
+        let m2 = b.add_cell("m2", 60.0, 55.0, CellKind::FixedMacro);
+        for i in 0..3000 {
+            b.add_cell(
+                format!("c{i}"),
+                3.0 + (i % 7) as f64,
+                4.0 + (i % 5) as f64,
+                CellKind::Movable,
+            );
+        }
+        let nl = b.build().expect("valid");
+        let mut p = Placement::new(nl.num_cells());
+        p.set(m1, Point::new(300.0, 200.0));
+        p.set(m2, Point::new(100.0, 450.0));
+        for (i, c) in nl.movable_cell_ids().enumerate() {
+            let h = (i * 2654435761usize) % 1_000_000;
+            p.set(
+                c,
+                Point::new((h % 1000) as f64 * 0.62, (h / 1000) as f64 * 0.62),
+            );
+        }
+        let grid = BinGrid::new(Rect::new(0.0, 0.0, 640.0, 640.0), 10.0);
+        let reference = DensityMap::from_placement(&nl, &p, grid.clone());
+        for threads in [2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let par = DensityMap::from_placement_with_pool(&nl, &p, grid.clone(), &pool);
+            assert_eq!(
+                reference.densities(),
+                par.densities(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                reference.fixed_mask(),
+                par.fixed_mask(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_average_into_reuses_buffer() {
+        let (nl, p, grid) = one_cell_world(10.0, 10.0, Point::new(0.0, 0.0));
+        let d = DensityMap::from_placement(&nl, &p, grid);
+        let mut buf = vec![99.0; 3]; // wrong size on purpose
+        d.windowed_average_into(1, &mut buf);
+        assert_eq!(buf, d.windowed_average(1));
+        let (total, max) = d.local_overflow_from(&buf, 0.2);
+        assert!((total - d.total_local_overflow(1, 0.2)).abs() < 1e-12);
+        assert!((max - d.max_local_overflow(1, 0.2)).abs() < 1e-12);
     }
 
     #[test]

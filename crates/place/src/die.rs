@@ -70,7 +70,10 @@ impl Die {
     /// Panics if any dimension is non-positive or the die is shorter than
     /// one row.
     pub fn with_origin(llx: f64, lly: f64, width: f64, height: f64, row_height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "die dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "die dimensions must be positive"
+        );
         assert!(row_height > 0.0, "row height must be positive");
         let n_rows = (height / row_height).floor() as usize;
         assert!(n_rows >= 1, "die must fit at least one row");

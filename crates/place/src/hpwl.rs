@@ -49,7 +49,10 @@ pub fn net_hpwl(netlist: &Netlist, placement: &Placement, net: NetId) -> f64 {
 /// # Ok::<(), dpm_netlist::BuildNetlistError>(())
 /// ```
 pub fn hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
-    netlist.net_ids().map(|n| net_hpwl(netlist, placement, n)).sum()
+    netlist
+        .net_ids()
+        .map(|n| net_hpwl(netlist, placement, n))
+        .sum()
 }
 
 #[cfg(test)]
@@ -93,12 +96,17 @@ mod tests {
     fn hpwl_is_translation_invariant() {
         let (nl, _) = star(3);
         let mut p = Placement::new(nl.num_cells());
-        for (i, pos) in [(0, (0.0, 0.0)), (1, (5.0, 2.0)), (2, (1.0, 8.0)), (3, (4.0, 4.0))] {
+        for (i, pos) in [
+            (0, (0.0, 0.0)),
+            (1, (5.0, 2.0)),
+            (2, (1.0, 8.0)),
+            (3, (4.0, 4.0)),
+        ] {
             p.set(dpm_netlist::CellId::new(i), Point::new(pos.0, pos.1));
         }
         let w0 = hpwl(&nl, &p);
         for pt in p.as_mut_slice() {
-            *pt = *pt + (Point::new(100.0, -50.0) - Point::ORIGIN);
+            *pt += Point::new(100.0, -50.0) - Point::ORIGIN;
         }
         let w1 = hpwl(&nl, &p);
         assert!((w0 - w1).abs() < 1e-9);

@@ -50,7 +50,11 @@ impl fmt::Display for Violation {
             Violation::CellOverlap { a, b, area } => {
                 write!(f, "cells {a} and {b} overlap by area {area}")
             }
-            Violation::MacroOverlap { cell, macro_cell, area } => {
+            Violation::MacroOverlap {
+                cell,
+                macro_cell,
+                area,
+            } => {
                 write!(f, "cell {cell} overlaps macro {macro_cell} by area {area}")
             }
         }
@@ -121,7 +125,12 @@ pub(crate) const EPS: f64 = 1e-6;
 /// assert_eq!(report.violation_count, 1);
 /// # Ok::<(), dpm_netlist::BuildNetlistError>(())
 /// ```
-pub fn check_legality(netlist: &Netlist, die: &Die, placement: &Placement, max_reported: usize) -> LegalityReport {
+pub fn check_legality(
+    netlist: &Netlist,
+    die: &Die,
+    placement: &Placement,
+    max_reported: usize,
+) -> LegalityReport {
     let mut report = LegalityReport::default();
     let outline = die.outline();
 
@@ -155,6 +164,7 @@ pub fn check_legality(netlist: &Netlist, die: &Die, placement: &Placement, max_r
         // unaligned or multi-row-tall cells still get overlap-checked.
         let row_lo = die.row_of_y(r.lly + EPS);
         let row_hi = die.row_of_y(r.ury - EPS);
+        #[allow(clippy::needless_range_loop)]
         for row in row_lo..=row_hi {
             by_row[row].push((cell, r));
         }
@@ -173,7 +183,14 @@ pub fn check_legality(netlist: &Netlist, die: &Die, placement: &Placement, max_r
                 let area = ra.overlap_area(&rb);
                 if area > EPS && seen_pairs.insert((a.min(b), a.max(b))) {
                     report.total_overlap_area += area;
-                    push(&mut report, Violation::CellOverlap { a: a.min(b), b: a.max(b), area });
+                    push(
+                        &mut report,
+                        Violation::CellOverlap {
+                            a: a.min(b),
+                            b: a.max(b),
+                            area,
+                        },
+                    );
                 }
             }
         }
@@ -193,7 +210,14 @@ pub fn check_legality(netlist: &Netlist, die: &Die, placement: &Placement, max_r
             for &(m, mr) in &macros {
                 let area = r.overlap_area(&mr);
                 if area > EPS {
-                    push(&mut report, Violation::MacroOverlap { cell, macro_cell: m, area });
+                    push(
+                        &mut report,
+                        Violation::MacroOverlap {
+                            cell,
+                            macro_cell: m,
+                            area,
+                        },
+                    );
                 }
             }
         }
@@ -248,14 +272,20 @@ mod tests {
     fn misaligned_cell_flagged() {
         let (nl, die, p) = setup(&[(0.0, 3.0)]);
         let r = check_legality(&nl, &die, &p, 10);
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::NotRowAligned { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotRowAligned { .. })));
     }
 
     #[test]
     fn outside_die_flagged() {
         let (nl, die, p) = setup(&[(98.0, 0.0)]);
         let r = check_legality(&nl, &die, &p, 10);
-        assert!(r.violations.iter().any(|v| matches!(v, Violation::OutsideDie { .. })));
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutsideDie { .. })));
     }
 
     #[test]
@@ -286,7 +316,9 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let v = Violation::OutsideDie { cell: CellId::new(1) };
+        let v = Violation::OutsideDie {
+            cell: CellId::new(1),
+        };
         assert!(v.to_string().contains("outside"));
         let mut rep = LegalityReport::default();
         assert_eq!(rep.to_string(), "legal placement");

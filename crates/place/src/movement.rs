@@ -57,7 +57,11 @@ impl MovementStats {
     ///
     /// Panics if the placements have different lengths.
     pub fn between(netlist: &Netlist, before: &Placement, after: &Placement) -> Self {
-        assert_eq!(before.len(), after.len(), "placements must cover the same cells");
+        assert_eq!(
+            before.len(),
+            after.len(),
+            "placements must cover the same cells"
+        );
         let mut s = Self::default();
         for cell in netlist.movable_cell_ids() {
             s.movable += 1;

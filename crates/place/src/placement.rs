@@ -1,7 +1,7 @@
 //! Cell position assignment.
 
 use dpm_geom::{Point, Rect};
-use dpm_netlist::{CellId, Netlist, NetId, PinId};
+use dpm_netlist::{CellId, NetId, Netlist, PinId};
 
 /// An assignment of a lower-left corner to every cell of a netlist.
 ///
@@ -176,7 +176,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let p: Placement = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)].into_iter().collect();
+        let p: Placement = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]
+            .into_iter()
+            .collect();
         assert_eq!(p.len(), 2);
         assert_eq!(p.get(CellId::new(1)), Point::new(3.0, 4.0));
     }

@@ -66,6 +66,7 @@ impl CsrMatrix {
     pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "dimension mismatch");
         let mut y = vec![0.0; self.n];
+        #[allow(clippy::needless_range_loop)]
         for row in 0..self.n {
             let mut acc = 0.0;
             for i in self.row_starts[row]..self.row_starts[row + 1] {
@@ -94,6 +95,7 @@ impl CsrMatrix {
         }
         // Jacobi preconditioner: inverse diagonal.
         let mut inv_diag = vec![1.0; self.n];
+        #[allow(clippy::needless_range_loop)]
         for row in 0..self.n {
             for i in self.row_starts[row]..self.row_starts[row + 1] {
                 if self.cols[i] == row && self.values[i].abs() > 1e-300 {
@@ -146,7 +148,10 @@ impl CsrBuilder {
     ///
     /// Panics if the position is out of range.
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n && col < self.n, "entry ({row},{col}) out of range");
+        assert!(
+            row < self.n && col < self.n,
+            "entry ({row},{col}) out of range"
+        );
         self.triplets.push((row, col, value));
     }
 
@@ -184,13 +189,12 @@ impl CsrBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use dpm_rng::Rng;
 
     fn dense_solve(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
         // Gaussian elimination with partial pivoting, for cross-checks.
         let n = b.len();
-        let mut m: Vec<Vec<f64>> = a.iter().cloned().collect();
+        let mut m: Vec<Vec<f64>> = a.to_vec();
         let mut rhs = b.to_vec();
         for col in 0..n {
             let piv = (col..n)
@@ -201,6 +205,7 @@ mod tests {
             let d = m[col][col];
             for row in col + 1..n {
                 let f = m[row][col] / d;
+                #[allow(clippy::needless_range_loop)]
                 for k in col..n {
                     m[row][k] -= f * m[col][k];
                 }
@@ -219,7 +224,7 @@ mod tests {
     }
 
     /// Random SPD matrix: L·Lᵀ + n·I from a random lower-triangular L.
-    fn random_spd(n: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    fn random_spd(n: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
         let mut l = vec![vec![0.0; n]; n];
         for (i, row) in l.iter_mut().enumerate() {
             for item in row.iter_mut().take(i + 1) {
@@ -229,6 +234,7 @@ mod tests {
         let mut a = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in 0..n {
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..n {
                     a[i][j] += l[i][k] * l[j][k];
                 }
@@ -273,7 +279,7 @@ mod tests {
 
     #[test]
     fn cg_matches_gaussian_elimination_on_random_spd() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for n in [2usize, 5, 12, 25] {
             let a = random_spd(n, &mut rng);
             let b: Vec<f64> = (0..n).map(|_| rng.random_range(-5.0..5.0)).collect();

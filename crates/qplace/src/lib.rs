@@ -170,7 +170,12 @@ impl QuadraticPlacer {
     /// given in `fixed_positions`; movable cells are placed at the
     /// quadratic optimum of their *centers*, converted back to
     /// lower-left corners.
-    pub fn place_with_fixed(&self, netlist: &Netlist, die: &Die, fixed_positions: &Placement) -> Placement {
+    pub fn place_with_fixed(
+        &self,
+        netlist: &Netlist,
+        die: &Die,
+        fixed_positions: &Placement,
+    ) -> Placement {
         let n = self.movable.len();
         let center = die.outline().center();
         let mut placement = fixed_positions.clone();
@@ -230,7 +235,6 @@ impl QuadraticPlacer {
         }
         placement
     }
-
 }
 
 /// Convenience entry point: builds the placer, fixes pads/macros at
@@ -320,7 +324,10 @@ mod tests {
         // same league.
         let wc = hpwl(&bench.netlist, &pc);
         let ws = hpwl(&bench.netlist, &ps);
-        assert!((wc - ws).abs() < 0.5 * wc.max(ws), "clique {wc} vs star {ws}");
+        assert!(
+            (wc - ws).abs() < 0.5 * wc.max(ws),
+            "clique {wc} vs star {ws}"
+        );
     }
 
     #[test]
@@ -357,7 +364,11 @@ mod tests {
         let analytic = quadratic_place(&bench.netlist, &bench.die, &bench.placement);
         let grid = BinGrid::new(bench.die.outline(), 2.5 * bench.die.row_height());
         let d = DensityMap::from_placement(&bench.netlist, &analytic, grid);
-        assert!(d.max_density() > 2.0, "analytic solution should pile up: {}", d.max_density());
+        assert!(
+            d.max_density() > 2.0,
+            "analytic solution should pile up: {}",
+            d.max_density()
+        );
     }
 
     #[test]

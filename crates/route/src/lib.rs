@@ -126,9 +126,7 @@ impl GlobalRouter {
             if pins.len() < 2 {
                 continue;
             }
-            let source = netlist
-                .driver_of(net)
-                .unwrap_or(pins[0]);
+            let source = netlist.driver_of(net).unwrap_or(pins[0]);
             let from = grid.bin_of_point(placement.pin_position(netlist, source));
             for &p in pins {
                 if p == source {
@@ -203,7 +201,11 @@ impl State {
     /// steep penalty once usage approaches capacity (negotiated-style).
     fn cost(&self, usage: f64, cap: f64) -> f64 {
         let ratio = (usage + 1.0) / cap.max(1e-9);
-        1.0 + if ratio > 1.0 { 16.0 * (ratio - 1.0) } else { ratio * ratio }
+        1.0 + if ratio > 1.0 {
+            16.0 * (ratio - 1.0)
+        } else {
+            ratio * ratio
+        }
     }
 
     fn for_each_tile(c: Connection, p: Pattern, mut f: impl FnMut(usize, usize, bool)) {
@@ -329,7 +331,8 @@ impl State {
                 max_congestion = max_congestion
                     .max(self.h_usage[i] / self.h_cap.max(1e-9))
                     .max(self.v_usage[i] / self.v_cap.max(1e-9));
-                wirelength += self.h_usage[i] * grid.bin_width() + self.v_usage[i] * grid.bin_height();
+                wirelength +=
+                    self.h_usage[i] * grid.bin_width() + self.v_usage[i] * grid.bin_height();
             }
         }
         RoutingResult {
@@ -382,7 +385,11 @@ mod tests {
         // wirelength is within a tile of the HPWL.
         let tile = 3.0 * 12.0;
         let expect = (190.0f64 - 10.0) + (130.0 - 10.0);
-        assert!((r.wirelength - expect).abs() < 3.0 * tile, "wl {}", r.wirelength);
+        assert!(
+            (r.wirelength - expect).abs() < 3.0 * tile,
+            "wl {}",
+            r.wirelength
+        );
         assert_eq!(r.overflow, 0.0);
     }
 
@@ -442,7 +449,11 @@ mod tests {
     #[test]
     fn routes_generated_circuit_without_overflow_at_default_capacity() {
         let bench = CircuitSpec::small(5).generate();
-        let r = GlobalRouter::new(RouterConfig::default()).route(&bench.netlist, &bench.placement, &bench.die);
+        let r = GlobalRouter::new(RouterConfig::default()).route(
+            &bench.netlist,
+            &bench.placement,
+            &bench.die,
+        );
         assert!(r.routed_connections > 1000);
         assert!(r.max_congestion > 0.0);
         // Usage buffers cover the grid.
@@ -455,12 +466,19 @@ mod tests {
         // in a hot region must reduce real routed congestion.
         let mut bench = CircuitSpec::small(6).generate();
         bench.inflate(&dpm_gen::InflationSpec::center_width(0.1, 1.6));
-        let before = GlobalRouter::new(RouterConfig::default())
-            .route(&bench.netlist, &bench.placement, &bench.die);
+        let before = GlobalRouter::new(RouterConfig::default()).route(
+            &bench.netlist,
+            &bench.placement,
+            &bench.die,
+        );
         let mut placement = bench.placement.clone();
         use dpm_diffusion_shim::*;
         legalize(&bench, &mut placement);
-        let after = GlobalRouter::new(RouterConfig::default()).route(&bench.netlist, &placement, &bench.die);
+        let after = GlobalRouter::new(RouterConfig::default()).route(
+            &bench.netlist,
+            &placement,
+            &bench.die,
+        );
         // Congestion may shift, but peak must not explode.
         assert!(after.max_congestion <= before.max_congestion * 1.5 + 1.0);
     }

@@ -98,7 +98,9 @@ impl TimingAnalyzer {
         // Endpoints: cells that drive no net with sinks.
         let mut has_fanout = vec![false; netlist.num_cells()];
         for net in netlist.net_ids() {
-            let Some(d) = netlist.driver_of(net) else { continue };
+            let Some(d) = netlist.driver_of(net) else {
+                continue;
+            };
             let sinks = netlist
                 .net(net)
                 .pins
@@ -136,7 +138,12 @@ impl TimingAnalyzer {
     ///
     /// Endpoint slack is `clock_period − arrival`; WNS is the minimum
     /// slack, FOM the sum of negative slacks.
-    pub fn analyze(&self, netlist: &Netlist, placement: &Placement, clock_period: f64) -> TimingReport {
+    pub fn analyze(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        clock_period: f64,
+    ) -> TimingReport {
         let mut arrival = vec![f64::NAN; netlist.num_cells()];
         for &c in &self.order {
             let a = if arrival[c.index()].is_nan() {
@@ -218,15 +225,11 @@ impl TimingAnalyzer {
     /// worst endpoint.
     pub fn critical_path(&self, netlist: &Netlist, placement: &Placement) -> Vec<CellId> {
         let report = self.analyze(netlist, placement, 0.0);
-        let Some(&worst) = self
-            .endpoints
-            .iter()
-            .min_by(|&&a, &&b| {
-                let sa = -(report.arrival[a.index()] + netlist.cell(a).delay);
-                let sb = -(report.arrival[b.index()] + netlist.cell(b).delay);
-                sa.total_cmp(&sb)
-            })
-        else {
+        let Some(&worst) = self.endpoints.iter().min_by(|&&a, &&b| {
+            let sa = -(report.arrival[a.index()] + netlist.cell(a).delay);
+            let sb = -(report.arrival[b.index()] + netlist.cell(b).delay);
+            sa.total_cmp(&sb)
+        }) else {
             return Vec::new();
         };
 
@@ -240,7 +243,9 @@ impl TimingAnalyzer {
                 break;
             }
             for net in netlist.net_ids() {
-                let Some(d) = netlist.driver_of(net) else { continue };
+                let Some(d) = netlist.driver_of(net) else {
+                    continue;
+                };
                 let driver_pin = netlist.pin(d);
                 let driver = driver_pin.cell;
                 if driver == cur {
@@ -353,7 +358,12 @@ mod tests {
         let r = sta.analyze(&nl, &p, 2.0);
         assert_eq!(r.endpoints, 2);
         assert_eq!(r.failing_endpoints, 2);
-        assert!(r.fom < r.wns, "fom {} aggregates both failures (wns {})", r.fom, r.wns);
+        assert!(
+            r.fom < r.wns,
+            "fom {} aggregates both failures (wns {})",
+            r.fom,
+            r.wns
+        );
     }
 
     #[test]
@@ -445,7 +455,11 @@ mod tests {
             .enumerate()
             .map(|(i, &c)| c as f64 * (-r.wns - (i as f64 + 0.5) * width))
             .sum();
-        assert!((area - (-r.fom)).abs() < 2.0 * width, "area {area} vs fom {}", -r.fom);
+        assert!(
+            (area - (-r.fom)).abs() < 2.0 * width,
+            "area {area} vs fom {}",
+            -r.fom
+        );
     }
 
     #[test]

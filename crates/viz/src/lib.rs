@@ -65,10 +65,7 @@ impl SvgScene {
 
     fn tx(&self, p: Point) -> (f64, f64) {
         let s = self.scale();
-        (
-            (p.x - self.region.llx) * s,
-            (self.region.ury - p.y) * s,
-        )
+        ((p.x - self.region.llx) * s, (self.region.ury - p.y) * s)
     }
 
     /// Draws every cell: movable cells colored by their position (hue
@@ -202,7 +199,10 @@ impl SvgScene {
             out,
             r##"<defs><marker id="arr" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="5" markerHeight="5" orient="auto"><path d="M0,0 L10,5 L0,10 z" fill="#c0392b"/></marker></defs>"##
         );
-        let _ = writeln!(out, r##"<rect width="100%" height="100%" fill="#fdfdfd" stroke="#333"/>"##);
+        let _ = writeln!(
+            out,
+            r##"<rect width="100%" height="100%" fill="#fdfdfd" stroke="#333"/>"##
+        );
         out.push_str(&self.body);
         out.push_str("</svg>\n");
         out
@@ -250,7 +250,9 @@ mod tests {
         let bench = CircuitSpec::small(3).generate();
         let grid = BinGrid::new(bench.die.outline(), 3.0 * bench.die.row_height());
         let map = DensityMap::from_placement(&bench.netlist, &bench.placement, grid);
-        let svg = SvgScene::new(bench.die.outline()).with_density(&map, 1.0).render();
+        let svg = SvgScene::new(bench.die.outline())
+            .with_density(&map, 1.0)
+            .render();
         assert!(svg.contains("fill-opacity"));
     }
 

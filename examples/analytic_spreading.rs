@@ -39,7 +39,9 @@ fn main() {
         .windows(5)
         .map(|w| (w[0], w[4]))
         .filter(|&(a, b)| {
-            (analytic.cell_center(&bench.netlist, a).x - analytic.cell_center(&bench.netlist, b).x).abs() > 6.0
+            (analytic.cell_center(&bench.netlist, a).x - analytic.cell_center(&bench.netlist, b).x)
+                .abs()
+                > 6.0
         })
         .take(500)
         .collect();
@@ -47,7 +49,8 @@ fn main() {
         pairs
             .iter()
             .filter(|&&(a, b)| {
-                (analytic.cell_center(&bench.netlist, a).x < analytic.cell_center(&bench.netlist, b).x)
+                (analytic.cell_center(&bench.netlist, a).x
+                    < analytic.cell_center(&bench.netlist, b).x)
                     != (p.cell_center(&bench.netlist, a).x < p.cell_center(&bench.netlist, b).x)
             })
             .count()
@@ -59,12 +62,25 @@ fn main() {
         .with_bin_size(2.5 * bench.die.row_height())
         .with_delta(0.05);
     let r = GlobalDiffusion::new(cfg).run(&bench.netlist, &bench.die, &mut p_diff);
-    println!("diffusion spread the analytic solution in {} steps", r.steps);
-    run_legalizer(&DetailedLegalizer::new(), &bench.netlist, &bench.die, &mut p_diff);
+    println!(
+        "diffusion spread the analytic solution in {} steps",
+        r.steps
+    );
+    run_legalizer(
+        &DetailedLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_diff,
+    );
 
     // 2b. Baseline: Tetris-pack the analytic solution directly.
     let mut p_tetris = analytic.clone();
-    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    run_legalizer(
+        &TetrisLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_tetris,
+    );
 
     for (name, p) in [("diffusion", &p_diff), ("tetris", &p_tetris)] {
         let legal = check_legality(&bench.netlist, &bench.die, p, 0).is_legal();

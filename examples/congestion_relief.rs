@@ -39,8 +39,18 @@ fn main() {
     FieldMigration::new(cfg)
         .with_weight(0.8)
         .with_steps(40)
-        .run(&bench.netlist, &bench.die, &mut placement, rudy_before.demands());
-    run_legalizer(&DetailedLegalizer::new(), &bench.netlist, &bench.die, &mut placement);
+        .run(
+            &bench.netlist,
+            &bench.die,
+            &mut placement,
+            rudy_before.demands(),
+        );
+    run_legalizer(
+        &DetailedLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut placement,
+    );
 
     let rudy_after = CongestionMap::build(&bench.netlist, &placement, grid);
     let moves = MovementStats::between(&bench.netlist, &bench.placement, &placement);

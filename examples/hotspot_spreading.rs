@@ -13,7 +13,9 @@ use diffuplace::place::{BinGrid, DensityMap};
 use diffuplace::viz::SvgScene;
 
 fn main() {
-    let mut bench = CircuitSpec::with_size("hotspot", 1_500, 5).with_macros(2).generate();
+    let mut bench = CircuitSpec::with_size("hotspot", 1_500, 5)
+        .with_macros(2)
+        .generate();
     bench.inflate(&InflationSpec::centered(0.18, 0.25, 6));
 
     let cfg = DiffusionConfig::default()
@@ -36,8 +38,14 @@ fn main() {
         .netlist
         .movable_cell_ids()
         .min_by(|&a, &b| {
-            let da = bench.placement.cell_center(&bench.netlist, a).distance(center);
-            let db = bench.placement.cell_center(&bench.netlist, b).distance(center);
+            let da = bench
+                .placement
+                .cell_center(&bench.netlist, a)
+                .distance(center);
+            let db = bench
+                .placement
+                .cell_center(&bench.netlist, b)
+                .distance(center);
             da.total_cmp(&db)
         })
         .expect("cells exist");
@@ -51,7 +59,11 @@ fn main() {
         total_steps += r.steps;
         trajectory.push(placement.cell_center(&bench.netlist, traced));
         if r.converged {
-            println!("converged after {} steps ({} chunks)", total_steps, chunk + 1);
+            println!(
+                "converged after {} steps ({} chunks)",
+                total_steps,
+                chunk + 1
+            );
             break;
         }
     }
@@ -63,7 +75,10 @@ fn main() {
         } else {
             (*p - trajectory[i - 1]).length()
         };
-        println!("  chunk {i:>2}: ({:>7.2}, {:>7.2})  moved {step:>6.2}", p.x, p.y);
+        println!(
+            "  chunk {i:>2}: ({:>7.2}, {:>7.2})  moved {step:>6.2}",
+            p.x, p.y
+        );
     }
 
     let after = DensityMap::from_placement(&bench.netlist, &placement, grid);

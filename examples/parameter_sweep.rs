@@ -19,7 +19,10 @@ fn main() {
     bench.inflate(&InflationSpec::centered(0.15, 0.3, 22));
     let row_height = bench.die.row_height();
 
-    println!("{:<28} {:>9} {:>11} {:>9}", "configuration", "movement", "TWL", "CPU(ms)");
+    println!(
+        "{:<28} {:>9} {:>11} {:>9}",
+        "configuration", "movement", "TWL", "CPU(ms)"
+    );
 
     // Bin size (paper Fig. 11: sweet spot 2-4 row heights).
     for rows in [1.0, 2.0, 2.5, 4.0, 8.0] {

@@ -21,7 +21,12 @@ fn main() {
 
     // Power model: wider cells burn more; one cluster is a hot block
     // (imagine a multiplier array) with 8x the power density.
-    let hot_cells: Vec<_> = bench.netlist.movable_cell_ids().skip(400).take(120).collect();
+    let hot_cells: Vec<_> = bench
+        .netlist
+        .movable_cell_ids()
+        .skip(400)
+        .take(120)
+        .collect();
     let power_map = |placement: &Placement| -> Vec<f64> {
         let mut power = vec![0.0; grid.len()];
         for c in bench.netlist.movable_cell_ids() {
@@ -52,7 +57,12 @@ fn main() {
         .with_weight(1.2)
         .with_steps(40)
         .run(&bench.netlist, &bench.die, &mut placement, &t_before);
-    run_legalizer(&DetailedLegalizer::new(), &bench.netlist, &bench.die, &mut placement);
+    run_legalizer(
+        &DetailedLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut placement,
+    );
 
     let t_after = power_map(&placement);
     let peak_after = t_after.iter().cloned().fold(0.0f64, f64::max);

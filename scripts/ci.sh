@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Hermetic CI gate: formatting, lints, build and tests, all offline.
+#
+# The workspace has zero registry dependencies by design — everything
+# resolves from path crates — so `--offline` must always succeed. Any
+# registry access here is a regression.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --release --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline --workspace
+
+echo "==> cargo test"
+cargo test -q --release --offline --workspace
+
+echo "CI green."

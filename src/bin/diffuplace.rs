@@ -25,7 +25,9 @@ fn main() -> ExitCode {
         Some("export-demo") => cmd_export_demo(&args[1..]),
         _ => {
             eprintln!("usage: diffuplace <legalize|check|export-demo> ...");
-            eprintln!("  legalize <design.aux> [--legalizer NAME] [--out FILE.pl] [--svg FILE.svg]");
+            eprintln!(
+                "  legalize <design.aux> [--legalizer NAME] [--out FILE.pl] [--svg FILE.svg]"
+            );
             eprintln!("  check <design.aux>");
             eprintln!("  export-demo <dir>");
             ExitCode::from(2)
@@ -34,7 +36,8 @@ fn main() -> ExitCode {
 }
 
 fn load(aux_path: &Path) -> Result<LoadedDesign, String> {
-    let aux = std::fs::read_to_string(aux_path).map_err(|e| format!("cannot read {}: {e}", aux_path.display()))?;
+    let aux = std::fs::read_to_string(aux_path)
+        .map_err(|e| format!("cannot read {}: {e}", aux_path.display()))?;
     let files = parse_aux(&aux).map_err(|e| e.to_string())?;
     let dir = aux_path.parent().unwrap_or(Path::new("."));
     let find = |ext: &str| -> Result<String, String> {
@@ -44,7 +47,13 @@ fn load(aux_path: &Path) -> Result<LoadedDesign, String> {
             .ok_or_else(|| format!("aux file lists no {ext}"))?;
         std::fs::read_to_string(dir.join(name)).map_err(|e| format!("cannot read {name}: {e}"))
     };
-    load_design(&find(".nodes")?, &find(".nets")?, &find(".pl")?, &find(".scl")?).map_err(|e| e.to_string())
+    load_design(
+        &find(".nodes")?,
+        &find(".nets")?,
+        &find(".pl")?,
+        &find(".scl")?,
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn pick_legalizer(name: &str) -> Option<Box<dyn Legalizer>> {
@@ -61,7 +70,10 @@ fn pick_legalizer(name: &str) -> Option<Box<dyn Legalizer>> {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn cmd_legalize(args: &[String]) -> ExitCode {
@@ -93,7 +105,12 @@ fn cmd_legalize(args: &[String]) -> ExitCode {
     );
 
     let mut placement = design.placement.clone();
-    let outcome = run_legalizer(legalizer.as_ref(), &design.netlist, &design.die, &mut placement);
+    let outcome = run_legalizer(
+        legalizer.as_ref(),
+        &design.netlist,
+        &design.die,
+        &mut placement,
+    );
     let moves = MovementStats::between(&design.netlist, &design.placement, &placement);
     let after_twl = hpwl(&design.netlist, &placement);
     println!(
@@ -120,7 +137,12 @@ fn cmd_legalize(args: &[String]) -> ExitCode {
     if let Some(svg_path) = flag(args, "--svg") {
         let svg = SvgScene::new(design.die.outline())
             .with_placement(&design.netlist, &placement)
-            .with_movements(&design.netlist, &design.placement, &placement, design.die.row_height())
+            .with_movements(
+                &design.netlist,
+                &design.placement,
+                &placement,
+                design.die.row_height(),
+            )
             .render();
         if let Err(e) = std::fs::write(&svg_path, svg) {
             eprintln!("cannot write {svg_path}: {e}");
@@ -168,7 +190,10 @@ fn cmd_export_demo(args: &[String]) -> ExitCode {
     let design = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
     match design.save_to(&dir, "demo") {
         Ok(()) => {
-            println!("wrote {}/demo.aux (+ nodes/nets/pl/scl) — 1000 cells, 10% inflated", dir.display());
+            println!(
+                "wrote {}/demo.aux (+ nodes/nets/pl/scl) — 1000 cells, 10% inflated",
+                dir.display()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -22,6 +22,9 @@
 //! - [`congestion`] — RUDY-style routing-demand estimation
 //! - [`gen`] — synthetic benchmark circuits and inflation workloads
 //! - [`viz`] — SVG rendering of placements and migration vectors
+//! - [`par`] — deterministic fixed-chunk worker pool behind every
+//!   parallel kernel (bit-identical results at any thread count)
+//! - [`rng`] — the tiny SplitMix64 generator used by [`gen`] and tests
 //!
 //! # Quickstart
 //!
@@ -54,8 +57,10 @@ pub use dpm_geom as geom;
 pub use dpm_legalize as legalize;
 pub use dpm_mcmf as mcmf;
 pub use dpm_netlist as netlist;
+pub use dpm_par as par;
 pub use dpm_place as place;
 pub use dpm_qplace as qplace;
+pub use dpm_rng as rng;
 pub use dpm_route as route;
 pub use dpm_sta as sta;
 pub use dpm_viz as viz;

@@ -23,7 +23,9 @@ fn flow() -> Flow {
         .windows(5)
         .map(|w| (w[0], w[4]))
         .filter(|&(a, b)| {
-            (analytic.cell_center(&bench.netlist, a).x - analytic.cell_center(&bench.netlist, b).x).abs() > 6.0
+            (analytic.cell_center(&bench.netlist, a).x - analytic.cell_center(&bench.netlist, b).x)
+                .abs()
+                > 6.0
         })
         .take(400)
         .collect();
@@ -38,7 +40,8 @@ fn violations(f: &Flow, p: &Placement) -> usize {
     f.pairs
         .iter()
         .filter(|&&(a, b)| {
-            (f.analytic.cell_center(&f.bench.netlist, a).x < f.analytic.cell_center(&f.bench.netlist, b).x)
+            (f.analytic.cell_center(&f.bench.netlist, a).x
+                < f.analytic.cell_center(&f.bench.netlist, b).x)
                 != (p.cell_center(&f.bench.netlist, a).x < p.cell_center(&f.bench.netlist, b).x)
         })
         .count()
@@ -50,7 +53,12 @@ fn spread_with_diffusion(f: &Flow) -> Placement {
         .with_bin_size(2.5 * f.bench.die.row_height())
         .with_delta(0.05);
     GlobalDiffusion::new(cfg).run(&f.bench.netlist, &f.bench.die, &mut p);
-    run_legalizer(&DetailedLegalizer::new(), &f.bench.netlist, &f.bench.die, &mut p);
+    run_legalizer(
+        &DetailedLegalizer::new(),
+        &f.bench.netlist,
+        &f.bench.die,
+        &mut p,
+    );
     p
 }
 
@@ -68,7 +76,12 @@ fn diffusion_preserves_analytic_order_better_than_packing() {
     let p_diff = spread_with_diffusion(&f);
 
     let mut p_tetris = f.analytic.clone();
-    run_legalizer(&TetrisLegalizer::new(), &f.bench.netlist, &f.bench.die, &mut p_tetris);
+    run_legalizer(
+        &TetrisLegalizer::new(),
+        &f.bench.netlist,
+        &f.bench.die,
+        &mut p_tetris,
+    );
 
     let v_diff = violations(&f, &p_diff);
     let v_tetris = violations(&f, &p_tetris);

@@ -1,17 +1,24 @@
-//! Property-based tests of the density-map machinery the diffusion
-//! engine consumes.
+//! Randomized tests of the density-map machinery the diffusion engine
+//! consumes, driven by the deterministic [`diffuplace::rng::Rng`].
 
 use diffuplace::geom::{Point, Rect};
 use diffuplace::netlist::{CellKind, Netlist, NetlistBuilder};
 use diffuplace::place::{BinGrid, DensityMap, Placement};
-use proptest::prelude::*;
+use diffuplace::rng::Rng;
 
 /// Random set of cells inside a 100×100 region.
-fn arb_cells() -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
-    proptest::collection::vec(
-        (0.0..88.0f64, 0.0..88.0f64, 2.0..12.0f64, 2.0..12.0f64),
-        1..40,
-    )
+fn random_cells(rng: &mut Rng) -> Vec<(f64, f64, f64, f64)> {
+    let n = rng.random_range(1usize..40);
+    (0..n)
+        .map(|_| {
+            (
+                rng.random_range(0.0..88.0),
+                rng.random_range(0.0..88.0),
+                rng.random_range(2.0..12.0),
+                rng.random_range(2.0..12.0),
+            )
+        })
+        .collect()
 }
 
 fn build(cells: &[(f64, f64, f64, f64)]) -> (Netlist, Placement) {
@@ -27,34 +34,39 @@ fn build(cells: &[(f64, f64, f64, f64)]) -> (Netlist, Placement) {
     (nl, p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Mass accounting: total density × bin area equals the total cell
-    /// area inside the region, for any placement (overlapping or not).
-    #[test]
-    fn density_conserves_area(cells in arb_cells()) {
+/// Mass accounting: total density × bin area equals the total cell area
+/// inside the region, for any placement (overlapping or not).
+#[test]
+fn density_conserves_area() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xD1 ^ case);
+        let cells = random_cells(&mut rng);
         let (nl, p) = build(&cells);
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
         let d = DensityMap::from_placement(&nl, &p, grid.clone());
         let total_density: f64 = d.densities().iter().sum::<f64>() * grid.bin_area();
         let total_area: f64 = cells.iter().map(|&(_, _, w, h)| w * h).sum();
-        prop_assert!(
+        assert!(
             (total_density - total_area).abs() < 1e-6 * total_area.max(1.0),
-            "density mass {total_density} vs cell area {total_area}"
+            "case {case}: density mass {total_density} vs cell area {total_area}"
         );
     }
+}
 
-    /// The windowed average lies between the neighborhood's min and max
-    /// raw densities, and window 0 is the identity.
-    #[test]
-    fn windowed_average_bounds(cells in arb_cells(), w in 0usize..4) {
+/// The windowed average lies between the neighborhood's min and max raw
+/// densities, and window 0 is the identity.
+#[test]
+fn windowed_average_bounds() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xD2 ^ case);
+        let cells = random_cells(&mut rng);
+        let w = rng.random_range(0usize..4);
         let (nl, p) = build(&cells);
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
         let d = DensityMap::from_placement(&nl, &p, grid.clone());
         let avg = d.windowed_average(w);
         if w == 0 {
-            prop_assert_eq!(avg.as_slice(), d.densities());
+            assert_eq!(avg.as_slice(), d.densities());
         }
         let nx = grid.nx();
         for (i, &a) in avg.iter().enumerate() {
@@ -68,21 +80,29 @@ proptest! {
                     hi = hi.max(v);
                 }
             }
-            prop_assert!(a >= lo - 1e-9 && a <= hi + 1e-9, "avg {a} outside [{lo}, {hi}]");
+            assert!(
+                a >= lo - 1e-9 && a <= hi + 1e-9,
+                "case {case}: avg {a} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    /// Incremental move_cell equals a fresh recompute for any sequence
-    /// of moves.
-    #[test]
-    fn incremental_updates_match_recompute(
-        cells in arb_cells(),
-        moves in proptest::collection::vec((0usize..40, 0.0..88.0f64, 0.0..88.0f64), 1..10),
-    ) {
+/// Incremental move_cell equals a fresh recompute for any sequence of
+/// moves.
+#[test]
+fn incremental_updates_match_recompute() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xD3 ^ case);
+        let cells = random_cells(&mut rng);
+        let n_moves = rng.random_range(1usize..10);
         let (nl, mut p) = build(&cells);
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
         let mut map = DensityMap::from_placement(&nl, &p, grid.clone());
-        for &(raw, x, y) in &moves {
+        for _ in 0..n_moves {
+            let raw = rng.random_range(0usize..40);
+            let x = rng.random_range(0.0..88.0);
+            let y = rng.random_range(0.0..88.0);
             let cell = diffuplace::netlist::CellId::new((raw % cells.len()) as u32);
             let old = p.cell_rect(&nl, cell);
             p.set(cell, Point::new(x, y));
@@ -90,23 +110,30 @@ proptest! {
         }
         let fresh = DensityMap::from_placement(&nl, &p, grid);
         for (a, b) in map.densities().iter().zip(fresh.densities()) {
-            prop_assert!((a - b).abs() < 1e-9, "incremental {a} vs fresh {b}");
+            assert!(
+                (a - b).abs() < 1e-9,
+                "case {case}: incremental {a} vs fresh {b}"
+            );
         }
     }
+}
 
-    /// Overflow metrics: total overflow is monotone non-increasing in
-    /// d_max, and zero once d_max exceeds the peak.
-    #[test]
-    fn overflow_monotone_in_target(cells in arb_cells()) {
+/// Overflow metrics: total overflow is monotone non-increasing in d_max,
+/// and zero once d_max exceeds the peak.
+#[test]
+fn overflow_monotone_in_target() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0xD4 ^ case);
+        let cells = random_cells(&mut rng);
         let (nl, p) = build(&cells);
         let grid = BinGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 10.0);
         let d = DensityMap::from_placement(&nl, &p, grid);
         let mut prev = f64::INFINITY;
         for dmax in [0.25, 0.5, 1.0, 2.0, 4.0] {
             let o = d.total_overflow(dmax);
-            prop_assert!(o <= prev + 1e-12);
+            assert!(o <= prev + 1e-12, "case {case}");
             prev = o;
         }
-        prop_assert_eq!(d.total_overflow(d.max_density() + 1e-9), 0.0);
+        assert_eq!(d.total_overflow(d.max_density() + 1e-9), 0.0, "case {case}");
     }
 }

@@ -1,20 +1,23 @@
-//! Property-based tests of the diffusion engine's invariants.
+//! Randomized tests of the diffusion engine's invariants, driven by the
+//! deterministic [`diffuplace::rng::Rng`].
 
 use diffuplace::diffusion::{manipulate_density, DiffusionEngine};
-use proptest::prelude::*;
+use diffuplace::rng::Rng;
 
-/// Random density field strategy: values in [0, 4] on an n×n grid.
-fn arb_field(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0..4.0f64, n * n)
+/// Random density field: values in [0, 4] on an n×n grid.
+fn random_field(rng: &mut Rng, n: usize) -> Vec<f64> {
+    (0..n * n).map(|_| rng.random_range(0.0..4.0)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// FTCS with conservative boundaries conserves total density exactly
-    /// for any field and any stable time step.
-    #[test]
-    fn conservative_mass_invariant(field in arb_field(8), dt in 0.01..0.5f64, steps in 1usize..50) {
+/// FTCS with conservative boundaries conserves total density exactly for
+/// any field and any stable time step.
+#[test]
+fn conservative_mass_invariant() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xF1 ^ case);
+        let field = random_field(&mut rng, 8);
+        let dt = rng.random_range(0.01..0.5);
+        let steps = rng.random_range(1usize..50);
         let mut e = DiffusionEngine::from_raw(8, 8, field, None);
         e.set_conservative_boundaries(true);
         let m0 = e.total_live_density();
@@ -22,13 +25,22 @@ proptest! {
             e.step_density(dt);
         }
         let m1 = e.total_live_density();
-        prop_assert!((m0 - m1).abs() < 1e-9 * m0.max(1.0), "mass {m0} -> {m1}");
+        assert!(
+            (m0 - m1).abs() < 1e-9 * m0.max(1.0),
+            "case {case}: mass {m0} -> {m1}"
+        );
     }
+}
 
-    /// Density never goes negative and never exceeds the initial maximum
-    /// (discrete maximum principle) under either boundary rule.
-    #[test]
-    fn maximum_principle(field in arb_field(8), paper in any::<bool>(), steps in 1usize..100) {
+/// Density never goes negative and never exceeds the initial maximum
+/// (discrete maximum principle) under either boundary rule.
+#[test]
+fn maximum_principle() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xF2 ^ case);
+        let field = random_field(&mut rng, 8);
+        let paper = rng.random_bool(0.5);
+        let steps = rng.random_range(1usize..100);
         let hi0 = field.iter().cloned().fold(0.0f64, f64::max);
         let mut e = DiffusionEngine::from_raw(8, 8, field, None);
         e.set_conservative_boundaries(!paper);
@@ -36,14 +48,21 @@ proptest! {
             e.step_density(0.2);
         }
         for &d in e.densities() {
-            prop_assert!(d >= -1e-9, "negative density {d}");
-            prop_assert!(d <= hi0 + 1e-9, "density {d} above initial max {hi0}");
+            assert!(d >= -1e-9, "case {case}: negative density {d}");
+            assert!(
+                d <= hi0 + 1e-9,
+                "case {case}: density {d} above initial max {hi0}"
+            );
         }
     }
+}
 
-    /// The field variance is non-increasing: diffusion smooths.
-    #[test]
-    fn smoothing_invariant(field in arb_field(8)) {
+/// The field variance is non-increasing: diffusion smooths.
+#[test]
+fn smoothing_invariant() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xF3 ^ case);
+        let field = random_field(&mut rng, 8);
         let variance = |d: &[f64]| {
             let mean = d.iter().sum::<f64>() / d.len() as f64;
             d.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
@@ -54,16 +73,23 @@ proptest! {
         for _ in 0..30 {
             e.step_density(0.2);
             let v = variance(e.densities());
-            prop_assert!(v <= prev + 1e-9, "variance rose: {prev} -> {v}");
+            assert!(
+                v <= prev + 1e-9,
+                "case {case}: variance rose: {prev} -> {v}"
+            );
             prev = v;
         }
     }
+}
 
-    /// Velocities always point down the density gradient: for any field,
-    /// the velocity x-component at a bin has the opposite sign of the
-    /// east-west density difference.
-    #[test]
-    fn velocity_points_downhill(field in arb_field(8)) {
+/// Velocities always point down the density gradient: for any field, the
+/// velocity x-component at a bin has the opposite sign of the east-west
+/// density difference.
+#[test]
+fn velocity_points_downhill() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xF4 ^ case);
+        let field = random_field(&mut rng, 8);
         let mut e = DiffusionEngine::from_raw(8, 8, field, None);
         e.compute_velocities();
         for k in 1..7 {
@@ -73,56 +99,82 @@ proptest! {
                 }
                 let grad = e.density(j + 1, k) - e.density(j - 1, k);
                 let v = e.bin_velocity(j, k).x;
-                prop_assert!(grad * v <= 1e-12, "uphill velocity at ({j},{k}): grad {grad}, v {v}");
+                assert!(
+                    grad * v <= 1e-12,
+                    "case {case}: uphill velocity at ({j},{k}): grad {grad}, v {v}"
+                );
             }
         }
     }
+}
 
-    /// Density manipulation (Eq. 8) makes the live average exactly d_max
-    /// whenever there is both overflow and free space, and never touches
-    /// overfull bins.
-    #[test]
-    fn manipulation_average_invariant(mut field in arb_field(6), d_max in 0.5..2.0f64) {
+/// Density manipulation (Eq. 8) makes the live average exactly d_max
+/// whenever there is both overflow and free space, and never touches
+/// overfull bins.
+#[test]
+fn manipulation_average_invariant() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xF5 ^ case);
+        let mut field = random_field(&mut rng, 6);
+        let d_max = rng.random_range(0.5..2.0);
         let orig = field.clone();
         let (ao, a_s) = manipulate_density(&mut field, None, d_max);
         if ao > 0.0 && ao < a_s {
             let avg = field.iter().sum::<f64>() / field.len() as f64;
-            prop_assert!((avg - d_max).abs() < 1e-9, "avg {avg} != d_max {d_max}");
+            assert!(
+                (avg - d_max).abs() < 1e-9,
+                "case {case}: avg {avg} != d_max {d_max}"
+            );
         } else {
             // Infeasible or overflow-free inputs are left untouched.
-            prop_assert_eq!(&field, &orig);
+            assert_eq!(&field, &orig, "case {case}");
         }
         for (before, after) in orig.iter().zip(&field) {
             if *before >= d_max {
-                prop_assert_eq!(*before, *after, "overfull bin modified");
+                assert_eq!(*before, *after, "case {case}: overfull bin modified");
             } else {
-                prop_assert!(*after >= *before - 1e-12, "under-full bin lowered");
-                prop_assert!(*after <= d_max + 1e-12, "lifted above d_max");
+                assert!(
+                    *after >= *before - 1e-12,
+                    "case {case}: under-full bin lowered"
+                );
+                assert!(*after <= d_max + 1e-12, "case {case}: lifted above d_max");
             }
         }
     }
+}
 
-    /// Interpolated velocities are bounded component-wise by the extrema
-    /// of the four corner velocities (bilinear convexity).
-    #[test]
-    fn interpolation_is_convex(
-        vx in proptest::collection::vec(-2.0..2.0f64, 4),
-        vy in proptest::collection::vec(-2.0..2.0f64, 4),
-        alpha in 0.0..1.0f64,
-        beta in 0.0..1.0f64,
-    ) {
-        use diffuplace::geom::Vector;
+/// Interpolated velocities are bounded component-wise by the extrema of
+/// the four corner velocities (bilinear convexity).
+#[test]
+fn interpolation_is_convex() {
+    use diffuplace::geom::Vector;
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xF6 ^ case);
+        let vx: Vec<f64> = (0..4).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let vy: Vec<f64> = (0..4).map(|_| rng.random_range(-2.0..2.0)).collect();
+        let alpha = rng.random_range(0.0..1.0);
+        let beta = rng.random_range(0.0..1.0);
         let corners: Vec<Vector> = (0..4).map(|i| Vector::new(vx[i], vy[i])).collect();
-        let v = diffuplace::diffusion::interpolate_velocity(corners[0], corners[1], corners[2], corners[3], alpha, beta);
-        let (lo_x, hi_x) = vx.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| (l.min(x), h.max(x)));
-        let (lo_y, hi_y) = vy.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| (l.min(y), h.max(y)));
-        prop_assert!(v.x >= lo_x - 1e-12 && v.x <= hi_x + 1e-12);
-        prop_assert!(v.y >= lo_y - 1e-12 && v.y <= hi_y + 1e-12);
+        let v = diffuplace::diffusion::interpolate_velocity(
+            corners[0], corners[1], corners[2], corners[3], alpha, beta,
+        );
+        let (lo_x, hi_x) = vx
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &x| {
+                (l.min(x), h.max(x))
+            });
+        let (lo_y, hi_y) = vy
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &y| {
+                (l.min(y), h.max(y))
+            });
+        assert!(v.x >= lo_x - 1e-12 && v.x <= hi_x + 1e-12, "case {case}");
+        assert!(v.y >= lo_y - 1e-12 && v.y <= hi_y + 1e-12, "case {case}");
     }
 }
 
-/// Walls are impermeable under both boundary rules (deterministic probe
-/// over many random fields is covered above; this pins the geometry).
+/// Walls are impermeable under both boundary rules (randomized fields are
+/// covered above; this pins the geometry).
 #[test]
 fn walls_are_impermeable() {
     for paper in [false, true] {
@@ -141,7 +193,11 @@ fn walls_are_impermeable() {
         }
         for k in 0..n {
             for j in 4..n {
-                assert_eq!(e.density(j, k), 0.0, "leaked through wall at ({j},{k}), paper={paper}");
+                assert_eq!(
+                    e.density(j, k),
+                    0.0,
+                    "leaked through wall at ({j},{k}), paper={paper}"
+                );
             }
         }
     }

@@ -42,11 +42,21 @@ fn diffusion_preserves_eco_timing_better_than_packing() {
     let clock = sta.critical_path_delay(&bench.netlist, &bench.placement) * 1.05;
 
     let mut p_diff = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_diff,
+    );
     let t_diff = sta.analyze(&bench.netlist, &p_diff, clock);
 
     let mut p_tetris = bench.placement.clone();
-    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    run_legalizer(
+        &TetrisLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_tetris,
+    );
     let t_tetris = sta.analyze(&bench.netlist, &p_tetris, clock);
 
     assert!(
@@ -67,9 +77,18 @@ fn eco_legalization_keeps_buffers_near_their_nets() {
     // across the die, or the insertion's timing purpose is defeated.
     let bench = eco_bench();
     let mut p = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut p,
+    );
     let m = MovementStats::between(&bench.netlist, &bench.placement, &p);
-    let die_span = bench.die.outline().width().hypot(bench.die.outline().height());
+    let die_span = bench
+        .die
+        .outline()
+        .width()
+        .hypot(bench.die.outline().height());
     assert!(
         m.max < die_span / 3.0,
         "a cell moved {} — more than a third of the die diagonal {}",
@@ -84,7 +103,12 @@ fn routed_congestion_stays_bounded_through_legalization() {
     let router = GlobalRouter::new(RouterConfig::default());
     let before = router.route(&bench.netlist, &bench.placement, &bench.die);
     let mut p = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut p,
+    );
     let after = router.route(&bench.netlist, &p, &bench.die);
     assert_eq!(before.routed_connections, after.routed_connections);
     assert!(

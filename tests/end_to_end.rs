@@ -28,7 +28,12 @@ fn every_legalizer_produces_legal_placements_on_random_inflation() {
     bench.inflate(&InflationSpec::random_width(0.1, 1.6, 102));
     for legalizer in all_legalizers() {
         let mut placement = bench.placement.clone();
-        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut placement);
+        let outcome = run_legalizer(
+            legalizer.as_ref(),
+            &bench.netlist,
+            &bench.die,
+            &mut placement,
+        );
         assert!(outcome.is_legal, "{} failed: {outcome}", legalizer.name());
     }
 }
@@ -39,7 +44,12 @@ fn every_legalizer_produces_legal_placements_on_hotspot() {
     bench.inflate(&InflationSpec::centered(0.15, 0.3, 104));
     for legalizer in all_legalizers() {
         let mut placement = bench.placement.clone();
-        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut placement);
+        let outcome = run_legalizer(
+            legalizer.as_ref(),
+            &bench.netlist,
+            &bench.die,
+            &mut placement,
+        );
         assert!(outcome.is_legal, "{} failed: {outcome}", legalizer.name());
     }
 }
@@ -50,11 +60,25 @@ fn every_legalizer_handles_macros() {
     bench.inflate(&InflationSpec::random_width(0.08, 1.5, 106));
     for legalizer in all_legalizers() {
         let mut placement = bench.placement.clone();
-        let outcome = run_legalizer(legalizer.as_ref(), &bench.netlist, &bench.die, &mut placement);
-        assert!(outcome.is_legal, "{} failed with macros: {outcome}", legalizer.name());
+        let outcome = run_legalizer(
+            legalizer.as_ref(),
+            &bench.netlist,
+            &bench.die,
+            &mut placement,
+        );
+        assert!(
+            outcome.is_legal,
+            "{} failed with macros: {outcome}",
+            legalizer.name()
+        );
         // Macros themselves must not have been moved.
         for m in bench.netlist.macro_ids() {
-            assert_eq!(placement.get(m), bench.placement.get(m), "{} moved a macro", legalizer.name());
+            assert_eq!(
+                placement.get(m),
+                bench.placement.get(m),
+                "{} moved a macro",
+                legalizer.name()
+            );
         }
     }
 }
@@ -66,11 +90,21 @@ fn diffusion_preserves_wirelength_better_than_packing_on_hotspot() {
     bench.inflate(&InflationSpec::center_width(0.1, 1.6));
 
     let mut p_diff = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_diff,
+    );
     let twl_diff = hpwl(&bench.netlist, &p_diff);
 
     let mut p_tetris = bench.placement.clone();
-    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    run_legalizer(
+        &TetrisLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_tetris,
+    );
     let twl_tetris = hpwl(&bench.netlist, &p_tetris);
 
     assert!(
@@ -85,11 +119,21 @@ fn diffusion_max_movement_beats_baselines_on_hotspot() {
     bench.inflate(&InflationSpec::center_width(0.1, 1.6));
 
     let mut p_diff = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_diff,
+    );
     let m_diff = MovementStats::between(&bench.netlist, &bench.placement, &p_diff);
 
     let mut p_tetris = bench.placement.clone();
-    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    run_legalizer(
+        &TetrisLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_tetris,
+    );
     let m_tetris = MovementStats::between(&bench.netlist, &bench.placement, &p_tetris);
 
     assert!(
@@ -106,12 +150,24 @@ fn timing_pipeline_is_consistent_across_legalization() {
     let sta = TimingAnalyzer::new(&bench.netlist, DelayModel::default());
     let clock = sta.critical_path_delay(&bench.netlist, &bench.placement) * 1.05;
     let before = sta.analyze(&bench.netlist, &bench.placement, clock);
-    assert!(before.wns > 0.0, "base design should meet a 5%-relaxed clock");
+    assert!(
+        before.wns > 0.0,
+        "base design should meet a 5%-relaxed clock"
+    );
 
     bench.inflate(&InflationSpec::random_width(0.1, 1.6, 112));
     let mut placement = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut placement);
-    let after = TimingAnalyzer::new(&bench.netlist, DelayModel::default()).analyze(&bench.netlist, &placement, clock);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut placement,
+    );
+    let after = TimingAnalyzer::new(&bench.netlist, DelayModel::default()).analyze(
+        &bench.netlist,
+        &placement,
+        clock,
+    );
     // Timing may degrade but must stay in a sane band.
     assert!(after.wns > -(clock * 2.0), "WNS collapsed: {}", after.wns);
 }
@@ -148,7 +204,12 @@ fn results_are_deterministic_across_runs() {
         let mut bench = CircuitSpec::small(115).generate();
         bench.inflate(&InflationSpec::centered(0.12, 0.3, 116));
         let mut placement = bench.placement.clone();
-        run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut placement);
+        run_legalizer(
+            &DiffusionLegalizer::local_default(),
+            &bench.netlist,
+            &bench.die,
+            &mut placement,
+        );
         hpwl(&bench.netlist, &placement)
     };
     assert_eq!(run(), run());

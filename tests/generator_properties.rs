@@ -1,71 +1,74 @@
-//! Property-based tests over the workload generator: every spec in a
+//! Randomized tests over the workload generator: every spec in a
 //! realistic parameter box must yield a legal, DAG-structured, on-target
-//! benchmark — the foundation the whole evaluation rests on.
+//! benchmark — the foundation the whole evaluation rests on. Driven by
+//! the deterministic [`diffuplace::rng::Rng`].
 
 use diffuplace::bookshelf::{load_design, BookshelfDesign};
 use diffuplace::gen::{CircuitSpec, InflationSpec, WorkloadStats};
 use diffuplace::netlist::levelize;
 use diffuplace::place::{check_legality, hpwl};
-use proptest::prelude::*;
+use diffuplace::rng::Rng;
 
-fn arb_spec() -> impl Strategy<Value = CircuitSpec> {
-    (
-        200usize..800,
-        0.4..0.85f64,
-        prop_oneof![Just(0usize), Just(1), Just(2)],
-        10usize..80,
-        1usize..8,
-        0..1000u64,
-    )
-        .prop_map(|(cells, util, macros, cluster, gap, seed)| {
-            CircuitSpec::with_size("prop", cells, seed)
-                .with_utilization(util)
-                .with_local_utilization(util.max(0.88))
-                .with_clusters_per_gap(gap)
-                .with_macros(macros)
-                .prop_cluster(cluster)
-        })
+fn random_spec(rng: &mut Rng) -> CircuitSpec {
+    let cells = rng.random_range(200usize..800);
+    let util = rng.random_range(0.4..0.85);
+    let macros = rng.random_range(0usize..3);
+    let cluster = rng.random_range(10usize..80);
+    let gap = rng.random_range(1usize..8);
+    let seed = rng.random_range(0..1000u64);
+    let mut spec = CircuitSpec::with_size("prop", cells, seed)
+        .with_utilization(util)
+        .with_local_utilization(util.max(0.88))
+        .with_clusters_per_gap(gap)
+        .with_macros(macros);
+    spec.cluster_size = cluster;
+    spec
 }
 
-trait SpecExt {
-    fn prop_cluster(self, cluster: usize) -> Self;
-}
-impl SpecExt for CircuitSpec {
-    fn prop_cluster(mut self, cluster: usize) -> Self {
-        self.cluster_size = cluster;
-        self
-    }
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_spec_generates_a_legal_dag(spec in arb_spec()) {
+#[test]
+fn every_spec_generates_a_legal_dag() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xA1 ^ case);
+        let spec = random_spec(&mut rng);
         let bench = spec.generate();
         let report = check_legality(&bench.netlist, &bench.die, &bench.placement, 3);
-        prop_assert!(report.is_legal(), "{report}");
-        prop_assert!(levelize(&bench.netlist).is_acyclic());
+        assert!(report.is_legal(), "case {case}: {report}");
+        assert!(levelize(&bench.netlist).is_acyclic(), "case {case}");
         let stats = WorkloadStats::measure(&bench);
-        prop_assert!(stats.utilization <= 0.95);
-        prop_assert!(stats.peak_density <= 1.1, "peak {}", stats.peak_density);
+        assert!(stats.utilization <= 0.95, "case {case}");
+        assert!(
+            stats.peak_density <= 1.1,
+            "case {case}: peak {}",
+            stats.peak_density
+        );
     }
+}
 
-    #[test]
-    fn inflation_monotone_in_target(seed in 0..500u64) {
+#[test]
+fn inflation_monotone_in_target() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xA2 ^ case);
+        let seed = rng.random_range(0..500u64);
         let mk = || CircuitSpec::with_size("mono", 400, seed).generate();
         let mut light = mk();
         let mut heavy = mk();
         let a = light.inflate(&InflationSpec::distributed(0.1, seed ^ 1));
         let b = heavy.inflate(&InflationSpec::distributed(0.4, seed ^ 1));
-        prop_assert!(b > a, "heavier target must add more area: {a} vs {b}");
+        assert!(
+            b > a,
+            "case {case}: heavier target must add more area: {a} vs {b}"
+        );
         let sa = WorkloadStats::measure(&light);
         let sb = WorkloadStats::measure(&heavy);
-        prop_assert!(sb.overlap_fraction >= sa.overlap_fraction);
+        assert!(sb.overlap_fraction >= sa.overlap_fraction, "case {case}");
     }
+}
 
-    #[test]
-    fn bookshelf_round_trip_for_any_spec(spec in arb_spec()) {
+#[test]
+fn bookshelf_round_trip_for_any_spec() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xA3 ^ case);
+        let spec = random_spec(&mut rng);
         let bench = spec.generate();
         let d = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
         let loaded = load_design(
@@ -73,10 +76,14 @@ proptest! {
             &d.write_nets(),
             &d.write_pl(),
             &d.write_scl(),
-        ).expect("round trip parses");
+        )
+        .expect("round trip parses");
         let a = hpwl(&bench.netlist, &bench.placement);
         let b = hpwl(&loaded.netlist, &loaded.placement);
-        prop_assert!((a - b).abs() < 1e-6 * a.max(1.0), "HPWL drift {a} -> {b}");
-        prop_assert_eq!(loaded.netlist.num_pins(), bench.netlist.num_pins());
+        assert!(
+            (a - b).abs() < 1e-6 * a.max(1.0),
+            "case {case}: HPWL drift {a} -> {b}"
+        );
+        assert_eq!(loaded.netlist.num_pins(), bench.netlist.num_pins());
     }
 }

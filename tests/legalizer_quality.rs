@@ -89,6 +89,11 @@ fn hotspot_workload_ranking() {
     );
     // Every spreader stays within a sane hotspot envelope.
     for q in &results {
-        assert!(q.twl_ratio < 1.6, "{}: TWL ratio {:.3}", q.name, q.twl_ratio);
+        assert!(
+            q.twl_ratio < 1.6,
+            "{}: TWL ratio {:.3}",
+            q.name,
+            q.twl_ratio
+        );
     }
 }

@@ -5,7 +5,7 @@
 use diffuplace::diffusion::{DiffusionConfig, GlobalDiffusion};
 use diffuplace::gen::{CircuitSpec, InflationSpec};
 use diffuplace::geom::Point;
-use diffuplace::legalize::{run_legalizer, DiffusionLegalizer, Legalizer, TetrisLegalizer};
+use diffuplace::legalize::{run_legalizer, DiffusionLegalizer, TetrisLegalizer};
 use diffuplace::netlist::{CellId, CellKind, Netlist, NetlistBuilder};
 use diffuplace::place::{Die, Placement};
 
@@ -110,11 +110,21 @@ fn full_diffusion_legalizer_keeps_order_mostly_intact() {
     };
 
     let mut p_diff = bench.placement.clone();
-    run_legalizer(&DiffusionLegalizer::local_default(), &bench.netlist, &bench.die, &mut p_diff);
+    run_legalizer(
+        &DiffusionLegalizer::local_default(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_diff,
+    );
     let v_diff = violations(&p_diff);
 
     let mut p_tetris = bench.placement.clone();
-    run_legalizer(&TetrisLegalizer::new(), &bench.netlist, &bench.die, &mut p_tetris);
+    run_legalizer(
+        &TetrisLegalizer::new(),
+        &bench.netlist,
+        &bench.die,
+        &mut p_tetris,
+    );
     let v_tetris = violations(&p_tetris);
 
     assert!(

@@ -97,8 +97,16 @@ fn fig5_macro_boundary() {
     let mut e = DiffusionEngine::from_raw(nx, nx, d, Some(w));
     e.set_conservative_boundaries(false); // the paper's literal rule
     e.step_density(0.2);
-    assert!((e.density(3, 4) - 0.96).abs() < 1e-12, "d(3,4) = {}", e.density(3, 4));
-    assert!((e.density(4, 5) - 0.62).abs() < 1e-12, "d(4,5) = {}", e.density(4, 5));
+    assert!(
+        (e.density(3, 4) - 0.96).abs() < 1e-12,
+        "d(3,4) = {}",
+        e.density(3, 4)
+    );
+    assert!(
+        (e.density(4, 5) - 0.62).abs() < 1e-12,
+        "d(4,5) = {}",
+        e.density(4, 5)
+    );
 }
 
 /// Section VII-D: the FTCS stability condition — `dt` beyond 0.5 is
@@ -110,6 +118,10 @@ fn stability_condition_enforced() {
     assert!(ok.is_ok());
     let bad = std::panic::catch_unwind(|| DiffusionConfig::default().with_dt(0.51));
     assert!(bad.is_err());
-    let bad_d = std::panic::catch_unwind(|| DiffusionConfig::default().with_dt(0.4).with_diffusivity(2.0));
+    let bad_d = std::panic::catch_unwind(|| {
+        DiffusionConfig::default()
+            .with_dt(0.4)
+            .with_diffusivity(2.0)
+    });
     assert!(bad_d.is_err());
 }

@@ -1,10 +1,11 @@
-//! Property-based tests of the pattern global router.
+//! Randomized tests of the pattern global router, driven by the
+//! deterministic [`diffuplace::rng::Rng`].
 
 use diffuplace::geom::Point;
 use diffuplace::netlist::{CellKind, Netlist, NetlistBuilder, PinDir};
 use diffuplace::place::{Die, Placement};
+use diffuplace::rng::Rng;
 use diffuplace::route::{GlobalRouter, RouterConfig};
-use proptest::prelude::*;
 
 /// Builds `n` two-pin nets at arbitrary positions inside a 360×360 die.
 fn random_design(positions: &[(f64, f64, f64, f64)]) -> (Netlist, Placement, Die) {
@@ -27,25 +28,32 @@ fn random_design(positions: &[(f64, f64, f64, f64)]) -> (Netlist, Placement, Die
     (nl, p, Die::new(360.0, 360.0, 12.0))
 }
 
-fn arb_positions(n: usize) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
-    proptest::collection::vec(
-        (1.0..350.0f64, 1.0..350.0f64, 1.0..350.0f64, 1.0..350.0f64),
-        1..n,
-    )
+fn random_positions(rng: &mut Rng, n: usize) -> Vec<(f64, f64, f64, f64)> {
+    let len = rng.random_range(1usize..n);
+    (0..len)
+        .map(|_| {
+            (
+                rng.random_range(1.0..350.0),
+                rng.random_range(1.0..350.0),
+                rng.random_range(1.0..350.0),
+                rng.random_range(1.0..350.0),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Routed wirelength is at least the sum of tile-granular Manhattan
-    /// spans (a route cannot be shorter than its bounding box), and every
-    /// connection is embedded.
-    #[test]
-    fn wirelength_lower_bound(positions in arb_positions(12)) {
+/// Routed wirelength is at least the sum of tile-granular Manhattan spans
+/// (a route cannot be shorter than its bounding box), and every
+/// connection is embedded.
+#[test]
+fn wirelength_lower_bound() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xB1 ^ case);
+        let positions = random_positions(&mut rng, 12);
         let (nl, p, die) = random_design(&positions);
         let cfg = RouterConfig::default();
         let r = GlobalRouter::new(cfg.clone()).route(&nl, &p, &die);
-        prop_assert_eq!(r.routed_connections, positions.len());
+        assert_eq!(r.routed_connections, positions.len(), "case {case}");
         let tile = cfg.tile_rows * die.row_height();
         let lower: f64 = positions
             .iter()
@@ -56,18 +64,22 @@ proptest! {
                 (tx.abs() + ty.abs()) * tile
             })
             .sum();
-        prop_assert!(
+        assert!(
             r.wirelength + 1e-6 >= lower,
-            "wirelength {} below bbox bound {}",
+            "case {case}: wirelength {} below bbox bound {}",
             r.wirelength,
             lower
         );
     }
+}
 
-    /// Raising capacity never increases overflow, and at infinite
-    /// capacity overflow vanishes.
-    #[test]
-    fn overflow_monotone_in_capacity(positions in arb_positions(16)) {
+/// Raising capacity never increases overflow, and at infinite capacity
+/// overflow vanishes.
+#[test]
+fn overflow_monotone_in_capacity() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xB2 ^ case);
+        let positions = random_positions(&mut rng, 16);
         let (nl, p, die) = random_design(&positions);
         let route_with = |cap: f64| {
             GlobalRouter::new(RouterConfig {
@@ -80,17 +92,21 @@ proptest! {
         let tight = route_with(1.0);
         let loose = route_with(4.0);
         let infinite = route_with(1e12);
-        prop_assert!(loose.overflow <= tight.overflow + 1e-9);
-        prop_assert_eq!(infinite.overflow, 0.0);
-        prop_assert_eq!(infinite.hot_tiles, 0);
+        assert!(loose.overflow <= tight.overflow + 1e-9, "case {case}");
+        assert_eq!(infinite.overflow, 0.0, "case {case}");
+        assert_eq!(infinite.hot_tiles, 0, "case {case}");
     }
+}
 
-    /// Routing is deterministic.
-    #[test]
-    fn routing_is_deterministic(positions in arb_positions(10)) {
+/// Routing is deterministic.
+#[test]
+fn routing_is_deterministic() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xB3 ^ case);
+        let positions = random_positions(&mut rng, 10);
         let (nl, p, die) = random_design(&positions);
         let a = GlobalRouter::new(RouterConfig::default()).route(&nl, &p, &die);
         let b = GlobalRouter::new(RouterConfig::default()).route(&nl, &p, &die);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
 }

@@ -1,10 +1,11 @@
-//! Property-based tests of the timing substrate.
+//! Randomized tests of the timing substrate, driven by the deterministic
+//! [`diffuplace::rng::Rng`].
 
 use diffuplace::geom::Point;
 use diffuplace::netlist::{CellId, CellKind, Netlist, NetlistBuilder, PinDir};
 use diffuplace::place::Placement;
+use diffuplace::rng::Rng;
 use diffuplace::sta::{DelayModel, TimingAnalyzer};
-use proptest::prelude::*;
 
 /// Random layered DAG: `layers` layers of `width` cells, edges only
 /// between consecutive layers, plus a pad start.
@@ -47,63 +48,92 @@ fn layered(
     (nl, p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_edges(rng: &mut Rng, lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let n = rng.random_range(lo..hi);
+    (0..n)
+        .map(|_| (rng.random_range(0usize..4), rng.random_range(0usize..4)))
+        .collect()
+}
 
-    /// WNS is non-decreasing in the clock period, and FOM is never
-    /// better than what WNS alone implies.
-    #[test]
-    fn wns_monotone_in_clock(
-        edges in proptest::collection::vec((0usize..4, 0usize..4), 4..20),
-        positions in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 12),
-        clock in 1.0..50.0f64,
-    ) {
+fn random_positions(rng: &mut Rng, n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|_| (rng.random_range(0.0..300.0), rng.random_range(0.0..300.0)))
+        .collect()
+}
+
+/// WNS is non-decreasing in the clock period, and FOM is never better
+/// than what WNS alone implies.
+#[test]
+fn wns_monotone_in_clock() {
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xC1 ^ case);
+        let edges = random_edges(&mut rng, 4, 20);
+        let positions = random_positions(&mut rng, 12);
+        let clock = rng.random_range(1.0..50.0);
         let (nl, p) = layered(3, 4, &edges, &positions);
         let sta = TimingAnalyzer::new(&nl, DelayModel::default());
         let a = sta.analyze(&nl, &p, clock);
         let b = sta.analyze(&nl, &p, clock + 5.0);
-        prop_assert!((b.wns - (a.wns + 5.0)).abs() < 1e-9, "slack must shift exactly with the clock");
-        prop_assert!(a.fom <= 0.0);
-        prop_assert!(a.fom <= a.wns.min(0.0) + 1e-12, "fom {} vs wns {}", a.fom, a.wns);
-        prop_assert!(
+        assert!(
+            (b.wns - (a.wns + 5.0)).abs() < 1e-9,
+            "case {case}: slack must shift exactly with the clock"
+        );
+        assert!(a.fom <= 0.0, "case {case}");
+        assert!(
+            a.fom <= a.wns.min(0.0) + 1e-12,
+            "case {case}: fom {} vs wns {}",
+            a.fom,
+            a.wns
+        );
+        assert!(
             a.fom >= a.wns.min(0.0) * a.endpoints as f64 - 1e-9,
-            "fom bounded by min(wns,0)×endpoints"
+            "case {case}: fom bounded by min(wns,0)×endpoints"
         );
     }
+}
 
-    /// At the critical-path clock, WNS is exactly zero (and nothing
-    /// fails).
-    #[test]
-    fn critical_clock_closes_timing(
-        edges in proptest::collection::vec((0usize..4, 0usize..4), 4..20),
-        positions in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 12),
-    ) {
+/// At the critical-path clock, WNS is exactly zero (and nothing fails).
+#[test]
+fn critical_clock_closes_timing() {
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xC2 ^ case);
+        let edges = random_edges(&mut rng, 4, 20);
+        let positions = random_positions(&mut rng, 12);
         let (nl, p) = layered(3, 4, &edges, &positions);
         let sta = TimingAnalyzer::new(&nl, DelayModel::default());
         let cp = sta.critical_path_delay(&nl, &p);
         let r = sta.analyze(&nl, &p, cp);
-        prop_assert!(r.wns.abs() < 1e-9, "wns {} at critical clock", r.wns);
-        prop_assert_eq!(r.failing_endpoints, 0);
+        assert!(
+            r.wns.abs() < 1e-9,
+            "case {case}: wns {} at critical clock",
+            r.wns
+        );
+        assert_eq!(r.failing_endpoints, 0, "case {case}");
         let tight = sta.analyze(&nl, &p, cp - 0.1);
-        prop_assert!(tight.failing_endpoints >= 1);
+        assert!(tight.failing_endpoints >= 1, "case {case}");
     }
+}
 
-    /// Moving any single cell cannot improve the critical path below the
-    /// zero-wirelength bound (sum of cell delays along some path), and
-    /// the analyzer never panics on arbitrary positions.
-    #[test]
-    fn critical_path_bounded_below(
-        edges in proptest::collection::vec((0usize..4, 0usize..4), 4..16),
-        positions in proptest::collection::vec((0.0..300.0f64, 0.0..300.0f64), 12),
-    ) {
+/// Moving any single cell cannot improve the critical path below the
+/// zero-wirelength bound (sum of cell delays along some path), and the
+/// analyzer never panics on arbitrary positions.
+#[test]
+fn critical_path_bounded_below() {
+    for case in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(0xC3 ^ case);
+        let edges = random_edges(&mut rng, 4, 16);
+        let positions = random_positions(&mut rng, 12);
         let (nl, p) = layered(3, 4, &edges, &positions);
         let sta = TimingAnalyzer::new(&nl, DelayModel::default());
         let cp = sta.critical_path_delay(&nl, &p);
         // Zero-wire lower bound: the pad's delay alone.
-        prop_assert!(cp >= 1.0 - 1e-9, "cp {cp} below intrinsic delay");
+        assert!(
+            cp >= 1.0 - 1e-9,
+            "case {case}: cp {cp} below intrinsic delay"
+        );
         // And the reported critical path is consistent: its cells exist.
         for c in sta.critical_path(&nl, &p) {
-            prop_assert!(c.index() < nl.num_cells());
+            assert!(c.index() < nl.num_cells(), "case {case}");
         }
     }
 }

@@ -18,7 +18,11 @@ fn every_ckt_preset_is_reproducible_end_to_end() {
             entry.inflation_pct
         );
         let before = check_legality(&bench.netlist, &bench.die, &bench.placement, 0);
-        assert!(!before.is_legal(), "{}: inflation created no overlap", entry.spec.name);
+        assert!(
+            !before.is_legal(),
+            "{}: inflation created no overlap",
+            entry.spec.name
+        );
         let outcome = run_legalizer(
             &DiffusionLegalizer::local_default(),
             &bench.netlist,
@@ -33,7 +37,11 @@ fn every_ckt_preset_is_reproducible_end_to_end() {
 fn every_ibm_preset_matches_table_x_protocol() {
     for entry in ibm_suite(1.0 / 64.0).into_iter().step_by(4) {
         let mut bench = entry.spec.generate();
-        bench.inflate(&InflationSpec::random_width(0.10, 1.6, entry.spec.seed ^ 0x15bd));
+        bench.inflate(&InflationSpec::random_width(
+            0.10,
+            1.6,
+            entry.spec.seed ^ 0x15bd,
+        ));
         let stats = WorkloadStats::measure(&bench);
         // The paper's Table X reports ~5-7% overlap for this protocol;
         // synthetic circuits land in the same band (we accept 2-10%).
