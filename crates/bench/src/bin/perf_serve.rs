@@ -1,0 +1,281 @@
+//! Open-loop load generator for the `dpm-serve` migration service.
+//!
+//! Starts a server on an ephemeral port, replays a deterministic
+//! arrival schedule (exponential inter-arrivals from `dpm-rng`) from a
+//! pool of sender threads, and reports throughput plus p50/p95/p99/max
+//! latency, split into queue wait and service time as measured by the
+//! server and end-to-end wall time as seen by the client.
+//!
+//! Open-loop means arrivals do not wait for earlier replies: if the
+//! server falls behind, requests pile into its bounded queue and the
+//! `Overloaded` rejections are counted rather than hidden — the honest
+//! way to measure a service under offered load.
+//!
+//! Usage: `cargo run --release --bin perf_serve [-- <output-path>] [--smoke]`
+//!
+//! `--smoke` runs a seconds-scale schedule (used by `scripts/ci.sh`) and
+//! applies the same acceptance checks: every request answered, clean
+//! shutdown, valid JSON written.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dpm_diffusion::DiffusionConfig;
+use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
+use dpm_rng::Rng;
+use dpm_serve::wire::{JobKind, JobRequest, PayloadEncoding, Reply};
+use dpm_serve::{ServeClient, ServeConfig, Server};
+
+struct LoadSpec {
+    /// Concurrent sender threads (each with its own connection).
+    senders: usize,
+    /// Total requests in the schedule.
+    requests: usize,
+    /// Mean offered arrival rate, requests per second.
+    rate_per_sec: f64,
+    /// Cells per circuit preset (requests cycle through these).
+    circuit_cells: &'static [usize],
+    /// Server worker threads.
+    workers: usize,
+    /// Server queue capacity.
+    queue_capacity: usize,
+}
+
+const FULL: LoadSpec = LoadSpec {
+    senders: 4,
+    requests: 48,
+    rate_per_sec: 24.0,
+    circuit_cells: &[200, 400],
+    workers: 2,
+    queue_capacity: 16,
+};
+
+const SMOKE: LoadSpec = LoadSpec {
+    senders: 2,
+    requests: 8,
+    rate_per_sec: 16.0,
+    circuit_cells: &[120],
+    workers: 2,
+    queue_capacity: 8,
+};
+
+/// One completed request as seen by its sender.
+struct Observation {
+    outcome: &'static str,
+    queue_ns: u64,
+    service_ns: u64,
+    e2e_ns: u64,
+}
+
+fn bench_for(cells: usize, seed: u64) -> Benchmark {
+    let mut b = CircuitSpec::with_size("serve", cells, seed).generate();
+    b.inflate(&InflationSpec::distributed(0.12, seed ^ 0x51EE));
+    b
+}
+
+/// Builds the whole request set up front so generation cost never
+/// pollutes the measured window.
+fn build_requests(spec: &LoadSpec) -> Vec<JobRequest> {
+    (0..spec.requests)
+        .map(|i| {
+            let cells = spec.circuit_cells[i % spec.circuit_cells.len()];
+            let b = bench_for(cells, 0xC0FFEE + i as u64);
+            JobRequest {
+                id: i as u64 + 1,
+                deadline_ms: 0,
+                kind: if i % 2 == 0 {
+                    JobKind::Local
+                } else {
+                    JobKind::Global
+                },
+                config: DiffusionConfig::default(),
+                netlist: b.netlist,
+                die: b.die,
+                placement: b.placement,
+            }
+        })
+        .collect()
+}
+
+/// Deterministic exponential inter-arrival schedule: absolute offsets
+/// from the load start, one per request.
+fn arrival_schedule(spec: &LoadSpec, seed: u64) -> Vec<Duration> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    (0..spec.requests)
+        .map(|_| {
+            // Inverse-CDF sample; (0,1] keeps ln() finite.
+            let u = 1.0 - rng.random_f64();
+            t += -u.ln() / spec.rate_per_sec;
+            Duration::from_secs_f64(t)
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn latency_json(name: &str, mut ns: Vec<u64>) -> String {
+    ns.sort_unstable();
+    format!(
+        "\"{name}\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
+        percentile(&ns, 50.0) as f64 / 1e3,
+        percentile(&ns, 95.0) as f64 / 1e3,
+        percentile(&ns, 99.0) as f64 / 1e3,
+        ns.last().copied().unwrap_or(0) as f64 / 1e3,
+    )
+}
+
+fn main() {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let spec = if smoke { &SMOKE } else { &FULL };
+    let cores = std::thread::available_parallelism().map_or(0, |c| c.get());
+    eprintln!(
+        "perf_serve{}: {} requests, {} senders, {:.0} req/s offered, {cores} hardware thread(s)",
+        if smoke { " (smoke)" } else { "" },
+        spec.requests,
+        spec.senders,
+        spec.rate_per_sec
+    );
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            queue_capacity: spec.queue_capacity,
+            workers: spec.workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server binds an ephemeral port");
+    let addr = server.local_addr();
+
+    let requests = build_requests(spec);
+    let schedule = arrival_schedule(spec, 0xA1157);
+    let started = Arc::new(AtomicU64::new(0));
+
+    // Sender k owns arrivals k, k+senders, k+2*senders, ... — open-loop
+    // within the sender pool's ability to keep up.
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..spec.senders)
+        .map(|k| {
+            let mine: Vec<(Duration, JobRequest)> = requests
+                .iter()
+                .zip(&schedule)
+                .skip(k)
+                .step_by(spec.senders)
+                .map(|(r, &d)| (d, r.clone()))
+                .collect();
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("client connects");
+                let mut obs = Vec::with_capacity(mine.len());
+                for (offset, req) in mine {
+                    if let Some(wait) = offset.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    started.fetch_add(1, Ordering::Relaxed);
+                    let sent = Instant::now();
+                    let reply = client
+                        .request(&req, PayloadEncoding::Binary)
+                        .expect("transport stays healthy");
+                    let e2e_ns = sent.elapsed().as_nanos() as u64;
+                    obs.push(match reply {
+                        Reply::Ok(resp) => Observation {
+                            outcome: "ok",
+                            queue_ns: resp.queue_ns,
+                            service_ns: resp.service_ns,
+                            e2e_ns,
+                        },
+                        Reply::Rejected(e) => Observation {
+                            outcome: e.code.as_str(),
+                            queue_ns: 0,
+                            service_ns: 0,
+                            e2e_ns,
+                        },
+                    });
+                }
+                obs
+            })
+        })
+        .collect();
+
+    let observations: Vec<Observation> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("sender thread finishes"))
+        .collect();
+    let wall = t0.elapsed();
+    let stats = server.shutdown();
+
+    // Every scheduled request must have been answered one way or the
+    // other, and the server must account for each admitted job.
+    assert_eq!(observations.len(), spec.requests, "lost replies");
+    assert_eq!(
+        stats.admitted,
+        stats.served + stats.deadline_expired,
+        "shutdown left jobs unaccounted"
+    );
+
+    let ok: Vec<&Observation> = observations.iter().filter(|o| o.outcome == "ok").collect();
+    let rejected = observations.len() - ok.len();
+    let throughput = ok.len() as f64 / wall.as_secs_f64();
+    eprintln!(
+        "  {} ok / {} rejected in {:.2}s ({throughput:.1} req/s served)",
+        ok.len(),
+        rejected,
+        wall.as_secs_f64()
+    );
+
+    let mut outcome_counts: Vec<(&'static str, usize)> = Vec::new();
+    for o in &observations {
+        match outcome_counts
+            .iter_mut()
+            .find(|(name, _)| *name == o.outcome)
+        {
+            Some((_, n)) => *n += 1,
+            None => outcome_counts.push((o.outcome, 1)),
+        }
+    }
+    let mut outcomes_json = String::new();
+    for (i, (name, n)) in outcome_counts.iter().enumerate() {
+        let sep = if i + 1 == outcome_counts.len() {
+            ""
+        } else {
+            ", "
+        };
+        let _ = write!(outcomes_json, "\"{name}\": {n}{sep}");
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_serve\",\n  \"mode\": \"{mode}\",\n  \"hardware_threads\": {cores},\n  \"config\": {{\"senders\": {senders}, \"requests\": {requests}, \"offered_rate_per_sec\": {rate:.1}, \"server_workers\": {workers}, \"queue_capacity\": {cap}, \"circuit_cells\": {cells:?}}},\n  \"wall_seconds\": {wall:.3},\n  \"served_per_sec\": {throughput:.2},\n  \"outcomes\": {{{outcomes}}},\n  \"latency\": {{\n    {queue},\n    {service},\n    {e2e}\n  }},\n  \"note\": \"Open-loop exponential arrivals from a fixed dpm-rng seed; queue/service split measured server-side, e2e client-side. Overloaded rejections are counted, not retried.\"\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        senders = spec.senders,
+        requests = spec.requests,
+        rate = spec.rate_per_sec,
+        workers = spec.workers,
+        cap = spec.queue_capacity,
+        cells = spec.circuit_cells,
+        wall = wall.as_secs_f64(),
+        outcomes = outcomes_json,
+        queue = latency_json("queue", ok.iter().map(|o| o.queue_ns).collect()),
+        service = latency_json("service", ok.iter().map(|o| o.service_ns).collect()),
+        e2e = latency_json("e2e", observations.iter().map(|o| o.e2e_ns).collect()),
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

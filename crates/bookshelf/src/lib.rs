@@ -64,7 +64,9 @@ pub struct LoadedDesign {
 /// # Errors
 ///
 /// Returns [`ParseBookshelfError`] if any file is malformed, a net
-/// references an unknown node, or a `.pl` entry names an unknown node.
+/// references an unknown node, a `.pl` entry names an unknown node, or
+/// the `.scl` rows describe a degenerate die. Adversarial input yields
+/// an error, never a panic.
 pub fn load_design(
     nodes_text: &str,
     nets_text: &str,
@@ -97,6 +99,26 @@ pub fn load_design(
         .iter()
         .map(|r| r.coordinate + r.height)
         .fold(f64::NEG_INFINITY, f64::max);
+    // `Die::with_origin` asserts on bad geometry; turn garbage row data
+    // (hand-edited or corrupt files) into an error instead of a panic.
+    let extents_ok = llx.is_finite()
+        && lly.is_finite()
+        && urx.is_finite()
+        && ury.is_finite()
+        && row_height.is_finite()
+        && row_height > 0.0
+        && urx - llx > 0.0
+        && ury - lly >= row_height
+        // A corrupt coordinate can be finite yet absurd; cap the implied
+        // row count so die construction cannot attempt a giant allocation.
+        && (ury - lly) / row_height <= 16_000_000.0;
+    if !extents_ok {
+        return Err(ParseBookshelfError::DegenerateRows {
+            message: format!(
+                "rows span x [{llx}, {urx}], y [{lly}, {ury}], row height {row_height}"
+            ),
+        });
+    }
     let die = Die::with_origin(llx, lly, urx - llx, ury - lly, row_height);
 
     // Cells.

@@ -22,6 +22,12 @@ pub enum ParseBookshelfError {
     },
     /// The `.scl` file declared no rows.
     NoRows,
+    /// The `.scl` rows describe a degenerate die (non-finite or
+    /// non-positive extents, or a core shorter than one row).
+    DegenerateRows {
+        /// Description of the bad geometry.
+        message: String,
+    },
     /// The assembled netlist failed validation.
     InvalidNetlist {
         /// Underlying validation message.
@@ -43,6 +49,9 @@ impl fmt::Display for ParseBookshelfError {
                 write!(f, "reference to undeclared node '{name}'")
             }
             ParseBookshelfError::NoRows => write!(f, "scl file declares no rows"),
+            ParseBookshelfError::DegenerateRows { message } => {
+                write!(f, "scl rows describe a degenerate die: {message}")
+            }
             ParseBookshelfError::InvalidNetlist { message } => {
                 write!(f, "netlist failed validation: {message}")
             }

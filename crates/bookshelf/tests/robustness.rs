@@ -1,0 +1,194 @@
+//! Adversarial-input tests: the Bookshelf parsers must return `Err`,
+//! never panic, on truncated, mutated, or garbage files.
+//!
+//! The corpus is deterministic — every mutation is derived from
+//! `dpm-rng` with fixed seeds, so a failure reproduces exactly.
+
+use dpm_bookshelf::{load_design, parse_nets, parse_nodes, parse_pl, parse_scl, BookshelfDesign};
+use dpm_gen::CircuitSpec;
+use dpm_rng::Rng;
+
+/// A small valid design rendered to the four Bookshelf texts.
+fn valid_files() -> [String; 4] {
+    let bench = CircuitSpec::with_size("robust", 60, 0xF00D)
+        .with_macros(1)
+        .generate();
+    let design = BookshelfDesign::from_parts(&bench.netlist, &bench.die, &bench.placement);
+    [
+        design.write_nodes(),
+        design.write_nets(),
+        design.write_pl(),
+        design.write_scl(),
+    ]
+}
+
+/// Truncates `text` at a char boundary near `at`.
+fn truncate_at(text: &str, at: usize) -> &str {
+    let mut cut = at.min(text.len());
+    while !text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    &text[..cut]
+}
+
+/// `load_design` with each file slot swapped for `mutant`; parsing may
+/// fail, but must not panic.
+fn feed(files: &[String; 4], slot: usize, mutant: &str) {
+    let texts: Vec<&str> = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| if i == slot { mutant } else { f.as_str() })
+        .collect();
+    let _ = load_design(texts[0], texts[1], texts[2], texts[3]);
+}
+
+#[test]
+fn truncated_files_error_never_panic() {
+    let files = valid_files();
+    let mut rng = Rng::seed_from_u64(0x7254_4E43);
+    for slot in 0..4 {
+        let text = &files[slot];
+        // 64 deterministic cut points per file, plus the degenerate ones.
+        let mut cuts: Vec<usize> = (0..64).map(|_| rng.random_range(0..text.len())).collect();
+        cuts.push(0);
+        cuts.push(text.len() - 1);
+        for cut in cuts {
+            feed(&files, slot, truncate_at(text, cut));
+        }
+    }
+}
+
+#[test]
+fn byte_flips_error_never_panic() {
+    let files = valid_files();
+    let mut rng = Rng::seed_from_u64(0x464C_4950);
+    for slot in 0..4 {
+        let text = &files[slot];
+        for _ in 0..96 {
+            let mut bytes = text.as_bytes().to_vec();
+            let at = rng.random_range(0..bytes.len());
+            bytes[at] ^= (rng.next_u64() % 255 + 1) as u8;
+            // Keep it text: lossy conversion mirrors what a reader that
+            // replaces invalid UTF-8 would hand the parser.
+            let mutant = String::from_utf8_lossy(&bytes).into_owned();
+            feed(&files, slot, &mutant);
+        }
+    }
+}
+
+#[test]
+fn token_replacements_error_never_panic() {
+    let files = valid_files();
+    let garbage = [
+        "NaN",
+        "-NaN",
+        "inf",
+        "-inf",
+        "1e999",
+        "-1e999",
+        "0",
+        "-0",
+        "",
+        ":",
+        "::",
+        "terminal",
+        "NetDegree",
+        "CoreRow",
+        "End",
+        "/FIXED",
+        "\u{fffd}",
+        "π",
+        "99999999999999999999",
+    ];
+    let mut rng = Rng::seed_from_u64(0x4741_5242);
+    for slot in 0..4 {
+        let text = &files[slot];
+        for _ in 0..96 {
+            let mut tokens: Vec<&str> = text.split(' ').collect();
+            if tokens.is_empty() {
+                continue;
+            }
+            let at = rng.random_range(0..tokens.len());
+            tokens[at] = garbage[rng.random_range(0..garbage.len())];
+            let mutant = tokens.join(" ");
+            feed(&files, slot, &mutant);
+        }
+    }
+}
+
+#[test]
+fn pure_garbage_files_error_never_panic() {
+    let files = valid_files();
+    let mut rng = Rng::seed_from_u64(0x4741_5242);
+    for slot in 0..4 {
+        for len in [0usize, 1, 17, 255, 4096] {
+            let mutant: String = (0..len)
+                .map(|_| char::from_u32(rng.random_range(32u32..0xFF)).unwrap_or(' '))
+                .collect();
+            feed(&files, slot, &mutant);
+        }
+        // Binary-ish garbage surviving lossy UTF-8 conversion.
+        let raw: Vec<u8> = (0..512).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let mutant = String::from_utf8_lossy(&raw).into_owned();
+        feed(&files, slot, &mutant);
+    }
+}
+
+#[test]
+fn nan_row_geometry_is_a_typed_error_not_a_panic() {
+    let files = valid_files();
+    // NaN parses as a valid f64, so it sails through parse_scl; the die
+    // assembly must still refuse it.
+    let scl = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : NaN\n Height : 12\n Sitespacing : 1\n SubrowOrigin : 0 NumSites : 100\nEnd\n";
+    let err = load_design(&files[0], &files[1], &files[2], scl).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            dpm_bookshelf::ParseBookshelfError::DegenerateRows { .. }
+        ),
+        "got {err:?}"
+    );
+    assert!(err.to_string().contains("degenerate"));
+
+    // Zero-height rows: die would have no rows.
+    let scl = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 0\n Sitespacing : 1\n SubrowOrigin : 0 NumSites : 100\nEnd\n";
+    let err = load_design(&files[0], &files[1], &files[2], scl).unwrap_err();
+    assert!(matches!(
+        err,
+        dpm_bookshelf::ParseBookshelfError::DegenerateRows { .. }
+    ));
+
+    // Zero-width rows.
+    let scl = "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n Coordinate : 0\n Height : 12\n Sitespacing : 1\n SubrowOrigin : 0 NumSites : 0\nEnd\n";
+    let err = load_design(&files[0], &files[1], &files[2], scl).unwrap_err();
+    assert!(matches!(
+        err,
+        dpm_bookshelf::ParseBookshelfError::DegenerateRows { .. }
+    ));
+}
+
+#[test]
+fn individual_parsers_survive_the_corpus_too() {
+    // The component parsers get the same treatment as the assembled
+    // loader — callers use them directly for `.aux`-driven loading.
+    let files = valid_files();
+    let mut rng = Rng::seed_from_u64(0x5041_5253);
+    let parsers: [fn(&str) -> bool; 4] = [
+        |t| parse_nodes(t).is_ok(),
+        |t| parse_nets(t).is_ok(),
+        |t| parse_pl(t).is_ok(),
+        |t| parse_scl(t).is_ok(),
+    ];
+    for (slot, parse) in parsers.iter().enumerate() {
+        let text = &files[slot];
+        assert!(parse(text), "valid file {slot} must parse");
+        for _ in 0..64 {
+            let cut = rng.random_range(0..text.len());
+            let _ = parse(truncate_at(text, cut));
+            let mut bytes = text.as_bytes().to_vec();
+            let at = rng.random_range(0..bytes.len());
+            bytes[at] = (rng.next_u64() & 0xFF) as u8;
+            let _ = parse(&String::from_utf8_lossy(&bytes));
+        }
+    }
+}

@@ -1,5 +1,79 @@
 //! Diffusion parameters.
 
+use std::error::Error;
+use std::fmt;
+
+/// A reason a [`DiffusionConfig`] is unusable.
+///
+/// The `with_*` builder setters panic on bad values — appropriate for
+/// in-process callers, where a bad config is a programming error. Configs
+/// that arrive from *outside* the process (the `dpm-serve` wire protocol,
+/// future config files) must instead be checked with
+/// [`DiffusionConfig::validate`], which reports the first problem as a
+/// typed error so the caller can reject the request without dying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A field that must be a positive finite number is not.
+    NonPositive {
+        /// Field name as written in [`DiffusionConfig`].
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A field that must be finite and non-negative is not.
+    Negative {
+        /// Field name as written in [`DiffusionConfig`].
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `D·Δt` leaves the FTCS stability region `(0, 0.5]`.
+    UnstableTimeStep {
+        /// The configured `Δt`.
+        dt: f64,
+        /// The configured diffusivity `D`.
+        diffusivity: f64,
+    },
+    /// The diffusion window is smaller than the analysis window
+    /// (`W2 < W1`).
+    WindowOrder {
+        /// Analysis window `W1`.
+        w1: usize,
+        /// Diffusion window `W2`.
+        w2: usize,
+    },
+    /// The density-update period `N_U` is zero.
+    ZeroUpdatePeriod,
+    /// The worker-thread count is zero.
+    ZeroThreads,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be a positive finite number, got {value}")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be finite and non-negative, got {value}")
+            }
+            ConfigError::UnstableTimeStep { dt, diffusivity } => write!(
+                f,
+                "D*dt = {} violates the FTCS stability bound 0 < D*dt <= 0.5 \
+                 (dt = {dt}, D = {diffusivity})",
+                diffusivity * dt
+            ),
+            ConfigError::WindowOrder { w1, w2 } => {
+                write!(f, "W2 ({w2}) must be at least W1 ({w1})")
+            }
+            ConfigError::ZeroUpdatePeriod => write!(f, "N_U must be positive"),
+            ConfigError::ZeroThreads => write!(f, "thread count must be positive"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Tunable parameters of the diffusion process and its legalization
 /// wrappers.
 ///
@@ -225,6 +299,74 @@ impl DiffusionConfig {
         self
     }
 
+    /// Checks every field without panicking, reporting the first problem.
+    ///
+    /// All `with_*` setters keep a valid config valid, but a config
+    /// assembled field-by-field (deserialized from the wire, read from a
+    /// file) can hold anything — non-positive bin sizes, NaN tolerances, a
+    /// zero update period — and the run loops assume validity. Call this
+    /// before trusting such a config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found, checking fields in
+    /// declaration order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_diffusion::{ConfigError, DiffusionConfig};
+    ///
+    /// assert!(DiffusionConfig::default().validate().is_ok());
+    ///
+    /// let mut bad = DiffusionConfig::default();
+    /// bad.bin_size = f64::NAN;
+    /// assert!(matches!(
+    ///     bad.validate(),
+    ///     Err(ConfigError::NonPositive { field: "bin_size", .. })
+    /// ));
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = |field: &'static str, value: f64| {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositive { field, value })
+            }
+        };
+        positive("bin_size", self.bin_size)?;
+        positive("d_max", self.d_max)?;
+        if !(self.delta.is_finite() && self.delta >= 0.0) {
+            return Err(ConfigError::Negative {
+                field: "delta",
+                value: self.delta,
+            });
+        }
+        positive("dt", self.dt)?;
+        positive("diffusivity", self.diffusivity)?;
+        let ddt = self.diffusivity * self.dt;
+        if !(ddt.is_finite() && ddt <= 0.5) {
+            return Err(ConfigError::UnstableTimeStep {
+                dt: self.dt,
+                diffusivity: self.diffusivity,
+            });
+        }
+        if self.w2 < self.w1 {
+            return Err(ConfigError::WindowOrder {
+                w1: self.w1,
+                w2: self.w2,
+            });
+        }
+        if self.n_u == 0 {
+            return Err(ConfigError::ZeroUpdatePeriod);
+        }
+        positive("max_step_displacement", self.max_step_displacement)?;
+        if self.threads == 0 {
+            return Err(ConfigError::ZeroThreads);
+        }
+        Ok(())
+    }
+
     /// Selects the paper's literal boundary rule (non-conservative) for
     /// the density step. Off by default; see
     /// [`DiffusionEngine::set_conservative_boundaries`](crate::DiffusionEngine::set_conservative_boundaries)
@@ -273,6 +415,96 @@ mod tests {
         assert_eq!((c.w1, c.w2), (1, 4));
         assert_eq!(c.n_u, 5);
         assert_eq!(c.max_rounds, 7);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_builder_outputs() {
+        assert_eq!(DiffusionConfig::default().validate(), Ok(()));
+        let c = DiffusionConfig::new()
+            .with_bin_size(20.0)
+            .with_d_max(0.8)
+            .with_dt(0.25)
+            .with_windows(1, 4)
+            .with_update_period(5)
+            .with_threads(4);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_field() {
+        let base = DiffusionConfig::default;
+
+        let mut c = base();
+        c.bin_size = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "bin_size",
+                ..
+            })
+        ));
+
+        let mut c = base();
+        c.d_max = f64::NAN;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive { field: "d_max", .. })
+        ));
+
+        let mut c = base();
+        c.delta = -0.1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Negative { field: "delta", .. })
+        ));
+
+        let mut c = base();
+        c.delta = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = base();
+        c.dt = 0.4;
+        c.diffusivity = 2.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::UnstableTimeStep {
+                dt: 0.4,
+                diffusivity: 2.0
+            })
+        );
+
+        let mut c = base();
+        c.w1 = 3;
+        c.w2 = 1;
+        assert_eq!(c.validate(), Err(ConfigError::WindowOrder { w1: 3, w2: 1 }));
+
+        let mut c = base();
+        c.n_u = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroUpdatePeriod));
+
+        let mut c = base();
+        c.threads = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroThreads));
+
+        let mut c = base();
+        c.max_step_displacement = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "max_step_displacement",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn config_error_messages_name_the_field() {
+        let c = DiffusionConfig {
+            bin_size: -3.0,
+            ..DiffusionConfig::default()
+        };
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("bin_size") && msg.contains("-3"), "{msg}");
     }
 
     #[test]

@@ -144,6 +144,7 @@ impl FieldMigration {
             steps: self.steps,
             rounds: 1,
             converged: true,
+            cancelled: false,
             telemetry,
         }
     }

@@ -17,6 +17,10 @@ pub struct DiffusionResult {
     pub rounds: usize,
     /// `true` if the stopping criterion was met before the step/round cap.
     pub converged: bool,
+    /// `true` if the run was cut short by a cancellation hook (see
+    /// [`GlobalDiffusion::run_with_cancel`]). The placement holds the
+    /// partial progress made up to the cancellation point.
+    pub cancelled: bool,
     /// Per-step telemetry (movement, overflow — the paper's Figs. 9–10).
     pub telemetry: Telemetry,
 }
@@ -75,6 +79,29 @@ impl GlobalDiffusion {
     /// Returns telemetry and whether the density target was reached within
     /// [`DiffusionConfig::max_steps`].
     pub fn run(&self, netlist: &Netlist, die: &Die, placement: &mut Placement) -> DiffusionResult {
+        self.run_with_cancel(netlist, die, placement, &|| false)
+    }
+
+    /// Runs global diffusion with a cancellation hook.
+    ///
+    /// `should_stop` is polled between diffusion steps; once it returns
+    /// `true` the loop exits before the next step, leaving the placement
+    /// in its current (partially migrated, still consistent) state and
+    /// setting [`DiffusionResult::cancelled`]. This is how `dpm-serve`
+    /// enforces per-request deadlines: the hook compares `Instant::now()`
+    /// against the request deadline, costing one branch per step.
+    ///
+    /// A hook that always returns `false` makes this identical to
+    /// [`run`](Self::run) — the hook never influences the arithmetic, only
+    /// whether the next step happens, so cancellation cannot perturb
+    /// determinism.
+    pub fn run_with_cancel(
+        &self,
+        netlist: &Netlist,
+        die: &Die,
+        placement: &mut Placement,
+        should_stop: &dyn Fn() -> bool,
+    ) -> DiffusionResult {
         let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
         let pool = ThreadPool::new(self.cfg.threads);
         let splat_start = Instant::now();
@@ -98,8 +125,13 @@ impl GlobalDiffusion {
         let mut telemetry = Telemetry::new();
         let mut steps = 0;
         let mut converged = engine.max_live_density() <= self.cfg.d_max + self.cfg.delta;
+        let mut cancelled = false;
 
         while !converged && steps < self.cfg.max_steps {
+            if should_stop() {
+                cancelled = true;
+                break;
+            }
             engine.compute_velocities();
             let advect_start = Instant::now();
             let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, false);
@@ -125,6 +157,7 @@ impl GlobalDiffusion {
             steps,
             rounds: 1,
             converged,
+            cancelled,
             telemetry,
         }
     }
@@ -284,6 +317,47 @@ mod tests {
                 "cell {c} center {center} inside macro {macro_rect}"
             );
         }
+    }
+
+    #[test]
+    fn cancellation_stops_mid_run_and_preserves_partial_progress() {
+        use std::cell::Cell;
+
+        // Reference run to know the uncancelled step count.
+        let (nl, die, mut p_ref) = pile(24, Point::new(36.0, 36.0));
+        let full = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p_ref);
+        assert!(!full.cancelled);
+        assert!(full.steps > 2, "workload too small to cancel mid-run");
+
+        // Cancel after two steps.
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let p0 = p.clone();
+        let budget = Cell::new(2usize);
+        let r = GlobalDiffusion::new(cfg()).run_with_cancel(&nl, &die, &mut p, &|| {
+            if budget.get() == 0 {
+                true
+            } else {
+                budget.set(budget.get() - 1);
+                false
+            }
+        });
+        assert!(r.cancelled);
+        assert!(!r.converged);
+        assert_eq!(r.steps, 2);
+        assert_eq!(r.telemetry.len(), 2);
+        // Partial progress: cells moved, placement not reverted.
+        assert!(MovementStats::between(&nl, &p0, &p).total > 0.0);
+    }
+
+    #[test]
+    fn never_firing_hook_is_identical_to_run() {
+        let (nl, die, mut p1) = pile(24, Point::new(36.0, 36.0));
+        let (_, _, mut p2) = pile(24, Point::new(36.0, 36.0));
+        let r1 = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p1);
+        let r2 = GlobalDiffusion::new(cfg()).run_with_cancel(&nl, &die, &mut p2, &|| false);
+        assert_eq!(r1.steps, r2.steps);
+        assert!(!r2.cancelled);
+        assert_eq!(p1, p2);
     }
 
     #[test]

@@ -75,7 +75,7 @@ mod velocity;
 mod window;
 
 pub use advect::AdvectOutcome;
-pub use config::DiffusionConfig;
+pub use config::{ConfigError, DiffusionConfig};
 pub use engine::DiffusionEngine;
 pub use field::FieldMigration;
 pub use global::{DiffusionResult, GlobalDiffusion};

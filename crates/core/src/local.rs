@@ -84,6 +84,25 @@ impl LocalDiffusion {
     /// every round — reallocating them per round dominated small-window
     /// runs), and every kernel runs on the configured worker pool.
     pub fn run(&self, netlist: &Netlist, die: &Die, placement: &mut Placement) -> DiffusionResult {
+        self.run_with_cancel(netlist, die, placement, &|| false)
+    }
+
+    /// Runs robust local diffusion with a cancellation hook.
+    ///
+    /// `should_stop` is polled between rounds *and* between the `N_U`
+    /// diffusion steps inside a round, so a deadline can cut a long round
+    /// short. On cancellation the loop exits immediately with
+    /// [`DiffusionResult::cancelled`] set; the placement keeps the partial
+    /// progress (every completed step left it consistent). A hook that
+    /// never fires reproduces [`run`](Self::run) exactly — the hook is
+    /// consulted only between steps and never changes the arithmetic.
+    pub fn run_with_cancel(
+        &self,
+        netlist: &Netlist,
+        die: &Die,
+        placement: &mut Placement,
+        should_stop: &dyn Fn() -> bool,
+    ) -> DiffusionResult {
         assert!(self.cfg.w2 >= self.cfg.w1, "W2 must be at least W1");
         let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
         let pool = ThreadPool::new(self.cfg.threads);
@@ -91,6 +110,7 @@ impl LocalDiffusion {
         let mut steps = 0usize;
         let mut rounds = 0usize;
         let mut converged = false;
+        let mut cancelled = false;
         let mut best_overflow = f64::INFINITY;
 
         // Round-loop buffers, allocated once and reused.
@@ -108,6 +128,10 @@ impl LocalDiffusion {
         let mut frozen: Vec<bool> = Vec::new();
 
         while rounds < self.cfg.max_rounds {
+            if should_stop() {
+                cancelled = true;
+                break;
+            }
             // Dynamic density update: measure the *real* placement.
             if rounds > 0 {
                 let splat_start = Instant::now();
@@ -147,6 +171,10 @@ impl LocalDiffusion {
                 if steps >= self.cfg.max_steps {
                     break;
                 }
+                if i > 0 && should_stop() {
+                    cancelled = true;
+                    break;
+                }
                 engine.compute_velocities();
                 let advect_start = Instant::now();
                 let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, true);
@@ -164,7 +192,7 @@ impl LocalDiffusion {
                 });
                 steps += 1;
             }
-            if steps >= self.cfg.max_steps {
+            if cancelled || steps >= self.cfg.max_steps {
                 break;
             }
         }
@@ -174,6 +202,7 @@ impl LocalDiffusion {
             steps,
             rounds,
             converged,
+            cancelled,
             telemetry,
         }
     }
@@ -303,6 +332,41 @@ mod tests {
         assert!(r.converged);
         assert_eq!(r.steps, 0);
         assert_eq!(p, before);
+    }
+
+    #[test]
+    fn cancellation_mid_round_stops_with_partial_progress() {
+        use std::cell::Cell;
+
+        let (nl, die, mut p) = pile(100, Point::new(30.0, 30.0));
+        let p0 = p.clone();
+        // Allow three hook polls, then cancel: the run stops inside the
+        // first round's N_U-step loop.
+        let polls = Cell::new(3usize);
+        let r = LocalDiffusion::new(cfg()).run_with_cancel(&nl, &die, &mut p, &|| {
+            if polls.get() == 0 {
+                true
+            } else {
+                polls.set(polls.get() - 1);
+                false
+            }
+        });
+        assert!(r.cancelled);
+        assert!(!r.converged);
+        assert!(r.steps >= 1, "at least one step before cancellation");
+        assert!(r.steps < 10, "cancelled well before N_U steps: {}", r.steps);
+        assert!(MovementStats::between(&nl, &p0, &p).total > 0.0);
+    }
+
+    #[test]
+    fn never_firing_hook_matches_run_exactly() {
+        let (nl, die, mut p1) = pile(100, Point::new(30.0, 30.0));
+        let (_, _, mut p2) = pile(100, Point::new(30.0, 30.0));
+        let r1 = LocalDiffusion::new(cfg()).run(&nl, &die, &mut p1);
+        let r2 = LocalDiffusion::new(cfg()).run_with_cancel(&nl, &die, &mut p2, &|| false);
+        assert_eq!((r1.steps, r1.rounds), (r2.steps, r2.rounds));
+        assert!(!r2.cancelled);
+        assert_eq!(p1, p2);
     }
 
     #[test]

@@ -144,6 +144,7 @@ pub fn trace_global_diffusion(
             steps,
             rounds: 1,
             converged,
+            cancelled: false,
             telemetry,
         },
         trajectories,

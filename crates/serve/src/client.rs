@@ -1,0 +1,64 @@
+//! A minimal blocking client for the migration server.
+//!
+//! One [`ServeClient`] wraps one TCP connection; requests on it are
+//! serialized (send a frame, read the reply frame). Use one client per
+//! thread for concurrency — the server handles each connection on its
+//! own thread.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    read_frame, write_frame, FrameKind, JobRequest, PayloadEncoding, Reply, WireError,
+    DEFAULT_MAX_FRAME_LEN,
+};
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct ServeClient {
+    stream: TcpStream,
+    max_frame_len: usize,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        })
+    }
+
+    /// Caps the size of reply frames this client will accept.
+    pub fn with_max_frame_len(mut self, max: usize) -> Self {
+        self.max_frame_len = max;
+        self
+    }
+
+    /// Sends one request and blocks until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails or either frame
+    /// is corrupt. Server-side rejections are *not* errors here — they
+    /// arrive as [`Reply::Rejected`].
+    pub fn request(
+        &mut self,
+        req: &JobRequest,
+        encoding: PayloadEncoding,
+    ) -> Result<Reply, WireError> {
+        let payload = crate::wire::encode_request(req, encoding);
+        write_frame(&mut self.stream, FrameKind::Request, &payload)?;
+        match read_frame(&mut self.stream, self.max_frame_len)? {
+            Some(frame) => Reply::from_frame(&frame),
+            None => Err(WireError::Truncated {
+                context: "reply frame (connection closed)",
+            }),
+        }
+    }
+}

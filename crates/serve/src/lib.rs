@@ -1,0 +1,60 @@
+//! Migration-as-a-service: run diffusion-based placement migration over
+//! a socket.
+//!
+//! `dpm-serve` wraps the `dpm-diffusion` engines in a small, std-only
+//! TCP service speaking a length-prefixed, versioned binary protocol
+//! ([`wire`]). The server is built around explicit capacity limits:
+//!
+//! - a **bounded admission queue** ([`queue::BoundedQueue`]) — when it
+//!   is full the client gets an [`ErrorCode::Overloaded`] reply at once
+//!   instead of unbounded buffering;
+//! - **per-request deadlines** measured from admission (queue wait
+//!   counts), enforced *inside* the diffusion loops via the engines'
+//!   cancellation hooks — an expired job answers
+//!   [`ErrorCode::DeadlineExpired`] with its partial step/round counts;
+//! - a **fixed worker pool** running the actual jobs;
+//! - **structured JSONL request logs** ([`log::RequestLog`]);
+//! - **graceful shutdown**: stop accepting, drain every admitted job,
+//!   join all threads.
+//!
+//! Determinism survives the wire: `f64` values travel as IEEE-754 bit
+//! patterns, so a round trip through the server produces placements
+//! bit-identical to calling the engines in-process.
+//!
+//! ```no_run
+//! use dpm_serve::{Server, ServeClient, ServeConfig};
+//! use dpm_serve::wire::{JobKind, JobRequest, PayloadEncoding, Reply};
+//! # fn demo(netlist: dpm_netlist::Netlist, die: dpm_place::Die,
+//! #         placement: dpm_place::Placement) -> std::io::Result<()> {
+//! let server = Server::start("127.0.0.1:0", ServeConfig::default())?;
+//! let mut client = ServeClient::connect(server.local_addr())?;
+//! let req = JobRequest {
+//!     id: 1,
+//!     deadline_ms: 0,
+//!     kind: JobKind::Local,
+//!     config: dpm_diffusion::DiffusionConfig::default(),
+//!     netlist,
+//!     die,
+//!     placement,
+//! };
+//! match client.request(&req, PayloadEncoding::Binary) {
+//!     Ok(Reply::Ok(resp)) => println!("{} steps", resp.steps),
+//!     Ok(Reply::Rejected(e)) => eprintln!("rejected: {}", e.message),
+//!     Err(e) => eprintln!("transport: {e}"),
+//! }
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod log;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::ServeClient;
+pub use server::{ServeConfig, ServeStats, Server};
+pub use wire::{ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, PayloadEncoding, Reply};

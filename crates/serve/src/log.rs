@@ -1,0 +1,169 @@
+//! Structured JSONL request logging.
+//!
+//! One JSON object per line per request, written through a shared,
+//! mutex-guarded sink. Fields are flat and stable so the log can be
+//! post-processed with any line-oriented tool:
+//!
+//! ```json
+//! {"id":3,"outcome":"ok","kind":"local","cells":1200,"queue_ns":18000,
+//!  "service_ns":5301200,"steps":40,"rounds":4,"converged":true,
+//!  "movement_total":913.2,"movement_max":14.8}
+//! ```
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One request's log record. Fields that do not apply to an outcome
+/// (e.g. `service_ns` for an `overloaded` rejection) are zero.
+#[derive(Debug, Clone, Default)]
+pub struct RequestRecord {
+    /// Request id as echoed to the client.
+    pub id: u64,
+    /// Outcome name: `ok` or an [`ErrorCode`](crate::wire::ErrorCode)
+    /// name such as `overloaded` or `deadline_expired`.
+    pub outcome: &'static str,
+    /// `global`, `local`, or `-` when the request never decoded.
+    pub kind: &'static str,
+    /// Number of cells in the request design.
+    pub cells: usize,
+    /// Nanoseconds spent waiting in the admission queue.
+    pub queue_ns: u64,
+    /// Nanoseconds spent running diffusion.
+    pub service_ns: u64,
+    /// Diffusion steps executed.
+    pub steps: u64,
+    /// Local-diffusion rounds executed.
+    pub rounds: u64,
+    /// Whether the stopping criterion was met.
+    pub converged: bool,
+    /// Total cell movement of the run.
+    pub movement_total: f64,
+    /// Largest single-cell movement of the run.
+    pub movement_max: f64,
+}
+
+impl RequestRecord {
+    fn to_jsonl(&self) -> String {
+        let mut line = String::with_capacity(192);
+        let _ = write!(
+            line,
+            "{{\"id\":{},\"outcome\":\"{}\",\"kind\":\"{}\",\"cells\":{},\
+             \"queue_ns\":{},\"service_ns\":{},\"steps\":{},\"rounds\":{},\
+             \"converged\":{},\"movement_total\":{:.3},\"movement_max\":{:.3}}}",
+            self.id,
+            self.outcome,
+            self.kind,
+            self.cells,
+            self.queue_ns,
+            self.service_ns,
+            self.steps,
+            self.rounds,
+            self.converged,
+            self.movement_total,
+            self.movement_max,
+        );
+        line.push('\n');
+        line
+    }
+}
+
+/// A shared JSONL sink. Cheap to clone behind the server's `Arc`.
+pub struct RequestLog {
+    sink: Option<Mutex<BufWriter<File>>>,
+}
+
+impl RequestLog {
+    /// A log that discards every record.
+    pub fn disabled() -> Self {
+        Self { sink: None }
+    }
+
+    /// A log appending to the file at `path` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be opened.
+    pub fn to_file(path: &Path) -> io::Result<Self> {
+        let file = File::options().create(true).append(true).open(path)?;
+        Ok(Self {
+            sink: Some(Mutex::new(BufWriter::new(file))),
+        })
+    }
+
+    /// Appends one record. Logging failures are swallowed — the service
+    /// must not die because its log disk filled up.
+    pub fn write(&self, record: &RequestRecord) {
+        if let Some(sink) = &self.sink {
+            let line = record.to_jsonl();
+            if let Ok(mut w) = sink.lock() {
+                let _ = w.write_all(line.as_bytes());
+            }
+        }
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            if let Ok(mut w) = sink.lock() {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_become_one_json_line_each() {
+        let dir = std::env::temp_dir().join("dpm_serve_log_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("log_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let log = RequestLog::to_file(&path).expect("opens");
+        log.write(&RequestRecord {
+            id: 1,
+            outcome: "ok",
+            kind: "local",
+            cells: 10,
+            queue_ns: 5,
+            service_ns: 6,
+            steps: 7,
+            rounds: 2,
+            converged: true,
+            movement_total: 1.5,
+            movement_max: 0.5,
+        });
+        log.write(&RequestRecord {
+            id: 2,
+            outcome: "overloaded",
+            kind: "-",
+            ..Default::default()
+        });
+        log.flush();
+
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"outcome\":\"ok\""));
+        assert!(lines[0].contains("\"converged\":true"));
+        assert!(lines[1].contains("\"outcome\":\"overloaded\""));
+        // Every line is a single flat JSON object.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_log_is_a_no_op() {
+        let log = RequestLog::disabled();
+        log.write(&RequestRecord::default());
+        log.flush();
+    }
+}

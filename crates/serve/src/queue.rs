@@ -1,0 +1,184 @@
+//! A bounded MPMC queue with explicit rejection, never unbounded
+//! buffering.
+//!
+//! The server's admission-control contract is that a request is either
+//! accepted into a fixed-capacity queue or rejected *immediately* with an
+//! `Overloaded` reply — memory use is bounded no matter how fast clients
+//! push. Producers therefore get only a non-blocking [`BoundedQueue::try_push`];
+//! there is deliberately no blocking push. Consumers block on
+//! [`BoundedQueue::pop_wait`], which drains remaining items even after
+//! [`BoundedQueue::close`] — exactly the semantics graceful shutdown
+//! needs (stop admitting, finish what was admitted).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why [`BoundedQueue::try_push`] refused an item. The item is handed
+/// back so the caller can reply to the client without cloning.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue held `capacity` items already.
+    Full(T),
+    /// [`BoundedQueue::close`] was called; no new items are admitted.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `item` if there is room, waking one waiting consumer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`PushError::Full`] when at capacity
+    /// or [`PushError::Closed`] after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Stops admission. Consumers finish draining, then get `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (racy; for stats only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` when no items are queued (racy; for stats only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_after_close() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("fits");
+        q.try_push(2).expect("fits");
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))));
+        assert_eq!(q.pop_wait(), Some(1));
+        q.try_push(4).expect("room again");
+        q.close();
+        assert!(matches!(q.try_push(5), Err(PushError::Closed(5))));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).expect("fits");
+        q.try_push(2).expect("fits");
+        q.close();
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_wait(), None);
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_wait());
+        // Give the consumer a moment to block, then feed it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).expect("fits");
+        assert_eq!(consumer.join().expect("no panic"), Some(42));
+
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop_wait());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().expect("no panic"), None);
+    }
+
+    #[test]
+    fn every_pushed_item_is_popped_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop_wait() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        let mut pushed = 0u32;
+        while pushed < 100 {
+            if q.try_push(pushed).is_ok() {
+                pushed += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().expect("no panic"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+}

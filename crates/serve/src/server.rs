@@ -1,0 +1,614 @@
+//! The migration server: admission control, worker pool, deadlines,
+//! graceful shutdown.
+//!
+//! ## Life of a request
+//!
+//! 1. A connection thread reads one frame, decodes the [`JobRequest`]
+//!    and validates its [`DiffusionConfig`] — malformed or invalid
+//!    requests are answered immediately with an error frame.
+//! 2. The request is offered to the **bounded** admission queue. A full
+//!    queue answers [`ErrorCode::Overloaded`] at once (explicit
+//!    backpressure; the server never buffers without bound).
+//! 3. A worker pops the job, checks the deadline (queue wait counts
+//!    against it), and runs global or local diffusion with a
+//!    cancellation hook that compares `Instant::now()` against the
+//!    deadline between diffusion steps.
+//! 4. The reply — legalized placement, or a partial-progress
+//!    [`ErrorCode::DeadlineExpired`] — travels back to the connection
+//!    thread, which writes it to the socket. Every outcome is appended
+//!    to the JSONL request log.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops accepting connections, closes the queue
+//! (no new admissions), lets the workers drain every admitted job, joins
+//! all threads and flushes the log. In-flight requests complete; clients
+//! that race the shutdown get [`ErrorCode::ShuttingDown`].
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
+use dpm_place::MovementStats;
+
+use crate::log::{RequestLog, RequestRecord};
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{
+    read_frame, write_frame, ErrorCode, ErrorReply, FrameKind, JobKind, JobRequest, JobResponse,
+    Reply, WireError, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// How often blocked connection reads wake up to check for shutdown.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Capacity of the admission queue; beyond it requests are rejected
+    /// with [`ErrorCode::Overloaded`].
+    pub queue_capacity: usize,
+    /// Number of worker threads running diffusion jobs.
+    pub workers: usize,
+    /// Cap on `DiffusionConfig::threads` per job (requests asking for
+    /// more are clamped; results are bit-identical either way).
+    pub job_threads: usize,
+    /// Deadline applied to requests that carry `deadline_ms == 0`.
+    /// `0` here means such requests run without a deadline.
+    pub default_deadline_ms: u32,
+    /// Largest accepted frame payload, bytes.
+    pub max_frame_len: usize,
+    /// Where to append the JSONL request log (`None` disables logging).
+    pub log_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            workers: 2,
+            job_threads: 1,
+            default_deadline_ms: 0,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            log_path: None,
+        }
+    }
+}
+
+/// Monotonic outcome counters, readable at any time via
+/// [`Server::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests that decoded successfully.
+    pub received: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Jobs a worker started running.
+    pub started: u64,
+    /// Jobs that finished with a successful response.
+    pub served: u64,
+    /// Requests rejected because the queue was full.
+    pub overloaded: u64,
+    /// Requests rejected by config validation.
+    pub invalid_config: u64,
+    /// Frames or payloads that failed to decode.
+    pub malformed: u64,
+    /// Jobs whose deadline expired (in queue or mid-diffusion).
+    pub deadline_expired: u64,
+    /// Requests refused because the server was shutting down.
+    pub rejected_shutdown: u64,
+    /// Jobs that failed unexpectedly (engine panic).
+    pub internal_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    received: AtomicU64,
+    admitted: AtomicU64,
+    started: AtomicU64,
+    served: AtomicU64,
+    overloaded: AtomicU64,
+    invalid_config: AtomicU64,
+    malformed: AtomicU64,
+    deadline_expired: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    internal_errors: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeStats {
+            received: get(&self.received),
+            admitted: get(&self.admitted),
+            started: get(&self.started),
+            served: get(&self.served),
+            overloaded: get(&self.overloaded),
+            invalid_config: get(&self.invalid_config),
+            malformed: get(&self.malformed),
+            deadline_expired: get(&self.deadline_expired),
+            rejected_shutdown: get(&self.rejected_shutdown),
+            internal_errors: get(&self.internal_errors),
+        }
+    }
+}
+
+/// One admitted job traveling from a connection thread to a worker.
+struct Job {
+    req: JobRequest,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    shutdown: AtomicBool,
+    counters: Counters,
+    log: RequestLog,
+    job_threads: usize,
+    max_frame_len: usize,
+    default_deadline_ms: u32,
+}
+
+/// A running migration server. Dropping it performs a graceful shutdown.
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, or the error opening the log file.
+    pub fn start(addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let log = match &cfg.log_path {
+            Some(path) => RequestLog::to_file(path)?,
+            None => RequestLog::disabled(),
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            log,
+            job_threads: cfg.job_threads.max(1),
+            max_frame_len: cfg.max_frame_len,
+            default_deadline_ms: cfg.default_deadline_ms,
+        });
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || acceptor_loop(listener, shared, conns))
+        };
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+
+        Ok(Self {
+            addr: local,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+            conns,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current outcome counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Requests currently waiting in the admission queue.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Gracefully shuts down: stop accepting, drain every admitted job,
+    /// join all threads, flush the log. Returns the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shutdown_impl();
+        self.stats()
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // No new admissions; workers drain what was admitted, then exit.
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Connection threads notice the flag at their next read poll.
+        let handles: Vec<_> = {
+            let mut guard = self.conns.lock().expect("conn registry poisoned");
+            guard.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        self.shared.log.flush();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The shutdown wake-up (or a client racing it).
+                    break;
+                }
+                let shared = Arc::clone(&shared);
+                let handle = std::thread::spawn(move || connection_loop(stream, shared));
+                conns.lock().expect("conn registry poisoned").push(handle);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Transient accept failure; keep serving.
+            }
+        }
+    }
+}
+
+fn write_reply(stream: &mut TcpStream, reply: &Reply) -> Result<(), WireError> {
+    let (kind, payload) = reply.to_frame_bytes();
+    write_frame(stream, kind, &payload)
+}
+
+fn rejection(id: u64, code: ErrorCode, message: impl Into<String>) -> Reply {
+    Reply::Rejected(ErrorReply {
+        id,
+        code,
+        steps: 0,
+        rounds: 0,
+        message: message.into(),
+    })
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+
+    loop {
+        let frame = match read_frame(&mut stream, shared.max_frame_len) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // client closed cleanly
+            Err(WireError::Io(ref e)) if is_timeout(e) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(WireError::Io(_)) => break, // connection torn down
+            Err(e) => {
+                // Framing is corrupt; the stream position is unknown, so
+                // answer once and drop the connection.
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                shared.log.write(&RequestRecord {
+                    id: 0,
+                    outcome: ErrorCode::Malformed.as_str(),
+                    kind: "-",
+                    ..Default::default()
+                });
+                let _ = write_reply(
+                    &mut stream,
+                    &rejection(0, ErrorCode::Malformed, e.to_string()),
+                );
+                break;
+            }
+        };
+
+        if frame.kind != FrameKind::Request {
+            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            let reply = rejection(0, ErrorCode::Malformed, "expected a request frame");
+            if write_reply(&mut stream, &reply).is_err() {
+                break;
+            }
+            continue;
+        }
+
+        let req = match crate::wire::decode_request(&frame.payload) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                shared.log.write(&RequestRecord {
+                    id: 0,
+                    outcome: ErrorCode::Malformed.as_str(),
+                    kind: "-",
+                    ..Default::default()
+                });
+                let reply = rejection(0, ErrorCode::Malformed, e.to_string());
+                if write_reply(&mut stream, &reply).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        shared.counters.received.fetch_add(1, Ordering::Relaxed);
+        let id = req.id;
+        let kind_str = kind_name(req.kind);
+        let cells = req.netlist.num_cells();
+
+        if let Err(e) = req.config.validate() {
+            shared
+                .counters
+                .invalid_config
+                .fetch_add(1, Ordering::Relaxed);
+            shared.log.write(&RequestRecord {
+                id,
+                outcome: ErrorCode::InvalidConfig.as_str(),
+                kind: kind_str,
+                cells,
+                ..Default::default()
+            });
+            let reply = rejection(id, ErrorCode::InvalidConfig, e.to_string());
+            if write_reply(&mut stream, &reply).is_err() {
+                break;
+            }
+            continue;
+        }
+
+        let deadline_ms = if req.deadline_ms == 0 {
+            shared.default_deadline_ms
+        } else {
+            req.deadline_ms
+        };
+        let enqueued = Instant::now();
+        let deadline =
+            (deadline_ms > 0).then(|| enqueued + Duration::from_millis(u64::from(deadline_ms)));
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            req,
+            enqueued,
+            deadline,
+            reply_tx,
+        };
+
+        let reply = match shared.queue.try_push(job) {
+            Ok(()) => {
+                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                // The worker (or the drain during shutdown) always
+                // answers; a dropped sender means the worker died.
+                reply_rx.recv().unwrap_or_else(|_| {
+                    rejection(id, ErrorCode::Internal, "worker terminated without a reply")
+                })
+            }
+            Err(PushError::Full(_)) => {
+                shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                shared.log.write(&RequestRecord {
+                    id,
+                    outcome: ErrorCode::Overloaded.as_str(),
+                    kind: kind_str,
+                    cells,
+                    ..Default::default()
+                });
+                rejection(
+                    id,
+                    ErrorCode::Overloaded,
+                    "admission queue full; retry later",
+                )
+            }
+            Err(PushError::Closed(_)) => {
+                shared
+                    .counters
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.log.write(&RequestRecord {
+                    id,
+                    outcome: ErrorCode::ShuttingDown.as_str(),
+                    kind: kind_str,
+                    cells,
+                    ..Default::default()
+                });
+                rejection(id, ErrorCode::ShuttingDown, "server is shutting down")
+            }
+        };
+        if write_reply(&mut stream, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+fn kind_name(kind: JobKind) -> &'static str {
+    match kind {
+        JobKind::Global => "global",
+        JobKind::Local => "local",
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop_wait() {
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+        shared.counters.started.fetch_add(1, Ordering::Relaxed);
+        let Job {
+            req,
+            deadline,
+            reply_tx,
+            ..
+        } = job;
+        let JobRequest {
+            id,
+            kind,
+            mut config,
+            netlist,
+            die,
+            placement,
+            ..
+        } = req;
+        let kind_str = kind_name(kind);
+        let cells = netlist.num_cells();
+        config.threads = config.threads.clamp(1, shared.job_threads);
+
+        // Queue wait counts against the deadline.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            shared
+                .counters
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            shared.log.write(&RequestRecord {
+                id,
+                outcome: ErrorCode::DeadlineExpired.as_str(),
+                kind: kind_str,
+                cells,
+                queue_ns,
+                ..Default::default()
+            });
+            let _ = reply_tx.send(rejection(
+                id,
+                ErrorCode::DeadlineExpired,
+                "deadline expired while queued",
+            ));
+            continue;
+        }
+
+        let before = placement.clone();
+        let mut after = placement;
+        let t0 = Instant::now();
+        let should_stop = move || deadline.is_some_and(|d| Instant::now() >= d);
+        let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_job(kind, &config, &netlist, &die, &mut after, &should_stop)
+        }));
+        let service_ns = t0.elapsed().as_nanos() as u64;
+
+        let reply = match run {
+            Err(_) => {
+                shared
+                    .counters
+                    .internal_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.log.write(&RequestRecord {
+                    id,
+                    outcome: ErrorCode::Internal.as_str(),
+                    kind: kind_str,
+                    cells,
+                    queue_ns,
+                    service_ns,
+                    ..Default::default()
+                });
+                rejection(id, ErrorCode::Internal, "diffusion engine panicked")
+            }
+            Ok(result) => {
+                let movement = MovementStats::between(&netlist, &before, &after);
+                let record = RequestRecord {
+                    id,
+                    outcome: if result.cancelled {
+                        ErrorCode::DeadlineExpired.as_str()
+                    } else {
+                        "ok"
+                    },
+                    kind: kind_str,
+                    cells,
+                    queue_ns,
+                    service_ns,
+                    steps: result.steps as u64,
+                    rounds: result.rounds as u64,
+                    converged: result.converged,
+                    movement_total: movement.total,
+                    movement_max: movement.max,
+                };
+                shared.log.write(&record);
+                if result.cancelled {
+                    shared
+                        .counters
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    Reply::Rejected(ErrorReply {
+                        id,
+                        code: ErrorCode::DeadlineExpired,
+                        steps: result.steps as u64,
+                        rounds: result.rounds as u64,
+                        message: "deadline expired mid-diffusion; placement progress discarded"
+                            .into(),
+                    })
+                } else {
+                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                    Reply::Ok(JobResponse {
+                        id,
+                        converged: result.converged,
+                        steps: result.steps as u64,
+                        rounds: result.rounds as u64,
+                        total_movement: movement.total,
+                        max_movement: movement.max,
+                        queue_ns,
+                        service_ns,
+                        positions: after.as_slice().to_vec(),
+                    })
+                }
+            }
+        };
+        let _ = reply_tx.send(reply);
+    }
+}
+
+fn run_job(
+    kind: JobKind,
+    config: &DiffusionConfig,
+    netlist: &dpm_netlist::Netlist,
+    die: &dpm_place::Die,
+    placement: &mut dpm_place::Placement,
+    should_stop: &dyn Fn() -> bool,
+) -> dpm_diffusion::DiffusionResult {
+    match kind {
+        JobKind::Global => GlobalDiffusion::new(config.clone()).run_with_cancel(
+            netlist,
+            die,
+            placement,
+            should_stop,
+        ),
+        JobKind::Local => LocalDiffusion::new(config.clone()).run_with_cancel(
+            netlist,
+            die,
+            placement,
+            should_stop,
+        ),
+    }
+}

@@ -1,0 +1,1051 @@
+//! Versioned, length-prefixed wire codec for legalization requests.
+//!
+//! Every frame on the stream is self-describing:
+//!
+//! ```text
+//! +-------+---------+------+-----------+----------------+
+//! | MAGIC | VERSION | KIND | LEN (u32) | LEN payload    |
+//! | 4 B   | u16 LE  | u8   | LE        | bytes          |
+//! +-------+---------+------+-----------+----------------+
+//! ```
+//!
+//! Three frame kinds exist: a [`JobRequest`] (client → server), a
+//! [`JobResponse`] (server → client, success) and an [`ErrorReply`]
+//! (server → client, rejection or partial failure). All integers are
+//! little-endian; `f64` values travel as their IEEE-754 bit patterns, so
+//! a decoded placement is *bit-identical* to the encoded one — the
+//! server-side diffusion result is exactly the result of a local call.
+//!
+//! The design payload inside a request supports two encodings:
+//!
+//! - [`PayloadEncoding::Binary`] — the native codec (compact, exact);
+//! - [`PayloadEncoding::Bookshelf`] — the four Bookshelf text files
+//!   (`.nodes`/`.nets`/`.pl`/`.scl`) as produced by `dpm-bookshelf`,
+//!   so any tool that speaks the ISPD format can talk to the server.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use dpm_bookshelf::BookshelfDesign;
+use dpm_diffusion::DiffusionConfig;
+use dpm_geom::Point;
+use dpm_netlist::{CellKind, Netlist, NetlistBuilder, PinDir};
+use dpm_place::{Die, Placement};
+
+/// Frame preamble identifying the protocol ("Diffusion Placement
+/// Migration Serve").
+pub const MAGIC: [u8; 4] = *b"DPMS";
+
+/// Current codec version. Decoders reject frames from other versions.
+pub const VERSION: u16 = 1;
+
+/// Default cap on a single frame's payload length (64 MiB) — a guard
+/// against unbounded allocation from a hostile or corrupt peer.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Errors produced while encoding, framing, or decoding.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The frame preamble was not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The frame's codec version is not [`VERSION`].
+    UnsupportedVersion(u16),
+    /// The frame kind byte names no known frame.
+    UnknownFrameKind(u8),
+    /// The declared payload length exceeds the reader's cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The reader's configured cap.
+        max: usize,
+    },
+    /// The payload ended before a field was complete.
+    Truncated {
+        /// Which field was being read.
+        context: &'static str,
+    },
+    /// The payload decoded but describes an invalid object.
+    Malformed {
+        /// Which object was being decoded.
+        context: &'static str,
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "stream error: {e}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownFrameKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            WireError::Truncated { context } => {
+                write!(f, "payload truncated while reading {context}")
+            }
+            WireError::Malformed { context, message } => {
+                write!(f, "malformed {context}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(context: &'static str, message: impl Into<String>) -> WireError {
+    WireError::Malformed {
+        context,
+        message: message.into(),
+    }
+}
+
+/// What kind of payload a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A [`JobRequest`].
+    Request,
+    /// A [`JobResponse`].
+    Response,
+    /// An [`ErrorReply`].
+    Error,
+}
+
+impl FrameKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+            FrameKind::Error => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            3 => Ok(FrameKind::Error),
+            k => Err(WireError::UnknownFrameKind(k)),
+        }
+    }
+}
+
+/// One frame pulled off a stream: its kind plus the raw payload.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame kind byte, already validated.
+    pub kind: FrameKind,
+    /// Undecoded payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Writes one frame (header + payload) to `w`.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] if the stream fails, and
+/// [`WireError::FrameTooLarge`] if the payload cannot be described by a
+/// `u32` length.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > u32::MAX as usize {
+        return Err(WireError::FrameTooLarge {
+            len: payload.len(),
+            max: u32::MAX as usize,
+        });
+    }
+    let mut header = [0u8; 11];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[6] = kind.to_u8();
+    header[7..11].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, or `None` on clean end-of-stream (the peer
+/// closed the connection exactly at a frame boundary).
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on stream failure (including timeouts on
+/// sockets with a read deadline), [`WireError::BadMagic`] /
+/// [`WireError::UnsupportedVersion`] / [`WireError::UnknownFrameKind`] on
+/// header corruption, and [`WireError::FrameTooLarge`] when the declared
+/// length exceeds `max_len`.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, WireError> {
+    // First byte separately: zero bytes here is a clean EOF.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut rest = [0u8; 10];
+    r.read_exact(&mut rest)?;
+    let magic = [first[0], rest[0], rest[1], rest[2]];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes([rest[3], rest[4]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = FrameKind::from_u8(rest[5])?;
+    let len = u32::from_le_bytes([rest[6], rest[7], rest[8], rest[9]]) as usize;
+    if len > max_len {
+        return Err(WireError::FrameTooLarge { len, max: max_len });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive put/take helpers.
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A fallible little-endian reader over a payload slice.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    fn str_(&mut self, context: &'static str) -> Result<String, WireError> {
+        let len = self.u32(context)? as usize;
+        // A string cannot be longer than the bytes that remain; this also
+        // rejects absurd lengths before allocating.
+        if len > self.buf.len() - self.pos {
+            return Err(WireError::Truncated { context });
+        }
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| malformed(context, "string is not valid UTF-8"))
+    }
+
+    fn finish(&self, context: &'static str) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(malformed(context, "trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request.
+// ---------------------------------------------------------------------------
+
+/// Which diffusion algorithm a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Global diffusion (paper Algorithm 1).
+    Global,
+    /// Robust local diffusion (paper Algorithm 3).
+    Local,
+}
+
+/// How the design (netlist + die + placement) travels inside a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadEncoding {
+    /// The native binary codec: exact `f64` bit patterns, compact.
+    Binary,
+    /// Four Bookshelf text files (`.nodes`/`.nets`/`.pl`/`.scl`).
+    Bookshelf,
+}
+
+/// One legalization request: a design plus the diffusion parameters.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Client-chosen correlation id, echoed in every reply.
+    pub id: u64,
+    /// Deadline in milliseconds, measured from the moment the server
+    /// admits the request to its queue (so queue wait counts against it).
+    /// `0` means "use the server's default"; the server's default of `0`
+    /// means no deadline.
+    pub deadline_ms: u32,
+    /// Which algorithm to run.
+    pub kind: JobKind,
+    /// Diffusion parameters. Validated server-side with
+    /// [`DiffusionConfig::validate`]; invalid configs are rejected with
+    /// an [`ErrorCode::InvalidConfig`] reply, never a crash.
+    pub config: DiffusionConfig,
+    /// The circuit.
+    pub netlist: Netlist,
+    /// The placement region.
+    pub die: Die,
+    /// Cell positions to legalize.
+    pub placement: Placement,
+}
+
+fn put_config(buf: &mut Vec<u8>, c: &DiffusionConfig) {
+    put_f64(buf, c.bin_size);
+    put_f64(buf, c.d_max);
+    put_f64(buf, c.delta);
+    put_f64(buf, c.dt);
+    put_f64(buf, c.diffusivity);
+    put_u64(buf, c.max_steps as u64);
+    put_u8(buf, c.manipulate as u8);
+    put_u8(buf, c.interpolate as u8);
+    put_u64(buf, c.w1 as u64);
+    put_u64(buf, c.w2 as u64);
+    put_u64(buf, c.n_u as u64);
+    put_u64(buf, c.max_rounds as u64);
+    put_f64(buf, c.max_step_displacement);
+    put_u8(buf, c.paper_boundaries as u8);
+    put_u64(buf, c.threads as u64);
+}
+
+fn take_config(cur: &mut Cur<'_>) -> Result<DiffusionConfig, WireError> {
+    Ok(DiffusionConfig {
+        bin_size: cur.f64("config.bin_size")?,
+        d_max: cur.f64("config.d_max")?,
+        delta: cur.f64("config.delta")?,
+        dt: cur.f64("config.dt")?,
+        diffusivity: cur.f64("config.diffusivity")?,
+        max_steps: cur.u64("config.max_steps")? as usize,
+        manipulate: cur.u8("config.manipulate")? != 0,
+        interpolate: cur.u8("config.interpolate")? != 0,
+        w1: cur.u64("config.w1")? as usize,
+        w2: cur.u64("config.w2")? as usize,
+        n_u: cur.u64("config.n_u")? as usize,
+        max_rounds: cur.u64("config.max_rounds")? as usize,
+        max_step_displacement: cur.f64("config.max_step_displacement")?,
+        paper_boundaries: cur.u8("config.paper_boundaries")? != 0,
+        threads: cur.u64("config.threads")? as usize,
+    })
+}
+
+fn cell_kind_to_u8(k: CellKind) -> u8 {
+    match k {
+        CellKind::Movable => 0,
+        CellKind::FixedMacro => 1,
+        CellKind::Pad => 2,
+    }
+}
+
+fn cell_kind_from_u8(b: u8) -> Result<CellKind, WireError> {
+    match b {
+        0 => Ok(CellKind::Movable),
+        1 => Ok(CellKind::FixedMacro),
+        2 => Ok(CellKind::Pad),
+        k => Err(malformed("cell.kind", format!("unknown cell kind {k}"))),
+    }
+}
+
+fn put_binary_design(buf: &mut Vec<u8>, nl: &Netlist, die: &Die, p: &Placement) {
+    let o = die.outline();
+    put_f64(buf, o.llx);
+    put_f64(buf, o.lly);
+    put_f64(buf, o.urx - o.llx);
+    put_f64(buf, o.ury - o.lly);
+    put_f64(buf, die.row_height());
+
+    put_u32(buf, nl.num_cells() as u32);
+    for c in nl.cell_ids() {
+        let cell = nl.cell(c);
+        put_str(buf, &cell.name);
+        put_f64(buf, cell.width);
+        put_f64(buf, cell.height);
+        put_u8(buf, cell_kind_to_u8(cell.kind));
+        put_f64(buf, cell.delay);
+        let pos = p.get(c);
+        put_f64(buf, pos.x);
+        put_f64(buf, pos.y);
+    }
+
+    put_u32(buf, nl.num_nets() as u32);
+    for n in nl.net_ids() {
+        let net = nl.net(n);
+        put_str(buf, &net.name);
+        put_u32(buf, net.pins.len() as u32);
+        for &pid in &net.pins {
+            let pin = nl.pin(pid);
+            put_u32(buf, pin.cell.index() as u32);
+            put_u8(buf, matches!(pin.dir, PinDir::Output) as u8);
+            put_f64(buf, pin.offset.x);
+            put_f64(buf, pin.offset.y);
+        }
+    }
+}
+
+fn take_binary_design(cur: &mut Cur<'_>) -> Result<(Netlist, Die, Placement), WireError> {
+    let llx = cur.f64("die.llx")?;
+    let lly = cur.f64("die.lly")?;
+    let width = cur.f64("die.width")?;
+    let height = cur.f64("die.height")?;
+    let row_height = cur.f64("die.row_height")?;
+    let die = checked_die(llx, lly, width, height, row_height)?;
+
+    let num_cells = cur.u32("cells.count")? as usize;
+    let mut b = NetlistBuilder::with_capacity(num_cells.min(1 << 20), 0, 0);
+    let mut positions = Vec::with_capacity(num_cells.min(1 << 20));
+    for _ in 0..num_cells {
+        let name = cur.str_("cell.name")?;
+        let w = cur.f64("cell.width")?;
+        let h = cur.f64("cell.height")?;
+        let kind = cell_kind_from_u8(cur.u8("cell.kind")?)?;
+        let delay = cur.f64("cell.delay")?;
+        let x = cur.f64("cell.x")?;
+        let y = cur.f64("cell.y")?;
+        b.add_cell_with_delay(name, w, h, kind, delay);
+        positions.push(Point::new(x, y));
+    }
+
+    let num_nets = cur.u32("nets.count")? as usize;
+    for _ in 0..num_nets {
+        let name = cur.str_("net.name")?;
+        let nid = b.add_net(name);
+        let num_pins = cur.u32("net.pins.count")? as usize;
+        for _ in 0..num_pins {
+            let cell = cur.u32("pin.cell")? as usize;
+            if cell >= num_cells {
+                return Err(malformed(
+                    "pin.cell",
+                    format!("pin references cell {cell} of {num_cells}"),
+                ));
+            }
+            let dir = if cur.u8("pin.dir")? != 0 {
+                PinDir::Output
+            } else {
+                PinDir::Input
+            };
+            let ox = cur.f64("pin.ox")?;
+            let oy = cur.f64("pin.oy")?;
+            b.connect(dpm_netlist::CellId::new(cell as u32), nid, dir, ox, oy);
+        }
+    }
+
+    let netlist = b.build().map_err(|e| malformed("netlist", e.to_string()))?;
+    let mut placement = Placement::new(netlist.num_cells());
+    for (c, pos) in netlist.cell_ids().zip(positions) {
+        placement.set(c, pos);
+    }
+    Ok((netlist, die, placement))
+}
+
+/// Builds a [`Die`] from wire values without panicking on garbage.
+fn checked_die(
+    llx: f64,
+    lly: f64,
+    width: f64,
+    height: f64,
+    row_height: f64,
+) -> Result<Die, WireError> {
+    let all_finite = llx.is_finite()
+        && lly.is_finite()
+        && width.is_finite()
+        && height.is_finite()
+        && row_height.is_finite();
+    // The row-count cap stops a finite-but-absurd height from driving a
+    // giant row allocation inside `Die::with_origin`.
+    if !all_finite
+        || width <= 0.0
+        || height <= 0.0
+        || row_height <= 0.0
+        || height < row_height
+        || height / row_height > 16_000_000.0
+    {
+        return Err(malformed(
+            "die",
+            format!("degenerate die {width}x{height} at ({llx}, {lly}), row height {row_height}"),
+        ));
+    }
+    Ok(Die::with_origin(llx, lly, width, height, row_height))
+}
+
+/// Encodes a request into a frame payload (not yet framed).
+///
+/// `encoding` selects how the design travels; the rest of the request is
+/// identical either way.
+pub fn encode_request(req: &JobRequest, encoding: PayloadEncoding) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, req.id);
+    put_u32(&mut buf, req.deadline_ms);
+    put_u8(&mut buf, matches!(req.kind, JobKind::Local) as u8);
+    put_config(&mut buf, &req.config);
+    match encoding {
+        PayloadEncoding::Binary => {
+            put_u8(&mut buf, 0);
+            put_binary_design(&mut buf, &req.netlist, &req.die, &req.placement);
+        }
+        PayloadEncoding::Bookshelf => {
+            put_u8(&mut buf, 1);
+            let design = BookshelfDesign::from_parts(&req.netlist, &req.die, &req.placement);
+            put_str(&mut buf, &design.write_nodes());
+            put_str(&mut buf, &design.write_nets());
+            put_str(&mut buf, &design.write_pl());
+            put_str(&mut buf, &design.write_scl());
+        }
+    }
+    buf
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] when the payload ends early and
+/// [`WireError::Malformed`] when it decodes to an invalid design
+/// (degenerate die, pin referencing a missing cell, Bookshelf text that
+/// does not parse, …). Never panics on adversarial input.
+pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
+    let mut cur = Cur::new(payload);
+    let id = cur.u64("request.id")?;
+    let deadline_ms = cur.u32("request.deadline_ms")?;
+    let kind = if cur.u8("request.kind")? != 0 {
+        JobKind::Local
+    } else {
+        JobKind::Global
+    };
+    let config = take_config(&mut cur)?;
+    let encoding = cur.u8("request.encoding")?;
+    let (netlist, die, placement) = match encoding {
+        0 => take_binary_design(&mut cur)?,
+        1 => {
+            let nodes = cur.str_("bookshelf.nodes")?;
+            let nets = cur.str_("bookshelf.nets")?;
+            let pl = cur.str_("bookshelf.pl")?;
+            let scl = cur.str_("bookshelf.scl")?;
+            let loaded = dpm_bookshelf::load_design(&nodes, &nets, &pl, &scl)
+                .map_err(|e| malformed("bookshelf design", e.to_string()))?;
+            (loaded.netlist, loaded.die, loaded.placement)
+        }
+        e => {
+            return Err(malformed(
+                "request.encoding",
+                format!("unknown payload encoding {e}"),
+            ))
+        }
+    };
+    cur.finish("request")?;
+    Ok(JobRequest {
+        id,
+        deadline_ms,
+        kind,
+        config,
+        netlist,
+        die,
+        placement,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Response.
+// ---------------------------------------------------------------------------
+
+/// A successful legalization reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Whether the diffusion stopping criterion was met.
+    pub converged: bool,
+    /// Diffusion steps executed.
+    pub steps: u64,
+    /// Local-diffusion rounds executed (1 for global).
+    pub rounds: u64,
+    /// Sum of cell displacements.
+    pub total_movement: f64,
+    /// Largest single-cell displacement.
+    pub max_movement: f64,
+    /// Time the request waited in the server queue, nanoseconds.
+    pub queue_ns: u64,
+    /// Time the diffusion run took, nanoseconds.
+    pub service_ns: u64,
+    /// Final position of every cell, in netlist cell-id order.
+    pub positions: Vec<Point>,
+}
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(resp: &JobResponse) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, resp.id);
+    put_u8(&mut buf, resp.converged as u8);
+    put_u64(&mut buf, resp.steps);
+    put_u64(&mut buf, resp.rounds);
+    put_f64(&mut buf, resp.total_movement);
+    put_f64(&mut buf, resp.max_movement);
+    put_u64(&mut buf, resp.queue_ns);
+    put_u64(&mut buf, resp.service_ns);
+    put_u32(&mut buf, resp.positions.len() as u32);
+    for p in &resp.positions {
+        put_f64(&mut buf, p.x);
+        put_f64(&mut buf, p.y);
+    }
+    buf
+}
+
+/// Decodes a response frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] or [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_response(payload: &[u8]) -> Result<JobResponse, WireError> {
+    let mut cur = Cur::new(payload);
+    let id = cur.u64("response.id")?;
+    let converged = cur.u8("response.converged")? != 0;
+    let steps = cur.u64("response.steps")?;
+    let rounds = cur.u64("response.rounds")?;
+    let total_movement = cur.f64("response.total_movement")?;
+    let max_movement = cur.f64("response.max_movement")?;
+    let queue_ns = cur.u64("response.queue_ns")?;
+    let service_ns = cur.u64("response.service_ns")?;
+    let n = cur.u32("response.positions.count")? as usize;
+    let mut positions = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let x = cur.f64("response.position.x")?;
+        let y = cur.f64("response.position.y")?;
+        positions.push(Point::new(x, y));
+    }
+    cur.finish("response")?;
+    Ok(JobResponse {
+        id,
+        converged,
+        steps,
+        rounds,
+        total_movement,
+        max_movement,
+        queue_ns,
+        service_ns,
+        positions,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Error reply.
+// ---------------------------------------------------------------------------
+
+/// Why the server could not produce a [`JobResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The bounded request queue was full — explicit backpressure; retry
+    /// later or slow down.
+    Overloaded,
+    /// [`DiffusionConfig::validate`] rejected the request's parameters.
+    InvalidConfig,
+    /// The request payload did not decode.
+    Malformed,
+    /// The deadline expired before the run finished. `steps`/`rounds` in
+    /// the reply report the partial progress made before cancellation.
+    DeadlineExpired,
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The worker failed unexpectedly.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::InvalidConfig => 2,
+            ErrorCode::Malformed => 3,
+            ErrorCode::DeadlineExpired => 4,
+            ErrorCode::ShuttingDown => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<Self, WireError> {
+        match b {
+            1 => Ok(ErrorCode::Overloaded),
+            2 => Ok(ErrorCode::InvalidConfig),
+            3 => Ok(ErrorCode::Malformed),
+            4 => Ok(ErrorCode::DeadlineExpired),
+            5 => Ok(ErrorCode::ShuttingDown),
+            6 => Ok(ErrorCode::Internal),
+            k => Err(malformed("error.code", format!("unknown error code {k}"))),
+        }
+    }
+
+    /// Stable lower-snake name used in the JSONL request log.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::InvalidConfig => "invalid_config",
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::DeadlineExpired => "deadline_expired",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A rejection or failure reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorReply {
+    /// Echo of the request id (`0` when the request never decoded).
+    pub id: u64,
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Diffusion steps completed before failure (partial progress for
+    /// [`ErrorCode::DeadlineExpired`], otherwise 0).
+    pub steps: u64,
+    /// Rounds completed before failure.
+    pub rounds: u64,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Encodes an error reply into a frame payload.
+pub fn encode_error(err: &ErrorReply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, err.id);
+    put_u8(&mut buf, err.code.to_u8());
+    put_u64(&mut buf, err.steps);
+    put_u64(&mut buf, err.rounds);
+    put_str(&mut buf, &err.message);
+    buf
+}
+
+/// Decodes an error-reply frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] or [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_error(payload: &[u8]) -> Result<ErrorReply, WireError> {
+    let mut cur = Cur::new(payload);
+    let id = cur.u64("error.id")?;
+    let code = ErrorCode::from_u8(cur.u8("error.code")?)?;
+    let steps = cur.u64("error.steps")?;
+    let rounds = cur.u64("error.rounds")?;
+    let message = cur.str_("error.message")?;
+    cur.finish("error")?;
+    Ok(ErrorReply {
+        id,
+        code,
+        steps,
+        rounds,
+        message,
+    })
+}
+
+/// Either reply a server can send for a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The run finished; here is the legalized placement.
+    Ok(JobResponse),
+    /// The request was rejected or failed.
+    Rejected(ErrorReply),
+}
+
+impl Reply {
+    /// Frames this reply for the stream.
+    pub fn to_frame_bytes(&self) -> (FrameKind, Vec<u8>) {
+        match self {
+            Reply::Ok(r) => (FrameKind::Response, encode_response(r)),
+            Reply::Rejected(e) => (FrameKind::Error, encode_error(e)),
+        }
+    }
+
+    /// Decodes a reply from a received frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Malformed`] if the frame is a request (a
+    /// server never receives replies), or any decode error from the
+    /// payload.
+    pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        match frame.kind {
+            FrameKind::Response => Ok(Reply::Ok(decode_response(&frame.payload)?)),
+            FrameKind::Error => Ok(Reply::Rejected(decode_error(&frame.payload)?)),
+            FrameKind::Request => Err(malformed("reply", "unexpected request frame")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_request(kind: JobKind) -> JobRequest {
+        let mut b = NetlistBuilder::new();
+        let a = b.add_cell("a", 4.0, 12.0, CellKind::Movable);
+        let c = b.add_cell("c", 6.0, 12.0, CellKind::Movable);
+        let m = b.add_cell("m", 24.0, 24.0, CellKind::FixedMacro);
+        let n = b.add_net("n1");
+        b.connect(a, n, PinDir::Output, 2.0, 6.0);
+        b.connect(c, n, PinDir::Input, 0.0, 6.0);
+        let netlist = b.build().expect("valid");
+        let die = Die::new(96.0, 96.0, 12.0);
+        let mut placement = Placement::new(netlist.num_cells());
+        placement.set(a, Point::new(10.5, 12.0));
+        placement.set(c, Point::new(11.25, 12.0));
+        placement.set(m, Point::new(48.0, 48.0));
+        JobRequest {
+            id: 77,
+            deadline_ms: 250,
+            kind,
+            config: DiffusionConfig::default().with_bin_size(24.0),
+            netlist,
+            die,
+            placement,
+        }
+    }
+
+    #[test]
+    fn binary_request_round_trip_is_exact() {
+        let req = tiny_request(JobKind::Local);
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        let back = decode_request(&payload).expect("decodes");
+        assert_eq!(back.id, 77);
+        assert_eq!(back.deadline_ms, 250);
+        assert_eq!(back.kind, JobKind::Local);
+        assert_eq!(back.config, req.config);
+        assert_eq!(back.netlist.num_cells(), 3);
+        assert_eq!(back.netlist.num_nets(), 1);
+        assert_eq!(back.netlist.num_pins(), 2);
+        assert_eq!(back.netlist.macro_ids().count(), 1);
+        for c in req.netlist.cell_ids() {
+            let (p0, p1) = (req.placement.get(c), back.placement.get(c));
+            assert_eq!(p0.x.to_bits(), p1.x.to_bits());
+            assert_eq!(p0.y.to_bits(), p1.y.to_bits());
+            assert_eq!(req.netlist.cell(c).name, back.netlist.cell(c).name);
+        }
+        assert_eq!(req.die.outline(), back.die.outline());
+    }
+
+    #[test]
+    fn bookshelf_request_round_trip_preserves_positions() {
+        let req = tiny_request(JobKind::Global);
+        let payload = encode_request(&req, PayloadEncoding::Bookshelf);
+        let back = decode_request(&payload).expect("decodes");
+        assert_eq!(back.kind, JobKind::Global);
+        assert_eq!(back.netlist.num_cells(), req.netlist.num_cells());
+        // Display-formatted f64 round-trips exactly in Rust.
+        for c in req.netlist.cell_ids() {
+            let (p0, p1) = (req.placement.get(c), back.placement.get(c));
+            assert_eq!(p0.x.to_bits(), p1.x.to_bits());
+            assert_eq!(p0.y.to_bits(), p1.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = JobResponse {
+            id: 9,
+            converged: true,
+            steps: 42,
+            rounds: 3,
+            total_movement: 123.456,
+            max_movement: 7.25,
+            queue_ns: 1000,
+            service_ns: 2000,
+            positions: vec![Point::new(1.5, -2.5), Point::new(0.0, f64::MAX)],
+        };
+        let back = decode_response(&encode_response(&resp)).expect("decodes");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn error_round_trip() {
+        let err = ErrorReply {
+            id: 3,
+            code: ErrorCode::DeadlineExpired,
+            steps: 17,
+            rounds: 2,
+            message: "deadline of 50ms expired".into(),
+        };
+        let back = decode_error(&encode_error(&err)).expect("decodes");
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let req = tiny_request(JobKind::Local);
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, FrameKind::Request, &payload).expect("writes");
+        write_frame(
+            &mut stream,
+            FrameKind::Error,
+            &encode_error(&ErrorReply {
+                id: 1,
+                code: ErrorCode::Overloaded,
+                steps: 0,
+                rounds: 0,
+                message: String::new(),
+            }),
+        )
+        .expect("writes");
+
+        let mut r = &stream[..];
+        let f1 = read_frame(&mut r, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("present");
+        assert_eq!(f1.kind, FrameKind::Request);
+        assert_eq!(f1.payload, payload);
+        let f2 = read_frame(&mut r, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("present");
+        assert_eq!(f2.kind, FrameKind::Error);
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME_LEN)
+            .expect("clean EOF")
+            .is_none());
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        // Bad magic.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, FrameKind::Error, &[]).expect("writes");
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut &bad[..], DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::BadMagic(_))
+        ));
+
+        // Future version.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, FrameKind::Error, &[]).expect("writes");
+        bad[4] = 99;
+        assert!(matches!(
+            read_frame(&mut &bad[..], DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+
+        // Unknown kind.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, FrameKind::Error, &[]).expect("writes");
+        bad[6] = 42;
+        assert!(matches!(
+            read_frame(&mut &bad[..], DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::UnknownFrameKind(42))
+        ));
+
+        // Over-long payload vs cap.
+        let mut big = Vec::new();
+        write_frame(&mut big, FrameKind::Error, &[0u8; 128]).expect("writes");
+        assert!(matches!(
+            read_frame(&mut &big[..], 64),
+            Err(WireError::FrameTooLarge { len: 128, max: 64 })
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        let req = tiny_request(JobKind::Global);
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        // Chop the payload at many lengths; every prefix must produce an
+        // error (or, for a complete prefix, a valid decode) — never panic.
+        for cut in 0..payload.len() {
+            match decode_request(&payload[..cut]) {
+                Err(_) => {}
+                Ok(_) => panic!("truncated payload of {cut} bytes decoded"),
+            }
+        }
+        assert!(decode_request(&payload).is_ok());
+    }
+
+    #[test]
+    fn degenerate_die_is_malformed_not_panic() {
+        let mut req = tiny_request(JobKind::Global);
+        req.config = DiffusionConfig::default();
+        let mut payload = encode_request(&req, PayloadEncoding::Binary);
+        // The die width field sits right after id(8) + deadline(4) +
+        // kind(1) + config(five f64 + max_steps u64 + two u8 flags + four
+        // u64 counters + f64 clamp + u8 flag + u64 threads) + encoding(1)
+        // + llx(8) + lly(8).
+        let config_len = 5 * 8 + 8 + 2 + 4 * 8 + 8 + 1 + 8;
+        let die_width_off = 8 + 4 + 1 + config_len + 1 + 16;
+        payload[die_width_off..die_width_off + 8]
+            .copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::Malformed { context: "die", .. })
+        ));
+    }
+
+    #[test]
+    fn pin_referencing_missing_cell_is_malformed() {
+        let req = tiny_request(JobKind::Global);
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        // Find the first pin's cell index (value 0 as u32 after the net
+        // name + pin count); rather than hand-compute the offset, corrupt
+        // every aligned u32 equal to 0 near the tail and require that at
+        // least one corruption yields a Malformed pin error and none
+        // panic.
+        let mut saw_pin_error = false;
+        for off in (payload.len() - 80)..(payload.len() - 4) {
+            let mut p = payload.clone();
+            p[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            match decode_request(&p) {
+                Err(WireError::Malformed { context, .. })
+                    if context == "pin.cell" || context == "netlist" =>
+                {
+                    saw_pin_error = true;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_pin_error, "no corruption hit the pin cell index");
+    }
+}

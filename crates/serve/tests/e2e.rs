@@ -1,0 +1,430 @@
+//! End-to-end tests: a real server on an ephemeral TCP port, real
+//! clients, real diffusion jobs.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
+use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
+use dpm_serve::wire::{
+    read_frame, write_frame, ErrorCode, FrameKind, JobKind, JobRequest, PayloadEncoding, Reply,
+    DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
+};
+use dpm_serve::{ServeClient, ServeConfig, Server};
+
+/// A small inflated benchmark: overlapping, so diffusion has real work.
+fn bench(seed: u64) -> Benchmark {
+    let mut b = CircuitSpec::with_size("e2e", 300, seed).generate();
+    b.inflate(&InflationSpec::distributed(0.15, seed ^ 0x9e37));
+    b
+}
+
+/// A config whose stopping criterion is unreachable (d_max far below the
+/// average movable density) but whose individual steps stay cheap — the
+/// reliable way to have a job still running when a deadline fires,
+/// without timing-sensitive sleeps in the engine.
+fn unconverging_config() -> DiffusionConfig {
+    DiffusionConfig {
+        d_max: 0.01,
+        max_steps: 50_000_000,
+        ..DiffusionConfig::default()
+    }
+}
+
+fn request(id: u64, kind: JobKind, config: DiffusionConfig, deadline_ms: u32) -> JobRequest {
+    let b = bench(0xB0B + id);
+    JobRequest {
+        id,
+        deadline_ms,
+        kind,
+        config,
+        netlist: b.netlist,
+        die: b.die,
+        placement: b.placement,
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn send(addr: SocketAddr, req: &JobRequest, encoding: PayloadEncoding) -> Reply {
+    let mut client = ServeClient::connect(addr).expect("connects");
+    client.request(req, encoding).expect("transport ok")
+}
+
+#[test]
+fn tcp_round_trip_is_bit_identical_to_direct_call() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    for (id, kind) in [(1u64, JobKind::Local), (2, JobKind::Global)] {
+        let req = request(id, kind, DiffusionConfig::default(), 0);
+
+        // The ground truth: run the engine in-process on a copy.
+        let mut direct = req.placement.clone();
+        let expect = match kind {
+            JobKind::Global => {
+                GlobalDiffusion::new(req.config.clone()).run(&req.netlist, &req.die, &mut direct)
+            }
+            JobKind::Local => {
+                LocalDiffusion::new(req.config.clone()).run(&req.netlist, &req.die, &mut direct)
+            }
+        };
+
+        for encoding in [PayloadEncoding::Binary, PayloadEncoding::Bookshelf] {
+            let reply = send(addr, &req, encoding);
+            let resp = match reply {
+                Reply::Ok(resp) => resp,
+                Reply::Rejected(e) => panic!("rejected: {} ({})", e.message, e.code.as_str()),
+            };
+            assert_eq!(resp.id, id);
+            assert_eq!(resp.steps, expect.steps as u64);
+            assert_eq!(resp.rounds, expect.rounds as u64);
+            assert_eq!(resp.converged, expect.converged);
+            assert_eq!(resp.positions.len(), req.netlist.num_cells());
+            for (got, want) in resp.positions.iter().zip(direct.as_slice()) {
+                assert_eq!(got.x.to_bits(), want.x.to_bits(), "{encoding:?} x drifted");
+                assert_eq!(got.y.to_bits(), want.y.to_bits(), "{encoding:?} y drifted");
+            }
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 4);
+    assert_eq!(stats.received, 4);
+}
+
+#[test]
+fn queue_full_requests_are_rejected_with_overloaded() {
+    let cfg = ServeConfig {
+        queue_capacity: 1,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("binds");
+    let addr = server.local_addr();
+
+    // Job 1 occupies the single worker for its whole 1200 ms deadline.
+    let c1 = std::thread::spawn(move || {
+        send(
+            addr,
+            &request(1, JobKind::Global, unconverging_config(), 1200),
+            PayloadEncoding::Binary,
+        )
+    });
+    wait_until("worker busy", || server.stats().started >= 1);
+
+    // Job 2 fills the single queue slot.
+    let c2 = std::thread::spawn(move || {
+        send(
+            addr,
+            &request(2, JobKind::Global, unconverging_config(), 1200),
+            PayloadEncoding::Binary,
+        )
+    });
+    wait_until("queue full", || server.stats().admitted >= 2);
+
+    // Job 3 must be rejected immediately — no waiting out the deadline.
+    let t0 = Instant::now();
+    let reply = send(
+        addr,
+        &request(3, JobKind::Local, DiffusionConfig::default(), 0),
+        PayloadEncoding::Binary,
+    );
+    let rejected_in = t0.elapsed();
+    match reply {
+        Reply::Rejected(e) => {
+            assert_eq!(e.code, ErrorCode::Overloaded);
+            assert_eq!(e.id, 3);
+        }
+        Reply::Ok(_) => panic!("overloaded server accepted a third job"),
+    }
+    assert!(
+        rejected_in < Duration::from_millis(500),
+        "backpressure reply took {rejected_in:?}"
+    );
+
+    // The two slow jobs expire (mid-run or in queue) rather than hang.
+    for c in [c1, c2] {
+        match c.join().expect("client thread ok") {
+            Reply::Rejected(e) => assert_eq!(e.code, ErrorCode::DeadlineExpired),
+            Reply::Ok(r) => panic!("unconverging job claimed convergence: {r:?}"),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.overloaded, 1);
+    assert_eq!(stats.deadline_expired, 2);
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn deadline_expiry_mid_diffusion_reports_partial_progress() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    let t0 = Instant::now();
+    let reply = send(
+        addr,
+        &request(7, JobKind::Global, unconverging_config(), 200),
+        PayloadEncoding::Binary,
+    );
+    let elapsed = t0.elapsed();
+
+    match reply {
+        Reply::Rejected(e) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExpired);
+            assert_eq!(e.id, 7);
+            // The job was genuinely cancelled mid-diffusion: it made real
+            // progress first (steps are cheap, 200 ms fits thousands).
+            assert!(e.steps >= 1, "no partial progress reported");
+            assert!(!e.message.is_empty());
+        }
+        Reply::Ok(r) => panic!("unconverging job finished: {r:?}"),
+    }
+    // The deadline actually bounded the wall time (generous upper margin
+    // for a loaded CI machine).
+    assert!(elapsed >= Duration::from_millis(200));
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "deadline ignored: {elapsed:?}"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_expired, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_admitted_jobs() {
+    let cfg = ServeConfig {
+        queue_capacity: 4,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("binds");
+    let addr = server.local_addr();
+
+    // Job 1 keeps the worker busy until its 400 ms deadline.
+    let c1 = std::thread::spawn(move || {
+        send(
+            addr,
+            &request(1, JobKind::Global, unconverging_config(), 400),
+            PayloadEncoding::Binary,
+        )
+    });
+    wait_until("worker busy", || server.stats().started >= 1);
+
+    // Job 2 is admitted but still queued when shutdown begins.
+    let req2 = request(2, JobKind::Local, DiffusionConfig::default(), 0);
+    let mut direct2 = req2.placement.clone();
+    LocalDiffusion::new(req2.config.clone()).run(&req2.netlist, &req2.die, &mut direct2);
+    let c2 = std::thread::spawn(move || send(addr, &req2, PayloadEncoding::Binary));
+    wait_until("second job admitted", || server.stats().admitted >= 2);
+
+    // Shutdown must drain both: finish job 1 (expiring), then run job 2
+    // from the closed queue to completion.
+    let stats = server.shutdown();
+
+    match c1.join().expect("client 1 ok") {
+        Reply::Rejected(e) => assert_eq!(e.code, ErrorCode::DeadlineExpired),
+        Reply::Ok(r) => panic!("unconverging job finished: {r:?}"),
+    }
+    match c2.join().expect("client 2 ok") {
+        Reply::Ok(resp) => {
+            assert_eq!(resp.id, 2);
+            for (got, want) in resp.positions.iter().zip(direct2.as_slice()) {
+                assert_eq!(got.x.to_bits(), want.x.to_bits());
+                assert_eq!(got.y.to_bits(), want.y.to_bits());
+            }
+        }
+        Reply::Rejected(e) => panic!("drained job rejected: {} ({})", e.message, e.code.as_str()),
+    }
+
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(stats.served, 1);
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.rejected_shutdown, 0);
+}
+
+#[test]
+fn invalid_config_is_rejected_with_a_typed_error() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    let bad = DiffusionConfig {
+        bin_size: -4.0,
+        ..DiffusionConfig::default()
+    };
+    let reply = send(
+        addr,
+        &request(11, JobKind::Local, bad, 0),
+        PayloadEncoding::Binary,
+    );
+    match reply {
+        Reply::Rejected(e) => {
+            assert_eq!(e.code, ErrorCode::InvalidConfig);
+            assert_eq!(e.id, 11);
+            assert!(
+                e.message.contains("bin_size"),
+                "unhelpful message: {}",
+                e.message
+            );
+        }
+        Reply::Ok(_) => panic!("negative bin size accepted"),
+    }
+
+    let nan = DiffusionConfig {
+        d_max: f64::NAN,
+        ..DiffusionConfig::default()
+    };
+    let reply = send(
+        addr,
+        &request(12, JobKind::Global, nan, 0),
+        PayloadEncoding::Binary,
+    );
+    assert!(matches!(reply, Reply::Rejected(e) if e.code == ErrorCode::InvalidConfig));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.invalid_config, 2);
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn malformed_payloads_get_error_replies_not_crashes() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    // Garbage payload inside a well-formed frame: the server answers with
+    // a malformed-error frame and keeps the connection usable.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write_frame(&mut stream, FrameKind::Request, &[0xAB; 37]).expect("writes");
+        let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("reply present");
+        match Reply::from_frame(&frame).expect("decodes") {
+            Reply::Rejected(e) => {
+                assert_eq!(e.code, ErrorCode::Malformed);
+                assert_eq!(e.id, 0, "undecodable request cannot echo an id");
+            }
+            Reply::Ok(_) => panic!("garbage decoded to a response"),
+        }
+
+        // Same connection, now a real request: still served.
+        let req = request(21, JobKind::Local, DiffusionConfig::default(), 0);
+        let payload = dpm_serve::wire::encode_request(&req, PayloadEncoding::Binary);
+        write_frame(&mut stream, FrameKind::Request, &payload).expect("writes");
+        let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("reply present");
+        assert!(matches!(
+            Reply::from_frame(&frame).expect("decodes"),
+            Reply::Ok(resp) if resp.id == 21
+        ));
+    }
+
+    // Corrupt framing (bad magic): one error reply, then the server drops
+    // the connection since the stream position is unrecoverable.
+    {
+        use std::io::Write as _;
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        let mut header = Vec::new();
+        header.extend_from_slice(b"XXXX");
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.push(1);
+        header.extend_from_slice(&0u32.to_le_bytes());
+        stream.write_all(&header).expect("writes");
+        let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("reply present");
+        assert!(matches!(
+            Reply::from_frame(&frame).expect("decodes"),
+            Reply::Rejected(e) if e.code == ErrorCode::Malformed
+        ));
+        assert!(
+            read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+                .expect("clean close")
+                .is_none(),
+            "server kept a corrupt connection open"
+        );
+    }
+
+    // A response frame sent to the server is also malformed traffic.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        write_frame(&mut stream, FrameKind::Error, &[]).expect("writes");
+        let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("reply present");
+        assert!(matches!(
+            Reply::from_frame(&frame).expect("decodes"),
+            Reply::Rejected(e) if e.code == ErrorCode::Malformed
+        ));
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.malformed, 3);
+    assert_eq!(stats.served, 1);
+    // Sanity: magic constant is what the docs promise.
+    assert_eq!(&MAGIC, b"DPMS");
+}
+
+#[test]
+fn request_log_captures_every_outcome_as_jsonl() {
+    let dir = std::env::temp_dir().join("dpm_serve_e2e_log");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("requests_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let cfg = ServeConfig {
+        log_path: Some(path.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", cfg).expect("binds");
+    let addr = server.local_addr();
+
+    let ok = send(
+        addr,
+        &request(31, JobKind::Local, DiffusionConfig::default(), 0),
+        PayloadEncoding::Binary,
+    );
+    assert!(matches!(ok, Reply::Ok(_)));
+    let bad = DiffusionConfig {
+        n_u: 0,
+        ..DiffusionConfig::default()
+    };
+    let rejected = send(
+        addr,
+        &request(32, JobKind::Local, bad, 0),
+        PayloadEncoding::Binary,
+    );
+    assert!(matches!(rejected, Reply::Rejected(_)));
+
+    server.shutdown();
+
+    let text = std::fs::read_to_string(&path).expect("log readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one JSONL line per request: {text}");
+    let ok_line = lines
+        .iter()
+        .find(|l| l.contains("\"id\":31"))
+        .expect("ok line");
+    assert!(ok_line.contains("\"outcome\":\"ok\""));
+    assert!(ok_line.contains("\"kind\":\"local\""));
+    assert!(ok_line.contains("\"cells\":") && !ok_line.contains("\"cells\":0,"));
+    assert!(ok_line.contains("\"service_ns\":"));
+    let bad_line = lines
+        .iter()
+        .find(|l| l.contains("\"id\":32"))
+        .expect("bad line");
+    assert!(bad_line.contains("\"outcome\":\"invalid_config\""));
+    for l in &lines {
+        assert!(l.starts_with('{') && l.ends_with('}'));
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -19,4 +19,15 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --release --offline --workspace
 
+echo "==> service smoke test (perf_serve --smoke)"
+# Boots a real server on an ephemeral port, replays a deterministic
+# open-loop schedule, and asserts every request was answered and the
+# shutdown drained cleanly (the binary exits non-zero otherwise).
+smoke_out="$(mktemp)"
+cargo run --release --offline -p dpm-bench --bin perf_serve -- "$smoke_out" --smoke >/dev/null
+grep -q '"bench": "perf_serve"' "$smoke_out"
+grep -q '"hardware_threads"' "$smoke_out"
+grep -q '"p99_us"' "$smoke_out"
+rm -f "$smoke_out"
+
 echo "CI green."

@@ -25,6 +25,8 @@
 //! - [`par`] — deterministic fixed-chunk worker pool behind every
 //!   parallel kernel (bit-identical results at any thread count)
 //! - [`rng`] — the tiny SplitMix64 generator used by [`gen`] and tests
+//! - [`serve`] — migration-as-a-service: a framed TCP server with a
+//!   bounded queue, per-request deadlines and JSONL request logs
 //!
 //! # Quickstart
 //!
@@ -62,5 +64,6 @@ pub use dpm_place as place;
 pub use dpm_qplace as qplace;
 pub use dpm_rng as rng;
 pub use dpm_route as route;
+pub use dpm_serve as serve;
 pub use dpm_sta as sta;
 pub use dpm_viz as viz;
