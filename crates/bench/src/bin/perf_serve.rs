@@ -4,19 +4,35 @@
 //! arrival schedule (exponential inter-arrivals from `dpm-rng`) from a
 //! pool of sender threads, and reports throughput plus p50/p95/p99/max
 //! latency, split into queue wait and service time as measured by the
-//! server and end-to-end wall time as seen by the client.
+//! server and end-to-end wall time as seen by the client. Latency
+//! aggregation uses the fixed-bucket `dpm-obs` histograms — the same
+//! instrument the server itself exports over the wire.
 //!
 //! Open-loop means arrivals do not wait for earlier replies: if the
 //! server falls behind, requests pile into its bounded queue and the
 //! `Overloaded` rejections are counted rather than hidden — the honest
 //! way to measure a service under offered load.
 //!
-//! Usage: `cargo run --release --bin perf_serve [-- <output-path>] [--smoke]`
+//! `--pipeline N` keeps up to N requests outstanding per connection
+//! (send without waiting, matching replies in submission order). The
+//! reported `head_of_line` histogram is the per-request difference
+//! between client-observed end-to-end time and the server-side
+//! queue + service time — the cost of waiting behind earlier replies on
+//! the same connection plus transport overhead.
+//!
+//! A slice of the schedule requests streamed progress frames, and the
+//! run ends with a wire-level stats probe; the JSON records how many
+//! progress frames the clients saw and cross-checks the server's own
+//! counter.
+//!
+//! Usage: `cargo run --release --bin perf_serve [-- <output-path>]
+//! [--smoke] [--pipeline N]`
 //!
 //! `--smoke` runs a seconds-scale schedule (used by `scripts/ci.sh`) and
 //! applies the same acceptance checks: every request answered, clean
 //! shutdown, valid JSON written.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -24,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use dpm_diffusion::DiffusionConfig;
 use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
+use dpm_obs::Histogram;
 use dpm_rng::Rng;
 use dpm_serve::wire::{JobKind, JobRequest, PayloadEncoding, Reply};
 use dpm_serve::{ServeClient, ServeConfig, Server};
@@ -61,6 +78,11 @@ const SMOKE: LoadSpec = LoadSpec {
     queue_capacity: 8,
 };
 
+/// Every `STREAM_EVERY`-th request asks for progress frames at this
+/// stride, on a workload dense enough to run real diffusion steps.
+const STREAM_EVERY: usize = 4;
+const STREAM_STRIDE: u32 = 4;
+
 /// One completed request as seen by its sender.
 struct Observation {
     outcome: &'static str,
@@ -75,22 +97,40 @@ fn bench_for(cells: usize, seed: u64) -> Benchmark {
     b
 }
 
+/// A denser pile for the streamed requests: guarantees the job runs a
+/// non-trivial number of steps so progress frames actually flow.
+fn busy_bench_for(cells: usize, seed: u64) -> Benchmark {
+    let mut b = CircuitSpec::with_size("serve", cells, seed).generate();
+    b.inflate(&InflationSpec::centered(0.3, 0.25, seed ^ 0x51EE));
+    b
+}
+
 /// Builds the whole request set up front so generation cost never
 /// pollutes the measured window.
 fn build_requests(spec: &LoadSpec) -> Vec<JobRequest> {
     (0..spec.requests)
         .map(|i| {
             let cells = spec.circuit_cells[i % spec.circuit_cells.len()];
-            let b = bench_for(cells, 0xC0FFEE + i as u64);
+            let streamed = i % STREAM_EVERY == 0;
+            let b = if streamed {
+                busy_bench_for(cells, 0xC0FFEE + i as u64)
+            } else {
+                bench_for(cells, 0xC0FFEE + i as u64)
+            };
             JobRequest {
                 id: i as u64 + 1,
                 deadline_ms: 0,
+                progress_stride: if streamed { STREAM_STRIDE } else { 0 },
                 kind: if i % 2 == 0 {
                     JobKind::Local
                 } else {
                     JobKind::Global
                 },
-                config: DiffusionConfig::default(),
+                design: format!("serve_{cells}c_{i}"),
+                config: DiffusionConfig {
+                    d_max: if streamed { 0.8 } else { 1.0 },
+                    ..DiffusionConfig::default()
+                },
                 netlist: b.netlist,
                 die: b.die,
                 placement: b.placement,
@@ -114,31 +154,69 @@ fn arrival_schedule(spec: &LoadSpec, seed: u64) -> Vec<Duration> {
         .collect()
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+fn latency_json(name: &str, ns: &[u64]) -> String {
+    let h = Histogram::new(&Histogram::latency_bounds());
+    for &v in ns {
+        h.record(v);
     }
-    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let s = h.snapshot();
+    format!(
+        "\"{name}\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}, \"mean_us\": {:.1}, \"count\": {}}}",
+        s.percentile(0.50) as f64 / 1e3,
+        s.percentile(0.95) as f64 / 1e3,
+        s.percentile(0.99) as f64 / 1e3,
+        s.max as f64 / 1e3,
+        s.mean() / 1e3,
+        s.count,
+    )
 }
 
-fn latency_json(name: &str, mut ns: Vec<u64>) -> String {
-    ns.sort_unstable();
-    format!(
-        "\"{name}\": {{\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
-        percentile(&ns, 50.0) as f64 / 1e3,
-        percentile(&ns, 95.0) as f64 / 1e3,
-        percentile(&ns, 99.0) as f64 / 1e3,
-        ns.last().copied().unwrap_or(0) as f64 / 1e3,
-    )
+/// Receives the oldest outstanding reply, counting skipped progress
+/// frames, and records the observation.
+fn recv_one(
+    client: &mut ServeClient,
+    inflight: &mut VecDeque<(u64, Instant)>,
+    obs: &mut Vec<Observation>,
+    progress_seen: &mut u64,
+) {
+    let reply = client
+        .recv_reply_with(|_| *progress_seen += 1)
+        .expect("transport stays healthy");
+    let (id, sent) = inflight.pop_front().expect("reply without a request");
+    let e2e_ns = sent.elapsed().as_nanos() as u64;
+    obs.push(match reply {
+        Reply::Ok(resp) => {
+            assert_eq!(resp.id, id, "pipelined replies out of order");
+            Observation {
+                outcome: "ok",
+                queue_ns: resp.queue_ns,
+                service_ns: resp.service_ns,
+                e2e_ns,
+            }
+        }
+        Reply::Rejected(e) => Observation {
+            outcome: e.code.as_str(),
+            queue_ns: 0,
+            service_ns: 0,
+            e2e_ns,
+        },
+    });
 }
 
 fn main() {
     let mut out_path = "BENCH_serve.json".to_string();
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut pipeline = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--pipeline" {
+            pipeline = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--pipeline needs a depth >= 1");
         } else {
             out_path = arg;
         }
@@ -146,7 +224,7 @@ fn main() {
     let spec = if smoke { &SMOKE } else { &FULL };
     let cores = std::thread::available_parallelism().map_or(0, |c| c.get());
     eprintln!(
-        "perf_serve{}: {} requests, {} senders, {:.0} req/s offered, {cores} hardware thread(s)",
+        "perf_serve{}: {} requests, {} senders, depth {pipeline}, {:.0} req/s offered, {cores} hardware thread(s)",
         if smoke { " (smoke)" } else { "" },
         spec.requests,
         spec.senders,
@@ -167,9 +245,12 @@ fn main() {
     let requests = build_requests(spec);
     let schedule = arrival_schedule(spec, 0xA1157);
     let started = Arc::new(AtomicU64::new(0));
+    let progress_total = Arc::new(AtomicU64::new(0));
 
     // Sender k owns arrivals k, k+senders, k+2*senders, ... — open-loop
-    // within the sender pool's ability to keep up.
+    // within the sender pool's ability to keep up. With a pipeline
+    // depth above 1 a sender only blocks once `pipeline` requests are
+    // outstanding on its connection.
     let t0 = Instant::now();
     let handles: Vec<_> = (0..spec.senders)
         .map(|k| {
@@ -181,34 +262,29 @@ fn main() {
                 .map(|(r, &d)| (d, r.clone()))
                 .collect();
             let started = Arc::clone(&started);
+            let progress_total = Arc::clone(&progress_total);
             std::thread::spawn(move || {
                 let mut client = ServeClient::connect(addr).expect("client connects");
                 let mut obs = Vec::with_capacity(mine.len());
+                let mut inflight: VecDeque<(u64, Instant)> = VecDeque::with_capacity(pipeline);
+                let mut progress_seen = 0u64;
                 for (offset, req) in mine {
                     if let Some(wait) = offset.checked_sub(t0.elapsed()) {
                         std::thread::sleep(wait);
                     }
                     started.fetch_add(1, Ordering::Relaxed);
-                    let sent = Instant::now();
-                    let reply = client
-                        .request(&req, PayloadEncoding::Binary)
+                    client
+                        .send_request(&req, PayloadEncoding::Binary)
                         .expect("transport stays healthy");
-                    let e2e_ns = sent.elapsed().as_nanos() as u64;
-                    obs.push(match reply {
-                        Reply::Ok(resp) => Observation {
-                            outcome: "ok",
-                            queue_ns: resp.queue_ns,
-                            service_ns: resp.service_ns,
-                            e2e_ns,
-                        },
-                        Reply::Rejected(e) => Observation {
-                            outcome: e.code.as_str(),
-                            queue_ns: 0,
-                            service_ns: 0,
-                            e2e_ns,
-                        },
-                    });
+                    inflight.push_back((req.id, Instant::now()));
+                    while inflight.len() >= pipeline {
+                        recv_one(&mut client, &mut inflight, &mut obs, &mut progress_seen);
+                    }
                 }
+                while !inflight.is_empty() {
+                    recv_one(&mut client, &mut inflight, &mut obs, &mut progress_seen);
+                }
+                progress_total.fetch_add(progress_seen, Ordering::Relaxed);
                 obs
             })
         })
@@ -219,6 +295,14 @@ fn main() {
         .flat_map(|h| h.join().expect("sender thread finishes"))
         .collect();
     let wall = t0.elapsed();
+    let progress_seen = progress_total.load(Ordering::Relaxed);
+
+    // Wire-level stats probe before shutdown: the server's own counters
+    // must agree with what the clients observed.
+    let snapshot = ServeClient::connect(addr)
+        .expect("stats client connects")
+        .stats()
+        .expect("stats frame decodes");
     let stats = server.shutdown();
 
     // Every scheduled request must have been answered one way or the
@@ -229,12 +313,24 @@ fn main() {
         stats.served + stats.deadline_expired,
         "shutdown left jobs unaccounted"
     );
+    assert_eq!(
+        snapshot.received, stats.received,
+        "wire stats disagree with in-process stats"
+    );
+    assert_eq!(
+        stats.progress_frames, progress_seen,
+        "server sent a different number of progress frames than clients saw"
+    );
+    assert!(
+        progress_seen > 0,
+        "streamed requests produced no progress frames"
+    );
 
     let ok: Vec<&Observation> = observations.iter().filter(|o| o.outcome == "ok").collect();
     let rejected = observations.len() - ok.len();
     let throughput = ok.len() as f64 / wall.as_secs_f64();
     eprintln!(
-        "  {} ok / {} rejected in {:.2}s ({throughput:.1} req/s served)",
+        "  {} ok / {} rejected in {:.2}s ({throughput:.1} req/s served), {progress_seen} progress frames",
         ok.len(),
         rejected,
         wall.as_secs_f64()
@@ -260,8 +356,15 @@ fn main() {
         let _ = write!(outcomes_json, "\"{name}\": {n}{sep}");
     }
 
+    // Head-of-line delta: what the client paid on top of the server's
+    // own queue + service accounting (reply ordering, transport).
+    let hol: Vec<u64> = ok
+        .iter()
+        .map(|o| o.e2e_ns.saturating_sub(o.queue_ns + o.service_ns))
+        .collect();
+
     let json = format!(
-        "{{\n  \"bench\": \"perf_serve\",\n  \"mode\": \"{mode}\",\n  \"hardware_threads\": {cores},\n  \"config\": {{\"senders\": {senders}, \"requests\": {requests}, \"offered_rate_per_sec\": {rate:.1}, \"server_workers\": {workers}, \"queue_capacity\": {cap}, \"circuit_cells\": {cells:?}}},\n  \"wall_seconds\": {wall:.3},\n  \"served_per_sec\": {throughput:.2},\n  \"outcomes\": {{{outcomes}}},\n  \"latency\": {{\n    {queue},\n    {service},\n    {e2e}\n  }},\n  \"note\": \"Open-loop exponential arrivals from a fixed dpm-rng seed; queue/service split measured server-side, e2e client-side. Overloaded rejections are counted, not retried.\"\n}}\n",
+        "{{\n  \"bench\": \"perf_serve\",\n  \"mode\": \"{mode}\",\n  \"hardware_threads\": {cores},\n  \"config\": {{\"senders\": {senders}, \"requests\": {requests}, \"pipeline\": {pipeline}, \"offered_rate_per_sec\": {rate:.1}, \"server_workers\": {workers}, \"queue_capacity\": {cap}, \"circuit_cells\": {cells:?}}},\n  \"wall_seconds\": {wall:.3},\n  \"served_per_sec\": {throughput:.2},\n  \"progress_frames\": {progress_seen},\n  \"outcomes\": {{{outcomes}}},\n  \"latency\": {{\n    {queue},\n    {service},\n    {e2e},\n    {hol}\n  }},\n  \"note\": \"Open-loop exponential arrivals from a fixed dpm-rng seed; queue/service split measured server-side, e2e client-side; percentiles from dpm-obs fixed-bucket histograms (bucket upper bounds). head_of_line = e2e - (queue + service): reply-ordering plus transport cost, nonzero mainly when --pipeline > 1. Overloaded rejections are counted, not retried.\"\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
         senders = spec.senders,
         requests = spec.requests,
@@ -271,9 +374,13 @@ fn main() {
         cells = spec.circuit_cells,
         wall = wall.as_secs_f64(),
         outcomes = outcomes_json,
-        queue = latency_json("queue", ok.iter().map(|o| o.queue_ns).collect()),
-        service = latency_json("service", ok.iter().map(|o| o.service_ns).collect()),
-        e2e = latency_json("e2e", observations.iter().map(|o| o.e2e_ns).collect()),
+        queue = latency_json("queue", &ok.iter().map(|o| o.queue_ns).collect::<Vec<_>>()),
+        service = latency_json("service", &ok.iter().map(|o| o.service_ns).collect::<Vec<_>>()),
+        e2e = latency_json(
+            "e2e",
+            &observations.iter().map(|o| o.e2e_ns).collect::<Vec<_>>()
+        ),
+        hol = latency_json("head_of_line", &hol),
     );
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
     println!("{json}");

@@ -1,6 +1,7 @@
 //! Global diffusion-based legalization (paper Algorithm 1).
 
 use crate::advect::advect_cells;
+use crate::observe::{DiffusionObserver, KernelEvent, KernelKind, NoopObserver, StepEvent};
 use crate::{manipulate_density, DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
 use dpm_netlist::Netlist;
 use dpm_par::ThreadPool;
@@ -102,6 +103,27 @@ impl GlobalDiffusion {
         placement: &mut Placement,
         should_stop: &dyn Fn() -> bool,
     ) -> DiffusionResult {
+        self.run_observed(netlist, die, placement, should_stop, &mut NoopObserver)
+    }
+
+    /// Runs global diffusion with a cancellation hook and an attached
+    /// [`DiffusionObserver`].
+    ///
+    /// The observer is notified after every completed step
+    /// ([`DiffusionObserver::on_step`]) and every timed kernel
+    /// invocation ([`DiffusionObserver::on_kernel`]); it sees only
+    /// shared references to post-step state, so attaching one cannot
+    /// change the run's arithmetic — `run`, `run_with_cancel` and
+    /// `run_observed` produce bit-identical placements for the same
+    /// input (see `observed_run_is_bit_identical_to_plain_run`).
+    pub fn run_observed(
+        &self,
+        netlist: &Netlist,
+        die: &Die,
+        placement: &mut Placement,
+        should_stop: &dyn Fn() -> bool,
+        observer: &mut dyn DiffusionObserver,
+    ) -> DiffusionResult {
         let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
         let pool = ThreadPool::new(self.cfg.threads);
         let splat_start = Instant::now();
@@ -114,6 +136,11 @@ impl GlobalDiffusion {
             .kernel_timers_mut()
             .splat
             .record(splat_elapsed, pool.threads());
+        observer.on_kernel(&KernelEvent {
+            kernel: KernelKind::Splat,
+            elapsed: splat_elapsed,
+            threads: pool.threads(),
+        });
 
         if self.cfg.manipulate {
             let mut d = engine.densities().to_vec();
@@ -132,22 +159,47 @@ impl GlobalDiffusion {
                 cancelled = true;
                 break;
             }
+            let velocity_start = Instant::now();
             engine.compute_velocities();
+            observer.on_kernel(&KernelEvent {
+                kernel: KernelKind::Velocity,
+                elapsed: velocity_start.elapsed(),
+                threads: pool.threads(),
+            });
             let advect_start = Instant::now();
             let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, false);
+            let advect_elapsed = advect_start.elapsed();
             engine
                 .kernel_timers_mut()
                 .advect
-                .record(advect_start.elapsed(), pool.threads());
+                .record(advect_elapsed, pool.threads());
+            observer.on_kernel(&KernelEvent {
+                kernel: KernelKind::Advect,
+                elapsed: advect_elapsed,
+                threads: pool.threads(),
+            });
+            let ftcs_start = Instant::now();
             engine.step_density(self.cfg.dt * self.cfg.diffusivity);
+            observer.on_kernel(&KernelEvent {
+                kernel: KernelKind::Ftcs,
+                elapsed: ftcs_start.elapsed(),
+                threads: pool.threads(),
+            });
             steps += 1;
             let max_density = engine.max_live_density();
-            telemetry.push(StepRecord {
+            let record = StepRecord {
                 step: steps - 1,
                 movement: advect.total_movement,
                 computed_overflow: engine.total_overflow(self.cfg.d_max),
                 max_density,
                 measured_overflow: None,
+            };
+            telemetry.push(record);
+            observer.on_step(&StepEvent {
+                record,
+                round: 1,
+                placement,
+                netlist,
             });
             converged = max_density <= self.cfg.d_max + self.cfg.delta;
         }
@@ -358,6 +410,48 @@ mod tests {
         assert_eq!(r1.steps, r2.steps);
         assert!(!r2.cancelled);
         assert_eq!(p1, p2);
+    }
+
+    /// Counts every callback and sanity-checks the event payloads.
+    #[derive(Default)]
+    struct CountingObserver {
+        steps: usize,
+        rounds: usize,
+        kernels: usize,
+        last_max_density: f64,
+    }
+
+    impl crate::DiffusionObserver for CountingObserver {
+        fn on_step(&mut self, event: &crate::StepEvent<'_>) {
+            assert_eq!(event.record.step, self.steps, "steps arrive in order");
+            self.steps += 1;
+            self.last_max_density = event.record.max_density;
+        }
+        fn on_round(&mut self, _event: &crate::RoundEvent) {
+            self.rounds += 1;
+        }
+        fn on_kernel(&mut self, _event: &crate::KernelEvent) {
+            self.kernels += 1;
+        }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_plain_run() {
+        let (nl, die, mut p1) = pile(24, Point::new(36.0, 36.0));
+        let (_, _, mut p2) = pile(24, Point::new(36.0, 36.0));
+        let r1 = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p1);
+        let mut obs = CountingObserver::default();
+        let r2 = GlobalDiffusion::new(cfg()).run_observed(&nl, &die, &mut p2, &|| false, &mut obs);
+        assert_eq!(p1, p2, "observer must not perturb the dynamics");
+        assert_eq!(r1.steps, r2.steps);
+        assert_eq!(obs.steps, r2.steps, "one on_step per step");
+        assert_eq!(obs.rounds, 0, "global diffusion emits no round events");
+        // One splat plus velocity/advect/ftcs per step.
+        assert_eq!(obs.kernels, 1 + 3 * r2.steps);
+        assert!(
+            obs.last_max_density <= cfg().d_max + cfg().delta,
+            "final observed max density is the converged one"
+        );
     }
 
     #[test]

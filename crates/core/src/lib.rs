@@ -30,6 +30,13 @@
 //! time is reported through [`KernelTimers`] on each run's
 //! [`Telemetry`].
 //!
+//! Runs can be watched live through a [`DiffusionObserver`] attached
+//! with `run_observed` on either runner: per-step, per-round and
+//! per-kernel callbacks that see only post-step state and therefore
+//! never perturb the dynamics (observed runs are bit-identical to
+//! plain runs). Trajectory tracing and `dpm-serve`'s streaming
+//! progress frames are both observers.
+//!
 //! The engine works in *bin coordinates*: the die is divided into square
 //! bins and scaled so each bin is 1×1, exactly as the paper assumes. The
 //! orchestrators ([`GlobalDiffusion`], [`LocalDiffusion`]) handle the
@@ -69,6 +76,7 @@ mod field;
 mod global;
 mod local;
 mod manip;
+mod observe;
 mod telemetry;
 mod trace;
 mod velocity;
@@ -81,6 +89,9 @@ pub use field::FieldMigration;
 pub use global::{DiffusionResult, GlobalDiffusion};
 pub use local::LocalDiffusion;
 pub use manip::manipulate_density;
+pub use observe::{
+    DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, StepEvent,
+};
 pub use telemetry::{KernelTimers, KernelTiming, StepRecord, Telemetry};
 pub use trace::{trace_global_diffusion, TracedRun, Trajectory};
 pub use velocity::interpolate_velocity;

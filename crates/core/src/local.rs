@@ -2,6 +2,9 @@
 
 use crate::advect::advect_cells;
 use crate::global::DiffusionResult;
+use crate::observe::{
+    DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, StepEvent,
+};
 use crate::window::identify_windows_into;
 use crate::{DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
 use dpm_netlist::Netlist;
@@ -103,6 +106,27 @@ impl LocalDiffusion {
         placement: &mut Placement,
         should_stop: &dyn Fn() -> bool,
     ) -> DiffusionResult {
+        self.run_observed(netlist, die, placement, should_stop, &mut NoopObserver)
+    }
+
+    /// Runs robust local diffusion with a cancellation hook and an
+    /// attached [`DiffusionObserver`].
+    ///
+    /// On top of the per-step and per-kernel callbacks that
+    /// [`GlobalDiffusion::run_observed`](crate::GlobalDiffusion::run_observed)
+    /// emits, local diffusion calls [`DiffusionObserver::on_round`] at
+    /// each executed round boundary, right after the dynamic density
+    /// update measured the real placement. Observers see only shared
+    /// references to post-step state and cannot perturb the dynamics —
+    /// observed and plain runs produce bit-identical placements.
+    pub fn run_observed(
+        &self,
+        netlist: &Netlist,
+        die: &Die,
+        placement: &mut Placement,
+        should_stop: &dyn Fn() -> bool,
+        observer: &mut dyn DiffusionObserver,
+    ) -> DiffusionResult {
         assert!(self.cfg.w2 >= self.cfg.w1, "W2 must be at least W1");
         let grid = BinGrid::new(die.outline(), self.cfg.bin_size);
         let pool = ThreadPool::new(self.cfg.threads);
@@ -124,6 +148,11 @@ impl LocalDiffusion {
             .kernel_timers_mut()
             .splat
             .record(splat_elapsed, pool.threads());
+        observer.on_kernel(&KernelEvent {
+            kernel: KernelKind::Splat,
+            elapsed: splat_elapsed,
+            threads: pool.threads(),
+        });
         let mut avg: Vec<f64> = Vec::new();
         let mut frozen: Vec<bool> = Vec::new();
 
@@ -136,10 +165,16 @@ impl LocalDiffusion {
             if rounds > 0 {
                 let splat_start = Instant::now();
                 map.recompute_with_pool(netlist, placement, &pool);
+                let splat_elapsed = splat_start.elapsed();
                 engine
                     .kernel_timers_mut()
                     .splat
-                    .record(splat_start.elapsed(), pool.threads());
+                    .record(splat_elapsed, pool.threads());
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Splat,
+                    elapsed: splat_elapsed,
+                    threads: pool.threads(),
+                });
                 engine.reload_from_density_map(&map);
             }
             map.windowed_average_into(self.cfg.w1, &mut avg);
@@ -164,6 +199,12 @@ impl LocalDiffusion {
             }
             best_overflow = best_overflow.min(measured);
             rounds += 1;
+            observer.on_round(&RoundEvent {
+                round: rounds,
+                measured_overflow: measured,
+                max_window_overflow: max_local,
+                steps_so_far: steps,
+            });
 
             engine.set_frozen_mask(&frozen);
 
@@ -175,20 +216,45 @@ impl LocalDiffusion {
                     cancelled = true;
                     break;
                 }
+                let velocity_start = Instant::now();
                 engine.compute_velocities();
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Velocity,
+                    elapsed: velocity_start.elapsed(),
+                    threads: pool.threads(),
+                });
                 let advect_start = Instant::now();
                 let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, true);
+                let advect_elapsed = advect_start.elapsed();
                 engine
                     .kernel_timers_mut()
                     .advect
-                    .record(advect_start.elapsed(), pool.threads());
+                    .record(advect_elapsed, pool.threads());
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Advect,
+                    elapsed: advect_elapsed,
+                    threads: pool.threads(),
+                });
+                let ftcs_start = Instant::now();
                 engine.step_density(self.cfg.dt * self.cfg.diffusivity);
-                telemetry.push(StepRecord {
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Ftcs,
+                    elapsed: ftcs_start.elapsed(),
+                    threads: pool.threads(),
+                });
+                let record = StepRecord {
                     step: steps,
                     movement: advect.total_movement,
                     computed_overflow: engine.total_overflow(self.cfg.d_max),
                     max_density: engine.max_live_density(),
                     measured_overflow: if i == 0 { Some(measured) } else { None },
+                };
+                telemetry.push(record);
+                observer.on_step(&StepEvent {
+                    record,
+                    round: rounds,
+                    placement,
+                    netlist,
                 });
                 steps += 1;
             }
@@ -367,6 +433,46 @@ mod tests {
         assert_eq!((r1.steps, r1.rounds), (r2.steps, r2.rounds));
         assert!(!r2.cancelled);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_plain_run() {
+        struct Watcher {
+            steps: usize,
+            rounds: usize,
+            step_rounds_seen: Vec<usize>,
+        }
+        impl crate::DiffusionObserver for Watcher {
+            fn on_step(&mut self, event: &crate::StepEvent<'_>) {
+                self.steps += 1;
+                self.step_rounds_seen.push(event.round);
+            }
+            fn on_round(&mut self, event: &crate::RoundEvent) {
+                assert_eq!(event.round, self.rounds + 1, "rounds arrive in order");
+                assert!(event.measured_overflow >= 0.0);
+                self.rounds += 1;
+            }
+        }
+
+        let (nl, die, mut p1) = pile(100, Point::new(30.0, 30.0));
+        let (_, _, mut p2) = pile(100, Point::new(30.0, 30.0));
+        let r1 = LocalDiffusion::new(cfg()).run(&nl, &die, &mut p1);
+        let mut obs = Watcher {
+            steps: 0,
+            rounds: 0,
+            step_rounds_seen: Vec::new(),
+        };
+        let r2 = LocalDiffusion::new(cfg()).run_observed(&nl, &die, &mut p2, &|| false, &mut obs);
+        assert_eq!(p1, p2, "observer must not perturb the dynamics");
+        assert_eq!((r1.steps, r1.rounds), (r2.steps, r2.rounds));
+        assert_eq!(obs.steps, r2.steps, "one on_step per step");
+        assert_eq!(obs.rounds, r2.rounds, "one on_round per executed round");
+        // Every step event is tagged with a round that has already been
+        // announced via on_round.
+        assert!(obs
+            .step_rounds_seen
+            .iter()
+            .all(|&r| r >= 1 && r <= obs.rounds));
     }
 
     #[test]

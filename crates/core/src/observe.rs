@@ -1,0 +1,128 @@
+//! Observer hooks for the diffusion runners.
+//!
+//! [`DiffusionObserver`] is the single seam through which anything
+//! watches a run: per-step telemetry, kernel timings, trajectory
+//! tracing ([`trace_global_diffusion`](crate::trace_global_diffusion))
+//! and the streaming progress frames of `dpm-serve` all hang off the
+//! same three callbacks instead of growing their own copies of the
+//! diffusion loop.
+//!
+//! Observers are strictly read-only witnesses: every callback receives
+//! shared references to already-computed state, after the arithmetic of
+//! the step has finished. An attached observer therefore cannot perturb
+//! the dynamics — runs with and without observers produce bit-identical
+//! placements (asserted by tests in `global.rs` and `local.rs`).
+
+use crate::StepRecord;
+use dpm_netlist::Netlist;
+use dpm_place::Placement;
+use std::time::Duration;
+
+/// Which parallel kernel a [`KernelEvent`] timed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// The FTCS density step (Eq. 4).
+    Ftcs,
+    /// The velocity-field computation (Eq. 5).
+    Velocity,
+    /// Cell advection through the interpolated field (Eq. 6).
+    Advect,
+    /// The density splat building/refreshing the bin map.
+    Splat,
+}
+
+/// Emitted after every completed diffusion step.
+///
+/// `record` is the exact [`StepRecord`] pushed to the run's
+/// [`Telemetry`](crate::Telemetry); `placement` and `netlist` let an
+/// observer derive anything else (cell positions for tracing, HPWL,
+/// region densities) from the post-step state.
+#[derive(Debug)]
+pub struct StepEvent<'a> {
+    /// The step's telemetry record (movement, overflow, max density).
+    pub record: StepRecord,
+    /// The local-diffusion round this step belongs to (1 for global).
+    pub round: usize,
+    /// The placement after the step's advection.
+    pub placement: &'a Placement,
+    /// The netlist being migrated.
+    pub netlist: &'a Netlist,
+}
+
+/// Emitted by local diffusion at the start of each executed round,
+/// right after the dynamic density update measured the real placement.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundEvent {
+    /// The 1-based round number.
+    pub round: usize,
+    /// Total measured local overflow at the round boundary.
+    pub measured_overflow: f64,
+    /// Maximum windowed-average overflow over the target.
+    pub max_window_overflow: f64,
+    /// Diffusion steps completed before this round.
+    pub steps_so_far: usize,
+}
+
+/// Emitted after each timed kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelEvent {
+    /// Which kernel ran.
+    pub kernel: KernelKind,
+    /// Wall time of this invocation.
+    pub elapsed: Duration,
+    /// Worker-pool threads the kernel ran on.
+    pub threads: usize,
+}
+
+/// A witness attached to a diffusion run.
+///
+/// All methods default to no-ops, so an observer implements only what
+/// it needs. Callbacks run on the thread driving the diffusion loop,
+/// between steps — keep them cheap (or hand off to a channel) to avoid
+/// slowing the run; they can never change its outcome.
+pub trait DiffusionObserver {
+    /// Called after each diffusion step completes.
+    fn on_step(&mut self, _event: &StepEvent<'_>) {}
+
+    /// Called at each executed local-diffusion round boundary (never
+    /// called by global diffusion, which is a single round).
+    fn on_round(&mut self, _event: &RoundEvent) {}
+
+    /// Called after each timed kernel invocation.
+    fn on_kernel(&mut self, _event: &KernelEvent) {}
+}
+
+/// The observer that observes nothing; attached by the plain
+/// `run`/`run_with_cancel` entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl DiffusionObserver for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_methods_are_callable_noops() {
+        struct OnlySteps(usize);
+        impl DiffusionObserver for OnlySteps {
+            fn on_step(&mut self, _event: &StepEvent<'_>) {
+                self.0 += 1;
+            }
+        }
+        let mut obs = OnlySteps(0);
+        obs.on_round(&RoundEvent {
+            round: 1,
+            measured_overflow: 0.0,
+            max_window_overflow: 0.0,
+            steps_so_far: 0,
+        });
+        obs.on_kernel(&KernelEvent {
+            kernel: KernelKind::Ftcs,
+            elapsed: Duration::ZERO,
+            threads: 1,
+        });
+        assert_eq!(obs.0, 0);
+    }
+}

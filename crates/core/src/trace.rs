@@ -4,14 +4,17 @@
 //! shrink as the field approaches equilibrium. [`TracedRun`] captures
 //! those routes for a chosen set of cells so they can be plotted or
 //! asserted on.
+//!
+//! Tracing is implemented as a [`DiffusionObserver`] attached to the
+//! ordinary [`GlobalDiffusion`](crate::GlobalDiffusion) runner — there
+//! is no second copy of the diffusion loop, so a traced run is the
+//! plain run by construction (see `trace_matches_untraced_run`).
 
-use crate::advect::advect_cells;
-use crate::{
-    manipulate_density, DiffusionConfig, DiffusionEngine, DiffusionResult, StepRecord, Telemetry,
-};
+use crate::observe::{DiffusionObserver, StepEvent};
+use crate::{DiffusionConfig, DiffusionResult, GlobalDiffusion};
 use dpm_geom::Point;
 use dpm_netlist::{CellId, Netlist};
-use dpm_place::{BinGrid, DensityMap, Die, Placement};
+use dpm_place::{Die, Placement};
 
 /// A global-diffusion run that records the per-step positions of
 /// selected cells.
@@ -52,6 +55,21 @@ impl Trajectory {
             .windows(2)
             .map(|w| (w[1] - w[0]).length())
             .collect()
+    }
+}
+
+/// The observer behind [`trace_global_diffusion`]: appends each traced
+/// cell's post-step center to its trajectory.
+struct TraceObserver<'a> {
+    trajectories: &'a mut Vec<Trajectory>,
+}
+
+impl DiffusionObserver for TraceObserver<'_> {
+    fn on_step(&mut self, event: &StepEvent<'_>) {
+        for t in self.trajectories.iter_mut() {
+            t.points
+                .push(event.placement.cell_center(event.netlist, t.cell));
+        }
     }
 }
 
@@ -96,19 +114,6 @@ pub fn trace_global_diffusion(
     placement: &mut Placement,
     traced: &[CellId],
 ) -> TracedRun {
-    let grid = BinGrid::new(die.outline(), cfg.bin_size);
-    let map = DensityMap::from_placement(netlist, placement, grid.clone());
-    let mut engine = DiffusionEngine::from_density_map(&map);
-    engine.set_conservative_boundaries(!cfg.paper_boundaries);
-    engine.set_threads(cfg.threads);
-
-    if cfg.manipulate {
-        let mut d = engine.densities().to_vec();
-        let wall = engine.wall_mask().to_vec();
-        manipulate_density(&mut d, Some(&wall), cfg.d_max);
-        engine.load_densities(&d);
-    }
-
     let mut trajectories: Vec<Trajectory> = traced
         .iter()
         .map(|&cell| Trajectory {
@@ -117,36 +122,18 @@ pub fn trace_global_diffusion(
         })
         .collect();
 
-    let mut telemetry = Telemetry::new();
-    let mut steps = 0;
-    let mut converged = engine.max_live_density() <= cfg.d_max + cfg.delta;
-    while !converged && steps < cfg.max_steps {
-        engine.compute_velocities();
-        let advect = advect_cells(&engine, &grid, netlist, placement, cfg, false);
-        engine.step_density(cfg.dt * cfg.diffusivity);
-        steps += 1;
-        for t in &mut trajectories {
-            t.points.push(placement.cell_center(netlist, t.cell));
-        }
-        let max_density = engine.max_live_density();
-        telemetry.push(StepRecord {
-            step: steps - 1,
-            movement: advect.total_movement,
-            computed_overflow: engine.total_overflow(cfg.d_max),
-            max_density,
-            measured_overflow: None,
-        });
-        converged = max_density <= cfg.d_max + cfg.delta;
-    }
+    let result = GlobalDiffusion::new(cfg.clone()).run_observed(
+        netlist,
+        die,
+        placement,
+        &|| false,
+        &mut TraceObserver {
+            trajectories: &mut trajectories,
+        },
+    );
 
     TracedRun {
-        result: DiffusionResult {
-            steps,
-            rounds: 1,
-            converged,
-            cancelled: false,
-            telemetry,
-        },
+        result,
         trajectories,
     }
 }

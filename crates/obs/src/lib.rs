@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Std-only observability primitives for the diffusion stack.
+//!
+//! Three pieces, each deliberately boring:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — lock-free
+//!   atomic instruments that are cheap enough to live on hot paths.
+//!   Histograms use *fixed* bucket bounds chosen at construction, so
+//!   snapshots taken on different threads, processes or machines merge
+//!   deterministically (bucket counts add; no rebinning, no loss beyond
+//!   the bucket resolution chosen up front).
+//! - **A registry** ([`Registry`]) — a named collection of instruments
+//!   with a deterministic [`RegistrySnapshot`] (sorted by name, merge
+//!   is associative) and a stable text exposition format for scraping
+//!   or diffing.
+//! - **Spans** ([`SpanRecorder`]) — explicit start/stop wall-time spans
+//!   collected into a bounded ring buffer: the newest `capacity` spans
+//!   are kept, older ones are counted as dropped, memory never grows.
+//!
+//! Nothing here allocates on the record path (histogram record is three
+//! atomic adds and an atomic max); nothing depends on crates outside
+//! `std`. The `dpm-serve` server hangs its request counters and latency
+//! histograms off one [`Registry`]; the `perf_serve` bench reuses
+//! [`Histogram`] for its latency reports so server-side and bench-side
+//! numbers share one definition of "p99".
+//!
+//! # Examples
+//!
+//! ```
+//! use dpm_obs::{Histogram, Registry};
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("requests_total");
+//! let latency = registry.histogram("latency_ns", &Histogram::latency_bounds());
+//!
+//! requests.inc();
+//! latency.record(1_500_000); // 1.5 ms in ns
+//!
+//! let snap = registry.snapshot();
+//! assert!(snap.to_text().contains("requests_total 1"));
+//! ```
+
+mod metrics;
+mod span;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, RegistrySnapshot,
+};
+pub use span::{Span, SpanRecord, SpanRecorder};

@@ -1,0 +1,636 @@
+//! Atomic metric instruments and the named registry.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap and clones share the same underlying value, so a
+/// handle can be fetched from the [`Registry`] once and kept on a hot
+/// path.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a standalone counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow, which at u64 scale is theoretical).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a standalone gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    /// Strictly increasing upper bounds (inclusive) of the regular buckets.
+    bounds: Vec<u64>,
+    /// One slot per bound plus a trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `u64` samples (typically nanoseconds).
+///
+/// Bucket bounds are chosen at construction and never change, which is
+/// what makes snapshots from different threads or hosts mergeable: the
+/// merge of two snapshots with equal bounds is exactly the snapshot you
+/// would have taken after recording the union of their samples.
+///
+/// A sample `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`; samples above the last bound land in an implicit
+/// overflow bucket. `record` is wait-free: two relaxed atomic adds, an
+/// atomic max and one bucket increment.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing bucket
+    /// upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            inner: Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                counts,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Default latency bounds in nanoseconds: 1 µs doubling up to ~64 s
+    /// (27 buckets plus overflow). Fine enough for queue/service/e2e
+    /// latencies, coarse enough to stay cheap on the wire.
+    pub fn latency_bounds() -> Vec<u64> {
+        (0..27).map(|i| 1_000u64 << i).collect()
+    }
+
+    /// Creates a histogram with [`Histogram::latency_bounds`].
+    pub fn latency_default() -> Self {
+        Self::new(&Self::latency_bounds())
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let inner = &self.inner;
+        let idx = match inner.bounds.iter().position(|&b| v <= b) {
+            Some(i) => i,
+            None => inner.bounds.len(),
+        };
+        inner.counts[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.record(ns);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    ///
+    /// Individual loads are relaxed, so a snapshot taken while another
+    /// thread records may be off by in-flight samples; it is exact once
+    /// recording has quiesced, which is the only time reports are read.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        HistogramSnapshot {
+            bounds: inner.bounds.clone(),
+            counts: inner
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("buckets", &s.bounds.len())
+            .field("count", &s.count)
+            .field("sum", &s.sum)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], safe to serialize, merge
+/// and query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds, strictly increasing.
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts; `counts.len() == bounds.len() + 1`,
+    /// the last entry being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample recorded (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the given bounds.
+    pub fn empty(bounds: &[u64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Estimated value at quantile `p` in `[0.0, 1.0]`.
+    ///
+    /// Returns the upper bound of the bucket containing the p-th
+    /// sample, the recorded max for samples in the overflow bucket, and
+    /// 0 for an empty histogram. The estimate therefore never
+    /// undershoots the true quantile by more than one bucket width and
+    /// never exceeds the largest recorded sample.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, at least 1.
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges `other` into `self`.
+    ///
+    /// Equivalent to having recorded the union of both sample sets into
+    /// one histogram, which is what makes per-worker or per-host
+    /// snapshots aggregatable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ — merging histograms with
+    /// different resolutions would silently lose information.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One named metric inside a [`RegistrySnapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricSnapshot {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(i64),
+    /// A histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of instruments.
+///
+/// `counter`/`gauge`/`histogram` are get-or-register: the first call
+/// for a name creates the instrument, later calls return handles to the
+/// same one. Handles are cheap clones; fetch them once and keep them,
+/// the registry lock is only taken at registration and snapshot time.
+#[derive(Clone, Default)]
+pub struct Registry {
+    instruments: Arc<Mutex<BTreeMap<String, Instrument>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.instruments.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered as a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.instruments.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge::new()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered as a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it with
+    /// the given bounds if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different kind, or
+    /// as a histogram with different bounds.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        let mut map = self.instruments.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::new(bounds)))
+        {
+            Instrument::Histogram(h) => {
+                assert_eq!(
+                    h.inner.bounds, bounds,
+                    "histogram {name:?} already registered with different bounds"
+                );
+                h.clone()
+            }
+            _ => panic!("metric {name:?} already registered as a different kind"),
+        }
+    }
+
+    /// Takes a deterministic snapshot of every instrument, sorted by
+    /// name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.instruments.lock().unwrap();
+        RegistrySnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, inst)| {
+                    let snap = match inst {
+                        Instrument::Counter(c) => MetricSnapshot::Counter(c.get()),
+                        Instrument::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                    };
+                    (name.clone(), snap)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let map = self.instruments.lock().unwrap();
+        f.debug_struct("Registry").field("len", &map.len()).finish()
+    }
+}
+
+/// A deterministic point-in-time copy of a [`Registry`].
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// Name → metric, sorted by name.
+    pub metrics: BTreeMap<String, MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in a stable, line-oriented text format.
+    ///
+    /// Counters and gauges print as `name value`. Histograms print
+    /// cumulative buckets (`name_bucket{le="..."} n`, ending with
+    /// `le="+Inf"`) followed by `name_count` and `name_sum` — the
+    /// Prometheus text flavour, minus types and help lines. Output is
+    /// byte-stable for equal snapshots, so it can be diffed in tests.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            match metric {
+                MetricSnapshot::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricSnapshot::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricSnapshot::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &c) in h.counts.iter().enumerate() {
+                        cum += c;
+                        if i < h.bounds.len() {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", h.bounds[i]);
+                        } else {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let c2 = c.clone();
+        c2.inc();
+        assert_eq!(c.get(), 6, "clones share the underlying value");
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.percentile(0.0), 0);
+        assert_eq!(s.percentile(0.5), 0);
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.percentile(1.0), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 42);
+        assert_eq!(s.max, 42);
+        // 42 lands in the (10, 100] bucket; the estimate is capped at
+        // the recorded max, so every percentile is exactly 42.
+        for p in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(s.percentile(p), 42, "p={p}");
+        }
+        assert_eq!(s.mean(), 42.0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_recorded_max() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50_000);
+        h.record(70_000);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 0, 2]);
+        assert_eq!(s.max, 70_000);
+        // p100 and p67 both land in the overflow bucket → the max.
+        assert_eq!(s.percentile(1.0), 70_000);
+        assert_eq!(s.percentile(0.67), 70_000);
+        // p33 is the in-range sample: reported as its bucket's upper bound.
+        assert_eq!(s.percentile(0.33), 10);
+    }
+
+    #[test]
+    fn boundary_sample_lands_in_its_bucket_inclusively() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(10);
+        h.record(11);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union_of_samples() {
+        let bounds = [10u64, 100, 1000, 10_000];
+        let a = Histogram::new(&bounds);
+        let b = Histogram::new(&bounds);
+        let union = Histogram::new(&bounds);
+
+        let sa = [3u64, 15, 99, 12_000, 500];
+        let sb = [1u64, 1, 2_000, 10_000, 77_777, 10];
+        for &v in &sa {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &sb {
+            b.record(v);
+            union.record(v);
+        }
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let bounds = [10u64, 100];
+        let a = Histogram::new(&bounds);
+        let b = Histogram::new(&bounds);
+        a.record(5);
+        a.record(500);
+        b.record(50);
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new(&[10, 100]).snapshot();
+        let b = Histogram::new(&[10, 200]).snapshot();
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_increasing_bounds_are_rejected() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn empty_snapshot_helper_matches_fresh_histogram() {
+        let bounds = Histogram::latency_bounds();
+        assert_eq!(
+            HistogramSnapshot::empty(&bounds),
+            Histogram::new(&bounds).snapshot()
+        );
+    }
+
+    #[test]
+    fn registry_get_or_register_returns_shared_handles() {
+        let r = Registry::new();
+        let c1 = r.counter("jobs");
+        let c2 = r.counter("jobs");
+        c1.inc();
+        c2.inc();
+        assert_eq!(c1.get(), 2);
+
+        let h1 = r.histogram("lat", &[10, 100]);
+        let h2 = r.histogram("lat", &[10, 100]);
+        h1.record(5);
+        h2.record(50);
+        assert_eq!(h1.snapshot().count, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_conflicts() {
+        let r = Registry::new();
+        let _ = r.counter("x");
+        let _ = r.gauge("x");
+    }
+
+    #[test]
+    fn exposition_format_is_stable_and_sorted() {
+        let r = Registry::new();
+        r.counter("b_requests").add(3);
+        r.gauge("a_depth").set(-2);
+        let h = r.histogram("c_lat", &[10, 100]);
+        h.record(5);
+        h.record(5_000);
+
+        let text = r.snapshot().to_text();
+        let expected = "a_depth -2\n\
+                        b_requests 3\n\
+                        c_lat_bucket{le=\"10\"} 1\n\
+                        c_lat_bucket{le=\"100\"} 1\n\
+                        c_lat_bucket{le=\"+Inf\"} 2\n\
+                        c_lat_count 2\n\
+                        c_lat_sum 5005\n";
+        assert_eq!(text, expected);
+        // Byte-stable: a second snapshot renders identically.
+        assert_eq!(r.snapshot().to_text(), text);
+    }
+
+    #[test]
+    fn histogram_is_safe_under_concurrent_recording() {
+        let h = Histogram::latency_default();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 4000);
+    }
+}

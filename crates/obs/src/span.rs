@@ -1,0 +1,201 @@
+//! Explicit start/stop spans with a bounded ring-buffer recorder.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct RecorderInner {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+/// A completed span: a named wall-clock interval relative to the
+/// recorder's creation instant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, as passed to [`SpanRecorder::start`].
+    pub name: String,
+    /// Nanoseconds from recorder creation to span start.
+    pub start_ns: u64,
+    /// Nanoseconds from recorder creation to span end; `>= start_ns`.
+    pub end_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Collects completed [`Span`]s into a bounded ring buffer.
+///
+/// The newest `capacity` spans are retained; when a new span would
+/// exceed the capacity, the oldest is discarded and counted in
+/// [`SpanRecorder::dropped`]. Memory use is therefore bounded no matter
+/// how long a server runs. Clones share the same buffer.
+#[derive(Clone)]
+pub struct SpanRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl SpanRecorder {
+    /// Creates a recorder retaining at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span recorder capacity must be nonzero");
+        Self {
+            inner: Arc::new(RecorderInner {
+                epoch: Instant::now(),
+                capacity,
+                ring: Mutex::new(VecDeque::with_capacity(capacity)),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Starts a span; it is recorded when finished or dropped.
+    pub fn start(&self, name: &str) -> Span {
+        Span {
+            recorder: self.clone(),
+            name: name.to_string(),
+            start_ns: self.now_ns(),
+            finished: false,
+        }
+    }
+
+    /// Nanoseconds elapsed since the recorder was created.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Number of spans discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out the retained spans, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner.ring.lock().unwrap().iter().cloned().collect()
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.inner.ring.lock().unwrap();
+        if ring.len() == self.inner.capacity {
+            ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(record);
+    }
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("capacity", &self.inner.capacity)
+            .field("len", &self.inner.ring.lock().unwrap().len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// An in-flight span. Call [`Span::finish`] to record it explicitly;
+/// dropping an unfinished span records it at the drop instant, so early
+/// returns and panics still produce a timing.
+pub struct Span {
+    recorder: SpanRecorder,
+    name: String,
+    start_ns: u64,
+    finished: bool,
+}
+
+impl Span {
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.finish_inner();
+    }
+
+    fn finish_inner(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let end_ns = self.recorder.now_ns();
+        self.recorder.push(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            start_ns: self.start_ns,
+            end_ns: end_ns.max(self.start_ns),
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finished_span_is_recorded_with_ordered_timestamps() {
+        let rec = SpanRecorder::new(8);
+        let span = rec.start("work");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span.finish();
+        let records = rec.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "work");
+        assert!(records[0].end_ns >= records[0].start_ns);
+        assert!(records[0].duration_ns() >= 1_000_000, "slept ~2ms");
+    }
+
+    #[test]
+    fn dropping_a_span_records_it() {
+        let rec = SpanRecorder::new(8);
+        {
+            let _span = rec.start("implicit");
+        }
+        assert_eq!(rec.records().len(), 1);
+        assert_eq!(rec.records()[0].name, "implicit");
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_dropped() {
+        let rec = SpanRecorder::new(2);
+        for i in 0..5 {
+            rec.start(&format!("s{i}")).finish();
+        }
+        let names: Vec<_> = rec.records().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["s3", "s4"]);
+        assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn spans_overlap_freely_across_threads() {
+        let rec = SpanRecorder::new(64);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..8 {
+                        rec.start(&format!("t{t}.{i}")).finish();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rec.records().len(), 32);
+        assert_eq!(rec.dropped(), 0);
+    }
+}

@@ -4,13 +4,22 @@
 //! serialized (send a frame, read the reply frame). Use one client per
 //! thread for concurrency — the server handles each connection on its
 //! own thread.
+//!
+//! Requests with `progress_stride > 0` stream [`ProgressUpdate`] frames
+//! before the terminal reply. [`request`](ServeClient::request) silently
+//! skips them (the old-client grace path);
+//! [`request_streaming`](ServeClient::request_streaming) hands each one
+//! to a callback. [`send_request`](ServeClient::send_request) /
+//! [`recv_reply`](ServeClient::recv_reply) split the two halves so
+//! several requests can be kept in flight on one connection (pipelining
+//! — the server answers in submission order).
 
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::wire::{
-    read_frame, write_frame, FrameKind, JobRequest, PayloadEncoding, Reply, WireError,
-    DEFAULT_MAX_FRAME_LEN,
+    decode_progress, decode_stats, read_frame, write_frame, FrameKind, JobRequest, PayloadEncoding,
+    ProgressUpdate, Reply, StatsSnapshot, WireError, DEFAULT_MAX_FRAME_LEN,
 };
 
 /// A blocking connection to a [`Server`](crate::Server).
@@ -40,7 +49,67 @@ impl ServeClient {
         self
     }
 
-    /// Sends one request and blocks until the reply arrives.
+    /// Sends one request without waiting for its reply. Pair with
+    /// [`recv_reply`](Self::recv_reply); the server replies in
+    /// submission order, so N sends followed by N receives keeps N
+    /// requests in flight on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails.
+    pub fn send_request(
+        &mut self,
+        req: &JobRequest,
+        encoding: PayloadEncoding,
+    ) -> Result<(), WireError> {
+        let payload = crate::wire::encode_request(req, encoding);
+        write_frame(&mut self.stream, FrameKind::Request, &payload)
+    }
+
+    /// Blocks until the next terminal reply arrives, discarding any
+    /// interleaved progress frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails or a frame is
+    /// corrupt.
+    pub fn recv_reply(&mut self) -> Result<Reply, WireError> {
+        self.recv_reply_with(|_| {})
+    }
+
+    /// Blocks until the next terminal reply arrives, handing every
+    /// interleaved [`ProgressUpdate`] to `on_progress` first.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails or a frame is
+    /// corrupt.
+    pub fn recv_reply_with(
+        &mut self,
+        mut on_progress: impl FnMut(&ProgressUpdate),
+    ) -> Result<Reply, WireError> {
+        loop {
+            let frame = match read_frame(&mut self.stream, self.max_frame_len)? {
+                Some(frame) => frame,
+                None => {
+                    return Err(WireError::Truncated {
+                        context: "reply frame (connection closed)",
+                    })
+                }
+            };
+            if frame.kind == FrameKind::Progress {
+                on_progress(&decode_progress(&frame.payload)?);
+                continue;
+            }
+            return Reply::from_frame(&frame);
+        }
+    }
+
+    /// Sends one request and blocks until the terminal reply arrives.
+    /// Progress frames the server streams in between are skipped — set
+    /// `progress_stride: 0` on the request to suppress them entirely, or
+    /// use [`request_streaming`](Self::request_streaming) to observe
+    /// them.
     ///
     /// # Errors
     ///
@@ -52,13 +121,59 @@ impl ServeClient {
         req: &JobRequest,
         encoding: PayloadEncoding,
     ) -> Result<Reply, WireError> {
-        let payload = crate::wire::encode_request(req, encoding);
-        write_frame(&mut self.stream, FrameKind::Request, &payload)?;
-        match read_frame(&mut self.stream, self.max_frame_len)? {
-            Some(frame) => Reply::from_frame(&frame),
-            None => Err(WireError::Truncated {
-                context: "reply frame (connection closed)",
-            }),
+        self.send_request(req, encoding)?;
+        self.recv_reply()
+    }
+
+    /// Sends one request and streams its progress: `on_progress` runs
+    /// for every in-flight [`ProgressUpdate`] frame, then the terminal
+    /// reply is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails or a frame is
+    /// corrupt.
+    pub fn request_streaming(
+        &mut self,
+        req: &JobRequest,
+        encoding: PayloadEncoding,
+        on_progress: impl FnMut(&ProgressUpdate),
+    ) -> Result<Reply, WireError> {
+        self.send_request(req, encoding)?;
+        self.recv_reply_with(on_progress)
+    }
+
+    /// Fetches the server's metrics snapshot: counters, queue depth,
+    /// latency histograms, merged kernel timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails, the snapshot is
+    /// corrupt, or the server answers with something other than a stats
+    /// frame.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, WireError> {
+        write_frame(&mut self.stream, FrameKind::StatsRequest, &[])?;
+        loop {
+            let frame = match read_frame(&mut self.stream, self.max_frame_len)? {
+                Some(frame) => frame,
+                None => {
+                    return Err(WireError::Truncated {
+                        context: "stats frame (connection closed)",
+                    })
+                }
+            };
+            match frame.kind {
+                FrameKind::Stats => return decode_stats(&frame.payload),
+                // Stray progress from an earlier streaming request on
+                // this connection; skip it.
+                FrameKind::Progress => continue,
+                other => {
+                    return Err(WireError::Malformed {
+                        context: "stats reply",
+                        message: format!("expected a stats frame, got {other:?}"),
+                    })
+                }
+            }
         }
     }
 }

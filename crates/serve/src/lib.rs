@@ -14,12 +14,18 @@
 //!   [`ErrorCode::DeadlineExpired`] with its partial step/round counts;
 //! - a **fixed worker pool** running the actual jobs;
 //! - **structured JSONL request logs** ([`log::RequestLog`]);
+//! - **streaming observability**: requests can ask for periodic
+//!   [`ProgressUpdate`] frames while diffusion runs, and any client can
+//!   fetch a [`StatsSnapshot`] (counters, latency histograms, merged
+//!   kernel timings) — both built on the `dpm-obs` metrics registry;
 //! - **graceful shutdown**: stop accepting, drain every admitted job,
 //!   join all threads.
 //!
 //! Determinism survives the wire: `f64` values travel as IEEE-754 bit
 //! patterns, so a round trip through the server produces placements
-//! bit-identical to calling the engines in-process.
+//! bit-identical to calling the engines in-process. Progress streaming
+//! is observation-only — a request with `progress_stride: 0` and the
+//! same request streamed every step produce bit-identical placements.
 //!
 //! ```no_run
 //! use dpm_serve::{Server, ServeClient, ServeConfig};
@@ -31,17 +37,25 @@
 //! let req = JobRequest {
 //!     id: 1,
 //!     deadline_ms: 0,
+//!     progress_stride: 8, // a ProgressUpdate every 8 diffusion steps
 //!     kind: JobKind::Local,
+//!     design: "cpu_core".into(),
 //!     config: dpm_diffusion::DiffusionConfig::default(),
 //!     netlist,
 //!     die,
 //!     placement,
 //! };
-//! match client.request(&req, PayloadEncoding::Binary) {
+//! let reply = client.request_streaming(&req, PayloadEncoding::Binary, |p| {
+//!     eprintln!("step {}: max density {:.3}", p.step, p.max_density);
+//! });
+//! match reply {
 //!     Ok(Reply::Ok(resp)) => println!("{} steps", resp.steps),
 //!     Ok(Reply::Rejected(e)) => eprintln!("rejected: {}", e.message),
 //!     Err(e) => eprintln!("transport: {e}"),
 //! }
+//! let stats = client.stats().expect("stats frame");
+//! println!("served {} jobs; p99 e2e {} ns",
+//!          stats.served, stats.e2e_hist.percentile(0.99));
 //! server.shutdown();
 //! # Ok(())
 //! # }
@@ -57,4 +71,7 @@ pub mod wire;
 
 pub use client::ServeClient;
 pub use server::{ServeConfig, ServeStats, Server};
-pub use wire::{ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, PayloadEncoding, Reply};
+pub use wire::{
+    ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, PayloadEncoding, ProgressUpdate,
+    Reply, StatsSnapshot,
+};

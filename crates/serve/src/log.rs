@@ -5,10 +5,15 @@
 //! post-processed with any line-oriented tool:
 //!
 //! ```json
-//! {"id":3,"outcome":"ok","kind":"local","cells":1200,"queue_ns":18000,
-//!  "service_ns":5301200,"steps":40,"rounds":4,"converged":true,
-//!  "movement_total":913.2,"movement_max":14.8}
+//! {"id":3,"outcome":"ok","kind":"local","design":"cpu_core","cells":1200,
+//!  "queue_ns":18000,"service_ns":5301200,"steps":40,"rounds":4,
+//!  "converged":true,"movement_total":913.2,"movement_max":14.8}
 //! ```
+//!
+//! The design name is the only client-controlled string in a record; it
+//! is JSON-escaped on write, so an adversarial name (embedded quotes,
+//! newlines, control bytes) cannot break the one-object-per-line
+//! invariant or smuggle extra fields into a record.
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -27,6 +32,9 @@ pub struct RequestRecord {
     pub outcome: &'static str,
     /// `global`, `local`, or `-` when the request never decoded.
     pub kind: &'static str,
+    /// Client-supplied design name (escaped on write; empty when the
+    /// request never decoded).
+    pub design: String,
     /// Number of cells in the request design.
     pub cells: usize,
     /// Nanoseconds spent waiting in the admission queue.
@@ -45,17 +53,39 @@ pub struct RequestRecord {
     pub movement_max: f64,
 }
 
+/// Escapes a string for embedding inside a JSON string literal:
+/// quotes, backslashes and all control characters (U+0000–U+001F).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl RequestRecord {
     fn to_jsonl(&self) -> String {
         let mut line = String::with_capacity(192);
         let _ = write!(
             line,
-            "{{\"id\":{},\"outcome\":\"{}\",\"kind\":\"{}\",\"cells\":{},\
-             \"queue_ns\":{},\"service_ns\":{},\"steps\":{},\"rounds\":{},\
-             \"converged\":{},\"movement_total\":{:.3},\"movement_max\":{:.3}}}",
+            "{{\"id\":{},\"outcome\":\"{}\",\"kind\":\"{}\",\"design\":\"{}\",\
+             \"cells\":{},\"queue_ns\":{},\"service_ns\":{},\"steps\":{},\
+             \"rounds\":{},\"converged\":{},\"movement_total\":{:.3},\
+             \"movement_max\":{:.3}}}",
             self.id,
             self.outcome,
             self.kind,
+            json_escape(&self.design),
             self.cells,
             self.queue_ns,
             self.service_ns,
@@ -71,6 +101,8 @@ impl RequestRecord {
 }
 
 /// A shared JSONL sink. Cheap to clone behind the server's `Arc`.
+/// Dropping the log flushes any buffered lines, so records survive even
+/// when [`RequestLog::flush`] was never called explicitly.
 pub struct RequestLog {
     sink: Option<Mutex<BufWriter<File>>>,
 }
@@ -114,22 +146,33 @@ impl RequestLog {
     }
 }
 
+impl Drop for RequestLog {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn records_become_one_json_line_each() {
+    fn temp_log_path(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("dpm_serve_log_test");
         std::fs::create_dir_all(&dir).expect("temp dir");
-        let path = dir.join(format!("log_{}.jsonl", std::process::id()));
+        let path = dir.join(format!("log_{tag}_{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
+        path
+    }
 
+    #[test]
+    fn records_become_one_json_line_each() {
+        let path = temp_log_path("basic");
         let log = RequestLog::to_file(&path).expect("opens");
         log.write(&RequestRecord {
             id: 1,
             outcome: "ok",
             kind: "local",
+            design: "cpu_core".into(),
             cells: 10,
             queue_ns: 5,
             service_ns: 6,
@@ -151,12 +194,69 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"outcome\":\"ok\""));
+        assert!(lines[0].contains("\"design\":\"cpu_core\""));
         assert!(lines[0].contains("\"converged\":true"));
         assert!(lines[1].contains("\"outcome\":\"overloaded\""));
         // Every line is a single flat JSON object.
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adversarial_design_name_cannot_corrupt_the_stream() {
+        let path = temp_log_path("adversarial");
+        let log = RequestLog::to_file(&path).expect("opens");
+        // A name trying to close the record, inject a fake record on a
+        // fresh line, and sneak in raw control bytes.
+        let evil = "a\"}\n{\"id\":999,\"outcome\":\"ok\"}\r\t\u{1}b\\";
+        log.write(&RequestRecord {
+            id: 7,
+            outcome: "ok",
+            kind: "global",
+            design: evil.into(),
+            ..Default::default()
+        });
+        log.write(&RequestRecord {
+            id: 8,
+            outcome: "ok",
+            kind: "global",
+            design: "clean".into(),
+            ..Default::default()
+        });
+        log.flush();
+
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "injection split the stream: {text:?}");
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "broken line {l:?}");
+        }
+        assert!(lines[0].contains("\"id\":7"));
+        // The injected "record" stays inside the escaped string.
+        assert!(lines[0].contains("\\\"}\\n{\\\"id\\\":999"));
+        assert!(lines[0].contains("\\u0001"));
+        assert!(lines[0].contains("b\\\\\""));
+        assert!(lines[1].contains("\"design\":\"clean\""));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn drop_flushes_buffered_records() {
+        let path = temp_log_path("drop");
+        {
+            let log = RequestLog::to_file(&path).expect("opens");
+            log.write(&RequestRecord {
+                id: 42,
+                outcome: "ok",
+                kind: "global",
+                ..Default::default()
+            });
+            // No explicit flush: Drop must push the line to disk.
+        }
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"id\":42"), "record lost on drop: {text:?}");
         let _ = std::fs::remove_file(&path);
     }
 

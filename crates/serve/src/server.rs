@@ -1,5 +1,5 @@
 //! The migration server: admission control, worker pool, deadlines,
-//! graceful shutdown.
+//! streaming progress, graceful shutdown.
 //!
 //! ## Life of a request
 //!
@@ -12,11 +12,26 @@
 //! 3. A worker pops the job, checks the deadline (queue wait counts
 //!    against it), and runs global or local diffusion with a
 //!    cancellation hook that compares `Instant::now()` against the
-//!    deadline between diffusion steps.
+//!    deadline between diffusion steps. When the request asked for a
+//!    progress stride, a [`DiffusionObserver`] on the run streams
+//!    [`ProgressUpdate`] frames back through the connection thread
+//!    every `progress_stride` steps — the observer only reads post-step
+//!    state, so streaming never changes the result.
 //! 4. The reply — legalized placement, or a partial-progress
 //!    [`ErrorCode::DeadlineExpired`] — travels back to the connection
 //!    thread, which writes it to the socket. Every outcome is appended
 //!    to the JSONL request log.
+//!
+//! ## Observability
+//!
+//! All server metrics live in one `dpm-obs` [`Registry`]: outcome
+//! counters, a queue-depth gauge, and queue/service/end-to-end latency
+//! histograms. Kernel timings of completed runs are merged into one
+//! [`KernelTimers`]. Clients fetch everything as a [`StatsSnapshot`]
+//! over the wire (a `StatsRequest` frame); in-process callers use
+//! [`Server::stats`], [`Server::stats_snapshot`] or the text exposition
+//! from [`Server::metrics_text`]. Recent jobs are also recorded as
+//! spans in a bounded [`SpanRecorder`] ([`Server::spans`]).
 //!
 //! ## Shutdown
 //!
@@ -29,24 +44,32 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
+use dpm_diffusion::{
+    DiffusionConfig, DiffusionObserver, GlobalDiffusion, KernelTimers, LocalDiffusion,
+    NoopObserver, StepEvent,
+};
+use dpm_obs::{Counter, Gauge, Histogram, Registry, SpanRecord, SpanRecorder};
 use dpm_place::MovementStats;
 
 use crate::log::{RequestLog, RequestRecord};
 use crate::queue::{BoundedQueue, PushError};
 use crate::wire::{
-    read_frame, write_frame, ErrorCode, ErrorReply, FrameKind, JobKind, JobRequest, JobResponse,
-    Reply, WireError, DEFAULT_MAX_FRAME_LEN,
+    encode_progress, encode_stats, read_frame, write_frame, ErrorCode, ErrorReply, FrameKind,
+    JobKind, JobRequest, JobResponse, ProgressUpdate, Reply, StatsSnapshot, WireError,
+    DEFAULT_MAX_FRAME_LEN,
 };
 
 /// How often blocked connection reads wake up to check for shutdown.
 const READ_POLL: Duration = Duration::from_millis(25);
+
+/// How many recent job spans the server retains for inspection.
+const SPAN_CAPACITY: usize = 256;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -105,38 +128,80 @@ pub struct ServeStats {
     pub rejected_shutdown: u64,
     /// Jobs that failed unexpectedly (engine panic).
     pub internal_errors: u64,
+    /// Progress frames streamed to clients.
+    pub progress_frames: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    received: AtomicU64,
-    admitted: AtomicU64,
-    started: AtomicU64,
-    served: AtomicU64,
-    overloaded: AtomicU64,
-    invalid_config: AtomicU64,
-    malformed: AtomicU64,
-    deadline_expired: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    internal_errors: AtomicU64,
+/// Every server metric, registered once in a shared [`Registry`] so the
+/// counters the wire-level [`StatsSnapshot`] reports and the text
+/// exposition of [`Server::metrics_text`] are the same instruments.
+struct Metrics {
+    registry: Registry,
+    queue_depth: Gauge,
+    received: Counter,
+    admitted: Counter,
+    started: Counter,
+    served: Counter,
+    overloaded: Counter,
+    invalid_config: Counter,
+    malformed: Counter,
+    deadline_expired: Counter,
+    rejected_shutdown: Counter,
+    internal_errors: Counter,
+    progress_frames: Counter,
+    queue_hist: Histogram,
+    service_hist: Histogram,
+    e2e_hist: Histogram,
+    kernels: Mutex<KernelTimers>,
 }
 
-impl Counters {
-    fn snapshot(&self) -> ServeStats {
-        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
-        ServeStats {
-            received: get(&self.received),
-            admitted: get(&self.admitted),
-            started: get(&self.started),
-            served: get(&self.served),
-            overloaded: get(&self.overloaded),
-            invalid_config: get(&self.invalid_config),
-            malformed: get(&self.malformed),
-            deadline_expired: get(&self.deadline_expired),
-            rejected_shutdown: get(&self.rejected_shutdown),
-            internal_errors: get(&self.internal_errors),
+impl Metrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let bounds = Histogram::latency_bounds();
+        Self {
+            queue_depth: registry.gauge("queue_depth"),
+            received: registry.counter("requests_received_total"),
+            admitted: registry.counter("requests_admitted_total"),
+            started: registry.counter("jobs_started_total"),
+            served: registry.counter("jobs_served_total"),
+            overloaded: registry.counter("rejected_overloaded_total"),
+            invalid_config: registry.counter("rejected_invalid_config_total"),
+            malformed: registry.counter("rejected_malformed_total"),
+            deadline_expired: registry.counter("deadline_expired_total"),
+            rejected_shutdown: registry.counter("rejected_shutdown_total"),
+            internal_errors: registry.counter("internal_errors_total"),
+            progress_frames: registry.counter("progress_frames_total"),
+            queue_hist: registry.histogram("queue_wait_ns", &bounds),
+            service_hist: registry.histogram("service_ns", &bounds),
+            e2e_hist: registry.histogram("e2e_ns", &bounds),
+            kernels: Mutex::new(KernelTimers::default()),
+            registry,
         }
     }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            received: self.received.get(),
+            admitted: self.admitted.get(),
+            started: self.started.get(),
+            served: self.served.get(),
+            overloaded: self.overloaded.get(),
+            invalid_config: self.invalid_config.get(),
+            malformed: self.malformed.get(),
+            deadline_expired: self.deadline_expired.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            internal_errors: self.internal_errors.get(),
+            progress_frames: self.progress_frames.get(),
+        }
+    }
+}
+
+/// What a worker sends back to the connection thread: zero or more
+/// progress updates, then exactly one terminal reply.
+enum WorkerMsg {
+    Progress(ProgressUpdate),
+    Done(Reply),
 }
 
 /// One admitted job traveling from a connection thread to a worker.
@@ -144,17 +209,43 @@ struct Job {
     req: JobRequest,
     enqueued: Instant,
     deadline: Option<Instant>,
-    reply_tx: mpsc::Sender<Reply>,
+    reply_tx: mpsc::Sender<WorkerMsg>,
 }
 
 struct Shared {
     queue: BoundedQueue<Job>,
     shutdown: AtomicBool,
-    counters: Counters,
+    metrics: Metrics,
+    spans: SpanRecorder,
     log: RequestLog,
     job_threads: usize,
     max_frame_len: usize,
     default_deadline_ms: u32,
+}
+
+impl Shared {
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let m = &self.metrics;
+        let depth = self.queue.len() as u64;
+        m.queue_depth.set(depth as i64);
+        StatsSnapshot {
+            queue_depth: depth,
+            received: m.received.get(),
+            admitted: m.admitted.get(),
+            served: m.served.get(),
+            overloaded: m.overloaded.get(),
+            invalid_config: m.invalid_config.get(),
+            malformed: m.malformed.get(),
+            deadline_expired: m.deadline_expired.get(),
+            rejected_shutdown: m.rejected_shutdown.get(),
+            internal_errors: m.internal_errors.get(),
+            progress_frames: m.progress_frames.get(),
+            queue_hist: m.queue_hist.snapshot(),
+            service_hist: m.service_hist.snapshot(),
+            e2e_hist: m.e2e_hist.snapshot(),
+            kernels: *m.kernels.lock().expect("kernel timers poisoned"),
+        }
+    }
 }
 
 /// A running migration server. Dropping it performs a graceful shutdown.
@@ -183,7 +274,8 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
             shutdown: AtomicBool::new(false),
-            counters: Counters::default(),
+            metrics: Metrics::new(),
+            spans: SpanRecorder::new(SPAN_CAPACITY),
             log,
             job_threads: cfg.job_threads.max(1),
             max_frame_len: cfg.max_frame_len,
@@ -219,7 +311,29 @@ impl Server {
 
     /// Current outcome counters.
     pub fn stats(&self) -> ServeStats {
-        self.shared.counters.snapshot()
+        self.shared.metrics.snapshot()
+    }
+
+    /// The full metrics snapshot a `StatsRequest` frame would return:
+    /// counters, queue depth, latency histograms and merged kernel
+    /// timings.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.shared.stats_snapshot()
+    }
+
+    /// Renders every registered metric in the stable `dpm-obs` text
+    /// exposition format.
+    pub fn metrics_text(&self) -> String {
+        self.shared
+            .metrics
+            .queue_depth
+            .set(self.shared.queue.len() as i64);
+        self.shared.metrics.registry.snapshot().to_text()
+    }
+
+    /// The most recent job spans (bounded ring; newest last).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.shared.spans.records()
     }
 
     /// Requests currently waiting in the admission queue.
@@ -332,7 +446,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             Err(e) => {
                 // Framing is corrupt; the stream position is unknown, so
                 // answer once and drop the connection.
-                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.malformed.inc();
                 shared.log.write(&RequestRecord {
                     id: 0,
                     outcome: ErrorCode::Malformed.as_str(),
@@ -347,8 +461,16 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             }
         };
 
+        if frame.kind == FrameKind::StatsRequest {
+            let payload = encode_stats(&shared.stats_snapshot());
+            if write_frame(&mut stream, FrameKind::Stats, &payload).is_err() {
+                break;
+            }
+            continue;
+        }
+
         if frame.kind != FrameKind::Request {
-            shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.malformed.inc();
             let reply = rejection(0, ErrorCode::Malformed, "expected a request frame");
             if write_reply(&mut stream, &reply).is_err() {
                 break;
@@ -359,7 +481,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         let req = match crate::wire::decode_request(&frame.payload) {
             Ok(req) => req,
             Err(e) => {
-                shared.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.malformed.inc();
                 shared.log.write(&RequestRecord {
                     id: 0,
                     outcome: ErrorCode::Malformed.as_str(),
@@ -373,20 +495,19 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 continue;
             }
         };
-        shared.counters.received.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.received.inc();
         let id = req.id;
         let kind_str = kind_name(req.kind);
+        let design = req.design.clone();
         let cells = req.netlist.num_cells();
 
         if let Err(e) = req.config.validate() {
-            shared
-                .counters
-                .invalid_config
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.invalid_config.inc();
             shared.log.write(&RequestRecord {
                 id,
                 outcome: ErrorCode::InvalidConfig.as_str(),
                 kind: kind_str,
+                design,
                 cells,
                 ..Default::default()
             });
@@ -413,21 +534,49 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             reply_tx,
         };
 
+        let mut admitted_at = None;
         let reply = match shared.queue.try_push(job) {
             Ok(()) => {
-                shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
-                // The worker (or the drain during shutdown) always
-                // answers; a dropped sender means the worker died.
-                reply_rx.recv().unwrap_or_else(|_| {
+                shared.metrics.admitted.inc();
+                admitted_at = Some(enqueued);
+                // The worker streams progress updates (if the request
+                // asked for them) and always finishes with Done; a
+                // dropped sender means the worker died. Once the socket
+                // fails we stop writing but keep draining so the
+                // terminal reply is still consumed.
+                let mut sink_ok = true;
+                let mut terminal = None;
+                loop {
+                    match reply_rx.recv() {
+                        Ok(WorkerMsg::Progress(p)) => {
+                            if sink_ok {
+                                shared.metrics.progress_frames.inc();
+                                sink_ok = write_frame(
+                                    &mut stream,
+                                    FrameKind::Progress,
+                                    &encode_progress(&p),
+                                )
+                                .is_ok();
+                            }
+                        }
+                        Ok(WorkerMsg::Done(reply)) => {
+                            terminal = Some(reply);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                terminal.unwrap_or_else(|| {
                     rejection(id, ErrorCode::Internal, "worker terminated without a reply")
                 })
             }
             Err(PushError::Full(_)) => {
-                shared.counters.overloaded.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.overloaded.inc();
                 shared.log.write(&RequestRecord {
                     id,
                     outcome: ErrorCode::Overloaded.as_str(),
                     kind: kind_str,
+                    design,
                     cells,
                     ..Default::default()
                 });
@@ -438,14 +587,12 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 )
             }
             Err(PushError::Closed(_)) => {
-                shared
-                    .counters
-                    .rejected_shutdown
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.rejected_shutdown.inc();
                 shared.log.write(&RequestRecord {
                     id,
                     outcome: ErrorCode::ShuttingDown.as_str(),
                     kind: kind_str,
+                    design,
                     cells,
                     ..Default::default()
                 });
@@ -454,6 +601,9 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         };
         if write_reply(&mut stream, &reply).is_err() {
             break;
+        }
+        if let Some(t0) = admitted_at {
+            shared.metrics.e2e_hist.record_duration(t0.elapsed());
         }
     }
 }
@@ -465,10 +615,39 @@ fn kind_name(kind: JobKind) -> &'static str {
     }
 }
 
+/// The observer that turns diffusion steps into [`WorkerMsg::Progress`]
+/// messages every `stride` steps. It accumulates cumulative movement
+/// from the per-step records and never touches the run's state.
+struct ProgressEmitter<'a> {
+    id: u64,
+    stride: u64,
+    movement: f64,
+    tx: &'a mpsc::Sender<WorkerMsg>,
+}
+
+impl DiffusionObserver for ProgressEmitter<'_> {
+    fn on_step(&mut self, event: &StepEvent<'_>) {
+        self.movement += event.record.movement;
+        let completed = event.record.step as u64 + 1;
+        if completed.is_multiple_of(self.stride) {
+            let _ = self.tx.send(WorkerMsg::Progress(ProgressUpdate {
+                id: self.id,
+                step: completed,
+                round: event.round as u64,
+                overflow: event.record.computed_overflow,
+                movement: self.movement,
+                max_density: event.record.max_density,
+            }));
+        }
+    }
+}
+
 fn worker_loop(shared: Arc<Shared>) {
     while let Some(job) = shared.queue.pop_wait() {
-        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
-        shared.counters.started.fetch_add(1, Ordering::Relaxed);
+        let queue_elapsed = job.enqueued.elapsed();
+        let queue_ns = queue_elapsed.as_nanos() as u64;
+        shared.metrics.queue_hist.record_duration(queue_elapsed);
+        shared.metrics.started.inc();
         let Job {
             req,
             deadline,
@@ -477,7 +656,9 @@ fn worker_loop(shared: Arc<Shared>) {
         } = job;
         let JobRequest {
             id,
+            progress_stride,
             kind,
+            design,
             mut config,
             netlist,
             die,
@@ -490,23 +671,21 @@ fn worker_loop(shared: Arc<Shared>) {
 
         // Queue wait counts against the deadline.
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            shared
-                .counters
-                .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
+            shared.metrics.deadline_expired.inc();
             shared.log.write(&RequestRecord {
                 id,
                 outcome: ErrorCode::DeadlineExpired.as_str(),
                 kind: kind_str,
+                design,
                 cells,
                 queue_ns,
                 ..Default::default()
             });
-            let _ = reply_tx.send(rejection(
+            let _ = reply_tx.send(WorkerMsg::Done(rejection(
                 id,
                 ErrorCode::DeadlineExpired,
                 "deadline expired while queued",
-            ));
+            )));
             continue;
         }
 
@@ -514,21 +693,52 @@ fn worker_loop(shared: Arc<Shared>) {
         let mut after = placement;
         let t0 = Instant::now();
         let should_stop = move || deadline.is_some_and(|d| Instant::now() >= d);
+        let span = shared.spans.start(match kind {
+            JobKind::Global => "job.global",
+            JobKind::Local => "job.local",
+        });
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_job(kind, &config, &netlist, &die, &mut after, &should_stop)
+            if progress_stride > 0 {
+                let mut emitter = ProgressEmitter {
+                    id,
+                    stride: u64::from(progress_stride),
+                    movement: 0.0,
+                    tx: &reply_tx,
+                };
+                run_job(
+                    kind,
+                    &config,
+                    &netlist,
+                    &die,
+                    &mut after,
+                    &should_stop,
+                    &mut emitter,
+                )
+            } else {
+                run_job(
+                    kind,
+                    &config,
+                    &netlist,
+                    &die,
+                    &mut after,
+                    &should_stop,
+                    &mut NoopObserver,
+                )
+            }
         }));
-        let service_ns = t0.elapsed().as_nanos() as u64;
+        span.finish();
+        let service_elapsed = t0.elapsed();
+        let service_ns = service_elapsed.as_nanos() as u64;
+        shared.metrics.service_hist.record_duration(service_elapsed);
 
         let reply = match run {
             Err(_) => {
-                shared
-                    .counters
-                    .internal_errors
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.metrics.internal_errors.inc();
                 shared.log.write(&RequestRecord {
                     id,
                     outcome: ErrorCode::Internal.as_str(),
                     kind: kind_str,
+                    design,
                     cells,
                     queue_ns,
                     service_ns,
@@ -537,6 +747,12 @@ fn worker_loop(shared: Arc<Shared>) {
                 rejection(id, ErrorCode::Internal, "diffusion engine panicked")
             }
             Ok(result) => {
+                shared
+                    .metrics
+                    .kernels
+                    .lock()
+                    .expect("kernel timers poisoned")
+                    .merge(result.telemetry.kernels());
                 let movement = MovementStats::between(&netlist, &before, &after);
                 let record = RequestRecord {
                     id,
@@ -546,6 +762,7 @@ fn worker_loop(shared: Arc<Shared>) {
                         "ok"
                     },
                     kind: kind_str,
+                    design,
                     cells,
                     queue_ns,
                     service_ns,
@@ -557,10 +774,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 };
                 shared.log.write(&record);
                 if result.cancelled {
-                    shared
-                        .counters
-                        .deadline_expired
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.deadline_expired.inc();
                     Reply::Rejected(ErrorReply {
                         id,
                         code: ErrorCode::DeadlineExpired,
@@ -570,7 +784,7 @@ fn worker_loop(shared: Arc<Shared>) {
                             .into(),
                     })
                 } else {
-                    shared.counters.served.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.served.inc();
                     Reply::Ok(JobResponse {
                         id,
                         converged: result.converged,
@@ -585,10 +799,11 @@ fn worker_loop(shared: Arc<Shared>) {
                 }
             }
         };
-        let _ = reply_tx.send(reply);
+        let _ = reply_tx.send(WorkerMsg::Done(reply));
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     kind: JobKind,
     config: &DiffusionConfig,
@@ -596,19 +811,22 @@ fn run_job(
     die: &dpm_place::Die,
     placement: &mut dpm_place::Placement,
     should_stop: &dyn Fn() -> bool,
+    observer: &mut dyn DiffusionObserver,
 ) -> dpm_diffusion::DiffusionResult {
     match kind {
-        JobKind::Global => GlobalDiffusion::new(config.clone()).run_with_cancel(
+        JobKind::Global => GlobalDiffusion::new(config.clone()).run_observed(
             netlist,
             die,
             placement,
             should_stop,
+            observer,
         ),
-        JobKind::Local => LocalDiffusion::new(config.clone()).run_with_cancel(
+        JobKind::Local => LocalDiffusion::new(config.clone()).run_observed(
             netlist,
             die,
             placement,
             should_stop,
+            observer,
         ),
     }
 }

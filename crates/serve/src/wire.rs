@@ -9,12 +9,21 @@
 //! +-------+---------+------+-----------+----------------+
 //! ```
 //!
-//! Three frame kinds exist: a [`JobRequest`] (client → server), a
-//! [`JobResponse`] (server → client, success) and an [`ErrorReply`]
-//! (server → client, rejection or partial failure). All integers are
-//! little-endian; `f64` values travel as their IEEE-754 bit patterns, so
-//! a decoded placement is *bit-identical* to the encoded one — the
-//! server-side diffusion result is exactly the result of a local call.
+//! Six frame kinds exist: a [`JobRequest`] (client → server), a
+//! [`JobResponse`] (server → client, success), an [`ErrorReply`]
+//! (server → client, rejection or partial failure), a
+//! [`ProgressUpdate`] (server → client, streamed mid-job when the
+//! request asked for a progress stride), a stats request (client →
+//! server, empty payload) and a [`StatsSnapshot`] (server → client).
+//! All integers are little-endian; `f64` values travel as their
+//! IEEE-754 bit patterns, so a decoded placement is *bit-identical* to
+//! the encoded one — the server-side diffusion result is exactly the
+//! result of a local call.
+//!
+//! Progress frames are strictly informational: a client that only reads
+//! until the terminal Response/Error frame can skip them (that is what
+//! [`ServeClient`](crate::ServeClient) does by default), so enabling
+//! progress on the server never breaks a consumer.
 //!
 //! The design payload inside a request supports two encodings:
 //!
@@ -28,9 +37,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use dpm_bookshelf::BookshelfDesign;
-use dpm_diffusion::DiffusionConfig;
+use dpm_diffusion::{DiffusionConfig, KernelTimers, KernelTiming};
 use dpm_geom::Point;
 use dpm_netlist::{CellKind, Netlist, NetlistBuilder, PinDir};
+use dpm_obs::HistogramSnapshot;
 use dpm_place::{Die, Placement};
 
 /// Frame preamble identifying the protocol ("Diffusion Placement
@@ -38,7 +48,9 @@ use dpm_place::{Die, Placement};
 pub const MAGIC: [u8; 4] = *b"DPMS";
 
 /// Current codec version. Decoders reject frames from other versions.
-pub const VERSION: u16 = 1;
+/// Version 2 added the Progress/StatsRequest/Stats frame kinds and the
+/// request's `design` name and `progress_stride` fields.
+pub const VERSION: u16 = 2;
 
 /// Default cap on a single frame's payload length (64 MiB) — a guard
 /// against unbounded allocation from a hostile or corrupt peer.
@@ -120,6 +132,12 @@ pub enum FrameKind {
     Response,
     /// An [`ErrorReply`].
     Error,
+    /// A [`ProgressUpdate`] streamed mid-job before the terminal reply.
+    Progress,
+    /// A client's request for a [`StatsSnapshot`]; empty payload.
+    StatsRequest,
+    /// A [`StatsSnapshot`] answering a stats request.
+    Stats,
 }
 
 impl FrameKind {
@@ -128,6 +146,9 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Error => 3,
+            FrameKind::Progress => 4,
+            FrameKind::StatsRequest => 5,
+            FrameKind::Stats => 6,
         }
     }
 
@@ -136,6 +157,9 @@ impl FrameKind {
             1 => Ok(FrameKind::Request),
             2 => Ok(FrameKind::Response),
             3 => Ok(FrameKind::Error),
+            4 => Ok(FrameKind::Progress),
+            5 => Ok(FrameKind::StatsRequest),
+            6 => Ok(FrameKind::Stats),
             k => Err(WireError::UnknownFrameKind(k)),
         }
     }
@@ -329,8 +353,16 @@ pub struct JobRequest {
     /// `0` means "use the server's default"; the server's default of `0`
     /// means no deadline.
     pub deadline_ms: u32,
+    /// Progress-frame stride: every `progress_stride` diffusion steps
+    /// the server streams a [`ProgressUpdate`] frame on the connection
+    /// before the terminal reply. `0` (the default) disables progress
+    /// frames.
+    pub progress_stride: u32,
     /// Which algorithm to run.
     pub kind: JobKind,
+    /// Free-form design name, echoed into the server's request log.
+    /// Logged names are JSON-escaped server-side, so any string is safe.
+    pub design: String,
     /// Diffusion parameters. Validated server-side with
     /// [`DiffusionConfig::validate`]; invalid configs are rejected with
     /// an [`ErrorCode::InvalidConfig`] reply, never a crash.
@@ -527,7 +559,9 @@ pub fn encode_request(req: &JobRequest, encoding: PayloadEncoding) -> Vec<u8> {
     let mut buf = Vec::new();
     put_u64(&mut buf, req.id);
     put_u32(&mut buf, req.deadline_ms);
+    put_u32(&mut buf, req.progress_stride);
     put_u8(&mut buf, matches!(req.kind, JobKind::Local) as u8);
+    put_str(&mut buf, &req.design);
     put_config(&mut buf, &req.config);
     match encoding {
         PayloadEncoding::Binary => {
@@ -558,11 +592,13 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
     let mut cur = Cur::new(payload);
     let id = cur.u64("request.id")?;
     let deadline_ms = cur.u32("request.deadline_ms")?;
+    let progress_stride = cur.u32("request.progress_stride")?;
     let kind = if cur.u8("request.kind")? != 0 {
         JobKind::Local
     } else {
         JobKind::Global
     };
+    let design = cur.str_("request.design")?;
     let config = take_config(&mut cur)?;
     let encoding = cur.u8("request.encoding")?;
     let (netlist, die, placement) = match encoding {
@@ -587,7 +623,9 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
     Ok(JobRequest {
         id,
         deadline_ms,
+        progress_stride,
         kind,
+        design,
         config,
         netlist,
         die,
@@ -676,6 +714,226 @@ pub fn decode_response(payload: &[u8]) -> Result<JobResponse, WireError> {
         service_ns,
         positions,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Progress.
+// ---------------------------------------------------------------------------
+
+/// A mid-job convergence snapshot, streamed as a [`FrameKind::Progress`]
+/// frame every `progress_stride` steps when the request opted in.
+///
+/// With the paper's stable FTCS discretization (`λ = D·dt ≤ 0.25`) the
+/// discrete maximum principle holds, so consecutive `max_density`
+/// values are non-increasing — a client can watch convergence live.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressUpdate {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Diffusion steps completed so far.
+    pub step: u64,
+    /// Local-diffusion round the step belongs to (1 for global).
+    pub round: u64,
+    /// Computed total overflow over the target density after the step.
+    pub overflow: f64,
+    /// Cumulative cell movement since the job started.
+    pub movement: f64,
+    /// Maximum computed bin density after the step.
+    pub max_density: f64,
+}
+
+/// Encodes a progress update into a frame payload.
+pub fn encode_progress(p: &ProgressUpdate) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, p.id);
+    put_u64(&mut buf, p.step);
+    put_u64(&mut buf, p.round);
+    put_f64(&mut buf, p.overflow);
+    put_f64(&mut buf, p.movement);
+    put_f64(&mut buf, p.max_density);
+    buf
+}
+
+/// Decodes a progress-update frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] or [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_progress(payload: &[u8]) -> Result<ProgressUpdate, WireError> {
+    let mut cur = Cur::new(payload);
+    let p = ProgressUpdate {
+        id: cur.u64("progress.id")?,
+        step: cur.u64("progress.step")?,
+        round: cur.u64("progress.round")?,
+        overflow: cur.f64("progress.overflow")?,
+        movement: cur.f64("progress.movement")?,
+        max_density: cur.f64("progress.max_density")?,
+    };
+    cur.finish("progress")?;
+    Ok(p)
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------------
+
+/// An on-demand snapshot of server metrics, answering a
+/// [`FrameKind::StatsRequest`] with a [`FrameKind::Stats`] frame.
+///
+/// Counters cover the server's whole lifetime; the histograms are the
+/// queue-wait, service and end-to-end latency distributions of finished
+/// requests, and `kernels` merges the kernel timings of every completed
+/// diffusion run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests currently waiting in the bounded queue.
+    pub queue_depth: u64,
+    /// Request frames read off connections.
+    pub received: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests rejected because the queue was full.
+    pub overloaded: u64,
+    /// Requests rejected for invalid diffusion parameters.
+    pub invalid_config: u64,
+    /// Frames that failed to decode.
+    pub malformed: u64,
+    /// Requests whose deadline expired (queued or mid-run).
+    pub deadline_expired: u64,
+    /// Requests rejected during shutdown.
+    pub rejected_shutdown: u64,
+    /// Worker panics converted to internal-error replies.
+    pub internal_errors: u64,
+    /// Progress frames streamed to clients.
+    pub progress_frames: u64,
+    /// Queue-wait latency distribution, nanoseconds.
+    pub queue_hist: HistogramSnapshot,
+    /// Service (diffusion run) latency distribution, nanoseconds.
+    pub service_hist: HistogramSnapshot,
+    /// End-to-end (admission → reply written) latency distribution,
+    /// nanoseconds.
+    pub e2e_hist: HistogramSnapshot,
+    /// Kernel timings merged across every completed run.
+    pub kernels: KernelTimers,
+}
+
+fn put_histogram(buf: &mut Vec<u8>, h: &HistogramSnapshot) {
+    put_u32(buf, h.bounds.len() as u32);
+    for &b in &h.bounds {
+        put_u64(buf, b);
+    }
+    for &c in &h.counts {
+        put_u64(buf, c);
+    }
+    put_u64(buf, h.count);
+    put_u64(buf, h.sum);
+    put_u64(buf, h.max);
+}
+
+fn take_histogram(cur: &mut Cur<'_>) -> Result<HistogramSnapshot, WireError> {
+    let n = cur.u32("histogram.bounds.count")? as usize;
+    // Each bound is 8 bytes; reject before allocating on absurd counts.
+    if n > 4096 {
+        return Err(malformed(
+            "histogram",
+            format!("{n} buckets exceeds the cap of 4096"),
+        ));
+    }
+    let mut bounds = Vec::with_capacity(n);
+    for _ in 0..n {
+        bounds.push(cur.u64("histogram.bound")?);
+    }
+    if !bounds.windows(2).all(|w| w[0] < w[1]) {
+        return Err(malformed("histogram", "bounds not strictly increasing"));
+    }
+    let mut counts = Vec::with_capacity(n + 1);
+    for _ in 0..n + 1 {
+        counts.push(cur.u64("histogram.count")?);
+    }
+    Ok(HistogramSnapshot {
+        bounds,
+        counts,
+        count: cur.u64("histogram.total")?,
+        sum: cur.u64("histogram.sum")?,
+        max: cur.u64("histogram.max")?,
+    })
+}
+
+fn put_kernel_timing(buf: &mut Vec<u8>, t: &KernelTiming) {
+    put_u64(buf, t.calls);
+    put_u64(buf, t.serial_ns);
+    put_u64(buf, t.parallel_ns);
+    put_u64(buf, t.max_threads as u64);
+}
+
+fn take_kernel_timing(cur: &mut Cur<'_>) -> Result<KernelTiming, WireError> {
+    Ok(KernelTiming {
+        calls: cur.u64("kernel.calls")?,
+        serial_ns: cur.u64("kernel.serial_ns")?,
+        parallel_ns: cur.u64("kernel.parallel_ns")?,
+        max_threads: cur.u64("kernel.max_threads")? as usize,
+    })
+}
+
+/// Encodes a stats snapshot into a frame payload.
+pub fn encode_stats(s: &StatsSnapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, s.queue_depth);
+    put_u64(&mut buf, s.received);
+    put_u64(&mut buf, s.admitted);
+    put_u64(&mut buf, s.served);
+    put_u64(&mut buf, s.overloaded);
+    put_u64(&mut buf, s.invalid_config);
+    put_u64(&mut buf, s.malformed);
+    put_u64(&mut buf, s.deadline_expired);
+    put_u64(&mut buf, s.rejected_shutdown);
+    put_u64(&mut buf, s.internal_errors);
+    put_u64(&mut buf, s.progress_frames);
+    put_histogram(&mut buf, &s.queue_hist);
+    put_histogram(&mut buf, &s.service_hist);
+    put_histogram(&mut buf, &s.e2e_hist);
+    put_kernel_timing(&mut buf, &s.kernels.ftcs);
+    put_kernel_timing(&mut buf, &s.kernels.velocity);
+    put_kernel_timing(&mut buf, &s.kernels.advect);
+    put_kernel_timing(&mut buf, &s.kernels.splat);
+    buf
+}
+
+/// Decodes a stats-snapshot frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] or [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, WireError> {
+    let mut cur = Cur::new(payload);
+    let s = StatsSnapshot {
+        queue_depth: cur.u64("stats.queue_depth")?,
+        received: cur.u64("stats.received")?,
+        admitted: cur.u64("stats.admitted")?,
+        served: cur.u64("stats.served")?,
+        overloaded: cur.u64("stats.overloaded")?,
+        invalid_config: cur.u64("stats.invalid_config")?,
+        malformed: cur.u64("stats.malformed")?,
+        deadline_expired: cur.u64("stats.deadline_expired")?,
+        rejected_shutdown: cur.u64("stats.rejected_shutdown")?,
+        internal_errors: cur.u64("stats.internal_errors")?,
+        progress_frames: cur.u64("stats.progress_frames")?,
+        queue_hist: take_histogram(&mut cur)?,
+        service_hist: take_histogram(&mut cur)?,
+        e2e_hist: take_histogram(&mut cur)?,
+        kernels: KernelTimers {
+            ftcs: take_kernel_timing(&mut cur)?,
+            velocity: take_kernel_timing(&mut cur)?,
+            advect: take_kernel_timing(&mut cur)?,
+            splat: take_kernel_timing(&mut cur)?,
+        },
+    };
+    cur.finish("stats")?;
+    Ok(s)
 }
 
 // ---------------------------------------------------------------------------
@@ -810,14 +1068,18 @@ impl Reply {
     ///
     /// # Errors
     ///
-    /// Returns [`WireError::Malformed`] if the frame is a request (a
-    /// server never receives replies), or any decode error from the
-    /// payload.
+    /// Returns [`WireError::Malformed`] if the frame is not a terminal
+    /// reply (a request, a mid-job progress frame, or a stats frame),
+    /// or any decode error from the payload.
     pub fn from_frame(frame: &Frame) -> Result<Self, WireError> {
         match frame.kind {
             FrameKind::Response => Ok(Reply::Ok(decode_response(&frame.payload)?)),
             FrameKind::Error => Ok(Reply::Rejected(decode_error(&frame.payload)?)),
             FrameKind::Request => Err(malformed("reply", "unexpected request frame")),
+            FrameKind::Progress => Err(malformed("reply", "progress frame is not terminal")),
+            FrameKind::StatsRequest | FrameKind::Stats => {
+                Err(malformed("reply", "stats frame is not a job reply"))
+            }
         }
     }
 }
@@ -843,7 +1105,9 @@ mod tests {
         JobRequest {
             id: 77,
             deadline_ms: 250,
+            progress_stride: 0,
             kind,
+            design: "tiny".into(),
             config: DiffusionConfig::default().with_bin_size(24.0),
             netlist,
             die,
@@ -858,6 +1122,8 @@ mod tests {
         let back = decode_request(&payload).expect("decodes");
         assert_eq!(back.id, 77);
         assert_eq!(back.deadline_ms, 250);
+        assert_eq!(back.progress_stride, 0);
+        assert_eq!(back.design, "tiny");
         assert_eq!(back.kind, JobKind::Local);
         assert_eq!(back.config, req.config);
         assert_eq!(back.netlist.num_cells(), 3);
@@ -916,6 +1182,77 @@ mod tests {
         };
         let back = decode_error(&encode_error(&err)).expect("decodes");
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn progress_round_trip() {
+        let p = ProgressUpdate {
+            id: 12,
+            step: 340,
+            round: 3,
+            overflow: 0.75,
+            movement: 1234.5,
+            max_density: 1.03125,
+        };
+        let back = decode_progress(&encode_progress(&p)).expect("decodes");
+        assert_eq!(back, p);
+        // Bit-identical f64 travel.
+        assert_eq!(back.max_density.to_bits(), p.max_density.to_bits());
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let mut queue_hist = dpm_obs::Histogram::latency_default().snapshot();
+        queue_hist.counts[0] = 3;
+        queue_hist.count = 3;
+        queue_hist.sum = 2_500;
+        queue_hist.max = 900;
+        let mut kernels = KernelTimers::default();
+        kernels.ftcs.record(std::time::Duration::from_micros(7), 4);
+        let s = StatsSnapshot {
+            queue_depth: 2,
+            received: 100,
+            admitted: 90,
+            served: 80,
+            overloaded: 5,
+            invalid_config: 2,
+            malformed: 3,
+            deadline_expired: 6,
+            rejected_shutdown: 1,
+            internal_errors: 0,
+            progress_frames: 42,
+            queue_hist: queue_hist.clone(),
+            service_hist: dpm_obs::Histogram::latency_default().snapshot(),
+            e2e_hist: queue_hist,
+            kernels,
+        };
+        let back = decode_stats(&encode_stats(&s)).expect("decodes");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn truncated_stats_errors_not_panics() {
+        let s = StatsSnapshot {
+            queue_depth: 0,
+            received: 0,
+            admitted: 0,
+            served: 0,
+            overloaded: 0,
+            invalid_config: 0,
+            malformed: 0,
+            deadline_expired: 0,
+            rejected_shutdown: 0,
+            internal_errors: 0,
+            progress_frames: 0,
+            queue_hist: dpm_obs::Histogram::latency_default().snapshot(),
+            service_hist: dpm_obs::Histogram::latency_default().snapshot(),
+            e2e_hist: dpm_obs::Histogram::latency_default().snapshot(),
+            kernels: KernelTimers::default(),
+        };
+        let payload = encode_stats(&s);
+        for cut in 0..payload.len() {
+            assert!(decode_stats(&payload[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]
@@ -1011,11 +1348,12 @@ mod tests {
         req.config = DiffusionConfig::default();
         let mut payload = encode_request(&req, PayloadEncoding::Binary);
         // The die width field sits right after id(8) + deadline(4) +
-        // kind(1) + config(five f64 + max_steps u64 + two u8 flags + four
-        // u64 counters + f64 clamp + u8 flag + u64 threads) + encoding(1)
+        // progress_stride(4) + kind(1) + design("tiny" → 4+4) +
+        // config(five f64 + max_steps u64 + two u8 flags + four u64
+        // counters + f64 clamp + u8 flag + u64 threads) + encoding(1)
         // + llx(8) + lly(8).
         let config_len = 5 * 8 + 8 + 2 + 4 * 8 + 8 + 1 + 8;
-        let die_width_off = 8 + 4 + 1 + config_len + 1 + 16;
+        let die_width_off = 8 + 4 + 4 + 1 + (4 + 4) + config_len + 1 + 16;
         payload[die_width_off..die_width_off + 8]
             .copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(matches!(

@@ -10,7 +10,7 @@ use dpm_serve::wire::{
     read_frame, write_frame, ErrorCode, FrameKind, JobKind, JobRequest, PayloadEncoding, Reply,
     DEFAULT_MAX_FRAME_LEN, MAGIC, VERSION,
 };
-use dpm_serve::{ServeClient, ServeConfig, Server};
+use dpm_serve::{ProgressUpdate, ServeClient, ServeConfig, Server};
 
 /// A small inflated benchmark: overlapping, so diffusion has real work.
 fn bench(seed: u64) -> Benchmark {
@@ -36,8 +36,33 @@ fn request(id: u64, kind: JobKind, config: DiffusionConfig, deadline_ms: u32) ->
     JobRequest {
         id,
         deadline_ms,
+        progress_stride: 0,
         kind,
+        design: format!("e2e_{id}"),
         config,
+        netlist: b.netlist,
+        die: b.die,
+        placement: b.placement,
+    }
+}
+
+/// A request guaranteed to run a non-trivial number of diffusion steps
+/// and still converge quickly: a centered pile of inflated cells plus a
+/// density target below the pile's peak.
+fn busy_request(id: u64, kind: JobKind) -> JobRequest {
+    let seed = 0xB0B + id;
+    let mut b = CircuitSpec::with_size("e2e", 300, seed).generate();
+    b.inflate(&InflationSpec::centered(0.3, 0.25, seed ^ 0x9e37));
+    JobRequest {
+        id,
+        deadline_ms: 0,
+        progress_stride: 0,
+        kind,
+        design: format!("busy_{id}"),
+        config: DiffusionConfig {
+            d_max: 0.8,
+            ..DiffusionConfig::default()
+        },
         netlist: b.netlist,
         die: b.die,
         placement: b.placement,
@@ -416,6 +441,7 @@ fn request_log_captures_every_outcome_as_jsonl() {
         .expect("ok line");
     assert!(ok_line.contains("\"outcome\":\"ok\""));
     assert!(ok_line.contains("\"kind\":\"local\""));
+    assert!(ok_line.contains("\"design\":\"e2e_31\""));
     assert!(ok_line.contains("\"cells\":") && !ok_line.contains("\"cells\":0,"));
     assert!(ok_line.contains("\"service_ns\":"));
     let bad_line = lines
@@ -427,4 +453,179 @@ fn request_log_captures_every_outcome_as_jsonl() {
         assert!(l.starts_with('{') && l.ends_with('}'));
     }
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn progress_frames_stream_while_the_job_runs() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    // Ground truth: the same request without streaming.
+    let mut plain = busy_request(41, JobKind::Global);
+    let baseline = send(addr, &plain, PayloadEncoding::Binary);
+    let baseline = match baseline {
+        Reply::Ok(resp) => resp,
+        Reply::Rejected(e) => panic!("baseline rejected: {}", e.message),
+    };
+
+    // Streamed run: a progress frame after every diffusion step.
+    plain.progress_stride = 1;
+    let mut client = ServeClient::connect(addr).expect("connects");
+    let mut updates: Vec<ProgressUpdate> = Vec::new();
+    let reply = client
+        .request_streaming(&plain, PayloadEncoding::Binary, |p| updates.push(*p))
+        .expect("transport ok");
+    let resp = match reply {
+        Reply::Ok(resp) => resp,
+        Reply::Rejected(e) => panic!("streamed run rejected: {}", e.message),
+    };
+
+    // At least one in-flight progress frame arrived before the terminal
+    // response, and the stream covered every step.
+    assert!(
+        !updates.is_empty(),
+        "no progress frames before the response"
+    );
+    assert_eq!(updates.len() as u64, resp.steps);
+    for (i, p) in updates.iter().enumerate() {
+        assert_eq!(p.id, 41);
+        assert_eq!(p.step, i as u64 + 1, "steps arrive in order");
+        assert!(p.max_density.is_finite());
+        assert!(p.movement >= 0.0);
+    }
+    // FTCS diffusion obeys a maximum principle: the peak computed
+    // density never increases step over step.
+    for w in updates.windows(2) {
+        assert!(
+            w[1].max_density <= w[0].max_density + 1e-12,
+            "max density rose: {} -> {}",
+            w[0].max_density,
+            w[1].max_density
+        );
+    }
+    // Cumulative movement is non-decreasing.
+    for w in updates.windows(2) {
+        assert!(w[1].movement >= w[0].movement - 1e-12);
+    }
+
+    // Observation changed nothing: bit-identical to the unstreamed run.
+    assert_eq!(resp.steps, baseline.steps);
+    assert_eq!(resp.converged, baseline.converged);
+    for (got, want) in resp.positions.iter().zip(baseline.positions.iter()) {
+        assert_eq!(got.x.to_bits(), want.x.to_bits(), "streaming moved a cell");
+        assert_eq!(got.y.to_bits(), want.y.to_bits(), "streaming moved a cell");
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 2);
+    assert_eq!(stats.progress_frames, resp.steps);
+}
+
+#[test]
+fn stats_snapshot_matches_the_submitted_jobs() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    for id in 1..=3u64 {
+        let reply = send(
+            addr,
+            &busy_request(id, JobKind::Local),
+            PayloadEncoding::Binary,
+        );
+        assert!(matches!(reply, Reply::Ok(_)));
+    }
+    let bad = DiffusionConfig {
+        bin_size: -1.0,
+        ..DiffusionConfig::default()
+    };
+    let reply = send(
+        addr,
+        &request(4, JobKind::Local, bad, 0),
+        PayloadEncoding::Binary,
+    );
+    assert!(matches!(reply, Reply::Rejected(_)));
+
+    let mut client = ServeClient::connect(addr).expect("connects");
+    let stats = client.stats().expect("stats frame");
+    assert_eq!(stats.received, 4);
+    assert_eq!(stats.admitted, 3);
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.invalid_config, 1);
+    assert_eq!(stats.queue_depth, 0);
+    // One latency sample per run in every histogram.
+    assert_eq!(stats.queue_hist.count, 3);
+    assert_eq!(stats.service_hist.count, 3);
+    assert_eq!(stats.e2e_hist.count, 3);
+    // End-to-end covers queue + service, so its mean cannot be smaller.
+    assert!(stats.e2e_hist.sum >= stats.service_hist.sum);
+    assert!(stats.e2e_hist.percentile(0.5) > 0);
+    // Kernel timings were merged from the three completed runs.
+    assert!(stats.kernels.ftcs.calls > 0, "no FTCS kernel time recorded");
+    assert!(stats.kernels.velocity.calls > 0);
+
+    // The in-process views agree with the wire snapshot.
+    assert_eq!(server.stats().served, 3);
+    let text = server.metrics_text();
+    assert!(text.contains("jobs_served_total 3"), "exposition: {text}");
+    assert!(text.contains("requests_received_total 4"));
+    assert!(!server.spans().is_empty(), "no job spans recorded");
+
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_submission_order() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    let reqs: Vec<JobRequest> = (1..=4u64)
+        .map(|id| request(id, JobKind::Local, DiffusionConfig::default(), 0))
+        .collect();
+    let mut client = ServeClient::connect(addr).expect("connects");
+    for req in &reqs {
+        client
+            .send_request(req, PayloadEncoding::Binary)
+            .expect("send ok");
+    }
+    for req in &reqs {
+        match client.recv_reply().expect("recv ok") {
+            Reply::Ok(resp) => assert_eq!(resp.id, req.id, "replies out of order"),
+            Reply::Rejected(e) => panic!("pipelined job rejected: {}", e.message),
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.served, 4);
+}
+
+#[test]
+fn clients_unaware_of_progress_frames_still_get_their_reply() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    // A "legacy" reader: consumes frames manually and only understands
+    // terminal reply kinds, skipping anything else — the documented
+    // upgrade path for old clients.
+    let mut streamed = busy_request(51, JobKind::Global);
+    streamed.progress_stride = 4;
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let payload = dpm_serve::wire::encode_request(&streamed, PayloadEncoding::Binary);
+    write_frame(&mut stream, FrameKind::Request, &payload).expect("writes");
+    let mut skipped = 0u64;
+    let resp = loop {
+        let frame = read_frame(&mut stream, DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("frame present");
+        match frame.kind {
+            FrameKind::Response | FrameKind::Error => {
+                break Reply::from_frame(&frame).expect("decodes")
+            }
+            _ => skipped += 1,
+        }
+    };
+    assert!(skipped >= 1, "expected in-flight frames to skip");
+    assert!(matches!(resp, Reply::Ok(resp) if resp.id == 51));
+
+    server.shutdown();
 }

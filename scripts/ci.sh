@@ -19,15 +19,22 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --release --offline --workspace
 
-echo "==> service smoke test (perf_serve --smoke)"
+echo "==> service smoke test (perf_serve --smoke --pipeline 2)"
 # Boots a real server on an ephemeral port, replays a deterministic
-# open-loop schedule, and asserts every request was answered and the
-# shutdown drained cleanly (the binary exits non-zero otherwise).
+# open-loop schedule with two requests pipelined per connection, and
+# asserts every request was answered and the shutdown drained cleanly
+# (the binary exits non-zero otherwise). The schedule includes streamed
+# requests, so at least one in-flight progress frame must arrive before
+# its response, and the wire-level stats snapshot must agree with the
+# server's own counters — both enforced inside the binary; the greps
+# below pin the observability fields into the emitted JSON.
 smoke_out="$(mktemp)"
-cargo run --release --offline -p dpm-bench --bin perf_serve -- "$smoke_out" --smoke >/dev/null
+cargo run --release --offline -p dpm-bench --bin perf_serve -- "$smoke_out" --smoke --pipeline 2 >/dev/null
 grep -q '"bench": "perf_serve"' "$smoke_out"
 grep -q '"hardware_threads"' "$smoke_out"
 grep -q '"p99_us"' "$smoke_out"
+grep -q '"head_of_line"' "$smoke_out"
+grep -Eq '"progress_frames": [1-9][0-9]*' "$smoke_out"
 rm -f "$smoke_out"
 
 echo "CI green."

@@ -26,7 +26,11 @@
 //!   parallel kernel (bit-identical results at any thread count)
 //! - [`rng`] — the tiny SplitMix64 generator used by [`gen`] and tests
 //! - [`serve`] — migration-as-a-service: a framed TCP server with a
-//!   bounded queue, per-request deadlines and JSONL request logs
+//!   bounded queue, per-request deadlines, streaming progress frames
+//!   and JSONL request logs
+//! - [`obs`] — std-only observability: atomic metrics registry,
+//!   fixed-bucket histograms with deterministic merge, bounded span
+//!   recorder
 //!
 //! # Quickstart
 //!
@@ -59,6 +63,7 @@ pub use dpm_geom as geom;
 pub use dpm_legalize as legalize;
 pub use dpm_mcmf as mcmf;
 pub use dpm_netlist as netlist;
+pub use dpm_obs as obs;
 pub use dpm_par as par;
 pub use dpm_place as place;
 pub use dpm_qplace as qplace;
