@@ -1,0 +1,48 @@
+//! Golden placement checksum for the CI determinism matrix.
+//!
+//! Runs one global and one local diffusion migration on fixed generated
+//! circuits with [`DiffusionConfig::default`] — which honors the
+//! `DPM_THREADS` environment variable — and prints an FNV-1a hash over
+//! the exact IEEE-754 bit patterns of every final cell position plus
+//! the step/round counts. Because the `dpm-par` decomposition is
+//! independent of the worker count, the printed checksum must be
+//! identical at any `DPM_THREADS` value; `scripts/ci.sh` runs this
+//! binary at 1, 2 and 4 threads and diffs the outputs.
+//!
+//! Usage: `cargo run --release --bin golden_checksum`
+
+use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
+use dpm_gen::{CircuitSpec, InflationSpec};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn absorb(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn main() {
+    let cfg = DiffusionConfig::default();
+    eprintln!("golden_checksum: {} worker thread(s)", cfg.threads);
+
+    let mut hash = FNV_OFFSET;
+    for (global, cells, seed) in [(true, 400usize, 11u64), (false, 600, 23)] {
+        let mut bench = CircuitSpec::with_size("golden", cells, seed).generate();
+        bench.inflate(&InflationSpec::centered(0.25, 0.3, seed ^ 0x901D));
+        let result = if global {
+            GlobalDiffusion::new(cfg.clone()).run(&bench.netlist, &bench.die, &mut bench.placement)
+        } else {
+            LocalDiffusion::new(cfg.clone()).run(&bench.netlist, &bench.die, &mut bench.placement)
+        };
+        absorb(&mut hash, &(result.steps as u64).to_le_bytes());
+        absorb(&mut hash, &(result.rounds as u64).to_le_bytes());
+        for p in bench.placement.as_slice() {
+            absorb(&mut hash, &p.x.to_bits().to_le_bytes());
+            absorb(&mut hash, &p.y.to_bits().to_le_bytes());
+        }
+    }
+    println!("{hash:016x}");
+}

@@ -146,8 +146,27 @@ pub struct DiffusionConfig {
     /// [`DiffusionEngine::set_conservative_boundaries`](crate::DiffusionEngine::set_conservative_boundaries).
     pub paper_boundaries: bool,
     /// Worker threads for the FTCS density step (1 = serial; results are
-    /// identical either way).
+    /// identical either way). Defaults to the `DPM_THREADS` environment
+    /// variable when it holds a positive integer, else 1 — CI runs the
+    /// test suite at several values to enforce the bit-identicality
+    /// claim.
     pub threads: usize,
+}
+
+/// Parses a `DPM_THREADS`-style value: a positive integer, else `None`.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t > 0)
+}
+
+/// Default worker-thread count: `DPM_THREADS` from the environment when
+/// set to a positive integer, else 1. Results are bit-identical at any
+/// thread count (the dpm-par guarantee), so this changes only wall
+/// time; `scripts/ci.sh` runs the suite at 1/2/4 to enforce exactly
+/// that.
+fn default_threads() -> usize {
+    parse_threads(std::env::var("DPM_THREADS").ok().as_deref()).unwrap_or(1)
 }
 
 impl Default for DiffusionConfig {
@@ -167,7 +186,7 @@ impl Default for DiffusionConfig {
             max_rounds: 200,
             max_step_displacement: 1.0,
             paper_boundaries: false,
-            threads: 1,
+            threads: default_threads(),
         }
     }
 }
@@ -380,6 +399,17 @@ impl DiffusionConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_env_parsing_accepts_only_positive_integers() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(Some("two")), None);
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
 
     #[test]
     fn defaults_match_paper_recommendations() {

@@ -20,7 +20,11 @@
 //!   [`GlobalDiffusion`];
 //! - **local diffusion windows** (Algorithm 2) — [`identify_windows`];
 //! - the **robust local diffusion** flow with dynamic density update
-//!   (Algorithm 3) — [`LocalDiffusion`].
+//!   (Algorithm 3) — [`LocalDiffusion`];
+//! - **die sharding** for horizontal scale: bin-aligned rectangular
+//!   shard regions with read-only density halos and an exclusive-owner
+//!   stitcher — [`ShardPartition`], [`stitch_positions`] (the routing
+//!   loop lives in `dpm-serve`).
 //!
 //! All four hot kernels — FTCS step, velocity field, cell advection and
 //! the density splat — run on the deterministic worker pool of
@@ -77,6 +81,7 @@ mod global;
 mod local;
 mod manip;
 mod observe;
+mod shard;
 mod telemetry;
 mod trace;
 mod velocity;
@@ -92,6 +97,7 @@ pub use manip::manipulate_density;
 pub use observe::{
     DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, StepEvent,
 };
+pub use shard::{stitch_positions, BinRect, ShardPartition, ShardProblem, ShardRegion};
 pub use telemetry::{KernelTimers, KernelTiming, StepRecord, Telemetry};
 pub use trace::{trace_global_diffusion, TracedRun, Trajectory};
 pub use velocity::interpolate_velocity;

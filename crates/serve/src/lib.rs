@@ -19,7 +19,13 @@
 //!   fetch a [`StatsSnapshot`] (counters, latency histograms, merged
 //!   kernel timings) — both built on the `dpm-obs` metrics registry;
 //! - **graceful shutdown**: stop accepting, drain every admitted job,
-//!   join all threads.
+//!   join all threads;
+//! - **horizontal sharding** ([`shard`]): a [`ShardRouter`] partitions
+//!   one job's die into K bin-aligned regions with density halos, fans
+//!   the sub-problems out to in-process or TCP backends, and stitches
+//!   the owned-cell results back with bounded halo-exchange rounds —
+//!   K = 1 is bit-identical to a direct engine run, and a dead shard
+//!   degrades to an unmigrated region instead of a failed job.
 //!
 //! Determinism survives the wire: `f64` values travel as IEEE-754 bit
 //! patterns, so a round trip through the server produces placements
@@ -67,10 +73,12 @@ pub mod client;
 pub mod log;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::ServeClient;
 pub use server::{ServeConfig, ServeStats, Server};
+pub use shard::{ShardBackend, ShardOutcome, ShardReply, ShardRouter, ShardRouterConfig};
 pub use wire::{
     ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, PayloadEncoding, ProgressUpdate,
     Reply, StatsSnapshot,

@@ -1,0 +1,505 @@
+//! Horizontal sharding: route one migration job across K backends.
+//!
+//! A [`ShardRouter`] takes a normal [`JobRequest`], partitions its die
+//! into K bin-aligned shard regions with H-bin density halos
+//! ([`ShardPartition`]), and fans each shard's sub-problem out to a
+//! backend — either an in-process diffusion run or a remote
+//! [`Server`](crate::Server) reached over TCP through
+//! [`ServeClient`]. Between shard-local diffusion passes it runs
+//! bounded **halo-exchange rounds**: after every fan-out the owned-cell
+//! results are stitched into the global placement, ownership and halos
+//! are recomputed from the fresh positions, and the next round's shards
+//! see their neighbors' latest boundary density through the refreshed
+//! ghosts.
+//!
+//! Correctness anchors:
+//!
+//! - **K = 1 is a pass-through**: one shard covering the whole die
+//!   carries the original die and every cell in order, so the routed
+//!   result is bit-identical to calling the engine directly (and, for a
+//!   TCP backend, bit-identical through the wire — `f64`s travel as bit
+//!   patterns).
+//! - **The maximum principle survives stitching**: for K > 1 a round is
+//!   *accepted* only if the measured global max bin density did not
+//!   increase; a round that would raise it is discarded and the
+//!   exchange loop stops. Post-migration max density is therefore never
+//!   above pre-migration max density, mirroring the FTCS maximum
+//!   principle the engines guarantee per shard.
+//! - **Graceful degradation**: a dead, overloaded or panicking shard
+//!   leaves its region unmigrated for that round and records a
+//!   per-shard error in the [`ShardReply`]; the job as a whole still
+//!   succeeds with whatever the healthy shards achieved.
+//!
+//! Telemetry from every shard run is merged: `DiffusionResult` kernel
+//! timers via [`KernelTimers::merge`], per-shard service latencies via
+//! the `dpm-obs` histogram snapshot merge.
+
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use dpm_diffusion::{
+    stitch_positions, DiffusionResult, GlobalDiffusion, KernelTimers, LocalDiffusion,
+    ShardPartition, ShardProblem,
+};
+use dpm_geom::{Point, Rect};
+use dpm_obs::{Histogram, HistogramSnapshot};
+use dpm_place::{DensityMap, MovementStats, Placement};
+
+use crate::wire::{JobKind, JobRequest, JobResponse, PayloadEncoding, Reply};
+use crate::ServeClient;
+
+/// Where one shard's sub-problems run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardBackend {
+    /// Run the diffusion engine on a thread inside the router's
+    /// process.
+    InProcess,
+    /// Send the sub-problem to a [`Server`](crate::Server) at this
+    /// address through a [`ServeClient`].
+    Tcp(SocketAddr),
+}
+
+/// Routing parameters for a [`ShardRouter`].
+#[derive(Debug, Clone)]
+pub struct ShardRouterConfig {
+    /// Requested shard count K. The partitioner may clamp this on tiny
+    /// grids; [`ShardReply::shards`] reports what actually ran.
+    pub shards: usize,
+    /// Halo width H in bins. At least the diffusion window `W2` is
+    /// sensible: then a window straddling a shard boundary is fully
+    /// visible from both sides.
+    pub halo_bins: usize,
+    /// Upper bound on halo-exchange rounds (each round is one fan-out
+    /// over all shards). With one shard a single round runs — there is
+    /// no neighbor state to exchange.
+    pub max_halo_rounds: usize,
+    /// Payload encoding for TCP backends.
+    pub encoding: PayloadEncoding,
+}
+
+impl Default for ShardRouterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            halo_bins: 2,
+            max_halo_rounds: 4,
+            encoding: PayloadEncoding::Binary,
+        }
+    }
+}
+
+/// Per-shard accounting, accumulated over every halo-exchange round.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: usize,
+    /// World rectangle of the shard's owned core region.
+    pub region: Rect,
+    /// Cells the shard owned in the final round.
+    pub owned_cells: usize,
+    /// Diffusion steps executed across all rounds.
+    pub steps: u64,
+    /// Diffusion rounds (the engines' inner rounds) across all rounds.
+    pub rounds: u64,
+    /// Total service time across all rounds, nanoseconds.
+    pub service_ns: u64,
+    /// The most recent error, if any round failed on this shard. A set
+    /// error means the shard's region kept its pre-round placement for
+    /// the failing rounds — degraded, not fatal.
+    pub error: Option<String>,
+}
+
+/// Everything the router learned from one routed job.
+#[derive(Debug, Clone)]
+pub struct ShardReply {
+    /// Aggregated response in the same shape a single
+    /// [`Server`](crate::Server) would produce: final positions for
+    /// every cell, summed steps/rounds, movement stats against the
+    /// input placement.
+    pub response: JobResponse,
+    /// Number of shards that actually ran (after grid clamping).
+    pub shards: usize,
+    /// Per-shard accounting, indexed by shard.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Halo-exchange rounds executed (fan-outs over all shards).
+    pub halo_exchanges: usize,
+    /// Measured global max bin density before round 1 and after every
+    /// *accepted* round; non-increasing by construction for K > 1.
+    pub max_density_trace: Vec<f64>,
+    /// Progress frames streamed by TCP backends (0 for in-process
+    /// backends, which run unobserved).
+    pub progress_frames: u64,
+    /// Kernel timers merged across every in-process shard run via
+    /// [`KernelTimers::merge`]. TCP backends report timings through
+    /// their own stats endpoint instead.
+    pub kernels: KernelTimers,
+    /// Per-shard service latencies: one histogram per shard, merged
+    /// into a single snapshot with the `dpm-obs` histogram merge (one
+    /// sample per shard per round).
+    pub shard_service_hist: HistogramSnapshot,
+}
+
+/// What one shard's run produced in one round.
+struct ShardRun {
+    /// The sub-problem that ran (carries the owned-cell mapping the
+    /// stitcher needs).
+    problem: ShardProblem,
+    /// Post-run position of every sub-problem cell; `None` on error.
+    positions: Option<Vec<Point>>,
+    steps: u64,
+    rounds: u64,
+    converged: bool,
+    service_ns: u64,
+    progress_frames: u64,
+    kernels: Option<KernelTimers>,
+    error: Option<String>,
+}
+
+/// Fans one [`JobRequest`] out over K shard backends with halo
+/// exchange. See the [module docs](self) for the contract.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_gen::{CircuitSpec, InflationSpec};
+/// use dpm_serve::shard::{ShardRouter, ShardRouterConfig};
+/// use dpm_serve::wire::{JobKind, JobRequest};
+///
+/// let mut bench = CircuitSpec::with_size("quick", 120, 5).generate();
+/// bench.inflate(&InflationSpec::centered(0.2, 0.3, 9));
+/// let req = JobRequest {
+///     id: 1,
+///     deadline_ms: 0,
+///     progress_stride: 0,
+///     kind: JobKind::Local,
+///     design: "quick".into(),
+///     config: dpm_diffusion::DiffusionConfig::default(),
+///     netlist: bench.netlist,
+///     die: bench.die,
+///     placement: bench.placement,
+/// };
+/// let router = ShardRouter::in_process(ShardRouterConfig {
+///     shards: 2,
+///     ..ShardRouterConfig::default()
+/// });
+/// let reply = router.route(&req);
+/// assert_eq!(reply.shards, 2);
+/// assert!(reply.halo_exchanges >= 1);
+/// // Maximum principle across the stitch: never worse than the input.
+/// let trace = &reply.max_density_trace;
+/// assert!(trace.last().unwrap() <= trace.first().unwrap());
+/// ```
+pub struct ShardRouter {
+    cfg: ShardRouterConfig,
+    backends: Vec<ShardBackend>,
+}
+
+impl ShardRouter {
+    /// Creates a router. Shard `i` runs on backend `i % backends.len()`,
+    /// so one backend may serve several shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is zero or `backends` is empty.
+    pub fn new(cfg: ShardRouterConfig, backends: Vec<ShardBackend>) -> Self {
+        assert!(cfg.shards >= 1, "shard count must be positive");
+        assert!(!backends.is_empty(), "at least one backend required");
+        Self { cfg, backends }
+    }
+
+    /// Creates a router that runs every shard in-process.
+    pub fn in_process(cfg: ShardRouterConfig) -> Self {
+        Self::new(cfg, vec![ShardBackend::InProcess])
+    }
+
+    /// The routing configuration.
+    pub fn config(&self) -> &ShardRouterConfig {
+        &self.cfg
+    }
+
+    /// The configured backends.
+    pub fn backends(&self) -> &[ShardBackend] {
+        &self.backends
+    }
+
+    /// Routes one job across the shards and stitches the result.
+    ///
+    /// Never fails as a whole: backend errors degrade to per-shard
+    /// [`ShardOutcome::error`] entries while the rest of the die is
+    /// still migrated.
+    pub fn route(&self, req: &JobRequest) -> ShardReply {
+        let t0 = Instant::now();
+        let partition = ShardPartition::new(
+            &req.die,
+            req.config.bin_size,
+            self.cfg.shards,
+            self.cfg.halo_bins,
+        );
+        let k = partition.len();
+        let grid = partition.grid().clone();
+        let target = req.config.d_max + req.config.delta;
+
+        let mut working = req.placement.clone();
+        let measure =
+            |p: &Placement| DensityMap::from_placement(&req.netlist, p, grid.clone()).max_density();
+        let mut trace = vec![measure(&working)];
+
+        let mut outcomes: Vec<ShardOutcome> = partition
+            .shards()
+            .iter()
+            .map(|s| ShardOutcome {
+                shard: s.index,
+                region: s.core.world_rect(&grid),
+                owned_cells: 0,
+                steps: 0,
+                rounds: 0,
+                service_ns: 0,
+                error: None,
+            })
+            .collect();
+        let shard_hists: Vec<Histogram> = (0..k)
+            .map(|_| Histogram::new(&Histogram::latency_bounds()))
+            .collect();
+        let mut kernels = KernelTimers::default();
+        let mut progress_frames = 0u64;
+        let mut halo_exchanges = 0usize;
+        let mut single_shard_converged = false;
+
+        let round_cap = if k == 1 {
+            1
+        } else {
+            self.cfg.max_halo_rounds.max(1)
+        };
+        for _ in 0..round_cap {
+            // Halo exchange: ownership and ghost positions are derived
+            // from the freshest global placement.
+            let owners = partition.assign_owners(&req.netlist, &working);
+            let runs: Vec<Option<ShardRun>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..k)
+                    .map(|shard| {
+                        let backend = self.backends[shard % self.backends.len()];
+                        let partition = &partition;
+                        let owners = &owners;
+                        let working = &working;
+                        let encoding = self.cfg.encoding;
+                        scope.spawn(move || {
+                            partition
+                                .extract_problem(shard, &req.netlist, &req.die, working, owners)
+                                .map(|problem| run_shard(backend, req, problem, encoding))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread never panics"))
+                    .collect()
+            });
+
+            halo_exchanges += 1;
+            let mut candidate = working.clone();
+            let mut any_steps = false;
+            let mut all_converged = true;
+            for (shard, run) in runs.into_iter().enumerate() {
+                let Some(run) = run else {
+                    // Shard owns no cells this round; nothing to do.
+                    continue;
+                };
+                let out = &mut outcomes[shard];
+                out.owned_cells = run.problem.owned;
+                out.steps += run.steps;
+                out.rounds += run.rounds;
+                out.service_ns += run.service_ns;
+                shard_hists[shard].record(run.service_ns);
+                progress_frames += run.progress_frames;
+                if let Some(kt) = &run.kernels {
+                    kernels.merge(kt);
+                }
+                all_converged &= run.converged && run.error.is_none();
+                if let Some(err) = run.error {
+                    out.error = Some(err);
+                }
+                if let Some(positions) = run.positions {
+                    any_steps |= run.steps > 0;
+                    stitch_positions(&run.problem, &positions, &mut candidate);
+                }
+            }
+
+            let candidate_max = measure(&candidate);
+            if k > 1 && candidate_max > *trace.last().expect("trace is never empty") {
+                // Rejecting the round preserves the maximum-principle
+                // invariant across the stitch: accepted state is never
+                // denser than what came before.
+                break;
+            }
+            working = candidate;
+            trace.push(candidate_max);
+            single_shard_converged = all_converged;
+            if candidate_max <= target || !any_steps {
+                break;
+            }
+        }
+
+        // TCP backends cannot ship per-run kernel timers in a
+        // JobResponse; fold in their servers' lifetime timers instead.
+        for addr in self.distinct_tcp_addrs() {
+            if let Ok(snapshot) = ServeClient::connect(addr).and_then(|mut c| {
+                c.stats()
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            }) {
+                kernels.merge(&snapshot.kernels);
+            }
+        }
+
+        let mut shard_service_hist = HistogramSnapshot::empty(&Histogram::latency_bounds());
+        for h in &shard_hists {
+            shard_service_hist.merge(&h.snapshot());
+        }
+
+        let final_max = *trace.last().expect("trace is never empty");
+        let movement = MovementStats::between(&req.netlist, &req.placement, &working);
+        let response = JobResponse {
+            id: req.id,
+            converged: final_max <= target || (k == 1 && single_shard_converged),
+            steps: outcomes.iter().map(|o| o.steps).sum(),
+            rounds: outcomes.iter().map(|o| o.rounds).sum(),
+            total_movement: movement.total,
+            max_movement: movement.max,
+            queue_ns: 0,
+            service_ns: t0.elapsed().as_nanos() as u64,
+            positions: working.as_slice().to_vec(),
+        };
+        ShardReply {
+            response,
+            shards: k,
+            outcomes,
+            halo_exchanges,
+            max_density_trace: trace,
+            progress_frames,
+            kernels,
+            shard_service_hist,
+        }
+    }
+
+    fn distinct_tcp_addrs(&self) -> Vec<SocketAddr> {
+        let mut addrs = Vec::new();
+        for b in &self.backends {
+            if let ShardBackend::Tcp(a) = b {
+                if !addrs.contains(a) {
+                    addrs.push(*a);
+                }
+            }
+        }
+        addrs
+    }
+}
+
+/// Runs one shard's sub-problem on its backend. Never panics: engine
+/// panics and transport failures degrade to `error`.
+fn run_shard(
+    backend: ShardBackend,
+    req: &JobRequest,
+    problem: ShardProblem,
+    encoding: PayloadEncoding,
+) -> ShardRun {
+    let started = Instant::now();
+    match backend {
+        ShardBackend::InProcess => {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut placement = problem.placement.clone();
+                let result: DiffusionResult = match req.kind {
+                    JobKind::Global => GlobalDiffusion::new(req.config.clone()).run(
+                        &problem.netlist,
+                        &problem.die,
+                        &mut placement,
+                    ),
+                    JobKind::Local => LocalDiffusion::new(req.config.clone()).run(
+                        &problem.netlist,
+                        &problem.die,
+                        &mut placement,
+                    ),
+                };
+                (placement, result)
+            }));
+            let service_ns = started.elapsed().as_nanos() as u64;
+            match outcome {
+                Ok((placement, result)) => ShardRun {
+                    positions: Some(placement.as_slice().to_vec()),
+                    steps: result.steps as u64,
+                    rounds: result.rounds as u64,
+                    converged: result.converged,
+                    service_ns,
+                    progress_frames: 0,
+                    kernels: Some(*result.telemetry.kernels()),
+                    error: None,
+                    problem,
+                },
+                Err(_) => failed(problem, service_ns, "shard engine panicked".into()),
+            }
+        }
+        ShardBackend::Tcp(addr) => {
+            let sub = JobRequest {
+                id: req.id,
+                deadline_ms: req.deadline_ms,
+                progress_stride: req.progress_stride,
+                kind: req.kind,
+                design: format!("{}/shard{}", req.design, problem.shard),
+                config: req.config.clone(),
+                netlist: problem.netlist.clone(),
+                die: problem.die.clone(),
+                placement: problem.placement.clone(),
+            };
+            let mut progress_frames = 0u64;
+            let reply = ServeClient::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e}"))
+                .and_then(|mut client| {
+                    client
+                        .request_streaming(&sub, encoding, |_| progress_frames += 1)
+                        .map_err(|e| format!("transport: {e}"))
+                });
+            let service_ns = started.elapsed().as_nanos() as u64;
+            match reply {
+                Ok(Reply::Ok(resp)) => {
+                    if resp.positions.len() != problem.cell_map.len() {
+                        let msg = format!(
+                            "backend returned {} positions for {} cells",
+                            resp.positions.len(),
+                            problem.cell_map.len()
+                        );
+                        return failed(problem, service_ns, msg);
+                    }
+                    ShardRun {
+                        positions: Some(resp.positions),
+                        steps: resp.steps,
+                        rounds: resp.rounds,
+                        converged: resp.converged,
+                        service_ns: resp.service_ns,
+                        progress_frames,
+                        kernels: None,
+                        error: None,
+                        problem,
+                    }
+                }
+                Ok(Reply::Rejected(e)) => {
+                    let msg = format!("{}: {}", e.code.as_str(), e.message);
+                    failed(problem, service_ns, msg)
+                }
+                Err(e) => failed(problem, service_ns, e),
+            }
+        }
+    }
+}
+
+fn failed(problem: ShardProblem, service_ns: u64, error: String) -> ShardRun {
+    ShardRun {
+        problem,
+        positions: None,
+        steps: 0,
+        rounds: 0,
+        converged: false,
+        service_ns,
+        progress_frames: 0,
+        kernels: None,
+        error: Some(error),
+    }
+}

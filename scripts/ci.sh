@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Hermetic CI gate: formatting, lints, build and tests, all offline.
+# Hermetic CI gate: formatting, lints, docs, build, tests, a thread-count
+# determinism matrix and two service smoke tests, all offline.
 #
 # The workspace has zero registry dependencies by design — everything
 # resolves from path crates — so `--offline` must always succeed. Any
@@ -7,17 +8,54 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every tempfile is tracked and removed on any exit path (success,
+# failure, or signal) — a failing grep must not leak mktemp droppings.
+tmpfiles=()
+cleanup() {
+    ((${#tmpfiles[@]})) && rm -f "${tmpfiles[@]}" || true
+}
+trap cleanup EXIT
+mktemp_tracked() {
+    local f
+    f="$(mktemp)"
+    tmpfiles+=("$f")
+    printf '%s' "$f"
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --release --offline --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
 echo "==> cargo build --release"
 cargo build --release --offline --workspace
 
 echo "==> cargo test"
 cargo test -q --release --offline --workspace
+
+echo "==> determinism matrix (DPM_THREADS in 1 2 4)"
+# The dpm-par decomposition is independent of the worker count, so the
+# core diffusion suite must pass and the golden placement checksum must
+# be bit-identical at every thread count.
+checksum_ref=""
+for t in 1 2 4; do
+    echo "  -> DPM_THREADS=$t: dpm-diffusion test suite"
+    DPM_THREADS=$t cargo test -q --release --offline -p dpm-diffusion
+    sum_out="$(mktemp_tracked)"
+    DPM_THREADS=$t cargo run --release --offline -p dpm-bench --bin golden_checksum >"$sum_out" 2>/dev/null
+    if [[ -z "$checksum_ref" ]]; then
+        checksum_ref="$sum_out"
+        echo "  -> golden checksum @1 thread: $(cat "$sum_out")"
+    elif ! diff -q "$checksum_ref" "$sum_out" >/dev/null; then
+        echo "DETERMINISM BREAK: checksum at DPM_THREADS=$t differs:" >&2
+        diff "$checksum_ref" "$sum_out" >&2 || true
+        exit 1
+    fi
+done
 
 echo "==> service smoke test (perf_serve --smoke --pipeline 2)"
 # Boots a real server on an ephemeral port, replays a deterministic
@@ -28,13 +66,23 @@ echo "==> service smoke test (perf_serve --smoke --pipeline 2)"
 # its response, and the wire-level stats snapshot must agree with the
 # server's own counters — both enforced inside the binary; the greps
 # below pin the observability fields into the emitted JSON.
-smoke_out="$(mktemp)"
+smoke_out="$(mktemp_tracked)"
 cargo run --release --offline -p dpm-bench --bin perf_serve -- "$smoke_out" --smoke --pipeline 2 >/dev/null
 grep -q '"bench": "perf_serve"' "$smoke_out"
 grep -q '"hardware_threads"' "$smoke_out"
 grep -q '"p99_us"' "$smoke_out"
 grep -q '"head_of_line"' "$smoke_out"
 grep -Eq '"progress_frames": [1-9][0-9]*' "$smoke_out"
-rm -f "$smoke_out"
+
+echo "==> shard smoke test (perf_shard --smoke)"
+# Boots a 2-shard router over two TCP servers on ephemeral ports and
+# replays one streamed request. The binary asserts the maximum-principle
+# trace, error-free shards, and nonzero progress frames; the greps pin
+# the shard telemetry into the emitted JSON.
+shard_out="$(mktemp_tracked)"
+cargo run --release --offline -p dpm-bench --bin perf_shard -- "$shard_out" --smoke >/dev/null
+grep -q '"bench": "perf_shard"' "$shard_out"
+grep -q '"shards": 2' "$shard_out"
+grep -Eq '"halo_exchanges": [1-9][0-9]*' "$shard_out"
 
 echo "CI green."
