@@ -1,15 +1,25 @@
 //! Criterion-free throughput harness for the four diffusion hot kernels
 //! (FTCS step, velocity field, cell advection, density splat) at 1/2/4/8
-//! worker threads on 256×256 and 1024×1024 bin grids.
+//! worker threads on 256×256 and 1024×1024 bin grids, plus a
+//! spectral-vs-FTCS race: the closed-form DCT solver against the stepped
+//! sweeps, both as a bare field jump and end-to-end through
+//! [`GlobalDiffusion`], with an explicit FLOP model for the field-update
+//! work of each solver.
 //!
 //! Writes `BENCH_kernels.json` at the repository root (or the current
 //! directory when not run from the workspace). All workloads are
 //! deterministic, so the per-thread runs do identical arithmetic — the
 //! timings differ only in scheduling.
 //!
-//! Usage: `cargo run --release --bin perf_kernels [-- <output-path>]`
+//! Usage: `cargo run --release --bin perf_kernels [-- [--smoke] <output-path>]`
+//!
+//! `--smoke` shrinks everything to a 64×64 grid with a short step budget
+//! so CI can assert the output shape (every key, including the
+//! `spectral_vs_ftcs` section) in a couple of seconds.
 
-use dpm_diffusion::{DiffusionConfig, DiffusionEngine, GlobalDiffusion};
+use dpm_diffusion::{
+    DiffusionConfig, DiffusionEngine, GlobalDiffusion, SolverKind, SpectralSolver,
+};
 use dpm_geom::Point;
 use dpm_netlist::{CellKind, Netlist, NetlistBuilder};
 use dpm_par::ThreadPool;
@@ -137,18 +147,147 @@ fn time_advect(n: usize, num_cells: usize, threads: usize, steps: usize) -> Samp
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
-    let cores = std::thread::available_parallelism().map_or(0, |c| c.get());
-    eprintln!("perf_kernels: {cores} hardware thread(s) available");
+// ---------------------------------------------------------------------------
+// Spectral-vs-FTCS race and its FLOP model.
+// ---------------------------------------------------------------------------
 
+/// Flops for one *paired* 1D DCT of length `n` (two real sequences packed
+/// as the re/im of a single 2n-point complex FFT): ~5 flops per butterfly
+/// over (2n)·log2(2n) butterflies, plus the pack/unpack and phase-twist
+/// passes at ~12 flops per sample.
+fn pair_dct_flops(n: usize) -> f64 {
+    let m = (2 * n) as f64;
+    5.0 * m * m.log2() + 12.0 * n as f64
+}
+
+/// Flops for one full 2D DCT (forward or inverse) on an `nx`×`ny` field:
+/// rows transform in pairs, then columns transform in pairs.
+fn transform_2d_flops(nx: usize, ny: usize) -> f64 {
+    ny.div_ceil(2) as f64 * pair_dct_flops(nx) + nx.div_ceil(2) as f64 * pair_dct_flops(ny)
+}
+
+/// Flops for `steps` FTCS sweeps: the 5-point stencil costs ~10 flops per
+/// bin per step (4 neighbour reads folded with 4 adds, 2 multiplies).
+fn ftcs_field_flops(nx: usize, ny: usize, steps: u64) -> f64 {
+    10.0 * (nx * ny) as f64 * steps as f64
+}
+
+/// Flops the spectral solver spends updating the field across a run with
+/// `iterations` loop iterations: one cached forward transform, then per
+/// iteration one decay pass (~2 flops per bin) and one inverse transform.
+fn spectral_field_flops(nx: usize, ny: usize, iterations: u64) -> f64 {
+    let transforms = 1 + iterations;
+    transforms as f64 * transform_2d_flops(nx, ny) + iterations as f64 * 2.0 * (nx * ny) as f64
+}
+
+/// Bare field jump: `s_steps` FTCS sweeps versus one spectral round trip
+/// (plan + forward + single decayed inverse) reaching the same diffusion
+/// time. Returns `(ftcs_ns, spectral_ns)`. Wall-free field so both
+/// solvers do pure dense arithmetic.
+fn time_jump(n: usize, threads: usize, s_steps: u64) -> (f64, f64) {
+    let (mut density, _) = bumpy_field(n);
+    // No walls in this race: the spectral solver only runs on unmasked
+    // grids, so the comparison is dense-vs-dense by construction.
+    for d in density.iter_mut() {
+        if *d == 0.0 {
+            *d = 0.25;
+        }
+    }
+    let tau = 0.1;
+
+    let mut e = DiffusionEngine::from_raw(n, n, density.clone(), None);
+    e.set_threads(threads);
+    e.step_density(tau); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..s_steps {
+        e.step_density(tau);
+    }
+    let ftcs_ns = t0.elapsed().as_nanos() as f64;
+
+    // One step of `step_density(tau)` advances continuous time by tau/2.
+    let t_target = s_steps as f64 * tau * 0.5;
+    let mut out = vec![0.0; n * n];
+    let t0 = Instant::now();
+    let mut solver = SpectralSolver::new(n, n, &density);
+    solver.density_at(t_target, &mut out);
+    let spectral_ns = t0.elapsed().as_nanos() as f64;
+    assert!(out.iter().all(|d| d.is_finite()));
+    (ftcs_ns, spectral_ns)
+}
+
+/// One end-to-end `GlobalDiffusion` run of the clustered design with the
+/// given solver, capped at `max_steps` so neither solver converges — an
+/// equal-time-budget race (both reach the same diffusion time).
+fn run_e2e(n: usize, num_cells: usize, max_steps: usize, solver: SolverKind) -> (u64, f64) {
+    let (nl, mut p, die) = clustered_design(n, num_cells);
+    let cfg = DiffusionConfig::default()
+        .with_bin_size(1.0)
+        .with_max_steps(max_steps)
+        .with_threads(4)
+        .with_solver(solver);
+    let t0 = Instant::now();
+    let result = GlobalDiffusion::new(cfg).run(&nl, &die, &mut p);
+    let wall_ms = t0.elapsed().as_nanos() as f64 / 1e6;
+    (result.steps as u64, wall_ms)
+}
+
+/// The `spectral_vs_ftcs` JSON section for one grid.
+fn spectral_race_json(n: usize, num_cells: usize, jump_steps: u64, e2e_cap: usize) -> String {
+    eprintln!("  grid {n}x{n}, spectral-vs-FTCS race...");
+    let (jump_ftcs_ns, jump_spectral_ns) = time_jump(n, 4, jump_steps);
+    let (ftcs_steps, ftcs_ms) = run_e2e(n, num_cells, e2e_cap, SolverKind::Ftcs);
+    let (spec_iters, spec_ms) = run_e2e(n, num_cells, e2e_cap, SolverKind::Spectral);
+    let f_flops = ftcs_field_flops(n, n, ftcs_steps);
+    let s_flops = spectral_field_flops(n, n, spec_iters);
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "      \"spectral_vs_ftcs\": {{\n\
+         \x20       \"jump\": {{\"ftcs_steps\": {jump_steps}, \"ftcs_ns\": {jump_ftcs_ns:.0}, \
+         \"spectral_round_trip_ns\": {jump_spectral_ns:.0}, \"wall_speedup\": {:.2}}},\n\
+         \x20       \"e2e\": {{\"max_steps\": {e2e_cap}, \"ftcs_steps\": {ftcs_steps}, \
+         \"ftcs_wall_ms\": {ftcs_ms:.1}, \"spectral_iterations\": {spec_iters}, \
+         \"spectral_wall_ms\": {spec_ms:.1}}},\n\
+         \x20       \"field_update_flops\": {{\"ftcs\": {f_flops:.3e}, \"spectral\": {s_flops:.3e}, \
+         \"flops_ratio\": {:.1}}}\n\
+         \x20     }}",
+        jump_ftcs_ns / jump_spectral_ns,
+        f_flops / s_flops,
+    );
+    body
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(0, |c| c.get());
+    eprintln!("perf_kernels: {cores} hardware thread(s) available (smoke: {smoke})");
+
+    let grids: &[usize] = if smoke { &[64] } else { &[256, 1024] };
     let mut grids_json = Vec::new();
-    for &n in &[256usize, 1024] {
+    for &n in grids {
         // Scale repetitions so the large grid stays in budget on one core.
-        let reps: u64 = if n <= 256 { 40 } else { 8 };
-        let steps: usize = if n <= 256 { 10 } else { 4 };
+        let reps: u64 = if smoke {
+            4
+        } else if n <= 256 {
+            40
+        } else {
+            8
+        };
+        let steps: usize = if smoke {
+            2
+        } else if n <= 256 {
+            10
+        } else {
+            4
+        };
         // Central-quarter cluster at ~2× target density so global
         // diffusion has genuine overflow to relieve on every grid.
         let num_cells = n * n / 2;
@@ -190,7 +329,17 @@ fn main() {
                 let _ = write!(body, "\"{k}\": null{sep}");
             }
         }
-        let _ = write!(body, "}}\n    }}");
+        let _ = writeln!(body, "}},");
+        // Equal-time-budget race: cap the step count so neither solver
+        // converges; both then reach the same diffusion time and the
+        // field-update FLOP comparison is apples to apples.
+        let jump_steps: u64 = if smoke { 50 } else { 500 };
+        let e2e_cap: usize = if smoke { 200 } else { 2000 };
+        let _ = write!(
+            body,
+            "{}\n    }}",
+            spectral_race_json(n, num_cells, jump_steps, e2e_cap)
+        );
         grids_json.push(body);
     }
 

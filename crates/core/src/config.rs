@@ -46,6 +46,13 @@ pub enum ConfigError {
     ZeroUpdatePeriod,
     /// The worker-thread count is zero.
     ZeroThreads,
+    /// The spectral solver with a zero step budget: `max_steps == 0`
+    /// leaves the closed-form jump zero diffusion time to advance.
+    SpectralZeroTime,
+    /// The spectral solver combined with the paper's mirror boundary
+    /// rule: the DCT basis diagonalizes only the conservative
+    /// zero-flux boundary operator, so `paper_boundaries` must be off.
+    SpectralPaperBoundaries,
 }
 
 impl fmt::Display for ConfigError {
@@ -68,11 +75,56 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroUpdatePeriod => write!(f, "N_U must be positive"),
             ConfigError::ZeroThreads => write!(f, "thread count must be positive"),
+            ConfigError::SpectralZeroTime => write!(
+                f,
+                "spectral solver needs max_steps > 0: the closed-form jump \
+                 has zero diffusion time to advance"
+            ),
+            ConfigError::SpectralPaperBoundaries => write!(
+                f,
+                "spectral solver requires the conservative zero-flux boundary \
+                 rule (paper_boundaries must be off)"
+            ),
         }
     }
 }
 
 impl Error for ConfigError {}
+
+/// Which solver evolves the density field between cell advections.
+///
+/// [`Ftcs`](SolverKind::Ftcs) is the paper's explicit
+/// Forward-Time-Centered-Space stepping — thousands of O(n) stencil
+/// sweeps. [`Spectral`](SolverKind::Spectral) replaces the sweeps with
+/// the closed-form DCT jump of
+/// [`SpectralSolver`](crate::SpectralSolver): one cached forward
+/// transform plus one inverse transform per density query, valid
+/// whenever the grid has no walls/frozen bins and the conservative
+/// boundary rule is active (the engine falls back to FTCS otherwise —
+/// see `GlobalDiffusion`).
+///
+/// The discriminants are the wire encoding of `dpm-serve` request
+/// frames; a frame without the trailing solver byte decodes as
+/// [`Ftcs`](SolverKind::Ftcs) for back-compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum SolverKind {
+    /// Explicit FTCS time-stepping (the paper's scheme; the default).
+    #[default]
+    Ftcs = 0,
+    /// Closed-form DCT jump to any diffusion time.
+    Spectral = 1,
+}
+
+impl SolverKind {
+    /// Stable lowercase name, as used by `DPM_SOLVER` and bench JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SolverKind::Ftcs => "ftcs",
+            SolverKind::Spectral => "spectral",
+        }
+    }
+}
 
 /// Tunable parameters of the diffusion process and its legalization
 /// wrappers.
@@ -145,6 +197,11 @@ pub struct DiffusionConfig {
     /// density step instead of the conservative zero-flux ghost. See
     /// [`DiffusionEngine::set_conservative_boundaries`](crate::DiffusionEngine::set_conservative_boundaries).
     pub paper_boundaries: bool,
+    /// Which solver evolves the density field between advections.
+    /// Defaults to the `DPM_SOLVER` environment variable (`"ftcs"` or
+    /// `"spectral"`), else [`SolverKind::Ftcs`] — CI runs the test
+    /// suite under both to keep the spectral path honest.
+    pub solver: SolverKind,
     /// Worker threads for the FTCS density step (1 = serial; results are
     /// identical either way). Defaults to the `DPM_THREADS` environment
     /// variable when it holds a positive integer, else 1 — CI runs the
@@ -169,6 +226,24 @@ fn default_threads() -> usize {
     parse_threads(std::env::var("DPM_THREADS").ok().as_deref()).unwrap_or(1)
 }
 
+/// Parses a `DPM_SOLVER`-style value: `"ftcs"` or `"spectral"`
+/// (case-insensitive, whitespace-trimmed), else `None`.
+fn parse_solver(value: Option<&str>) -> Option<SolverKind> {
+    match value?.trim().to_ascii_lowercase().as_str() {
+        "ftcs" => Some(SolverKind::Ftcs),
+        "spectral" => Some(SolverKind::Spectral),
+        _ => None,
+    }
+}
+
+/// Default solver: `DPM_SOLVER` from the environment when it names a
+/// known solver, else FTCS. `scripts/ci.sh` runs the diffusion suite
+/// and the golden checksum under `DPM_SOLVER=spectral` at several
+/// thread counts, mirroring the `DPM_THREADS` determinism matrix.
+fn default_solver() -> SolverKind {
+    parse_solver(std::env::var("DPM_SOLVER").ok().as_deref()).unwrap_or_default()
+}
+
 impl Default for DiffusionConfig {
     fn default() -> Self {
         Self {
@@ -186,6 +261,7 @@ impl Default for DiffusionConfig {
             max_rounds: 200,
             max_step_displacement: 1.0,
             paper_boundaries: false,
+            solver: default_solver(),
             threads: default_threads(),
         }
     }
@@ -307,6 +383,13 @@ impl DiffusionConfig {
         self
     }
 
+    /// Selects the density solver (FTCS stepping or the closed-form
+    /// spectral jump).
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
     /// Sets the FTCS worker-thread count.
     ///
     /// # Panics
@@ -383,6 +466,14 @@ impl DiffusionConfig {
         if self.threads == 0 {
             return Err(ConfigError::ZeroThreads);
         }
+        if self.solver == SolverKind::Spectral {
+            if self.max_steps == 0 {
+                return Err(ConfigError::SpectralZeroTime);
+            }
+            if self.paper_boundaries {
+                return Err(ConfigError::SpectralPaperBoundaries);
+            }
+        }
         Ok(())
     }
 
@@ -409,6 +500,50 @@ mod tests {
         assert_eq!(parse_threads(Some("two")), None);
         assert_eq!(parse_threads(Some("4")), Some(4));
         assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn solver_env_parsing_accepts_only_known_solvers() {
+        assert_eq!(parse_solver(None), None);
+        assert_eq!(parse_solver(Some("")), None);
+        assert_eq!(parse_solver(Some("fft")), None);
+        assert_eq!(parse_solver(Some("ftcs")), Some(SolverKind::Ftcs));
+        assert_eq!(parse_solver(Some(" SPECTRAL ")), Some(SolverKind::Spectral));
+        assert_eq!(parse_solver(Some("Spectral")), Some(SolverKind::Spectral));
+    }
+
+    #[test]
+    fn validate_rejects_nonsensical_spectral_settings() {
+        let mut c = DiffusionConfig::default().with_solver(SolverKind::Spectral);
+        c.max_steps = 0;
+        assert_eq!(c.validate(), Err(ConfigError::SpectralZeroTime));
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("max_steps"), "{msg}");
+
+        let mut c = DiffusionConfig::default().with_solver(SolverKind::Spectral);
+        c.paper_boundaries = true;
+        assert_eq!(c.validate(), Err(ConfigError::SpectralPaperBoundaries));
+
+        // The same settings are fine under FTCS: max_steps == 0 is a
+        // legal no-op run and the paper boundary rule is a supported
+        // ablation.
+        let mut c = DiffusionConfig::default().with_solver(SolverKind::Ftcs);
+        c.max_steps = 0;
+        c.paper_boundaries = true;
+        assert_eq!(c.validate(), Ok(()));
+
+        // A valid spectral config passes.
+        let c = DiffusionConfig::default().with_solver(SolverKind::Spectral);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn solver_names_are_stable() {
+        assert_eq!(SolverKind::Ftcs.as_str(), "ftcs");
+        assert_eq!(SolverKind::Spectral.as_str(), "spectral");
+        assert_eq!(SolverKind::default(), SolverKind::Ftcs);
+        assert_eq!(SolverKind::Ftcs as u8, 0);
+        assert_eq!(SolverKind::Spectral as u8, 1);
     }
 
     #[test]

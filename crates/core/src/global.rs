@@ -2,7 +2,10 @@
 
 use crate::advect::advect_cells;
 use crate::observe::{DiffusionObserver, KernelEvent, KernelKind, NoopObserver, StepEvent};
-use crate::{manipulate_density, DiffusionConfig, DiffusionEngine, StepRecord, Telemetry};
+use crate::spectral::SpectralSolver;
+use crate::{
+    manipulate_density, DiffusionConfig, DiffusionEngine, SolverKind, StepRecord, Telemetry,
+};
 use dpm_netlist::Netlist;
 use dpm_par::ThreadPool;
 use dpm_place::{BinGrid, DensityMap, Die, Placement};
@@ -12,7 +15,11 @@ use std::time::Instant;
 /// [`LocalDiffusion`](crate::LocalDiffusion)).
 #[derive(Debug, Clone)]
 pub struct DiffusionResult {
-    /// Total number of diffusion steps executed.
+    /// Total number of diffusion steps executed. Under
+    /// [`SolverKind::Spectral`] this counts advect/re-jump iterations:
+    /// each one covers a geometrically growing stride of FTCS-step
+    /// budget, so the count is roughly logarithmic in the diffusion
+    /// time an FTCS run would have stepped through.
     pub steps: usize,
     /// Number of local-diffusion rounds (1 for global diffusion).
     pub rounds: usize,
@@ -154,54 +161,142 @@ impl GlobalDiffusion {
         let mut converged = engine.max_live_density() <= self.cfg.d_max + self.cfg.delta;
         let mut cancelled = false;
 
-        while !converged && steps < self.cfg.max_steps {
-            if should_stop() {
-                cancelled = true;
-                break;
+        // The spectral jump models the pure heat equation with
+        // zero-flux boundaries: walls/frozen bins break the DCT
+        // diagonalization, and the paper's mirror boundary rule is a
+        // different operator, so those runs keep the FTCS stepper.
+        let use_spectral = self.cfg.solver == SolverKind::Spectral
+            && !self.cfg.paper_boundaries
+            && !engine.wall_mask().iter().any(|&w| w)
+            && !engine.frozen_mask().iter().any(|&f| f);
+
+        if use_spectral {
+            // Closed-form evolution: the field no longer needs
+            // stepping — iterations exist only so cells can follow the
+            // changing velocity field. Strides double geometrically
+            // (in units of the FTCS step budget): early iterations
+            // resolve the fast transient finely, later ones jump whole
+            // swaths of diffusion time in one inverse transform.
+            let tau = self.cfg.dt * self.cfg.diffusivity;
+            let mut solver = SpectralSolver::new(engine.nx(), engine.ny(), engine.densities());
+            let mut field = vec![0.0; engine.nx() * engine.ny()];
+            let mut elapsed_budget = 0usize;
+            while !converged && elapsed_budget < self.cfg.max_steps {
+                if should_stop() {
+                    cancelled = true;
+                    break;
+                }
+                let stride = (1usize << steps.min(20)).min(self.cfg.max_steps - elapsed_budget);
+                let velocity_start = Instant::now();
+                engine.compute_velocities();
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Velocity,
+                    elapsed: velocity_start.elapsed(),
+                    threads: pool.threads(),
+                });
+                let advect_start = Instant::now();
+                // One advect call covers the whole stride: velocities
+                // act for stride·Δt, still clamped per call by
+                // max_step_displacement.
+                let mut strided = self.cfg.clone();
+                strided.dt = self.cfg.dt * stride as f64;
+                let advect = advect_cells(&engine, &grid, netlist, placement, &strided, false);
+                let advect_elapsed = advect_start.elapsed();
+                engine
+                    .kernel_timers_mut()
+                    .advect
+                    .record(advect_elapsed, pool.threads());
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Advect,
+                    elapsed: advect_elapsed,
+                    threads: pool.threads(),
+                });
+                // The jump replaces the FTCS sweep, so its time lands
+                // in the ftcs timer slot (recorded with the pool width
+                // the run was configured for, though transforms are
+                // serial by construction).
+                let jump_start = Instant::now();
+                elapsed_budget += stride;
+                solver.density_at(elapsed_budget as f64 * tau * 0.5, &mut field);
+                engine.load_densities(&field);
+                let jump_elapsed = jump_start.elapsed();
+                engine
+                    .kernel_timers_mut()
+                    .ftcs
+                    .record(jump_elapsed, pool.threads());
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Ftcs,
+                    elapsed: jump_elapsed,
+                    threads: pool.threads(),
+                });
+                steps += 1;
+                let max_density = engine.max_live_density();
+                let record = StepRecord {
+                    step: steps - 1,
+                    movement: advect.total_movement,
+                    computed_overflow: engine.total_overflow(self.cfg.d_max),
+                    max_density,
+                    measured_overflow: None,
+                };
+                telemetry.push(record);
+                observer.on_step(&StepEvent {
+                    record,
+                    round: 1,
+                    placement,
+                    netlist,
+                });
+                converged = max_density <= self.cfg.d_max + self.cfg.delta;
             }
-            let velocity_start = Instant::now();
-            engine.compute_velocities();
-            observer.on_kernel(&KernelEvent {
-                kernel: KernelKind::Velocity,
-                elapsed: velocity_start.elapsed(),
-                threads: pool.threads(),
-            });
-            let advect_start = Instant::now();
-            let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, false);
-            let advect_elapsed = advect_start.elapsed();
-            engine
-                .kernel_timers_mut()
-                .advect
-                .record(advect_elapsed, pool.threads());
-            observer.on_kernel(&KernelEvent {
-                kernel: KernelKind::Advect,
-                elapsed: advect_elapsed,
-                threads: pool.threads(),
-            });
-            let ftcs_start = Instant::now();
-            engine.step_density(self.cfg.dt * self.cfg.diffusivity);
-            observer.on_kernel(&KernelEvent {
-                kernel: KernelKind::Ftcs,
-                elapsed: ftcs_start.elapsed(),
-                threads: pool.threads(),
-            });
-            steps += 1;
-            let max_density = engine.max_live_density();
-            let record = StepRecord {
-                step: steps - 1,
-                movement: advect.total_movement,
-                computed_overflow: engine.total_overflow(self.cfg.d_max),
-                max_density,
-                measured_overflow: None,
-            };
-            telemetry.push(record);
-            observer.on_step(&StepEvent {
-                record,
-                round: 1,
-                placement,
-                netlist,
-            });
-            converged = max_density <= self.cfg.d_max + self.cfg.delta;
+        } else {
+            while !converged && steps < self.cfg.max_steps {
+                if should_stop() {
+                    cancelled = true;
+                    break;
+                }
+                let velocity_start = Instant::now();
+                engine.compute_velocities();
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Velocity,
+                    elapsed: velocity_start.elapsed(),
+                    threads: pool.threads(),
+                });
+                let advect_start = Instant::now();
+                let advect = advect_cells(&engine, &grid, netlist, placement, &self.cfg, false);
+                let advect_elapsed = advect_start.elapsed();
+                engine
+                    .kernel_timers_mut()
+                    .advect
+                    .record(advect_elapsed, pool.threads());
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Advect,
+                    elapsed: advect_elapsed,
+                    threads: pool.threads(),
+                });
+                let ftcs_start = Instant::now();
+                engine.step_density(self.cfg.dt * self.cfg.diffusivity);
+                observer.on_kernel(&KernelEvent {
+                    kernel: KernelKind::Ftcs,
+                    elapsed: ftcs_start.elapsed(),
+                    threads: pool.threads(),
+                });
+                steps += 1;
+                let max_density = engine.max_live_density();
+                let record = StepRecord {
+                    step: steps - 1,
+                    movement: advect.total_movement,
+                    computed_overflow: engine.total_overflow(self.cfg.d_max),
+                    max_density,
+                    measured_overflow: None,
+                };
+                telemetry.push(record);
+                observer.on_step(&StepEvent {
+                    record,
+                    round: 1,
+                    placement,
+                    netlist,
+                });
+                converged = max_density <= self.cfg.d_max + self.cfg.delta;
+            }
         }
 
         telemetry.set_kernels(*engine.kernel_timers());
@@ -375,7 +470,12 @@ mod tests {
     fn cancellation_stops_mid_run_and_preserves_partial_progress() {
         use std::cell::Cell;
 
-        // Reference run to know the uncancelled step count.
+        // Reference run to know the uncancelled step count. Pinned to
+        // FTCS: the spectral jump converges this tiny workload in a
+        // couple of iterations, leaving nothing to cancel mid-run (the
+        // spectral cancellation contract is covered on a finer grid by
+        // `spectral_cancellation_stops_mid_run`).
+        let cfg = || cfg().with_solver(SolverKind::Ftcs);
         let (nl, die, mut p_ref) = pile(24, Point::new(36.0, 36.0));
         let full = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p_ref);
         assert!(!full.cancelled);
@@ -467,6 +567,116 @@ mod tests {
         let r = GlobalDiffusion::new(cfg()).run(&nl, &die, &mut p);
         assert_eq!(r.telemetry.len(), r.steps);
         assert!(r.telemetry.total_movement() > 0.0);
+    }
+
+    #[test]
+    fn spectral_mode_converges_in_fewer_iterations() {
+        let (nl, die, mut p_ftcs) = pile(24, Point::new(36.0, 36.0));
+        let ftcs =
+            GlobalDiffusion::new(cfg().with_solver(SolverKind::Ftcs)).run(&nl, &die, &mut p_ftcs);
+        let (_, _, mut p_spec) = pile(24, Point::new(36.0, 36.0));
+        let spec = GlobalDiffusion::new(cfg().with_solver(SolverKind::Spectral)).run(
+            &nl,
+            &die,
+            &mut p_spec,
+        );
+        assert!(
+            spec.converged,
+            "spectral did not converge in {} iters",
+            spec.steps
+        );
+        assert!(
+            spec.steps < ftcs.steps,
+            "spectral iterations ({}) should undercut FTCS steps ({})",
+            spec.steps,
+            ftcs.steps
+        );
+        // Both end legal-ish on the real measured density.
+        let grid = BinGrid::new(die.outline(), 24.0);
+        let dm = DensityMap::from_placement(&nl, &p_spec, grid);
+        assert!(dm.max_density() < 1.5, "measured {}", dm.max_density());
+    }
+
+    #[test]
+    fn spectral_mode_emits_ftcs_shaped_telemetry() {
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let mut obs = CountingObserver::default();
+        let r = GlobalDiffusion::new(cfg().with_solver(SolverKind::Spectral).with_threads(2))
+            .run_observed(&nl, &die, &mut p, &|| false, &mut obs);
+        assert!(r.converged);
+        assert_eq!(r.telemetry.len(), r.steps);
+        assert_eq!(obs.steps, r.steps);
+        assert_eq!(obs.kernels, 1 + 3 * r.steps, "splat + 3 kernels per iter");
+        let k = r.telemetry.kernels();
+        assert_eq!(k.ftcs.calls as usize, r.steps, "one jump per iteration");
+        assert_eq!(k.velocity.calls as usize, r.steps);
+        assert_eq!(k.advect.calls as usize, r.steps);
+        assert_eq!(k.splat.calls, 1);
+        // Overflow trends downward under the jump too (heat semigroup
+        // maximum principle).
+        let series = r.telemetry.overflow_series();
+        assert!(series.len() >= 2);
+        assert!(*series.last().expect("non-empty") < series[0]);
+    }
+
+    #[test]
+    fn spectral_with_macros_falls_back_to_ftcs_bit_identically() {
+        let build = || {
+            let mut b = NetlistBuilder::new();
+            let m = b.add_cell("m", 24.0, 48.0, CellKind::FixedMacro);
+            for i in 0..30 {
+                b.add_cell(format!("c{i}"), 6.0, 12.0, CellKind::Movable);
+            }
+            let nl = b.build().expect("valid");
+            let die = Die::new(96.0, 96.0, 12.0);
+            let mut p = Placement::new(nl.num_cells());
+            p.set(m, Point::new(48.0, 24.0));
+            for (i, c) in nl.movable_cell_ids().enumerate() {
+                let dx = (i % 3) as f64 * 4.0;
+                let dy = (i / 3) as f64 * 1.5;
+                p.set(c, Point::new(28.0 + dx, 30.0 + dy));
+            }
+            (nl, die, p)
+        };
+        let (nl, die, mut p1) = build();
+        let r1 = GlobalDiffusion::new(cfg().with_solver(SolverKind::Ftcs)).run(&nl, &die, &mut p1);
+        let (_, _, mut p2) = build();
+        let r2 =
+            GlobalDiffusion::new(cfg().with_solver(SolverKind::Spectral)).run(&nl, &die, &mut p2);
+        // The macro raises a wall, so the spectral run must take the
+        // masked FTCS path and match the FTCS run exactly.
+        assert_eq!(r1.steps, r2.steps);
+        assert_eq!(p1, p2, "masked fallback must be bit-identical to FTCS");
+    }
+
+    #[test]
+    fn spectral_cancellation_stops_mid_run() {
+        use std::cell::Cell;
+        // A finer grid (8×8 bins) keeps the slowest modes alive long
+        // enough that the geometric stride ramp needs several
+        // iterations — there is a mid-run to cancel.
+        let spectral_cfg = || {
+            DiffusionConfig::default()
+                .with_bin_size(12.0)
+                .with_delta(0.05)
+                .with_solver(SolverKind::Spectral)
+        };
+        let (nl, die, mut p_ref) = pile(24, Point::new(36.0, 36.0));
+        let full = GlobalDiffusion::new(spectral_cfg()).run(&nl, &die, &mut p_ref);
+        assert!(full.steps > 2, "workload too small to cancel mid-run");
+        let (nl, die, mut p) = pile(24, Point::new(36.0, 36.0));
+        let budget = Cell::new(2usize);
+        let r = GlobalDiffusion::new(spectral_cfg()).run_with_cancel(&nl, &die, &mut p, &|| {
+            if budget.get() == 0 {
+                true
+            } else {
+                budget.set(budget.get() - 1);
+                false
+            }
+        });
+        assert!(r.cancelled);
+        assert_eq!(r.steps, 2);
+        assert_eq!(r.telemetry.len(), 2);
     }
 
     #[test]

@@ -24,7 +24,13 @@
 //! - **die sharding** for horizontal scale: bin-aligned rectangular
 //!   shard regions with read-only density halos and an exclusive-owner
 //!   stitcher — [`ShardPartition`], [`stitch_positions`] (the routing
-//!   loop lives in `dpm-serve`).
+//!   loop lives in `dpm-serve`);
+//! - a **closed-form spectral solver**: the diffusion equation
+//!   diagonalizes in the DCT basis under the engine's zero-flux
+//!   boundaries, so `ρ(t)` for any `t` is one cached forward transform
+//!   plus one decayed inverse transform — [`SpectralSolver`], selected
+//!   per run with [`SolverKind::Spectral`] on [`DiffusionConfig`]
+//!   (walled/frozen grids automatically keep the FTCS stepper).
 //!
 //! All four hot kernels — FTCS step, velocity field, cell advection and
 //! the density splat — run on the deterministic worker pool of
@@ -82,13 +88,14 @@ mod local;
 mod manip;
 mod observe;
 mod shard;
+mod spectral;
 mod telemetry;
 mod trace;
 mod velocity;
 mod window;
 
 pub use advect::AdvectOutcome;
-pub use config::{ConfigError, DiffusionConfig};
+pub use config::{ConfigError, DiffusionConfig, SolverKind};
 pub use engine::DiffusionEngine;
 pub use field::FieldMigration;
 pub use global::{DiffusionResult, GlobalDiffusion};
@@ -98,6 +105,7 @@ pub use observe::{
     DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, StepEvent,
 };
 pub use shard::{stitch_positions, BinRect, ShardPartition, ShardProblem, ShardRegion};
+pub use spectral::{DctPlan, SpectralSolver};
 pub use telemetry::{KernelTimers, KernelTiming, StepRecord, Telemetry};
 pub use trace::{trace_global_diffusion, TracedRun, Trajectory};
 pub use velocity::interpolate_velocity;

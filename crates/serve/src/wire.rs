@@ -37,7 +37,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use dpm_bookshelf::BookshelfDesign;
-use dpm_diffusion::{DiffusionConfig, KernelTimers, KernelTiming};
+use dpm_diffusion::{DiffusionConfig, KernelTimers, KernelTiming, SolverKind};
 use dpm_geom::Point;
 use dpm_netlist::{CellKind, Netlist, NetlistBuilder, PinDir};
 use dpm_obs::HistogramSnapshot;
@@ -410,7 +410,24 @@ fn take_config(cur: &mut Cur<'_>) -> Result<DiffusionConfig, WireError> {
         max_step_displacement: cur.f64("config.max_step_displacement")?,
         paper_boundaries: cur.u8("config.paper_boundaries")? != 0,
         threads: cur.u64("config.threads")? as usize,
+        // The solver kind travels as an *optional trailing byte* of the
+        // request payload (see `encode_request`), not inside the config
+        // block, so that v2 frames from pre-spectral clients still decode.
+        // Explicitly Ftcs here — never `Default`, which consults the
+        // server process's `DPM_SOLVER` environment.
+        solver: SolverKind::Ftcs,
     })
+}
+
+fn solver_kind_from_u8(b: u8) -> Result<SolverKind, WireError> {
+    match b {
+        0 => Ok(SolverKind::Ftcs),
+        1 => Ok(SolverKind::Spectral),
+        k => Err(malformed(
+            "request.solver",
+            format!("unknown solver kind {k}"),
+        )),
+    }
 }
 
 fn cell_kind_to_u8(k: CellKind) -> u8 {
@@ -577,6 +594,12 @@ pub fn encode_request(req: &JobRequest, encoding: PayloadEncoding) -> Vec<u8> {
             put_str(&mut buf, &design.write_scl());
         }
     }
+    // The solver kind rides as a trailing byte *after* the design payload.
+    // Decoders that predate it stop at the design and would reject the
+    // extra byte, but decoders that know it (this version) accept both
+    // forms: absent ⇒ `SolverKind::Ftcs`. Appending at the tail keeps
+    // every earlier field at its v2 offset.
+    put_u8(&mut buf, req.config.solver as u8);
     buf
 }
 
@@ -619,6 +642,12 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
             ))
         }
     };
+    // Optional trailing solver byte: v2 frames from pre-spectral clients
+    // end exactly at the design payload and decode as FTCS.
+    let mut config = config;
+    if cur.pos < cur.buf.len() {
+        config.solver = solver_kind_from_u8(cur.u8("request.solver")?)?;
+    }
     cur.finish("request")?;
     Ok(JobRequest {
         id,
@@ -1331,15 +1360,61 @@ mod tests {
     fn truncated_payloads_error_not_panic() {
         let req = tiny_request(JobKind::Global);
         let payload = encode_request(&req, PayloadEncoding::Binary);
-        // Chop the payload at many lengths; every prefix must produce an
-        // error (or, for a complete prefix, a valid decode) — never panic.
+        // Chop the payload at every length; each prefix must produce an
+        // error — never panic. The single exception is stripping exactly
+        // the trailing solver byte, which is by design a complete legacy
+        // (pre-spectral) frame.
         for cut in 0..payload.len() {
             match decode_request(&payload[..cut]) {
                 Err(_) => {}
+                Ok(_) if cut == payload.len() - 1 => {}
                 Ok(_) => panic!("truncated payload of {cut} bytes decoded"),
             }
         }
         assert!(decode_request(&payload).is_ok());
+    }
+
+    #[test]
+    fn legacy_frame_without_solver_byte_decodes_as_ftcs() {
+        // Back-compat pin: a v2 request frame that predates the solver
+        // byte is exactly today's frame with the last byte stripped. It
+        // must decode with `SolverKind::Ftcs` and every other field
+        // bit-identical — so PR 2–4 era clients keep working unchanged.
+        let mut req = tiny_request(JobKind::Local);
+        req.config = req.config.with_solver(SolverKind::Spectral);
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        assert_eq!(
+            *payload.last().expect("non-empty"),
+            SolverKind::Spectral as u8,
+            "solver byte must be the final payload byte"
+        );
+
+        let legacy = &payload[..payload.len() - 1];
+        let back = decode_request(legacy).expect("legacy frame decodes");
+        assert_eq!(back.config.solver, SolverKind::Ftcs);
+        assert_eq!(
+            back.config,
+            req.config.with_solver(SolverKind::Ftcs),
+            "all non-solver config fields survive the legacy path"
+        );
+        assert_eq!(back.id, req.id);
+        assert_eq!(back.design, req.design);
+        assert_eq!(back.kind, req.kind);
+
+        // And the modern frame round-trips the spectral choice.
+        let modern = decode_request(&payload).expect("decodes");
+        assert_eq!(modern.config.solver, SolverKind::Spectral);
+
+        // Unknown solver discriminants are malformed, not a panic.
+        let mut bad = payload.clone();
+        *bad.last_mut().expect("non-empty") = 7;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(WireError::Malformed {
+                context: "request.solver",
+                ..
+            })
+        ));
     }
 
     #[test]

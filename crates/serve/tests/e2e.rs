@@ -4,7 +4,7 @@
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
+use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion, SolverKind};
 use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
 use dpm_serve::wire::{
     read_frame, write_frame, ErrorCode, FrameKind, JobKind, JobRequest, PayloadEncoding, Reply,
@@ -317,6 +317,98 @@ fn invalid_config_is_rejected_with_a_typed_error() {
     let stats = server.shutdown();
     assert_eq!(stats.invalid_config, 2);
     assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn nonsensical_spectral_config_is_rejected_with_a_typed_error() {
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    // A spectral run with a zero step budget can never advance time: the
+    // server must answer with an InvalidConfig error frame, not run it.
+    let bad = DiffusionConfig {
+        max_steps: 0,
+        ..DiffusionConfig::default()
+    }
+    .with_solver(SolverKind::Spectral);
+    let reply = send(
+        addr,
+        &request(21, JobKind::Global, bad, 0),
+        PayloadEncoding::Binary,
+    );
+    match reply {
+        Reply::Rejected(e) => {
+            assert_eq!(e.code, ErrorCode::InvalidConfig);
+            assert_eq!(e.id, 21);
+            assert!(
+                e.message.contains("spectral"),
+                "unhelpful message: {}",
+                e.message
+            );
+        }
+        Reply::Ok(_) => panic!("zero-budget spectral config accepted"),
+    }
+
+    // Spectral + paper mirror boundaries is also rejected: the DCT basis
+    // encodes the engine's conservative boundary, not the paper's.
+    let mirror = DiffusionConfig {
+        paper_boundaries: true,
+        ..DiffusionConfig::default()
+    }
+    .with_solver(SolverKind::Spectral);
+    let reply = send(
+        addr,
+        &request(22, JobKind::Global, mirror, 0),
+        PayloadEncoding::Binary,
+    );
+    assert!(matches!(reply, Reply::Rejected(e) if e.code == ErrorCode::InvalidConfig));
+
+    let stats = server.shutdown();
+    assert_eq!(stats.invalid_config, 2);
+    assert_eq!(stats.served, 0);
+}
+
+#[test]
+fn spectral_request_over_tcp_matches_direct_spectral_run() {
+    // The solver choice must survive the wire: a spectral request run
+    // through the server lands bit-identically with an in-process
+    // spectral run, and differs from the FTCS answer for the same design.
+    let server = Server::start("127.0.0.1:0", ServeConfig::default()).expect("binds");
+    let addr = server.local_addr();
+
+    let mut req = busy_request(31, JobKind::Global);
+    req.config = req.config.with_solver(SolverKind::Spectral);
+    let mut direct = req.placement.clone();
+    GlobalDiffusion::new(req.config.clone()).run(&req.netlist, &req.die, &mut direct);
+
+    let mut ftcs = req.placement.clone();
+    GlobalDiffusion::new(req.config.clone().with_solver(SolverKind::Ftcs)).run(
+        &req.netlist,
+        &req.die,
+        &mut ftcs,
+    );
+
+    let reply = send(addr, &req, PayloadEncoding::Binary);
+    let resp = match reply {
+        Reply::Ok(resp) => resp,
+        Reply::Rejected(e) => panic!("rejected: {} ({})", e.message, e.code.as_str()),
+    };
+    assert_eq!(resp.id, 31);
+    let mut any_differs_from_ftcs = false;
+    for (got, (want, f)) in resp
+        .positions
+        .iter()
+        .zip(direct.as_slice().iter().zip(ftcs.as_slice()))
+    {
+        assert_eq!(got.x.to_bits(), want.x.to_bits());
+        assert_eq!(got.y.to_bits(), want.y.to_bits());
+        any_differs_from_ftcs |= got.x.to_bits() != f.x.to_bits();
+    }
+    assert!(
+        any_differs_from_ftcs,
+        "spectral e2e result is identical to FTCS — solver byte likely dropped on the wire"
+    );
+    server.shutdown();
 }
 
 #[test]

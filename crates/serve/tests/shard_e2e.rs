@@ -103,6 +103,50 @@ fn k1_over_tcp_is_bit_identical_to_direct_engine() {
 }
 
 #[test]
+fn spectral_solver_rides_through_the_shard_router() {
+    // The router clones the request config into every shard sub-job, so
+    // the solver choice must survive sharding. With K=1 the halo covers
+    // the whole grid and the parent die is reused, making the routed
+    // spectral run bit-identical to a direct in-process spectral run —
+    // which itself differs from FTCS on a workload that does real work.
+    use dpm_diffusion::{GlobalDiffusion, SolverKind};
+
+    let bench = hot_bench(180, 53);
+    let mut req = request(&bench, 9);
+    req.kind = JobKind::Global;
+    req.config = req.config.with_solver(SolverKind::Spectral);
+
+    let mut direct = bench.placement.clone();
+    let direct_result =
+        GlobalDiffusion::new(req.config.clone()).run(&bench.netlist, &bench.die, &mut direct);
+    assert!(direct_result.steps > 0, "workload must do real work");
+
+    let mut ftcs = bench.placement.clone();
+    GlobalDiffusion::new(req.config.clone().with_solver(SolverKind::Ftcs)).run(
+        &bench.netlist,
+        &bench.die,
+        &mut ftcs,
+    );
+    assert_ne!(
+        direct.as_slice().to_vec(),
+        ftcs.as_slice().to_vec(),
+        "solvers must be distinguishable on this workload"
+    );
+
+    let router = ShardRouter::in_process(ShardRouterConfig {
+        shards: 1,
+        ..ShardRouterConfig::default()
+    });
+    let reply = router.route(&req);
+    assert!(reply.outcomes[0].error.is_none());
+    assert_eq!(
+        reply.response.positions,
+        direct.as_slice().to_vec(),
+        "K=1 routed spectral run must be bit-identical to the direct spectral engine"
+    );
+}
+
+#[test]
 fn k4_never_increases_max_density_at_any_halo_exchange() {
     let mut bench = CircuitSpec::with_size("shard_e2e", 400, 47).generate();
     bench.inflate(&InflationSpec::centered(0.15, 0.35, 47 ^ 0xD1E));

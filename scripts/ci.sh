@@ -37,25 +37,43 @@ cargo build --release --offline --workspace
 echo "==> cargo test"
 cargo test -q --release --offline --workspace
 
-echo "==> determinism matrix (DPM_THREADS in 1 2 4)"
+echo "==> determinism matrix (DPM_SOLVER in ftcs spectral, DPM_THREADS in 1 2 4)"
 # The dpm-par decomposition is independent of the worker count, so the
 # core diffusion suite must pass and the golden placement checksum must
-# be bit-identical at every thread count.
-checksum_ref=""
-for t in 1 2 4; do
-    echo "  -> DPM_THREADS=$t: dpm-diffusion test suite"
-    DPM_THREADS=$t cargo test -q --release --offline -p dpm-diffusion
-    sum_out="$(mktemp_tracked)"
-    DPM_THREADS=$t cargo run --release --offline -p dpm-bench --bin golden_checksum >"$sum_out" 2>/dev/null
-    if [[ -z "$checksum_ref" ]]; then
-        checksum_ref="$sum_out"
-        echo "  -> golden checksum @1 thread: $(cat "$sum_out")"
-    elif ! diff -q "$checksum_ref" "$sum_out" >/dev/null; then
-        echo "DETERMINISM BREAK: checksum at DPM_THREADS=$t differs:" >&2
-        diff "$checksum_ref" "$sum_out" >&2 || true
-        exit 1
-    fi
+# be bit-identical at every thread count — for both the stepped FTCS
+# solver and the closed-form spectral solver (whose transforms are
+# serial by design; its velocity/advect/splat kernels still fan out).
+# Each solver pins its own reference checksum: the two solvers produce
+# different (both valid) placements, but neither may vary with threads.
+for solver in ftcs spectral; do
+    checksum_ref=""
+    for t in 1 2 4; do
+        echo "  -> DPM_SOLVER=$solver DPM_THREADS=$t: dpm-diffusion test suite"
+        DPM_SOLVER=$solver DPM_THREADS=$t cargo test -q --release --offline -p dpm-diffusion
+        sum_out="$(mktemp_tracked)"
+        DPM_SOLVER=$solver DPM_THREADS=$t cargo run --release --offline -p dpm-bench --bin golden_checksum >"$sum_out" 2>/dev/null
+        if [[ -z "$checksum_ref" ]]; then
+            checksum_ref="$sum_out"
+            echo "  -> golden checksum ($solver) @1 thread: $(cat "$sum_out")"
+        elif ! diff -q "$checksum_ref" "$sum_out" >/dev/null; then
+            echo "DETERMINISM BREAK: $solver checksum at DPM_THREADS=$t differs:" >&2
+            diff "$checksum_ref" "$sum_out" >&2 || true
+            exit 1
+        fi
+    done
 done
+
+echo "==> kernel smoke test (perf_kernels --smoke)"
+# Runs the kernel harness on a 64x64 grid, including the spectral-vs-FTCS
+# race; the greps pin the race section (wall-clock jump comparison and
+# the field-update FLOP model) into the emitted JSON.
+kernels_out="$(mktemp_tracked)"
+cargo run --release --offline -p dpm-bench --bin perf_kernels -- --smoke "$kernels_out" >/dev/null
+grep -q '"bench": "perf_kernels"' "$kernels_out"
+grep -q '"spectral_vs_ftcs"' "$kernels_out"
+grep -q '"spectral_round_trip_ns"' "$kernels_out"
+grep -q '"field_update_flops"' "$kernels_out"
+grep -q '"flops_ratio"' "$kernels_out"
 
 echo "==> service smoke test (perf_serve --smoke --pipeline 2)"
 # Boots a real server on an ephemeral port, replays a deterministic

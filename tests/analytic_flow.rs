@@ -2,7 +2,7 @@
 //! placement → diffusion spreading → detailed legalization, compared
 //! against packing the analytic solution directly.
 
-use diffuplace::diffusion::{DiffusionConfig, GlobalDiffusion};
+use diffuplace::diffusion::{DiffusionConfig, DiffusionEngine, GlobalDiffusion, SpectralSolver};
 use diffuplace::gen::CircuitSpec;
 use diffuplace::legalize::{run_legalizer, DetailedLegalizer, TetrisLegalizer};
 use diffuplace::netlist::CellId;
@@ -93,6 +93,106 @@ fn diffusion_preserves_analytic_order_better_than_packing() {
         hpwl(&f.bench.netlist, &p_diff) < hpwl(&f.bench.netlist, &p_tetris),
         "diffusion TWL must beat packing"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form cosine fixtures: spectral jump vs stepped FTCS vs analytic.
+// ---------------------------------------------------------------------------
+
+/// A superposition of zero-flux cosine eigenmodes over a positive
+/// baseline: `ρ(x,y) = base + Σ aᵢ·cos(πpᵢ(j+½)/nx)·cos(πqᵢ(k+½)/ny)`.
+fn cosine_field(nx: usize, ny: usize, base: f64, modes: &[(usize, usize, f64)]) -> Vec<f64> {
+    let mut field = vec![base; nx * ny];
+    for k in 0..ny {
+        for j in 0..nx {
+            for &(p, q, a) in modes {
+                let cx = (std::f64::consts::PI * p as f64 * (j as f64 + 0.5) / nx as f64).cos();
+                let cy = (std::f64::consts::PI * q as f64 * (k as f64 + 0.5) / ny as f64).cos();
+                field[k * nx + j] += a * cx * cy;
+            }
+        }
+    }
+    field
+}
+
+/// The exact solution of `∂ρ/∂t = ∇²ρ` with zero-flux boundaries for the
+/// same superposition at time `t`: each mode decays independently at
+/// `exp(-t·((πp/nx)² + (πq/ny)²))`, the baseline never decays.
+fn analytic_solution(
+    nx: usize,
+    ny: usize,
+    base: f64,
+    modes: &[(usize, usize, f64)],
+    t: f64,
+) -> Vec<f64> {
+    let decayed: Vec<(usize, usize, f64)> = modes
+        .iter()
+        .map(|&(p, q, a)| {
+            let rx = std::f64::consts::PI * p as f64 / nx as f64;
+            let ry = std::f64::consts::PI * q as f64 / ny as f64;
+            (p, q, a * (-t * (rx * rx + ry * ry)).exp())
+        })
+        .collect();
+    cosine_field(nx, ny, base, &decayed)
+}
+
+fn max_abs_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn spectral_jump_is_closer_to_analytic_than_ftcs_on_every_fixture() {
+    // Cosine eigenmode fixtures on power-of-two and generic grids. For
+    // each one: evolve the field with S stepped FTCS sweeps, jump it with
+    // one spectral transform round trip to the same diffusion time, and
+    // compare both against the closed-form solution. The spectral answer
+    // must win on every fixture — it carries no time-discretization
+    // error, while FTCS accumulates O(τ) error per unit time.
+    let fixtures = [
+        (64, 64, vec![(1, 0, 0.3), (2, 3, 0.2)]),
+        (64, 64, vec![(5, 5, 0.45)]),
+        (24, 20, vec![(1, 1, 0.25), (3, 0, 0.15)]),
+        (96, 40, vec![(0, 2, 0.4), (4, 1, 0.1)]),
+    ];
+    let tau = 0.1;
+    let steps = 60u32;
+    // One `step_density(tau)` advances continuous time by tau/2.
+    let t = steps as f64 * tau * 0.5;
+
+    for (nx, ny, modes) in &fixtures {
+        let (nx, ny) = (*nx, *ny);
+        let rho0 = cosine_field(nx, ny, 1.0, modes);
+        let truth = analytic_solution(nx, ny, 1.0, modes, t);
+
+        let mut engine = DiffusionEngine::from_raw(nx, ny, rho0.clone(), None);
+        for _ in 0..steps {
+            engine.step_density(tau);
+        }
+        let ftcs_err = max_abs_err(engine.densities(), &truth);
+
+        let mut spectral = vec![0.0; nx * ny];
+        SpectralSolver::new(nx, ny, &rho0).density_at(t, &mut spectral);
+        let spectral_err = max_abs_err(&spectral, &truth);
+
+        assert!(
+            spectral_err <= ftcs_err,
+            "{nx}x{ny} {modes:?}: spectral err {spectral_err:.3e} \
+             must not exceed FTCS err {ftcs_err:.3e}"
+        );
+        // The win is not marginal: the spectral jump reproduces the
+        // closed form to near machine precision, FTCS visibly does not.
+        assert!(
+            spectral_err < 1e-10,
+            "{nx}x{ny}: spectral err {spectral_err:.3e} should be ~eps"
+        );
+        assert!(
+            ftcs_err > 1e-6,
+            "{nx}x{ny}: FTCS err {ftcs_err:.3e} unexpectedly tiny — fixture too easy"
+        );
+    }
 }
 
 #[test]
