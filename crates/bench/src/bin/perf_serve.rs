@@ -25,8 +25,18 @@
 //! progress frames the clients saw and cross-checks the server's own
 //! counter.
 //!
+//! `--tenants N` switches to the **multi-tenant control-plane mode**:
+//! instead of a bare server it boots a `dpm-ctl` [`CtlServer`] in
+//! sharded mode over a health-checked backend registry seeded with one
+//! dead primary and a warm spare, opens ≥1000 idle connections to
+//! exercise the poll-based front-end, and drives N tenant threads
+//! through an ECO replay loop — one baseline upload each, then
+//! delta-only requests with a cold full resend mixed in every third
+//! round. The JSON gains `tenants`, `idle_connections`, the cache and
+//! failover counters, and per-tenant p50/p95/p99 latency.
+//!
 //! Usage: `cargo run --release --bin perf_serve [-- <output-path>]
-//! [--smoke] [--pipeline N]`
+//! [--smoke] [--pipeline N] [--tenants N]`
 //!
 //! `--smoke` runs a seconds-scale schedule (used by `scripts/ci.sh`) and
 //! applies the same acceptance checks: every request answered, clean
@@ -34,16 +44,21 @@
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dpm_ctl::{BackendRegistry, CtlConfig, CtlServer, ExecMode, TenantSpec};
 use dpm_diffusion::DiffusionConfig;
-use dpm_gen::{Benchmark, CircuitSpec, InflationSpec};
+use dpm_gen::{Benchmark, CircuitSpec, EcoSpec, InflationSpec};
 use dpm_obs::Histogram;
 use dpm_rng::Rng;
-use dpm_serve::wire::{JobKind, JobRequest, PayloadEncoding, Reply};
-use dpm_serve::{ServeClient, ServeConfig, Server};
+use dpm_serve::wire::{
+    design_hash, read_frame, write_frame, FrameKind, JobKind, JobRequest, PayloadEncoding, Reply,
+    DEFAULT_MAX_FRAME_LEN,
+};
+use dpm_serve::{DeltaJobRequest, EcoDelta, ServeClient, ServeConfig, Server, ShardBackend};
 
 struct LoadSpec {
     /// Concurrent sender threads (each with its own connection).
@@ -203,10 +218,333 @@ fn recv_one(
     });
 }
 
+// ---------------------------------------------------------------------------
+// Multi-tenant control-plane mode (--tenants N).
+// ---------------------------------------------------------------------------
+
+/// Shape of one multi-tenant run.
+struct TenantLoad {
+    /// ECO rounds per tenant. Rounds with `round % 3 == 2` send a cold
+    /// full request; the rest ship only the delta.
+    rounds: usize,
+    /// Cells in each tenant's baseline design.
+    cells: usize,
+    /// Idle connections held open across the run.
+    idle_connections: usize,
+}
+
+const TENANT_FULL: TenantLoad = TenantLoad {
+    rounds: 12,
+    cells: 220,
+    idle_connections: 1500,
+};
+
+const TENANT_SMOKE: TenantLoad = TenantLoad {
+    rounds: 6,
+    cells: 160,
+    idle_connections: 1000,
+};
+
+/// What one tenant thread observed.
+struct TenantOutcome {
+    name: String,
+    weight: u32,
+    ok: usize,
+    deltas_sent: usize,
+    fulls_sent: usize,
+    e2e_ns: Vec<u64>,
+}
+
+fn tenant_baseline(cells: usize, seed: u64) -> Benchmark {
+    let mut b = CircuitSpec::with_size("ctl_tenant", cells, seed).generate();
+    b.inflate(&InflationSpec::centered(0.25, 0.25, seed ^ 0x7E4A));
+    b
+}
+
+/// One tenant's ECO replay loop: upload-once (implicitly, via the
+/// `NeedDesign` handshake on the first delta), then delta-only
+/// requests, with a cold full resend every third round so the mix
+/// exercises both paths.
+fn tenant_loop(
+    addr: std::net::SocketAddr,
+    name: String,
+    weight: u32,
+    load: &TenantLoad,
+    seed: u64,
+) -> TenantOutcome {
+    let base = tenant_baseline(load.cells, seed);
+    let baseline_hash = design_hash(&base.netlist, &base.die, &base.placement);
+    let mut client = ServeClient::connect(addr).expect("tenant connects");
+    let mut out = TenantOutcome {
+        name: name.clone(),
+        weight,
+        ok: 0,
+        deltas_sent: 0,
+        fulls_sent: 0,
+        e2e_ns: Vec::with_capacity(load.rounds),
+    };
+    for round in 0..load.rounds {
+        let id = seed * 1_000 + round as u64 + 1;
+        let kind = if round % 2 == 0 {
+            JobKind::Local
+        } else {
+            JobKind::Global
+        };
+        let t0 = Instant::now();
+        let reply = if round % 3 == 2 {
+            // Cold path: the full design crosses the wire.
+            out.fulls_sent += 1;
+            let mut eco = tenant_baseline(load.cells, seed);
+            eco.apply_eco(&EcoSpec::default(), seed ^ round as u64);
+            let req = JobRequest {
+                id,
+                deadline_ms: 0,
+                progress_stride: 0,
+                kind,
+                design: format!("{name}_full_{round}"),
+                config: DiffusionConfig::default(),
+                netlist: eco.netlist,
+                die: eco.die,
+                placement: eco.placement,
+            };
+            client
+                .send_request(&req, PayloadEncoding::Binary)
+                .expect("send full request");
+            client.recv_reply().expect("full reply")
+        } else {
+            // Warm path: regenerate the deterministic baseline, apply
+            // this round's ECO, and ship only the diff.
+            out.deltas_sent += 1;
+            let mut eco = tenant_baseline(load.cells, seed);
+            eco.apply_eco(&EcoSpec::default(), seed ^ round as u64);
+            let delta =
+                EcoDelta::diff(&base.netlist, &base.placement, &eco.netlist, &eco.placement)
+                    .expect("eco keeps the baseline prefix");
+            let dreq = DeltaJobRequest {
+                id,
+                deadline_ms: 0,
+                progress_stride: 0,
+                kind,
+                design: format!("{name}_eco_{round}"),
+                tenant: name.clone(),
+                config: DiffusionConfig::default(),
+                baseline: baseline_hash,
+                delta,
+            };
+            client
+                .request_delta(&dreq, (&base.netlist, &base.die, &base.placement), |_| {})
+                .expect("delta reply")
+        };
+        out.e2e_ns.push(t0.elapsed().as_nanos() as u64);
+        match reply {
+            Reply::Ok(resp) => {
+                assert_eq!(resp.id, id, "reply out of order");
+                out.ok += 1;
+            }
+            Reply::Rejected(e) => panic!(
+                "tenant {name} round {round} rejected: {} {}",
+                e.code.as_str(),
+                e.message
+            ),
+        }
+    }
+    out
+}
+
+/// An address that refuses connections: bind, snapshot the port, drop.
+fn dead_addr() -> std::net::SocketAddr {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind probe listener");
+    l.local_addr().expect("probe addr")
+}
+
+/// Sends a `StatsRequest` on a raw idle connection and checks a stats
+/// frame comes back — proof the connection survived the load multiplex.
+fn probe_idle(conn: &mut TcpStream) -> bool {
+    if write_frame(conn, FrameKind::StatsRequest, &[]).is_err() {
+        return false;
+    }
+    matches!(
+        read_frame(conn, DEFAULT_MAX_FRAME_LEN),
+        Ok(Some(frame)) if frame.kind == FrameKind::Stats
+    )
+}
+
+fn run_multi_tenant(out_path: &str, smoke: bool, tenants: usize) {
+    let load = if smoke { &TENANT_SMOKE } else { &TENANT_FULL };
+    let cores = std::thread::available_parallelism().map_or(0, |c| c.get());
+    eprintln!(
+        "perf_serve multi-tenant{}: {tenants} tenants x {} rounds, {} idle connections, {cores} hardware thread(s)",
+        if smoke { " (smoke)" } else { "" },
+        load.rounds,
+        load.idle_connections,
+    );
+
+    // Backend fleet: two live shard servers and one dead address. The
+    // registry starts with the dead one as a primary, so the very first
+    // job forces a permanent warm-spare replacement.
+    let live_a = Server::start("127.0.0.1:0", ServeConfig::default()).expect("backend a");
+    let live_b = Server::start("127.0.0.1:0", ServeConfig::default()).expect("backend b");
+    let dead = dead_addr();
+    let registry = BackendRegistry::new(
+        vec![
+            ShardBackend::Tcp(live_a.local_addr()),
+            ShardBackend::Tcp(dead),
+        ],
+        vec![ShardBackend::Tcp(live_b.local_addr())],
+    );
+
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| TenantSpec::new(format!("tenant{i}"), (i % 3) as u32 + 1, 64))
+        .collect();
+    let weights: Vec<u32> = specs.iter().map(|s| s.weight).collect();
+    let ctl = CtlServer::start(CtlConfig {
+        workers: 2,
+        tenants: specs,
+        exec: ExecMode::Sharded {
+            shards: 2,
+            halo_bins: 2,
+            max_halo_rounds: 4,
+            registry,
+        },
+        ..CtlConfig::default()
+    })
+    .expect("control plane starts");
+    let addr = ctl.local_addr();
+
+    // Fill the front-end with idle connections before any load. The
+    // accept drain runs once per readiness tick, so pace the connect
+    // storm instead of racing the listener backlog.
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(load.idle_connections);
+    for i in 0..load.idle_connections {
+        idle.push(TcpStream::connect(addr).expect("idle connection"));
+        if i % 64 == 63 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..tenants)
+        .map(|i| {
+            let name = format!("tenant{i}");
+            let weight = weights[i];
+            std::thread::spawn(move || tenant_loop(addr, name, weight, load, i as u64 + 1))
+        })
+        .collect();
+    let outcomes: Vec<TenantOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("tenant thread finishes"))
+        .collect();
+    let wall = t0.elapsed();
+
+    // The idle pool must still be serviceable after the load: probe the
+    // first, middle, and last connections end to end.
+    let n = idle.len();
+    let mut survivors = 0;
+    for idx in [0, n / 2, n - 1] {
+        if probe_idle(&mut idle[idx]) {
+            survivors += 1;
+        }
+    }
+    assert_eq!(survivors, 3, "idle connections starved by the load");
+
+    let m = ctl.metrics();
+    let cache_hits = m.cache_hits.get();
+    let delta_requests = m.delta_requests.get();
+    let need_design = m.need_design.get();
+    let put_designs = m.put_designs.get();
+    let failovers = m.failovers.get();
+    let replacements = m.replacements.get();
+    let served = m.served.get();
+    let cache = ctl.cache_stats();
+    let reg = ctl
+        .registry_snapshot()
+        .expect("sharded mode has a registry");
+
+    let total_ok: usize = outcomes.iter().map(|o| o.ok).sum();
+    let deltas_sent: usize = outcomes.iter().map(|o| o.deltas_sent).sum();
+    let fulls_sent: usize = outcomes.iter().map(|o| o.fulls_sent).sum();
+    assert_eq!(
+        total_ok,
+        tenants * load.rounds,
+        "a request was lost or rejected"
+    );
+    assert_eq!(
+        served, total_ok as u64,
+        "control plane served a different count"
+    );
+    // Every tenant's first delta misses (NeedDesign), is uploaded and
+    // resent; everything after that hits.
+    assert_eq!(need_design, tenants as u64, "one cache miss per tenant");
+    assert_eq!(
+        put_designs, tenants as u64,
+        "one baseline upload per tenant"
+    );
+    assert_eq!(
+        delta_requests,
+        (deltas_sent + tenants) as u64,
+        "deltas plus resends"
+    );
+    assert!(cache_hits > 0, "warm rounds must hit the design cache");
+    assert_eq!(
+        cache_hits, deltas_sent as u64,
+        "all but the first delta hit"
+    );
+    assert!(replacements >= 1, "the dead primary was never replaced");
+    assert!(
+        !reg.primaries.contains(&ShardBackend::Tcp(dead)),
+        "dead backend still a primary after the run"
+    );
+
+    eprintln!(
+        "  {total_ok} ok ({deltas_sent} deltas + {fulls_sent} fulls) in {:.2}s; cache {cache_hits} hits / {need_design} misses; {replacements} replacement(s), {failovers} failover(s)",
+        wall.as_secs_f64()
+    );
+
+    let mut per_tenant = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 == outcomes.len() {
+            ""
+        } else {
+            ",\n    "
+        };
+        let _ = write!(
+            per_tenant,
+            "\"{}\": {{\"weight\": {}, \"requests\": {}, {}}}{sep}",
+            o.name,
+            o.weight,
+            o.ok,
+            latency_json("e2e", &o.e2e_ns)
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"perf_serve\",\n  \"mode\": \"{mode}\",\n  \"hardware_threads\": {cores},\n  \"tenants\": {tenants},\n  \"idle_connections\": {idle_n},\n  \"config\": {{\"rounds_per_tenant\": {rounds}, \"cells\": {cells}, \"shards\": 2, \"ctl_workers\": 2}},\n  \"wall_seconds\": {wall:.3},\n  \"requests_ok\": {total_ok},\n  \"deltas_sent\": {deltas_sent},\n  \"fulls_sent\": {fulls_sent},\n  \"cache_hits\": {cache_hits},\n  \"delta_requests\": {delta_requests},\n  \"need_design\": {need_design},\n  \"put_designs\": {put_designs},\n  \"failovers\": {failovers},\n  \"replacements\": {replacements},\n  \"cache\": {{\"hits\": {ch}, \"misses\": {cm}, \"evictions\": {ce}, \"resident_bytes\": {cb}, \"entries\": {cn}}},\n  \"per_tenant\": {{\n    {per_tenant}\n  }},\n  \"note\": \"Control-plane replay: each tenant uploads its baseline once via the NeedDesign handshake, then ships ECO deltas; every third round is a cold full resend. Backends are a 2-shard fleet whose dead primary is replaced by a warm spare from the health-checked registry on first use. Idle connections are held open across the run and probed afterwards. Latency is client-observed end to end; percentiles from dpm-obs fixed-bucket histograms.\"\n}}\n",
+        mode = if smoke { "multi_tenant_smoke" } else { "multi_tenant" },
+        idle_n = n,
+        rounds = load.rounds,
+        cells = load.cells,
+        wall = wall.as_secs_f64(),
+        ch = cache.hits,
+        cm = cache.misses,
+        ce = cache.evictions,
+        cb = cache.resident_bytes,
+        cn = cache.entries,
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    drop(idle);
+    ctl.shutdown();
+    live_a.shutdown();
+    live_b.shutdown();
+}
+
 fn main() {
     let mut out_path = "BENCH_serve.json".to_string();
     let mut smoke = false;
     let mut pipeline = 1usize;
+    let mut tenants = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--smoke" {
@@ -217,9 +555,19 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .filter(|&n| n >= 1)
                 .expect("--pipeline needs a depth >= 1");
+        } else if arg == "--tenants" {
+            tenants = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .expect("--tenants needs a count >= 1");
         } else {
             out_path = arg;
         }
+    }
+    if tenants > 0 {
+        run_multi_tenant(&out_path, smoke, tenants);
+        return;
     }
     let spec = if smoke { &SMOKE } else { &FULL };
     let cores = std::thread::available_parallelism().map_or(0, |c| c.get());

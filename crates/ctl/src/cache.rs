@@ -1,0 +1,271 @@
+//! Content-addressed baseline cache with deterministic LRU eviction.
+//!
+//! The control plane's reason to exist: an ECO loop re-migrates almost
+//! the same design over and over, so the full netlist crosses the wire
+//! once ([`PutDesign`](dpm_serve::PutDesign)) and every later request
+//! names it by content hash and ships only the delta. The cache maps
+//! [`design_hash`](dpm_serve::design_hash) values to decoded designs,
+//! accounted by their *encoded* byte size (what the client actually
+//! uploaded), and evicts in strict least-recently-used order.
+//!
+//! Determinism matters here more than hit rate: two control planes fed
+//! the same request stream must hold the same residents, so a failover
+//! or replay produces the same `NeedDesign` misses. Recency is a plain
+//! queue updated on `get`/`insert` — no clocks, no randomization.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dpm_netlist::Netlist;
+use dpm_place::{Die, Placement};
+
+/// A decoded baseline design, shared between the cache and any worker
+/// currently migrating a delta against it. Evicting a design does not
+/// invalidate in-flight jobs — they keep their [`Arc`].
+#[derive(Debug)]
+pub struct CachedDesign {
+    /// The baseline netlist.
+    pub netlist: Netlist,
+    /// The die the baseline was placed on.
+    pub die: Die,
+    /// The baseline placement deltas are applied to.
+    pub placement: Placement,
+}
+
+struct Entry {
+    design: Arc<CachedDesign>,
+    bytes: usize,
+}
+
+/// What [`DesignCache::insert`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Whether the design is resident after the call. `false` means it
+    /// was larger than the whole budget and was deliberately not cached
+    /// (the caller can still run the job from its own [`Arc`]).
+    pub cached: bool,
+    /// Number of older designs evicted to make room.
+    pub evicted: u32,
+}
+
+/// Point-in-time cache counters, exported into `BENCH_serve.json` and
+/// the metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// `get` calls that found the design resident.
+    pub hits: u64,
+    /// `get` calls that missed (each one turns into a `NeedDesign`).
+    pub misses: u64,
+    /// Designs evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident (encoded sizes).
+    pub resident_bytes: u64,
+    /// Designs currently resident.
+    pub entries: u64,
+}
+
+/// A bounded, byte-accounted LRU of baseline designs keyed by content
+/// hash. Not thread-safe on its own — the control plane wraps it in a
+/// mutex; the hot path (workers) only touches it long enough to clone
+/// an [`Arc`].
+pub struct DesignCache {
+    budget: usize,
+    resident: usize,
+    entries: HashMap<u64, Entry>,
+    /// Recency queue, least-recently-used first. Touched entries are
+    /// moved to the back; eviction pops the front. Linear moves are
+    /// fine — the cache holds tens of designs, not millions.
+    order: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DesignCache {
+    /// Creates a cache that will keep at most `budget_bytes` of encoded
+    /// design bytes resident.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget: budget_bytes,
+            resident: 0,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up a baseline by content hash, marking it most recently
+    /// used. Counts a hit or a miss.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<CachedDesign>> {
+        match self.entries.get(&hash) {
+            Some(e) => {
+                let design = Arc::clone(&e.design);
+                self.hits += 1;
+                self.touch(hash);
+                Some(design)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`get`](Self::get) but without touching recency or the
+    /// hit/miss counters — for introspection and tests.
+    pub fn peek(&self, hash: u64) -> Option<Arc<CachedDesign>> {
+        self.entries.get(&hash).map(|e| Arc::clone(&e.design))
+    }
+
+    /// Inserts a design under its content hash, evicting
+    /// least-recently-used residents until the byte budget holds. A
+    /// design larger than the entire budget is not cached at all
+    /// (`cached: false`) rather than flushing everything else for a
+    /// tenant that will miss next time anyway. Re-inserting a resident
+    /// hash refreshes its recency and returns `cached: true` with no
+    /// evictions.
+    pub fn insert(&mut self, hash: u64, bytes: usize, design: Arc<CachedDesign>) -> InsertOutcome {
+        if self.entries.contains_key(&hash) {
+            self.touch(hash);
+            return InsertOutcome {
+                cached: true,
+                evicted: 0,
+            };
+        }
+        if bytes > self.budget {
+            return InsertOutcome {
+                cached: false,
+                evicted: 0,
+            };
+        }
+        let mut evicted = 0u32;
+        while self.resident + bytes > self.budget {
+            let victim = self.order[0];
+            self.order.remove(0);
+            let e = self.entries.remove(&victim).expect("order tracks entries");
+            self.resident -= e.bytes;
+            self.evictions += 1;
+            evicted += 1;
+        }
+        self.resident += bytes;
+        self.entries.insert(hash, Entry { design, bytes });
+        self.order.push(hash);
+        InsertOutcome {
+            cached: true,
+            evicted,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            resident_bytes: self.resident as u64,
+            entries: self.entries.len() as u64,
+        }
+    }
+
+    /// Resident hashes in eviction order (least recently used first) —
+    /// the observable the determinism tests pin.
+    pub fn eviction_order(&self) -> &[u64] {
+        &self.order
+    }
+
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&h| h == hash) {
+            self.order.remove(pos);
+            self.order.push(hash);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> Arc<CachedDesign> {
+        Arc::new(CachedDesign {
+            netlist: dpm_netlist::NetlistBuilder::new().build().unwrap(),
+            die: Die::new(10.0, 10.0, 1.0),
+            placement: Placement::new(0),
+        })
+    }
+
+    #[test]
+    fn lru_evicts_in_deterministic_access_order() {
+        let mut c = DesignCache::new(100);
+        assert_eq!(c.insert(1, 40, design()).evicted, 0);
+        assert_eq!(c.insert(2, 40, design()).evicted, 0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(1).is_some());
+        let out = c.insert(3, 40, design());
+        assert_eq!(
+            out,
+            InsertOutcome {
+                cached: true,
+                evicted: 1
+            }
+        );
+        assert!(c.peek(2).is_none(), "2 was least recently used");
+        assert_eq!(c.eviction_order(), &[1, 3]);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 0, 1));
+        assert_eq!(s.resident_bytes, 80);
+    }
+
+    #[test]
+    fn one_insert_can_evict_many() {
+        let mut c = DesignCache::new(100);
+        c.insert(1, 30, design());
+        c.insert(2, 30, design());
+        c.insert(3, 30, design());
+        let out = c.insert(4, 90, design());
+        assert_eq!(out.evicted, 3);
+        assert_eq!(c.eviction_order(), &[4]);
+        assert_eq!(c.stats().resident_bytes, 90);
+    }
+
+    #[test]
+    fn oversized_designs_are_not_cached() {
+        let mut c = DesignCache::new(100);
+        c.insert(1, 60, design());
+        let out = c.insert(2, 101, design());
+        assert_eq!(
+            out,
+            InsertOutcome {
+                cached: false,
+                evicted: 0
+            }
+        );
+        assert!(c.peek(1).is_some(), "resident set untouched");
+        assert!(c.get(2).is_none());
+        assert_eq!(c.stats().entries, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency_without_double_counting() {
+        let mut c = DesignCache::new(100);
+        c.insert(1, 50, design());
+        c.insert(2, 50, design());
+        c.insert(1, 50, design()); // refresh, not re-account
+        assert_eq!(c.stats().resident_bytes, 100);
+        assert_eq!(c.eviction_order(), &[2, 1]);
+        c.insert(3, 50, design());
+        assert!(c.peek(2).is_none(), "refreshed 1 outlived 2");
+    }
+
+    #[test]
+    fn evicted_designs_survive_in_flight_arcs() {
+        let mut c = DesignCache::new(10);
+        let d = design();
+        c.insert(1, 10, Arc::clone(&d));
+        c.insert(2, 10, design());
+        assert!(c.peek(1).is_none());
+        // The worker's handle is still valid.
+        assert_eq!(d.placement.len(), 0);
+    }
+}

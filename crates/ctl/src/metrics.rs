@@ -1,0 +1,191 @@
+//! Control-plane metrics: one `dpm-obs` registry, with per-tenant
+//! instruments named via [`labeled`].
+//!
+//! Global counters mirror the single-server
+//! [`StatsSnapshot`] so existing clients can
+//! ask a control plane for stats over the same wire frame; on top of
+//! those, the cache/delta/failover counters and the per-tenant
+//! `jobs_ok{tenant="…"}` / `e2e_ns{tenant="…"}` family only the
+//! control plane has.
+
+use dpm_obs::{labeled, Counter, Histogram, HistogramSnapshot, Registry};
+use dpm_serve::wire::StatsSnapshot;
+
+/// Handles for one tenant's instruments.
+pub struct TenantMetrics {
+    /// The tenant's configured name (the metric label value).
+    pub name: String,
+    /// Jobs finished with a success reply.
+    pub jobs_ok: Counter,
+    /// Jobs finished with an error reply.
+    pub jobs_err: Counter,
+    /// Admission → reply-queued latency, nanoseconds.
+    pub e2e: Histogram,
+}
+
+/// All control-plane instruments, pre-registered at startup so the hot
+/// path never takes the registry lock.
+pub struct CtlMetrics {
+    registry: Registry,
+    /// Frames read off connections (any kind).
+    pub received: Counter,
+    /// Jobs admitted to the fair queue.
+    pub admitted: Counter,
+    /// Jobs served to completion (ok or error reply).
+    pub served: Counter,
+    /// Jobs rejected with a full tenant queue.
+    pub overloaded: Counter,
+    /// Frames or payloads that failed to decode, plus unknown tenants.
+    pub malformed: Counter,
+    /// Jobs rejected for invalid diffusion parameters.
+    pub invalid_config: Counter,
+    /// Jobs rejected during shutdown.
+    pub rejected_shutdown: Counter,
+    /// Jobs whose deadline expired.
+    pub deadline_expired: Counter,
+    /// Worker-side failures converted to internal-error replies.
+    pub internal_errors: Counter,
+    /// Progress frames streamed to clients.
+    pub progress_frames: Counter,
+    /// Baseline uploads accepted.
+    pub put_designs: Counter,
+    /// Delta requests received.
+    pub delta_requests: Counter,
+    /// Delta requests whose baseline was resident.
+    pub cache_hits: Counter,
+    /// Delta requests answered with `NeedDesign`.
+    pub need_design: Counter,
+    /// Baselines evicted from the design cache.
+    pub cache_evictions: Counter,
+    /// Intra-job warm-spare failovers reported by the shard router.
+    pub failovers: Counter,
+    /// Permanent primary replacements performed by the registry.
+    pub replacements: Counter,
+    /// Queue-wait latency, nanoseconds.
+    pub queue_hist: Histogram,
+    /// Diffusion service latency, nanoseconds.
+    pub service_hist: Histogram,
+    /// End-to-end latency, nanoseconds.
+    pub e2e_hist: Histogram,
+    tenants: Vec<TenantMetrics>,
+}
+
+impl CtlMetrics {
+    /// Registers the full instrument set for the given tenants.
+    pub fn new(tenant_names: &[String]) -> Self {
+        let registry = Registry::new();
+        let bounds = Histogram::latency_bounds();
+        let counter = |name: &str| registry.counter(name);
+        let tenants = tenant_names
+            .iter()
+            .map(|name| TenantMetrics {
+                name: name.clone(),
+                jobs_ok: registry.counter(&labeled("jobs_ok", &[("tenant", name)])),
+                jobs_err: registry.counter(&labeled("jobs_err", &[("tenant", name)])),
+                e2e: registry.histogram(&labeled("e2e_ns", &[("tenant", name)]), &bounds),
+            })
+            .collect();
+        Self {
+            received: counter("received"),
+            admitted: counter("admitted"),
+            served: counter("served"),
+            overloaded: counter("overloaded"),
+            malformed: counter("malformed"),
+            invalid_config: counter("invalid_config"),
+            rejected_shutdown: counter("rejected_shutdown"),
+            deadline_expired: counter("deadline_expired"),
+            internal_errors: counter("internal_errors"),
+            progress_frames: counter("progress_frames"),
+            put_designs: counter("put_designs"),
+            delta_requests: counter("delta_requests"),
+            cache_hits: counter("cache_hits"),
+            need_design: counter("need_design"),
+            cache_evictions: counter("cache_evictions"),
+            failovers: counter("failovers"),
+            replacements: counter("replacements"),
+            queue_hist: registry.histogram("queue_ns", &bounds),
+            service_hist: registry.histogram("service_ns", &bounds),
+            e2e_hist: registry.histogram("e2e_ns", &bounds),
+            tenants,
+            registry,
+        }
+    }
+
+    /// Instruments for the tenant at `index` (fair-queue order).
+    pub fn tenant(&self, index: usize) -> &TenantMetrics {
+        &self.tenants[index]
+    }
+
+    /// All per-tenant instrument sets, in fair-queue order.
+    pub fn tenants(&self) -> &[TenantMetrics] {
+        &self.tenants
+    }
+
+    /// The underlying registry, for text exposition or merging.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Builds the wire-compatible stats snapshot a `StatsRequest`
+    /// frame is answered with. Control-plane-only counters (cache,
+    /// failover, per-tenant) are visible via
+    /// [`registry`](Self::registry) instead — the wire snapshot keeps
+    /// the single-server shape so v2 clients can decode it.
+    pub fn stats_snapshot(&self, queue_depth: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            queue_depth,
+            received: self.received.get(),
+            admitted: self.admitted.get(),
+            served: self.served.get(),
+            overloaded: self.overloaded.get(),
+            invalid_config: self.invalid_config.get(),
+            malformed: self.malformed.get(),
+            deadline_expired: self.deadline_expired.get(),
+            rejected_shutdown: self.rejected_shutdown.get(),
+            internal_errors: self.internal_errors.get(),
+            progress_frames: self.progress_frames.get(),
+            queue_hist: self.queue_hist.snapshot(),
+            service_hist: self.service_hist.snapshot(),
+            e2e_hist: self.e2e_hist.snapshot(),
+            kernels: Default::default(),
+        }
+    }
+
+    /// Convenience: a tenant's end-to-end latency distribution.
+    pub fn tenant_e2e(&self, index: usize) -> HistogramSnapshot {
+        self.tenants[index].e2e.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tenant_instruments_are_labeled_and_independent() {
+        let m = CtlMetrics::new(&["acme".into(), "zeta".into()]);
+        m.tenant(0).jobs_ok.inc();
+        m.tenant(1).jobs_ok.add(3);
+        m.tenant(0).e2e.record(1_000);
+        assert_eq!(m.tenant(0).jobs_ok.get(), 1);
+        assert_eq!(m.tenant(1).jobs_ok.get(), 3);
+        let text = m.registry().snapshot().to_text();
+        assert!(text.contains("jobs_ok{tenant=\"acme\"} 1"), "{text}");
+        assert!(text.contains("jobs_ok{tenant=\"zeta\"} 3"), "{text}");
+        assert_eq!(m.tenant_e2e(0).count, 1);
+        assert_eq!(m.tenant_e2e(1).count, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_the_wire_shape() {
+        let m = CtlMetrics::new(&["a".into()]);
+        m.received.add(5);
+        m.served.add(4);
+        let snap = m.stats_snapshot(2);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.received, 5);
+        let bytes = dpm_serve::wire::encode_stats(&snap);
+        let back = dpm_serve::wire::decode_stats(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+}

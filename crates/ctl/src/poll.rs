@@ -1,0 +1,271 @@
+//! OS readiness notification behind a trait, so the front-end's event
+//! loop is testable without a kernel.
+//!
+//! The control plane multiplexes thousands of mostly-idle connections
+//! onto a handful of threads; a thread-per-connection design at that
+//! scale is all stacks and no work. What it needs from the OS is tiny —
+//! "which of these fds might be readable?" — so that's the whole
+//! [`Readiness`] trait. Two implementations:
+//!
+//! - [`EpollReadiness`] (Linux): level-triggered `epoll` via direct
+//!   `extern "C"` bindings. The workspace is dependency-free by policy,
+//!   and std links libc anyway, so the three syscall wrappers are
+//!   declared here rather than pulled from a crate.
+//! - [`ScanReadiness`] (portable, deterministic): reports *every*
+//!   registered token as ready each wait. Callers must treat readiness
+//!   as a hint and handle `WouldBlock` — which they must do with epoll
+//!   too (spurious wakeups are allowed), so tests driving the loop with
+//!   `ScanReadiness` exercise the same code paths the kernel does.
+
+use std::io;
+
+/// A raw file descriptor, as handed out by
+/// [`AsRawFd`](std::os::fd::AsRawFd).
+pub type RawFd = i32;
+
+/// Readiness notification: register interest in fds, wait for hints.
+///
+/// Contract: readiness is a *hint*. Implementations may report a token
+/// whose fd is not actually readable (level-triggered epoll after a
+/// short read, or [`ScanReadiness`] always); callers retry on
+/// `WouldBlock`. Implementations must never *drop* a readable fd
+/// forever: every registered fd with pending bytes is eventually
+/// reported.
+pub trait Readiness: Send {
+    /// Starts watching `fd` for readability, tagging events with
+    /// `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying OS error.
+    fn register(&mut self, token: u64, fd: RawFd) -> io::Result<()>;
+
+    /// Stops watching `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying OS error.
+    fn deregister(&mut self, token: u64, fd: RawFd) -> io::Result<()>;
+
+    /// Waits up to `timeout_ms` and appends ready tokens to `out`
+    /// (which is cleared first). A zero timeout polls; the call may
+    /// return early and empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying OS error.
+    fn wait(&mut self, timeout_ms: i32, out: &mut Vec<u64>) -> io::Result<()>;
+}
+
+/// Portable fallback and test double: every registered token is
+/// reported ready on every wait. O(n) per wait, but honest about it —
+/// the front-end's nonblocking reads turn false positives into cheap
+/// `WouldBlock`s.
+#[derive(Default)]
+pub struct ScanReadiness {
+    tokens: Vec<u64>,
+}
+
+impl ScanReadiness {
+    /// Creates an empty scanner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Readiness for ScanReadiness {
+    fn register(&mut self, token: u64, _fd: RawFd) -> io::Result<()> {
+        if !self.tokens.contains(&token) {
+            self.tokens.push(token);
+        }
+        Ok(())
+    }
+
+    fn deregister(&mut self, token: u64, _fd: RawFd) -> io::Result<()> {
+        self.tokens.retain(|&t| t != token);
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout_ms: i32, out: &mut Vec<u64>) -> io::Result<()> {
+        out.clear();
+        out.extend_from_slice(&self.tokens);
+        if out.is_empty() && timeout_ms > 0 {
+            // Nothing registered: sleep briefly instead of spinning.
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.min(10) as u64));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use linux::EpollReadiness;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::{RawFd, Readiness};
+    use std::io;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
+    /// ABI predates alignment-aware layouts); fields are only ever read
+    /// by value, never by reference.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// Level-triggered `epoll(7)` readiness. One instance owns one
+    /// epoll fd for its whole life.
+    pub struct EpollReadiness {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl EpollReadiness {
+        /// Creates a fresh epoll instance.
+        ///
+        /// # Errors
+        ///
+        /// Returns the `epoll_create1` error.
+        pub fn new() -> io::Result<Self> {
+            let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Self {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+    }
+
+    impl Readiness for EpollReadiness {
+        fn register(&mut self, token: u64, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN,
+                data: token,
+            };
+            check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        fn deregister(&mut self, _token: u64, fd: RawFd) -> io::Result<()> {
+            // The event argument is ignored for DEL on any kernel
+            // this code can run on (>= 2.6.9), but must be non-null
+            // for portability with older headers.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            check(unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) })?;
+            Ok(())
+        }
+
+        fn wait(&mut self, timeout_ms: i32, out: &mut Vec<u64>) -> io::Result<()> {
+            out.clear();
+            let n = loop {
+                let ret = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        self.buf.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                match check(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &self.buf[..n] {
+                // Copy out of the packed struct by value.
+                let token = { ev.data };
+                out.push(token);
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for EpollReadiness {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+/// The best available [`Readiness`] for this platform: epoll on Linux,
+/// the portable scanner elsewhere.
+pub fn default_readiness() -> io::Result<Box<dyn Readiness>> {
+    #[cfg(target_os = "linux")]
+    {
+        Ok(Box::new(EpollReadiness::new()?))
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        Ok(Box::new(ScanReadiness::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_reports_registered_tokens_until_deregistered() {
+        let mut r = ScanReadiness::new();
+        r.register(7, 100).unwrap();
+        r.register(9, 101).unwrap();
+        r.register(7, 100).unwrap(); // idempotent
+        let mut out = Vec::new();
+        r.wait(0, &mut out).unwrap();
+        assert_eq!(out, vec![7, 9]);
+        r.deregister(7, 100).unwrap();
+        r.wait(0, &mut out).unwrap();
+        assert_eq!(out, vec![9]);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_sees_bytes_on_a_socketpair() {
+        use std::io::Write;
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+
+        let mut ep = EpollReadiness::new().unwrap();
+        ep.register(42, rx.as_raw_fd()).unwrap();
+        let mut out = Vec::new();
+        ep.wait(0, &mut out).unwrap();
+        assert!(out.is_empty(), "no bytes yet");
+
+        tx.write_all(b"ping").unwrap();
+        tx.flush().unwrap();
+        ep.wait(1000, &mut out).unwrap();
+        assert_eq!(out, vec![42]);
+
+        ep.deregister(42, rx.as_raw_fd()).unwrap();
+        ep.wait(0, &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -11,8 +11,57 @@
 
 use crate::Benchmark;
 use dpm_geom::Point;
-use dpm_netlist::{CellKind, NetlistBuilder, PinDir};
+use dpm_netlist::{CellId, CellKind, NetlistBuilder, PinDir};
 use dpm_place::{hpwl, net_hpwl, Placement};
+use dpm_rng::Rng;
+
+/// One ECO iteration of a physical-synthesis loop, as a reproducible
+/// recipe: repower (widen) some gates, nudge some cells, insert buffers
+/// on the longest nets. Applied with [`Benchmark::apply_eco`]; the same
+/// spec and seed always produce the bit-identical modified design, so
+/// ECO streams replayed against a service are deterministic end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoSpec {
+    /// Distinct movable cells whose width is scaled by
+    /// [`resize_factor`](Self::resize_factor) (gate repowering).
+    pub resizes: usize,
+    /// Distinct movable cells shifted by up to
+    /// [`max_shift`](Self::max_shift) per axis (engineering moves).
+    pub moves: usize,
+    /// Fraction of the longest nets buffered via
+    /// [`Benchmark::insert_buffers`] (`0.0` disables insertion).
+    pub buffer_fraction: f64,
+    /// Width of inserted buffers.
+    pub buffer_width: f64,
+    /// Largest per-axis displacement of a moved cell, placement units.
+    pub max_shift: f64,
+    /// Width multiplier for resized cells.
+    pub resize_factor: f64,
+}
+
+impl Default for EcoSpec {
+    fn default() -> Self {
+        Self {
+            resizes: 8,
+            moves: 8,
+            buffer_fraction: 0.02,
+            buffer_width: 6.0,
+            max_shift: 18.0,
+            resize_factor: 1.5,
+        }
+    }
+}
+
+/// What [`Benchmark::apply_eco`] actually changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EcoSummary {
+    /// Cells whose width was scaled.
+    pub resized: usize,
+    /// Cells that were shifted.
+    pub moved: usize,
+    /// Buffers inserted (appended after all pre-existing cells).
+    pub buffers: usize,
+}
 
 impl Benchmark {
     /// Inserts buffers on the `fraction` longest nets (by HPWL), placing
@@ -151,6 +200,70 @@ impl Benchmark {
         buffered.len()
     }
 
+    /// Applies one full ECO iteration in place — repowering, engineering
+    /// moves, then buffer insertion — exactly as a physical-synthesis
+    /// loop would between two migration calls. Deterministic: the same
+    /// `(spec, seed)` on the same baseline always yields the bit-exact
+    /// modified design.
+    ///
+    /// The edit set is deliberately shaped so the result *extends* the
+    /// baseline: pre-existing cells keep their ids, names, and kinds,
+    /// and every new cell is appended after them. That is the contract
+    /// `dpm_serve::EcoDelta::diff` needs to express the change as a
+    /// compact delta instead of a full resend.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dpm_gen::{CircuitSpec, EcoSpec};
+    ///
+    /// let mut bench = CircuitSpec::small(17).generate();
+    /// let summary = bench.apply_eco(&EcoSpec::default(), 7);
+    /// assert!(summary.moved > 0 && summary.resized > 0);
+    /// ```
+    pub fn apply_eco(&mut self, spec: &EcoSpec, seed: u64) -> EcoSummary {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x65636f5f65636f5f); // "eco_eco_"
+        let mut movable: Vec<CellId> = self
+            .netlist
+            .cell_ids()
+            .filter(|&id| self.netlist.cell(id).kind == CellKind::Movable)
+            .collect();
+        rng.shuffle(&mut movable);
+
+        // Repower: widen a prefix of the shuffled movable cells. Pin
+        // offsets scale with the cell, but only geometry matters to the
+        // migration engines.
+        let resized = spec.resizes.min(movable.len());
+        for &id in &movable[..resized] {
+            self.netlist.inflate_cell_width(id, spec.resize_factor);
+        }
+
+        // Engineering moves: nudge the *next* cells in the shuffle so
+        // the move set is disjoint from the resize set when possible.
+        let moved = spec.moves.min(movable.len().saturating_sub(resized));
+        let outline = self.die.outline();
+        for &id in &movable[resized..resized + moved] {
+            let c = self.netlist.cell(id);
+            let p = self.placement.get(id);
+            let dx = (rng.random_f64() * 2.0 - 1.0) * spec.max_shift;
+            let dy = (rng.random_f64() * 2.0 - 1.0) * spec.max_shift;
+            let x = (p.x + dx).clamp(outline.llx, (outline.urx - c.width).max(outline.llx));
+            let y = (p.y + dy).clamp(outline.lly, (outline.ury - c.height).max(outline.lly));
+            self.placement.set(id, Point::new(x, y));
+        }
+
+        let buffers = if spec.buffer_fraction > 0.0 {
+            self.insert_buffers(spec.buffer_fraction, spec.buffer_width)
+        } else {
+            0
+        };
+        EcoSummary {
+            resized,
+            moved,
+            buffers,
+        }
+    }
+
     /// Total HPWL of the current placement — convenience used by the ECO
     /// examples and tests.
     pub fn wirelength(&self) -> f64 {
@@ -209,6 +322,65 @@ mod tests {
         bench.insert_buffers(0.05, 6.0);
         // HPWL accessor agrees with the free function.
         assert_eq!(bench.wirelength(), hpwl(&bench.netlist, &bench.placement));
+    }
+
+    #[test]
+    fn apply_eco_is_deterministic_per_seed() {
+        let mut a = CircuitSpec::small(61).generate();
+        let mut b = CircuitSpec::small(61).generate();
+        let spec = EcoSpec::default();
+        let sa = a.apply_eco(&spec, 9);
+        let sb = b.apply_eco(&spec, 9);
+        assert_eq!(sa, sb);
+        assert_eq!(a.netlist.num_cells(), b.netlist.num_cells());
+        for id in a.netlist.cell_ids() {
+            let (ca, cb) = (a.netlist.cell(id), b.netlist.cell(id));
+            assert_eq!(ca.name, cb.name);
+            assert_eq!(ca.width.to_bits(), cb.width.to_bits());
+            assert_eq!(a.placement.get(id), b.placement.get(id));
+        }
+        // A different seed picks a different edit set.
+        let mut c = CircuitSpec::small(61).generate();
+        c.apply_eco(&spec, 10);
+        let differs = a.netlist.cell_ids().take(c.netlist.num_cells()).any(|id| {
+            a.placement.get(id) != c.placement.get(id)
+                || a.netlist.cell(id).width.to_bits() != c.netlist.cell(id).width.to_bits()
+        });
+        assert!(differs, "seeds 9 and 10 produced the same ECO");
+    }
+
+    #[test]
+    fn apply_eco_extends_the_baseline() {
+        let base = CircuitSpec::small(62).generate();
+        let mut eco = CircuitSpec::small(62).generate();
+        let summary = eco.apply_eco(&EcoSpec::default(), 3);
+        assert!(summary.resized > 0 && summary.moved > 0 && summary.buffers > 0);
+        assert_eq!(
+            eco.netlist.num_cells(),
+            base.netlist.num_cells() + summary.buffers
+        );
+        // Pre-existing cells keep id, name, and kind — the contract the
+        // serve-side delta differ relies on.
+        for id in base.netlist.cell_ids() {
+            assert_eq!(eco.netlist.cell(id).name, base.netlist.cell(id).name);
+            assert_eq!(eco.netlist.cell(id).kind, base.netlist.cell(id).kind);
+        }
+        // Moved cells stay inside the die outline (buffers may overlap
+        // the edge — they land on net centroids and await legalization).
+        let outline = eco.die.outline();
+        for id in base.netlist.cell_ids() {
+            let c = eco.netlist.cell(id);
+            // Resized cells keep their position but grew in place, so
+            // only the un-resized movables are guaranteed in bounds.
+            if c.kind != CellKind::Movable
+                || c.width.to_bits() != base.netlist.cell(id).width.to_bits()
+            {
+                continue;
+            }
+            let p = eco.placement.get(id);
+            assert!(p.x >= outline.llx && p.x + c.width <= outline.urx + 1e-9);
+            assert!(p.y >= outline.lly && p.y + c.height <= outline.ury + 1e-9);
+        }
     }
 
     #[test]

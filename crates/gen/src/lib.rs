@@ -46,5 +46,6 @@ mod stats;
 pub mod suites;
 
 pub use circuit::{Benchmark, CircuitSpec};
+pub use eco::{EcoSpec, EcoSummary};
 pub use inflate::InflationSpec;
 pub use stats::WorkloadStats;

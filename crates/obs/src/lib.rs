@@ -45,6 +45,7 @@ mod metrics;
 mod span;
 
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, RegistrySnapshot,
+    labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry,
+    RegistrySnapshot,
 };
 pub use span::{Span, SpanRecord, SpanRecorder};

@@ -289,6 +289,54 @@ enum Instrument {
     Histogram(Histogram),
 }
 
+/// Formats a metric name with `{key="value"}` labels in the canonical
+/// exposition form, e.g. `jobs_ok{tenant="acme"}`. The result is meant
+/// to be used as a [`Registry`] instrument name, so one registry can
+/// hold per-tenant (or per-shard, per-solver, …) variants of a metric
+/// side by side and `to_text` output stays grep-able.
+///
+/// Label values are escaped (`\` → `\\`, `"` → `\"`, newline → `\n`);
+/// an empty label slice returns the bare name. Labels are emitted in
+/// the order given — pass them in a fixed order so names are stable.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_obs::labeled;
+///
+/// assert_eq!(labeled("jobs_ok", &[]), "jobs_ok");
+/// assert_eq!(
+///     labeled("jobs_ok", &[("tenant", "acme"), ("solver", "ftcs")]),
+///     r#"jobs_ok{tenant="acme",solver="ftcs"}"#
+/// );
+/// ```
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(ch),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// A named collection of instruments.
 ///
 /// `counter`/`gauge`/`histogram` are get-or-register: the first call
@@ -436,6 +484,26 @@ impl RegistrySnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn labeled_names_format_and_escape() {
+        assert_eq!(labeled("up", &[]), "up");
+        assert_eq!(labeled("up", &[("tenant", "a")]), "up{tenant=\"a\"}");
+        assert_eq!(
+            labeled("up", &[("t", "a\"b"), ("u", "c\\d"), ("v", "e\nf")]),
+            "up{t=\"a\\\"b\",u=\"c\\\\d\",v=\"e\\nf\"}"
+        );
+        // Labeled variants are distinct registry entries that show up in
+        // the text exposition.
+        let reg = Registry::new();
+        reg.counter(&labeled("jobs_ok", &[("tenant", "acme")]))
+            .inc();
+        reg.counter(&labeled("jobs_ok", &[("tenant", "zeta")]))
+            .add(2);
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("jobs_ok{tenant=\"acme\"} 1"), "{text}");
+        assert!(text.contains("jobs_ok{tenant=\"zeta\"} 2"), "{text}");
+    }
 
     #[test]
     fn counter_and_gauge_basics() {

@@ -17,10 +17,27 @@
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
+use dpm_netlist::Netlist;
+use dpm_place::{Die, Placement};
+
+use crate::delta::{encode_delta_request, DeltaJobRequest};
 use crate::wire::{
-    decode_progress, decode_stats, read_frame, write_frame, FrameKind, JobRequest, PayloadEncoding,
-    ProgressUpdate, Reply, StatsSnapshot, WireError, DEFAULT_MAX_FRAME_LEN,
+    decode_design_ack, decode_need_design, decode_progress, decode_stats, encode_design_bytes,
+    encode_put_design, fnv1a64, read_frame, write_frame, DesignAck, FrameKind, JobRequest,
+    NeedDesign, PayloadEncoding, ProgressUpdate, PutDesign, Reply, StatsSnapshot, WireError,
+    DEFAULT_MAX_FRAME_LEN,
 };
+
+/// What a delta request can come back with: a normal terminal [`Reply`]
+/// or a typed [`NeedDesign`] cache miss asking the client to upload the
+/// baseline and resend.
+#[derive(Debug, Clone)]
+pub enum DeltaReply {
+    /// The server had the baseline and ran the job.
+    Done(Reply),
+    /// The baseline is not cached; upload it and resend the delta.
+    NeedDesign(NeedDesign),
+}
 
 /// A blocking connection to a [`Server`](crate::Server).
 pub struct ServeClient {
@@ -141,6 +158,162 @@ impl ServeClient {
     ) -> Result<Reply, WireError> {
         self.send_request(req, encoding)?;
         self.recv_reply_with(on_progress)
+    }
+
+    /// Uploads a baseline design to the server's content-hash cache
+    /// (wire v3, control-plane servers only) and returns the ack. The
+    /// returned [`DesignAck::hash`] is the key later
+    /// [`DeltaJobRequest::baseline`] fields must carry; it always
+    /// equals [`design_hash`](crate::wire::design_hash) of the design.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails, a frame is
+    /// corrupt, or the server answers with something other than a
+    /// design ack (a plain `dpm-serve` [`Server`](crate::Server) does
+    /// not speak v3 — use the `dpm-ctl` control plane).
+    pub fn put_design(
+        &mut self,
+        id: u64,
+        tenant: &str,
+        netlist: &Netlist,
+        die: &Die,
+        placement: &Placement,
+    ) -> Result<DesignAck, WireError> {
+        let bytes = encode_design_bytes(netlist, die, placement);
+        let expected = fnv1a64(&bytes);
+        let put = PutDesign {
+            id,
+            tenant: tenant.to_string(),
+            bytes,
+        };
+        write_frame(
+            &mut self.stream,
+            FrameKind::PutDesign,
+            &encode_put_design(&put),
+        )?;
+        loop {
+            let frame = match read_frame(&mut self.stream, self.max_frame_len)? {
+                Some(frame) => frame,
+                None => {
+                    return Err(WireError::Truncated {
+                        context: "design ack (connection closed)",
+                    })
+                }
+            };
+            match frame.kind {
+                FrameKind::DesignAck => {
+                    let ack = decode_design_ack(&frame.payload)?;
+                    if ack.hash != expected {
+                        return Err(WireError::Malformed {
+                            context: "design ack",
+                            message: format!(
+                                "server hashed the design to {:016x}, client to {expected:016x}",
+                                ack.hash
+                            ),
+                        });
+                    }
+                    return Ok(ack);
+                }
+                FrameKind::Progress => continue,
+                FrameKind::Error => {
+                    // Surface the server's typed rejection as a wire
+                    // error — uploads have no partial-success state.
+                    let e = crate::wire::decode_error(&frame.payload)?;
+                    return Err(WireError::Malformed {
+                        context: "design upload",
+                        message: format!("{}: {}", e.code.as_str(), e.message),
+                    });
+                }
+                other => {
+                    return Err(WireError::Malformed {
+                        context: "design ack",
+                        message: format!("expected a design ack, got {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Sends one delta request without waiting for its reply. Pair with
+    /// [`recv_delta_reply`](Self::recv_delta_reply).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails.
+    pub fn send_delta_request(&mut self, req: &DeltaJobRequest) -> Result<(), WireError> {
+        write_frame(
+            &mut self.stream,
+            FrameKind::DeltaRequest,
+            &encode_delta_request(req),
+        )
+    }
+
+    /// Blocks until the next delta-request outcome arrives: a terminal
+    /// [`Reply`] or a [`NeedDesign`] cache miss. Interleaved progress
+    /// frames go to `on_progress`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails or a frame is
+    /// corrupt.
+    pub fn recv_delta_reply(
+        &mut self,
+        mut on_progress: impl FnMut(&ProgressUpdate),
+    ) -> Result<DeltaReply, WireError> {
+        loop {
+            let frame = match read_frame(&mut self.stream, self.max_frame_len)? {
+                Some(frame) => frame,
+                None => {
+                    return Err(WireError::Truncated {
+                        context: "delta reply (connection closed)",
+                    })
+                }
+            };
+            match frame.kind {
+                FrameKind::Progress => on_progress(&decode_progress(&frame.payload)?),
+                FrameKind::NeedDesign => {
+                    return Ok(DeltaReply::NeedDesign(decode_need_design(&frame.payload)?))
+                }
+                _ => return Reply::from_frame(&frame).map(DeltaReply::Done),
+            }
+        }
+    }
+
+    /// Sends a delta request and resolves the cache-miss handshake: on
+    /// [`NeedDesign`] the provided baseline is uploaded and the delta
+    /// resent, so the caller always gets a terminal [`Reply`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the connection fails, a frame is
+    /// corrupt, or the server still misses the baseline after the
+    /// upload.
+    pub fn request_delta(
+        &mut self,
+        req: &DeltaJobRequest,
+        baseline: (&Netlist, &Die, &Placement),
+        mut on_progress: impl FnMut(&ProgressUpdate),
+    ) -> Result<Reply, WireError> {
+        self.send_delta_request(req)?;
+        match self.recv_delta_reply(&mut on_progress)? {
+            DeltaReply::Done(reply) => Ok(reply),
+            DeltaReply::NeedDesign(need) => {
+                let (nl, die, pl) = baseline;
+                self.put_design(req.id, &req.tenant, nl, die, pl)?;
+                self.send_delta_request(req)?;
+                match self.recv_delta_reply(&mut on_progress)? {
+                    DeltaReply::Done(reply) => Ok(reply),
+                    DeltaReply::NeedDesign(_) => Err(WireError::Malformed {
+                        context: "delta reply",
+                        message: format!(
+                            "server still misses baseline {:016x} after upload",
+                            need.hash
+                        ),
+                    }),
+                }
+            }
+        }
     }
 
     /// Fetches the server's metrics snapshot: counters, queue depth,

@@ -70,16 +70,20 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod delta;
 pub mod log;
 pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod wire;
 
-pub use client::ServeClient;
-pub use server::{ServeConfig, ServeStats, Server};
-pub use shard::{ShardBackend, ShardOutcome, ShardReply, ShardRouter, ShardRouterConfig};
+pub use client::{DeltaReply, ServeClient};
+pub use delta::{CellMove, CellResize, DeltaError, DeltaJobRequest, EcoDelta, NewCell};
+pub use server::{execute_job, ServeConfig, ServeStats, Server};
+pub use shard::{
+    ShardBackend, ShardFailover, ShardOutcome, ShardReply, ShardRouter, ShardRouterConfig,
+};
 pub use wire::{
-    ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, PayloadEncoding, ProgressUpdate,
-    Reply, StatsSnapshot,
+    design_hash, DesignAck, ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, NeedDesign,
+    PayloadEncoding, ProgressUpdate, PutDesign, Reply, StatsSnapshot,
 };

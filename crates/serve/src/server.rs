@@ -60,9 +60,9 @@ use dpm_place::MovementStats;
 use crate::log::{RequestLog, RequestRecord};
 use crate::queue::{BoundedQueue, PushError};
 use crate::wire::{
-    encode_progress, encode_stats, read_frame, write_frame, ErrorCode, ErrorReply, FrameKind,
-    JobKind, JobRequest, JobResponse, ProgressUpdate, Reply, StatsSnapshot, WireError,
-    DEFAULT_MAX_FRAME_LEN,
+    encode_progress, encode_stats, read_frame, write_frame_versioned, ErrorCode, ErrorReply,
+    FrameKind, JobKind, JobRequest, JobResponse, ProgressUpdate, Reply, StatsSnapshot, WireError,
+    DEFAULT_MAX_FRAME_LEN, VERSION,
 };
 
 /// How often blocked connection reads wake up to check for shutdown.
@@ -406,9 +406,9 @@ fn acceptor_loop(
     }
 }
 
-fn write_reply(stream: &mut TcpStream, reply: &Reply) -> Result<(), WireError> {
+fn write_reply(stream: &mut TcpStream, version: u16, reply: &Reply) -> Result<(), WireError> {
     let (kind, payload) = reply.to_frame_bytes();
-    write_frame(stream, kind, &payload)
+    write_frame_versioned(stream, version, kind, &payload)
 }
 
 fn rejection(id: u64, code: ErrorCode, message: impl Into<String>) -> Reply {
@@ -432,6 +432,11 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_POLL));
 
+    // Every reply carries the wire version the request arrived with, so
+    // a v2 client pinned to `version == 2` header checks keeps working
+    // against this (v3) server. Until a frame arrives, errors go out at
+    // the current version.
+    let mut conn_version: u16 = VERSION;
     loop {
         let frame = match read_frame(&mut stream, shared.max_frame_len) {
             Ok(Some(frame)) => frame,
@@ -455,15 +460,18 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 });
                 let _ = write_reply(
                     &mut stream,
+                    conn_version,
                     &rejection(0, ErrorCode::Malformed, e.to_string()),
                 );
                 break;
             }
         };
+        conn_version = frame.version;
 
         if frame.kind == FrameKind::StatsRequest {
             let payload = encode_stats(&shared.stats_snapshot());
-            if write_frame(&mut stream, FrameKind::Stats, &payload).is_err() {
+            if write_frame_versioned(&mut stream, conn_version, FrameKind::Stats, &payload).is_err()
+            {
                 break;
             }
             continue;
@@ -472,7 +480,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
         if frame.kind != FrameKind::Request {
             shared.metrics.malformed.inc();
             let reply = rejection(0, ErrorCode::Malformed, "expected a request frame");
-            if write_reply(&mut stream, &reply).is_err() {
+            if write_reply(&mut stream, conn_version, &reply).is_err() {
                 break;
             }
             continue;
@@ -489,7 +497,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                     ..Default::default()
                 });
                 let reply = rejection(0, ErrorCode::Malformed, e.to_string());
-                if write_reply(&mut stream, &reply).is_err() {
+                if write_reply(&mut stream, conn_version, &reply).is_err() {
                     break;
                 }
                 continue;
@@ -512,7 +520,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 ..Default::default()
             });
             let reply = rejection(id, ErrorCode::InvalidConfig, e.to_string());
-            if write_reply(&mut stream, &reply).is_err() {
+            if write_reply(&mut stream, conn_version, &reply).is_err() {
                 break;
             }
             continue;
@@ -551,8 +559,9 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                         Ok(WorkerMsg::Progress(p)) => {
                             if sink_ok {
                                 shared.metrics.progress_frames.inc();
-                                sink_ok = write_frame(
+                                sink_ok = write_frame_versioned(
                                     &mut stream,
+                                    conn_version,
                                     FrameKind::Progress,
                                     &encode_progress(&p),
                                 )
@@ -599,7 +608,7 @@ fn connection_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 rejection(id, ErrorCode::ShuttingDown, "server is shutting down")
             }
         };
-        if write_reply(&mut stream, &reply).is_err() {
+        if write_reply(&mut stream, conn_version, &reply).is_err() {
             break;
         }
         if let Some(t0) = admitted_at {
@@ -705,7 +714,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     movement: 0.0,
                     tx: &reply_tx,
                 };
-                run_job(
+                execute_job(
                     kind,
                     &config,
                     &netlist,
@@ -715,7 +724,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     &mut emitter,
                 )
             } else {
-                run_job(
+                execute_job(
                     kind,
                     &config,
                     &netlist,
@@ -803,8 +812,13 @@ fn worker_loop(shared: Arc<Shared>) {
     }
 }
 
+/// Runs one migration job on the calling thread: the exact execution
+/// path a [`Server`] worker uses, exported so other front-ends (the
+/// `dpm-ctl` control plane) share it. Dispatches on [`JobKind`],
+/// threads the cancellation hook and observer through the engine, and
+/// leaves the legalized positions in `placement`.
 #[allow(clippy::too_many_arguments)]
-fn run_job(
+pub fn execute_job(
     kind: JobKind,
     config: &DiffusionConfig,
     netlist: &dpm_netlist::Netlist,

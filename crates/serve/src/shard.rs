@@ -29,6 +29,11 @@
 //!   leaves its region unmigrated for that round and records a
 //!   per-shard error in the [`ShardReply`]; the job as a whole still
 //!   succeeds with whatever the healthy shards achieved.
+//! - **Warm spares**: a router built with [`ShardRouter::with_spares`]
+//!   retries a failed shard's sub-problem on a spare backend within the
+//!   same round and hands the shard to that spare for later rounds, so
+//!   a killed backend costs a serial retry instead of an unmigrated
+//!   region. Replacements are reported as [`ShardFailover`] entries.
 //!
 //! Telemetry from every shard run is merged: `DiffusionResult` kernel
 //! timers via [`KernelTimers::merge`], per-shard service latencies via
@@ -110,6 +115,19 @@ pub struct ShardOutcome {
     pub error: Option<String>,
 }
 
+/// One warm-spare replacement: the backend a shard was assigned to
+/// failed a round, and a spare ran the sub-problem instead (and owns
+/// the shard for any later rounds of the same job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFailover {
+    /// Which shard failed over.
+    pub shard: usize,
+    /// The backend that failed.
+    pub from: ShardBackend,
+    /// The spare that took over.
+    pub to: ShardBackend,
+}
+
 /// Everything the router learned from one routed job.
 #[derive(Debug, Clone)]
 pub struct ShardReply {
@@ -124,6 +142,10 @@ pub struct ShardReply {
     pub outcomes: Vec<ShardOutcome>,
     /// Halo-exchange rounds executed (fan-outs over all shards).
     pub halo_exchanges: usize,
+    /// Warm-spare replacements performed during this job, in the order
+    /// they happened (empty when every assigned backend stayed healthy
+    /// or no spares were configured).
+    pub failovers: Vec<ShardFailover>,
     /// Measured global max bin density before round 1 and after every
     /// *accepted* round; non-increasing by construction for K > 1.
     pub max_density_trace: Vec<f64>,
@@ -193,6 +215,7 @@ struct ShardRun {
 pub struct ShardRouter {
     cfg: ShardRouterConfig,
     backends: Vec<ShardBackend>,
+    spares: Vec<ShardBackend>,
 }
 
 impl ShardRouter {
@@ -203,9 +226,31 @@ impl ShardRouter {
     ///
     /// Panics if `cfg.shards` is zero or `backends` is empty.
     pub fn new(cfg: ShardRouterConfig, backends: Vec<ShardBackend>) -> Self {
+        Self::with_spares(cfg, backends, Vec::new())
+    }
+
+    /// Creates a router with warm spares: when a shard's assigned
+    /// backend fails a round, its sub-problem is retried on the first
+    /// untried spare (in order) within the same round, and that spare
+    /// takes over the shard for the rest of the job. A spare that fails
+    /// its retry is consumed too — it is presumed as dead as the
+    /// backend it replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` is zero or `backends` is empty.
+    pub fn with_spares(
+        cfg: ShardRouterConfig,
+        backends: Vec<ShardBackend>,
+        spares: Vec<ShardBackend>,
+    ) -> Self {
         assert!(cfg.shards >= 1, "shard count must be positive");
         assert!(!backends.is_empty(), "at least one backend required");
-        Self { cfg, backends }
+        Self {
+            cfg,
+            backends,
+            spares,
+        }
     }
 
     /// Creates a router that runs every shard in-process.
@@ -221,6 +266,11 @@ impl ShardRouter {
     /// The configured backends.
     pub fn backends(&self) -> &[ShardBackend] {
         &self.backends
+    }
+
+    /// The configured warm spares (not yet consumed by a failover).
+    pub fn spares(&self) -> &[ShardBackend] {
+        &self.spares
     }
 
     /// Routes one job across the shards and stitches the result.
@@ -266,6 +316,13 @@ impl ShardRouter {
         let mut halo_exchanges = 0usize;
         let mut single_shard_converged = false;
 
+        // Per-shard backend assignment; failovers rewrite it mid-job.
+        let mut assign: Vec<ShardBackend> = (0..k)
+            .map(|shard| self.backends[shard % self.backends.len()])
+            .collect();
+        let mut spares = self.spares.clone();
+        let mut failovers: Vec<ShardFailover> = Vec::new();
+
         let round_cap = if k == 1 {
             1
         } else {
@@ -275,10 +332,10 @@ impl ShardRouter {
             // Halo exchange: ownership and ghost positions are derived
             // from the freshest global placement.
             let owners = partition.assign_owners(&req.netlist, &working);
-            let runs: Vec<Option<ShardRun>> = std::thread::scope(|scope| {
+            let mut runs: Vec<Option<ShardRun>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..k)
                     .map(|shard| {
-                        let backend = self.backends[shard % self.backends.len()];
+                        let backend = assign[shard];
                         let partition = &partition;
                         let owners = &owners;
                         let working = &working;
@@ -295,6 +352,38 @@ impl ShardRouter {
                     .map(|h| h.join().expect("shard thread never panics"))
                     .collect()
             });
+
+            // Warm-spare failover: retry each failed shard serially on
+            // the spares before stitching, so a dead backend costs a
+            // retry, not an unmigrated region. The successful spare owns
+            // the shard from here on; a spare that fails its retry is
+            // consumed (presumed dead) and the next one is tried. The
+            // wire is bit-exact, so which backend ran the sub-problem
+            // cannot change the stitched placement.
+            for (shard, slot) in runs.iter_mut().enumerate() {
+                if slot.as_ref().is_none_or(|run| run.error.is_none()) {
+                    continue;
+                }
+                while !spares.is_empty() {
+                    let spare = spares.remove(0);
+                    let retry = partition
+                        .extract_problem(shard, &req.netlist, &req.die, &working, &owners)
+                        .map(|problem| run_shard(spare, req, problem, self.cfg.encoding));
+                    match retry {
+                        Some(run) if run.error.is_none() => {
+                            failovers.push(ShardFailover {
+                                shard,
+                                from: assign[shard],
+                                to: spare,
+                            });
+                            assign[shard] = spare;
+                            *slot = Some(run);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
 
             halo_exchanges += 1;
             let mut candidate = working.clone();
@@ -374,6 +463,7 @@ impl ShardRouter {
             shards: k,
             outcomes,
             halo_exchanges,
+            failovers,
             max_density_trace: trace,
             progress_frames,
             kernels,

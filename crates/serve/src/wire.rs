@@ -9,12 +9,17 @@
 //! +-------+---------+------+-----------+----------------+
 //! ```
 //!
-//! Six frame kinds exist: a [`JobRequest`] (client → server), a
-//! [`JobResponse`] (server → client, success), an [`ErrorReply`]
-//! (server → client, rejection or partial failure), a
-//! [`ProgressUpdate`] (server → client, streamed mid-job when the
-//! request asked for a progress stride), a stats request (client →
-//! server, empty payload) and a [`StatsSnapshot`] (server → client).
+//! Ten frame kinds exist. The six job/observability kinds: a
+//! [`JobRequest`] (client → server), a [`JobResponse`] (server →
+//! client, success), an [`ErrorReply`] (server → client, rejection or
+//! partial failure), a [`ProgressUpdate`] (server → client, streamed
+//! mid-job when the request asked for a progress stride), a stats
+//! request (client → server, empty payload) and a [`StatsSnapshot`]
+//! (server → client). Version 3 adds the four control-plane kinds: a
+//! [`PutDesign`] upload (client → server) answered by a [`DesignAck`],
+//! and a [`DeltaJobRequest`](crate::delta::DeltaJobRequest) naming a
+//! cached baseline by content hash, answered either by the usual
+//! terminal reply or by a typed [`NeedDesign`] cache miss.
 //! All integers are little-endian; `f64` values travel as their
 //! IEEE-754 bit patterns, so a decoded placement is *bit-identical* to
 //! the encoded one — the server-side diffusion result is exactly the
@@ -47,10 +52,20 @@ use dpm_place::{Die, Placement};
 /// Migration Serve").
 pub const MAGIC: [u8; 4] = *b"DPMS";
 
-/// Current codec version. Decoders reject frames from other versions.
+/// Current codec version. Decoders accept any version in
+/// [`MIN_VERSION`]`..=`[`VERSION`].
 /// Version 2 added the Progress/StatsRequest/Stats frame kinds and the
-/// request's `design` name and `progress_stride` fields.
-pub const VERSION: u16 = 2;
+/// request's `design` name and `progress_stride` fields. Version 3 adds
+/// the control-plane frame kinds (PutDesign / DesignAck / DeltaRequest
+/// / NeedDesign) without touching any v2 payload layout — a v2 frame
+/// decodes byte-for-byte on a v3 server, and servers echo the version a
+/// request arrived with on its replies so v2 clients never see a v3
+/// header.
+pub const VERSION: u16 = 3;
+
+/// Oldest codec version decoders still accept. Version 2 payloads are
+/// a strict subset of version 3, so both decode with the same code.
+pub const MIN_VERSION: u16 = 2;
 
 /// Default cap on a single frame's payload length (64 MiB) — a guard
 /// against unbounded allocation from a hostile or corrupt peer.
@@ -116,7 +131,7 @@ impl From<io::Error> for WireError {
     }
 }
 
-fn malformed(context: &'static str, message: impl Into<String>) -> WireError {
+pub(crate) fn malformed(context: &'static str, message: impl Into<String>) -> WireError {
     WireError::Malformed {
         context,
         message: message.into(),
@@ -138,6 +153,17 @@ pub enum FrameKind {
     StatsRequest,
     /// A [`StatsSnapshot`] answering a stats request.
     Stats,
+    /// (v3) A [`PutDesign`]: a full design upload keyed by its FNV
+    /// content hash, populating the server's design cache.
+    PutDesign,
+    /// (v3) A [`DesignAck`] answering a design upload.
+    DesignAck,
+    /// (v3) A [`DeltaJobRequest`](crate::delta::DeltaJobRequest): a job
+    /// naming a cached baseline by hash plus an ECO delta against it.
+    DeltaRequest,
+    /// (v3) A [`NeedDesign`]: the named baseline is not cached; the
+    /// client must upload it with a [`PutDesign`] and retry.
+    NeedDesign,
 }
 
 impl FrameKind {
@@ -149,6 +175,10 @@ impl FrameKind {
             FrameKind::Progress => 4,
             FrameKind::StatsRequest => 5,
             FrameKind::Stats => 6,
+            FrameKind::PutDesign => 7,
+            FrameKind::DesignAck => 8,
+            FrameKind::DeltaRequest => 9,
+            FrameKind::NeedDesign => 10,
         }
     }
 
@@ -160,6 +190,10 @@ impl FrameKind {
             4 => Ok(FrameKind::Progress),
             5 => Ok(FrameKind::StatsRequest),
             6 => Ok(FrameKind::Stats),
+            7 => Ok(FrameKind::PutDesign),
+            8 => Ok(FrameKind::DesignAck),
+            9 => Ok(FrameKind::DeltaRequest),
+            10 => Ok(FrameKind::NeedDesign),
             k => Err(WireError::UnknownFrameKind(k)),
         }
     }
@@ -170,6 +204,10 @@ impl FrameKind {
 pub struct Frame {
     /// Frame kind byte, already validated.
     pub kind: FrameKind,
+    /// Codec version the frame arrived with (in
+    /// [`MIN_VERSION`]`..=`[`VERSION`]). Servers echo it on replies so
+    /// old clients never see a header newer than what they speak.
+    pub version: u16,
     /// Undecoded payload bytes.
     pub payload: Vec<u8>,
 }
@@ -182,6 +220,22 @@ pub struct Frame {
 /// [`WireError::FrameTooLarge`] if the payload cannot be described by a
 /// `u32` length.
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    write_frame_versioned(w, VERSION, kind, payload)
+}
+
+/// Writes one frame stamped with an explicit codec `version`. Servers
+/// use this to echo the version a request arrived with, so a v2 client
+/// only ever reads v2 headers.
+///
+/// # Errors
+///
+/// Same as [`write_frame`].
+pub fn write_frame_versioned(
+    w: &mut impl Write,
+    version: u16,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), WireError> {
     if payload.len() > u32::MAX as usize {
         return Err(WireError::FrameTooLarge {
             len: payload.len(),
@@ -190,7 +244,7 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
     }
     let mut header = [0u8; 11];
     header[..4].copy_from_slice(&MAGIC);
-    header[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    header[4..6].copy_from_slice(&version.to_le_bytes());
     header[6] = kind.to_u8();
     header[7..11].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
@@ -199,18 +253,70 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Resul
     Ok(())
 }
 
+/// How many consecutive mid-frame read timeouts [`read_frame`] tolerates
+/// before declaring the peer stalled. Each timeout blocks for the
+/// socket's own read deadline, so on a 25ms poll this is ~10s of total
+/// silence in the middle of a frame.
+const MID_FRAME_STALL_LIMIT: u32 = 400;
+
+/// `read_exact` that survives read-timeout sockets: a timeout after the
+/// frame has started is the peer pausing between TCP segments (Nagle,
+/// scheduling, a slow writer), not an idle connection, so already-read
+/// bytes must not be discarded. Resumes across `WouldBlock`/`TimedOut`
+/// up to [`MID_FRAME_STALL_LIMIT`] consecutive timeouts, then gives up
+/// with [`WireError::Truncated`] so callers drop the desynced stream
+/// instead of treating it as idle.
+fn read_full(r: &mut impl Read, buf: &mut [u8], context: &'static str) -> Result<(), WireError> {
+    let mut off = 0;
+    let mut stalls = 0u32;
+    while off < buf.len() {
+        match r.read(&mut buf[off..]) {
+            Ok(0) => {
+                return Err(WireError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream closed mid-frame while reading {context}"),
+                )))
+            }
+            Ok(n) => {
+                off += n;
+                stalls = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                stalls += 1;
+                if stalls >= MID_FRAME_STALL_LIMIT {
+                    return Err(WireError::Truncated { context });
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
 /// Reads one frame from `r`, or `None` on clean end-of-stream (the peer
 /// closed the connection exactly at a frame boundary).
 ///
+/// Sockets with a read deadline only surface the timeout *before* the
+/// first byte of a frame — that is the idle-poll point servers use to
+/// check for shutdown. Once a frame has started, timeouts between TCP
+/// segments are absorbed and the read resumes where it left off;
+/// returning mid-frame would desync the stream, because the bytes
+/// already consumed cannot be pushed back.
+///
 /// # Errors
 ///
-/// Returns [`WireError::Io`] on stream failure (including timeouts on
-/// sockets with a read deadline), [`WireError::BadMagic`] /
+/// Returns [`WireError::Io`] on stream failure (including pre-frame
+/// timeouts on sockets with a read deadline), [`WireError::BadMagic`] /
 /// [`WireError::UnsupportedVersion`] / [`WireError::UnknownFrameKind`] on
-/// header corruption, and [`WireError::FrameTooLarge`] when the declared
-/// length exceeds `max_len`.
+/// header corruption, [`WireError::FrameTooLarge`] when the declared
+/// length exceeds `max_len`, and [`WireError::Truncated`] when the peer
+/// goes silent in the middle of a frame for longer than the stall limit.
 pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, WireError> {
-    // First byte separately: zero bytes here is a clean EOF.
+    // First byte separately: zero bytes here is a clean EOF, and a
+    // timeout here is an idle connection the caller may poll on.
     let mut first = [0u8; 1];
     loop {
         match r.read(&mut first) {
@@ -221,13 +327,13 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, Wi
         }
     }
     let mut rest = [0u8; 10];
-    r.read_exact(&mut rest)?;
+    read_full(r, &mut rest, "frame header")?;
     let magic = [first[0], rest[0], rest[1], rest[2]];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
     let version = u16::from_le_bytes([rest[3], rest[4]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let kind = FrameKind::from_u8(rest[5])?;
@@ -236,43 +342,121 @@ pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, Wi
         return Err(WireError::FrameTooLarge { len, max: max_len });
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(Frame { kind, payload }))
+    read_full(r, &mut payload, "frame payload")?;
+    Ok(Some(Frame {
+        kind,
+        version,
+        payload,
+    }))
+}
+
+/// Incremental frame parser for non-blocking streams: feed bytes as
+/// they arrive with [`push`](Self::push), pull complete frames with
+/// [`next_frame`](Self::next_frame). The async control-plane front-end
+/// uses one assembler per connection; blocking readers keep using
+/// [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer never grows without bound on a
+        // long-lived connection.
+        if self.pos > 0 && self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 4096 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same header errors as [`read_frame`]. After an error
+    /// the stream position is unknown; drop the connection.
+    pub fn next_frame(&mut self, max_len: usize) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 11 {
+            return Ok(None);
+        }
+        let magic = [avail[0], avail[1], avail[2], avail[3]];
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = u16::from_le_bytes([avail[4], avail[5]]);
+        if !(MIN_VERSION..=VERSION).contains(&version) {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        let kind = FrameKind::from_u8(avail[6])?;
+        let len = u32::from_le_bytes([avail[7], avail[8], avail[9], avail[10]]) as usize;
+        if len > max_len {
+            return Err(WireError::FrameTooLarge { len, max: max_len });
+        }
+        if avail.len() < 11 + len {
+            return Ok(None);
+        }
+        let payload = avail[11..11 + len].to_vec();
+        self.pos += 11 + len;
+        Ok(Some(Frame {
+            kind,
+            version,
+            payload,
+        }))
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Primitive put/take helpers.
 // ---------------------------------------------------------------------------
 
-fn put_u8(buf: &mut Vec<u8>, v: u8) {
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
     buf.push(v);
 }
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_bits().to_le_bytes());
 }
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
 
 /// A fallible little-endian reader over a payload slice.
-struct Cur<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Cur<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cur<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
+    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], WireError> {
         if self.pos + n > self.buf.len() {
             return Err(WireError::Truncated { context });
         }
@@ -281,27 +465,27 @@ impl<'a> Cur<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, WireError> {
         Ok(self.take(1, context)?[0])
     }
 
-    fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, WireError> {
         let b = self.take(4, context)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, WireError> {
         let b = self.take(8, context)?;
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
 
-    fn f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+    pub(crate) fn f64(&mut self, context: &'static str) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64(context)?))
     }
 
-    fn str_(&mut self, context: &'static str) -> Result<String, WireError> {
+    pub(crate) fn str_(&mut self, context: &'static str) -> Result<String, WireError> {
         let len = self.u32(context)? as usize;
         // A string cannot be longer than the bytes that remain; this also
         // rejects absurd lengths before allocating.
@@ -313,7 +497,7 @@ impl<'a> Cur<'a> {
             .map_err(|_| malformed(context, "string is not valid UTF-8"))
     }
 
-    fn finish(&self, context: &'static str) -> Result<(), WireError> {
+    pub(crate) fn finish(&self, context: &'static str) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(malformed(context, "trailing bytes after payload"));
         }
@@ -375,7 +559,7 @@ pub struct JobRequest {
     pub placement: Placement,
 }
 
-fn put_config(buf: &mut Vec<u8>, c: &DiffusionConfig) {
+pub(crate) fn put_config(buf: &mut Vec<u8>, c: &DiffusionConfig) {
     put_f64(buf, c.bin_size);
     put_f64(buf, c.d_max);
     put_f64(buf, c.delta);
@@ -393,7 +577,7 @@ fn put_config(buf: &mut Vec<u8>, c: &DiffusionConfig) {
     put_u64(buf, c.threads as u64);
 }
 
-fn take_config(cur: &mut Cur<'_>) -> Result<DiffusionConfig, WireError> {
+pub(crate) fn take_config(cur: &mut Cur<'_>) -> Result<DiffusionConfig, WireError> {
     Ok(DiffusionConfig {
         bin_size: cur.f64("config.bin_size")?,
         d_max: cur.f64("config.d_max")?,
@@ -419,7 +603,7 @@ fn take_config(cur: &mut Cur<'_>) -> Result<DiffusionConfig, WireError> {
     })
 }
 
-fn solver_kind_from_u8(b: u8) -> Result<SolverKind, WireError> {
+pub(crate) fn solver_kind_from_u8(b: u8) -> Result<SolverKind, WireError> {
     match b {
         0 => Ok(SolverKind::Ftcs),
         1 => Ok(SolverKind::Spectral),
@@ -430,7 +614,7 @@ fn solver_kind_from_u8(b: u8) -> Result<SolverKind, WireError> {
     }
 }
 
-fn cell_kind_to_u8(k: CellKind) -> u8 {
+pub(crate) fn cell_kind_to_u8(k: CellKind) -> u8 {
     match k {
         CellKind::Movable => 0,
         CellKind::FixedMacro => 1,
@@ -438,7 +622,7 @@ fn cell_kind_to_u8(k: CellKind) -> u8 {
     }
 }
 
-fn cell_kind_from_u8(b: u8) -> Result<CellKind, WireError> {
+pub(crate) fn cell_kind_from_u8(b: u8) -> Result<CellKind, WireError> {
     match b {
         0 => Ok(CellKind::Movable),
         1 => Ok(CellKind::FixedMacro),
@@ -1075,6 +1259,175 @@ pub fn decode_error(payload: &[u8]) -> Result<ErrorReply, WireError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Content-hashed designs (wire v3).
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over `bytes` — the content hash that names cached designs.
+///
+/// Deliberately the same hash family as the CI golden placement
+/// checksum: dependency-free, deterministic, and stable across runs and
+/// platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Encodes a design (netlist + die + placement) into the canonical
+/// binary byte string both sides hash. This is exactly the binary
+/// design payload of a [`JobRequest`], so `f64` values are bit
+/// patterns and the encoding round-trips exactly.
+pub fn encode_design_bytes(netlist: &Netlist, die: &Die, placement: &Placement) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_binary_design(&mut buf, netlist, die, placement);
+    buf
+}
+
+/// Decodes the canonical design byte string produced by
+/// [`encode_design_bytes`].
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] / [`WireError::Malformed`] on
+/// corrupt bytes; never panics.
+pub fn decode_design_bytes(bytes: &[u8]) -> Result<(Netlist, Die, Placement), WireError> {
+    let mut cur = Cur::new(bytes);
+    let design = take_binary_design(&mut cur)?;
+    cur.finish("design")?;
+    Ok(design)
+}
+
+/// The FNV-1a content hash of a design's canonical byte encoding — the
+/// key a [`DeltaJobRequest`](crate::delta::DeltaJobRequest) names its
+/// baseline by.
+pub fn design_hash(netlist: &Netlist, die: &Die, placement: &Placement) -> u64 {
+    fnv1a64(&encode_design_bytes(netlist, die, placement))
+}
+
+/// A full design upload (client → server, wire v3): populates the
+/// server's content-hash design cache so later requests can ship only
+/// ECO deltas against it.
+#[derive(Debug, Clone)]
+pub struct PutDesign {
+    /// Client-chosen correlation id, echoed in the [`DesignAck`].
+    pub id: u64,
+    /// Tenant this upload (and its cache residency) is accounted to.
+    pub tenant: String,
+    /// The canonical design byte string ([`encode_design_bytes`]); the
+    /// server stores the parsed design under `fnv1a64(bytes)`.
+    pub bytes: Vec<u8>,
+}
+
+/// Encodes a design upload into a frame payload.
+pub fn encode_put_design(put: &PutDesign) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, put.id);
+    put_str(&mut buf, &put.tenant);
+    buf.extend_from_slice(&put.bytes);
+    buf
+}
+
+/// Decodes a design-upload frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] / [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_put_design(payload: &[u8]) -> Result<PutDesign, WireError> {
+    let mut cur = Cur::new(payload);
+    let id = cur.u64("put_design.id")?;
+    let tenant = cur.str_("put_design.tenant")?;
+    let bytes = payload[cur.pos..].to_vec();
+    Ok(PutDesign { id, tenant, bytes })
+}
+
+/// The server's answer to a [`PutDesign`] (wire v3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignAck {
+    /// Echo of the upload id.
+    pub id: u64,
+    /// Content hash the design is now cached under.
+    pub hash: u64,
+    /// Whether the design is resident after this upload (`false` only
+    /// when it alone exceeds the cache's byte budget).
+    pub cached: bool,
+    /// Bytes resident in the cache after this upload.
+    pub resident_bytes: u64,
+    /// Designs evicted to make room for this upload.
+    pub evicted: u32,
+}
+
+/// Encodes a design ack into a frame payload.
+pub fn encode_design_ack(ack: &DesignAck) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, ack.id);
+    put_u64(&mut buf, ack.hash);
+    put_u8(&mut buf, ack.cached as u8);
+    put_u64(&mut buf, ack.resident_bytes);
+    put_u32(&mut buf, ack.evicted);
+    buf
+}
+
+/// Decodes a design-ack frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] / [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_design_ack(payload: &[u8]) -> Result<DesignAck, WireError> {
+    let mut cur = Cur::new(payload);
+    let ack = DesignAck {
+        id: cur.u64("design_ack.id")?,
+        hash: cur.u64("design_ack.hash")?,
+        cached: cur.u8("design_ack.cached")? != 0,
+        resident_bytes: cur.u64("design_ack.resident_bytes")?,
+        evicted: cur.u32("design_ack.evicted")?,
+    };
+    cur.finish("design_ack")?;
+    Ok(ack)
+}
+
+/// A typed cache-miss reply (server → client, wire v3): the baseline a
+/// delta request named is not resident. The client uploads it with a
+/// [`PutDesign`] and resends the delta request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeedDesign {
+    /// Echo of the delta request id.
+    pub id: u64,
+    /// The baseline hash the server does not have.
+    pub hash: u64,
+}
+
+/// Encodes a cache-miss reply into a frame payload.
+pub fn encode_need_design(nd: &NeedDesign) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, nd.id);
+    put_u64(&mut buf, nd.hash);
+    buf
+}
+
+/// Decodes a cache-miss frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError::Truncated`] / [`WireError::Malformed`] on
+/// corrupt payloads.
+pub fn decode_need_design(payload: &[u8]) -> Result<NeedDesign, WireError> {
+    let mut cur = Cur::new(payload);
+    let nd = NeedDesign {
+        id: cur.u64("need_design.id")?,
+        hash: cur.u64("need_design.hash")?,
+    };
+    cur.finish("need_design")?;
+    Ok(nd)
+}
+
 /// Either reply a server can send for a request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Reply {
@@ -1109,6 +1462,15 @@ impl Reply {
             FrameKind::StatsRequest | FrameKind::Stats => {
                 Err(malformed("reply", "stats frame is not a job reply"))
             }
+            FrameKind::PutDesign | FrameKind::DeltaRequest => Err(malformed(
+                "reply",
+                "control-plane request frame is not a reply",
+            )),
+            FrameKind::DesignAck => Err(malformed("reply", "design ack is not a job reply")),
+            FrameKind::NeedDesign => Err(malformed(
+                "reply",
+                "NeedDesign is not terminal: upload the baseline and resend",
+            )),
         }
     }
 }
@@ -1460,5 +1822,164 @@ mod tests {
             }
         }
         assert!(saw_pin_error, "no corruption hit the pin cell index");
+    }
+
+    #[test]
+    fn assembler_parses_frames_split_at_every_byte_boundary() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, FrameKind::StatsRequest, &[]).expect("write");
+        write_frame(&mut bytes, FrameKind::Progress, &[1, 2, 3, 4, 5]).expect("write");
+        for split in 0..bytes.len() {
+            let mut asm = FrameAssembler::new();
+            asm.push(&bytes[..split]);
+            let mut frames = Vec::new();
+            while let Some(f) = asm.next_frame(DEFAULT_MAX_FRAME_LEN).expect("no error") {
+                frames.push(f);
+            }
+            asm.push(&bytes[split..]);
+            while let Some(f) = asm.next_frame(DEFAULT_MAX_FRAME_LEN).expect("no error") {
+                frames.push(f);
+            }
+            assert_eq!(frames.len(), 2, "split at {split}");
+            assert_eq!(frames[0].kind, FrameKind::StatsRequest);
+            assert_eq!(frames[0].version, VERSION);
+            assert_eq!(frames[1].kind, FrameKind::Progress);
+            assert_eq!(frames[1].payload, vec![1, 2, 3, 4, 5]);
+            assert_eq!(asm.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_byte_at_a_time_many_frames_stays_bounded() {
+        let mut bytes = Vec::new();
+        for i in 0..64u8 {
+            write_frame(&mut bytes, FrameKind::Progress, &[i; 200]).expect("write");
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got = 0u8;
+        for &b in &bytes {
+            asm.push(&[b]);
+            while let Some(f) = asm.next_frame(DEFAULT_MAX_FRAME_LEN).expect("no error") {
+                assert_eq!(f.payload, vec![got; 200]);
+                got += 1;
+            }
+        }
+        assert_eq!(got, 64);
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assembler_rejects_bad_magic_and_oversize() {
+        let mut asm = FrameAssembler::new();
+        asm.push(b"XXXX\x02\x00\x00\x00\x00\x00\x00");
+        assert!(matches!(
+            asm.next_frame(DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::BadMagic(_))
+        ));
+
+        let mut asm = FrameAssembler::new();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, FrameKind::Progress, &[0u8; 100]).expect("write");
+        asm.push(&bytes);
+        assert!(matches!(
+            asm.next_frame(10),
+            Err(WireError::FrameTooLarge { len: 100, max: 10 })
+        ));
+    }
+
+    #[test]
+    fn v2_header_still_decodes_and_version_is_reported() {
+        let mut bytes = Vec::new();
+        write_frame_versioned(&mut bytes, 2, FrameKind::StatsRequest, &[]).expect("write");
+        let frame = read_frame(&mut &bytes[..], DEFAULT_MAX_FRAME_LEN)
+            .expect("reads")
+            .expect("some");
+        assert_eq!(frame.version, 2);
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        let frame = asm
+            .next_frame(DEFAULT_MAX_FRAME_LEN)
+            .expect("ok")
+            .expect("some");
+        assert_eq!(frame.version, 2);
+
+        // Below MIN_VERSION is rejected.
+        let mut bytes = Vec::new();
+        write_frame_versioned(&mut bytes, 1, FrameKind::StatsRequest, &[]).expect("write");
+        assert!(matches!(
+            read_frame(&mut &bytes[..], DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::UnsupportedVersion(1))
+        ));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn design_bytes_round_trip_and_hash_are_stable() {
+        let req = tiny_request(JobKind::Global);
+        let bytes = encode_design_bytes(&req.netlist, &req.die, &req.placement);
+        let (nl, die, pl) = decode_design_bytes(&bytes).expect("decodes");
+        assert_eq!(nl.num_cells(), req.netlist.num_cells());
+        assert_eq!(die.outline().urx.to_bits(), req.die.outline().urx.to_bits());
+        for c in req.netlist.cell_ids() {
+            assert_eq!(pl.get(c).x.to_bits(), req.placement.get(c).x.to_bits());
+            assert_eq!(pl.get(c).y.to_bits(), req.placement.get(c).y.to_bits());
+        }
+        // The hash of the re-encoded decode is the hash of the original:
+        // the canonical encoding is a fixed point.
+        let h1 = design_hash(&req.netlist, &req.die, &req.placement);
+        let h2 = design_hash(&nl, &die, &pl);
+        assert_eq!(h1, h2);
+        assert_eq!(h1, fnv1a64(&bytes));
+        // Trailing garbage is rejected.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode_design_bytes(&longer).is_err());
+    }
+
+    #[test]
+    fn put_design_round_trip() {
+        let req = tiny_request(JobKind::Global);
+        let put = PutDesign {
+            id: 42,
+            tenant: "acme".into(),
+            bytes: encode_design_bytes(&req.netlist, &req.die, &req.placement),
+        };
+        let payload = encode_put_design(&put);
+        let back = decode_put_design(&payload).expect("decodes");
+        assert_eq!(back.id, 42);
+        assert_eq!(back.tenant, "acme");
+        assert_eq!(back.bytes, put.bytes);
+        assert!(decode_design_bytes(&back.bytes).is_ok());
+    }
+
+    #[test]
+    fn design_ack_and_need_design_round_trip() {
+        let ack = DesignAck {
+            id: 9,
+            hash: 0xdead_beef_cafe_f00d,
+            cached: true,
+            resident_bytes: 123_456,
+            evicted: 3,
+        };
+        let back = decode_design_ack(&encode_design_ack(&ack)).expect("decodes");
+        assert_eq!(back, ack);
+
+        let nd = NeedDesign {
+            id: 9,
+            hash: 0xdead_beef_cafe_f00d,
+        };
+        let back = decode_need_design(&encode_need_design(&nd)).expect("decodes");
+        assert_eq!(back, nd);
+
+        // Truncated payloads are typed errors, not panics.
+        assert!(decode_design_ack(&encode_design_ack(&ack)[..10]).is_err());
+        assert!(decode_need_design(&[0u8; 7]).is_err());
     }
 }

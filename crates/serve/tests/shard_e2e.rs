@@ -297,6 +297,90 @@ fn dead_shard_degrades_to_unmigrated_region_not_job_failure() {
 }
 
 #[test]
+fn killed_backend_fails_over_to_warm_spare_with_no_unmigrated_region() {
+    // The same two-pile workload as the degradation test, but the router
+    // has a warm spare: instead of leaving the dead backend's region
+    // unmigrated, the shard retries on the spare within the round and
+    // the final placement is bit-identical to an all-healthy run.
+    let die = dpm_place::Die::new(288.0, 144.0, 12.0);
+    let mut b = dpm_netlist::NetlistBuilder::new();
+    for i in 0..240 {
+        b.add_cell(format!("c{i}"), 6.0, 12.0, dpm_netlist::CellKind::Movable);
+    }
+    let nl = b.build().expect("valid");
+    let mut placement = dpm_place::Placement::new(nl.num_cells());
+    for (i, c) in nl.cell_ids().enumerate() {
+        let (base_x, j) = if i < 120 { (30.0, i) } else { (210.0, i - 120) };
+        placement.set(
+            c,
+            dpm_geom::Point::new(base_x + (j % 8) as f64 * 3.0, 40.0 + (j / 8) as f64 * 3.0),
+        );
+    }
+    let req = JobRequest {
+        id: 6,
+        deadline_ms: 0,
+        progress_stride: 0,
+        kind: JobKind::Local,
+        design: "failover".into(),
+        config: DiffusionConfig::default()
+            .with_bin_size(24.0)
+            .with_windows(1, 2),
+        netlist: nl.clone(),
+        die: die.clone(),
+        placement: placement.clone(),
+    };
+    let cfg = ShardRouterConfig {
+        shards: 2,
+        max_halo_rounds: 2,
+        ..ShardRouterConfig::default()
+    };
+
+    // Reference: both shards healthy, in-process.
+    let healthy = ShardRouter::in_process(cfg.clone()).route(&req);
+    for o in &healthy.outcomes {
+        assert!(o.error.is_none());
+    }
+
+    // Shard 1's assigned backend is dead; one healthy TCP spare.
+    let spare = Server::start("127.0.0.1:0", ServeConfig::default()).expect("spare starts");
+    let spare_addr = spare.local_addr();
+    let dead = dead_addr();
+    let router = ShardRouter::with_spares(
+        cfg,
+        vec![ShardBackend::InProcess, ShardBackend::Tcp(dead)],
+        vec![ShardBackend::Tcp(spare_addr)],
+    );
+    let reply = router.route(&req);
+    spare.shutdown();
+
+    // Every shard finished error-free: the spare absorbed the failure.
+    assert_eq!(reply.shards, 2);
+    for o in &reply.outcomes {
+        assert!(
+            o.error.is_none(),
+            "shard {} still failed despite the spare: {:?}",
+            o.shard,
+            o.error
+        );
+    }
+    // The replacement is reported, and sticks for later rounds (the
+    // spare is consumed exactly once, not once per round).
+    assert_eq!(reply.failovers.len(), 1, "{:?}", reply.failovers);
+    assert_eq!(reply.failovers[0].shard, 1);
+    assert_eq!(reply.failovers[0].from, ShardBackend::Tcp(dead));
+    assert_eq!(reply.failovers[0].to, ShardBackend::Tcp(spare_addr));
+    // No unmigrated region: the result is bit-identical to the healthy
+    // run (the wire is bit-exact, so which backend ran shard 1 cannot
+    // matter), and in particular shard 1's pile actually moved.
+    assert_eq!(
+        reply.response.positions, healthy.response.positions,
+        "failover run must be bit-identical to the all-healthy run"
+    );
+    assert!(reply.outcomes[1].steps > 0, "spare-run shard did no work");
+    assert!(healthy.failovers.is_empty());
+}
+
+#[test]
 fn router_reports_progress_frames_from_streamed_tcp_shards() {
     let bench = hot_bench(200, 53);
     let mut req = request(&bench, 5);

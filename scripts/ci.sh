@@ -92,6 +92,30 @@ grep -q '"p99_us"' "$smoke_out"
 grep -q '"head_of_line"' "$smoke_out"
 grep -Eq '"progress_frames": [1-9][0-9]*' "$smoke_out"
 
+echo "==> control-plane smoke test (perf_serve --smoke --tenants 2)"
+# Boots the dpm-ctl control plane in sharded mode over a backend
+# registry seeded with one dead primary and a warm spare, opens 1000
+# idle connections through the poll-based front-end, and replays two
+# tenants' ECO loops: one NeedDesign upload each, then delta-only
+# requests with a cold full resend mixed in. The binary asserts every
+# request was answered, exact cache-hit accounting, and that the dead
+# primary was permanently replaced; the greps pin the multi-tenant
+# telemetry — cache traffic, delta traffic, and per-tenant tail
+# latency — into the emitted JSON.
+ctl_out="$(mktemp_tracked)"
+cargo run --release --offline -p dpm-bench --bin perf_serve -- "$ctl_out" --smoke --tenants 2 >/dev/null
+grep -q '"bench": "perf_serve"' "$ctl_out"
+grep -q '"mode": "multi_tenant_smoke"' "$ctl_out"
+grep -q '"tenants": 2' "$ctl_out"
+grep -Eq '"idle_connections": 1000' "$ctl_out"
+grep -Eq '"cache_hits": [1-9][0-9]*' "$ctl_out"
+grep -Eq '"delta_requests": [1-9][0-9]*' "$ctl_out"
+grep -Eq '"need_design": [1-9][0-9]*' "$ctl_out"
+grep -Eq '"replacements": [1-9][0-9]*' "$ctl_out"
+grep -q '"tenant0": {"weight"' "$ctl_out"
+grep -q '"tenant1": {"weight"' "$ctl_out"
+grep -q '"p99_us"' "$ctl_out"
+
 echo "==> shard smoke test (perf_shard --smoke)"
 # Boots a 2-shard router over two TCP servers on ephemeral ports and
 # replays one streamed request. The binary asserts the maximum-principle

@@ -28,6 +28,10 @@
 //! - [`serve`] — migration-as-a-service: a framed TCP server with a
 //!   bounded queue, per-request deadlines, streaming progress frames
 //!   and JSONL request logs
+//! - [`ctl`] — multi-tenant control plane over [`serve`]: content-hash
+//!   design cache with ECO-delta streaming, poll-based connection
+//!   front-end, deficit-round-robin tenant fairness, health-checked
+//!   backend registry with warm spares
 //! - [`obs`] — std-only observability: atomic metrics registry,
 //!   fixed-bucket histograms with deterministic merge, bounded span
 //!   recorder
@@ -57,6 +61,7 @@
 
 pub use dpm_bookshelf as bookshelf;
 pub use dpm_congestion as congestion;
+pub use dpm_ctl as ctl;
 pub use dpm_diffusion as diffusion;
 pub use dpm_gen as gen;
 pub use dpm_geom as geom;
