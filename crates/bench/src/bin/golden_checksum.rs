@@ -9,10 +9,17 @@
 //! identical at any `DPM_THREADS` value; `scripts/ci.sh` runs this
 //! binary at 1, 2 and 4 threads and diffs the outputs.
 //!
-//! Usage: `cargo run --release --bin golden_checksum`
+//! With the `vol` argument it instead runs one volumetric (3-tier)
+//! migration on a generated stack with an overfull middle tier and
+//! hashes the planar position bits, the depth bits, and the final
+//! density field bits — the 3D leg of the same determinism matrix. The
+//! default (planar) output is byte-identical to what it was before the
+//! volumetric mode existed.
+//!
+//! Usage: `cargo run --release --bin golden_checksum [-- vol]`
 
-use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion};
-use dpm_gen::{CircuitSpec, InflationSpec};
+use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion, VolumetricDiffusion};
+use dpm_gen::{CircuitSpec, InflationSpec, VolCircuitSpec};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -24,9 +31,44 @@ fn absorb(hash: &mut u64, bytes: &[u8]) {
     }
 }
 
+/// The volumetric leg: a 3-tier stack with a hotspot in the middle
+/// tier, no macros (so the spectral stack solver also has a dense grid
+/// to run on under `DPM_SOLVER=spectral`). Hashes positions, depths,
+/// and the evolved density field bit-for-bit.
+fn vol_checksum(cfg: &DiffusionConfig) -> u64 {
+    let bench = VolCircuitSpec::with_size("golden3d", 3, 250, 31)
+        .with_hotspot(1)
+        .generate();
+    let mut vp = bench.placement.clone();
+    let result = VolumetricDiffusion::new(cfg.clone(), bench.layers()).run(
+        &bench.netlist,
+        &bench.die,
+        &mut vp,
+    );
+    let mut hash = FNV_OFFSET;
+    absorb(&mut hash, &(result.steps as u64).to_le_bytes());
+    absorb(&mut hash, &[u8::from(result.converged)]);
+    for p in vp.xy.as_slice() {
+        absorb(&mut hash, &p.x.to_bits().to_le_bytes());
+        absorb(&mut hash, &p.y.to_bits().to_le_bytes());
+    }
+    for z in &vp.z {
+        absorb(&mut hash, &z.to_bits().to_le_bytes());
+    }
+    for d in &result.field {
+        absorb(&mut hash, &d.to_bits().to_le_bytes());
+    }
+    hash
+}
+
 fn main() {
     let cfg = DiffusionConfig::default();
     eprintln!("golden_checksum: {} worker thread(s)", cfg.threads);
+
+    if std::env::args().nth(1).as_deref() == Some("vol") {
+        println!("{:016x}", vol_checksum(&cfg));
+        return;
+    }
 
     let mut hash = FNV_OFFSET;
     for (global, cells, seed) in [(true, 400usize, 11u64), (false, 600, 23)] {

@@ -4,7 +4,9 @@
 //! spectral-vs-FTCS race: the closed-form DCT solver against the stepped
 //! sweeps, both as a bare field jump and end-to-end through
 //! [`GlobalDiffusion`], with an explicit FLOP model for the field-update
-//! work of each solver.
+//! work of each solver. A separate `stencil3d` section times the
+//! volumetric 7-point FTCS sweep on a 192×192×8 tier stack at the same
+//! thread counts.
 //!
 //! Writes `BENCH_kernels.json` at the repository root (or the current
 //! directory when not run from the workspace). All workloads are
@@ -80,6 +82,23 @@ fn clustered_design(n: usize, num_cells: usize) -> (Netlist, Placement, Die) {
     (nl, p, die)
 }
 
+/// The planar bumpy field extruded into `nz` tiers with a per-tier
+/// amplitude ramp, so the z-leg of the 3D stencil sees real gradients
+/// instead of copying identical planes.
+fn bumpy_field_3d(n: usize, nz: usize) -> (Vec<f64>, Vec<bool>) {
+    let (plane, wall_plane) = bumpy_field(n);
+    let mut density = Vec::with_capacity(n * n * nz);
+    let mut wall = Vec::with_capacity(n * n * nz);
+    for t in 0..nz {
+        let gain = 1.0 + t as f64 * 0.125;
+        for (d, &w) in plane.iter().zip(&wall_plane) {
+            density.push(if w { 0.0 } else { d * gain });
+            wall.push(w);
+        }
+    }
+    (density, wall)
+}
+
 fn time_ftcs(n: usize, threads: usize, reps: u64) -> Sample {
     let (density, wall) = bumpy_field(n);
     let mut e = DiffusionEngine::from_raw(n, n, density, Some(wall));
@@ -145,6 +164,63 @@ fn time_advect(n: usize, num_cells: usize, threads: usize, steps: usize) -> Samp
         calls: advect.calls,
         ns_per_call: advect.total_ns() as f64 / advect.calls.max(1) as f64,
     }
+}
+
+fn time_stencil3d(n: usize, nz: usize, threads: usize, reps: u64) -> Sample {
+    let (density, wall) = bumpy_field_3d(n, nz);
+    let mut e = DiffusionEngine::from_raw_3d(n, n, nz, density, Some(wall));
+    e.set_threads(threads);
+    // dt·3 ≤ 1 keeps the 7-point stencil stable.
+    e.step_density(0.1); // warm-up
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        e.step_density(0.1);
+    }
+    Sample {
+        kernel: "stencil3d",
+        threads,
+        calls: reps,
+        ns_per_call: t0.elapsed().as_nanos() as f64 / reps as f64,
+    }
+}
+
+/// The `stencil3d` JSON section: the volumetric 7-point FTCS sweep on an
+/// `n`×`n`×`nz` stack at every thread count, with the 4-thread speedup.
+fn stencil3d_json(n: usize, nz: usize, reps: u64) -> String {
+    let mut samples = Vec::new();
+    for &t in &THREAD_COUNTS {
+        eprintln!("  stack {n}x{n}x{nz}, {t} thread(s)...");
+        samples.push(time_stencil3d(n, nz, t, reps));
+    }
+    let ns_of = |threads: usize| {
+        samples
+            .iter()
+            .find(|s| s.threads == threads)
+            .map(|s| s.ns_per_call)
+            .unwrap_or(f64::NAN)
+    };
+    let mut body = String::new();
+    let _ = write!(
+        body,
+        "  \"stencil3d\": {{\n    \"nx\": {n},\n    \"ny\": {n},\n    \"nz\": {nz},\n    \"samples\": [\n"
+    );
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            body,
+            "      {{\"kernel\": \"stencil3d\", \"threads\": {}, \"calls\": {}, \"ns_per_call\": {:.1}}}{sep}",
+            s.threads, s.calls, s.ns_per_call
+        );
+    }
+    let speedup = ns_of(1) / ns_of(4);
+    let _ = write!(body, "    ],\n    \"speedup_4t_vs_1t\": ");
+    if speedup.is_finite() {
+        let _ = write!(body, "{speedup:.3}");
+    } else {
+        let _ = write!(body, "null");
+    }
+    let _ = write!(body, "\n  }}");
+    body
 }
 
 // ---------------------------------------------------------------------------
@@ -343,8 +419,11 @@ fn main() {
         grids_json.push(body);
     }
 
+    let (n3, nz3, reps3): (usize, usize, u64) = if smoke { (48, 4, 4) } else { (192, 8, 20) };
+    let stencil3d = stencil3d_json(n3, nz3, reps3);
+
     let json = format!(
-        "{{\n  \"bench\": \"perf_kernels\",\n  \"hardware_threads\": {cores},\n  \"thread_counts\": [1, 2, 4, 8],\n  \"note\": \"Deterministic workloads; parallel results are bit-identical to serial. Speedups above 1.0 require more than one hardware thread.\",\n  \"grids\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"perf_kernels\",\n  \"hardware_threads\": {cores},\n  \"thread_counts\": [1, 2, 4, 8],\n  \"note\": \"Deterministic workloads; parallel results are bit-identical to serial. Speedups above 1.0 require more than one hardware thread.\",\n  \"grids\": [\n{}\n  ],\n{stencil3d}\n}}\n",
         grids_json.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");

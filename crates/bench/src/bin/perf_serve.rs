@@ -149,6 +149,7 @@ fn build_requests(spec: &LoadSpec) -> Vec<JobRequest> {
                 netlist: b.netlist,
                 die: b.die,
                 placement: b.placement,
+                vol: None,
             }
         })
         .collect()
@@ -306,6 +307,7 @@ fn tenant_loop(
                 netlist: eco.netlist,
                 die: eco.die,
                 placement: eco.placement,
+                vol: None,
             };
             client
                 .send_request(&req, PayloadEncoding::Binary)

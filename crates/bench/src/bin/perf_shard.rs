@@ -81,6 +81,7 @@ fn request(bench: &Benchmark, id: u64) -> JobRequest {
         netlist: bench.netlist.clone(),
         die: bench.die.clone(),
         placement: bench.placement.clone(),
+        vol: None,
     }
 }
 

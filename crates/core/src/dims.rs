@@ -1,0 +1,152 @@
+//! Grid dimensionality for the diffusion engine.
+//!
+//! The engine's kernels are written per-axis; [`Dims`] is the enum they
+//! dispatch on. A [`Dims::D2`] grid is the classic planar bin grid; a
+//! [`Dims::D3`] grid stacks `nz` tiers of identical `nx × ny` planes
+//! (3D-IC volumetric placement). Bins are stored plane-major:
+//! `flat(j, k, z) = (z·ny + k)·nx + j`, so a `D2` grid's layout is exactly
+//! the historical row-major layout.
+
+/// The shape of a diffusion bin grid: planar (`D2`) or volumetric (`D3`).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_diffusion::Dims;
+///
+/// let d2 = Dims::d2(4, 3);
+/// assert_eq!((d2.ndim(), d2.len(), d2.nz()), (2, 12, 1));
+/// let d3 = Dims::d3(4, 3, 2);
+/// assert_eq!((d3.ndim(), d3.len()), (3, 24));
+/// assert_eq!(d3.flat(1, 2, 1), (1 * 3 + 2) * 4 + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dims {
+    /// A planar `nx × ny` grid.
+    D2 {
+        /// Grid width in bins.
+        nx: usize,
+        /// Grid height in bins.
+        ny: usize,
+    },
+    /// A volumetric `nx × ny × nz` grid (`nz` tiers).
+    D3 {
+        /// Grid width in bins.
+        nx: usize,
+        /// Grid height in bins.
+        ny: usize,
+        /// Number of tiers (z-layers).
+        nz: usize,
+    },
+}
+
+impl Dims {
+    /// A planar grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is zero.
+    pub fn d2(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must be non-empty");
+        Dims::D2 { nx, ny }
+    }
+
+    /// A volumetric grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any side is zero.
+    pub fn d3(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid must be non-empty");
+        Dims::D3 { nx, ny, nz }
+    }
+
+    /// Number of spatial axes (2 or 3).
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        match self {
+            Dims::D2 { .. } => 2,
+            Dims::D3 { .. } => 3,
+        }
+    }
+
+    /// Grid width in bins.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        match *self {
+            Dims::D2 { nx, .. } | Dims::D3 { nx, .. } => nx,
+        }
+    }
+
+    /// Grid height in bins.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        match *self {
+            Dims::D2 { ny, .. } | Dims::D3 { ny, .. } => ny,
+        }
+    }
+
+    /// Number of tiers (1 for a planar grid).
+    #[inline]
+    pub fn nz(&self) -> usize {
+        match *self {
+            Dims::D2 { .. } => 1,
+            Dims::D3 { nz, .. } => nz,
+        }
+    }
+
+    /// Total number of bins.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx() * self.ny() * self.nz()
+    }
+
+    /// `true` if the grid holds no bins (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of x-major lines (`ny · nz`) — the unit the parallel kernels
+    /// chunk over.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.ny() * self.nz()
+    }
+
+    /// Flat index of bin `(j, k, z)` in plane-major order.
+    #[inline]
+    pub fn flat(&self, j: usize, k: usize, z: usize) -> usize {
+        debug_assert!(j < self.nx() && k < self.ny() && z < self.nz());
+        (z * self.ny() + k) * self.nx() + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d2_layout_matches_row_major() {
+        let d = Dims::d2(5, 3);
+        assert_eq!(d.flat(2, 1, 0), 5 + 2);
+        assert_eq!(d.lines(), 3);
+        assert_eq!(d.len(), 15);
+        assert_eq!(d.nz(), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn d3_layout_is_plane_major() {
+        let d = Dims::d3(4, 3, 2);
+        assert_eq!(d.flat(0, 0, 1), 12);
+        assert_eq!(d.flat(3, 2, 1), 23);
+        assert_eq!(d.lines(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_axis_rejected() {
+        let _ = Dims::d3(4, 0, 2);
+    }
+}

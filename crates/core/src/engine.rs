@@ -1,10 +1,12 @@
-//! The discrete diffusion engine: FTCS density evolution and per-bin
-//! velocities over a wall-aware bin grid.
+//! The discrete diffusion engine: FTCS density evolution and per-axis
+//! velocities over a wall-aware bin grid, planar ([`Dims::D2`]) or
+//! volumetric ([`Dims::D3`]).
 
+use crate::dims::Dims;
 use crate::telemetry::KernelTimers;
 use crate::velocity::interpolate_velocity;
-use dpm_geom::{Point, Vector};
-use dpm_par::{parallel_for_chunks, parallel_for_chunks2, ThreadPool};
+use dpm_geom::{Point, Point3, Vector, Vector3};
+use dpm_par::{parallel_for_chunks, parallel_for_chunks2, parallel_for_chunks3, ThreadPool};
 use dpm_place::DensityMap;
 use std::time::Instant;
 
@@ -12,14 +14,14 @@ use std::time::Instant;
 /// (guards the division in Eq. 5).
 const DENSITY_FLOOR: f64 = 1e-9;
 
-/// Rows per parallel work chunk for the FTCS and velocity kernels.
+/// X-major lines per parallel work chunk for the FTCS and velocity kernels.
 ///
 /// Fixed (never derived from the thread count) so the work decomposition
 /// — and therefore every floating-point result — is identical no matter
 /// how many workers execute it.
 const ROW_CHUNK: usize = 16;
 
-/// Discrete diffusion simulator over an `nx × ny` bin grid.
+/// Discrete diffusion simulator over a [`Dims`] bin grid.
 ///
 /// The engine holds the evolving density field `d(n)`, a *wall* mask
 /// (bins covered by fixed macros or outside the image — density never
@@ -28,7 +30,11 @@ const ROW_CHUNK: usize = 16;
 /// walls for the duration of a round, per Algorithm 2).
 ///
 /// Coordinates are bin coordinates: bin `(j, k)` spans
-/// `[j, j+1) × [k, k+1)` with its center at `(j+0.5, k+0.5)`.
+/// `[j, j+1) × [k, k+1)` with its center at `(j+0.5, k+0.5)`; on a
+/// volumetric grid tier `z` spans `[z, z+1)` the same way. The kernels
+/// are written per axis, so a [`Dims::D3`] grid simply diffuses along
+/// three axes; on a [`Dims::D2`] grid the z axis does not exist and the
+/// arithmetic is bit-identical to the historical planar engine.
 ///
 /// # Examples
 ///
@@ -58,25 +64,23 @@ const ROW_CHUNK: usize = 16;
 /// ```
 #[derive(Debug, Clone)]
 pub struct DiffusionEngine {
-    nx: usize,
-    ny: usize,
+    dims: Dims,
     density: Vec<f64>,
     next: Vec<f64>,
     wall: Vec<bool>,
     frozen: Vec<bool>,
-    vx: Vec<f64>,
-    vy: Vec<f64>,
+    /// Per-axis velocity buffers; `vel[2]` is empty on a planar grid.
+    vel: [Vec<f64>; 3],
     conservative: bool,
     pool: ThreadPool,
     timers: KernelTimers,
 }
 
 /// Immutable view of the density field and masks, shared by the serial
-/// and parallel FTCS paths so their arithmetic cannot diverge.
+/// and parallel kernel paths so their arithmetic cannot diverge.
 #[derive(Clone, Copy)]
 struct FieldView<'a> {
-    nx: usize,
-    ny: usize,
+    dims: Dims,
     density: &'a [f64],
     wall: &'a [bool],
     frozen: &'a [bool],
@@ -84,20 +88,18 @@ struct FieldView<'a> {
 }
 
 impl FieldView<'_> {
+    /// Flat index of the neighbor of bin `idx = [j, k, z]` one step in
+    /// direction `dir` along `axis`, if it exists and is live.
     #[inline]
-    fn at(&self, j: usize, k: usize) -> usize {
-        k * self.nx + j
-    }
-
-    /// Flat index of the neighbor if it exists and is live.
-    #[inline]
-    fn live_neighbor(&self, j: usize, k: usize, dj: isize, dk: isize) -> Option<usize> {
-        let nj = j as isize + dj;
-        let nk = k as isize + dk;
-        if nj < 0 || nk < 0 || nj >= self.nx as isize || nk >= self.ny as isize {
+    fn live_neighbor(&self, idx: [usize; 3], axis: usize, dir: isize) -> Option<usize> {
+        let n = [self.dims.nx(), self.dims.ny(), self.dims.nz()];
+        let c = idx[axis] as isize + dir;
+        if c < 0 || c >= n[axis] as isize {
             return None;
         }
-        let i = self.at(nj as usize, nk as usize);
+        let mut q = idx;
+        q[axis] = c as usize;
+        let i = self.dims.flat(q[0], q[1], q[2]);
         if self.wall[i] || self.frozen[i] {
             None
         } else {
@@ -105,17 +107,17 @@ impl FieldView<'_> {
         }
     }
 
-    /// Density of the neighbor of `(j, k)` in direction `(dj, dk)`, with
-    /// the paper's mirror boundary rule: if the neighbor is outside the
-    /// grid, a wall, or frozen, the *opposite* neighbor's density is used
-    /// (and the bin's own density if that is unavailable too), which
+    /// Density of the neighbor of `idx` along `axis` in direction `dir`,
+    /// with the paper's mirror boundary rule: if the neighbor is outside
+    /// the grid, a wall, or frozen, the *opposite* neighbor's density is
+    /// used (and the bin's own density if that is unavailable too), which
     /// makes the normal gradient zero.
-    fn neighbor_density(&self, j: usize, k: usize, dj: isize, dk: isize) -> f64 {
-        match self.live_neighbor(j, k, dj, dk) {
+    fn neighbor_density(&self, idx: [usize; 3], axis: usize, dir: isize) -> f64 {
+        match self.live_neighbor(idx, axis, dir) {
             Some(i) => self.density[i],
-            None => match self.live_neighbor(j, k, -dj, -dk) {
+            None => match self.live_neighbor(idx, axis, -dir) {
                 Some(i) => self.density[i],
-                None => self.density[self.at(j, k)],
+                None => self.density[self.dims.flat(idx[0], idx[1], idx[2])],
             },
         }
     }
@@ -124,62 +126,75 @@ impl FieldView<'_> {
     /// conservative ghost (`d_ghost = d_center`) when enabled. Used only
     /// by the density step; velocities always use the mirror rule so the
     /// component normal to a boundary is exactly zero.
-    fn neighbor_density_for_step(&self, j: usize, k: usize, dj: isize, dk: isize) -> f64 {
+    fn neighbor_density_for_step(&self, idx: [usize; 3], axis: usize, dir: isize) -> f64 {
         if self.conservative {
-            match self.live_neighbor(j, k, dj, dk) {
+            match self.live_neighbor(idx, axis, dir) {
                 Some(i) => self.density[i],
-                None => self.density[self.at(j, k)],
+                None => self.density[self.dims.flat(idx[0], idx[1], idx[2])],
             }
         } else {
-            self.neighbor_density(j, k, dj, dk)
+            self.neighbor_density(idx, axis, dir)
         }
     }
 
-    /// Velocity field (Eq. 5) of rows `k0..k1`, written into `vx`/`vy`
-    /// (which cover exactly those rows).
-    fn velocity_rows(&self, k0: usize, k1: usize, vx: &mut [f64], vy: &mut [f64]) {
-        for k in k0..k1 {
-            for j in 0..self.nx {
-                let i = self.at(j, k);
-                let o = (k - k0) * self.nx + j;
+    /// Velocity field (Eq. 5) of x-major lines `l0..l1`, written into the
+    /// per-axis slices of `out` (which cover exactly those lines).
+    /// `out.len()` is the grid's `ndim`.
+    fn velocity_lines(&self, l0: usize, l1: usize, out: &mut [&mut [f64]]) {
+        let nx = self.dims.nx();
+        let ny = self.dims.ny();
+        for l in l0..l1 {
+            let (k, z) = (l % ny, l / ny);
+            for j in 0..nx {
+                let i = l * nx + j;
+                let o = (l - l0) * nx + j;
                 if self.wall[i] || self.frozen[i] {
-                    vx[o] = 0.0;
-                    vy[o] = 0.0;
+                    for v in out.iter_mut() {
+                        v[o] = 0.0;
+                    }
                     continue;
                 }
                 let d = self.density[i];
                 if d <= DENSITY_FLOOR {
-                    vx[o] = 0.0;
-                    vy[o] = 0.0;
+                    for v in out.iter_mut() {
+                        v[o] = 0.0;
+                    }
                     continue;
                 }
-                let de = self.neighbor_density(j, k, 1, 0);
-                let dw = self.neighbor_density(j, k, -1, 0);
-                let dn = self.neighbor_density(j, k, 0, 1);
-                let ds = self.neighbor_density(j, k, 0, -1);
-                vx[o] = -(de - dw) / (2.0 * d);
-                vy[o] = -(dn - ds) / (2.0 * d);
+                let idx = [j, k, z];
+                for (axis, v) in out.iter_mut().enumerate() {
+                    let dp = self.neighbor_density(idx, axis, 1);
+                    let dm = self.neighbor_density(idx, axis, -1);
+                    v[o] = -(dp - dm) / (2.0 * d);
+                }
             }
         }
     }
 
-    /// FTCS update of rows `k0..k1`, written into `out` (which covers
-    /// exactly those rows).
-    fn ftcs_rows(&self, k0: usize, k1: usize, half: f64, out: &mut [f64]) {
-        for k in k0..k1 {
-            for j in 0..self.nx {
-                let i = self.at(j, k);
-                let o = (k - k0) * self.nx + j;
+    /// FTCS update of x-major lines `l0..l1`, written into `out` (which
+    /// covers exactly those lines).
+    fn ftcs_lines(&self, l0: usize, l1: usize, half: f64, out: &mut [f64]) {
+        let nx = self.dims.nx();
+        let ny = self.dims.ny();
+        let ndim = self.dims.ndim();
+        for l in l0..l1 {
+            let (k, z) = (l % ny, l / ny);
+            for j in 0..nx {
+                let i = l * nx + j;
+                let o = (l - l0) * nx + j;
                 if self.wall[i] || self.frozen[i] {
                     out[o] = self.density[i];
                     continue;
                 }
                 let d = self.density[i];
-                let de = self.neighbor_density_for_step(j, k, 1, 0);
-                let dw = self.neighbor_density_for_step(j, k, -1, 0);
-                let dn = self.neighbor_density_for_step(j, k, 0, 1);
-                let ds = self.neighbor_density_for_step(j, k, 0, -1);
-                out[o] = d + half * (de + dw - 2.0 * d) + half * (dn + ds - 2.0 * d);
+                let idx = [j, k, z];
+                let mut acc = d;
+                for axis in 0..ndim {
+                    let dp = self.neighbor_density_for_step(idx, axis, 1);
+                    let dm = self.neighbor_density_for_step(idx, axis, -1);
+                    acc += half * (dp + dm - 2.0 * d);
+                }
+                out[o] = acc;
             }
         }
     }
@@ -197,28 +212,57 @@ impl DiffusionEngine {
         )
     }
 
-    /// Creates an engine from raw row-major density values and an optional
-    /// wall mask.
+    /// Creates a planar engine from raw row-major density values and an
+    /// optional wall mask.
     ///
     /// # Panics
     ///
     /// Panics if the buffer lengths do not match `nx * ny` or the grid is
     /// empty.
     pub fn from_raw(nx: usize, ny: usize, density: Vec<f64>, wall: Option<Vec<bool>>) -> Self {
-        assert!(nx > 0 && ny > 0, "grid must be non-empty");
-        assert_eq!(density.len(), nx * ny, "density buffer length mismatch");
-        let wall = wall.unwrap_or_else(|| vec![false; nx * ny]);
-        assert_eq!(wall.len(), nx * ny, "wall buffer length mismatch");
-        let n = nx * ny;
+        Self::from_raw_dims(Dims::d2(nx, ny), density, wall)
+    }
+
+    /// Creates a volumetric engine from raw plane-major density values
+    /// (layout `(z·ny + k)·nx + j`) and an optional wall mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match `nx * ny * nz` or the
+    /// grid is empty.
+    pub fn from_raw_3d(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        density: Vec<f64>,
+        wall: Option<Vec<bool>>,
+    ) -> Self {
+        Self::from_raw_dims(Dims::d3(nx, ny, nz), density, wall)
+    }
+
+    /// Creates an engine of the given [`Dims`] from raw density values and
+    /// an optional wall mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match `dims.len()`.
+    pub fn from_raw_dims(dims: Dims, density: Vec<f64>, wall: Option<Vec<bool>>) -> Self {
+        let n = dims.len();
+        assert_eq!(density.len(), n, "density buffer length mismatch");
+        let wall = wall.unwrap_or_else(|| vec![false; n]);
+        assert_eq!(wall.len(), n, "wall buffer length mismatch");
+        let vz = if dims.ndim() == 3 {
+            vec![0.0; n]
+        } else {
+            Vec::new()
+        };
         Self {
-            nx,
-            ny,
+            dims,
             next: density.clone(),
             density,
             wall,
             frozen: vec![false; n],
-            vx: vec![0.0; n],
-            vy: vec![0.0; n],
+            vel: [vec![0.0; n], vec![0.0; n], vz],
             conservative: true,
             pool: ThreadPool::single(),
             timers: KernelTimers::default(),
@@ -238,15 +282,16 @@ impl DiffusionEngine {
     /// Panics if the map's grid dimensions do not match the engine's.
     pub fn reload_from_density_map(&mut self, map: &DensityMap) {
         assert_eq!(
-            (map.grid().nx(), map.grid().ny()),
-            (self.nx, self.ny),
+            Dims::d2(map.grid().nx(), map.grid().ny()),
+            self.dims,
             "density map grid does not match engine grid"
         );
         self.density.copy_from_slice(map.densities());
         self.wall.copy_from_slice(map.fixed_mask());
         self.frozen.iter_mut().for_each(|f| *f = false);
-        self.vx.iter_mut().for_each(|v| *v = 0.0);
-        self.vy.iter_mut().for_each(|v| *v = 0.0);
+        for axis in &mut self.vel {
+            axis.iter_mut().for_each(|v| *v = 0.0);
+        }
     }
 
     /// Switches between a conservative boundary rule (the default) and
@@ -271,28 +316,52 @@ impl DiffusionEngine {
         self.conservative = conservative;
     }
 
+    /// The grid shape.
+    #[inline]
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// Number of spatial axes (2 or 3).
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.dims.ndim()
+    }
+
     /// Grid width in bins.
     #[inline]
     pub fn nx(&self) -> usize {
-        self.nx
+        self.dims.nx()
     }
 
     /// Grid height in bins.
     #[inline]
     pub fn ny(&self) -> usize {
-        self.ny
+        self.dims.ny()
+    }
+
+    /// Number of tiers (1 for a planar grid).
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.dims.nz()
     }
 
     #[inline]
     fn at(&self, j: usize, k: usize) -> usize {
-        debug_assert!(j < self.nx && k < self.ny);
-        k * self.nx + j
+        debug_assert!(j < self.nx() && k < self.ny());
+        k * self.nx() + j
     }
 
-    /// Density of bin `(j, k)`.
+    /// Density of bin `(j, k)` (tier 0 on a volumetric grid).
     #[inline]
     pub fn density(&self, j: usize, k: usize) -> f64 {
         self.density[self.at(j, k)]
+    }
+
+    /// Density of bin `(j, k, z)`.
+    #[inline]
+    pub fn density3(&self, j: usize, k: usize, z: usize) -> f64 {
+        self.density[self.dims.flat(j, k, z)]
     }
 
     /// Overwrites the density of bin `(j, k)` (used by tests and by the
@@ -303,7 +372,7 @@ impl DiffusionEngine {
         self.density[i] = d;
     }
 
-    /// Raw row-major density buffer.
+    /// Raw plane-major density buffer.
     #[inline]
     pub fn densities(&self) -> &[f64] {
         &self.density
@@ -329,13 +398,19 @@ impl DiffusionEngine {
         self.wall[self.at(j, k)]
     }
 
-    /// Row-major wall mask.
+    /// `true` if bin `(j, k, z)` is a wall.
+    #[inline]
+    pub fn is_wall3(&self, j: usize, k: usize, z: usize) -> bool {
+        self.wall[self.dims.flat(j, k, z)]
+    }
+
+    /// Plane-major wall mask.
     #[inline]
     pub fn wall_mask(&self) -> &[bool] {
         &self.wall
     }
 
-    /// Row-major frozen mask.
+    /// Plane-major frozen mask.
     #[inline]
     pub fn frozen_mask(&self) -> &[bool] {
         &self.frozen
@@ -423,8 +498,8 @@ impl DiffusionEngine {
     /// Number of worker threads the kernels may use (1 = serial).
     ///
     /// The FTCS update and the velocity field are embarrassingly parallel
-    /// over bin rows, cell advection over cell chunks; on large grids
-    /// (hundreds of bins per side) extra threads cut the kernel time
+    /// over x-major bin lines, cell advection over cell chunks; on large
+    /// grids (hundreds of bins per side) extra threads cut the kernel time
     /// roughly linearly on multicore hardware. Work is decomposed into
     /// fixed chunks independent of the thread count, so results are
     /// bit-identical to the serial path.
@@ -460,34 +535,38 @@ impl DiffusionEngine {
 
     /// Advances the density field by one FTCS step (Eq. 4):
     ///
-    /// `d(n+1) = d(n) + Δt/2·(d_E + d_W − 2d) + Δt/2·(d_N + d_S − 2d)`
+    /// `d(n+1) = d(n) + Σ_axis Δt/2·(d_+ + d_− − 2d)`
     ///
     /// with mirror substitution at chip/macro boundaries (Section V-B).
-    /// Wall and frozen bins do not update.
+    /// Wall and frozen bins do not update. On a planar grid the sum runs
+    /// over x and y — exactly the paper's Eq. 4; a volumetric grid adds
+    /// the tier axis.
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `dt` is outside the stability region
-    /// `(0, 0.5]`.
+    /// `(0, 1/ndim]`.
     pub fn step_density(&mut self, dt: f64) {
-        debug_assert!(dt > 0.0 && dt <= 0.5, "dt outside FTCS stability region");
+        debug_assert!(
+            dt > 0.0 && dt * self.dims.ndim() as f64 <= 1.0,
+            "dt outside FTCS stability region"
+        );
         let half = dt / 2.0;
         let start = Instant::now();
         let view = FieldView {
-            nx: self.nx,
-            ny: self.ny,
+            dims: self.dims,
             density: &self.density,
             wall: &self.wall,
             frozen: &self.frozen,
             conservative: self.conservative,
         };
-        let nx = self.nx;
+        let nx = self.dims.nx();
         parallel_for_chunks(
             &self.pool,
             &mut self.next,
             ROW_CHUNK * nx,
             |_, range, out| {
-                view.ftcs_rows(range.start / nx, range.end / nx, half, out);
+                view.ftcs_lines(range.start / nx, range.end / nx, half, out);
             },
         );
         self.timers
@@ -497,9 +576,9 @@ impl DiffusionEngine {
     }
 
     /// Recomputes the per-bin velocity field from the current density
-    /// (Eq. 5):
+    /// (Eq. 5), one component per axis:
     ///
-    /// `v_H = −(d_E − d_W) / (2d)` and `v_V = −(d_N − d_S) / (2d)`.
+    /// `v_axis = −(d_+ − d_−) / (2d)`
     ///
     /// Mirror substitution makes the component normal to a chip or macro
     /// boundary zero, as the paper requires; wall and frozen bins have
@@ -508,34 +587,57 @@ impl DiffusionEngine {
     pub fn compute_velocities(&mut self) {
         let start = Instant::now();
         let view = FieldView {
-            nx: self.nx,
-            ny: self.ny,
+            dims: self.dims,
             density: &self.density,
             wall: &self.wall,
             frozen: &self.frozen,
             conservative: self.conservative,
         };
-        let nx = self.nx;
-        parallel_for_chunks2(
-            &self.pool,
-            &mut self.vx,
-            &mut self.vy,
-            ROW_CHUNK * nx,
-            |_, range, vx, vy| {
-                view.velocity_rows(range.start / nx, range.end / nx, vx, vy);
-            },
-        );
+        let nx = self.dims.nx();
+        let [vx, vy, vz] = &mut self.vel;
+        match self.dims {
+            Dims::D2 { .. } => {
+                parallel_for_chunks2(&self.pool, vx, vy, ROW_CHUNK * nx, |_, range, cx, cy| {
+                    view.velocity_lines(range.start / nx, range.end / nx, &mut [cx, cy]);
+                });
+            }
+            Dims::D3 { .. } => {
+                parallel_for_chunks3(
+                    &self.pool,
+                    vx,
+                    vy,
+                    vz,
+                    ROW_CHUNK * nx,
+                    |_, range, cx, cy, cz| {
+                        view.velocity_lines(range.start / nx, range.end / nx, &mut [cx, cy, cz]);
+                    },
+                );
+            }
+        }
         self.timers
             .velocity
             .record(start.elapsed(), self.pool.threads());
     }
 
-    /// The velocity assigned to bin `(j, k)` by the latest
+    /// The velocity assigned to bin `(j, k)` (tier 0 on a volumetric
+    /// grid) by the latest
     /// [`compute_velocities`](Self::compute_velocities) call.
     #[inline]
     pub fn bin_velocity(&self, j: usize, k: usize) -> Vector {
         let i = self.at(j, k);
-        Vector::new(self.vx[i], self.vy[i])
+        Vector::new(self.vel[0][i], self.vel[1][i])
+    }
+
+    /// The per-axis velocity of bin `(j, k, z)` on a volumetric grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is planar (there is no z component).
+    #[inline]
+    pub fn bin_velocity3(&self, j: usize, k: usize, z: usize) -> Vector3 {
+        assert_eq!(self.dims.ndim(), 3, "bin_velocity3 needs a D3 engine");
+        let i = self.dims.flat(j, k, z);
+        Vector3::new(self.vel[0][i], self.vel[1][i], self.vel[2][i])
     }
 
     /// Overrides a bin's velocity (test hook for the paper's worked
@@ -543,15 +645,30 @@ impl DiffusionEngine {
     #[inline]
     pub fn set_bin_velocity(&mut self, j: usize, k: usize, v: Vector) {
         let i = self.at(j, k);
-        self.vx[i] = v.x;
-        self.vy[i] = v.y;
+        self.vel[0][i] = v.x;
+        self.vel[1][i] = v.y;
+    }
+
+    /// Overrides a volumetric bin's velocity (test hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is planar.
+    #[inline]
+    pub fn set_bin_velocity3(&mut self, j: usize, k: usize, z: usize, v: Vector3) {
+        assert_eq!(self.dims.ndim(), 3, "set_bin_velocity3 needs a D3 engine");
+        let i = self.dims.flat(j, k, z);
+        self.vel[0][i] = v.x;
+        self.vel[1][i] = v.y;
+        self.vel[2][i] = v.z;
     }
 
     /// The velocity at an arbitrary point in bin coordinates, bilinearly
     /// interpolated between the four nearest bin centers (Eq. 6).
     ///
     /// Points within half a bin of the grid edge clamp to the edge bin's
-    /// velocity (velocity is replicated outward).
+    /// velocity (velocity is replicated outward). On a volumetric grid
+    /// this samples tier 0; use [`velocity_at3`](Self::velocity_at3).
     pub fn velocity_at(&self, p: Point) -> Vector {
         let xs = p.x + 0.5;
         let ys = p.y + 0.5;
@@ -560,13 +677,50 @@ impl DiffusionEngine {
         // p,q = lower-left of the four nearest centers; may be -1 at edges.
         let pj = xs.floor() as isize - 1;
         let qk = ys.floor() as isize - 1;
-        let clamp_j = |v: isize| v.clamp(0, self.nx as isize - 1) as usize;
-        let clamp_k = |v: isize| v.clamp(0, self.ny as isize - 1) as usize;
+        let clamp_j = |v: isize| v.clamp(0, self.nx() as isize - 1) as usize;
+        let clamp_k = |v: isize| v.clamp(0, self.ny() as isize - 1) as usize;
         let v00 = self.bin_velocity(clamp_j(pj), clamp_k(qk));
         let v10 = self.bin_velocity(clamp_j(pj + 1), clamp_k(qk));
         let v01 = self.bin_velocity(clamp_j(pj), clamp_k(qk + 1));
         let v11 = self.bin_velocity(clamp_j(pj + 1), clamp_k(qk + 1));
         interpolate_velocity(v00, v10, v01, v11, alpha, beta)
+    }
+
+    /// The velocity at an arbitrary point of a volumetric grid,
+    /// trilinearly interpolated between the eight nearest bin centers
+    /// (Eq. 6 extended with a tier axis).
+    ///
+    /// Points within half a bin of any grid face clamp to the face bin's
+    /// velocity, mirroring [`velocity_at`](Self::velocity_at).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is planar.
+    pub fn velocity_at3(&self, p: Point3) -> Vector3 {
+        assert_eq!(self.dims.ndim(), 3, "velocity_at3 needs a D3 engine");
+        let xs = p.x + 0.5;
+        let ys = p.y + 0.5;
+        let zs = p.z + 0.5;
+        let alpha = xs - xs.floor();
+        let beta = ys - ys.floor();
+        let gamma = zs - zs.floor();
+        let pj = xs.floor() as isize - 1;
+        let qk = ys.floor() as isize - 1;
+        let rz = zs.floor() as isize - 1;
+        let cj = |v: isize| v.clamp(0, self.nx() as isize - 1) as usize;
+        let ck = |v: isize| v.clamp(0, self.ny() as isize - 1) as usize;
+        let cz = |v: isize| v.clamp(0, self.nz() as isize - 1) as usize;
+        let corner = |dj: isize, dk: isize, dz: isize| {
+            self.bin_velocity3(cj(pj + dj), ck(qk + dk), cz(rz + dz))
+        };
+        let lerp = |a: Vector3, b: Vector3, t: f64| a + (b - a) * t;
+        let c00 = lerp(corner(0, 0, 0), corner(1, 0, 0), alpha);
+        let c10 = lerp(corner(0, 1, 0), corner(1, 1, 0), alpha);
+        let c01 = lerp(corner(0, 0, 1), corner(1, 0, 1), alpha);
+        let c11 = lerp(corner(0, 1, 1), corner(1, 1, 1), alpha);
+        let c0 = lerp(c00, c10, beta);
+        let c1 = lerp(c01, c11, beta);
+        lerp(c0, c1, gamma)
     }
 }
 
@@ -964,5 +1118,162 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn bad_density_buffer_rejected() {
         let _ = DiffusionEngine::from_raw(2, 2, vec![0.0; 3], None);
+    }
+
+    // ---- volumetric (D3) coverage ----
+
+    fn at3(nx: usize, ny: usize, j: usize, k: usize, z: usize) -> usize {
+        (z * ny + k) * nx + j
+    }
+
+    #[test]
+    fn single_tier_volume_matches_planar_engine() {
+        // A D3 grid with nz = 1 must produce the exact planar floats: the
+        // z axis contributes a zero-gradient term that the per-axis loop
+        // adds as `half * (d + d - 2d)`, which is exactly +0.0 on every
+        // finite density, and `x + 0.0` only differs from `x` at
+        // `x = -0.0` — densities here are positive.
+        let d: Vec<f64> = (0..64 * 64)
+            .map(|i| 0.25 + ((i * 2654435761usize) % 997) as f64 / 997.0)
+            .collect();
+        let mut planar = DiffusionEngine::from_raw(64, 64, d.clone(), None);
+        let mut volume = DiffusionEngine::from_raw_3d(64, 64, 1, d, None);
+        for _ in 0..10 {
+            planar.step_density(0.2);
+            volume.step_density(0.2);
+        }
+        assert_eq!(planar.densities(), volume.densities());
+        planar.compute_velocities();
+        volume.compute_velocities();
+        for k in 0..64 {
+            for j in 0..64 {
+                let v2 = planar.bin_velocity(j, k);
+                let v3 = volume.bin_velocity3(j, k, 0);
+                assert_eq!((v2.x, v2.y, 0.0), (v3.x, v3.y, v3.z), "bin ({j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn volumetric_spike_diffuses_along_z() {
+        let (nx, ny, nz) = (3, 3, 4);
+        let mut d = vec![0.0; nx * ny * nz];
+        d[at3(nx, ny, 1, 1, 0)] = 4.0; // spike on the bottom tier
+        let mut e = DiffusionEngine::from_raw_3d(nx, ny, nz, d, None);
+        e.step_density(0.2);
+        assert!(
+            e.density3(1, 1, 1) > 0.0,
+            "no mass moved to the next tier: {}",
+            e.density3(1, 1, 1)
+        );
+        for _ in 0..3000 {
+            e.step_density(0.2);
+        }
+        let avg = 4.0 / (nx * ny * nz) as f64;
+        for z in 0..nz {
+            for k in 0..ny {
+                for j in 0..nx {
+                    assert!(
+                        (e.density3(j, k, z) - avg).abs() < 1e-6,
+                        "bin ({j},{k},{z}) = {}",
+                        e.density3(j, k, z)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn volumetric_mass_is_conserved() {
+        let (nx, ny, nz) = (5, 4, 3);
+        let d: Vec<f64> = (0..nx * ny * nz)
+            .map(|i| ((i * 2654435761usize) % 97) as f64 / 97.0)
+            .collect();
+        let mut wall = vec![false; nx * ny * nz];
+        for z in 0..nz {
+            wall[at3(nx, ny, 2, 2, z)] = true; // through-stack macro column
+        }
+        let mut e = DiffusionEngine::from_raw_3d(nx, ny, nz, d, Some(wall));
+        let m0 = e.total_live_density();
+        for _ in 0..300 {
+            e.step_density(0.2);
+        }
+        let m1 = e.total_live_density();
+        assert!((m0 - m1).abs() < 1e-9, "mass drifted from {m0} to {m1}");
+    }
+
+    #[test]
+    fn volumetric_velocity_points_away_from_overfull_tier() {
+        let (nx, ny, nz) = (3, 3, 5);
+        let mut d = vec![0.5; nx * ny * nz];
+        d[at3(nx, ny, 1, 1, 2)] = 2.0; // hot middle tier
+        let mut e = DiffusionEngine::from_raw_3d(nx, ny, nz, d, None);
+        e.compute_velocities();
+        // Interior bin below the spike is pushed down (away), above up.
+        // (The outermost tiers get zero normal velocity from the mirror
+        // rule, exactly like the 2D chip edge.)
+        assert!(e.bin_velocity3(1, 1, 1).z < 0.0);
+        assert!(e.bin_velocity3(1, 1, 3).z > 0.0);
+        assert_eq!(e.bin_velocity3(1, 1, 0).z, 0.0);
+        // The spike itself has zero z-velocity (symmetric neighbors).
+        assert_eq!(e.bin_velocity3(1, 1, 2).z, 0.0);
+    }
+
+    #[test]
+    fn volumetric_parallel_step_is_bit_identical_to_serial() {
+        let build = |threads: usize| {
+            let (nx, ny, nz) = (32, 24, 5);
+            let d: Vec<f64> = (0..nx * ny * nz)
+                .map(|i| 0.25 + ((i * 2654435761usize) % 997) as f64 / 997.0)
+                .collect();
+            let mut wall = vec![false; nx * ny * nz];
+            for z in 0..nz {
+                for k in 8..12 {
+                    for j in 10..20 {
+                        wall[at3(nx, ny, j, k, z)] = true;
+                    }
+                }
+            }
+            let mut e = DiffusionEngine::from_raw_3d(nx, ny, nz, d, Some(wall));
+            e.set_threads(threads);
+            e
+        };
+        let mut serial = build(1);
+        serial.compute_velocities();
+        for _ in 0..20 {
+            serial.step_density(0.2);
+        }
+        for threads in [2, 4, 8] {
+            let mut parallel = build(threads);
+            parallel.compute_velocities();
+            for _ in 0..20 {
+                parallel.step_density(0.2);
+            }
+            assert_eq!(
+                serial.densities(),
+                parallel.densities(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn trilinear_velocity_at_bin_center_is_bin_velocity() {
+        let mut e = DiffusionEngine::from_raw_3d(3, 3, 3, vec![1.0; 27], None);
+        e.set_bin_velocity3(1, 1, 1, Vector3::new(0.3, -0.7, 0.2));
+        let v = e.velocity_at3(Point3::new(1.5, 1.5, 1.5));
+        assert!((v.x - 0.3).abs() < 1e-12);
+        assert!((v.y + 0.7).abs() < 1e-12);
+        assert!((v.z - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trilinear_velocity_interpolates_between_tiers() {
+        let mut e = DiffusionEngine::from_raw_3d(2, 2, 2, vec![1.0; 8], None);
+        e.set_bin_velocity3(0, 0, 0, Vector3::new(0.0, 0.0, 1.0));
+        e.set_bin_velocity3(0, 0, 1, Vector3::new(0.0, 0.0, 3.0));
+        // Query a quarter of the way between the two tier centers.
+        let v = e.velocity_at3(Point3::new(0.5, 0.5, 0.75));
+        assert!((v.z - 1.5).abs() < 1e-12, "vz = {}", v.z);
     }
 }

@@ -81,6 +81,7 @@
 
 mod advect;
 mod config;
+mod dims;
 mod engine;
 mod field;
 mod global;
@@ -92,10 +93,12 @@ mod spectral;
 mod telemetry;
 mod trace;
 mod velocity;
+mod vol;
 mod window;
 
 pub use advect::AdvectOutcome;
 pub use config::{ConfigError, DiffusionConfig, SolverKind};
+pub use dims::Dims;
 pub use engine::DiffusionEngine;
 pub use field::FieldMigration;
 pub use global::{DiffusionResult, GlobalDiffusion};
@@ -104,9 +107,14 @@ pub use manip::manipulate_density;
 pub use observe::{
     DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, StepEvent,
 };
-pub use shard::{stitch_positions, BinRect, ShardPartition, ShardProblem, ShardRegion};
-pub use spectral::{DctPlan, SpectralSolver};
+pub use shard::{
+    stitch_positions, BinRect, ShardPartition, ShardProblem, ShardRegion, ZSlab, ZSlabPartition,
+};
+pub use spectral::{DctPlan, SpectralSolver, SpectralSolver3};
 pub use telemetry::{KernelTimers, KernelTiming, StepRecord, Telemetry};
 pub use trace::{trace_global_diffusion, TracedRun, Trajectory};
 pub use velocity::interpolate_velocity;
+pub use vol::{
+    splat_volume, volume_wall_mask, VolJobSpec, VolPlacement, VolResult, VolumetricDiffusion,
+};
 pub use window::{identify_windows, identify_windows_into};

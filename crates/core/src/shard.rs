@@ -463,6 +463,160 @@ pub fn stitch_positions(problem: &ShardProblem, positions: &[Point], out: &mut P
     problem.owned
 }
 
+/// One z-slab of a [`ZSlabPartition`]: a contiguous run of tiers owned
+/// exclusively by one backend, plus the halo-expanded run of tiers the
+/// backend actually sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZSlab {
+    /// Slab index within the partition.
+    pub index: usize,
+    /// First owned tier (inclusive). Cores tile `[0, nz)`: every tier
+    /// belongs to exactly one slab.
+    pub z0: usize,
+    /// Past-the-end owned tier.
+    pub z1: usize,
+    /// First visible tier: `z0` minus the halo width, clamped to 0.
+    pub h0: usize,
+    /// Past-the-end visible tier: `z1` plus the halo width, clamped to
+    /// the tier count.
+    pub h1: usize,
+}
+
+impl ZSlab {
+    /// Number of owned tiers (always at least 1).
+    #[inline]
+    pub fn core_layers(&self) -> usize {
+        self.z1 - self.z0
+    }
+
+    /// Number of visible tiers (core plus clamped halo).
+    #[inline]
+    pub fn visible_layers(&self) -> usize {
+        self.h1 - self.h0
+    }
+
+    /// Whether tier `z` is owned by this slab.
+    #[inline]
+    pub fn owns(&self, z: usize) -> bool {
+        z >= self.z0 && z < self.z1
+    }
+
+    /// Whether tier `z` is visible to this slab (owned or halo).
+    #[inline]
+    pub fn sees(&self, z: usize) -> bool {
+        z >= self.h0 && z < self.h1
+    }
+}
+
+/// Splits a volumetric grid's tier stack into `K` contiguous z-slabs,
+/// each carrying an `H`-tier halo above and below — the z-axis analogue
+/// of [`ShardPartition`] for 3D-IC migration, where each backend owns a
+/// stack of whole tiers and sees `H` extra tiers of read-only density
+/// context on each side.
+///
+/// Tiers are distributed by the same balanced rule as the planar
+/// partition (`chunk_bounds`), so slab sizes differ by at most one tier
+/// when `K` does not divide `nz`. A halo thicker than a neighbor slab
+/// simply clamps at the stack boundary — the slab then sees the whole
+/// stack, which is valid (just not useful for scaling).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_diffusion::ZSlabPartition;
+///
+/// let part = ZSlabPartition::new(5, 2, 1);
+/// assert_eq!(part.len(), 2);
+/// let lower = part.slabs()[0];
+/// assert_eq!((lower.z0, lower.z1), (0, 2));
+/// assert_eq!((lower.h0, lower.h1), (0, 3));
+/// assert_eq!(part.owner_of_layer(2), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZSlabPartition {
+    nz: usize,
+    halo_layers: usize,
+    slabs: Vec<ZSlab>,
+}
+
+impl ZSlabPartition {
+    /// Partitions an `nz`-tier stack into `shards` z-slabs with an
+    /// `halo_layers`-tier halo. The slab count is clamped to `[1, nz]`
+    /// so every slab owns at least one whole tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nz` is zero.
+    pub fn new(nz: usize, shards: usize, halo_layers: usize) -> Self {
+        assert!(nz > 0, "a volumetric stack needs at least one tier");
+        let k = shards.clamp(1, nz);
+        let slabs = (0..k)
+            .map(|c| {
+                let (z0, z1) = chunk_bounds(nz, k, c);
+                ZSlab {
+                    index: c,
+                    z0,
+                    z1,
+                    h0: z0.saturating_sub(halo_layers),
+                    h1: (z1 + halo_layers).min(nz),
+                }
+            })
+            .collect();
+        Self {
+            nz,
+            halo_layers,
+            slabs,
+        }
+    }
+
+    /// Number of tiers in the partitioned stack.
+    #[inline]
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Halo width in tiers.
+    #[inline]
+    pub fn halo_layers(&self) -> usize {
+        self.halo_layers
+    }
+
+    /// Number of slabs actually created (may be less than requested on
+    /// short stacks).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slabs.len()
+    }
+
+    /// `true` if the partition has no slabs (never happens — there is
+    /// always at least one).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slabs.is_empty()
+    }
+
+    /// The slabs, indexed by slab id, ordered bottom tier first.
+    #[inline]
+    pub fn slabs(&self) -> &[ZSlab] {
+        &self.slabs
+    }
+
+    /// The slab whose core owns tier `z`.
+    #[inline]
+    pub fn owner_of_layer(&self, z: usize) -> usize {
+        chunk_of(self.nz, self.slabs.len(), z)
+    }
+
+    /// The slab that owns a cell at depth `z` (tier units, tier `t`
+    /// spanning `[t, t+1)`). Depths outside the stack clamp to the
+    /// nearest tier, like [`BinGrid::bin_of_point`] does in-plane.
+    #[inline]
+    pub fn owner_of_depth(&self, z: f64) -> usize {
+        let tier = (z.floor().max(0.0) as usize).min(self.nz - 1);
+        self.owner_of_layer(tier)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,5 +875,70 @@ mod tests {
         assert!(!part.is_empty());
         let covered: usize = part.shards().iter().map(|s| s.core.len()).sum();
         assert_eq!(covered, part.grid().len());
+    }
+
+    #[test]
+    fn z_slab_cores_tile_the_stack_when_k_divides() {
+        let part = ZSlabPartition::new(6, 3, 1);
+        assert_eq!(part.len(), 3);
+        let sizes: Vec<usize> = part.slabs().iter().map(|s| s.core_layers()).collect();
+        assert_eq!(sizes, vec![2, 2, 2]);
+        for z in 0..6 {
+            let owner = part.owner_of_layer(z);
+            assert!(part.slabs()[owner].owns(z));
+            for (i, s) in part.slabs().iter().enumerate() {
+                assert_eq!(s.owns(z), i == owner, "tier {z} owned by exactly one slab");
+            }
+        }
+    }
+
+    #[test]
+    fn z_slab_handles_k_not_dividing_layer_count() {
+        let part = ZSlabPartition::new(7, 3, 1);
+        let sizes: Vec<usize> = part.slabs().iter().map(|s| s.core_layers()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 7, "cores must tile the stack");
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "balanced split");
+        // Slabs are contiguous bottom-to-top.
+        for w in part.slabs().windows(2) {
+            assert_eq!(w[0].z1, w[1].z0);
+        }
+    }
+
+    #[test]
+    fn z_slab_halo_thicker_than_a_slab_clamps_to_the_stack() {
+        // 4 tiers, 4 slabs of 1 tier each, halo of 3 tiers: every slab
+        // sees the whole stack, and nothing under/overflows.
+        let part = ZSlabPartition::new(4, 4, 3);
+        for s in part.slabs() {
+            assert_eq!((s.h0, s.h1), (0, 4), "halo clamps to the stack");
+            assert_eq!(s.core_layers(), 1);
+            assert_eq!(s.visible_layers(), 4);
+        }
+        // Ownership is still exclusive even though visibility overlaps.
+        for z in 0..4 {
+            assert_eq!(part.owner_of_layer(z), z);
+        }
+    }
+
+    #[test]
+    fn z_slab_clamps_more_slabs_than_tiers() {
+        let part = ZSlabPartition::new(3, 16, 1);
+        assert_eq!(part.len(), 3, "every slab owns at least one tier");
+        assert!(!part.is_empty());
+    }
+
+    #[test]
+    fn z_slab_depth_ownership_clamps_out_of_range() {
+        let part = ZSlabPartition::new(5, 2, 2);
+        assert_eq!(part.owner_of_depth(-1.0), 0);
+        assert_eq!(part.owner_of_depth(0.5), 0);
+        assert_eq!(part.owner_of_depth(1.99), 0);
+        assert_eq!(part.owner_of_depth(2.0), 1, "tier 2 belongs to slab 1");
+        assert_eq!(part.owner_of_depth(99.0), 1);
+        // A cell exactly on the slab boundary depth belongs to the upper
+        // slab — its containing tier is tier 2.
+        assert!(part.slabs()[1].owns(2));
+        // Both slabs see the boundary tiers through their halos.
+        assert!(part.slabs()[0].sees(3) && part.slabs()[1].sees(1));
     }
 }

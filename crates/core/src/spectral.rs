@@ -642,6 +642,220 @@ impl SpectralSolver {
     }
 }
 
+/// Closed-form diffusion solver over a **3-D** (volumetric) density field
+/// with zero-flux boundaries.
+///
+/// The separable extension of [`SpectralSolver`]: the Neumann heat
+/// operator on a box diagonalizes in the tensor-product DCT-II basis, so
+/// mode `(k, l, m)` decays by `exp(-t·((πk/nx)² + (πl/ny)² + (πm/nz)²))`.
+/// The three axis transforms reuse the same 1-D [`DctPlan`] primitives as
+/// the planar solver (FFT on power-of-two lengths, exact O(n²) fallback
+/// otherwise). Fields are plane-major: `field[(z·ny + k)·nx + j]`,
+/// matching [`DiffusionEngine::from_raw_3d`](crate::DiffusionEngine::from_raw_3d).
+///
+/// All transforms run serially on the calling thread — bit-identical at
+/// any worker-thread count, like the planar solver.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_diffusion::SpectralSolver3;
+///
+/// let (nx, ny, nz) = (8, 4, 3);
+/// let field: Vec<f64> = (0..nx * ny * nz).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+/// let mut solver = SpectralSolver3::new(nx, ny, nz, &field);
+/// let mut out = vec![0.0; nx * ny * nz];
+/// // t = 0 reproduces the input field.
+/// solver.density_at(0.0, &mut out);
+/// assert!(field.iter().zip(&out).all(|(a, b)| (a - b).abs() < 1e-9));
+/// // Mass is conserved exactly at any jump distance.
+/// solver.density_at(5.0, &mut out);
+/// let before: f64 = field.iter().sum();
+/// let after: f64 = out.iter().sum();
+/// assert!((before - after).abs() < 1e-9 * before);
+/// ```
+pub struct SpectralSolver3 {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    plan_x: DctPlan,
+    plan_y: DctPlan,
+    plan_z: DctPlan,
+    /// DCT-II coefficients of the initial field, plane-major.
+    coeffs: Vec<f64>,
+    rate_x: Vec<f64>,
+    rate_y: Vec<f64>,
+    rate_z: Vec<f64>,
+    buf: Vec<f64>,
+    line_in: Vec<f64>,
+    line_out: Vec<f64>,
+    decay_x: Vec<f64>,
+    forward_transforms: u64,
+    inverse_transforms: u64,
+}
+
+impl SpectralSolver3 {
+    /// Builds a solver from the initial volumetric density field
+    /// (plane-major, `nz` planes of `ny` rows of `nx` bins), running the
+    /// one cached forward transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any side is zero or `density.len() != nx·ny·nz`.
+    pub fn new(nx: usize, ny: usize, nz: usize, density: &[f64]) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid must be non-empty");
+        assert_eq!(density.len(), nx * ny * nz, "field length must be nx*ny*nz");
+        let n = nx * ny * nz;
+        let rate = |k: usize, len: usize| {
+            let f = PI * k as f64 / len as f64;
+            f * f
+        };
+        let mut solver = Self {
+            nx,
+            ny,
+            nz,
+            plan_x: DctPlan::new(nx),
+            plan_y: DctPlan::new(ny),
+            plan_z: DctPlan::new(nz),
+            coeffs: vec![0.0; n],
+            rate_x: (0..nx).map(|k| rate(k, nx)).collect(),
+            rate_y: (0..ny).map(|l| rate(l, ny)).collect(),
+            rate_z: (0..nz).map(|m| rate(m, nz)).collect(),
+            buf: vec![0.0; n],
+            line_in: vec![0.0; nx.max(ny).max(nz)],
+            line_out: vec![0.0; nx.max(ny).max(nz)],
+            decay_x: vec![0.0; nx],
+            forward_transforms: 0,
+            inverse_transforms: 0,
+        };
+        solver.forward(density);
+        solver
+    }
+
+    /// Grid width in bins.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in bins.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of tiers.
+    pub fn nz(&self) -> usize {
+        self.nz
+    }
+
+    /// Forward 3-D DCT-II of `field` into `self.coeffs`: contiguous
+    /// x-lines first, then strided gather/transform/scatter along y and z.
+    fn forward(&mut self, field: &[f64]) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        for l in 0..ny * nz {
+            self.plan_x.dct2(
+                &field[l * nx..(l + 1) * nx],
+                &mut self.buf[l * nx..(l + 1) * nx],
+            );
+        }
+        for z in 0..nz {
+            for x in 0..nx {
+                for k in 0..ny {
+                    self.line_in[k] = self.buf[(z * ny + k) * nx + x];
+                }
+                self.plan_y
+                    .dct2(&self.line_in[..ny], &mut self.line_out[..ny]);
+                for k in 0..ny {
+                    self.buf[(z * ny + k) * nx + x] = self.line_out[k];
+                }
+            }
+        }
+        let plane = nx * ny;
+        for i in 0..plane {
+            for z in 0..nz {
+                self.line_in[z] = self.buf[z * plane + i];
+            }
+            self.plan_z
+                .dct2(&self.line_in[..nz], &mut self.line_out[..nz]);
+            for z in 0..nz {
+                self.coeffs[z * plane + i] = self.line_out[z];
+            }
+        }
+        self.forward_transforms += 1;
+    }
+
+    /// Writes the density field at diffusion time `t` into `out`
+    /// (plane-major, `nx·ny·nz` bins): decays the cached coefficients and
+    /// runs one inverse 3-D transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or non-finite, or `out.len() != nx·ny·nz`.
+    pub fn density_at(&mut self, t: f64, out: &mut [f64]) {
+        assert!(t.is_finite() && t >= 0.0, "diffusion time must be >= 0");
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        assert_eq!(out.len(), nx * ny * nz, "output length must be nx*ny*nz");
+        // Separable decay exp(-t·(μx+μy+μz)).
+        for (d, &r) in self.decay_x.iter_mut().zip(&self.rate_x) {
+            *d = (-t * r).exp();
+        }
+        for z in 0..nz {
+            let ez = (-t * self.rate_z[z]).exp();
+            for l in 0..ny {
+                let eyz = ez * (-t * self.rate_y[l]).exp();
+                let base = (z * ny + l) * nx;
+                for x in 0..nx {
+                    self.buf[base + x] = self.coeffs[base + x] * eyz * self.decay_x[x];
+                }
+            }
+        }
+        // Inverse: z, then y (strided), then contiguous x with the
+        // normalization folded in (dct3∘dct2 = (n/2)·id per axis).
+        let plane = nx * ny;
+        for i in 0..plane {
+            for z in 0..nz {
+                self.line_in[z] = self.buf[z * plane + i];
+            }
+            self.plan_z
+                .dct3(&self.line_in[..nz], &mut self.line_out[..nz]);
+            for z in 0..nz {
+                self.buf[z * plane + i] = self.line_out[z];
+            }
+        }
+        for z in 0..nz {
+            for x in 0..nx {
+                for k in 0..ny {
+                    self.line_in[k] = self.buf[(z * ny + k) * nx + x];
+                }
+                self.plan_y
+                    .dct3(&self.line_in[..ny], &mut self.line_out[..ny]);
+                for k in 0..ny {
+                    self.buf[(z * ny + k) * nx + x] = self.line_out[k];
+                }
+            }
+        }
+        let norm = 8.0 / (nx as f64 * ny as f64 * nz as f64);
+        for l in 0..ny * nz {
+            self.plan_x
+                .dct3(&self.buf[l * nx..(l + 1) * nx], &mut self.line_out[..nx]);
+            for (j, &v) in self.line_out[..nx].iter().enumerate() {
+                out[l * nx + j] = v * norm;
+            }
+        }
+        self.inverse_transforms += 1;
+    }
+
+    /// Forward 3-D transforms run so far (1 after construction).
+    pub fn forward_transforms(&self) -> u64 {
+        self.forward_transforms
+    }
+
+    /// Inverse 3-D transforms run so far (one per
+    /// [`density_at`](Self::density_at) query).
+    pub fn inverse_transforms(&self) -> u64 {
+        self.inverse_transforms
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -863,5 +1077,92 @@ mod tests {
         solver.density_at(5.0, &mut late);
         solver.density_at(0.25, &mut early_again);
         assert_eq!(early, early_again, "re-decay must not accumulate state");
+    }
+
+    #[test]
+    fn volumetric_solver_with_one_tier_matches_planar_solver() {
+        let mut rng = Rng::seed_from_u64(0x3D01);
+        let (nx, ny) = (16, 12);
+        let field: Vec<f64> = (0..nx * ny).map(|_| rng.random_range(0.0..2.0)).collect();
+        let mut planar = SpectralSolver::new(nx, ny, &field);
+        let mut volume = SpectralSolver3::new(nx, ny, 1, &field);
+        let mut out2 = vec![0.0; nx * ny];
+        let mut out3 = vec![0.0; nx * ny];
+        for t in [0.0, 0.4, 3.0] {
+            planar.density_at(t, &mut out2);
+            volume.density_at(t, &mut out3);
+            for i in 0..nx * ny {
+                assert!(
+                    (out2[i] - out3[i]).abs() < 1e-9,
+                    "t={t} bin {i}: {} vs {}",
+                    out2[i],
+                    out3[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn volumetric_single_mode_decays_at_the_analytic_rate() {
+        for (nx, ny, nz) in [(8usize, 8usize, 4usize), (6, 10, 3)] {
+            let (k, l, m) = (2, 1, 1);
+            let amp = 0.3;
+            let base = 1.0;
+            let mode = |x: usize, y: usize, z: usize| {
+                (PI * k as f64 * (x as f64 + 0.5) / nx as f64).cos()
+                    * (PI * l as f64 * (y as f64 + 0.5) / ny as f64).cos()
+                    * (PI * m as f64 * (z as f64 + 0.5) / nz as f64).cos()
+            };
+            let field: Vec<f64> = (0..nx * ny * nz)
+                .map(|i| {
+                    let (x, y, z) = (i % nx, (i / nx) % ny, i / (nx * ny));
+                    base + amp * mode(x, y, z)
+                })
+                .collect();
+            let mut solver = SpectralSolver3::new(nx, ny, nz, &field);
+            let mut out = vec![0.0; nx * ny * nz];
+            let t = 0.9;
+            solver.density_at(t, &mut out);
+            let rate = (PI * k as f64 / nx as f64).powi(2)
+                + (PI * l as f64 / ny as f64).powi(2)
+                + (PI * m as f64 / nz as f64).powi(2);
+            let decay = (-t * rate).exp();
+            for (i, &v) in out.iter().enumerate() {
+                let (x, y, z) = (i % nx, (i / nx) % ny, i / (nx * ny));
+                let want = base + amp * decay * mode(x, y, z);
+                assert!(
+                    (v - want).abs() < 1e-11,
+                    "{nx}x{ny}x{nz} bin {i}: {v} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn volumetric_solver_conserves_mass_and_flattens() {
+        let mut rng = Rng::seed_from_u64(0x3D02);
+        let (nx, ny, nz) = (12, 8, 5);
+        let field: Vec<f64> = (0..nx * ny * nz)
+            .map(|_| rng.random_range(0.0..3.0))
+            .collect();
+        let mass: f64 = field.iter().sum();
+        let mean = mass / (nx * ny * nz) as f64;
+        let mut solver = SpectralSolver3::new(nx, ny, nz, &field);
+        let mut out = vec![0.0; nx * ny * nz];
+        let mut last_spread = f64::INFINITY;
+        for t in [0.0, 0.5, 2.0, 10.0, 2000.0] {
+            solver.density_at(t, &mut out);
+            let m: f64 = out.iter().sum();
+            assert!((m - mass).abs() < 1e-9 * mass, "t={t}: mass {m} vs {mass}");
+            let spread = out.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max);
+            assert!(
+                spread <= last_spread + 1e-12,
+                "t={t}: spread grew {last_spread} -> {spread}"
+            );
+            last_spread = spread;
+        }
+        assert!(last_spread < 1e-9, "residual spread {last_spread}");
+        assert_eq!(solver.forward_transforms(), 1);
+        assert_eq!(solver.inverse_transforms(), 5);
     }
 }

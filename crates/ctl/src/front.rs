@@ -782,6 +782,7 @@ fn run_in_process(
         queue_ns: 0,
         service_ns,
         positions: placement.as_slice().to_vec(),
+        vol: None,
     })
 }
 

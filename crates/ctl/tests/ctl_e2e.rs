@@ -52,6 +52,7 @@ fn full_request(b: &Benchmark, id: u64, kind: JobKind, config: &DiffusionConfig)
         netlist: b.netlist.clone(),
         die: b.die.clone(),
         placement: b.placement.clone(),
+        vol: None,
     }
 }
 

@@ -17,7 +17,11 @@
 //!   Section VII / Table VI) and the ISPD protocol (10% of cells inflated
 //!   60% in width, `RANDOM` vs `CENTER`, Table X);
 //! - [`suites`] provides the `ckt1..ckt7` and `ibm01..ibm18` presets at
-//!   configurable scale.
+//!   configurable scale;
+//! - [`VolCircuitSpec`] stacks tiers into a volumetric (3D-IC)
+//!   benchmark: per-tier row-packed cells with a staggered row phase,
+//!   through-stack macros, TSV nets, and an optional overfull hotspot
+//!   tier for the volumetric migration engine.
 //!
 //! Everything is deterministic given the seed.
 //!
@@ -44,8 +48,10 @@ mod eco;
 mod inflate;
 mod stats;
 pub mod suites;
+mod vol;
 
 pub use circuit::{Benchmark, CircuitSpec};
 pub use eco::{EcoSpec, EcoSummary};
 pub use inflate::InflationSpec;
 pub use stats::WorkloadStats;
+pub use vol::{VolBenchmark, VolCircuitSpec};

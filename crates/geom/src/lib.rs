@@ -24,9 +24,11 @@
 //! ```
 
 mod point;
+mod point3;
 mod rect;
 
 pub use point::{Point, Vector};
+pub use point3::{Point3, Vector3};
 pub use rect::Rect;
 
 /// Clamps `v` into `[lo, hi]`.

@@ -1,0 +1,207 @@
+//! Three-dimensional points and vectors for volumetric placement.
+//!
+//! The 2D [`Point`](crate::Point)/[`Vector`](crate::Vector) pair stays the
+//! workspace default; these types exist for the volumetric (3D-IC) scenario
+//! where cell positions carry a tier coordinate `z` measured in tiers (tier
+//! `t` spans `[t, t+1)` with its center at `t + 0.5`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A point in 3D placement space: `x`/`y` in tracks, `z` in tiers.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::{Point3, Vector3};
+///
+/// let p = Point3::new(1.0, 2.0, 0.5);
+/// let q = p + Vector3::new(0.5, -1.0, 1.0);
+/// assert_eq!(q, Point3::new(1.5, 1.0, 1.5));
+/// assert_eq!(q - p, Vector3::new(0.5, -1.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+    /// Tier coordinate (tier `t` spans `[t, t+1)`).
+    pub z: f64,
+}
+
+impl Point3 {
+    /// The origin.
+    pub const ZERO: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Add<Vector3> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, v: Vector3) -> Point3 {
+        Point3::new(self.x + v.x, self.y + v.y, self.z + v.z)
+    }
+}
+
+impl AddAssign<Vector3> for Point3 {
+    #[inline]
+    fn add_assign(&mut self, v: Vector3) {
+        self.x += v.x;
+        self.y += v.y;
+        self.z += v.z;
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Vector3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Vector3 {
+        Vector3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+/// A displacement in 3D placement space.
+///
+/// # Examples
+///
+/// ```
+/// use dpm_geom::Vector3;
+///
+/// let v = Vector3::new(3.0, -4.0, 0.25);
+/// assert_eq!(v.linf_length(), 4.0);
+/// assert_eq!(v.clamped_linf(2.0), Vector3::new(2.0, -2.0, 0.25));
+/// assert_eq!(v * 2.0, Vector3::new(6.0, -8.0, 0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vector3 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+    /// Tier component.
+    pub z: f64,
+}
+
+impl Vector3 {
+    /// The zero vector.
+    pub const ZERO: Vector3 = Vector3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The L∞ (Chebyshev) length `max(|x|, |y|, |z|)`.
+    #[inline]
+    pub fn linf_length(&self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// Clamps every component into `[-limit, limit]` independently (the
+    /// per-step displacement cap of Eq. 7, extended to the tier axis).
+    #[inline]
+    pub fn clamped_linf(&self, limit: f64) -> Vector3 {
+        Vector3::new(
+            self.x.clamp(-limit, limit),
+            self.y.clamp(-limit, limit),
+            self.z.clamp(-limit, limit),
+        )
+    }
+}
+
+impl fmt::Display for Vector3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vector3 {
+    type Output = Vector3;
+    #[inline]
+    fn add(self, rhs: Vector3) -> Vector3 {
+        Vector3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vector3 {
+    type Output = Vector3;
+    #[inline]
+    fn sub(self, rhs: Vector3) -> Vector3 {
+        Vector3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Neg for Vector3 {
+    type Output = Vector3;
+    #[inline]
+    fn neg(self) -> Vector3 {
+        Vector3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Mul<f64> for Vector3 {
+    type Output = Vector3;
+    #[inline]
+    fn mul(self, s: f64) -> Vector3 {
+        Vector3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_arithmetic_round_trips() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        let v = Vector3::new(-0.5, 0.25, 1.0);
+        let q = p + v;
+        assert_eq!(q - p, v);
+        let mut r = p;
+        r += v;
+        assert_eq!(r, q);
+    }
+
+    #[test]
+    fn linf_length_takes_max_component() {
+        assert_eq!(Vector3::new(1.0, -2.0, 0.5).linf_length(), 2.0);
+        assert_eq!(Vector3::new(0.0, 0.0, -3.0).linf_length(), 3.0);
+        assert_eq!(Vector3::ZERO.linf_length(), 0.0);
+    }
+
+    #[test]
+    fn clamp_is_per_component() {
+        let v = Vector3::new(5.0, -0.5, -7.0).clamped_linf(1.0);
+        assert_eq!(v, Vector3::new(1.0, -0.5, -1.0));
+    }
+
+    #[test]
+    fn scale_and_negate() {
+        let v = Vector3::new(1.0, -2.0, 3.0);
+        assert_eq!(v * 0.5, Vector3::new(0.5, -1.0, 1.5));
+        assert_eq!(-v, Vector3::new(-1.0, 2.0, -3.0));
+        assert_eq!(v + (-v), Vector3::ZERO);
+        assert_eq!(v - v, Vector3::ZERO);
+    }
+}

@@ -279,6 +279,44 @@ pub fn parallel_for_chunks2<T, U, F>(
     });
 }
 
+/// Like [`parallel_for_chunks`] but over three equal-length slices chunked
+/// identically — the shape of the volumetric velocity kernel (writes `vx`,
+/// `vy` and `vz`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn parallel_for_chunks3<T, U, V, F>(
+    pool: &ThreadPool,
+    a: &mut [T],
+    b: &mut [U],
+    c: &mut [V],
+    chunk_len: usize,
+    f: F,
+) where
+    T: Send,
+    U: Send,
+    V: Send,
+    F: Fn(usize, Range<usize>, &mut [T], &mut [U], &mut [V]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk length must be positive");
+    assert_eq!(a.len(), b.len(), "slices must chunk identically");
+    assert_eq!(a.len(), c.len(), "slices must chunk identically");
+    let len = a.len();
+    type ChunkTriples<'s, T, U, V> = Vec<(usize, ((&'s mut [T], &'s mut [U]), &'s mut [V]))>;
+    let chunks: ChunkTriples<'_, T, U, V> = a
+        .chunks_mut(chunk_len)
+        .zip(b.chunks_mut(chunk_len))
+        .zip(c.chunks_mut(chunk_len))
+        .enumerate()
+        .collect();
+    pool.for_each_owned(chunks, |_, (i, ((ca, cb), cc))| {
+        let start = i * chunk_len;
+        let range = start..(start + ca.len()).min(len);
+        f(i, range, ca, cb, cc);
+    });
+}
+
 /// Maps fixed chunks of `0..len` through `map` in parallel and combines
 /// the per-chunk partials with a fixed-shape [`tree_reduce`].
 ///
@@ -433,6 +471,37 @@ mod tests {
         });
         assert!(a.iter().enumerate().all(|(i, &x)| i == x));
         assert!(b.iter().enumerate().all(|(i, &c)| c == i / 64));
+    }
+
+    #[test]
+    fn for_chunks3_zips_consistently() {
+        let pool = ThreadPool::new(4);
+        let mut a = vec![0usize; 500];
+        let mut b = vec![0usize; 500];
+        let mut c = vec![0usize; 500];
+        parallel_for_chunks3(
+            &pool,
+            &mut a,
+            &mut b,
+            &mut c,
+            64,
+            |ci, range, ca, cb, cc| {
+                for (off, ((x, y), z)) in ca
+                    .iter_mut()
+                    .zip(cb.iter_mut())
+                    .zip(cc.iter_mut())
+                    .enumerate()
+                {
+                    *x = range.start + off;
+                    *y = ci;
+                    *z = range.len();
+                }
+            },
+        );
+        assert!(a.iter().enumerate().all(|(i, &x)| i == x));
+        assert!(b.iter().enumerate().all(|(i, &x)| x == i / 64));
+        assert!(c.iter().take(448).all(|&x| x == 64));
+        assert!(c.iter().skip(448).all(|&x| x == 500 - 448));
     }
 
     #[test]

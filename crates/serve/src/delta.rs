@@ -363,6 +363,7 @@ impl DeltaJobRequest {
             netlist,
             die: base_die.clone(),
             placement,
+            vol: None,
         })
     }
 }

@@ -25,7 +25,16 @@
 //!   the sub-problems out to in-process or TCP backends, and stitches
 //!   the owned-cell results back with bounded halo-exchange rounds —
 //!   K = 1 is bit-identical to a direct engine run, and a dead shard
-//!   degrades to an unmigrated region instead of a failed job.
+//!   degrades to an unmigrated region instead of a failed job;
+//! - **z-slab volumetric routing** ([`zslab`]): a [`VolRouter`] splats
+//!   a 3D (tiered) job's density once, then ships each of K backends a
+//!   tier slab with ghost layers and runs one exact FTCS step per
+//!   halo-exchange round — the routed stack is bit-identical to a
+//!   direct [`VolumetricDiffusion`](dpm_diffusion::VolumetricDiffusion)
+//!   run at any K, in-process or over TCP. The [`wire`] format carries
+//!   the tier axis as an optional trailing extension, so planar frames
+//!   are byte-identical to pre-volumetric ones and legacy frames decode
+//!   as 2D jobs.
 //!
 //! Determinism survives the wire: `f64` values travel as IEEE-754 bit
 //! patterns, so a round trip through the server produces placements
@@ -50,6 +59,7 @@
 //!     netlist,
 //!     die,
 //!     placement,
+//!     vol: None, // planar job; Some(VolRequestExt) runs a 3D stack
 //! };
 //! let reply = client.request_streaming(&req, PayloadEncoding::Binary, |p| {
 //!     eprintln!("step {}: max density {:.3}", p.step, p.max_density);
@@ -76,6 +86,7 @@ pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod wire;
+pub mod zslab;
 
 pub use client::{DeltaReply, ServeClient};
 pub use delta::{CellMove, CellResize, DeltaError, DeltaJobRequest, EcoDelta, NewCell};
@@ -85,5 +96,7 @@ pub use shard::{
 };
 pub use wire::{
     design_hash, DesignAck, ErrorCode, ErrorReply, JobKind, JobRequest, JobResponse, NeedDesign,
-    PayloadEncoding, ProgressUpdate, PutDesign, Reply, StatsSnapshot,
+    PayloadEncoding, ProgressUpdate, PutDesign, Reply, StatsSnapshot, VolRequestExt,
+    VolResponseExt,
 };
+pub use zslab::{VolReply, VolRouteError, VolRouter, VolRouterConfig};

@@ -51,18 +51,19 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dpm_diffusion::{
-    DiffusionConfig, DiffusionObserver, GlobalDiffusion, KernelTimers, LocalDiffusion,
-    NoopObserver, StepEvent,
+    DiffusionConfig, DiffusionObserver, DiffusionResult, GlobalDiffusion, KernelTimers,
+    LocalDiffusion, NoopObserver, SolverKind, StepEvent, VolJobSpec, VolPlacement,
+    VolumetricDiffusion,
 };
 use dpm_obs::{Counter, Gauge, Histogram, Registry, SpanRecord, SpanRecorder};
-use dpm_place::MovementStats;
+use dpm_place::{BinGrid, MovementStats};
 
 use crate::log::{RequestLog, RequestRecord};
 use crate::queue::{BoundedQueue, PushError};
 use crate::wire::{
     encode_progress, encode_stats, read_frame, write_frame_versioned, ErrorCode, ErrorReply,
-    FrameKind, JobKind, JobRequest, JobResponse, ProgressUpdate, Reply, StatsSnapshot, WireError,
-    DEFAULT_MAX_FRAME_LEN, VERSION,
+    FrameKind, JobKind, JobRequest, JobResponse, ProgressUpdate, Reply, StatsSnapshot,
+    VolRequestExt, VolResponseExt, WireError, DEFAULT_MAX_FRAME_LEN, VERSION,
 };
 
 /// How often blocked connection reads wake up to check for shutdown.
@@ -624,6 +625,36 @@ fn kind_name(kind: JobKind) -> &'static str {
     }
 }
 
+/// Why a volumetric extension cannot run, or `None` if it can. Checked
+/// before the engine because the core runner asserts on these instead of
+/// erroring.
+fn vol_rejection(
+    v: &VolRequestExt,
+    kind: JobKind,
+    config: &DiffusionConfig,
+    netlist: &dpm_netlist::Netlist,
+    die: &dpm_place::Die,
+) -> Option<&'static str> {
+    if !matches!(kind, JobKind::Global) {
+        return Some("volumetric jobs run global diffusion only");
+    }
+    if v.z.len() != netlist.num_cells() {
+        return Some("vol.z does not cover the netlist");
+    }
+    if matches!(config.solver, SolverKind::Spectral)
+        && (v.exact_steps.is_some() || v.field.is_some())
+    {
+        return Some("halo-exchange volumetric sub-jobs are FTCS-only");
+    }
+    if let Some(field) = &v.field {
+        let bins = BinGrid::new(die.outline(), config.bin_size).len();
+        if field.len() != bins * v.nz as usize {
+            return Some("vol.field does not match the job region");
+        }
+    }
+    None
+}
+
 /// The observer that turns diffusion steps into [`WorkerMsg::Progress`]
 /// messages every `stride` steps. It accumulates cumulative movement
 /// from the per-step records and never touches the run's state.
@@ -672,6 +703,7 @@ fn worker_loop(shared: Arc<Shared>) {
             netlist,
             die,
             placement,
+            vol,
             ..
         } = req;
         let kind_str = kind_name(kind);
@@ -698,23 +730,84 @@ fn worker_loop(shared: Arc<Shared>) {
             continue;
         }
 
+        // The volumetric extension is validated here rather than deep in
+        // the engine: the core runner asserts on mismatched sizes, and a
+        // malformed-but-well-framed request must reject, not panic.
+        if let Some(msg) = vol
+            .as_ref()
+            .and_then(|v| vol_rejection(v, kind, &config, &netlist, &die))
+        {
+            shared.metrics.invalid_config.inc();
+            shared.log.write(&RequestRecord {
+                id,
+                outcome: ErrorCode::InvalidConfig.as_str(),
+                kind: kind_str,
+                design,
+                cells,
+                queue_ns,
+                ..Default::default()
+            });
+            let _ = reply_tx.send(WorkerMsg::Done(rejection(
+                id,
+                ErrorCode::InvalidConfig,
+                msg,
+            )));
+            continue;
+        }
+
         let before = placement.clone();
         let mut after = placement;
         let t0 = Instant::now();
         let should_stop = move || deadline.is_some_and(|d| Instant::now() >= d);
-        let span = shared.spans.start(match kind {
-            JobKind::Global => "job.global",
-            JobKind::Local => "job.local",
+        let span = shared.spans.start(match (kind, &vol) {
+            (_, Some(_)) => "job.volumetric",
+            (JobKind::Global, None) => "job.global",
+            (JobKind::Local, None) => "job.local",
         });
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            if progress_stride > 0 {
+            if let Some(v) = &vol {
+                let spec = VolJobSpec {
+                    nz: v.nz as usize,
+                    z0: v.z0 as usize,
+                    global_nz: v.global_nz as usize,
+                    field: v.field.clone(),
+                    exact_steps: v.exact_steps.map(|s| s as usize),
+                };
+                let mut vp = VolPlacement {
+                    xy: after.clone(),
+                    z: v.z.clone(),
+                };
+                let r = VolumetricDiffusion::new(config.clone(), v.global_nz as usize).run_job(
+                    &spec,
+                    &netlist,
+                    &die,
+                    &mut vp,
+                    &should_stop,
+                );
+                after = vp.xy;
+                // The evolved field travels back only on field-shipping
+                // (router sub-job) requests — direct volumetric clients
+                // don't pay for a region they never look at.
+                let field = v.field.is_some().then_some(r.field);
+                let ext = VolResponseExt { z: vp.z, field };
+                (
+                    DiffusionResult {
+                        steps: r.steps,
+                        rounds: 1,
+                        converged: r.converged,
+                        cancelled: r.cancelled,
+                        telemetry: r.telemetry,
+                    },
+                    Some(ext),
+                )
+            } else if progress_stride > 0 {
                 let mut emitter = ProgressEmitter {
                     id,
                     stride: u64::from(progress_stride),
                     movement: 0.0,
                     tx: &reply_tx,
                 };
-                execute_job(
+                let result = execute_job(
                     kind,
                     &config,
                     &netlist,
@@ -722,9 +815,10 @@ fn worker_loop(shared: Arc<Shared>) {
                     &mut after,
                     &should_stop,
                     &mut emitter,
-                )
+                );
+                (result, None)
             } else {
-                execute_job(
+                let result = execute_job(
                     kind,
                     &config,
                     &netlist,
@@ -732,7 +826,8 @@ fn worker_loop(shared: Arc<Shared>) {
                     &mut after,
                     &should_stop,
                     &mut NoopObserver,
-                )
+                );
+                (result, None)
             }
         }));
         span.finish();
@@ -755,7 +850,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 });
                 rejection(id, ErrorCode::Internal, "diffusion engine panicked")
             }
-            Ok(result) => {
+            Ok((result, vol_ext)) => {
                 shared
                     .metrics
                     .kernels
@@ -804,6 +899,7 @@ fn worker_loop(shared: Arc<Shared>) {
                         queue_ns,
                         service_ns,
                         positions: after.as_slice().to_vec(),
+                        vol: vol_ext,
                     })
                 }
             }

@@ -200,6 +200,7 @@ struct ShardRun {
 ///     netlist: bench.netlist,
 ///     die: bench.die,
 ///     placement: bench.placement,
+///     vol: None,
 /// };
 /// let router = ShardRouter::in_process(ShardRouterConfig {
 ///     shards: 2,
@@ -457,6 +458,7 @@ impl ShardRouter {
             queue_ns: 0,
             service_ns: t0.elapsed().as_nanos() as u64,
             positions: working.as_slice().to_vec(),
+            vol: None,
         };
         ShardReply {
             response,
@@ -538,6 +540,7 @@ fn run_shard(
                 netlist: problem.netlist.clone(),
                 die: problem.die.clone(),
                 placement: problem.placement.clone(),
+                vol: None,
             };
             let mut progress_frames = 0u64;
             let reply = ServeClient::connect(addr)

@@ -557,6 +557,32 @@ pub struct JobRequest {
     pub die: Die,
     /// Cell positions to legalize.
     pub placement: Placement,
+    /// Optional volumetric (3D) dimension extension. `None` is a plain
+    /// planar job and encodes byte-for-byte like a pre-volumetric frame.
+    pub vol: Option<VolRequestExt>,
+}
+
+/// The volumetric dimension extension of a [`JobRequest`].
+///
+/// Rides as an optional trailing block *after* the trailing solver byte,
+/// so planar requests stay byte-identical to pre-volumetric frames and
+/// legacy dimension-less frames decode as 2D jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolRequestExt {
+    /// Tiers in the shipped region (the whole stack for direct runs).
+    pub nz: u32,
+    /// First global tier of the region (`0` for direct runs).
+    pub z0: u32,
+    /// Total tiers of the global stack.
+    pub global_nz: u32,
+    /// Run exactly this many FTCS steps instead of to convergence —
+    /// the z-slab router's halo-exchange sub-jobs use `Some(1)`.
+    pub exact_steps: Option<u64>,
+    /// Per-cell depth in region-local tier units, netlist cell order.
+    pub z: Vec<f64>,
+    /// Pre-splatted plane-major density field for the region; `None`
+    /// makes the server splat (and manipulate) from the placement.
+    pub field: Option<Vec<f64>>,
 }
 
 pub(crate) fn put_config(buf: &mut Vec<u8>, c: &DiffusionConfig) {
@@ -784,7 +810,85 @@ pub fn encode_request(req: &JobRequest, encoding: PayloadEncoding) -> Vec<u8> {
     // forms: absent ⇒ `SolverKind::Ftcs`. Appending at the tail keeps
     // every earlier field at its v2 offset.
     put_u8(&mut buf, req.config.solver as u8);
+    // The volumetric dimension extension stacks on the same trick: it
+    // follows the solver byte, so planar requests (`vol: None`) remain
+    // byte-identical to pre-volumetric frames.
+    if let Some(v) = &req.vol {
+        let mut flags = 0u8;
+        if v.exact_steps.is_some() {
+            flags |= 1;
+        }
+        if v.field.is_some() {
+            flags |= 2;
+        }
+        put_u8(&mut buf, flags);
+        put_u32(&mut buf, v.nz);
+        put_u32(&mut buf, v.z0);
+        put_u32(&mut buf, v.global_nz);
+        if let Some(steps) = v.exact_steps {
+            put_u64(&mut buf, steps);
+        }
+        put_u32(&mut buf, v.z.len() as u32);
+        for &z in &v.z {
+            put_f64(&mut buf, z);
+        }
+        if let Some(field) = &v.field {
+            put_u64(&mut buf, field.len() as u64);
+            for &d in field {
+                put_f64(&mut buf, d);
+            }
+        }
+    }
     buf
+}
+
+/// Decodes the volumetric extension block, cursor already past the
+/// solver byte.
+fn take_vol_request(cur: &mut Cur<'_>) -> Result<VolRequestExt, WireError> {
+    let flags = cur.u8("vol.flags")?;
+    if flags & !3 != 0 {
+        return Err(malformed(
+            "vol.flags",
+            format!("unknown flag bits {flags:#x}"),
+        ));
+    }
+    let nz = cur.u32("vol.nz")?;
+    let z0 = cur.u32("vol.z0")?;
+    let global_nz = cur.u32("vol.global_nz")?;
+    if nz == 0 || global_nz == 0 || z0.checked_add(nz).is_none_or(|end| end > global_nz) {
+        return Err(malformed(
+            "vol",
+            format!("degenerate tier region [{z0}, {z0}+{nz}) of {global_nz}"),
+        ));
+    }
+    let exact_steps = if flags & 1 != 0 {
+        Some(cur.u64("vol.exact_steps")?)
+    } else {
+        None
+    };
+    let n = cur.u32("vol.z.count")? as usize;
+    let mut z = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        z.push(cur.f64("vol.z")?);
+    }
+    let field = if flags & 2 != 0 {
+        let len = cur.u64("vol.field.len")? as usize;
+        let mut field = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            field.push(cur.f64("vol.field")?);
+        }
+        Some(field)
+    } else {
+        None
+    };
+    Ok(VolRequestExt {
+        nz,
+        z0,
+        global_nz,
+        exact_steps,
+        z,
+        field,
+    })
 }
 
 /// Decodes a request frame payload.
@@ -832,6 +936,13 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
     if cur.pos < cur.buf.len() {
         config.solver = solver_kind_from_u8(cur.u8("request.solver")?)?;
     }
+    // Optional volumetric extension after the solver byte: dimension-less
+    // frames end here and decode as planar (2D) jobs.
+    let vol = if cur.pos < cur.buf.len() {
+        Some(take_vol_request(&mut cur)?)
+    } else {
+        None
+    };
     cur.finish("request")?;
     Ok(JobRequest {
         id,
@@ -843,6 +954,7 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
         netlist,
         die,
         placement,
+        vol,
     })
 }
 
@@ -871,6 +983,19 @@ pub struct JobResponse {
     pub service_ns: u64,
     /// Final position of every cell, in netlist cell-id order.
     pub positions: Vec<Point>,
+    /// Optional volumetric (3D) extension. `None` is a planar reply and
+    /// encodes byte-for-byte like a pre-volumetric frame.
+    pub vol: Option<VolResponseExt>,
+}
+
+/// The volumetric dimension extension of a [`JobResponse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VolResponseExt {
+    /// Final per-cell depth in region-local tier units, cell order.
+    pub z: Vec<f64>,
+    /// The evolved plane-major density field of the region — returned
+    /// for halo-exchange sub-jobs so the router can stitch tiers.
+    pub field: Option<Vec<f64>>,
 }
 
 /// Encodes a response into a frame payload.
@@ -888,6 +1013,22 @@ pub fn encode_response(resp: &JobResponse) -> Vec<u8> {
     for p in &resp.positions {
         put_f64(&mut buf, p.x);
         put_f64(&mut buf, p.y);
+    }
+    // Volumetric extension, mirroring the request: planar replies stay
+    // byte-identical to pre-volumetric frames.
+    if let Some(v) = &resp.vol {
+        let flags = if v.field.is_some() { 2u8 } else { 0 };
+        put_u8(&mut buf, flags);
+        put_u32(&mut buf, v.z.len() as u32);
+        for &z in &v.z {
+            put_f64(&mut buf, z);
+        }
+        if let Some(field) = &v.field {
+            put_u64(&mut buf, field.len() as u64);
+            for &d in field {
+                put_f64(&mut buf, d);
+            }
+        }
     }
     buf
 }
@@ -915,6 +1056,33 @@ pub fn decode_response(payload: &[u8]) -> Result<JobResponse, WireError> {
         let y = cur.f64("response.position.y")?;
         positions.push(Point::new(x, y));
     }
+    let vol = if cur.pos < cur.buf.len() {
+        let flags = cur.u8("response.vol.flags")?;
+        if flags & !2 != 0 {
+            return Err(malformed(
+                "response.vol.flags",
+                format!("unknown flag bits {flags:#x}"),
+            ));
+        }
+        let nz = cur.u32("response.vol.z.count")? as usize;
+        let mut z = Vec::with_capacity(nz.min(1 << 20));
+        for _ in 0..nz {
+            z.push(cur.f64("response.vol.z")?);
+        }
+        let field = if flags & 2 != 0 {
+            let len = cur.u64("response.vol.field.len")? as usize;
+            let mut field = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                field.push(cur.f64("response.vol.field")?);
+            }
+            Some(field)
+        } else {
+            None
+        };
+        Some(VolResponseExt { z, field })
+    } else {
+        None
+    };
     cur.finish("response")?;
     Ok(JobResponse {
         id,
@@ -926,6 +1094,7 @@ pub fn decode_response(payload: &[u8]) -> Result<JobResponse, WireError> {
         queue_ns,
         service_ns,
         positions,
+        vol,
     })
 }
 
@@ -1503,6 +1672,7 @@ mod tests {
             netlist,
             die,
             placement,
+            vol: None,
         }
     }
 
@@ -1557,6 +1727,7 @@ mod tests {
             queue_ns: 1000,
             service_ns: 2000,
             positions: vec![Point::new(1.5, -2.5), Point::new(0.0, f64::MAX)],
+            vol: None,
         };
         let back = decode_response(&encode_response(&resp)).expect("decodes");
         assert_eq!(back, resp);
@@ -1777,6 +1948,159 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn dimension_less_frame_decodes_byte_for_byte_as_a_2d_job() {
+        // Back-compat pin for the volumetric era: the dimension block is
+        // a pure suffix of the frame, so a planar request is the exact
+        // byte prefix of its volumetric sibling, and a dimension-less
+        // (pre-volumetric v3) frame decodes as a plain 2D job whose
+        // re-encoding reproduces the original bytes.
+        let mut req = tiny_request(JobKind::Global);
+        let planar = encode_request(&req, PayloadEncoding::Binary);
+        req.vol = Some(VolRequestExt {
+            nz: 3,
+            z0: 0,
+            global_nz: 3,
+            exact_steps: None,
+            z: vec![0.5, 1.5, 2.5],
+            field: None,
+        });
+        let volumetric = encode_request(&req, PayloadEncoding::Binary);
+        assert!(volumetric.len() > planar.len());
+        assert_eq!(
+            &volumetric[..planar.len()],
+            &planar[..],
+            "the vol block must be a pure suffix of the planar frame"
+        );
+
+        let back = decode_request(&planar).expect("dimension-less frame decodes");
+        assert!(back.vol.is_none(), "no trailing bytes means a 2D job");
+        assert_eq!(
+            encode_request(&back, PayloadEncoding::Binary),
+            planar,
+            "the 2D decode re-encodes byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn volumetric_request_round_trip_is_exact() {
+        let mut req = tiny_request(JobKind::Global);
+        let field: Vec<f64> = (0..32).map(|i| f64::from(i) * 0.125 + 0.001).collect();
+        req.vol = Some(VolRequestExt {
+            nz: 2,
+            z0: 1,
+            global_nz: 4,
+            exact_steps: Some(1),
+            z: vec![1.5, 2.25, 3.0 + f64::EPSILON],
+            field: Some(field),
+        });
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        let back = decode_request(&payload).expect("decodes");
+        let v0 = req.vol.as_ref().expect("sent");
+        let v1 = back.vol.as_ref().expect("the vol extension survives");
+        assert_eq!(v1.nz, 2);
+        assert_eq!(v1.z0, 1);
+        assert_eq!(v1.global_nz, 4);
+        assert_eq!(v1.exact_steps, Some(1));
+        assert_eq!(v0.z.len(), v1.z.len());
+        for (a, b) in v0.z.iter().zip(&v1.z) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let f0 = v0.field.as_ref().expect("sent");
+        let f1 = v1.field.as_ref().expect("the raw field survives");
+        assert_eq!(f0.len(), f1.len());
+        for (a, b) in f0.iter().zip(f1) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn volumetric_response_round_trip_is_exact() {
+        let resp = JobResponse {
+            id: 5,
+            converged: false,
+            steps: 7,
+            rounds: 7,
+            total_movement: 0.5,
+            max_movement: 0.25,
+            queue_ns: 10,
+            service_ns: 20,
+            positions: vec![Point::new(3.0, 4.0)],
+            vol: Some(VolResponseExt {
+                z: vec![0.5, 1.5, f64::MIN_POSITIVE],
+                field: Some(vec![0.0, 1.0, 0.75, f64::MAX]),
+            }),
+        };
+        let back = decode_response(&encode_response(&resp)).expect("decodes");
+        assert_eq!(back, resp);
+
+        // A planar reply stays byte-identical to the pre-volumetric
+        // framing: it is the exact prefix of its volumetric sibling.
+        let planar = JobResponse {
+            vol: None,
+            ..resp.clone()
+        };
+        let planar_bytes = encode_response(&planar);
+        assert_eq!(
+            &encode_response(&resp)[..planar_bytes.len()],
+            &planar_bytes[..]
+        );
+    }
+
+    #[test]
+    fn malformed_vol_blocks_error_not_panic() {
+        let mut req = tiny_request(JobKind::Global);
+        req.vol = Some(VolRequestExt {
+            nz: 2,
+            z0: 0,
+            global_nz: 2,
+            exact_steps: None,
+            z: vec![0.5, 1.0, 1.5],
+            field: None,
+        });
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        // With no exact-steps and no field the vol block is flags(1) +
+        // nz(4) + z0(4) + global_nz(4) + z count(4) + three f64 depths.
+        let flags_off = payload.len() - (1 + 4 + 4 + 4 + 4 + 3 * 8);
+
+        // Unknown flag bits are malformed, not silently ignored — they
+        // are the extension point for future revisions.
+        let mut bad = payload.clone();
+        bad[flags_off] = 0x80;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(WireError::Malformed {
+                context: "vol.flags",
+                ..
+            })
+        ));
+
+        // A region poking outside the stack (z0 + nz > global_nz) is
+        // malformed.
+        let mut bad = payload.clone();
+        let z0_off = flags_off + 1 + 4;
+        bad[z0_off..z0_off + 4].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            decode_request(&bad),
+            Err(WireError::Malformed { context: "vol", .. })
+        ));
+
+        // Every truncation inside the vol block errors — never panics,
+        // and never decodes as a shorter volumetric frame.
+        for cut in flags_off + 1..payload.len() {
+            assert!(
+                decode_request(&payload[..cut]).is_err(),
+                "vol block truncated to {} bytes decoded",
+                cut - flags_off
+            );
+        }
+        // Cutting the whole block off leaves a valid planar frame.
+        assert!(decode_request(&payload[..flags_off])
+            .expect("planar prefix decodes")
+            .vol
+            .is_none());
     }
 
     #[test]

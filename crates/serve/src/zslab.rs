@@ -1,0 +1,506 @@
+//! Z-slab routing: fan one volumetric job out over K backends, one
+//! tier-stack slab each.
+//!
+//! A [`VolRouter`] takes a [`JobRequest`] carrying a full-stack
+//! [`VolRequestExt`], splats and manipulates the volumetric density
+//! **once** globally, and then advances the job as a pure field
+//! computation: every halo-exchange round ships each slab its density
+//! region (owned tiers plus `halo_layers` ghost tiers on each side,
+//! [`ZSlabPartition`]), runs **exactly one FTCS step** per slab, and
+//! stitches the owned tiers and owned cells back into the global state.
+//! Cell ownership is re-derived from the freshest depths before every
+//! round, so a cell that migrates across a slab boundary is handed to
+//! its new owner in the next round.
+//!
+//! Correctness anchors:
+//!
+//! - **Bit-exactness at any K.** One FTCS step of an owned tier reads
+//!   densities at most one tier away, and the velocity interpolation
+//!   one more; a halo of two tiers therefore closes every read an owned
+//!   cell or bin performs, making each round's owned results identical
+//!   to one step of a direct full-stack run — K slabs, in-process or
+//!   over TCP (`f64`s travel as bit patterns), reproduce the K = 1
+//!   placement bit-for-bit.
+//! - **The maximum principle survives stitching.** With `Δt·3 ≤ 1` an
+//!   FTCS step is a convex combination, so no slab can raise its region
+//!   above the global maximum; the stitched max-density trace is
+//!   monotone non-increasing by construction and is reported in
+//!   [`VolReply::max_density_trace`].
+//! - **FTCS only.** The spectral solver jumps through time analytically
+//!   and cannot honor a one-step halo contract; volumetric spectral
+//!   runs go directly through [`VolumetricDiffusion`] instead, and the
+//!   router rejects them with
+//!   [`VolRouteError::SpectralUnsupported`].
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use dpm_diffusion::{
+    manipulate_density, splat_volume, KernelTimers, SolverKind, VolJobSpec, VolPlacement,
+    VolumetricDiffusion, ZSlabPartition,
+};
+use dpm_geom::Point;
+use dpm_netlist::{CellId, CellKind, Netlist, NetlistBuilder};
+use dpm_place::{BinGrid, MovementStats, Placement};
+
+use crate::shard::ShardBackend;
+use crate::wire::{
+    JobKind, JobRequest, JobResponse, PayloadEncoding, Reply, VolRequestExt, VolResponseExt,
+};
+use crate::ServeClient;
+
+/// Routing parameters for a [`VolRouter`].
+#[derive(Debug, Clone)]
+pub struct VolRouterConfig {
+    /// Requested slab count K. Clamped to the stack height — a 3-tier
+    /// stack never runs more than 3 slabs; [`VolReply::slabs`] reports
+    /// what actually ran.
+    pub slabs: usize,
+    /// Ghost tiers shipped on each side of a slab's owned range. Two is
+    /// exact for one FTCS step (one tier of density reach plus one of
+    /// velocity reach); fewer trades exactness away and is rejected.
+    pub halo_layers: usize,
+    /// Payload encoding for TCP backends. Volumetric sub-jobs require
+    /// [`PayloadEncoding::Binary`] — Bookshelf text has no tier axis.
+    pub encoding: PayloadEncoding,
+}
+
+impl Default for VolRouterConfig {
+    fn default() -> Self {
+        Self {
+            slabs: 2,
+            halo_layers: 2,
+            encoding: PayloadEncoding::Binary,
+        }
+    }
+}
+
+/// Why a [`VolRouter`] refused or abandoned a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VolRouteError {
+    /// The request carries no volumetric extension; use a
+    /// [`ShardRouter`](crate::ShardRouter) for planar jobs.
+    NotVolumetric,
+    /// Volumetric routing runs global diffusion only.
+    NotGlobal,
+    /// The one-step halo-exchange contract is FTCS-only; run spectral
+    /// stacks directly through [`VolumetricDiffusion`].
+    SpectralUnsupported,
+    /// The extension is not a self-contained full-stack job, or its
+    /// arrays do not match the design.
+    BadExtension(String),
+    /// A slab backend failed. Exact stitching is impossible without its
+    /// region, so the whole job fails rather than degrade.
+    Backend {
+        /// Slab whose backend failed.
+        slab: usize,
+        /// Transport or engine error.
+        message: String,
+    },
+}
+
+impl fmt::Display for VolRouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotVolumetric => write!(f, "request carries no volumetric extension"),
+            Self::NotGlobal => write!(f, "volumetric routing runs global diffusion only"),
+            Self::SpectralUnsupported => {
+                write!(
+                    f,
+                    "z-slab halo exchange is FTCS-only; spectral stacks run directly"
+                )
+            }
+            Self::BadExtension(msg) => write!(f, "bad volumetric extension: {msg}"),
+            Self::Backend { slab, message } => write!(f, "slab {slab} backend failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for VolRouteError {}
+
+/// Everything the router learned from one routed volumetric job.
+#[derive(Debug, Clone)]
+pub struct VolReply {
+    /// Aggregated response in the same shape a direct volumetric run
+    /// would produce: planar positions, a [`VolResponseExt`] with the
+    /// final depths and the evolved global field.
+    pub response: JobResponse,
+    /// Number of slabs that actually ran (after stack clamping).
+    pub slabs: usize,
+    /// Halo-exchange rounds executed; each round is one global FTCS
+    /// step, so this equals the reported step count.
+    pub rounds: usize,
+    /// Global max live density before round 1 and after every round;
+    /// monotone non-increasing (the FTCS maximum principle survives the
+    /// stitch).
+    pub max_density_trace: Vec<f64>,
+    /// Kernel timers merged across every in-process slab run.
+    pub kernels: KernelTimers,
+}
+
+/// One slab's extracted sub-problem for one round.
+struct SlabProblem {
+    index: usize,
+    /// Owned tier range `[z0, z1)` and shipped range `[h0, h1)`.
+    z0: usize,
+    z1: usize,
+    h0: usize,
+    h1: usize,
+    /// All fixed macros plus the movable cells this slab owns.
+    netlist: Netlist,
+    placement: Placement,
+    /// Region-local depths, sub-netlist order.
+    z_local: Vec<f64>,
+    /// Shipped density region, plane-major over `[h0, h1)`.
+    field: Vec<f64>,
+    /// Sub-netlist index -> global cell id.
+    map: Vec<CellId>,
+}
+
+/// What one slab's backend returned for one round.
+struct SlabRun {
+    positions: Vec<Point>,
+    z_local: Vec<f64>,
+    field: Vec<f64>,
+    kernels: Option<KernelTimers>,
+}
+
+/// Fans one volumetric [`JobRequest`] out over K z-slab backends with
+/// per-step halo exchange. See the [module docs](self) for the
+/// contract.
+pub struct VolRouter {
+    cfg: VolRouterConfig,
+    backends: Vec<ShardBackend>,
+}
+
+impl VolRouter {
+    /// Creates a router. Slab `i` runs on backend `i % backends.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.slabs` is zero or `backends` is empty.
+    pub fn new(cfg: VolRouterConfig, backends: Vec<ShardBackend>) -> Self {
+        assert!(cfg.slabs >= 1, "slab count must be positive");
+        assert!(!backends.is_empty(), "at least one backend required");
+        Self { cfg, backends }
+    }
+
+    /// Creates a router that runs every slab in-process.
+    pub fn in_process(cfg: VolRouterConfig) -> Self {
+        Self::new(cfg, vec![ShardBackend::InProcess])
+    }
+
+    /// The routing configuration.
+    pub fn config(&self) -> &VolRouterConfig {
+        &self.cfg
+    }
+
+    /// The configured backends.
+    pub fn backends(&self) -> &[ShardBackend] {
+        &self.backends
+    }
+
+    /// Routes one full-stack volumetric job across the slabs and
+    /// stitches the result.
+    ///
+    /// # Errors
+    ///
+    /// [`VolRouteError`] on a non-volumetric/non-global/spectral
+    /// request, a malformed extension, or any backend failure — the
+    /// router never returns a partially-migrated stack.
+    pub fn route(&self, req: &JobRequest) -> Result<VolReply, VolRouteError> {
+        let t0 = Instant::now();
+        let ext = req.vol.as_ref().ok_or(VolRouteError::NotVolumetric)?;
+        if !matches!(req.kind, JobKind::Global) {
+            return Err(VolRouteError::NotGlobal);
+        }
+        if req.config.solver == SolverKind::Spectral {
+            return Err(VolRouteError::SpectralUnsupported);
+        }
+        if ext.z.len() != req.netlist.num_cells() {
+            return Err(VolRouteError::BadExtension(format!(
+                "{} depths for {} cells",
+                ext.z.len(),
+                req.netlist.num_cells()
+            )));
+        }
+        if ext.field.is_some()
+            || ext.exact_steps.is_some()
+            || ext.z0 != 0
+            || ext.nz != ext.global_nz
+        {
+            return Err(VolRouteError::BadExtension(
+                "routing expects a self-contained full-stack job".into(),
+            ));
+        }
+        let nz = ext.global_nz as usize;
+        let cfg = &req.config;
+        let grid = BinGrid::new(req.die.outline(), cfg.bin_size);
+        let nxy = grid.len();
+
+        // Splat and manipulate once, globally — exactly the field a
+        // direct full-stack run starts from. From here on the density
+        // is a pure field: sub-jobs receive regions of it and never
+        // re-splat, which is what makes the routed run bit-identical to
+        // the direct one.
+        let mut vp = VolPlacement {
+            xy: req.placement.clone(),
+            z: ext.z.clone(),
+        };
+        let (mut field, wall) = splat_volume(&req.netlist, &vp, &grid, nz);
+        if cfg.manipulate {
+            manipulate_density(&mut field, Some(&wall), cfg.d_max);
+        }
+
+        // The engine's live-density measure: max over non-wall bins (no
+        // bins are frozen in a volumetric run).
+        let max_live = |f: &[f64]| {
+            let mut m = 0.0f64;
+            for (i, &d) in f.iter().enumerate() {
+                if !wall[i] {
+                    m = m.max(d);
+                }
+            }
+            m
+        };
+        let target = cfg.d_max + cfg.delta;
+        let mut trace = vec![max_live(&field)];
+        // Replicates the direct runner's pre-loop convergence check.
+        let mut converged = trace[0] <= target;
+
+        let partition = ZSlabPartition::new(nz, self.cfg.slabs, self.cfg.halo_layers);
+        let k = partition.len();
+        let mut kernels = KernelTimers::default();
+        let mut rounds = 0usize;
+
+        while !converged && rounds < cfg.max_steps {
+            // Ownership and shipped regions derive from the freshest
+            // depths and field.
+            let problems: Vec<SlabProblem> = (0..k)
+                .map(|s| extract_slab(req, &vp, &partition, s, &field, nxy))
+                .collect();
+
+            let runs: Vec<Result<SlabRun, String>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = problems
+                    .iter()
+                    .map(|problem| {
+                        let backend = self.backends[problem.index % self.backends.len()];
+                        let encoding = self.cfg.encoding;
+                        scope.spawn(move || run_slab(backend, req, problem, nz, encoding))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("slab thread never panics"))
+                    .collect()
+            });
+
+            for (problem, run) in problems.iter().zip(runs) {
+                let run = run.map_err(|message| VolRouteError::Backend {
+                    slab: problem.index,
+                    message,
+                })?;
+                // Stitch the owned tiers of the evolved region…
+                for z in problem.z0..problem.z1 {
+                    let src = (z - problem.h0) * nxy;
+                    field[z * nxy..(z + 1) * nxy].copy_from_slice(&run.field[src..src + nxy]);
+                }
+                // …and the owned cells. Macros ride along for the wall
+                // mask only; their positions never change.
+                for (i, &gid) in problem.map.iter().enumerate() {
+                    if req.netlist.cell(gid).kind == CellKind::Movable {
+                        vp.xy.set(gid, run.positions[i]);
+                        vp.z[gid.index()] = run.z_local[i] + problem.h0 as f64;
+                    }
+                }
+                if let Some(kt) = run.kernels {
+                    kernels.merge(&kt);
+                }
+            }
+
+            rounds += 1;
+            let m = max_live(&field);
+            trace.push(m);
+            converged = m <= target;
+        }
+
+        let movement = MovementStats::between(&req.netlist, &req.placement, &vp.xy);
+        let response = JobResponse {
+            id: req.id,
+            converged,
+            steps: rounds as u64,
+            rounds: rounds as u64,
+            total_movement: movement.total,
+            max_movement: movement.max,
+            queue_ns: 0,
+            service_ns: t0.elapsed().as_nanos() as u64,
+            positions: vp.xy.as_slice().to_vec(),
+            vol: Some(VolResponseExt {
+                z: vp.z,
+                field: Some(field),
+            }),
+        };
+        Ok(VolReply {
+            response,
+            slabs: k,
+            rounds,
+            max_density_trace: trace,
+            kernels,
+        })
+    }
+}
+
+/// Builds one slab's sub-problem: every fixed macro (for the
+/// through-stack wall mask) plus the movable cells whose depth the slab
+/// owns, with region-local depths and the slab's density region.
+fn extract_slab(
+    req: &JobRequest,
+    vp: &VolPlacement,
+    partition: &ZSlabPartition,
+    slab_idx: usize,
+    field: &[f64],
+    nxy: usize,
+) -> SlabProblem {
+    let slab = partition.slabs()[slab_idx];
+    let mut b = NetlistBuilder::with_capacity(req.netlist.num_cells(), 0, 0);
+    let mut map = Vec::new();
+    for c in req.netlist.cell_ids() {
+        let cell = req.netlist.cell(c);
+        let keep = match cell.kind {
+            CellKind::FixedMacro => true,
+            CellKind::Movable => partition.owner_of_depth(vp.z[c.index()]) == slab_idx,
+            CellKind::Pad => false,
+        };
+        if keep {
+            b.add_cell_with_delay(
+                cell.name.clone(),
+                cell.width,
+                cell.height,
+                cell.kind,
+                cell.delay,
+            );
+            map.push(c);
+        }
+    }
+    let netlist = b.build().expect("sub-netlist of existing cells is valid");
+    let mut placement = Placement::new(netlist.num_cells());
+    let mut z_local = Vec::with_capacity(map.len());
+    for (sub, &gid) in netlist.cell_ids().zip(map.iter()) {
+        placement.set(sub, vp.xy.get(gid));
+        z_local.push(vp.z[gid.index()] - slab.h0 as f64);
+    }
+    SlabProblem {
+        index: slab_idx,
+        z0: slab.z0,
+        z1: slab.z1,
+        h0: slab.h0,
+        h1: slab.h1,
+        netlist,
+        placement,
+        z_local,
+        field: field[slab.h0 * nxy..slab.h1 * nxy].to_vec(),
+        map,
+    }
+}
+
+/// Runs one slab's one-step sub-job on its backend. Transport failures
+/// and engine panics degrade to `Err` — the router fails the whole job.
+fn run_slab(
+    backend: ShardBackend,
+    req: &JobRequest,
+    problem: &SlabProblem,
+    global_nz: usize,
+    encoding: PayloadEncoding,
+) -> Result<SlabRun, String> {
+    let region_nz = problem.h1 - problem.h0;
+    match backend {
+        ShardBackend::InProcess => {
+            let spec = VolJobSpec {
+                nz: region_nz,
+                z0: problem.h0,
+                global_nz,
+                field: Some(problem.field.clone()),
+                exact_steps: Some(1),
+            };
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut svp = VolPlacement {
+                    xy: problem.placement.clone(),
+                    z: problem.z_local.clone(),
+                };
+                let r = VolumetricDiffusion::new(req.config.clone(), global_nz).run_job(
+                    &spec,
+                    &problem.netlist,
+                    &req.die,
+                    &mut svp,
+                    &|| false,
+                );
+                SlabRun {
+                    positions: svp.xy.as_slice().to_vec(),
+                    z_local: svp.z,
+                    field: r.field,
+                    kernels: Some(*r.telemetry.kernels()),
+                }
+            }))
+            .map_err(|_| "slab engine panicked".into())
+        }
+        ShardBackend::Tcp(addr) => {
+            let sub = JobRequest {
+                id: req.id,
+                deadline_ms: req.deadline_ms,
+                progress_stride: 0,
+                kind: JobKind::Global,
+                design: format!("{}/slab{}", req.design, problem.index),
+                config: req.config.clone(),
+                netlist: problem.netlist.clone(),
+                die: req.die.clone(),
+                placement: problem.placement.clone(),
+                vol: Some(VolRequestExt {
+                    nz: region_nz as u32,
+                    z0: problem.h0 as u32,
+                    global_nz: global_nz as u32,
+                    exact_steps: Some(1),
+                    z: problem.z_local.clone(),
+                    field: Some(problem.field.clone()),
+                }),
+            };
+            let reply = ServeClient::connect(addr)
+                .map_err(|e| format!("connect {addr}: {e}"))
+                .and_then(|mut client| {
+                    client
+                        .request(&sub, encoding)
+                        .map_err(|e| format!("transport: {e}"))
+                })?;
+            match reply {
+                Reply::Ok(resp) => {
+                    let ext = resp.vol.ok_or_else(|| {
+                        "backend reply lacks the volumetric extension".to_string()
+                    })?;
+                    let field = ext
+                        .field
+                        .ok_or_else(|| "backend reply lacks the evolved field".to_string())?;
+                    if resp.positions.len() != problem.map.len()
+                        || ext.z.len() != problem.map.len()
+                        || field.len() != problem.field.len()
+                    {
+                        return Err(format!(
+                            "backend returned {} positions / {} depths / {} field bins for {} cells / {} bins",
+                            resp.positions.len(),
+                            ext.z.len(),
+                            field.len(),
+                            problem.map.len(),
+                            problem.field.len()
+                        ));
+                    }
+                    Ok(SlabRun {
+                        positions: resp.positions,
+                        z_local: ext.z,
+                        field,
+                        kernels: None,
+                    })
+                }
+                Reply::Rejected(e) => Err(format!("{}: {}", e.code.as_str(), e.message)),
+            }
+        }
+    }
+}

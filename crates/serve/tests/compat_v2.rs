@@ -53,6 +53,7 @@ fn v2_request(id: u64, progress_stride: u32) -> JobRequest {
         netlist: bench.netlist,
         die: bench.die,
         placement: bench.placement,
+        vol: None,
     }
 }
 

@@ -43,6 +43,7 @@ fn request(id: u64, kind: JobKind, config: DiffusionConfig, deadline_ms: u32) ->
         netlist: b.netlist,
         die: b.die,
         placement: b.placement,
+        vol: None,
     }
 }
 
@@ -66,6 +67,7 @@ fn busy_request(id: u64, kind: JobKind) -> JobRequest {
         netlist: b.netlist,
         die: b.die,
         placement: b.placement,
+        vol: None,
     }
 }
 

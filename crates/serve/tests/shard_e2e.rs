@@ -29,6 +29,7 @@ fn request(bench: &Benchmark, id: u64) -> JobRequest {
         netlist: bench.netlist.clone(),
         die: bench.die.clone(),
         placement: bench.placement.clone(),
+        vol: None,
     }
 }
 
@@ -252,6 +253,7 @@ fn dead_shard_degrades_to_unmigrated_region_not_job_failure() {
         netlist: nl.clone(),
         die: die.clone(),
         placement: placement.clone(),
+        vol: None,
     };
 
     // Shard 0 healthy in-process, shard 1 routed to a dead port.
@@ -328,6 +330,7 @@ fn killed_backend_fails_over_to_warm_spare_with_no_unmigrated_region() {
         netlist: nl.clone(),
         die: die.clone(),
         placement: placement.clone(),
+        vol: None,
     };
     let cfg = ShardRouterConfig {
         shards: 2,

@@ -47,6 +47,7 @@ echo "==> determinism matrix (DPM_SOLVER in ftcs spectral, DPM_THREADS in 1 2 4)
 # different (both valid) placements, but neither may vary with threads.
 for solver in ftcs spectral; do
     checksum_ref=""
+    vol_ref=""
     for t in 1 2 4; do
         echo "  -> DPM_SOLVER=$solver DPM_THREADS=$t: dpm-diffusion test suite"
         DPM_SOLVER=$solver DPM_THREADS=$t cargo test -q --release --offline -p dpm-diffusion
@@ -58,6 +59,18 @@ for solver in ftcs spectral; do
         elif ! diff -q "$checksum_ref" "$sum_out" >/dev/null; then
             echo "DETERMINISM BREAK: $solver checksum at DPM_THREADS=$t differs:" >&2
             diff "$checksum_ref" "$sum_out" >&2 || true
+            exit 1
+        fi
+        # The volumetric (3-tier) leg of the same matrix: one 3D
+        # migration, hashed over position, depth, and field bits.
+        vol_out="$(mktemp_tracked)"
+        DPM_SOLVER=$solver DPM_THREADS=$t cargo run --release --offline -p dpm-bench --bin golden_checksum -- vol >"$vol_out" 2>/dev/null
+        if [[ -z "$vol_ref" ]]; then
+            vol_ref="$vol_out"
+            echo "  -> volumetric checksum ($solver) @1 thread: $(cat "$vol_out")"
+        elif ! diff -q "$vol_ref" "$vol_out" >/dev/null; then
+            echo "DETERMINISM BREAK: $solver volumetric checksum at DPM_THREADS=$t differs:" >&2
+            diff "$vol_ref" "$vol_out" >&2 || true
             exit 1
         fi
     done
@@ -74,6 +87,10 @@ grep -q '"spectral_vs_ftcs"' "$kernels_out"
 grep -q '"spectral_round_trip_ns"' "$kernels_out"
 grep -q '"field_update_flops"' "$kernels_out"
 grep -q '"flops_ratio"' "$kernels_out"
+# The volumetric 7-point stencil section, timed at every thread count.
+grep -q '"stencil3d"' "$kernels_out"
+grep -q '"nz": 4' "$kernels_out"
+grep -Eq '"kernel": "stencil3d", "threads": 8' "$kernels_out"
 
 echo "==> service smoke test (perf_serve --smoke --pipeline 2)"
 # Boots a real server on an ephemeral port, replays a deterministic
