@@ -82,6 +82,7 @@ fn request(bench: &Benchmark, id: u64) -> JobRequest {
         die: bench.die.clone(),
         placement: bench.placement.clone(),
         vol: None,
+        trace: None,
     }
 }
 

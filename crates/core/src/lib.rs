@@ -105,7 +105,8 @@ pub use global::{DiffusionResult, GlobalDiffusion};
 pub use local::LocalDiffusion;
 pub use manip::manipulate_density;
 pub use observe::{
-    DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, StepEvent,
+    DiffusionObserver, KernelEvent, KernelKind, NoopObserver, RoundEvent, SpanObserver, StepEvent,
+    KERNEL_SPAN_CAP,
 };
 pub use shard::{
     stitch_positions, BinRect, ShardPartition, ShardProblem, ShardRegion, ZSlab, ZSlabPartition,

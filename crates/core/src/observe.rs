@@ -99,6 +99,120 @@ pub struct NoopObserver;
 
 impl DiffusionObserver for NoopObserver {}
 
+impl KernelKind {
+    /// Stable span/metric name for this kernel.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            KernelKind::Ftcs => "kernel.ftcs",
+            KernelKind::Velocity => "kernel.velocity",
+            KernelKind::Advect => "kernel.advect",
+            KernelKind::Splat => "kernel.splat",
+        }
+    }
+}
+
+/// Default cap on per-kernel spans recorded by one [`SpanObserver`].
+///
+/// A long run fires thousands of kernel events; a trace needs the first
+/// few to show the per-kernel breakdown, not all of them. The cap
+/// bounds both the span ring pressure and the wire-export size.
+pub const KERNEL_SPAN_CAP: usize = 64;
+
+/// Bridges [`DiffusionObserver`] kernel events into distributed-trace
+/// spans.
+///
+/// Each timed kernel invocation becomes a child span of `parent` in
+/// `recorder`, with ids minted deterministically from the seed. Kernel
+/// events report only their elapsed wall time, so the span's interval
+/// is reconstructed as `[now - elapsed, now]` in the recorder's epoch.
+/// At most `cap` kernel spans are recorded (the rest are counted in
+/// [`SpanObserver::kernel_events`]); every event is still forwarded to
+/// the optional chained observer, so progress streaming composes with
+/// tracing. Like every observer, this is a read-only witness — the
+/// placement is bit-identical with or without it.
+pub struct SpanObserver<'a> {
+    recorder: &'a dpm_obs::SpanRecorder,
+    parent: dpm_obs::TraceContext,
+    ids: dpm_obs::TraceIdGen,
+    cap: usize,
+    recorded: usize,
+    events: u64,
+    inner: Option<&'a mut dyn DiffusionObserver>,
+}
+
+impl<'a> SpanObserver<'a> {
+    /// Creates a bridge recording kernel spans under `parent`.
+    ///
+    /// `seed` drives span-id minting; pass something derived from the
+    /// inherited context (e.g. `parent.span_id`) so the ids are a pure
+    /// function of the root trace seed.
+    pub fn new(
+        recorder: &'a dpm_obs::SpanRecorder,
+        parent: dpm_obs::TraceContext,
+        seed: u64,
+    ) -> Self {
+        Self {
+            recorder,
+            parent,
+            ids: dpm_obs::TraceIdGen::seeded(seed),
+            cap: KERNEL_SPAN_CAP,
+            recorded: 0,
+            events: 0,
+            inner: None,
+        }
+    }
+
+    /// Chains another observer that receives every event unchanged.
+    pub fn with_inner(mut self, inner: &'a mut dyn DiffusionObserver) -> Self {
+        self.inner = Some(inner);
+        self
+    }
+
+    /// Overrides the kernel-span cap.
+    pub fn with_cap(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Total kernel events seen (recorded or not).
+    pub fn kernel_events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl DiffusionObserver for SpanObserver<'_> {
+    fn on_step(&mut self, event: &StepEvent<'_>) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_step(event);
+        }
+    }
+
+    fn on_round(&mut self, event: &RoundEvent) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_round(event);
+        }
+    }
+
+    fn on_kernel(&mut self, event: &KernelEvent) {
+        self.events += 1;
+        if self.recorded < self.cap {
+            self.recorded += 1;
+            let now = self.recorder.now_ns();
+            let elapsed = u64::try_from(event.elapsed.as_nanos()).unwrap_or(u64::MAX);
+            let ctx = self.ids.child_of(&self.parent);
+            self.recorder.record_traced(
+                event.kernel.span_name(),
+                now.saturating_sub(elapsed),
+                now,
+                ctx,
+            );
+        }
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.on_kernel(event);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +238,56 @@ mod tests {
             threads: 1,
         });
         assert_eq!(obs.0, 0);
+    }
+
+    #[test]
+    fn span_observer_records_capped_kernel_spans_and_chains() {
+        struct CountKernels(u64);
+        impl DiffusionObserver for CountKernels {
+            fn on_kernel(&mut self, _event: &KernelEvent) {
+                self.0 += 1;
+            }
+        }
+        let recorder = dpm_obs::SpanRecorder::new(64);
+        // Let the recorder's epoch age past the events' elapsed time, or
+        // `now - elapsed` would clamp at zero and shorten the spans.
+        while recorder.now_ns() < 20_000 {
+            std::hint::spin_loop();
+        }
+        let parent = dpm_obs::TraceIdGen::seeded(9).root();
+        let mut chained = CountKernels(0);
+        let mut bridge = SpanObserver::new(&recorder, parent, parent.span_id)
+            .with_cap(3)
+            .with_inner(&mut chained);
+        for _ in 0..5 {
+            bridge.on_kernel(&KernelEvent {
+                kernel: KernelKind::Velocity,
+                elapsed: Duration::from_micros(10),
+                threads: 2,
+            });
+        }
+        assert_eq!(bridge.kernel_events(), 5);
+        assert_eq!(chained.0, 5, "chained observer sees every event");
+        let records = recorder.records();
+        assert_eq!(records.len(), 3, "cap limits recorded spans");
+        for r in &records {
+            assert_eq!(r.name, "kernel.velocity");
+            assert_eq!(r.trace_id, parent.trace_id);
+            assert_eq!(r.parent_id, parent.span_id);
+            assert!(r.duration_ns() >= 10_000);
+        }
+        // Ids are a pure function of the seed.
+        let recorder2 = dpm_obs::SpanRecorder::new(64);
+        let mut bridge2 = SpanObserver::new(&recorder2, parent, parent.span_id).with_cap(3);
+        for _ in 0..3 {
+            bridge2.on_kernel(&KernelEvent {
+                kernel: KernelKind::Velocity,
+                elapsed: Duration::from_micros(10),
+                threads: 2,
+            });
+        }
+        let ids: Vec<u64> = records.iter().map(|r| r.span_id).collect();
+        let ids2: Vec<u64> = recorder2.records().iter().map(|r| r.span_id).collect();
+        assert_eq!(ids, ids2);
     }
 }

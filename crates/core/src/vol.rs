@@ -34,7 +34,8 @@
 use crate::advect::AdvectOutcome;
 use crate::spectral::SpectralSolver3;
 use crate::{
-    manipulate_density, DiffusionConfig, DiffusionEngine, SolverKind, StepRecord, Telemetry,
+    manipulate_density, DiffusionConfig, DiffusionEngine, DiffusionObserver, KernelEvent,
+    KernelKind, NoopObserver, SolverKind, StepRecord, Telemetry,
 };
 use dpm_geom::{clamp, Point, Point3};
 use dpm_netlist::{CellId, CellKind, Netlist};
@@ -353,6 +354,27 @@ impl VolumetricDiffusion {
         placement: &mut VolPlacement,
         should_stop: &dyn Fn() -> bool,
     ) -> VolResult {
+        self.run_job_observed(job, netlist, die, placement, should_stop, &mut NoopObserver)
+    }
+
+    /// Like [`run_job`](Self::run_job) with an attached
+    /// [`DiffusionObserver`]: each timed kernel invocation additionally
+    /// fires [`DiffusionObserver::on_kernel`]. Observers are read-only
+    /// witnesses, so the result is bit-identical with or without one.
+    pub fn run_job_observed(
+        &self,
+        job: &VolJobSpec,
+        netlist: &Netlist,
+        die: &Die,
+        placement: &mut VolPlacement,
+        should_stop: &dyn Fn() -> bool,
+        observer: &mut dyn DiffusionObserver,
+    ) -> VolResult {
+        let kernel_event = |kernel: KernelKind, elapsed: std::time::Duration| KernelEvent {
+            kernel,
+            elapsed,
+            threads: self.cfg.threads.max(1),
+        };
         assert_eq!(
             placement.z.len(),
             netlist.num_cells(),
@@ -387,10 +409,9 @@ impl VolumetricDiffusion {
             DiffusionEngine::from_raw_3d(grid.nx(), grid.ny(), job.nz, density, Some(wall));
         engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
         engine.set_threads(self.cfg.threads);
-        engine
-            .kernel_timers_mut()
-            .splat
-            .record(splat_start.elapsed(), 1);
+        let splat_elapsed = splat_start.elapsed();
+        engine.kernel_timers_mut().splat.record(splat_elapsed, 1);
+        observer.on_kernel(&kernel_event(KernelKind::Splat, splat_elapsed));
 
         if self.cfg.manipulate && job.field.is_none() {
             let mut d = engine.densities().to_vec();
@@ -423,7 +444,12 @@ impl VolumetricDiffusion {
                     break;
                 }
                 let stride = (1usize << steps.min(20)).min(self.cfg.max_steps - elapsed_budget);
+                let velocity_start = Instant::now();
                 engine.compute_velocities();
+                observer.on_kernel(&kernel_event(
+                    KernelKind::Velocity,
+                    velocity_start.elapsed(),
+                ));
                 let advect_start = Instant::now();
                 let mut strided = self.cfg.clone();
                 strided.dt = self.cfg.dt * stride as f64;
@@ -436,18 +462,16 @@ impl VolumetricDiffusion {
                     job.z0,
                     job.global_nz,
                 );
-                engine
-                    .kernel_timers_mut()
-                    .advect
-                    .record(advect_start.elapsed(), 1);
+                let advect_elapsed = advect_start.elapsed();
+                engine.kernel_timers_mut().advect.record(advect_elapsed, 1);
+                observer.on_kernel(&kernel_event(KernelKind::Advect, advect_elapsed));
                 let jump_start = Instant::now();
                 elapsed_budget += stride;
                 solver.density_at(elapsed_budget as f64 * tau * 0.5, &mut field);
                 engine.load_densities(&field);
-                engine
-                    .kernel_timers_mut()
-                    .ftcs
-                    .record(jump_start.elapsed(), 1);
+                let jump_elapsed = jump_start.elapsed();
+                engine.kernel_timers_mut().ftcs.record(jump_elapsed, 1);
+                observer.on_kernel(&kernel_event(KernelKind::Ftcs, jump_elapsed));
                 steps += 1;
                 let max_density = engine.max_live_density();
                 telemetry.push(StepRecord {
@@ -465,7 +489,12 @@ impl VolumetricDiffusion {
                     cancelled = true;
                     break;
                 }
+                let velocity_start = Instant::now();
                 engine.compute_velocities();
+                observer.on_kernel(&kernel_event(
+                    KernelKind::Velocity,
+                    velocity_start.elapsed(),
+                ));
                 let advect_start = Instant::now();
                 let advect = advect_cells3(
                     &engine,
@@ -476,11 +505,12 @@ impl VolumetricDiffusion {
                     job.z0,
                     job.global_nz,
                 );
-                engine
-                    .kernel_timers_mut()
-                    .advect
-                    .record(advect_start.elapsed(), 1);
+                let advect_elapsed = advect_start.elapsed();
+                engine.kernel_timers_mut().advect.record(advect_elapsed, 1);
+                observer.on_kernel(&kernel_event(KernelKind::Advect, advect_elapsed));
+                let ftcs_start = Instant::now();
                 engine.step_density(self.cfg.dt * self.cfg.diffusivity);
+                observer.on_kernel(&kernel_event(KernelKind::Ftcs, ftcs_start.elapsed()));
                 steps += 1;
                 let max_density = engine.max_live_density();
                 telemetry.push(StepRecord {

@@ -28,8 +28,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use dpm_diffusion::{DiffusionObserver, StepEvent};
+use dpm_diffusion::{DiffusionObserver, SpanObserver, StepEvent};
 use dpm_geom::Point;
+use dpm_obs::{labeled, normalize_spans, rebase_spans, SpanRecorder, TraceIdGen};
 use dpm_serve::delta::decode_delta_request;
 use dpm_serve::wire::{
     decode_design_bytes, decode_put_design, decode_request, encode_design_ack, encode_error,
@@ -37,7 +38,9 @@ use dpm_serve::wire::{
     write_frame_versioned, DesignAck, ErrorCode, ErrorReply, Frame, FrameAssembler, FrameKind,
     JobRequest, JobResponse, NeedDesign, ProgressUpdate, WireError, DEFAULT_MAX_FRAME_LEN,
 };
-use dpm_serve::{execute_job, ShardRouter, ShardRouterConfig};
+use dpm_serve::{
+    execute_job, ShardRouter, ShardRouterConfig, VolRouteError, VolRouter, VolRouterConfig,
+};
 
 use crate::cache::{CacheStats, CachedDesign, DesignCache};
 use crate::fair::{AdmitError, FairQueue, TenantSpec};
@@ -59,6 +62,19 @@ pub enum ExecMode {
         /// Upper bound on halo-exchange rounds.
         max_halo_rounds: usize,
         /// Primaries and warm spares.
+        registry: BackendRegistry,
+    },
+    /// Fan each volumetric job out across z-slab backends through a
+    /// [`VolRouter`], selecting backends from a health-checked registry
+    /// per job. Planar jobs (no volumetric extension) fall back to
+    /// running on the worker thread.
+    Volumetric {
+        /// Requested slab count K.
+        slabs: usize,
+        /// Ghost tiers shipped on each side of a slab's owned range.
+        halo_layers: usize,
+        /// Primaries (the z-slab router has no degraded mode, so warm
+        /// spares are ignored).
         registry: BackendRegistry,
     },
 }
@@ -115,7 +131,23 @@ enum Exec {
         max_halo_rounds: usize,
         registry: Mutex<BackendRegistry>,
     },
+    Volumetric {
+        slabs: usize,
+        halo_layers: usize,
+        registry: Mutex<BackendRegistry>,
+    },
 }
+
+/// How many recent spans the control plane's shared recorder retains.
+const CTL_SPAN_CAPACITY: usize = 512;
+
+/// Per-site salts for deterministic span-id minting. Each traced hop
+/// seeds its own generator from the inherited span id; distinct salts
+/// keep the front-end's admission/cache spans, the worker's job spans
+/// and downstream hops on disjoint id streams.
+const CTL_ADMIT_SALT: u64 = 0xC7_1A_D0_17_AD_31_75_01;
+const CTL_CACHE_SALT: u64 = 0xC7_1C_AC_8E_5E_ED_02_02;
+const CTL_JOB_SALT: u64 = 0xC7_1E_4E_C5_EE_D0_03_03;
 
 struct Shared {
     queue: FairQueue<Job>,
@@ -124,6 +156,11 @@ struct Shared {
     /// readiness wait: `(connection token, encoded frame bytes)`.
     outbox: Mutex<Vec<(u64, Vec<u8>)>>,
     metrics: CtlMetrics,
+    /// Shared span ring for traced requests: the front-end records
+    /// admission and cache spans into it, workers record queue-wait and
+    /// execution spans, and the worker drains a trace's spans into the
+    /// response when its job completes.
+    spans: SpanRecorder,
     exec: Exec,
     stop: AtomicBool,
     default_deadline_ms: u32,
@@ -188,12 +225,24 @@ impl CtlServer {
                 max_halo_rounds,
                 registry: Mutex::new(registry),
             },
+            ExecMode::Volumetric {
+                slabs,
+                halo_layers,
+                registry,
+            } => Exec::Volumetric {
+                slabs,
+                halo_layers,
+                registry: Mutex::new(registry),
+            },
         };
+        let metrics = CtlMetrics::new(&tenant_names);
+        let spans = SpanRecorder::with_registry(CTL_SPAN_CAPACITY, metrics.registry());
         let shared = Arc::new(Shared {
             queue: FairQueue::new(&cfg.tenants),
             cache: Mutex::new(DesignCache::new(cfg.cache_bytes)),
             outbox: Mutex::new(Vec::new()),
-            metrics: CtlMetrics::new(&tenant_names),
+            metrics,
+            spans,
             exec,
             stop: AtomicBool::new(false),
             default_deadline_ms: cfg.default_deadline_ms,
@@ -238,10 +287,12 @@ impl CtlServer {
         self.shared.cache.lock().unwrap().stats()
     }
 
-    /// Backend-registry state, when running sharded.
+    /// Backend-registry state, when running sharded or volumetric.
     pub fn registry_snapshot(&self) -> Option<RegistrySnapshot> {
         match &self.shared.exec {
-            Exec::Sharded { registry, .. } => Some(registry.lock().unwrap().snapshot()),
+            Exec::Sharded { registry, .. } | Exec::Volumetric { registry, .. } => {
+                Some(registry.lock().unwrap().snapshot())
+            }
             Exec::InProcess => None,
         }
     }
@@ -557,7 +608,25 @@ fn handle_delta(shared: &Shared, token: u64, conn: &mut Conn, dreq: dpm_serve::D
         );
         return;
     };
+    let lookup_start = dreq.trace.map(|_| shared.spans.now_ns());
     let baseline = shared.cache.lock().unwrap().get(dreq.baseline);
+    // One span per design-cache decision, named for its outcome: a
+    // `cache.miss` subtree ends at the NeedDesign round trip it causes.
+    if let (Some(ctx), Some(start)) = (dreq.trace, lookup_start) {
+        // The outcome folds into the seed: a miss and the hit after the
+        // client's re-send inherit the same context, and must not mint
+        // the same span id.
+        let seed = ctx.span_id ^ CTL_CACHE_SALT ^ u64::from(baseline.is_some());
+        let cache_ctx = TraceIdGen::seeded(seed).child_of(&ctx);
+        let name = if baseline.is_some() {
+            "cache.hit"
+        } else {
+            "cache.miss"
+        };
+        shared
+            .spans
+            .record_traced(name, start, shared.spans.now_ns(), cache_ctx);
+    }
     let Some(design) = baseline else {
         shared.metrics.need_design.inc();
         conn.push_frame(
@@ -581,6 +650,7 @@ fn handle_delta(shared: &Shared, token: u64, conn: &mut Conn, dreq: dpm_serve::D
 
 fn admit(shared: &Shared, token: u64, conn: &mut Conn, tenant_idx: usize, req: JobRequest) {
     let id = req.id;
+    let admit_start = req.trace.map(|_| shared.spans.now_ns());
     let deadline_ms = if req.deadline_ms == 0 {
         shared.default_deadline_ms
     } else {
@@ -588,6 +658,7 @@ fn admit(shared: &Shared, token: u64, conn: &mut Conn, tenant_idx: usize, req: J
     };
     let deadline =
         (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+    let trace = req.trace;
     let job = Job {
         conn: token,
         version: conn.version,
@@ -595,10 +666,32 @@ fn admit(shared: &Shared, token: u64, conn: &mut Conn, tenant_idx: usize, req: J
         deadline,
         req,
     };
-    match shared
+    // The admission span carries the tenant label — the root of the
+    // tree this control plane grafts onto the client's trace context.
+    // Recorded *before* the push: the moment the job is queued a worker
+    // may pop, finish, and drain the trace, and a span recorded after
+    // that drain would be orphaned.
+    if let (Some(ctx), Some(start)) = (trace, admit_start) {
+        let admit_ctx = TraceIdGen::seeded(ctx.span_id ^ CTL_ADMIT_SALT).child_of(&ctx);
+        let tenant = shared.queue.tenant_name(tenant_idx);
+        shared.spans.record_traced(
+            &labeled("ctl.admit", &[("tenant", tenant)]),
+            start,
+            shared.spans.now_ns(),
+            admit_ctx,
+        );
+    }
+    let outcome = shared
         .queue
-        .try_push(shared.queue.tenant_name(tenant_idx), job)
-    {
+        .try_push(shared.queue.tenant_name(tenant_idx), job);
+    if outcome.is_err() {
+        // The job never ran, so nothing will drain this trace; drop its
+        // spans instead of letting them sit in the ring.
+        if let Some(ctx) = trace {
+            drop(shared.spans.drain_trace(ctx.trace_id));
+        }
+    }
+    match outcome {
         Ok(()) => shared.metrics.admitted.inc(),
         Err(AdmitError::QueueFull) => {
             shared.metrics.overloaded.inc();
@@ -681,9 +774,26 @@ fn worker_loop(shared: &Shared) {
             version,
             arrived,
             deadline,
-            req,
+            mut req,
         } = job;
         let id = req.id;
+        // Traced requests get a retroactive queue-wait span and an
+        // execution context; downstream hops (routers, in-process
+        // kernel bridges) inherit the execution context so their spans
+        // nest under `ctl.execute`, not directly under the root.
+        let root = req.trace;
+        let job_ctx = root.map(|ctx| {
+            let mut ids = TraceIdGen::seeded(ctx.span_id ^ CTL_JOB_SALT);
+            let now = shared.spans.now_ns();
+            shared.spans.record_traced(
+                "queue.wait",
+                now.saturating_sub(queue_wait.as_nanos() as u64),
+                now,
+                ids.child_of(&ctx),
+            );
+            ids.child_of(&ctx)
+        });
+        req.trace = job_ctx;
         let outcome = if let Err(e) = req.config.validate() {
             shared.metrics.invalid_config.inc();
             Err(ErrorReply {
@@ -709,6 +819,17 @@ fn worker_loop(shared: &Shared) {
                     *max_halo_rounds,
                     &req,
                 ),
+                Exec::Volumetric {
+                    slabs,
+                    halo_layers,
+                    registry,
+                } => {
+                    if req.vol.is_some() {
+                        run_volumetric(shared, registry, *slabs, *halo_layers, &req)
+                    } else {
+                        run_in_process(shared, conn, version, deadline, &req)
+                    }
+                }
             }
         };
         shared.metrics.served.inc();
@@ -718,11 +839,26 @@ fn worker_loop(shared: &Shared) {
         match outcome {
             Ok(mut resp) => {
                 resp.queue_ns = queue_wait.as_nanos() as u64;
+                // Stitch the trace: the control plane's own spans
+                // (admission, cache, queue wait, execution) plus the
+                // tree a router or kernel bridge already put in
+                // `resp.spans`, normalized for the client to re-base.
+                if let Some(ctx) = root {
+                    let mut spans = shared.spans.drain_trace(ctx.trace_id);
+                    spans.append(&mut resp.spans);
+                    normalize_spans(&mut spans);
+                    resp.spans = spans;
+                }
                 shared.metrics.service_hist.record(resp.service_ns);
                 shared.metrics.tenant(tenant_idx).jobs_ok.inc();
                 shared.send(conn, version, FrameKind::Response, &encode_response(&resp));
             }
             Err(err) => {
+                // Error replies carry no span export; drop the trace's
+                // spans so they cannot leak into a later drain.
+                if let Some(ctx) = root {
+                    drop(shared.spans.drain_trace(ctx.trace_id));
+                }
                 if err.code == ErrorCode::DeadlineExpired {
                     shared.metrics.deadline_expired.inc();
                 }
@@ -751,16 +887,40 @@ fn run_in_process(
         movement: 0.0,
     };
     let t0 = Instant::now();
-    let result = execute_job(
-        req.kind,
-        &req.config,
-        &req.netlist,
-        &req.die,
-        &mut placement,
-        &should_stop,
-        &mut observer,
-    );
+    let exec_start = req.trace.map(|_| shared.spans.now_ns());
+    let result = match req.trace {
+        // Traced: thread a kernel-span bridge in front of the progress
+        // observer so per-kernel spans land in the front-end's recorder
+        // under the execution context.
+        Some(ctx) => {
+            let mut bridge =
+                SpanObserver::new(&shared.spans, ctx, ctx.span_id).with_inner(&mut observer);
+            execute_job(
+                req.kind,
+                &req.config,
+                &req.netlist,
+                &req.die,
+                &mut placement,
+                &should_stop,
+                &mut bridge,
+            )
+        }
+        None => execute_job(
+            req.kind,
+            &req.config,
+            &req.netlist,
+            &req.die,
+            &mut placement,
+            &should_stop,
+            &mut observer,
+        ),
+    };
     let service_ns = t0.elapsed().as_nanos() as u64;
+    if let (Some(start), Some(ctx)) = (exec_start, req.trace) {
+        shared
+            .spans
+            .record_traced("ctl.execute", start, shared.spans.now_ns(), ctx);
+    }
     if result.cancelled {
         return Err(ErrorReply {
             id: req.id,
@@ -783,6 +943,7 @@ fn run_in_process(
         service_ns,
         positions: placement.as_slice().to_vec(),
         vol: None,
+        spans: Vec::new(),
     })
 }
 
@@ -815,6 +976,7 @@ fn run_sharded(
         spares,
     );
     let t0 = Instant::now();
+    let exec_start = req.trace.map(|_| shared.spans.now_ns());
     let reply = router.route(req);
     let service_ns = t0.elapsed().as_nanos() as u64;
     if !reply.failovers.is_empty() {
@@ -840,5 +1002,83 @@ fn run_sharded(
     let mut resp = reply.response;
     resp.id = req.id;
     resp.service_ns = service_ns;
+    if let (Some(start), Some(ctx)) = (exec_start, req.trace) {
+        // The router normalized its span tree to start at zero; re-base
+        // it onto this front-end's clock so it interleaves correctly
+        // with the admission and queue spans drained in the worker.
+        shared
+            .spans
+            .record_traced("ctl.execute", start, shared.spans.now_ns(), ctx);
+        rebase_spans(&mut resp.spans, start);
+    }
+    Ok(resp)
+}
+
+fn run_volumetric(
+    shared: &Shared,
+    registry: &Mutex<BackendRegistry>,
+    slabs: usize,
+    halo_layers: usize,
+    req: &JobRequest,
+) -> Result<JobResponse, ErrorReply> {
+    let (primaries, _spares) = {
+        let mut reg = registry.lock().unwrap();
+        let before = reg.snapshot().replacements;
+        let selected = reg.select();
+        shared
+            .metrics
+            .replacements
+            .add(reg.snapshot().replacements - before);
+        selected
+    };
+    let router = VolRouter::new(
+        VolRouterConfig {
+            slabs,
+            halo_layers,
+            encoding: dpm_serve::wire::PayloadEncoding::Binary,
+        },
+        primaries.clone(),
+    );
+    let t0 = Instant::now();
+    let exec_start = req.trace.map(|_| shared.spans.now_ns());
+    let reply = router.route(req);
+    let service_ns = t0.elapsed().as_nanos() as u64;
+    let reply = match reply {
+        Ok(reply) => reply,
+        Err(err) => {
+            // Exact volumetric stitching cannot degrade: a failed slab
+            // fails the job. Shape errors are the client's fault; a
+            // dead backend is ours.
+            let code = match &err {
+                VolRouteError::Backend { .. } => ErrorCode::Internal,
+                VolRouteError::NotVolumetric
+                | VolRouteError::NotGlobal
+                | VolRouteError::SpectralUnsupported => ErrorCode::InvalidConfig,
+                VolRouteError::BadExtension(_) => ErrorCode::Malformed,
+            };
+            if let VolRouteError::Backend { slab, .. } = &err {
+                // Slab `i` ran on backend `i % primaries.len()`.
+                shared.metrics.failovers.inc();
+                let backend = primaries[slab % primaries.len()];
+                registry.lock().unwrap().report_failure(backend);
+            }
+            return Err(ErrorReply {
+                id: req.id,
+                code,
+                steps: 0,
+                rounds: 0,
+                message: err.to_string(),
+            });
+        }
+    };
+    let mut resp = reply.response;
+    resp.id = req.id;
+    resp.service_ns = service_ns;
+    if let (Some(start), Some(ctx)) = (exec_start, req.trace) {
+        shared
+            .spans
+            .record_traced("ctl.execute", start, shared.spans.now_ns(), ctx);
+        rebase_spans(&mut resp.spans, start);
+    }
     Ok(resp)
 }

@@ -53,6 +53,7 @@ fn full_request(b: &Benchmark, id: u64, kind: JobKind, config: &DiffusionConfig)
         die: b.die.clone(),
         placement: b.placement.clone(),
         vol: None,
+        trace: None,
     }
 }
 
@@ -76,6 +77,7 @@ fn delta_request(
         config: config.clone(),
         baseline: design_hash(&base.netlist, &base.die, &base.placement),
         delta,
+        trace: None,
     }
 }
 

@@ -17,6 +17,11 @@
 //! - **Spans** ([`SpanRecorder`]) — explicit start/stop wall-time spans
 //!   collected into a bounded ring buffer: the newest `capacity` spans
 //!   are kept, older ones are counted as dropped, memory never grows.
+//! - **Distributed tracing** ([`TraceContext`], [`TraceIdGen`],
+//!   [`TraceExporter`]) — a propagatable trace/span/parent id triple
+//!   with deterministic id minting (SplitMix64 via `dpm-rng`) and a
+//!   byte-stable Chrome `trace_event` JSONL exporter for
+//!   `chrome://tracing`/Perfetto.
 //!
 //! Nothing here allocates on the record path (histogram record is three
 //! atomic adds and an atomic max); nothing depends on crates outside
@@ -43,9 +48,11 @@
 
 mod metrics;
 mod span;
+mod trace;
 
 pub use metrics::{
     labeled, Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry,
     RegistrySnapshot,
 };
 pub use span::{Span, SpanRecord, SpanRecorder};
+pub use trace::{normalize_spans, rebase_spans, TraceContext, TraceExporter, TraceIdGen};

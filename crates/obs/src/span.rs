@@ -5,11 +5,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::metrics::{Counter, Registry};
+use crate::trace::TraceContext;
+
 struct RecorderInner {
     epoch: Instant,
     capacity: usize,
     ring: Mutex<VecDeque<SpanRecord>>,
     dropped: AtomicU64,
+    /// Mirrors `dropped` into a scrapeable registry counter when the
+    /// recorder was built with [`SpanRecorder::with_registry`].
+    dropped_counter: Option<Counter>,
 }
 
 /// A completed span: a named wall-clock interval relative to the
@@ -22,12 +28,27 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Nanoseconds from recorder creation to span end; `>= start_ns`.
     pub end_ns: u64,
+    /// Distributed-trace correlation id; 0 for untraced spans.
+    pub trace_id: u64,
+    /// This span's id within the trace; 0 for untraced spans.
+    pub span_id: u64,
+    /// Parent span id; 0 at the root (or untraced).
+    pub parent_id: u64,
 }
 
 impl SpanRecord {
     /// Span duration in nanoseconds.
     pub fn duration_ns(&self) -> u64 {
         self.end_ns - self.start_ns
+    }
+
+    /// The span's position in its distributed trace, if traced.
+    pub fn context(&self) -> Option<TraceContext> {
+        (self.trace_id != 0).then_some(TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+        })
     }
 }
 
@@ -49,6 +70,20 @@ impl SpanRecorder {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// Creates a recorder whose drop count is also exposed as the
+    /// `spans_dropped` counter in `registry`'s text exposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_registry(capacity: usize, registry: &Registry) -> Self {
+        Self::build(capacity, Some(registry.counter("spans_dropped")))
+    }
+
+    fn build(capacity: usize, dropped_counter: Option<Counter>) -> Self {
         assert!(capacity > 0, "span recorder capacity must be nonzero");
         Self {
             inner: Arc::new(RecorderInner {
@@ -56,6 +91,7 @@ impl SpanRecorder {
                 capacity,
                 ring: Mutex::new(VecDeque::with_capacity(capacity)),
                 dropped: AtomicU64::new(0),
+                dropped_counter,
             }),
         }
     }
@@ -66,8 +102,36 @@ impl SpanRecorder {
             recorder: self.clone(),
             name: name.to_string(),
             start_ns: self.now_ns(),
+            ctx: None,
             finished: false,
         }
+    }
+
+    /// Starts a span carrying a distributed-trace context.
+    pub fn start_traced(&self, name: &str, ctx: TraceContext) -> Span {
+        Span {
+            recorder: self.clone(),
+            name: name.to_string(),
+            start_ns: self.now_ns(),
+            ctx: Some(ctx),
+            finished: false,
+        }
+    }
+
+    /// Records an already-measured interval under a trace context.
+    ///
+    /// For events observed only after the fact (e.g. a kernel reporting
+    /// its elapsed time): the caller supplies both endpoints, in this
+    /// recorder's epoch. `end_ns` is clamped to `>= start_ns`.
+    pub fn record_traced(&self, name: &str, start_ns: u64, end_ns: u64, ctx: TraceContext) {
+        self.push(SpanRecord {
+            name: name.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+        });
     }
 
     /// Nanoseconds elapsed since the recorder was created.
@@ -85,11 +149,31 @@ impl SpanRecorder {
         self.inner.ring.lock().unwrap().iter().cloned().collect()
     }
 
+    /// Removes and returns all retained spans of one trace, oldest
+    /// first. Spans of other traces (and untraced spans) stay in the
+    /// ring untouched.
+    pub fn drain_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut ring = self.inner.ring.lock().unwrap();
+        let mut taken = Vec::new();
+        ring.retain(|r| {
+            if r.trace_id == trace_id {
+                taken.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
     fn push(&self, record: SpanRecord) {
         let mut ring = self.inner.ring.lock().unwrap();
         if ring.len() == self.inner.capacity {
             ring.pop_front();
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &self.inner.dropped_counter {
+                c.inc();
+            }
         }
         ring.push_back(record);
     }
@@ -112,10 +196,21 @@ pub struct Span {
     recorder: SpanRecorder,
     name: String,
     start_ns: u64,
+    ctx: Option<TraceContext>,
     finished: bool,
 }
 
 impl Span {
+    /// Nanoseconds from the recorder's epoch to this span's start.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// The trace context this span carries, if any.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.ctx
+    }
+
     /// Ends the span now and records it.
     pub fn finish(mut self) {
         self.finish_inner();
@@ -127,10 +222,18 @@ impl Span {
         }
         self.finished = true;
         let end_ns = self.recorder.now_ns();
+        let ctx = self.ctx.unwrap_or(TraceContext {
+            trace_id: 0,
+            span_id: 0,
+            parent_id: 0,
+        });
         self.recorder.push(SpanRecord {
             name: std::mem::take(&mut self.name),
             start_ns: self.start_ns,
             end_ns: end_ns.max(self.start_ns),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
         });
     }
 }
@@ -156,6 +259,8 @@ mod tests {
         assert_eq!(records[0].name, "work");
         assert!(records[0].end_ns >= records[0].start_ns);
         assert!(records[0].duration_ns() >= 1_000_000, "slept ~2ms");
+        assert_eq!(records[0].trace_id, 0, "untraced span has zero ids");
+        assert_eq!(records[0].context(), None);
     }
 
     #[test]
@@ -177,6 +282,69 @@ mod tests {
         let names: Vec<_> = rec.records().into_iter().map(|r| r.name).collect();
         assert_eq!(names, vec!["s3", "s4"]);
         assert_eq!(rec.dropped(), 3);
+    }
+
+    #[test]
+    fn registry_backed_recorder_exposes_spans_dropped() {
+        let registry = Registry::new();
+        let rec = SpanRecorder::with_registry(2, &registry);
+        for i in 0..5 {
+            rec.start(&format!("s{i}")).finish();
+        }
+        assert_eq!(rec.dropped(), 3);
+        let text = registry.snapshot().to_text();
+        assert!(
+            text.contains("spans_dropped 3"),
+            "exposition missing spans_dropped: {text}"
+        );
+    }
+
+    #[test]
+    fn traced_spans_carry_context_and_drain_by_trace() {
+        let rec = SpanRecorder::new(16);
+        let ctx = TraceContext {
+            trace_id: 10,
+            span_id: 7,
+            parent_id: 0,
+        };
+        rec.start_traced("a", ctx).finish();
+        rec.start_traced("b", ctx.child(8)).finish();
+        rec.start("untraced").finish();
+        rec.start_traced(
+            "other",
+            TraceContext {
+                trace_id: 11,
+                span_id: 9,
+                parent_id: 0,
+            },
+        )
+        .finish();
+        let taken = rec.drain_trace(10);
+        assert_eq!(
+            taken.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+        assert_eq!(taken[0].context().unwrap(), ctx);
+        assert_eq!(taken[1].parent_id, 7);
+        let left: Vec<_> = rec.records().into_iter().map(|r| r.name).collect();
+        assert_eq!(left, vec!["untraced", "other"]);
+    }
+
+    #[test]
+    fn record_traced_clamps_and_stores_interval() {
+        let rec = SpanRecorder::new(4);
+        let ctx = TraceContext {
+            trace_id: 5,
+            span_id: 6,
+            parent_id: 2,
+        };
+        rec.record_traced("kernel", 100, 400, ctx);
+        rec.record_traced("clamped", 400, 100, ctx.child(9));
+        let records = rec.records();
+        assert_eq!(records[0].duration_ns(), 300);
+        assert_eq!(records[0].trace_id, 5);
+        assert_eq!(records[1].start_ns, 400);
+        assert_eq!(records[1].end_ns, 400, "end clamped to start");
     }
 
     #[test]

@@ -1,0 +1,375 @@
+//! Distributed tracing: wire-propagatable trace context, deterministic
+//! id minting, and a Chrome `trace_event` exporter.
+//!
+//! A trace is a tree of spans that may cross process boundaries: the
+//! client mints a root [`TraceContext`], every hop (control plane,
+//! shard/slab routers, backends) derives child contexts and records its
+//! own spans under them, and the completed records flow *back* with each
+//! response so the originator can stitch one tree. Ids are minted from
+//! [`dpm_rng::Rng`] (SplitMix64), so a fixed seed yields a fixed tree —
+//! traces are reproducible artifacts, not wall-clock noise.
+//!
+//! Timestamps are the one non-deterministic ingredient. Each process
+//! records spans against its own [`SpanRecorder`] epoch; before a span
+//! set crosses a process boundary it is normalized so its earliest start
+//! is zero ([`normalize_spans`]), and the receiver re-bases it onto the
+//! local start of the span that covers the remote work
+//! ([`rebase_spans`]). Clock *skew* between hosts therefore never
+//! appears in a trace — only measured durations and local offsets do.
+//!
+//! [`SpanRecorder`]: crate::SpanRecorder
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::span::SpanRecord;
+use dpm_rng::Rng;
+
+/// Identifies one span's position in a distributed trace.
+///
+/// `trace_id` names the whole tree; `span_id` names this span;
+/// `parent_id` names the span under which this one nests (0 for the
+/// root). All ids are nonzero except a root's `parent_id`; the all-zero
+/// context never appears on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Correlation id shared by every span in the tree.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// The enclosing span's id; 0 at the root.
+    pub parent_id: u64,
+}
+
+impl TraceContext {
+    /// A context for a child span of `self` with the given id.
+    pub fn child(&self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+            parent_id: self.span_id,
+        }
+    }
+}
+
+/// Deterministic span/trace id generator.
+///
+/// Backed by SplitMix64: two generators with the same seed mint the same
+/// ids on every platform. Hops seed one from the *inherited* span id, so
+/// the whole distributed tree is a pure function of the root seed.
+#[derive(Debug, Clone)]
+pub struct TraceIdGen {
+    rng: Rng,
+}
+
+impl TraceIdGen {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Mints one nonzero id.
+    pub fn id(&mut self) -> u64 {
+        loop {
+            let v = self.rng.next_u64();
+            if v != 0 {
+                return v;
+            }
+        }
+    }
+
+    /// Mints a fresh root context (new trace id, no parent).
+    pub fn root(&mut self) -> TraceContext {
+        TraceContext {
+            trace_id: self.id(),
+            span_id: self.id(),
+            parent_id: 0,
+        }
+    }
+
+    /// Mints a child context under `parent`.
+    pub fn child_of(&mut self, parent: &TraceContext) -> TraceContext {
+        parent.child(self.id())
+    }
+}
+
+/// Shifts `spans` so the earliest start is zero.
+///
+/// Call this before exporting a span set across a process boundary: the
+/// receiver re-bases with [`rebase_spans`], so only durations and
+/// relative offsets survive the hop — never the local epoch.
+pub fn normalize_spans(spans: &mut [SpanRecord]) {
+    let base = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    for s in spans.iter_mut() {
+        s.start_ns -= base;
+        s.end_ns -= base;
+    }
+}
+
+/// Adds `offset_ns` to every timestamp in `spans`.
+///
+/// Used to stitch a normalized remote span set under the local span that
+/// dispatched the remote work: pass that span's `start_ns`.
+pub fn rebase_spans(spans: &mut [SpanRecord], offset_ns: u64) {
+    for s in spans.iter_mut() {
+        s.start_ns = s.start_ns.saturating_add(offset_ns);
+        s.end_ns = s.end_ns.saturating_add(offset_ns);
+    }
+}
+
+struct ExportEvent {
+    name: String,
+    pid: u32,
+    tid: u32,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_ns: u64,
+    dur_ns: u64,
+    args: Vec<(String, String)>,
+}
+
+/// Writes completed traces as Chrome `trace_event` JSONL.
+///
+/// One complete-phase (`"ph":"X"`) event per span, one JSON object per
+/// line, no surrounding array — both `chrome://tracing` and Perfetto
+/// accept newline-delimited events directly. Field order, number
+/// formatting and event order are byte-stable (pinned by test):
+/// timestamps are microseconds with exactly three decimals (full
+/// nanosecond precision, no float formatting involved), ids are 16-digit
+/// zero-padded lowercase hex, and events sort by
+/// `(start, pid, tid, span_id)`.
+#[derive(Default)]
+pub struct TraceExporter {
+    events: Vec<ExportEvent>,
+}
+
+impl TraceExporter {
+    /// Creates an empty exporter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one span, attributed to `pid`/`tid`.
+    pub fn add(&mut self, rec: &SpanRecord, pid: u32, tid: u32) {
+        self.add_with_args(rec, pid, tid, &[]);
+    }
+
+    /// Adds one span with extra `args` key/value pairs (e.g. a tenant
+    /// label). Keys are emitted after the trace ids, in the order given.
+    pub fn add_with_args(&mut self, rec: &SpanRecord, pid: u32, tid: u32, args: &[(&str, &str)]) {
+        self.events.push(ExportEvent {
+            name: rec.name.clone(),
+            pid,
+            tid,
+            trace_id: rec.trace_id,
+            span_id: rec.span_id,
+            parent_id: rec.parent_id,
+            start_ns: rec.start_ns,
+            dur_ns: rec.duration_ns(),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// Number of events added so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders all events as JSONL, byte-stable.
+    pub fn to_jsonl(&self) -> String {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| {
+            let e = &self.events[i];
+            (e.start_ns, e.pid, e.tid, e.span_id)
+        });
+        let mut out = String::new();
+        for i in order {
+            let e = &self.events[i];
+            out.push_str("{\"name\":\"");
+            out.push_str(&json_escape(&e.name));
+            out.push_str("\",\"cat\":\"dpm\",\"ph\":\"X\",\"ts\":");
+            push_us(&mut out, e.start_ns);
+            out.push_str(",\"dur\":");
+            push_us(&mut out, e.dur_ns);
+            out.push_str(&format!(",\"pid\":{},\"tid\":{}", e.pid, e.tid));
+            out.push_str(&format!(
+                ",\"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent_id\":\"{:016x}\"",
+                e.trace_id, e.span_id, e.parent_id
+            ));
+            for (k, v) in &e.args {
+                out.push_str(&format!(",\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    }
+
+    /// Writes the JSONL to `path`, creating or truncating the file.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())?;
+        f.flush()
+    }
+}
+
+/// Microseconds with exactly three decimals, computed in integer ns so
+/// the rendering never depends on float formatting.
+fn push_us(out: &mut String, ns: u64) {
+    out.push_str(&format!("{}.{:03}", ns / 1_000, ns % 1_000));
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, ctx: TraceContext, start_ns: u64, end_ns: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            start_ns,
+            end_ns,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+        }
+    }
+
+    #[test]
+    fn id_minting_is_deterministic_and_nonzero() {
+        let mut a = TraceIdGen::seeded(42);
+        let mut b = TraceIdGen::seeded(42);
+        for _ in 0..64 {
+            let ia = a.id();
+            assert_eq!(ia, b.id());
+            assert_ne!(ia, 0);
+        }
+        let ra = TraceIdGen::seeded(7).root();
+        let rb = TraceIdGen::seeded(7).root();
+        assert_eq!(ra, rb);
+        assert_ne!(ra.trace_id, 0);
+        assert_eq!(ra.parent_id, 0);
+    }
+
+    #[test]
+    fn child_contexts_link_parent_to_span() {
+        let mut gen = TraceIdGen::seeded(1);
+        let root = gen.root();
+        let child = gen.child_of(&root);
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, root.span_id);
+        assert_ne!(child.span_id, root.span_id);
+        let grand = child.child(99);
+        assert_eq!(grand.parent_id, child.span_id);
+        assert_eq!(grand.span_id, 99);
+    }
+
+    #[test]
+    fn normalize_then_rebase_round_trips_offsets() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            parent_id: 0,
+        };
+        let mut spans = vec![
+            rec("a", ctx, 1_000, 5_000),
+            rec("b", ctx.child(3), 1_500, 2_500),
+        ];
+        normalize_spans(&mut spans);
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[1].start_ns, 500);
+        assert_eq!(spans[1].duration_ns(), 1_000);
+        rebase_spans(&mut spans, 10_000);
+        assert_eq!(spans[0].start_ns, 10_000);
+        assert_eq!(spans[1].end_ns, 11_500);
+    }
+
+    #[test]
+    fn exporter_output_is_byte_stable_and_sorted() {
+        let ctx = TraceContext {
+            trace_id: 0xAB,
+            span_id: 0xCD,
+            parent_id: 0,
+        };
+        let mut exp = TraceExporter::new();
+        // Added out of order: to_jsonl must sort by start time.
+        exp.add(&rec("second", ctx.child(0xEF), 2_500, 4_000), 1, 2);
+        exp.add_with_args(
+            &rec("first", ctx, 1_000, 9_999),
+            1,
+            1,
+            &[("tenant", "acme")],
+        );
+        let expected = concat!(
+            "{\"name\":\"first\",\"cat\":\"dpm\",\"ph\":\"X\",\"ts\":1.000,\"dur\":8.999,",
+            "\"pid\":1,\"tid\":1,\"args\":{\"trace_id\":\"00000000000000ab\",",
+            "\"span_id\":\"00000000000000cd\",\"parent_id\":\"0000000000000000\",",
+            "\"tenant\":\"acme\"}}\n",
+            "{\"name\":\"second\",\"cat\":\"dpm\",\"ph\":\"X\",\"ts\":2.500,\"dur\":1.500,",
+            "\"pid\":1,\"tid\":2,\"args\":{\"trace_id\":\"00000000000000ab\",",
+            "\"span_id\":\"00000000000000ef\",\"parent_id\":\"00000000000000cd\"}}\n",
+        );
+        assert_eq!(exp.to_jsonl(), expected);
+    }
+
+    #[test]
+    fn exporter_escapes_hostile_names_one_object_per_line() {
+        let ctx = TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            parent_id: 0,
+        };
+        let mut exp = TraceExporter::new();
+        exp.add_with_args(
+            &rec("evil\"}\n{\"name\":\"forged", ctx, 0, 1),
+            0,
+            0,
+            &[("k\"", "v\n")],
+        );
+        let jsonl = exp.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("evil\\\"}\\n{\\\"name\\\":\\\"forged"));
+        assert!(jsonl.contains("\"k\\\"\":\"v\\n\""));
+    }
+
+    #[test]
+    fn exporter_writes_file() {
+        let ctx = TraceContext {
+            trace_id: 3,
+            span_id: 4,
+            parent_id: 0,
+        };
+        let mut exp = TraceExporter::new();
+        exp.add(&rec("io", ctx, 0, 10), 0, 0);
+        let path = std::env::temp_dir().join("dpm_obs_trace_exporter_test.jsonl");
+        exp.write_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(body, exp.to_jsonl());
+    }
+}

@@ -14,10 +14,20 @@
 //! several requests can be kept in flight on one connection (pipelining
 //! — the server answers in submission order).
 
+//! Tracing: [`with_tracing`](ServeClient::with_tracing) arms the
+//! connection with a deterministic trace-id generator. Each request
+//! stamped via [`begin_trace`](ServeClient::begin_trace) becomes a
+//! `client.request` root span; the span tree the server (or a router)
+//! exports in its reply is harvested, re-based onto the root's local
+//! start, and accumulated until
+//! [`take_trace_spans`](ServeClient::take_trace_spans) drains it.
+
+use std::collections::VecDeque;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
 use dpm_netlist::Netlist;
+use dpm_obs::{rebase_spans, SpanRecord, SpanRecorder, TraceContext, TraceIdGen};
 use dpm_place::{Die, Placement};
 
 use crate::delta::{encode_delta_request, DeltaJobRequest};
@@ -39,10 +49,30 @@ pub enum DeltaReply {
     NeedDesign(NeedDesign),
 }
 
+/// A traced request awaiting its terminal reply.
+struct PendingTrace {
+    id: u64,
+    ctx: TraceContext,
+    start_ns: u64,
+}
+
+/// Per-connection tracing state, armed by
+/// [`ServeClient::with_tracing`].
+struct Tracing {
+    /// Used only as the connection's monotonic clock (its epoch anchors
+    /// every root span); nothing is recorded into its ring.
+    clock: SpanRecorder,
+    ids: TraceIdGen,
+    tenant: String,
+    pending: VecDeque<PendingTrace>,
+    harvested: Vec<SpanRecord>,
+}
+
 /// A blocking connection to a [`Server`](crate::Server).
 pub struct ServeClient {
     stream: TcpStream,
     max_frame_len: usize,
+    tracing: Option<Tracing>,
 }
 
 impl ServeClient {
@@ -57,6 +87,7 @@ impl ServeClient {
         Ok(Self {
             stream,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            tracing: None,
         })
     }
 
@@ -64,6 +95,108 @@ impl ServeClient {
     pub fn with_max_frame_len(mut self, max: usize) -> Self {
         self.max_frame_len = max;
         self
+    }
+
+    /// Arms distributed tracing on this connection. Trace and span ids
+    /// are minted deterministically from `seed`, so the same seed and
+    /// request sequence reproduce the same ids.
+    pub fn with_tracing(mut self, seed: u64) -> Self {
+        self.tracing = Some(Tracing {
+            clock: SpanRecorder::new(1),
+            ids: TraceIdGen::seeded(seed),
+            tenant: String::new(),
+            pending: VecDeque::new(),
+            harvested: Vec::new(),
+        });
+        self
+    }
+
+    /// Labels this traced connection with a tenant name, surfaced by
+    /// exporters as a `tenant` arg on root spans. No-op unless
+    /// [`with_tracing`](Self::with_tracing) was called first.
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        if let Some(t) = &mut self.tracing {
+            t.tenant = tenant.to_string();
+        }
+        self
+    }
+
+    /// The tenant label of a traced connection, if any was set.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tracing
+            .as_ref()
+            .filter(|t| !t.tenant.is_empty())
+            .map(|t| t.tenant.as_str())
+    }
+
+    /// Mints a fresh root [`TraceContext`] and stamps it onto `req`, so
+    /// the request joins a new distributed trace. Returns `None` (and
+    /// leaves `req` untouched) unless tracing is armed.
+    pub fn begin_trace(&mut self, req: &mut JobRequest) -> Option<TraceContext> {
+        let root = self.mint_root(req.id)?;
+        req.trace = Some(root);
+        Some(root)
+    }
+
+    /// Like [`begin_trace`](Self::begin_trace) for delta requests. The
+    /// root span covers the whole handshake, including a cache-miss
+    /// baseline upload and resend.
+    pub fn begin_delta_trace(&mut self, req: &mut DeltaJobRequest) -> Option<TraceContext> {
+        let root = self.mint_root(req.id)?;
+        req.trace = Some(root);
+        Some(root)
+    }
+
+    fn mint_root(&mut self, id: u64) -> Option<TraceContext> {
+        let t = self.tracing.as_mut()?;
+        let root = t.ids.root();
+        t.pending.push_back(PendingTrace {
+            id,
+            ctx: root,
+            start_ns: t.clock.now_ns(),
+        });
+        Some(root)
+    }
+
+    /// Drains every span harvested from traced requests so far: one
+    /// `client.request` root per completed traced request plus the
+    /// remote span tree its reply exported, re-based under the root.
+    pub fn take_trace_spans(&mut self) -> Vec<SpanRecord> {
+        self.tracing
+            .as_mut()
+            .map(|t| std::mem::take(&mut t.harvested))
+            .unwrap_or_default()
+    }
+
+    /// Closes out the pending trace a terminal reply belongs to:
+    /// records the `client.request` root span and folds the reply's
+    /// exported spans (normalized to 0 by the sender) into the
+    /// connection's harvest, shifted onto the root's local start.
+    fn harvest(&mut self, reply: &mut Reply) {
+        let Some(t) = self.tracing.as_mut() else {
+            return;
+        };
+        let reply_id = match reply {
+            Reply::Ok(resp) => resp.id,
+            Reply::Rejected(e) => e.id,
+        };
+        let Some(pos) = t.pending.iter().position(|p| p.id == reply_id) else {
+            return;
+        };
+        let pending = t.pending.remove(pos).expect("position is in range");
+        t.harvested.push(SpanRecord {
+            name: "client.request".into(),
+            start_ns: pending.start_ns,
+            end_ns: t.clock.now_ns(),
+            trace_id: pending.ctx.trace_id,
+            span_id: pending.ctx.span_id,
+            parent_id: 0,
+        });
+        if let Reply::Ok(resp) = reply {
+            let mut remote = std::mem::take(&mut resp.spans);
+            rebase_spans(&mut remote, pending.start_ns);
+            t.harvested.append(&mut remote);
+        }
     }
 
     /// Sends one request without waiting for its reply. Pair with
@@ -118,7 +251,9 @@ impl ServeClient {
                 on_progress(&decode_progress(&frame.payload)?);
                 continue;
             }
-            return Reply::from_frame(&frame);
+            let mut reply = Reply::from_frame(&frame)?;
+            self.harvest(&mut reply);
+            return Ok(reply);
         }
     }
 
@@ -275,7 +410,11 @@ impl ServeClient {
                 FrameKind::NeedDesign => {
                     return Ok(DeltaReply::NeedDesign(decode_need_design(&frame.payload)?))
                 }
-                _ => return Reply::from_frame(&frame).map(DeltaReply::Done),
+                _ => {
+                    let mut reply = Reply::from_frame(&frame)?;
+                    self.harvest(&mut reply);
+                    return Ok(DeltaReply::Done(reply));
+                }
             }
         }
     }

@@ -32,9 +32,11 @@ use dpm_netlist::{CellKind, Netlist, NetlistBuilder};
 use dpm_place::{Die, Placement};
 
 use crate::wire::{
-    cell_kind_from_u8, cell_kind_to_u8, malformed, put_config, put_f64, put_str, put_u32, put_u64,
-    put_u8, solver_kind_from_u8, take_config, Cur, JobKind, JobRequest, WireError,
+    cell_kind_from_u8, cell_kind_to_u8, malformed, put_config, put_f64, put_str, put_trace,
+    put_u32, put_u64, put_u8, solver_kind_from_u8, take_config, take_trace, Cur, JobKind,
+    JobRequest, WireError,
 };
+use dpm_obs::TraceContext;
 
 /// A width/height change to an existing baseline cell (gate repowering).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -337,6 +339,9 @@ pub struct DeltaJobRequest {
     pub baseline: u64,
     /// The edits.
     pub delta: EcoDelta,
+    /// Optional distributed-trace context, riding as an optional
+    /// trailing block: pre-tracing delta frames decode unchanged.
+    pub trace: Option<TraceContext>,
 }
 
 impl DeltaJobRequest {
@@ -364,6 +369,7 @@ impl DeltaJobRequest {
             die: base_die.clone(),
             placement,
             vol: None,
+            trace: self.trace,
         })
     }
 }
@@ -408,6 +414,13 @@ pub fn encode_delta_request(req: &DeltaJobRequest) -> Vec<u8> {
         put_f64(&mut buf, a.delay);
         put_f64(&mut buf, a.x);
         put_f64(&mut buf, a.y);
+    }
+    // Optional trailing trace extension: one flags byte (bit 0 = trace
+    // context follows), then the 24-byte context. Untraced requests add
+    // nothing, so pre-tracing frames stay byte-identical.
+    if let Some(t) = &req.trace {
+        put_u8(&mut buf, 1);
+        put_trace(&mut buf, t);
     }
     buf
 }
@@ -490,6 +503,18 @@ pub fn decode_delta_request(payload: &[u8]) -> Result<DeltaJobRequest, WireError
             y: cur.f64("add.y")?,
         });
     }
+    let trace = if cur.pos < cur.buf.len() {
+        let flags = cur.u8("delta.ext.flags")?;
+        if flags != 1 {
+            return Err(malformed(
+                "delta.ext.flags",
+                format!("unknown flag bits {flags:#x}"),
+            ));
+        }
+        Some(take_trace(&mut cur)?)
+    } else {
+        None
+    };
     cur.finish("delta")?;
     Ok(DeltaJobRequest {
         id,
@@ -505,6 +530,7 @@ pub fn decode_delta_request(payload: &[u8]) -> Result<DeltaJobRequest, WireError
             moved,
             added,
         },
+        trace,
     })
 }
 
@@ -646,6 +672,7 @@ mod tests {
             },
             baseline: 0x1234_5678_9abc_def0,
             delta: sample_delta(),
+            trace: None,
         };
         let payload = encode_delta_request(&req);
         let back = decode_delta_request(&payload).expect("decodes");
@@ -666,6 +693,66 @@ mod tests {
     }
 
     #[test]
+    fn traced_delta_request_is_a_pure_suffix_of_the_legacy_frame() {
+        let mut req = DeltaJobRequest {
+            id: 31,
+            deadline_ms: 500,
+            progress_stride: 4,
+            kind: JobKind::Global,
+            design: "eco-7".into(),
+            tenant: "acme".into(),
+            config: DiffusionConfig::default().with_bin_size(24.0),
+            baseline: 0x1234_5678_9abc_def0,
+            delta: sample_delta(),
+            trace: None,
+        };
+        let legacy = encode_delta_request(&req);
+        req.trace = Some(dpm_obs::TraceContext {
+            trace_id: 0xAAAA,
+            span_id: 0xBBBB,
+            parent_id: 0,
+        });
+        let traced = encode_delta_request(&req);
+        // Flags byte + 24-byte context, appended after everything a
+        // pre-tracing decoder reads.
+        assert_eq!(traced.len(), legacy.len() + 1 + 24);
+        assert_eq!(&traced[..legacy.len()], &legacy[..]);
+        assert_eq!(
+            decode_delta_request(&traced).expect("decodes").trace,
+            req.trace
+        );
+        assert_eq!(decode_delta_request(&legacy).expect("decodes").trace, None);
+
+        // Unknown flag bits and truncated contexts are typed errors.
+        let flags_off = legacy.len();
+        let mut bad = traced.clone();
+        bad[flags_off] = 3;
+        assert!(matches!(
+            decode_delta_request(&bad),
+            Err(WireError::Malformed {
+                context: "delta.ext.flags",
+                ..
+            })
+        ));
+        for cut in flags_off + 1..traced.len() {
+            assert!(
+                decode_delta_request(&traced[..cut]).is_err(),
+                "truncated trace ext decoded at {cut}"
+            );
+        }
+        // The all-zero context is malformed here too.
+        let mut bad = traced.clone();
+        bad[flags_off + 1..].fill(0);
+        assert!(matches!(
+            decode_delta_request(&bad),
+            Err(WireError::Malformed {
+                context: "trace",
+                ..
+            })
+        ));
+    }
+
+    #[test]
     fn corrupt_entry_counts_do_not_allocate() {
         let req = DeltaJobRequest {
             id: 1,
@@ -677,6 +764,7 @@ mod tests {
             config: DiffusionConfig::default(),
             baseline: 0,
             delta: EcoDelta::default(),
+            trace: None,
         };
         let payload = encode_delta_request(&req);
         // The resized count is the first u32 after the baseline hash;
@@ -703,6 +791,7 @@ mod tests {
             config: DiffusionConfig::default().with_bin_size(24.0),
             baseline: 7,
             delta: sample_delta(),
+            trace: None,
         };
         let job = req.to_job_request(&nl, &die, &pl).expect("applies");
         assert_eq!(job.id, 8);

@@ -59,7 +59,8 @@
 //!     netlist,
 //!     die,
 //!     placement,
-//!     vol: None, // planar job; Some(VolRequestExt) runs a 3D stack
+//!     vol: None,   // planar job; Some(VolRequestExt) runs a 3D stack
+//!     trace: None, // Some(TraceContext) joins a distributed trace
 //! };
 //! let reply = client.request_streaming(&req, PayloadEncoding::Binary, |p| {
 //!     eprintln!("step {}: max density {:.3}", p.step, p.max_density);

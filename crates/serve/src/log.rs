@@ -7,7 +7,8 @@
 //! ```json
 //! {"id":3,"outcome":"ok","kind":"local","design":"cpu_core","cells":1200,
 //!  "queue_ns":18000,"service_ns":5301200,"steps":40,"rounds":4,
-//!  "converged":true,"movement_total":913.2,"movement_max":14.8}
+//!  "converged":true,"movement_total":913.2,"movement_max":14.8,
+//!  "trace_id":"a1b2c3d4e5f60718"}
 //! ```
 //!
 //! The design name is the only client-controlled string in a record; it
@@ -51,6 +52,10 @@ pub struct RequestRecord {
     pub movement_total: f64,
     /// Largest single-cell movement of the run.
     pub movement_max: f64,
+    /// Distributed-trace id the request rode in under, or 0 when the
+    /// request was untraced. Emitted as 16 hex digits so log lines join
+    /// directly against exported Chrome-trace span args.
+    pub trace_id: u64,
 }
 
 /// Escapes a string for embedding inside a JSON string literal:
@@ -81,7 +86,7 @@ impl RequestRecord {
             "{{\"id\":{},\"outcome\":\"{}\",\"kind\":\"{}\",\"design\":\"{}\",\
              \"cells\":{},\"queue_ns\":{},\"service_ns\":{},\"steps\":{},\
              \"rounds\":{},\"converged\":{},\"movement_total\":{:.3},\
-             \"movement_max\":{:.3}}}",
+             \"movement_max\":{:.3},\"trace_id\":\"{:016x}\"}}",
             self.id,
             self.outcome,
             self.kind,
@@ -94,6 +99,7 @@ impl RequestRecord {
             self.converged,
             self.movement_total,
             self.movement_max,
+            self.trace_id,
         );
         line.push('\n');
         line
@@ -181,6 +187,7 @@ mod tests {
             converged: true,
             movement_total: 1.5,
             movement_max: 0.5,
+            trace_id: 0x00ab_cdef_0123_4567,
         });
         log.write(&RequestRecord {
             id: 2,
@@ -196,7 +203,11 @@ mod tests {
         assert!(lines[0].contains("\"id\":1") && lines[0].contains("\"outcome\":\"ok\""));
         assert!(lines[0].contains("\"design\":\"cpu_core\""));
         assert!(lines[0].contains("\"converged\":true"));
+        // Trace ids are zero-padded 16-hex strings; untraced records
+        // carry all zeros so the field is always present and joinable.
+        assert!(lines[0].contains("\"trace_id\":\"00abcdef01234567\""));
         assert!(lines[1].contains("\"outcome\":\"overloaded\""));
+        assert!(lines[1].contains("\"trace_id\":\"0000000000000000\""));
         // Every line is a single flat JSON object.
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'));
@@ -216,6 +227,7 @@ mod tests {
             outcome: "ok",
             kind: "global",
             design: evil.into(),
+            trace_id: u64::MAX,
             ..Default::default()
         });
         log.write(&RequestRecord {
@@ -238,6 +250,8 @@ mod tests {
         assert!(lines[0].contains("\\\"}\\n{\\\"id\\\":999"));
         assert!(lines[0].contains("\\u0001"));
         assert!(lines[0].contains("b\\\\\""));
+        // The trace id trails the escaped name and must survive intact.
+        assert!(lines[0].ends_with("\"trace_id\":\"ffffffffffffffff\"}"));
         assert!(lines[1].contains("\"design\":\"clean\""));
         let _ = std::fs::remove_file(&path);
     }

@@ -52,10 +52,12 @@ use std::time::{Duration, Instant};
 
 use dpm_diffusion::{
     DiffusionConfig, DiffusionObserver, DiffusionResult, GlobalDiffusion, KernelTimers,
-    LocalDiffusion, NoopObserver, SolverKind, StepEvent, VolJobSpec, VolPlacement,
+    LocalDiffusion, NoopObserver, SolverKind, SpanObserver, StepEvent, VolJobSpec, VolPlacement,
     VolumetricDiffusion,
 };
-use dpm_obs::{Counter, Gauge, Histogram, Registry, SpanRecord, SpanRecorder};
+use dpm_obs::{
+    normalize_spans, Counter, Gauge, Histogram, Registry, SpanRecord, SpanRecorder, TraceIdGen,
+};
 use dpm_place::{BinGrid, MovementStats};
 
 use crate::log::{RequestLog, RequestRecord};
@@ -71,6 +73,11 @@ const READ_POLL: Duration = Duration::from_millis(25);
 
 /// How many recent job spans the server retains for inspection.
 const SPAN_CAPACITY: usize = 256;
+
+/// Salt mixed into the inherited span id when seeding a job's span-id
+/// generator, so sibling jobs under one client connection mint distinct
+/// id streams even though each inherits ids from the same root context.
+const TRACE_SEED_SALT: u64 = 0x5E7E_D0C5_B10B_5EED;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -272,11 +279,15 @@ impl Server {
             Some(path) => RequestLog::to_file(path)?,
             None => RequestLog::disabled(),
         };
+        let metrics = Metrics::new();
+        // Registry-backed so the ring's drop count scrapes as the
+        // `spans_dropped` counter in the text exposition.
+        let spans = SpanRecorder::with_registry(SPAN_CAPACITY, &metrics.registry);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(cfg.queue_capacity.max(1)),
             shutdown: AtomicBool::new(false),
-            metrics: Metrics::new(),
-            spans: SpanRecorder::new(SPAN_CAPACITY),
+            metrics,
+            spans,
             log,
             job_threads: cfg.job_threads.max(1),
             max_frame_len: cfg.max_frame_len,
@@ -704,8 +715,10 @@ fn worker_loop(shared: Arc<Shared>) {
             die,
             placement,
             vol,
+            trace,
             ..
         } = req;
+        let trace_id = trace.map_or(0, |t| t.trace_id);
         let kind_str = kind_name(kind);
         let cells = netlist.num_cells();
         config.threads = config.threads.clamp(1, shared.job_threads);
@@ -720,6 +733,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 design,
                 cells,
                 queue_ns,
+                trace_id,
                 ..Default::default()
             });
             let _ = reply_tx.send(WorkerMsg::Done(rejection(
@@ -745,6 +759,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 design,
                 cells,
                 queue_ns,
+                trace_id,
                 ..Default::default()
             });
             let _ = reply_tx.send(WorkerMsg::Done(rejection(
@@ -755,15 +770,33 @@ fn worker_loop(shared: Arc<Shared>) {
             continue;
         }
 
+        // Distributed tracing: mint deterministic child contexts under
+        // the inherited span — the queue wait (recorded retroactively,
+        // its interval already elapsed) and the job span the kernel
+        // bridge hangs off. Untraced requests skip all of it.
+        let job_ctx = trace.map(|ctx| {
+            let mut ids = TraceIdGen::seeded(ctx.span_id ^ TRACE_SEED_SALT);
+            let queue_ctx = ids.child_of(&ctx);
+            let now = shared.spans.now_ns();
+            shared
+                .spans
+                .record_traced("queue.wait", now.saturating_sub(queue_ns), now, queue_ctx);
+            ids.child_of(&ctx)
+        });
+
         let before = placement.clone();
         let mut after = placement;
         let t0 = Instant::now();
         let should_stop = move || deadline.is_some_and(|d| Instant::now() >= d);
-        let span = shared.spans.start(match (kind, &vol) {
+        let span_name = match (kind, &vol) {
             (_, Some(_)) => "job.volumetric",
             (JobKind::Global, None) => "job.global",
             (JobKind::Local, None) => "job.local",
-        });
+        };
+        let span = match job_ctx {
+            Some(ctx) => shared.spans.start_traced(span_name, ctx),
+            None => shared.spans.start(span_name),
+        };
         let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
             if let Some(v) = &vol {
                 let spec = VolJobSpec {
@@ -777,13 +810,21 @@ fn worker_loop(shared: Arc<Shared>) {
                     xy: after.clone(),
                     z: v.z.clone(),
                 };
-                let r = VolumetricDiffusion::new(config.clone(), v.global_nz as usize).run_job(
-                    &spec,
-                    &netlist,
-                    &die,
-                    &mut vp,
-                    &should_stop,
-                );
+                let runner = VolumetricDiffusion::new(config.clone(), v.global_nz as usize);
+                let r = match job_ctx {
+                    Some(ctx) => {
+                        let mut bridge = SpanObserver::new(&shared.spans, ctx, ctx.span_id);
+                        runner.run_job_observed(
+                            &spec,
+                            &netlist,
+                            &die,
+                            &mut vp,
+                            &should_stop,
+                            &mut bridge,
+                        )
+                    }
+                    None => runner.run_job(&spec, &netlist, &die, &mut vp, &should_stop),
+                };
                 after = vp.xy;
                 // The evolved field travels back only on field-shipping
                 // (router sub-job) requests — direct volumetric clients
@@ -800,33 +841,60 @@ fn worker_loop(shared: Arc<Shared>) {
                     },
                     Some(ext),
                 )
-            } else if progress_stride > 0 {
-                let mut emitter = ProgressEmitter {
+            } else {
+                // Progress streaming and tracing compose: the span
+                // bridge forwards every event to the chained emitter.
+                let mut emitter = (progress_stride > 0).then(|| ProgressEmitter {
                     id,
                     stride: u64::from(progress_stride),
                     movement: 0.0,
                     tx: &reply_tx,
+                });
+                let result = match (job_ctx, emitter.as_mut()) {
+                    (Some(ctx), Some(emitter)) => {
+                        let mut bridge =
+                            SpanObserver::new(&shared.spans, ctx, ctx.span_id).with_inner(emitter);
+                        execute_job(
+                            kind,
+                            &config,
+                            &netlist,
+                            &die,
+                            &mut after,
+                            &should_stop,
+                            &mut bridge,
+                        )
+                    }
+                    (Some(ctx), None) => {
+                        let mut bridge = SpanObserver::new(&shared.spans, ctx, ctx.span_id);
+                        execute_job(
+                            kind,
+                            &config,
+                            &netlist,
+                            &die,
+                            &mut after,
+                            &should_stop,
+                            &mut bridge,
+                        )
+                    }
+                    (None, Some(emitter)) => execute_job(
+                        kind,
+                        &config,
+                        &netlist,
+                        &die,
+                        &mut after,
+                        &should_stop,
+                        emitter,
+                    ),
+                    (None, None) => execute_job(
+                        kind,
+                        &config,
+                        &netlist,
+                        &die,
+                        &mut after,
+                        &should_stop,
+                        &mut NoopObserver,
+                    ),
                 };
-                let result = execute_job(
-                    kind,
-                    &config,
-                    &netlist,
-                    &die,
-                    &mut after,
-                    &should_stop,
-                    &mut emitter,
-                );
-                (result, None)
-            } else {
-                let result = execute_job(
-                    kind,
-                    &config,
-                    &netlist,
-                    &die,
-                    &mut after,
-                    &should_stop,
-                    &mut NoopObserver,
-                );
                 (result, None)
             }
         }));
@@ -846,6 +914,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     cells,
                     queue_ns,
                     service_ns,
+                    trace_id,
                     ..Default::default()
                 });
                 rejection(id, ErrorCode::Internal, "diffusion engine panicked")
@@ -875,6 +944,7 @@ fn worker_loop(shared: Arc<Shared>) {
                     converged: result.converged,
                     movement_total: movement.total,
                     movement_max: movement.max,
+                    trace_id,
                 };
                 shared.log.write(&record);
                 if result.cancelled {
@@ -889,6 +959,17 @@ fn worker_loop(shared: Arc<Shared>) {
                     })
                 } else {
                     shared.metrics.served.inc();
+                    // Export this job's spans back to the caller: drain
+                    // them from the ring (they now live in the reply,
+                    // not the local diagnostics view) and normalize so
+                    // the receiver can re-base under its dispatch span.
+                    let spans = if trace_id != 0 {
+                        let mut s = shared.spans.drain_trace(trace_id);
+                        normalize_spans(&mut s);
+                        s
+                    } else {
+                        Vec::new()
+                    };
                     Reply::Ok(JobResponse {
                         id,
                         converged: result.converged,
@@ -900,6 +981,7 @@ fn worker_loop(shared: Arc<Shared>) {
                         service_ns,
                         positions: after.as_slice().to_vec(),
                         vol: vol_ext,
+                        spans,
                     })
                 }
             }

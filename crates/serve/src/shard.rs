@@ -48,11 +48,23 @@ use dpm_diffusion::{
     ShardPartition, ShardProblem,
 };
 use dpm_geom::{Point, Rect};
-use dpm_obs::{Histogram, HistogramSnapshot};
+use dpm_obs::{
+    normalize_spans, rebase_spans, Histogram, HistogramSnapshot, SpanRecord, SpanRecorder,
+    TraceContext, TraceIdGen,
+};
 use dpm_place::{DensityMap, MovementStats, Placement};
 
 use crate::wire::{JobKind, JobRequest, JobResponse, PayloadEncoding, Reply};
 use crate::ServeClient;
+
+/// Salt mixed into the inherited span id when seeding the router's
+/// span-id generator, distinct from the server's salt so a router and a
+/// backend seeded from the same context never collide id streams.
+const ROUTE_SEED_SALT: u64 = 0x5AAD_0D15_7A7C_40F5;
+
+/// Spans a traced route keeps locally (round + dispatch spans; remote
+/// spans ride back inside the sub-responses instead).
+const ROUTE_SPAN_CAPACITY: usize = 256;
 
 /// Where one shard's sub-problems run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,6 +188,9 @@ struct ShardRun {
     progress_frames: u64,
     kernels: Option<KernelTimers>,
     error: Option<String>,
+    /// Remote spans exported by a TCP backend, already re-based into
+    /// the router's clock by the dispatch span's start.
+    spans: Vec<SpanRecord>,
 }
 
 /// Fans one [`JobRequest`] out over K shard backends with halo
@@ -201,6 +216,7 @@ struct ShardRun {
 ///     die: bench.die,
 ///     placement: bench.placement,
 ///     vol: None,
+///     trace: None,
 /// };
 /// let router = ShardRouter::in_process(ShardRouterConfig {
 ///     shards: 2,
@@ -281,6 +297,15 @@ impl ShardRouter {
     /// still migrated.
     pub fn route(&self, req: &JobRequest) -> ShardReply {
         let t0 = Instant::now();
+        // Tracing state: a local recorder for round/dispatch spans and a
+        // deterministic id generator seeded from the inherited context.
+        // Remote spans come back through the sub-responses and are
+        // stitched (re-based onto dispatch-span starts) into one tree.
+        let trace_ctx = req.trace;
+        let recorder = trace_ctx.map(|_| SpanRecorder::new(ROUTE_SPAN_CAPACITY));
+        let recorder_ref = recorder.as_ref();
+        let mut ids = trace_ctx.map(|ctx| TraceIdGen::seeded(ctx.span_id ^ ROUTE_SEED_SALT));
+        let mut collected_spans: Vec<SpanRecord> = Vec::new();
         let partition = ShardPartition::new(
             &req.die,
             req.config.bin_size,
@@ -330,6 +355,18 @@ impl ShardRouter {
             self.cfg.max_halo_rounds.max(1)
         };
         for _ in 0..round_cap {
+            // One `halo.round` span per fan-out; each shard's dispatch
+            // context is minted serially up front so span ids stay a
+            // pure function of the inherited context, independent of
+            // thread interleaving.
+            let round_trace = trace_ctx.map(|ctx| {
+                let ids = ids.as_mut().expect("id generator exists when traced");
+                let round_ctx = ids.child_of(&ctx);
+                let dispatch: Vec<TraceContext> =
+                    (0..k).map(|_| ids.child_of(&round_ctx)).collect();
+                let start = recorder_ref.expect("recorder exists when traced").now_ns();
+                (start, round_ctx, dispatch)
+            });
             // Halo exchange: ownership and ghost positions are derived
             // from the freshest global placement.
             let owners = partition.assign_owners(&req.netlist, &working);
@@ -341,10 +378,15 @@ impl ShardRouter {
                         let owners = &owners;
                         let working = &working;
                         let encoding = self.cfg.encoding;
+                        let shard_trace = round_trace
+                            .as_ref()
+                            .map(|(_, _, dispatch)| (recorder_ref.unwrap(), dispatch[shard]));
                         scope.spawn(move || {
                             partition
                                 .extract_problem(shard, &req.netlist, &req.die, working, owners)
-                                .map(|problem| run_shard(backend, req, problem, encoding))
+                                .map(|problem| {
+                                    run_shard(backend, req, problem, encoding, shard_trace)
+                                })
                         })
                     })
                     .collect();
@@ -367,9 +409,17 @@ impl ShardRouter {
                 }
                 while !spares.is_empty() {
                     let spare = spares.remove(0);
+                    // A retry is a fresh dispatch: it gets its own span
+                    // (and id) under the same round.
+                    let retry_trace = round_trace.as_ref().map(|(_, round_ctx, _)| {
+                        let ctx = ids.as_mut().expect("traced").child_of(round_ctx);
+                        (recorder_ref.expect("traced"), ctx)
+                    });
                     let retry = partition
                         .extract_problem(shard, &req.netlist, &req.die, &working, &owners)
-                        .map(|problem| run_shard(spare, req, problem, self.cfg.encoding));
+                        .map(|problem| {
+                            run_shard(spare, req, problem, self.cfg.encoding, retry_trace)
+                        });
                     match retry {
                         Some(run) if run.error.is_none() => {
                             failovers.push(ShardFailover {
@@ -391,10 +441,11 @@ impl ShardRouter {
             let mut any_steps = false;
             let mut all_converged = true;
             for (shard, run) in runs.into_iter().enumerate() {
-                let Some(run) = run else {
+                let Some(mut run) = run else {
                     // Shard owns no cells this round; nothing to do.
                     continue;
                 };
+                collected_spans.append(&mut run.spans);
                 let out = &mut outcomes[shard];
                 out.owned_cells = run.problem.owned;
                 out.steps += run.steps;
@@ -416,6 +467,10 @@ impl ShardRouter {
             }
 
             let candidate_max = measure(&candidate);
+            if let Some((start, round_ctx, _)) = &round_trace {
+                let recorder = recorder_ref.expect("recorder exists when traced");
+                recorder.record_traced("halo.round", *start, recorder.now_ns(), *round_ctx);
+            }
             if k > 1 && candidate_max > *trace.last().expect("trace is never empty") {
                 // Rejecting the round preserves the maximum-principle
                 // invariant across the stitch: accepted state is never
@@ -447,6 +502,19 @@ impl ShardRouter {
         }
 
         let final_max = *trace.last().expect("trace is never empty");
+        // Assemble the stitched span tree: the router's own round and
+        // dispatch spans plus every backend's re-based remote spans,
+        // normalized so the earliest span starts at 0 (a receiver one
+        // hop up re-bases again onto its own dispatch span).
+        let spans = match (recorder_ref, trace_ctx) {
+            (Some(recorder), Some(ctx)) => {
+                let mut spans = recorder.drain_trace(ctx.trace_id);
+                spans.append(&mut collected_spans);
+                normalize_spans(&mut spans);
+                spans
+            }
+            _ => Vec::new(),
+        };
         let movement = MovementStats::between(&req.netlist, &req.placement, &working);
         let response = JobResponse {
             id: req.id,
@@ -459,6 +527,7 @@ impl ShardRouter {
             service_ns: t0.elapsed().as_nanos() as u64,
             positions: working.as_slice().to_vec(),
             vol: None,
+            spans,
         };
         ShardReply {
             response,
@@ -488,11 +557,34 @@ impl ShardRouter {
 
 /// Runs one shard's sub-problem on its backend. Never panics: engine
 /// panics and transport failures degrade to `error`.
+///
+/// When traced, the whole backend interaction becomes one
+/// `shard.dispatch` span under `trace`'s context, the sub-request
+/// inherits that context over the wire, and the backend's exported
+/// spans (normalized to start at 0) are re-based onto the dispatch
+/// span's local start — so remote clocks never enter the stitched tree.
 fn run_shard(
     backend: ShardBackend,
     req: &JobRequest,
     problem: ShardProblem,
     encoding: PayloadEncoding,
+    trace: Option<(&SpanRecorder, TraceContext)>,
+) -> ShardRun {
+    let dispatch_start = trace.map(|(recorder, _)| recorder.now_ns());
+    let mut run = run_shard_inner(backend, req, problem, encoding, trace.map(|(_, ctx)| ctx));
+    if let (Some((recorder, ctx)), Some(start)) = (trace, dispatch_start) {
+        recorder.record_traced("shard.dispatch", start, recorder.now_ns(), ctx);
+        rebase_spans(&mut run.spans, start);
+    }
+    run
+}
+
+fn run_shard_inner(
+    backend: ShardBackend,
+    req: &JobRequest,
+    problem: ShardProblem,
+    encoding: PayloadEncoding,
+    trace: Option<TraceContext>,
 ) -> ShardRun {
     let started = Instant::now();
     match backend {
@@ -524,6 +616,7 @@ fn run_shard(
                     progress_frames: 0,
                     kernels: Some(*result.telemetry.kernels()),
                     error: None,
+                    spans: Vec::new(),
                     problem,
                 },
                 Err(_) => failed(problem, service_ns, "shard engine panicked".into()),
@@ -541,6 +634,7 @@ fn run_shard(
                 die: problem.die.clone(),
                 placement: problem.placement.clone(),
                 vol: None,
+                trace,
             };
             let mut progress_frames = 0u64;
             let reply = ServeClient::connect(addr)
@@ -570,6 +664,7 @@ fn run_shard(
                         progress_frames,
                         kernels: None,
                         error: None,
+                        spans: resp.spans,
                         problem,
                     }
                 }
@@ -594,5 +689,6 @@ fn failed(problem: ShardProblem, service_ns: u64, error: String) -> ShardRun {
         progress_frames: 0,
         kernels: None,
         error: Some(error),
+        spans: Vec::new(),
     }
 }

@@ -45,7 +45,7 @@ use dpm_bookshelf::BookshelfDesign;
 use dpm_diffusion::{DiffusionConfig, KernelTimers, KernelTiming, SolverKind};
 use dpm_geom::Point;
 use dpm_netlist::{CellKind, Netlist, NetlistBuilder, PinDir};
-use dpm_obs::HistogramSnapshot;
+use dpm_obs::{HistogramSnapshot, SpanRecord, TraceContext};
 use dpm_place::{Die, Placement};
 
 /// Frame preamble identifying the protocol ("Diffusion Placement
@@ -560,6 +560,10 @@ pub struct JobRequest {
     /// Optional volumetric (3D) dimension extension. `None` is a plain
     /// planar job and encodes byte-for-byte like a pre-volumetric frame.
     pub vol: Option<VolRequestExt>,
+    /// Optional distributed-trace context. Rides the shared trailing
+    /// extension-flags byte (see [`encode_request`]); `None` encodes
+    /// byte-for-byte like a pre-tracing frame.
+    pub trace: Option<TraceContext>,
 }
 
 /// The volumetric dimension extension of a [`JobRequest`].
@@ -812,46 +816,115 @@ pub fn encode_request(req: &JobRequest, encoding: PayloadEncoding) -> Vec<u8> {
     put_u8(&mut buf, req.config.solver as u8);
     // The volumetric dimension extension stacks on the same trick: it
     // follows the solver byte, so planar requests (`vol: None`) remain
-    // byte-identical to pre-volumetric frames.
-    if let Some(v) = &req.vol {
-        let mut flags = 0u8;
-        if v.exact_steps.is_some() {
-            flags |= 1;
-        }
-        if v.field.is_some() {
-            flags |= 2;
-        }
-        put_u8(&mut buf, flags);
-        put_u32(&mut buf, v.nz);
-        put_u32(&mut buf, v.z0);
-        put_u32(&mut buf, v.global_nz);
-        if let Some(steps) = v.exact_steps {
-            put_u64(&mut buf, steps);
-        }
-        put_u32(&mut buf, v.z.len() as u32);
-        for &z in &v.z {
-            put_f64(&mut buf, z);
-        }
-        if let Some(field) = &v.field {
-            put_u64(&mut buf, field.len() as u64);
-            for &d in field {
-                put_f64(&mut buf, d);
+    // byte-identical to pre-volumetric frames. Its former flags byte now
+    // doubles as the shared *extension-flags* byte: bits 0/1 keep their
+    // volumetric meanings, bit 2 announces a trailing trace-context
+    // block (after the vol body), and bit 3 says the vol body itself is
+    // absent — a planar traced request. Untraced frames never set bits
+    // 2/3, so every pre-tracing frame is byte-identical.
+    match (&req.vol, &req.trace) {
+        (None, None) => {}
+        (Some(v), trace) => {
+            let mut flags = 0u8;
+            if v.exact_steps.is_some() {
+                flags |= REQ_EXT_EXACT_STEPS;
             }
+            if v.field.is_some() {
+                flags |= REQ_EXT_FIELD;
+            }
+            if trace.is_some() {
+                flags |= EXT_TRACE;
+            }
+            put_u8(&mut buf, flags);
+            put_u32(&mut buf, v.nz);
+            put_u32(&mut buf, v.z0);
+            put_u32(&mut buf, v.global_nz);
+            if let Some(steps) = v.exact_steps {
+                put_u64(&mut buf, steps);
+            }
+            put_u32(&mut buf, v.z.len() as u32);
+            for &z in &v.z {
+                put_f64(&mut buf, z);
+            }
+            if let Some(field) = &v.field {
+                put_u64(&mut buf, field.len() as u64);
+                for &d in field {
+                    put_f64(&mut buf, d);
+                }
+            }
+            if let Some(t) = trace {
+                put_trace(&mut buf, t);
+            }
+        }
+        (None, Some(t)) => {
+            put_u8(&mut buf, EXT_TRACE | EXT_NO_VOL);
+            put_trace(&mut buf, t);
         }
     }
     buf
 }
 
-/// Decodes the volumetric extension block, cursor already past the
-/// solver byte.
-fn take_vol_request(cur: &mut Cur<'_>) -> Result<VolRequestExt, WireError> {
-    let flags = cur.u8("vol.flags")?;
-    if flags & !3 != 0 {
-        return Err(malformed(
-            "vol.flags",
-            format!("unknown flag bits {flags:#x}"),
-        ));
+/// Extension-flags bit: the volumetric body carries `exact_steps`
+/// (request only).
+const REQ_EXT_EXACT_STEPS: u8 = 1 << 0;
+/// Extension-flags bit: the volumetric body carries a density field.
+const REQ_EXT_FIELD: u8 = 1 << 1;
+/// Extension-flags bit: a trace block follows the (possibly absent)
+/// volumetric body. Shared by requests and responses; on a response the
+/// block is a span export rather than a context.
+const EXT_TRACE: u8 = 1 << 2;
+/// Extension-flags bit: the volumetric body is absent (planar traced
+/// frame). Only canonical together with [`EXT_TRACE`] — a frame with no
+/// vol body and no trace block encodes as no extension at all.
+const EXT_NO_VOL: u8 = 1 << 3;
+
+/// Writes a 24-byte trace-context block.
+pub(crate) fn put_trace(buf: &mut Vec<u8>, t: &TraceContext) {
+    put_u64(buf, t.trace_id);
+    put_u64(buf, t.span_id);
+    put_u64(buf, t.parent_id);
+}
+
+/// Reads a 24-byte trace-context block.
+pub(crate) fn take_trace(cur: &mut Cur<'_>) -> Result<TraceContext, WireError> {
+    let trace_id = cur.u64("trace.trace_id")?;
+    let span_id = cur.u64("trace.span_id")?;
+    let parent_id = cur.u64("trace.parent_id")?;
+    if trace_id == 0 || span_id == 0 {
+        return Err(malformed("trace", "zero trace or span id"));
     }
+    Ok(TraceContext {
+        trace_id,
+        span_id,
+        parent_id,
+    })
+}
+
+/// Validates a request/response extension-flags byte against `allowed`.
+fn check_ext_flags(flags: u8, allowed: u8, context: &'static str) -> Result<(), WireError> {
+    if flags & !allowed != 0 {
+        return Err(malformed(context, format!("unknown flag bits {flags:#x}")));
+    }
+    if flags & EXT_NO_VOL != 0 {
+        if flags & (REQ_EXT_EXACT_STEPS | REQ_EXT_FIELD) != 0 {
+            return Err(malformed(
+                context,
+                format!("vol-absent flag with vol body bits {flags:#x}"),
+            ));
+        }
+        if flags & EXT_TRACE == 0 {
+            return Err(malformed(
+                context,
+                "vol-absent flag without a trace block is non-canonical",
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Decodes the volumetric extension body, cursor already past the
+/// extension-flags byte (validated by the caller).
+fn take_vol_request(cur: &mut Cur<'_>, flags: u8) -> Result<VolRequestExt, WireError> {
     let nz = cur.u32("vol.nz")?;
     let z0 = cur.u32("vol.z0")?;
     let global_nz = cur.u32("vol.global_nz")?;
@@ -936,13 +1009,26 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
     if cur.pos < cur.buf.len() {
         config.solver = solver_kind_from_u8(cur.u8("request.solver")?)?;
     }
-    // Optional volumetric extension after the solver byte: dimension-less
-    // frames end here and decode as planar (2D) jobs.
-    let vol = if cur.pos < cur.buf.len() {
-        Some(take_vol_request(&mut cur)?)
-    } else {
-        None
-    };
+    // Optional extensions after the solver byte: dimension-less frames
+    // end here and decode as planar (2D), untraced jobs. Otherwise one
+    // extension-flags byte announces the volumetric body and/or a
+    // trailing trace-context block.
+    let mut vol = None;
+    let mut trace = None;
+    if cur.pos < cur.buf.len() {
+        let flags = cur.u8("request.ext.flags")?;
+        check_ext_flags(
+            flags,
+            REQ_EXT_EXACT_STEPS | REQ_EXT_FIELD | EXT_TRACE | EXT_NO_VOL,
+            "request.ext.flags",
+        )?;
+        if flags & EXT_NO_VOL == 0 {
+            vol = Some(take_vol_request(&mut cur, flags)?);
+        }
+        if flags & EXT_TRACE != 0 {
+            trace = Some(take_trace(&mut cur)?);
+        }
+    }
     cur.finish("request")?;
     Ok(JobRequest {
         id,
@@ -955,6 +1041,7 @@ pub fn decode_request(payload: &[u8]) -> Result<JobRequest, WireError> {
         die,
         placement,
         vol,
+        trace,
     })
 }
 
@@ -986,6 +1073,13 @@ pub struct JobResponse {
     /// Optional volumetric (3D) extension. `None` is a planar reply and
     /// encodes byte-for-byte like a pre-volumetric frame.
     pub vol: Option<VolResponseExt>,
+    /// Spans this backend recorded for the job, exported when the
+    /// request carried a trace context. Timestamps are normalized so
+    /// the earliest start is zero (see [`dpm_obs::normalize_spans`]);
+    /// the receiver re-bases them under its own dispatch span. All
+    /// records share one trace id. Empty encodes byte-for-byte like a
+    /// pre-tracing frame.
+    pub spans: Vec<SpanRecord>,
 }
 
 /// The volumetric dimension extension of a [`JobResponse`].
@@ -1014,23 +1108,83 @@ pub fn encode_response(resp: &JobResponse) -> Vec<u8> {
         put_f64(&mut buf, p.x);
         put_f64(&mut buf, p.y);
     }
-    // Volumetric extension, mirroring the request: planar replies stay
-    // byte-identical to pre-volumetric frames.
-    if let Some(v) = &resp.vol {
-        let flags = if v.field.is_some() { 2u8 } else { 0 };
-        put_u8(&mut buf, flags);
-        put_u32(&mut buf, v.z.len() as u32);
-        for &z in &v.z {
-            put_f64(&mut buf, z);
-        }
-        if let Some(field) = &v.field {
-            put_u64(&mut buf, field.len() as u64);
-            for &d in field {
-                put_f64(&mut buf, d);
+    // Extensions, mirroring the request: one shared flags byte, the
+    // volumetric body, then the span export. Planar untraced replies
+    // stay byte-identical to pre-volumetric frames.
+    match (&resp.vol, resp.spans.is_empty()) {
+        (None, true) => {}
+        (Some(v), spans_empty) => {
+            let mut flags = if v.field.is_some() { REQ_EXT_FIELD } else { 0 };
+            if !spans_empty {
+                flags |= EXT_TRACE;
             }
+            put_u8(&mut buf, flags);
+            put_u32(&mut buf, v.z.len() as u32);
+            for &z in &v.z {
+                put_f64(&mut buf, z);
+            }
+            if let Some(field) = &v.field {
+                put_u64(&mut buf, field.len() as u64);
+                for &d in field {
+                    put_f64(&mut buf, d);
+                }
+            }
+            if !spans_empty {
+                put_spans(&mut buf, &resp.spans);
+            }
+        }
+        (None, false) => {
+            put_u8(&mut buf, EXT_TRACE | EXT_NO_VOL);
+            put_spans(&mut buf, &resp.spans);
         }
     }
     buf
+}
+
+/// Writes a span-export block: the shared trace id, a count, then each
+/// record's name/ids/interval. The per-record trace id is *not* encoded
+/// — every exported span belongs to the one trace the request named.
+fn put_spans(buf: &mut Vec<u8>, spans: &[SpanRecord]) {
+    put_u64(buf, spans.first().map_or(0, |s| s.trace_id));
+    put_u32(buf, spans.len() as u32);
+    for s in spans {
+        put_str(buf, &s.name);
+        put_u64(buf, s.span_id);
+        put_u64(buf, s.parent_id);
+        put_u64(buf, s.start_ns);
+        put_u64(buf, s.end_ns);
+    }
+}
+
+/// Minimum encoded size of one span record (empty name), used to bound
+/// the count-driven allocation against hostile payloads.
+const SPAN_RECORD_MIN_LEN: usize = 4 + 8 * 4;
+
+/// Reads a span-export block.
+fn take_spans(cur: &mut Cur<'_>) -> Result<Vec<SpanRecord>, WireError> {
+    let trace_id = cur.u64("spans.trace_id")?;
+    let n = cur.u32("spans.count")? as usize;
+    let remaining = cur.buf.len() - cur.pos;
+    let mut spans = Vec::with_capacity(n.min(remaining / SPAN_RECORD_MIN_LEN));
+    for _ in 0..n {
+        let name = cur.str_("span.name")?;
+        let span_id = cur.u64("span.span_id")?;
+        let parent_id = cur.u64("span.parent_id")?;
+        let start_ns = cur.u64("span.start_ns")?;
+        let end_ns = cur.u64("span.end_ns")?;
+        if end_ns < start_ns {
+            return Err(malformed("span", "inverted span interval"));
+        }
+        spans.push(SpanRecord {
+            name,
+            start_ns,
+            end_ns,
+            trace_id,
+            span_id,
+            parent_id,
+        });
+    }
+    Ok(spans)
 }
 
 /// Decodes a response frame payload.
@@ -1056,33 +1210,37 @@ pub fn decode_response(payload: &[u8]) -> Result<JobResponse, WireError> {
         let y = cur.f64("response.position.y")?;
         positions.push(Point::new(x, y));
     }
-    let vol = if cur.pos < cur.buf.len() {
-        let flags = cur.u8("response.vol.flags")?;
-        if flags & !2 != 0 {
-            return Err(malformed(
-                "response.vol.flags",
-                format!("unknown flag bits {flags:#x}"),
-            ));
-        }
-        let nz = cur.u32("response.vol.z.count")? as usize;
-        let mut z = Vec::with_capacity(nz.min(1 << 20));
-        for _ in 0..nz {
-            z.push(cur.f64("response.vol.z")?);
-        }
-        let field = if flags & 2 != 0 {
-            let len = cur.u64("response.vol.field.len")? as usize;
-            let mut field = Vec::with_capacity(len.min(1 << 20));
-            for _ in 0..len {
-                field.push(cur.f64("response.vol.field")?);
+    let mut vol = None;
+    let mut spans = Vec::new();
+    if cur.pos < cur.buf.len() {
+        let flags = cur.u8("response.ext.flags")?;
+        check_ext_flags(
+            flags,
+            REQ_EXT_FIELD | EXT_TRACE | EXT_NO_VOL,
+            "response.ext.flags",
+        )?;
+        if flags & EXT_NO_VOL == 0 {
+            let nz = cur.u32("response.vol.z.count")? as usize;
+            let mut z = Vec::with_capacity(nz.min(1 << 20));
+            for _ in 0..nz {
+                z.push(cur.f64("response.vol.z")?);
             }
-            Some(field)
-        } else {
-            None
-        };
-        Some(VolResponseExt { z, field })
-    } else {
-        None
-    };
+            let field = if flags & REQ_EXT_FIELD != 0 {
+                let len = cur.u64("response.vol.field.len")? as usize;
+                let mut field = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    field.push(cur.f64("response.vol.field")?);
+                }
+                Some(field)
+            } else {
+                None
+            };
+            vol = Some(VolResponseExt { z, field });
+        }
+        if flags & EXT_TRACE != 0 {
+            spans = take_spans(&mut cur)?;
+        }
+    }
     cur.finish("response")?;
     Ok(JobResponse {
         id,
@@ -1095,6 +1253,7 @@ pub fn decode_response(payload: &[u8]) -> Result<JobResponse, WireError> {
         service_ns,
         positions,
         vol,
+        spans,
     })
 }
 
@@ -1673,6 +1832,7 @@ mod tests {
             die,
             placement,
             vol: None,
+            trace: None,
         }
     }
 
@@ -1728,6 +1888,7 @@ mod tests {
             service_ns: 2000,
             positions: vec![Point::new(1.5, -2.5), Point::new(0.0, f64::MAX)],
             vol: None,
+            spans: Vec::new(),
         };
         let back = decode_response(&encode_response(&resp)).expect("decodes");
         assert_eq!(back, resp);
@@ -2032,6 +2193,7 @@ mod tests {
                 z: vec![0.5, 1.5, f64::MIN_POSITIVE],
                 field: Some(vec![0.0, 1.0, 0.75, f64::MAX]),
             }),
+            spans: Vec::new(),
         };
         let back = decode_response(&encode_response(&resp)).expect("decodes");
         assert_eq!(back, resp);
@@ -2072,7 +2234,7 @@ mod tests {
         assert!(matches!(
             decode_request(&bad),
             Err(WireError::Malformed {
-                context: "vol.flags",
+                context: "request.ext.flags",
                 ..
             })
         ));
@@ -2305,5 +2467,232 @@ mod tests {
         // Truncated payloads are typed errors, not panics.
         assert!(decode_design_ack(&encode_design_ack(&ack)[..10]).is_err());
         assert!(decode_need_design(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn traced_request_is_a_pure_suffix_of_the_legacy_frame() {
+        let mut req = tiny_request(JobKind::Local);
+        let legacy = encode_request(&req, PayloadEncoding::Binary);
+
+        req.trace = Some(TraceContext {
+            trace_id: 0x1111_2222_3333_4444,
+            span_id: 0x5555_6666_7777_8888,
+            parent_id: 0,
+        });
+        let traced = encode_request(&req, PayloadEncoding::Binary);
+
+        // Trace context rides as flags byte + 24-byte block appended
+        // after everything a legacy decoder reads: the untraced frame
+        // is byte-for-byte a prefix of the traced one.
+        assert_eq!(traced.len(), legacy.len() + 1 + 24);
+        assert_eq!(&traced[..legacy.len()], &legacy[..]);
+
+        let back = decode_request(&traced).expect("traced frame decodes");
+        assert_eq!(back.trace, req.trace);
+        assert!(back.vol.is_none());
+        // And the legacy bytes still decode as an untraced job.
+        assert_eq!(decode_request(&legacy).expect("legacy decodes").trace, None);
+    }
+
+    #[test]
+    fn traced_volumetric_request_round_trip_is_exact() {
+        let mut req = tiny_request(JobKind::Global);
+        req.vol = Some(VolRequestExt {
+            nz: 3,
+            z0: 0,
+            global_nz: 3,
+            exact_steps: None,
+            z: vec![0.5, 1.5, 2.5],
+            field: None,
+        });
+        let untraced = encode_request(&req, PayloadEncoding::Binary);
+        req.trace = Some(TraceContext {
+            trace_id: 7,
+            span_id: 8,
+            parent_id: 9,
+        });
+        let traced = encode_request(&req, PayloadEncoding::Binary);
+        // Same flags byte position, EXT_TRACE bit set, 24 extra bytes.
+        assert_eq!(traced.len(), untraced.len() + 24);
+        let back = decode_request(&traced).expect("decodes");
+        assert_eq!(back.trace, req.trace);
+        assert_eq!(back.vol, req.vol);
+    }
+
+    #[test]
+    fn malformed_trace_blocks_error_not_panic() {
+        let mut req = tiny_request(JobKind::Local);
+        req.trace = Some(TraceContext {
+            trace_id: 1,
+            span_id: 2,
+            parent_id: 3,
+        });
+        let payload = encode_request(&req, PayloadEncoding::Binary);
+        let flags_off = payload.len() - (1 + 24);
+
+        // The all-zero context never appears on the wire.
+        let mut bad = payload.clone();
+        bad[flags_off + 1..].fill(0);
+        assert!(matches!(
+            decode_request(&bad),
+            Err(WireError::Malformed {
+                context: "trace",
+                ..
+            })
+        ));
+
+        // A vol-absent flag without a trace block is non-canonical: the
+        // frame should have ended at the solver byte instead.
+        let mut bad = payload[..flags_off + 1].to_vec();
+        bad[flags_off] = EXT_NO_VOL;
+        assert!(matches!(
+            decode_request(&bad),
+            Err(WireError::Malformed {
+                context: "request.ext.flags",
+                ..
+            })
+        ));
+
+        // Unknown future flag bits are malformed, not silently skipped.
+        for unknown in [0x10u8, 0x40, 0xFF] {
+            let mut bad = payload.clone();
+            bad[flags_off] = unknown;
+            assert!(matches!(
+                decode_request(&bad),
+                Err(WireError::Malformed {
+                    context: "request.ext.flags",
+                    ..
+                })
+            ));
+        }
+
+        // Every truncation inside the trace block errors, never panics.
+        for cut in flags_off + 1..payload.len() {
+            assert!(
+                decode_request(&payload[..cut]).is_err(),
+                "trace block truncated to {} bytes decoded",
+                cut - flags_off
+            );
+        }
+        // Cutting the whole extension off leaves a valid untraced frame.
+        assert!(decode_request(&payload[..flags_off])
+            .expect("untraced prefix decodes")
+            .trace
+            .is_none());
+    }
+
+    #[test]
+    fn span_export_round_trip_and_legacy_prefix() {
+        let bare = JobResponse {
+            id: 5,
+            converged: true,
+            steps: 10,
+            rounds: 1,
+            total_movement: 1.0,
+            max_movement: 0.5,
+            queue_ns: 7,
+            service_ns: 11,
+            positions: vec![Point::new(1.0, 2.0)],
+            vol: None,
+            spans: Vec::new(),
+        };
+        let legacy = encode_response(&bare);
+
+        let mut traced = bare.clone();
+        traced.spans = vec![
+            SpanRecord {
+                name: "job.local".into(),
+                start_ns: 0,
+                end_ns: 500,
+                trace_id: 0xABCD,
+                span_id: 2,
+                parent_id: 1,
+            },
+            SpanRecord {
+                name: "kernel.ftcs \"quoted\"\n".into(),
+                start_ns: 10,
+                end_ns: 20,
+                trace_id: 0xABCD,
+                span_id: 3,
+                parent_id: 2,
+            },
+        ];
+        let payload = encode_response(&traced);
+        // The span export is a pure suffix after the untraced bytes.
+        assert!(payload.len() > legacy.len());
+        assert_eq!(&payload[..legacy.len()], &legacy[..]);
+        let back = decode_response(&payload).expect("decodes");
+        assert_eq!(back, traced);
+        assert_eq!(
+            decode_response(&legacy).expect("legacy decodes").spans,
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn malformed_span_exports_error_not_panic() {
+        let mut resp = JobResponse {
+            id: 5,
+            converged: true,
+            steps: 10,
+            rounds: 1,
+            total_movement: 1.0,
+            max_movement: 0.5,
+            queue_ns: 7,
+            service_ns: 11,
+            positions: vec![Point::new(1.0, 2.0)],
+            vol: None,
+            spans: vec![SpanRecord {
+                name: "job.local".into(),
+                start_ns: 100,
+                end_ns: 50, // inverted on purpose below
+                trace_id: 1,
+                span_id: 2,
+                parent_id: 0,
+            }],
+        };
+        resp.spans[0].end_ns = 200;
+        let payload = encode_response(&resp);
+        let flags_off = payload.len()
+            - (1 // ext flags
+                + 8 // shared trace id
+                + 4 // count
+                + 4 + "job.local".len() // name
+                + 8 * 4); // ids + interval
+
+        // An inverted interval is malformed, not a wrap-around duration.
+        let mut bad = payload.clone();
+        let end_off = payload.len() - 8;
+        bad[end_off..].copy_from_slice(&49u64.to_le_bytes());
+        assert!(matches!(
+            decode_response(&bad),
+            Err(WireError::Malformed {
+                context: "span",
+                ..
+            })
+        ));
+
+        // A hostile count cannot drive allocation past the payload: it
+        // just truncates.
+        let mut bad = payload.clone();
+        let count_off = flags_off + 1 + 8;
+        bad[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_response(&bad),
+            Err(WireError::Truncated { .. })
+        ));
+
+        // Every truncation inside the export errors, never panics.
+        for cut in flags_off + 1..payload.len() {
+            assert!(
+                decode_response(&payload[..cut]).is_err(),
+                "span export truncated to {} bytes decoded",
+                cut - flags_off
+            );
+        }
+        assert!(decode_response(&payload[..flags_off])
+            .expect("bare prefix decodes")
+            .spans
+            .is_empty());
     }
 }

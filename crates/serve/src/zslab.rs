@@ -42,6 +42,7 @@ use dpm_diffusion::{
 };
 use dpm_geom::Point;
 use dpm_netlist::{CellId, CellKind, Netlist, NetlistBuilder};
+use dpm_obs::{normalize_spans, rebase_spans, SpanRecord, SpanRecorder, TraceContext, TraceIdGen};
 use dpm_place::{BinGrid, MovementStats, Placement};
 
 use crate::shard::ShardBackend;
@@ -49,6 +50,20 @@ use crate::wire::{
     JobKind, JobRequest, JobResponse, PayloadEncoding, Reply, VolRequestExt, VolResponseExt,
 };
 use crate::ServeClient;
+
+/// Salt mixed into the inherited span id when seeding the router's
+/// span-id generator; distinct from the planar router's and the
+/// server's salts so stacked hops never collide id streams.
+const SLAB_SEED_SALT: u64 = 0x51AB_CAFE_D00D_F00D;
+
+/// Spans a traced route keeps locally (round + dispatch spans).
+const SLAB_SPAN_CAPACITY: usize = 256;
+
+/// Upper bound on remote spans stitched into one routed reply. A long
+/// volumetric run exchanges hundreds of halo rounds; the earliest
+/// rounds carry the structure a trace needs, the rest would only bloat
+/// the wire export.
+const SLAB_SPAN_COLLECT_CAP: usize = 2048;
 
 /// Routing parameters for a [`VolRouter`].
 #[derive(Debug, Clone)]
@@ -164,6 +179,9 @@ struct SlabRun {
     z_local: Vec<f64>,
     field: Vec<f64>,
     kernels: Option<KernelTimers>,
+    /// Remote spans exported by a TCP backend, already re-based into
+    /// the router's clock by the dispatch span's start.
+    spans: Vec<SpanRecord>,
 }
 
 /// Fans one volumetric [`JobRequest`] out over K z-slab backends with
@@ -274,7 +292,26 @@ impl VolRouter {
         let mut kernels = KernelTimers::default();
         let mut rounds = 0usize;
 
+        // Tracing state: a local recorder for round/dispatch spans and a
+        // deterministic id generator seeded from the inherited context.
+        let trace_ctx = req.trace;
+        let recorder = trace_ctx.map(|_| SpanRecorder::new(SLAB_SPAN_CAPACITY));
+        let recorder_ref = recorder.as_ref();
+        let mut ids = trace_ctx.map(|ctx| TraceIdGen::seeded(ctx.span_id ^ SLAB_SEED_SALT));
+        let mut collected_spans: Vec<SpanRecord> = Vec::new();
+
         while !converged && rounds < cfg.max_steps {
+            // One `halo.round` span per exchange; dispatch contexts are
+            // minted serially up front so span ids stay a pure function
+            // of the inherited context, independent of thread timing.
+            let round_trace = trace_ctx.map(|ctx| {
+                let ids = ids.as_mut().expect("id generator exists when traced");
+                let round_ctx = ids.child_of(&ctx);
+                let dispatch: Vec<TraceContext> =
+                    (0..k).map(|_| ids.child_of(&round_ctx)).collect();
+                let start = recorder_ref.expect("recorder exists when traced").now_ns();
+                (start, round_ctx, dispatch)
+            });
             // Ownership and shipped regions derive from the freshest
             // depths and field.
             let problems: Vec<SlabProblem> = (0..k)
@@ -287,7 +324,12 @@ impl VolRouter {
                     .map(|problem| {
                         let backend = self.backends[problem.index % self.backends.len()];
                         let encoding = self.cfg.encoding;
-                        scope.spawn(move || run_slab(backend, req, problem, nz, encoding))
+                        let slab_trace = round_trace.as_ref().map(|(_, _, dispatch)| {
+                            (recorder_ref.unwrap(), dispatch[problem.index])
+                        });
+                        scope.spawn(move || {
+                            run_slab(backend, req, problem, nz, encoding, slab_trace)
+                        })
                     })
                     .collect();
                 handles
@@ -297,10 +339,13 @@ impl VolRouter {
             });
 
             for (problem, run) in problems.iter().zip(runs) {
-                let run = run.map_err(|message| VolRouteError::Backend {
+                let mut run = run.map_err(|message| VolRouteError::Backend {
                     slab: problem.index,
                     message,
                 })?;
+                let room = SLAB_SPAN_COLLECT_CAP.saturating_sub(collected_spans.len());
+                run.spans.truncate(room);
+                collected_spans.append(&mut run.spans);
                 // Stitch the owned tiers of the evolved region…
                 for z in problem.z0..problem.z1 {
                     let src = (z - problem.h0) * nxy;
@@ -323,7 +368,25 @@ impl VolRouter {
             let m = max_live(&field);
             trace.push(m);
             converged = m <= target;
+            if let Some((start, round_ctx, _)) = &round_trace {
+                let recorder = recorder_ref.expect("recorder exists when traced");
+                recorder.record_traced("halo.round", *start, recorder.now_ns(), *round_ctx);
+            }
         }
+
+        // Assemble the stitched span tree: router round/dispatch spans
+        // plus every backend's re-based remote spans, normalized so the
+        // earliest span starts at 0 (a receiver one hop up re-bases
+        // again onto its own dispatch span).
+        let spans = match (recorder_ref, trace_ctx) {
+            (Some(recorder), Some(ctx)) => {
+                let mut spans = recorder.drain_trace(ctx.trace_id);
+                spans.append(&mut collected_spans);
+                normalize_spans(&mut spans);
+                spans
+            }
+            _ => Vec::new(),
+        };
 
         let movement = MovementStats::between(&req.netlist, &req.placement, &vp.xy);
         let response = JobResponse {
@@ -340,6 +403,7 @@ impl VolRouter {
                 z: vp.z,
                 field: Some(field),
             }),
+            spans,
         };
         Ok(VolReply {
             response,
@@ -406,12 +470,38 @@ fn extract_slab(
 
 /// Runs one slab's one-step sub-job on its backend. Transport failures
 /// and engine panics degrade to `Err` — the router fails the whole job.
+///
+/// When traced, the backend interaction becomes one `shard.dispatch`
+/// span under `trace`'s context; a TCP sub-request inherits that
+/// context over the wire and its exported spans are re-based onto the
+/// dispatch span's local start, while an in-process run records its
+/// kernel spans straight into the router's recorder.
 fn run_slab(
     backend: ShardBackend,
     req: &JobRequest,
     problem: &SlabProblem,
     global_nz: usize,
     encoding: PayloadEncoding,
+    trace: Option<(&SpanRecorder, TraceContext)>,
+) -> Result<SlabRun, String> {
+    let dispatch_start = trace.map(|(recorder, _)| recorder.now_ns());
+    let mut result = run_slab_inner(backend, req, problem, global_nz, encoding, trace);
+    if let (Some((recorder, ctx)), Some(start)) = (trace, dispatch_start) {
+        recorder.record_traced("shard.dispatch", start, recorder.now_ns(), ctx);
+        if let Ok(run) = result.as_mut() {
+            rebase_spans(&mut run.spans, start);
+        }
+    }
+    result
+}
+
+fn run_slab_inner(
+    backend: ShardBackend,
+    req: &JobRequest,
+    problem: &SlabProblem,
+    global_nz: usize,
+    encoding: PayloadEncoding,
+    trace: Option<(&SpanRecorder, TraceContext)>,
 ) -> Result<SlabRun, String> {
     let region_nz = problem.h1 - problem.h0;
     match backend {
@@ -428,18 +518,27 @@ fn run_slab(
                     xy: problem.placement.clone(),
                     z: problem.z_local.clone(),
                 };
-                let r = VolumetricDiffusion::new(req.config.clone(), global_nz).run_job(
-                    &spec,
-                    &problem.netlist,
-                    &req.die,
-                    &mut svp,
-                    &|| false,
-                );
+                let runner = VolumetricDiffusion::new(req.config.clone(), global_nz);
+                let r = match trace {
+                    Some((recorder, ctx)) => {
+                        let mut obs = dpm_diffusion::SpanObserver::new(recorder, ctx, ctx.span_id);
+                        runner.run_job_observed(
+                            &spec,
+                            &problem.netlist,
+                            &req.die,
+                            &mut svp,
+                            &|| false,
+                            &mut obs,
+                        )
+                    }
+                    None => runner.run_job(&spec, &problem.netlist, &req.die, &mut svp, &|| false),
+                };
                 SlabRun {
                     positions: svp.xy.as_slice().to_vec(),
                     z_local: svp.z,
                     field: r.field,
                     kernels: Some(*r.telemetry.kernels()),
+                    spans: Vec::new(),
                 }
             }))
             .map_err(|_| "slab engine panicked".into())
@@ -463,6 +562,7 @@ fn run_slab(
                     z: problem.z_local.clone(),
                     field: Some(problem.field.clone()),
                 }),
+                trace: trace.map(|(_, ctx)| ctx),
             };
             let reply = ServeClient::connect(addr)
                 .map_err(|e| format!("connect {addr}: {e}"))
@@ -497,6 +597,7 @@ fn run_slab(
                         z_local: ext.z,
                         field,
                         kernels: None,
+                        spans: resp.spans,
                     })
                 }
                 Reply::Rejected(e) => Err(format!("{}: {}", e.code.as_str(), e.message)),

@@ -54,6 +54,7 @@ fn v2_request(id: u64, progress_stride: u32) -> JobRequest {
         die: bench.die,
         placement: bench.placement,
         vol: None,
+        trace: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn request(id: u64, kind: JobKind, config: DiffusionConfig, deadline_ms: u32) ->
         die: b.die,
         placement: b.placement,
         vol: None,
+        trace: None,
     }
 }
 
@@ -68,6 +69,7 @@ fn busy_request(id: u64, kind: JobKind) -> JobRequest {
         die: b.die,
         placement: b.placement,
         vol: None,
+        trace: None,
     }
 }
 

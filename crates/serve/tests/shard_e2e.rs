@@ -30,6 +30,7 @@ fn request(bench: &Benchmark, id: u64) -> JobRequest {
         die: bench.die.clone(),
         placement: bench.placement.clone(),
         vol: None,
+        trace: None,
     }
 }
 
@@ -254,6 +255,7 @@ fn dead_shard_degrades_to_unmigrated_region_not_job_failure() {
         die: die.clone(),
         placement: placement.clone(),
         vol: None,
+        trace: None,
     };
 
     // Shard 0 healthy in-process, shard 1 routed to a dead port.
@@ -331,6 +333,7 @@ fn killed_backend_fails_over_to_warm_spare_with_no_unmigrated_region() {
         die: die.clone(),
         placement: placement.clone(),
         vol: None,
+        trace: None,
     };
     let cfg = ShardRouterConfig {
         shards: 2,

@@ -44,6 +44,7 @@ fn request(bench: &VolBenchmark, id: u64) -> JobRequest {
             z: bench.placement.z.clone(),
             field: None,
         }),
+        trace: None,
     }
 }
 

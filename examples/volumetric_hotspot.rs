@@ -109,6 +109,7 @@ fn main() {
             z: bench.placement.z.clone(),
             field: None,
         }),
+        trace: None,
     };
     let router = VolRouter::in_process(VolRouterConfig {
         slabs: 2,

@@ -133,6 +133,47 @@ grep -q '"tenant0": {"weight"' "$ctl_out"
 grep -q '"tenant1": {"weight"' "$ctl_out"
 grep -q '"p99_us"' "$ctl_out"
 
+echo "==> trace smoke test (perf_serve --smoke --tenants 2 --trace-out)"
+# Re-runs the control-plane smoke with tracing armed on one extra job
+# and exports its stitched span tree as Chrome trace_event JSONL. The
+# greps pin the fleet-wide trace shape: every line carries the same
+# trace_id (root + front-end admission + shard dispatches + kernel
+# spans all stitched into one tree), and the tenant label rides the
+# root span's args.
+trace_json="$(mktemp_tracked)"
+trace_jsonl="$(mktemp_tracked)"
+cargo run --release --offline -p dpm-bench --bin perf_serve -- "$trace_json" --smoke --tenants 2 --trace-out "$trace_jsonl" >/dev/null
+grep -q '"name":"client.request"' "$trace_jsonl"
+grep -q '"name":"ctl.admit' "$trace_jsonl"
+grep -q '"name":"queue.wait"' "$trace_jsonl"
+grep -q '"name":"shard.dispatch"' "$trace_jsonl"
+grep -q '"name":"kernel.' "$trace_jsonl"
+grep -q '"tenant":"tenant0"' "$trace_jsonl"
+trace_ids=$(grep -o '"trace_id":"[0-9a-f]*"' "$trace_jsonl" | sort -u | wc -l)
+if [[ "$trace_ids" -ne 1 ]]; then
+    echo "TRACE BREAK: expected one trace_id in $trace_jsonl, found $trace_ids" >&2
+    exit 1
+fi
+
+echo "==> bench guard (committed BENCH_*.json keys must not disappear)"
+# A benchmark rewrite that drops a previously-recorded field silently
+# erases history — every key present in the committed BENCH_*.json must
+# survive in the worktree copy (new keys are fine).
+for f in BENCH_*.json; do
+    [[ -f "$f" ]] || continue
+    git cat-file -e "HEAD:$f" 2>/dev/null || continue
+    head_keys="$(mktemp_tracked)"
+    work_keys="$(mktemp_tracked)"
+    git show "HEAD:$f" | grep -o '"[A-Za-z0-9_]*":' | sort -u >"$head_keys"
+    grep -o '"[A-Za-z0-9_]*":' "$f" | sort -u >"$work_keys"
+    lost=$(comm -23 "$head_keys" "$work_keys")
+    if [[ -n "$lost" ]]; then
+        echo "BENCH GUARD: $f lost committed keys:" >&2
+        echo "$lost" >&2
+        exit 1
+    fi
+done
+
 echo "==> shard smoke test (perf_shard --smoke)"
 # Boots a 2-shard router over two TCP servers on ephemeral ports and
 # replays one streamed request. The binary asserts the maximum-principle
