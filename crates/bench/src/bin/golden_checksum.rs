@@ -16,9 +16,17 @@
 //! default (planar) output is byte-identical to what it was before the
 //! volumetric mode existed.
 //!
-//! Usage: `cargo run --release --bin golden_checksum [-- vol]`
+//! With the `f32` argument it runs the planar pair in
+//! [`FieldPrecision::F32`] (FTCS only — the spectral solver is f64-only)
+//! and prints that mode's own checksum, which must likewise be
+//! invariant across `DPM_THREADS` *and* `DPM_LANES`.
+//!
+//! Usage: `cargo run --release --bin golden_checksum [-- vol|f32]`
 
-use dpm_diffusion::{DiffusionConfig, GlobalDiffusion, LocalDiffusion, VolumetricDiffusion};
+use dpm_diffusion::{
+    DiffusionConfig, FieldPrecision, GlobalDiffusion, LocalDiffusion, SolverKind,
+    VolumetricDiffusion,
+};
 use dpm_gen::{CircuitSpec, InflationSpec, VolCircuitSpec};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -65,10 +73,19 @@ fn main() {
     let cfg = DiffusionConfig::default();
     eprintln!("golden_checksum: {} worker thread(s)", cfg.threads);
 
-    if std::env::args().nth(1).as_deref() == Some("vol") {
+    let mode = std::env::args().nth(1);
+    if mode.as_deref() == Some("vol") {
         println!("{:016x}", vol_checksum(&cfg));
         return;
     }
+    let cfg = if mode.as_deref() == Some("f32") {
+        // The f32 leg pins its own checksum: same circuits, FTCS
+        // stepper (spectral is f64-only), single-precision field.
+        cfg.with_solver(SolverKind::Ftcs)
+            .with_precision(FieldPrecision::F32)
+    } else {
+        cfg
+    };
 
     let mut hash = FNV_OFFSET;
     for (global, cells, seed) in [(true, 400usize, 11u64), (false, 600, 23)] {

@@ -3,7 +3,7 @@
 use crate::{DiffusionConfig, DiffusionEngine};
 use dpm_geom::{clamp, Point};
 use dpm_netlist::{CellId, Netlist};
-use dpm_par::{chunk_ranges, tree_reduce};
+use dpm_par::{chunk_ranges, parallel_for_chunks, tree_reduce};
 use dpm_place::{BinGrid, Placement};
 
 /// Movable cells per parallel advection chunk. Fixed (independent of the
@@ -44,10 +44,13 @@ pub struct AdvectOutcome {
 ///
 /// Each cell's step depends only on its *own* position and the (fixed)
 /// velocity field, so cells advect in parallel on the engine's worker
-/// pool: fixed chunks of the movable-cell list are mapped to move lists
-/// plus partial outcomes, the moves are applied serially in chunk order,
-/// and the partials fold in a fixed-shape tree — results are bit-identical
-/// at every thread count.
+/// pool. Every chunk *owns* a slice of one preallocated plan buffer —
+/// slot `i` is cell `ids[i]`'s move — so the parallel pass allocates
+/// nothing and there is no per-chunk move list to merge; the serial
+/// tail just applies the planned moves in cell order and folds the
+/// per-chunk partials in a fixed-shape tree. Chunks are fixed-size
+/// (independent of the thread count), so results are bit-identical at
+/// every parallelism.
 pub(crate) fn advect_cells(
     engine: &DiffusionEngine,
     grid: &BinGrid,
@@ -58,33 +61,33 @@ pub(crate) fn advect_cells(
 ) -> AdvectOutcome {
     let ids: Vec<CellId> = netlist.movable_cell_ids().collect();
     let frozen_placement: &Placement = placement;
-    let per_chunk = engine
-        .pool()
-        .map(chunk_ranges(ids.len(), CELL_CHUNK), |_, range| {
-            let mut moves: Vec<(CellId, Point)> = Vec::new();
-            let mut partial = AdvectOutcome::default();
-            for &cell_id in &ids[range] {
-                if let Some((new_pos, dist)) = advect_one(
-                    engine,
-                    grid,
-                    netlist,
-                    frozen_placement,
-                    cfg,
-                    respect_frozen,
-                    cell_id,
-                ) {
-                    moves.push((cell_id, new_pos));
-                    partial.total_movement += dist;
-                    partial.moved_cells += 1;
-                }
-            }
-            (moves, partial)
-        });
+    let mut planned: Vec<Option<(Point, f64)>> = vec![None; ids.len()];
+    parallel_for_chunks(engine.pool(), &mut planned, CELL_CHUNK, |_, range, out| {
+        for (slot, &cell_id) in out.iter_mut().zip(&ids[range]) {
+            *slot = advect_one(
+                engine,
+                grid,
+                netlist,
+                frozen_placement,
+                cfg,
+                respect_frozen,
+                cell_id,
+            );
+        }
+    });
 
-    let mut partials = Vec::with_capacity(per_chunk.len());
-    for (moves, partial) in per_chunk {
-        for (cell_id, new_pos) in moves {
-            placement.set(cell_id, new_pos);
+    // Serial apply + partial-outcome accumulation, chunked exactly like
+    // the historical per-chunk sums so the tree fold sees the same
+    // addition order.
+    let mut partials = Vec::new();
+    for range in chunk_ranges(ids.len(), CELL_CHUNK) {
+        let mut partial = AdvectOutcome::default();
+        for (plan, &cell_id) in planned[range.clone()].iter().zip(&ids[range]) {
+            if let Some((new_pos, dist)) = plan {
+                placement.set(cell_id, *new_pos);
+                partial.total_movement += dist;
+                partial.moved_cells += 1;
+            }
         }
         partials.push(partial);
     }

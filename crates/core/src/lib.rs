@@ -97,7 +97,7 @@ mod vol;
 mod window;
 
 pub use advect::AdvectOutcome;
-pub use config::{ConfigError, DiffusionConfig, SolverKind};
+pub use config::{ConfigError, DiffusionConfig, FieldPrecision, LaneMode, SolverKind};
 pub use dims::Dims;
 pub use engine::DiffusionEngine;
 pub use field::FieldMigration;

@@ -144,6 +144,8 @@ impl LocalDiffusion {
         let mut engine = DiffusionEngine::from_density_map(&map);
         engine.set_conservative_boundaries(!self.cfg.paper_boundaries);
         engine.set_threads(self.cfg.threads);
+        engine.set_lanes(self.cfg.lanes);
+        engine.set_precision(self.cfg.precision);
         engine
             .kernel_timers_mut()
             .splat

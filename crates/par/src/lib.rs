@@ -52,6 +52,43 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Target working-set size of one cache-blocked kernel chunk, in bytes.
+///
+/// Sized to sit comfortably inside a per-core L2 slice: big enough that a
+/// chunk amortizes pool dispatch, small enough that a chunk's input
+/// lines, output lines and one-line halo stay cache-resident while the
+/// stencil sweeps them.
+pub const CACHE_BLOCK_BYTES: usize = 256 * 1024;
+
+/// Lines per cache-blocked chunk for x-major line kernels.
+///
+/// `line_bytes` is the byte length of one grid line (`nx · elem_size`).
+/// The working set of a stencil chunk is roughly three buffers' worth of
+/// its lines (input, output, halo), so the chunk gets
+/// `target_bytes / (3 · line_bytes)` lines, clamped to `[4, 64]` — the
+/// floor keeps tiny grids from degenerating into per-line dispatch, the
+/// ceiling keeps huge lines from serializing the whole grid into one
+/// chunk.
+///
+/// The result depends only on the two arguments — never on the thread
+/// count — so chunk boundaries stay deterministic and every result
+/// remains bit-identical at any parallelism (chunks partition disjoint
+/// output lines; per-element arithmetic does not depend on the split).
+///
+/// # Examples
+///
+/// ```
+/// use dpm_par::{blocked_lines, CACHE_BLOCK_BYTES};
+/// // 256-wide f64 lines: 2 KiB each → 42 lines per block.
+/// assert_eq!(blocked_lines(256 * 8, CACHE_BLOCK_BYTES), 42);
+/// // Tiny lines clamp up to 64, huge lines clamp down to 4.
+/// assert_eq!(blocked_lines(8, CACHE_BLOCK_BYTES), 64);
+/// assert_eq!(blocked_lines(1 << 20, CACHE_BLOCK_BYTES), 4);
+/// ```
+pub fn blocked_lines(line_bytes: usize, target_bytes: usize) -> usize {
+    (target_bytes / (3 * line_bytes.max(1))).clamp(4, 64)
+}
+
 /// A reusable scoped worker pool with a fixed thread count.
 ///
 /// The pool is a plain value (cheap to clone and store in configs or
@@ -538,5 +575,27 @@ mod tests {
     #[should_panic(expected = "chunk length must be positive")]
     fn zero_chunk_rejected() {
         let _ = chunk_ranges(10, 0);
+    }
+
+    #[test]
+    fn blocked_lines_is_clamped_and_monotone() {
+        // Thread-independent by construction (no pool argument); pin the
+        // clamp band and that wider lines never get more lines per chunk.
+        assert_eq!(blocked_lines(0, CACHE_BLOCK_BYTES), 64);
+        assert_eq!(blocked_lines(usize::MAX / 4, CACHE_BLOCK_BYTES), 4);
+        let mut prev = usize::MAX;
+        for nx in [16usize, 64, 256, 1024, 4096] {
+            let lines = blocked_lines(nx * 8, CACHE_BLOCK_BYTES);
+            assert!((4..=64).contains(&lines), "nx = {nx}: {lines}");
+            assert!(lines <= prev, "not monotone at nx = {nx}");
+            prev = lines;
+        }
+        // f32 lines are half the bytes, so never fewer lines per chunk.
+        for nx in [64usize, 256, 1024] {
+            assert!(
+                blocked_lines(nx * 4, CACHE_BLOCK_BYTES)
+                    >= blocked_lines(nx * 8, CACHE_BLOCK_BYTES)
+            );
+        }
     }
 }

@@ -130,8 +130,14 @@ impl DensityMap {
         }
 
         // Movable cells contribute area overlap. Pre-resolve each cell's
-        // rect and bin span once, then let each stripe owner splat the
-        // cells that touch its rows.
+        // rect and bin span once, then bucket the cells by the stripes
+        // they touch (a small CSR: counts → prefix-sum starts → fill in
+        // cell order) so each stripe owner walks only its own cells
+        // instead of scanning the whole list. Bucket entries keep cell
+        // order, so every bin still accumulates contributions in netlist
+        // order — bit-identical to the serial pass — and each stripe's
+        // writes stay confined to the chunk it owns, so no merge pass is
+        // needed.
         let cells: Vec<(dpm_geom::Rect, BinIdx, BinIdx)> = netlist
             .cell_ids()
             .filter(|&c| netlist.cell(c).kind == CellKind::Movable)
@@ -143,6 +149,32 @@ impl DensityMap {
             .collect();
         let grid = &self.grid;
         let nx = grid.nx();
+        let stripes = grid.ny().div_ceil(STRIPE_ROWS);
+        let mut counts = vec![0u32; stripes];
+        for (_, lo, hi) in &cells {
+            for c in counts
+                .iter_mut()
+                .take(hi.k / STRIPE_ROWS + 1)
+                .skip(lo.k / STRIPE_ROWS)
+            {
+                *c += 1;
+            }
+        }
+        let mut starts = Vec::with_capacity(stripes + 1);
+        let mut acc = 0u32;
+        starts.push(0u32);
+        for &c in &counts {
+            acc += c;
+            starts.push(acc);
+        }
+        let mut fill = starts.clone();
+        let mut bucket = vec![0u32; acc as usize];
+        for (c, (_, lo, hi)) in cells.iter().enumerate() {
+            for s in lo.k / STRIPE_ROWS..=hi.k / STRIPE_ROWS {
+                bucket[fill[s] as usize] = c as u32;
+                fill[s] += 1;
+            }
+        }
         parallel_for_chunks(
             pool,
             &mut self.density,
@@ -150,10 +182,9 @@ impl DensityMap {
             |_, range, out| {
                 let k0 = range.start / nx;
                 let k1 = range.end / nx; // exclusive
-                for (r, lo, hi) in &cells {
-                    if hi.k < k0 || lo.k >= k1 {
-                        continue;
-                    }
+                let s = k0 / STRIPE_ROWS;
+                for &c in &bucket[starts[s] as usize..starts[s + 1] as usize] {
+                    let (r, lo, hi) = &cells[c as usize];
                     for k in lo.k.max(k0)..=hi.k.min(k1 - 1) {
                         for j in lo.j..=hi.j {
                             let idx = BinIdx::new(j, k);
